@@ -1,0 +1,73 @@
+//! # rcalcite-adapters
+//!
+//! The adapter architecture of paper §5: "an adapter consists of a model,
+//! a schema, and a schema factory" (see [`framework`]), plus per-backend
+//! adapters that contribute tables, planner rules and executors:
+//!
+//! | Adapter | Backend | Target language (Table 2) |
+//! |---------|---------|---------------------------|
+//! | [`jdbc`] | `memdb` | SQL (PostgreSQL / MySQL dialects) |
+//! | [`cassandra`] | `kvwide` | CQL |
+//! | [`mongo`] | `docstore` | JSON find |
+//! | [`splunk`] | `logstore` | SPL (with `lookup` joins — Figure 2) |
+//!
+//! Each adapter's `install` registers its rules, its convention's
+//! converter edge(s) and its executor into a `Connection`; the cost-based
+//! planner then freely mixes conventions in one plan, pushing "all
+//! possible logic to each backend and then performing joins and
+//! aggregations on the resulting data".
+
+pub mod cassandra;
+pub mod demo;
+pub mod framework;
+pub mod helpers;
+pub mod jdbc;
+pub mod mongo;
+pub mod splunk;
+
+pub use framework::{load_model, FactoryRegistry, SchemaFactory};
+pub use helpers::QueryLog;
+
+use rcalcite_core::rel::{RelKind, RelOp};
+use rcalcite_core::rules::{Pattern, Rule, RuleCall};
+use rcalcite_core::traits::Convention;
+
+/// The minimal adapter rule (paper §5: implementing the table-scan
+/// operator "is the minimal interface that an adapter must implement"):
+/// converts a logical scan of a table owned by this adapter's backend into
+/// a scan in the adapter's convention.
+pub struct AdapterScanRule {
+    conv: Convention,
+    name: String,
+}
+
+impl AdapterScanRule {
+    pub fn new(conv: Convention) -> AdapterScanRule {
+        AdapterScanRule {
+            name: format!("ScanRule({conv})"),
+            conv,
+        }
+    }
+}
+
+impl Rule for AdapterScanRule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(RelKind::Scan)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let s = call.rel(0).clone();
+        if !s.convention.is_none() {
+            return;
+        }
+        if let RelOp::Scan { table } = &s.op {
+            if table.table.convention() == self.conv {
+                call.transform_to(s.with_convention(self.conv.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The MongoDB adapter over `docstore`. Each collection appears as a
+//! table "with a single column named `_MAP`: a map from document
+//! identifiers to their data" (paper §7.1); relational views are layered
+//! on top with `CAST(_MAP['field'] ...)` projections. Filters over item
+//! accesses push down as native JSON find queries.
+
+use crate::helpers::QueryLog;
+use rcalcite_backends::common::CmpOp;
+use rcalcite_backends::docstore::{json_to_datum, DocStore, FieldFilter, FindQuery};
+use rcalcite_backends::json::Json;
+use rcalcite_core::catalog::{Schema, Statistic, Table};
+use rcalcite_core::datum::{Datum, Row};
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::exec::{ConventionExecutor, ExecContext, RowIter};
+use rcalcite_core::rel::{Rel, RelKind, RelOp};
+use rcalcite_core::rex::{Op, RexNode};
+use rcalcite_core::rules::{Pattern, Rule, RuleCall};
+use rcalcite_core::traits::Convention;
+use rcalcite_core::types::{Field, RelType, RowType, TypeKind};
+use std::sync::Arc;
+
+/// The `_MAP` row type shared by all document tables.
+pub fn map_row_type() -> RowType {
+    RowType::new(vec![Field::new(
+        "_MAP",
+        RelType::not_null(TypeKind::Map(
+            Box::new(RelType::not_null(TypeKind::Varchar)),
+            Box::new(RelType::nullable(TypeKind::Any)),
+        )),
+    )])
+}
+
+pub struct MongoTable {
+    store: Arc<DocStore>,
+    collection: String,
+    convention: Convention,
+}
+
+impl Table for MongoTable {
+    fn row_type(&self) -> RowType {
+        map_row_type()
+    }
+
+    fn statistic(&self) -> Statistic {
+        Statistic::of_rows(self.store.count(&self.collection) as f64)
+    }
+
+    fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
+        let docs = self.store.find(&FindQuery::all(&self.collection))?;
+        Ok(Box::new(
+            docs.into_iter().map(|d| vec![json_to_datum(&d)]),
+        ))
+    }
+
+    fn convention(&self) -> Convention {
+        self.convention.clone()
+    }
+}
+
+pub struct MongoAdapter {
+    pub store: Arc<DocStore>,
+    pub convention: Convention,
+    pub log: QueryLog,
+}
+
+impl MongoAdapter {
+    pub fn new(store: Arc<DocStore>) -> Arc<MongoAdapter> {
+        Arc::new(MongoAdapter {
+            store,
+            convention: Convention::new("mongo"),
+            log: QueryLog::new(),
+        })
+    }
+
+    pub fn schema(&self) -> Schema {
+        let s = Schema::new();
+        for c in self.store.collection_names() {
+            s.add_table(
+                c.clone(),
+                Arc::new(MongoTable {
+                    store: self.store.clone(),
+                    collection: c,
+                    convention: self.convention.clone(),
+                }),
+            );
+        }
+        s
+    }
+
+    pub fn rules(self: &Arc<Self>) -> Vec<Arc<dyn Rule>> {
+        vec![
+            Arc::new(crate::AdapterScanRule::new(self.convention.clone())),
+            Arc::new(MongoFilterRule {
+                conv: self.convention.clone(),
+            }),
+        ]
+    }
+
+    pub fn executor(self: &Arc<Self>) -> Arc<dyn ConventionExecutor> {
+        Arc::new(MongoExecutor {
+            adapter: self.clone(),
+        })
+    }
+
+    pub fn install(self: &Arc<Self>, conn: &mut rcalcite_sql::Connection) {
+        for r in self.rules() {
+            conn.add_rule(r);
+        }
+        conn.add_converter(self.convention.clone(), Convention::enumerable());
+        conn.register_executor(self.executor());
+    }
+}
+
+fn datum_to_json(d: &Datum) -> Option<Json> {
+    Some(match d {
+        Datum::Null => Json::Null,
+        Datum::Bool(b) => Json::Bool(*b),
+        Datum::Int(i) => Json::Num(*i as f64),
+        Datum::Double(x) => Json::Num(*x),
+        Datum::Str(s) => Json::Str(s.to_string()),
+        _ => return None,
+    })
+}
+
+/// Extracts a dotted document path from nested `ITEM` accesses rooted at
+/// the `_MAP` column (`_MAP['loc'][0]` → `loc.0`); CASTs are transparent.
+fn rex_to_path(e: &RexNode) -> Option<String> {
+    match e {
+        RexNode::Call { op: Op::Cast, args, .. } => rex_to_path(&args[0]),
+        RexNode::Call { op: Op::Item, args, .. } => {
+            let key = match args[1].as_literal()? {
+                Datum::Str(s) => s.to_string(),
+                Datum::Int(i) => i.to_string(),
+                _ => return None,
+            };
+            match &args[0] {
+                RexNode::InputRef { index: 0, .. } => Some(key),
+                inner => Some(format!("{}.{}", rex_to_path(inner)?, key)),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Converts a conjunction over `_MAP` item accesses to document filters.
+fn rex_to_field_filters(cond: &RexNode) -> Option<Vec<FieldFilter>> {
+    let mut out = vec![];
+    for c in cond.conjuncts() {
+        let RexNode::Call { op, args, .. } = &c else {
+            return None;
+        };
+        let filter = match op {
+            Op::IsNull | Op::IsNotNull => FieldFilter {
+                path: rex_to_path(&args[0])?,
+                op: if matches!(op, Op::IsNull) {
+                    CmpOp::IsNull
+                } else {
+                    CmpOp::IsNotNull
+                },
+                value: Json::Null,
+            },
+            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                let cmp = match op {
+                    Op::Eq => CmpOp::Eq,
+                    Op::Ne => CmpOp::Ne,
+                    Op::Lt => CmpOp::Lt,
+                    Op::Le => CmpOp::Le,
+                    Op::Gt => CmpOp::Gt,
+                    Op::Ge => CmpOp::Ge,
+                    _ => unreachable!(),
+                };
+                if let (Some(path), Some(lit)) = (rex_to_path(&args[0]), args[1].as_literal()) {
+                    FieldFilter {
+                        path,
+                        op: cmp,
+                        value: datum_to_json(lit)?,
+                    }
+                } else if let (Some(lit), Some(path)) =
+                    (args[0].as_literal(), rex_to_path(&args[1]))
+                {
+                    FieldFilter {
+                        path,
+                        op: match cmp {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                            other => other,
+                        },
+                        value: datum_to_json(lit)?,
+                    }
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        };
+        out.push(filter);
+    }
+    Some(out)
+}
+
+/// `LogicalFilter` over a mongo scan with document-path predicates →
+/// `MongoFilter`.
+struct MongoFilterRule {
+    conv: Convention,
+}
+
+impl Rule for MongoFilterRule {
+    fn name(&self) -> &str {
+        "MongoFilterRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Scan)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let f = call.rel(0).clone();
+        let child = call.rel(1);
+        if !f.convention.is_none() || child.convention != self.conv {
+            return;
+        }
+        if let RelOp::Filter { condition } = &f.op {
+            if rex_to_field_filters(condition).is_some() {
+                call.transform_to(f.with_convention(self.conv.clone()));
+            }
+        }
+    }
+}
+
+struct MongoExecutor {
+    adapter: Arc<MongoAdapter>,
+}
+
+impl MongoExecutor {
+    fn build(&self, rel: &Rel, q: &mut FindQuery) -> Result<()> {
+        match &rel.op {
+            RelOp::Scan { table } => {
+                q.collection = table.name.clone();
+                Ok(())
+            }
+            RelOp::Filter { condition } => {
+                self.build(rel.input(0), q)?;
+                let filters = rex_to_field_filters(condition).ok_or_else(|| {
+                    CalciteError::internal("mongo executor: unpushable filter")
+                })?;
+                q.filter.extend(filters);
+                Ok(())
+            }
+            other => Err(CalciteError::execution(format!(
+                "mongo executor cannot run {other:?}"
+            ))),
+        }
+    }
+}
+
+impl ConventionExecutor for MongoExecutor {
+    fn convention(&self) -> Convention {
+        self.adapter.convention.clone()
+    }
+
+    fn execute(&self, rel: &Rel, _ctx: &ExecContext) -> Result<RowIter> {
+        let mut q = FindQuery::default();
+        self.build(rel, &mut q)?;
+        self.adapter.log.record(q.to_json().to_string());
+        let docs = self.adapter.store.find(&q)?;
+        Ok(Box::new(
+            docs.into_iter().map(|d| vec![json_to_datum(&d)]),
+        ))
+    }
+}
+
+impl crate::framework::SchemaFactory for MongoAdapter {
+    fn factory_name(&self) -> &str {
+        "mongo"
+    }
+
+    fn create_schema(&self, _operand: &rcalcite_backends::json::Json) -> Result<Schema> {
+        Ok(self.schema())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcalcite_core::catalog::Catalog;
+    use rcalcite_sql::Connection;
+
+    fn sample_store() -> Arc<DocStore> {
+        let store = DocStore::new();
+        store.create_collection(
+            "zips",
+            vec![
+                Json::parse(r#"{"city": "AMSTERDAM", "loc": [4.89, 52.37], "pop": 821752}"#)
+                    .unwrap(),
+                Json::parse(r#"{"city": "UTRECHT", "loc": [5.12, 52.09], "pop": 345080}"#)
+                    .unwrap(),
+                Json::parse(r#"{"city": "DELFT", "loc": [4.36, 52.01], "pop": 101030}"#).unwrap(),
+            ],
+        );
+        store
+    }
+
+    fn connection() -> (Connection, Arc<MongoAdapter>) {
+        let adapter = MongoAdapter::new(sample_store());
+        let catalog = Catalog::new();
+        catalog.add_schema("mongo_raw", adapter.schema());
+        let mut conn = Connection::new(catalog);
+        conn.add_rule(rcalcite_enumerable::implement_rule());
+        conn.register_executor(Arc::new(rcalcite_enumerable::EnumerableExecutor::new()));
+        adapter.install(&mut conn);
+        (conn, adapter)
+    }
+
+    #[test]
+    fn paper_zips_view_query() {
+        // The §7.1 view: relational columns extracted from _MAP.
+        let (conn, _) = connection();
+        let r = conn
+            .query(
+                "SELECT CAST(_MAP['city'] AS varchar(20)) AS city, \
+                 CAST(_MAP['loc'][0] AS float) AS longitude, \
+                 CAST(_MAP['loc'][1] AS float) AS latitude \
+                 FROM mongo_raw.zips ORDER BY city",
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["city", "longitude", "latitude"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Datum::str("AMSTERDAM"));
+        assert_eq!(r.rows[0][1], Datum::Double(4.89));
+    }
+
+    #[test]
+    fn filter_pushes_as_json_find() {
+        let (conn, adapter) = connection();
+        adapter.log.clear();
+        let r = conn
+            .query(
+                "SELECT CAST(_MAP['city'] AS varchar(20)) AS city FROM mongo_raw.zips \
+                 WHERE CAST(_MAP['pop'] AS integer) > 300000 ORDER BY city",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let native = adapter.log.entries().join("\n");
+        assert!(native.contains("\"find\": \"zips\""), "{native}");
+        assert!(native.contains("\"pop\""), "{native}");
+        assert!(native.contains("$gt"), "{native}");
+    }
+
+    #[test]
+    fn path_extraction() {
+        let map_ty = RelType::nullable(TypeKind::Any);
+        let base = RexNode::input(0, map_ty);
+        let loc = RexNode::call(Op::Item, vec![base, RexNode::lit_str("loc")]);
+        let lon = RexNode::call(Op::Item, vec![loc, RexNode::lit_int(0)]);
+        assert_eq!(rex_to_path(&lon), Some("loc.0".into()));
+        // Cast-wrapped.
+        let cast = lon.cast(RelType::nullable(TypeKind::Double));
+        assert_eq!(rex_to_path(&cast), Some("loc.0".into()));
+        // Non-path expression.
+        assert_eq!(rex_to_path(&RexNode::lit_int(1)), None);
+    }
+
+    #[test]
+    fn filter_on_nested_array_element() {
+        let (conn, _) = connection();
+        let r = conn
+            .query(
+                "SELECT CAST(_MAP['city'] AS varchar(20)) AS city FROM mongo_raw.zips \
+                 WHERE CAST(_MAP['loc'][0] AS float) < 4.5",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::str("DELFT")]]);
+    }
+
+    #[test]
+    fn unpushable_predicate_still_correct() {
+        let (conn, _) = connection();
+        // Arithmetic over the extracted value cannot push down.
+        let r = conn
+            .query(
+                "SELECT CAST(_MAP['city'] AS varchar(20)) AS city FROM mongo_raw.zips \
+                 WHERE CAST(_MAP['pop'] AS integer) / 1000 > 300",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared pieces of the simulated backends: simple comparison predicates
+//! over column values. Each backend intentionally supports only the query
+//! capabilities its real-world counterpart has; anything richer must be
+//! done by the calling engine — which is exactly what the adapter layer's
+//! cost-based pushdown decides.
+
+use rcalcite_core::datum::Datum;
+use std::fmt;
+
+/// Comparison operators the backends understand natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Like,
+    IsNull,
+    IsNotNull,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Like => "LIKE",
+            CmpOp::IsNull => "IS NULL",
+            CmpOp::IsNotNull => "IS NOT NULL",
+        }
+    }
+
+    /// Evaluates the comparison with SQL NULL semantics (NULL never
+    /// matches except for the IS NULL forms).
+    pub fn matches(&self, value: &Datum, operand: &Datum) -> bool {
+        match self {
+            CmpOp::IsNull => return value.is_null(),
+            CmpOp::IsNotNull => return !value.is_null(),
+            _ => {}
+        }
+        let Some(ord) = value.sql_cmp(operand) else {
+            return false;
+        };
+        match self {
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            CmpOp::Like => match (value.as_str(), operand.as_str()) {
+                (Some(s), Some(p)) => rcalcite_core::rex::like_match(s, p),
+                _ => false,
+            },
+            CmpOp::IsNull | CmpOp::IsNotNull => unreachable!(),
+        }
+    }
+}
+
+/// A predicate over a column (by index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColPredicate {
+    pub col: usize,
+    pub op: CmpOp,
+    pub value: Datum,
+}
+
+impl ColPredicate {
+    pub fn new(col: usize, op: CmpOp, value: Datum) -> ColPredicate {
+        ColPredicate { col, op, value }
+    }
+
+    pub fn matches(&self, row: &[Datum]) -> bool {
+        row.get(self.col)
+            .map(|v| self.op.matches(v, &self.value))
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for ColPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            CmpOp::IsNull | CmpOp::IsNotNull => write!(f, "${} {}", self.col, self.op.symbol()),
+            _ => write!(f, "${} {} {}", self.col, self.op.symbol(), self.value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_with_nulls() {
+        assert!(CmpOp::Eq.matches(&Datum::Int(3), &Datum::Int(3)));
+        assert!(!CmpOp::Eq.matches(&Datum::Null, &Datum::Int(3)));
+        assert!(!CmpOp::Ne.matches(&Datum::Null, &Datum::Int(3)));
+        assert!(CmpOp::IsNull.matches(&Datum::Null, &Datum::Null));
+        assert!(CmpOp::IsNotNull.matches(&Datum::Int(1), &Datum::Null));
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(CmpOp::Like.matches(&Datum::str("hello"), &Datum::str("h%")));
+        assert!(!CmpOp::Like.matches(&Datum::Int(1), &Datum::str("h%")));
+    }
+
+    #[test]
+    fn col_predicate() {
+        let p = ColPredicate::new(1, CmpOp::Gt, Datum::Int(10));
+        assert!(p.matches(&[Datum::Null, Datum::Int(11)]));
+        assert!(!p.matches(&[Datum::Null, Datum::Int(9)]));
+        assert!(!p.matches(&[Datum::Int(99)])); // out of range
+        assert_eq!(p.to_string(), "$1 > 10");
+    }
+}

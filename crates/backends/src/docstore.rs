@@ -1,0 +1,315 @@
+//! `docstore`: an in-process document store standing in for MongoDB.
+//! Collections hold JSON documents; the native query language is a JSON
+//! `find` specification (filter + projection + limit), matching how the
+//! paper's MongoDB adapter pushes work down (§7.1, Table 2).
+
+use crate::common::CmpOp;
+use crate::json::Json;
+use parking_lot::RwLock;
+use rcalcite_core::datum::Datum;
+use rcalcite_core::error::{CalciteError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One filter clause: a dotted field path compared against a JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldFilter {
+    pub path: String,
+    pub op: CmpOp,
+    pub value: Json,
+}
+
+/// A `find`-style query.
+#[derive(Debug, Clone, Default)]
+pub struct FindQuery {
+    pub collection: String,
+    pub filter: Vec<FieldFilter>,
+    /// Projected field paths; `None` = whole document.
+    pub projection: Option<Vec<String>>,
+    pub limit: Option<usize>,
+}
+
+impl FindQuery {
+    pub fn all(collection: impl Into<String>) -> FindQuery {
+        FindQuery {
+            collection: collection.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Renders the native JSON query language (what Table 2 calls the
+    /// adapter's target language).
+    pub fn to_json(&self) -> Json {
+        let mut filter = std::collections::BTreeMap::new();
+        for f in &self.filter {
+            let clause = match f.op {
+                CmpOp::Eq => f.value.clone(),
+                CmpOp::Ne => Json::obj([("$ne", f.value.clone())]),
+                CmpOp::Lt => Json::obj([("$lt", f.value.clone())]),
+                CmpOp::Le => Json::obj([("$lte", f.value.clone())]),
+                CmpOp::Gt => Json::obj([("$gt", f.value.clone())]),
+                CmpOp::Ge => Json::obj([("$gte", f.value.clone())]),
+                CmpOp::Like => Json::obj([("$regex", f.value.clone())]),
+                CmpOp::IsNull => Json::Null,
+                CmpOp::IsNotNull => Json::obj([("$exists", Json::Bool(true))]),
+            };
+            filter.insert(f.path.clone(), clause);
+        }
+        let mut q = std::collections::BTreeMap::new();
+        q.insert("find".to_string(), Json::Str(self.collection.clone()));
+        q.insert("filter".to_string(), Json::Obj(filter));
+        if let Some(proj) = &self.projection {
+            q.insert(
+                "projection".to_string(),
+                Json::Obj(
+                    proj.iter()
+                        .map(|p| (p.clone(), Json::Num(1.0)))
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(l) = self.limit {
+            q.insert("limit".to_string(), Json::Num(l as f64));
+        }
+        Json::Obj(q)
+    }
+}
+
+/// Resolves a dotted path (`loc.0`, `address.city`) inside a document.
+pub fn get_path<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut cur = doc;
+    for part in path.split('.') {
+        cur = match cur {
+            Json::Obj(m) => m.get(part)?,
+            Json::Arr(items) => items.get(part.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// Converts a JSON value to a runtime datum (the `_MAP` representation of
+/// §7.1: documents become maps from field names to dynamic values).
+pub fn json_to_datum(v: &Json) -> Datum {
+    match v {
+        Json::Null => Datum::Null,
+        Json::Bool(b) => Datum::Bool(*b),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                Datum::Int(*n as i64)
+            } else {
+                Datum::Double(*n)
+            }
+        }
+        Json::Str(s) => Datum::str(s),
+        Json::Arr(items) => Datum::array(items.iter().map(json_to_datum).collect()),
+        Json::Obj(m) => Datum::map(m.iter().map(|(k, v)| (k.clone(), json_to_datum(v)))),
+    }
+}
+
+fn json_cmp_matches(op: CmpOp, actual: &Json, expected: &Json) -> bool {
+    let (a, b) = (json_to_datum(actual), json_to_datum(expected));
+    op.matches(&a, &b)
+}
+
+/// The store: named collections of documents.
+#[derive(Default)]
+pub struct DocStore {
+    collections: RwLock<HashMap<String, Vec<Json>>>,
+}
+
+impl DocStore {
+    pub fn new() -> Arc<DocStore> {
+        Arc::new(DocStore::default())
+    }
+
+    pub fn create_collection(&self, name: impl Into<String>, docs: Vec<Json>) {
+        self.collections
+            .write()
+            .insert(name.into().to_ascii_lowercase(), docs);
+    }
+
+    pub fn insert(&self, collection: &str, doc: Json) -> Result<()> {
+        self.collections
+            .write()
+            .get_mut(&collection.to_ascii_lowercase())
+            .ok_or_else(|| {
+                CalciteError::execution(format!("docstore: no collection '{collection}'"))
+            })?
+            .push(doc);
+        Ok(())
+    }
+
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn count(&self, collection: &str) -> usize {
+        self.collections
+            .read()
+            .get(&collection.to_ascii_lowercase())
+            .map(|c| c.len())
+            .unwrap_or(0)
+    }
+
+    /// Executes a find query, returning matching documents (projected to
+    /// the requested fields when a projection is given).
+    pub fn find(&self, q: &FindQuery) -> Result<Vec<Json>> {
+        let collections = self.collections.read();
+        let docs = collections
+            .get(&q.collection.to_ascii_lowercase())
+            .ok_or_else(|| {
+                CalciteError::execution(format!("docstore: no collection '{}'", q.collection))
+            })?;
+        let mut out = vec![];
+        for doc in docs {
+            let ok = q.filter.iter().all(|f| match f.op {
+                CmpOp::IsNull => get_path(doc, &f.path).map(|v| v == &Json::Null).unwrap_or(true),
+                CmpOp::IsNotNull => get_path(doc, &f.path)
+                    .map(|v| v != &Json::Null)
+                    .unwrap_or(false),
+                op => get_path(doc, &f.path)
+                    .map(|v| json_cmp_matches(op, v, &f.value))
+                    .unwrap_or(false),
+            });
+            if !ok {
+                continue;
+            }
+            let projected = match &q.projection {
+                None => doc.clone(),
+                Some(fields) => Json::Obj(
+                    fields
+                        .iter()
+                        .filter_map(|f| get_path(doc, f).map(|v| (f.clone(), v.clone())))
+                        .collect(),
+                ),
+            };
+            out.push(projected);
+            if let Some(l) = q.limit {
+                if out.len() >= l {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zips() -> Arc<DocStore> {
+        // The paper's §7.1 running example: a zips collection.
+        let store = DocStore::new();
+        let docs = vec![
+            Json::parse(r#"{"city": "AMSTERDAM", "loc": [4.89, 52.37], "pop": 821752}"#).unwrap(),
+            Json::parse(r#"{"city": "UTRECHT", "loc": [5.12, 52.09], "pop": 345080}"#).unwrap(),
+            Json::parse(r#"{"city": "DELFT", "loc": [4.36, 52.01], "pop": 101030}"#).unwrap(),
+        ];
+        store.create_collection("zips", docs);
+        store
+    }
+
+    #[test]
+    fn find_all_and_count() {
+        let s = zips();
+        assert_eq!(s.find(&FindQuery::all("zips")).unwrap().len(), 3);
+        assert_eq!(s.count("zips"), 3);
+    }
+
+    #[test]
+    fn filter_on_field() {
+        let s = zips();
+        let q = FindQuery {
+            collection: "zips".into(),
+            filter: vec![FieldFilter {
+                path: "pop".into(),
+                op: CmpOp::Gt,
+                value: Json::Num(300_000.0),
+            }],
+            ..Default::default()
+        };
+        let docs = s.find(&q).unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn dotted_path_into_array() {
+        let s = zips();
+        let q = FindQuery {
+            collection: "zips".into(),
+            filter: vec![FieldFilter {
+                path: "loc.0".into(),
+                op: CmpOp::Lt,
+                value: Json::Num(4.5),
+            }],
+            ..Default::default()
+        };
+        let docs = s.find(&q).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].get("city").unwrap().as_str(), Some("DELFT"));
+    }
+
+    #[test]
+    fn projection_and_limit() {
+        let s = zips();
+        let q = FindQuery {
+            collection: "zips".into(),
+            projection: Some(vec!["city".into()]),
+            limit: Some(2),
+            ..Default::default()
+        };
+        let docs = s.find(&q).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert!(docs[0].get("pop").is_none());
+        assert!(docs[0].get("city").is_some());
+    }
+
+    #[test]
+    fn to_json_query_text() {
+        let q = FindQuery {
+            collection: "zips".into(),
+            filter: vec![FieldFilter {
+                path: "pop".into(),
+                op: CmpOp::Ge,
+                value: Json::Num(100.0),
+            }],
+            projection: Some(vec!["city".into()]),
+            limit: Some(5),
+        };
+        let text = q.to_json().to_string();
+        assert!(text.contains("\"find\": \"zips\""), "{text}");
+        assert!(text.contains("\"$gte\": 100"), "{text}");
+        assert!(text.contains("\"limit\": 5"), "{text}");
+        // It is valid JSON.
+        Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn json_to_datum_conversions() {
+        let d = json_to_datum(&Json::parse(r#"{"a": [1, 2.5], "b": "x"}"#).unwrap());
+        match d {
+            Datum::Map(m) => {
+                assert_eq!(m.get("b"), Some(&Datum::str("x")));
+                match m.get("a") {
+                    Some(Datum::Array(items)) => {
+                        assert_eq!(items[0], Datum::Int(1));
+                        assert_eq!(items[1], Datum::Double(2.5));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_collection_errors() {
+        let s = zips();
+        assert!(s.find(&FindQuery::all("nope")).is_err());
+        assert!(s.insert("nope", Json::Null).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! A minimal JSON value type, parser and serializer. Used by the document
+//! store for its native documents and by adapters that generate JSON query
+//! languages (the Druid/Elasticsearch/MongoDB rows of the paper's
+//! Table 2). Kept in-repo to avoid a `serde_json` dependency.
+
+use rcalcite_core::error::{CalciteError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses JSON text.
+    pub fn parse(text: &str) -> Result<Json> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0;
+        let v = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(CalciteError::parse(format!(
+                "trailing JSON content at offset {pos}"
+            )));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "\"{}\": {v}", escape(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && c[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> Result<Json> {
+    skip_ws(c, pos);
+    if *pos >= c.len() {
+        return Err(CalciteError::parse("unexpected end of JSON"));
+    }
+    match c[*pos] {
+        '{' => {
+            *pos += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(c, pos);
+            if *pos < c.len() && c[*pos] == '}' {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(c, pos);
+                let key = match parse_value(c, pos)? {
+                    Json::Str(s) => s,
+                    other => {
+                        return Err(CalciteError::parse(format!(
+                            "JSON object key must be a string, got {other}"
+                        )))
+                    }
+                };
+                skip_ws(c, pos);
+                if *pos >= c.len() || c[*pos] != ':' {
+                    return Err(CalciteError::parse("expected ':' in JSON object"));
+                }
+                *pos += 1;
+                let v = parse_value(c, pos)?;
+                m.insert(key, v);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                    }
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    _ => return Err(CalciteError::parse("expected ',' or '}' in JSON object")),
+                }
+            }
+        }
+        '[' => {
+            *pos += 1;
+            let mut items = vec![];
+            skip_ws(c, pos);
+            if *pos < c.len() && c[*pos] == ']' {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(c, pos)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                    }
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(CalciteError::parse("expected ',' or ']' in JSON array")),
+                }
+            }
+        }
+        '"' => {
+            *pos += 1;
+            let mut s = String::new();
+            while *pos < c.len() {
+                match c[*pos] {
+                    '"' => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    '\\' => {
+                        *pos += 1;
+                        match c.get(*pos) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('u') => {
+                                let hex: String = c[*pos + 1..*pos + 5].iter().collect();
+                                let code = u32::from_str_radix(&hex, 16).map_err(|_| {
+                                    CalciteError::parse("bad \\u escape in JSON")
+                                })?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(CalciteError::parse("bad escape in JSON")),
+                        }
+                        *pos += 1;
+                    }
+                    ch => {
+                        s.push(ch);
+                        *pos += 1;
+                    }
+                }
+            }
+            Err(CalciteError::parse("unterminated JSON string"))
+        }
+        't' => {
+            expect_word(c, pos, "true")?;
+            Ok(Json::Bool(true))
+        }
+        'f' => {
+            expect_word(c, pos, "false")?;
+            Ok(Json::Bool(false))
+        }
+        'n' => {
+            expect_word(c, pos, "null")?;
+            Ok(Json::Null)
+        }
+        _ => {
+            let start = *pos;
+            while *pos < c.len()
+                && (c[*pos].is_ascii_digit()
+                    || matches!(c[*pos], '-' | '+' | '.' | 'e' | 'E'))
+            {
+                *pos += 1;
+            }
+            let text: String = c[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| CalciteError::parse(format!("bad JSON number '{text}'")))
+        }
+    }
+}
+
+fn expect_word(c: &[char], pos: &mut usize, word: &str) -> Result<()> {
+    for ch in word.chars() {
+        if c.get(*pos) != Some(&ch) {
+            return Err(CalciteError::parse(format!("expected '{word}' in JSON")));
+        }
+        *pos += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = r#"{"city": "AMS", "loc": [4.9, 52.4], "pop": 821752, "eu": true, "x": null}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("city").unwrap().as_str(), Some("AMS"));
+        let reparsed = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Json::parse(r#"[{"a": [1, 2, {"b": "c"}]}, []]"#).unwrap();
+        match &v {
+            Json::Arr(items) => assert_eq!(items.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn escapes() {
+        let v = Json::parse(r#""a\"b\\c\nA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nA"));
+        // Serialization escapes again.
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\nA\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(Json::parse("42").unwrap().to_string(), "42");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,").is_err());
+        assert!(Json::parse("{1: 2}").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+}

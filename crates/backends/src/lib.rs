@@ -1,0 +1,136 @@
+//! # rcalcite-backends
+//!
+//! Simulated heterogeneous storage engines. Each stands in for one of the
+//! external systems the paper federates, exposing only the query
+//! capabilities of its real counterpart:
+//!
+//! | Module | Stands in for | Native language | Capabilities |
+//! |--------|---------------|-----------------|--------------|
+//! | [`memdb`] | MySQL/PostgreSQL via JDBC | SQL (dialects) | filter, project, sort, limit |
+//! | [`kvwide`] | Apache Cassandra | CQL | partition-key reads, clustering order, limited filtering |
+//! | [`docstore`] | MongoDB | JSON find | path filters, projection, limit |
+//! | [`logstore`] | Splunk | SPL | term search, `lookup` join, head |
+//!
+//! These crates know nothing about rcalcite plans; the `rcalcite-adapters`
+//! crate bridges them, exactly as Calcite adapters bridge external engines
+//! (paper §5).
+
+pub mod common;
+pub mod docstore;
+pub mod json;
+pub mod kvwide;
+pub mod logstore;
+pub mod memdb;
+
+pub use common::{CmpOp, ColPredicate};
+pub use json::Json;
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::kvwide::{KvWideStore, WideTableDef};
+    use crate::logstore::{LogStore, Search, SourceDef};
+    use proptest::prelude::*;
+    use rcalcite_core::datum::Datum;
+    use rcalcite_core::types::TypeKind;
+
+    proptest! {
+        /// kvwide keeps every partition in clustering order no matter the
+        /// insertion order.
+        #[test]
+        fn kvwide_partitions_stay_clustering_sorted(
+            rows in proptest::collection::vec((0i64..4, -100i64..100, -100i64..100), 0..200)
+        ) {
+            let s = KvWideStore::new();
+            s.create_table(
+                "t",
+                WideTableDef {
+                    columns: vec![
+                        ("p".into(), TypeKind::Integer),
+                        ("c".into(), TypeKind::Integer),
+                        ("v".into(), TypeKind::Integer),
+                    ],
+                    partition_key: vec![0],
+                    clustering: vec![(1, false)],
+                },
+            );
+            for (p, c, v) in &rows {
+                s.insert("t", vec![Datum::Int(*p), Datum::Int(*c), Datum::Int(*v)]).unwrap();
+            }
+            for p in 0..4i64 {
+                let q = crate::kvwide::CqlQuery {
+                    table: "t".into(),
+                    partition_eq: vec![(0, Datum::Int(p))],
+                    ..crate::kvwide::CqlQuery::scan("t")
+                };
+                let got = s.execute(&q).unwrap();
+                let keys: Vec<i64> = got.iter().map(|r| r[1].as_int().unwrap()).collect();
+                let mut sorted = keys.clone();
+                sorted.sort();
+                prop_assert_eq!(keys, sorted);
+            }
+            prop_assert_eq!(s.row_count("t"), rows.len());
+        }
+
+        /// logstore returns events in time order regardless of append
+        /// order, and search results are a filtered subsequence.
+        #[test]
+        fn logstore_time_order_invariant(
+            times in proptest::collection::vec(-1000i64..1000, 0..200),
+            threshold in -1000i64..1000
+        ) {
+            let s = LogStore::new();
+            s.create_source(
+                "ev",
+                SourceDef {
+                    fields: vec![
+                        ("rowtime".into(), TypeKind::Timestamp),
+                        ("v".into(), TypeKind::Integer),
+                    ],
+                },
+            );
+            for (i, t) in times.iter().enumerate() {
+                s.append("ev", vec![Datum::Timestamp(*t), Datum::Int(i as i64)]).unwrap();
+            }
+            let all = s.search(&Search::source("ev")).unwrap();
+            let ts: Vec<i64> = all.iter().map(|r| r[0].as_millis().unwrap()).collect();
+            let mut sorted = ts.clone();
+            sorted.sort();
+            prop_assert_eq!(&ts, &sorted);
+
+            let q = Search {
+                source: "ev".into(),
+                terms: vec![crate::logstore::SearchTerm {
+                    field: "rowtime".into(),
+                    op: CmpOp::Ge,
+                    value: Datum::Timestamp(threshold),
+                }],
+                limit: None,
+            };
+            let filtered = s.search(&q).unwrap();
+            prop_assert_eq!(
+                filtered.len(),
+                times.iter().filter(|t| **t >= threshold).count()
+            );
+        }
+
+        /// JSON round trip: serialize(parse(x)) reparses to the same value.
+        #[test]
+        fn json_round_trip(n in -1.0e6f64..1.0e6,
+                           s in "[a-zA-Z0-9 _-]{0,16}",
+                           b in any::<bool>()) {
+            let v = Json::Obj(
+                [
+                    ("n".to_string(), Json::Num((n * 100.0).round() / 100.0)),
+                    ("s".to_string(), Json::Str(s)),
+                    ("b".to_string(), Json::Bool(b)),
+                    ("a".to_string(), Json::Arr(vec![Json::Null, Json::Num(1.0)])),
+                ]
+                .into_iter()
+                .collect(),
+            );
+            let text = v.to_string();
+            prop_assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! `logstore`: a time-ordered log/event store standing in for Splunk. Its
+//! native language is an SPL-like search pipeline: field predicates plus
+//! an optional `lookup` stage that joins events against an external
+//! key-value source — the capability the paper's Figure 2 exploits
+//! ("Splunk can perform lookups into MySQL via ODBC"), letting a join be
+//! pushed into the splunk convention.
+
+use crate::common::CmpOp;
+use parking_lot::RwLock;
+use rcalcite_core::datum::{Datum, Row};
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::types::TypeKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Schema of one event source: field names and types, in row order. The
+/// first field is conventionally the event time.
+#[derive(Debug, Clone)]
+pub struct SourceDef {
+    pub fields: Vec<(String, TypeKind)>,
+}
+
+impl SourceDef {
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+}
+
+/// One term of a search: `field <op> value`.
+#[derive(Debug, Clone)]
+pub struct SearchTerm {
+    pub field: String,
+    pub op: CmpOp,
+    pub value: Datum,
+}
+
+/// The lookup stage of a search pipeline: enrich events by joining
+/// `key_field` against an external table (Figure 2's ODBC lookup).
+pub struct LookupStage<'a> {
+    pub key_field: String,
+    /// Resolves a key to matching external rows.
+    pub resolve: &'a dyn Fn(&Datum) -> Vec<Row>,
+    /// Arity of the looked-up rows (for schema bookkeeping).
+    pub arity: usize,
+}
+
+/// An SPL-shaped search.
+#[derive(Debug, Clone, Default)]
+pub struct Search {
+    pub source: String,
+    pub terms: Vec<SearchTerm>,
+    pub limit: Option<usize>,
+}
+
+impl Search {
+    pub fn source(source: impl Into<String>) -> Search {
+        Search {
+            source: source.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Renders the SPL text for this search (Table 2's target language
+    /// for the Splunk adapter), optionally with a lookup stage.
+    pub fn to_spl(&self, lookup: Option<&str>) -> String {
+        let mut s = format!("search source={}", self.source);
+        for t in &self.terms {
+            match t.op {
+                CmpOp::IsNull => {
+                    let _ = write!(s, " NOT {}=*", t.field);
+                }
+                CmpOp::IsNotNull => {
+                    let _ = write!(s, " {}=*", t.field);
+                }
+                CmpOp::Like => {
+                    let pattern = t.value.to_string().replace('%', "*");
+                    let _ = write!(s, " {}={}", t.field, pattern);
+                }
+                op => {
+                    let _ = write!(s, " {}{}{}", t.field, op.symbol(), t.value);
+                }
+            }
+        }
+        if let Some(l) = lookup {
+            let _ = write!(s, " | lookup {l}");
+        }
+        if let Some(n) = self.limit {
+            let _ = write!(s, " | head {n}");
+        }
+        s
+    }
+}
+
+struct LogSource {
+    def: SourceDef,
+    /// Rows in event-time order (first column).
+    events: Vec<Row>,
+}
+
+/// The store: named event sources.
+#[derive(Default)]
+pub struct LogStore {
+    sources: RwLock<HashMap<String, LogSource>>,
+}
+
+impl LogStore {
+    pub fn new() -> Arc<LogStore> {
+        Arc::new(LogStore::default())
+    }
+
+    pub fn create_source(&self, name: impl Into<String>, def: SourceDef) {
+        self.sources.write().insert(
+            name.into().to_ascii_lowercase(),
+            LogSource {
+                def,
+                events: vec![],
+            },
+        );
+    }
+
+    pub fn source_def(&self, name: &str) -> Option<SourceDef> {
+        self.sources
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.def.clone())
+    }
+
+    pub fn source_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sources.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn count(&self, name: &str) -> usize {
+        self.sources
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.events.len())
+            .unwrap_or(0)
+    }
+
+    /// Appends an event, keeping event-time order (first column).
+    pub fn append(&self, source: &str, row: Row) -> Result<()> {
+        let mut sources = self.sources.write();
+        let s = sources
+            .get_mut(&source.to_ascii_lowercase())
+            .ok_or_else(|| CalciteError::execution(format!("logstore: no source '{source}'")))?;
+        if row.len() != s.def.fields.len() {
+            return Err(CalciteError::execution(format!(
+                "logstore: arity mismatch appending to '{source}'"
+            )));
+        }
+        let pos = s
+            .events
+            .binary_search_by(|probe| probe[0].cmp(&row[0]))
+            .unwrap_or_else(|p| p);
+        s.events.insert(pos, row);
+        Ok(())
+    }
+
+    /// Executes a search, returning matching events in time order.
+    pub fn search(&self, q: &Search) -> Result<Vec<Row>> {
+        let sources = self.sources.read();
+        let s = sources
+            .get(&q.source.to_ascii_lowercase())
+            .ok_or_else(|| CalciteError::execution(format!("logstore: no source '{}'", q.source)))?;
+        let mut out = vec![];
+        for ev in &s.events {
+            let ok = q.terms.iter().all(|t| {
+                s.def
+                    .field_index(&t.field)
+                    .map(|i| t.op.matches(&ev[i], &t.value))
+                    .unwrap_or(false)
+            });
+            if ok {
+                out.push(ev.clone());
+                if let Some(l) = q.limit {
+                    if out.len() >= l {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Executes a search followed by a lookup stage: each matching event
+    /// is joined (inner) against the external rows resolved from its key
+    /// field — this runs the Figure 2 join *inside* the log store.
+    pub fn search_with_lookup(&self, q: &Search, lookup: &LookupStage) -> Result<Vec<Row>> {
+        let key_idx = {
+            let sources = self.sources.read();
+            let s = sources.get(&q.source.to_ascii_lowercase()).ok_or_else(|| {
+                CalciteError::execution(format!("logstore: no source '{}'", q.source))
+            })?;
+            s.def.field_index(&lookup.key_field).ok_or_else(|| {
+                CalciteError::execution(format!(
+                    "logstore: lookup key '{}' not in source '{}'",
+                    lookup.key_field, q.source
+                ))
+            })?
+        };
+        let events = self.search(q)?;
+        let mut out = vec![];
+        for ev in events {
+            for ext in (lookup.resolve)(&ev[key_idx]) {
+                let mut row = ev.clone();
+                row.extend(ext);
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Arc<LogStore> {
+        let s = LogStore::new();
+        s.create_source(
+            "orders",
+            SourceDef {
+                fields: vec![
+                    ("rowtime".into(), TypeKind::Timestamp),
+                    ("productid".into(), TypeKind::Integer),
+                    ("units".into(), TypeKind::Integer),
+                ],
+            },
+        );
+        for (t, p, u) in [(30, 2, 40), (10, 1, 10), (20, 2, 30)] {
+            s.append(
+                "orders",
+                vec![Datum::Timestamp(t), Datum::Int(p), Datum::Int(u)],
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn events_kept_in_time_order() {
+        let s = store();
+        let rows = s.search(&Search::source("orders")).unwrap();
+        let times: Vec<i64> = rows.iter().map(|r| r[0].as_millis().unwrap()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn term_filtering_and_limit() {
+        let s = store();
+        let q = Search {
+            source: "orders".into(),
+            terms: vec![SearchTerm {
+                field: "units".into(),
+                op: CmpOp::Gt,
+                value: Datum::Int(25),
+            }],
+            limit: Some(1),
+        };
+        let rows = s.search(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][2], Datum::Int(30));
+    }
+
+    #[test]
+    fn spl_rendering() {
+        let q = Search {
+            source: "orders".into(),
+            terms: vec![
+                SearchTerm {
+                    field: "units".into(),
+                    op: CmpOp::Gt,
+                    value: Datum::Int(25),
+                },
+                SearchTerm {
+                    field: "discount".into(),
+                    op: CmpOp::IsNotNull,
+                    value: Datum::Null,
+                },
+            ],
+            limit: Some(10),
+        };
+        assert_eq!(
+            q.to_spl(Some("products productid")),
+            "search source=orders units>25 discount=* | lookup products productid | head 10"
+        );
+    }
+
+    #[test]
+    fn lookup_join_runs_inside_the_store() {
+        let s = store();
+        // The Figure 2 scenario: resolve productid against a "MySQL" table.
+        let products: HashMap<i64, &str> = [(1, "anvil"), (2, "rocket")].into_iter().collect();
+        let resolve = |key: &Datum| -> Vec<Row> {
+            key.as_int()
+                .and_then(|k| products.get(&k))
+                .map(|name| vec![vec![Datum::str(*name)]])
+                .unwrap_or_default()
+        };
+        let lookup = LookupStage {
+            key_field: "productid".into(),
+            resolve: &resolve,
+            arity: 1,
+        };
+        let rows = s
+            .search_with_lookup(&Search::source("orders"), &lookup)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 4); // 3 event fields + product name
+        assert_eq!(rows[0][3], Datum::str("anvil"));
+    }
+
+    #[test]
+    fn errors() {
+        let s = store();
+        assert!(s.search(&Search::source("missing")).is_err());
+        assert!(s.append("missing", vec![]).is_err());
+        assert!(s.append("orders", vec![Datum::Int(1)]).is_err());
+        let lookup = LookupStage {
+            key_field: "nokey".into(),
+            resolve: &|_| vec![],
+            arity: 0,
+        };
+        assert!(s
+            .search_with_lookup(&Search::source("orders"), &lookup)
+            .is_err());
+    }
+}

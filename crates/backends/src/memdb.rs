@@ -1,0 +1,251 @@
+//! `memdb`: an in-process relational store standing in for the paper's
+//! JDBC backends (MySQL/PostgreSQL). It executes a structured query spec
+//! covering the SQL subset a remote RDBMS would receive from the JDBC
+//! adapter: conjunctive predicates, projection, ordering and limits. The
+//! adapter renders the equivalent SQL *text* in the target dialect; this
+//! spec is the executable form.
+
+use crate::common::ColPredicate;
+use parking_lot::RwLock;
+use rcalcite_core::datum::Row;
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::types::TypeKind;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One relation: schema plus rows.
+#[derive(Debug, Clone)]
+pub struct MemRelation {
+    pub columns: Vec<(String, TypeKind)>,
+    pub rows: Vec<Row>,
+}
+
+impl MemRelation {
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+}
+
+/// The query spec the `jdbc` adapter ships to the database.
+#[derive(Debug, Clone, Default)]
+pub struct SqlQuerySpec {
+    pub table: String,
+    /// Conjunction of simple predicates (the WHERE clause).
+    pub predicates: Vec<ColPredicate>,
+    /// Output columns (base-table indexes); `None` = all.
+    pub projection: Option<Vec<usize>>,
+    /// ORDER BY: (base column, descending).
+    pub order: Vec<(usize, bool)>,
+    pub offset: Option<usize>,
+    pub fetch: Option<usize>,
+}
+
+impl SqlQuerySpec {
+    pub fn scan(table: impl Into<String>) -> SqlQuerySpec {
+        SqlQuerySpec {
+            table: table.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// The database: a set of named relations.
+#[derive(Default)]
+pub struct MemDb {
+    tables: RwLock<HashMap<String, MemRelation>>,
+}
+
+impl MemDb {
+    pub fn new() -> Arc<MemDb> {
+        Arc::new(MemDb::default())
+    }
+
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        columns: Vec<(String, TypeKind)>,
+        rows: Vec<Row>,
+    ) {
+        self.tables.write().insert(
+            name.into().to_ascii_lowercase(),
+            MemRelation { columns, rows },
+        );
+    }
+
+    pub fn insert(&self, table: &str, row: Row) -> Result<()> {
+        let mut tables = self.tables.write();
+        let rel = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{table}'")))?;
+        if row.len() != rel.columns.len() {
+            return Err(CalciteError::execution(format!(
+                "memdb: arity mismatch inserting into '{table}'"
+            )));
+        }
+        rel.rows.push(row);
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Option<MemRelation> {
+        self.tables.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn row_count(&self, name: &str) -> usize {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map(|t| t.rows.len())
+            .unwrap_or(0)
+    }
+
+    /// Executes a query spec, applying predicates and ordering on base
+    /// columns, then projecting.
+    pub fn execute(&self, q: &SqlQuerySpec) -> Result<Vec<Row>> {
+        let tables = self.tables.read();
+        let rel = tables
+            .get(&q.table.to_ascii_lowercase())
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{}'", q.table)))?;
+        let ncols = rel.columns.len();
+        for p in &q.predicates {
+            if p.col >= ncols {
+                return Err(CalciteError::execution(format!(
+                    "memdb: predicate column {} out of range for '{}'",
+                    p.col, q.table
+                )));
+            }
+        }
+        let mut rows: Vec<Row> = rel
+            .rows
+            .iter()
+            .filter(|r| q.predicates.iter().all(|p| p.matches(r)))
+            .cloned()
+            .collect();
+        if !q.order.is_empty() {
+            rows.sort_by(|a, b| {
+                for (col, desc) in &q.order {
+                    let ord = a[*col].cmp(&b[*col]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let start = q.offset.unwrap_or(0).min(rows.len());
+        let end = match q.fetch {
+            Some(f) => (start + f).min(rows.len()),
+            None => rows.len(),
+        };
+        let mut rows: Vec<Row> = rows.drain(start..end).collect();
+        if let Some(proj) = &q.projection {
+            rows = rows
+                .into_iter()
+                .map(|r| proj.iter().map(|i| r[*i].clone()).collect())
+                .collect();
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcalcite_core::datum::Datum;
+    use crate::common::CmpOp;
+
+    fn db() -> Arc<MemDb> {
+        let db = MemDb::new();
+        db.create_table(
+            "products",
+            vec![
+                ("productid".into(), TypeKind::Integer),
+                ("name".into(), TypeKind::Varchar),
+                ("price".into(), TypeKind::Double),
+            ],
+            vec![
+                vec![Datum::Int(1), Datum::str("anvil"), Datum::Double(10.0)],
+                vec![Datum::Int(2), Datum::str("rocket"), Datum::Double(100.0)],
+                vec![Datum::Int(3), Datum::str("rope"), Datum::Double(5.0)],
+            ],
+        );
+        db
+    }
+
+    #[test]
+    fn full_scan() {
+        let db = db();
+        let rows = db.execute(&SqlQuerySpec::scan("products")).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(db.row_count("products"), 3);
+    }
+
+    #[test]
+    fn filter_project_order_limit() {
+        let db = db();
+        let q = SqlQuerySpec {
+            table: "products".into(),
+            predicates: vec![ColPredicate::new(2, CmpOp::Ge, Datum::Double(6.0))],
+            projection: Some(vec![1]),
+            order: vec![(2, true)],
+            offset: None,
+            fetch: Some(1),
+        };
+        let rows = db.execute(&q).unwrap();
+        assert_eq!(rows, vec![vec![Datum::str("rocket")]]);
+    }
+
+    #[test]
+    fn offset_pagination() {
+        let db = db();
+        let q = SqlQuerySpec {
+            table: "products".into(),
+            order: vec![(0, false)],
+            offset: Some(1),
+            fetch: Some(1),
+            ..SqlQuerySpec::scan("products")
+        };
+        let rows = db.execute(&q).unwrap();
+        assert_eq!(rows[0][0], Datum::Int(2));
+    }
+
+    #[test]
+    fn insert_and_arity_check() {
+        let db = db();
+        db.insert(
+            "products",
+            vec![Datum::Int(4), Datum::str("tnt"), Datum::Double(50.0)],
+        )
+        .unwrap();
+        assert_eq!(db.row_count("products"), 4);
+        assert!(db.insert("products", vec![Datum::Int(5)]).is_err());
+        assert!(db.insert("missing", vec![]).is_err());
+    }
+
+    #[test]
+    fn unknown_table_and_bad_predicate() {
+        let db = db();
+        assert!(db.execute(&SqlQuerySpec::scan("missing")).is_err());
+        let q = SqlQuerySpec {
+            predicates: vec![ColPredicate::new(99, CmpOp::Eq, Datum::Int(1))],
+            ..SqlQuerySpec::scan("products")
+        };
+        assert!(db.execute(&q).is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let db = db();
+        let rel = db.table("products").unwrap();
+        assert_eq!(rel.column_index("NAME"), Some(1));
+        assert_eq!(rel.column_index("nope"), None);
+    }
+}

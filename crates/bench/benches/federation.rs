@@ -1,0 +1,74 @@
+//! Figure 2 federation bench: the cross-system join executed three ways —
+//! naive federation (pull everything, join in the engine over the logical
+//! plan), filter-pushed only, and the paper's chosen plan (filter + join
+//! pushed into the splunk convention). Also measures per-backend pushdown
+//! vs client-side evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcalcite_adapters::demo::build_federation;
+use std::hint::black_box;
+use std::time::Duration;
+
+const FIG2_SQL: &str = "SELECT o.rowtime, p.name \
+    FROM orders o JOIN mysql.products p ON o.productid = p.productid \
+    WHERE o.units > 45";
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_federation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for orders in [5_000usize, 20_000] {
+        let fed = build_federation(orders, 100);
+        let logical = fed.conn.parse_to_rel(FIG2_SQL).unwrap();
+        let chosen = fed.conn.optimize(&logical).unwrap();
+        let mut interp = rcalcite_core::exec::ExecContext::new();
+        rcalcite_enumerable::register_executors(&mut interp);
+
+        g.bench_with_input(
+            BenchmarkId::new("naive_federation", orders),
+            &logical,
+            |b, plan| b.iter(|| black_box(interp.execute_collect(plan).unwrap())),
+        );
+        let ctx = fed.conn.exec_context().clone();
+        g.bench_with_input(
+            BenchmarkId::new("join_in_splunk", orders),
+            &chosen,
+            |b, plan| b.iter(|| black_box(ctx.execute_collect(plan).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adapter_pushdown");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let fed = build_federation(20_000, 100);
+
+    // Selective filter on the log store: pushed vs interpreted.
+    let sql = "SELECT productid FROM orders WHERE units > 48";
+    let logical = fed.conn.parse_to_rel(sql).unwrap();
+    let physical = fed.conn.optimize(&logical).unwrap();
+    let mut interp = rcalcite_core::exec::ExecContext::new();
+    rcalcite_enumerable::register_executors(&mut interp);
+    g.bench_function("splunk_filter/client_side", |b| {
+        b.iter(|| black_box(interp.execute_collect(&logical).unwrap()))
+    });
+    let ctx = fed.conn.exec_context().clone();
+    g.bench_function("splunk_filter/pushed", |b| {
+        b.iter(|| black_box(ctx.execute_collect(&physical).unwrap()))
+    });
+
+    // Cassandra partition read: pushed vs full-scan-and-filter.
+    let sql = "SELECT ts, value FROM cass.readings WHERE device = 3 ORDER BY ts DESC LIMIT 8";
+    let logical = fed.conn.parse_to_rel(sql).unwrap();
+    let physical = fed.conn.optimize(&logical).unwrap();
+    g.bench_function("cassandra_topk/client_side", |b| {
+        b.iter(|| black_box(interp.execute_collect(&logical).unwrap()))
+    });
+    g.bench_function("cassandra_topk/pushed", |b| {
+        b.iter(|| black_box(ctx.execute_collect(&physical).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_pushdown);
+criterion_main!(benches);

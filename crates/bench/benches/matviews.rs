@@ -1,0 +1,104 @@
+//! Materialized-view benches (paper §6): execution time of an aggregate
+//! query answered from (a) the base fact table, (b) a substituted
+//! materialized view with rollup, (c) a lattice tile — "one of the most
+//! powerful techniques to accelerate query processing in data warehouses".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcalcite_core::catalog::{Catalog, MemTable, Schema, TableRef};
+use rcalcite_core::datum::Datum;
+use rcalcite_core::lattice::{Lattice, Measure};
+use rcalcite_core::mv::Materialization;
+use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+use rcalcite_sql::Connection;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn star_connection(n: usize) -> (Connection, Arc<MemTable>) {
+    let fact = MemTable::new(
+        RowTypeBuilder::new()
+            .add_not_null("product", TypeKind::Integer)
+            .add_not_null("region", TypeKind::Integer)
+            .add_not_null("units", TypeKind::Integer)
+            .build(),
+        (0..n as i64)
+            .map(|i| vec![Datum::Int(i % 100), Datum::Int(i % 8), Datum::Int(i % 20 + 1)])
+            .collect(),
+    );
+    let catalog = Catalog::new();
+    let s = Schema::new();
+    s.add_table("sales", fact.clone());
+    catalog.add_schema("mart", s);
+    let mut conn = Connection::new(catalog);
+    conn.add_rule(rcalcite_enumerable::implement_rule());
+    conn.register_executor(Arc::new(rcalcite_enumerable::EnumerableExecutor::new()));
+    (conn, fact)
+}
+
+const QUERY: &str = "SELECT region, COUNT(*) AS c, SUM(units) AS u \
+                     FROM mart.sales GROUP BY region";
+
+fn bench_matviews(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matviews");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [50_000usize, 200_000] {
+        // (a) base table.
+        let (conn, fact) = star_connection(n);
+        let base_plan = conn.optimize(&conn.parse_to_rel(QUERY).unwrap()).unwrap();
+        let ctx = conn.exec_context().clone();
+        g.bench_with_input(BenchmarkId::new("base_table", n), &base_plan, |b, p| {
+            b.iter(|| black_box(ctx.execute_collect(p).unwrap()))
+        });
+
+        // (b) substitution from a finer-grained materialized view.
+        let (conn, _) = star_connection(n);
+        let view_plan = conn
+            .parse_to_rel(
+                "SELECT product, region, COUNT(*) AS c, SUM(units) AS u \
+                 FROM mart.sales GROUP BY product, region",
+            )
+            .unwrap();
+        let physical = conn.optimize(&view_plan).unwrap();
+        let rows = conn.exec_context().execute_collect(&physical).unwrap();
+        let mv = MemTable::new(view_plan.row_type().clone(), rows);
+        conn.add_materialization(Materialization::new(
+            "by_product_region",
+            TableRef::new("mart", "by_product_region", mv),
+            view_plan,
+        ));
+        let mv_plan = conn.optimize(&conn.parse_to_rel(QUERY).unwrap()).unwrap();
+        let ctx = conn.exec_context().clone();
+        g.bench_with_input(BenchmarkId::new("view_substitution", n), &mv_plan, |b, p| {
+            b.iter(|| black_box(ctx.execute_collect(p).unwrap()))
+        });
+
+        // (c) exact lattice tile.
+        let (mut conn, fact2) = star_connection(n);
+        let _ = fact;
+        let fact_ref = TableRef::new("mart", "sales", fact2);
+        let mut lattice = Lattice::new(
+            "sales",
+            fact_ref,
+            vec![0, 1],
+            vec![Measure::count_star(), Measure::sum(2, "u")],
+        );
+        let dims: std::collections::BTreeSet<usize> = [1].into_iter().collect();
+        let tile_plan = lattice.tile_plan(&dims);
+        let tp = conn.optimize(&tile_plan).unwrap();
+        let tile_rows = conn.exec_context().execute_collect(&tp).unwrap();
+        let tile = MemTable::new(tile_plan.row_type().clone(), tile_rows);
+        lattice.add_tile(dims, TableRef::new("mart", "tile_region", tile));
+        conn.add_lattice(Arc::new(lattice));
+        let tile_query_plan = conn.optimize(&conn.parse_to_rel(QUERY).unwrap()).unwrap();
+        let ctx = conn.exec_context().clone();
+        g.bench_with_input(
+            BenchmarkId::new("lattice_tile", n),
+            &tile_query_plan,
+            |b, p| b.iter(|| black_box(ctx.execute_collect(p).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matviews);
+criterion_main!(benches);

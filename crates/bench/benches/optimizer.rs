@@ -1,0 +1,166 @@
+//! Optimizer benches (paper §6 claims):
+//! - `planners/*` — heuristic vs cost-based engines on join reordering
+//!   (plan quality is printed by `repro --planners`; this measures
+//!   planning time);
+//! - `metadata/*` — the metadata cache ablation ("a cache for metadata
+//!   results, which yields significant performance improvements");
+//! - `fig4/*` — execution time of the Figure 4 query before/after
+//!   FilterIntoJoinRule;
+//! - `e2e/*` — parse/validate/plan pipeline latency (Figure 1 path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcalcite_bench::{deep_plan, figure4_connection, join_chain, FIGURE4_SQL};
+use rcalcite_core::metadata::MetadataQuery;
+use rcalcite_core::planner::hep::HepPlanner;
+use rcalcite_core::planner::volcano::{FixpointMode, VolcanoPlanner};
+use rcalcite_core::rules::{default_logical_rules, join_exploration_rules};
+use rcalcite_core::traits::Convention;
+use std::hint::black_box;
+use std::time::Duration;
+
+
+fn bench_planners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planners");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [3usize, 4, 5] {
+        let (_catalog, plan) = join_chain(n, 10_000);
+        g.bench_with_input(BenchmarkId::new("hep", n), &plan, |b, plan| {
+            b.iter(|| {
+                let mq = MetadataQuery::standard();
+                let hep = HepPlanner::new(default_logical_rules());
+                black_box(hep.optimize_counted(plan, &mq))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("volcano_exhaustive", n), &plan, |b, plan| {
+            b.iter(|| {
+                let mq = MetadataQuery::standard();
+                let mut rules = default_logical_rules();
+                rules.extend(join_exploration_rules());
+                let mut v = VolcanoPlanner::new(rules);
+                v.add_rule(rcalcite_enumerable::implement_rule());
+                black_box(
+                    v.optimize_with_stats(plan, &Convention::enumerable(), &mq)
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("volcano_delta", n), &plan, |b, plan| {
+            b.iter(|| {
+                let mq = MetadataQuery::standard();
+                let mut rules = default_logical_rules();
+                rules.extend(join_exploration_rules());
+                let mut v = VolcanoPlanner::new(rules).with_mode(FixpointMode::CostThreshold {
+                    delta: 0.02,
+                    patience: 3,
+                });
+                v.add_rule(rcalcite_enumerable::implement_rule());
+                black_box(
+                    v.optimize_with_stats(plan, &Convention::enumerable(), &mq)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metadata");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for depth in [8usize, 16, 32] {
+        let plan = deep_plan(depth, 10_000);
+        g.bench_with_input(BenchmarkId::new("cache_on", depth), &plan, |b, plan| {
+            b.iter(|| {
+                let mq = MetadataQuery::standard();
+                // Ask the battery of metadata questions a planner asks.
+                black_box(mq.cumulative_cost(plan));
+                black_box(mq.row_count(plan));
+                black_box(mq.collations(plan));
+                black_box(mq.unique_keys(plan));
+                black_box(mq.cumulative_cost(plan))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cache_off", depth), &plan, |b, plan| {
+            b.iter(|| {
+                let mq = MetadataQuery::without_cache();
+                black_box(mq.cumulative_cost(plan));
+                black_box(mq.row_count(plan));
+                black_box(mq.collations(plan));
+                black_box(mq.unique_keys(plan));
+                black_box(mq.cumulative_cost(plan))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_filter_into_join");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for null_frac in [0.5f64, 0.9, 0.99] {
+        let conn = figure4_connection(50_000, 100, null_frac);
+        let logical = conn.parse_to_rel(FIGURE4_SQL).unwrap();
+        let physical = conn.optimize(&logical).unwrap();
+        let mut interp = rcalcite_core::exec::ExecContext::new();
+        rcalcite_enumerable::register_executors(&mut interp);
+
+        g.bench_with_input(
+            BenchmarkId::new("unoptimized", format!("{null_frac}")),
+            &logical,
+            |b, plan| b.iter(|| black_box(interp.execute_collect(plan).unwrap())),
+        );
+        let ctx = conn.exec_context().clone();
+        g.bench_with_input(
+            BenchmarkId::new("optimized", format!("{null_frac}")),
+            &physical,
+            |b, plan| b.iter(|| black_box(ctx.execute_collect(plan).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_pipeline");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let conn = figure4_connection(1_000, 50, 0.5);
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(rcalcite_sql::parse(FIGURE4_SQL).unwrap()))
+    });
+    g.bench_function("parse_validate_convert", |b| {
+        b.iter(|| black_box(conn.parse_to_rel(FIGURE4_SQL).unwrap()))
+    });
+    let logical = conn.parse_to_rel(FIGURE4_SQL).unwrap();
+    g.bench_function("optimize", |b| {
+        b.iter(|| black_box(conn.optimize(&logical).unwrap()))
+    });
+    g.bench_function("full_query", |b| {
+        b.iter(|| black_box(conn.query(FIGURE4_SQL).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_unparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unparse");
+    g.sample_size(30).measurement_time(Duration::from_secs(1));
+    let conn = figure4_connection(10, 5, 0.5);
+    let plan = conn
+        .parse_to_rel("SELECT name FROM products WHERE productid > 2 ORDER BY name LIMIT 5")
+        .unwrap();
+    g.bench_function("postgres", |b| {
+        b.iter(|| black_box(rcalcite_sql::to_sql(&plan, &rcalcite_sql::PostgresDialect).unwrap()))
+    });
+    g.bench_function("mysql", |b| {
+        b.iter(|| black_box(rcalcite_sql::to_sql(&plan, &rcalcite_sql::MySqlDialect).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planners,
+    bench_metadata,
+    bench_fig4,
+    bench_e2e,
+    bench_unparse
+);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Streaming benches (paper §7.2): throughput of the tumbling-window
+//! aggregation — batch replay through the SQL engine vs the incremental
+//! windowed aggregator — plus window assignment and the bounded
+//! stream-stream join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcalcite_core::rel::AggFunc;
+use rcalcite_streams::{
+    generate_orders, join_streams, orders_row_type, Assigner, ReplayStream, StreamAgg,
+    StreamJoinSpec, WindowedAggregator,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn stream_conn(n: usize) -> rcalcite_sql::Connection {
+    use rcalcite_core::catalog::{Catalog, Schema};
+    let catalog = Catalog::new();
+    let s = Schema::new();
+    s.add_table(
+        "orders",
+        ReplayStream::new(orders_row_type(), generate_orders(n, 10, 1_000)),
+    );
+    catalog.add_schema("sales", s);
+    let mut conn = rcalcite_sql::Connection::new(catalog);
+    conn.add_rule(rcalcite_enumerable::implement_rule());
+    conn.register_executor(Arc::new(rcalcite_enumerable::EnumerableExecutor::new()));
+    conn
+}
+
+const TUMBLE_SQL: &str = "SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS rowtime, \
+    productid, COUNT(*) AS c, SUM(units) AS units FROM orders \
+    GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productid";
+
+fn bench_tumbling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_tumble");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [10_000usize, 50_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let conn = stream_conn(n);
+        let plan = conn.optimize(&conn.parse_to_rel(TUMBLE_SQL).unwrap()).unwrap();
+        let ctx = conn.exec_context().clone();
+        g.bench_with_input(BenchmarkId::new("sql_batch_replay", n), &plan, |b, p| {
+            b.iter(|| black_box(ctx.execute_collect(p).unwrap()))
+        });
+
+        let events = generate_orders(n, 10, 1_000);
+        g.bench_with_input(BenchmarkId::new("incremental", n), &events, |b, ev| {
+            b.iter(|| {
+                let mut agg = WindowedAggregator::new(
+                    Assigner::Tumble { size: 3_600_000 },
+                    0,
+                    vec![1],
+                    vec![
+                        StreamAgg {
+                            func: AggFunc::Count,
+                            col: None,
+                        },
+                        StreamAgg {
+                            func: AggFunc::Sum,
+                            col: Some(2),
+                        },
+                    ],
+                );
+                black_box(agg.run_batch(ev).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_window_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_assignment");
+    g.sample_size(30).measurement_time(Duration::from_secs(1));
+    g.bench_function("tumble", |b| {
+        let a = Assigner::Tumble { size: 3_600_000 };
+        b.iter(|| {
+            for t in (0..10_000i64).map(|i| i * 997) {
+                black_box(a.windows_of(t).unwrap());
+            }
+        })
+    });
+    g.bench_function("hop_4x", |b| {
+        let a = Assigner::Hop {
+            slide: 900_000,
+            size: 3_600_000,
+        };
+        b.iter(|| {
+            for t in (0..10_000i64).map(|i| i * 997) {
+                black_box(a.windows_of(t).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_stream_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_join");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [10_000usize, 50_000] {
+        g.throughput(Throughput::Elements(2 * n as u64));
+        let orders = generate_orders(n, 20, 1_000);
+        let shipments: Vec<_> = orders
+            .iter()
+            .map(|o| {
+                vec![
+                    rcalcite_core::datum::Datum::Timestamp(
+                        o[0].as_millis().unwrap() + 500_000,
+                    ),
+                    o[1].clone(),
+                ]
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("windowed_1h", n),
+            &(orders, shipments),
+            |b, (o, s)| {
+                b.iter(|| {
+                    black_box(
+                        join_streams(
+                            o,
+                            s,
+                            StreamJoinSpec {
+                                left_time: 0,
+                                right_time: 0,
+                                left_key: 1,
+                                right_key: 1,
+                                lower: 0,
+                                upper: 3_600_000,
+                            },
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tumbling, bench_window_assignment, bench_stream_join);
+criterion_main!(benches);

@@ -1,0 +1,555 @@
+//! `RelBuilder`: the "built-in relational expressions builder interface"
+//! of paper §3, through which systems with their own query languages (Pig,
+//! dataframe APIs, ...) construct operator trees directly. The paper's
+//! running example is expressible verbatim:
+//!
+//! ```
+//! # use rcalcite_core::builder::RelBuilder;
+//! # use rcalcite_core::catalog::{Catalog, MemTable, Schema};
+//! # use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+//! # let catalog = Catalog::new();
+//! # let s = Schema::new();
+//! # s.add_table("employee_data", MemTable::new(RowTypeBuilder::new()
+//! #     .add_not_null("deptno", TypeKind::Integer)
+//! #     .add("sal", TypeKind::Double).build(), vec![]));
+//! # catalog.add_schema("hr", s);
+//! let node = RelBuilder::new(&catalog)
+//!     .scan("employee_data")
+//!     .aggregate_named(
+//!         &["deptno"],
+//!         vec![
+//!             RelBuilder::count(false, "c"),
+//!             RelBuilder::sum(false, "s", "sal"),
+//!         ],
+//!     )
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(node.row_type().field_names(), vec!["deptno", "c", "s"]);
+//! ```
+
+use crate::catalog::Catalog;
+use crate::datum::Row;
+use crate::error::{CalciteError, Result};
+use crate::rel::{self, AggCall, AggFunc, JoinKind, Rel};
+use crate::rex::RexNode;
+use crate::traits::{Collation, FieldCollation};
+use crate::types::RowType;
+
+/// Specification of one aggregate call, before resolution against the
+/// input row type.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    func: AggFunc,
+    distinct: bool,
+    name: String,
+    /// Column name argument; `None` for COUNT(*).
+    arg: Option<String>,
+}
+
+/// Fluent builder of relational operator trees. Fallible steps record
+/// their error and `build()` reports the first one, so chains stay clean.
+pub struct RelBuilder<'a> {
+    catalog: &'a Catalog,
+    stack: Vec<Rel>,
+    error: Option<CalciteError>,
+}
+
+impl<'a> RelBuilder<'a> {
+    pub fn new(catalog: &'a Catalog) -> RelBuilder<'a> {
+        RelBuilder {
+            catalog,
+            stack: vec![],
+            error: None,
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Aggregate call factories
+    // -------------------------------------------------------------
+
+    pub fn count(distinct: bool, name: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            distinct,
+            name: name.into(),
+            arg: None,
+        }
+    }
+
+    pub fn count_column(distinct: bool, name: impl Into<String>, col: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            distinct,
+            name: name.into(),
+            arg: Some(col.into()),
+        }
+    }
+
+    pub fn sum(distinct: bool, name: impl Into<String>, col: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Sum,
+            distinct,
+            name: name.into(),
+            arg: Some(col.into()),
+        }
+    }
+
+    pub fn min(name: impl Into<String>, col: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Min,
+            distinct: false,
+            name: name.into(),
+            arg: Some(col.into()),
+        }
+    }
+
+    pub fn max(name: impl Into<String>, col: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Max,
+            distinct: false,
+            name: name.into(),
+            arg: Some(col.into()),
+        }
+    }
+
+    pub fn avg(name: impl Into<String>, col: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Avg,
+            distinct: false,
+            name: name.into(),
+            arg: Some(col.into()),
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Stack inspection
+    // -------------------------------------------------------------
+
+    fn fail(mut self, e: CalciteError) -> Self {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+        self
+    }
+
+    /// Row type of the expression on top of the stack.
+    pub fn peek_row_type(&self) -> Option<RowType> {
+        self.stack.last().map(|r| r.row_type().clone())
+    }
+
+    /// A reference to a field of the top expression, by name.
+    pub fn field(&self, name: &str) -> Result<RexNode> {
+        let top = self
+            .stack
+            .last()
+            .ok_or_else(|| CalciteError::plan("builder stack is empty"))?;
+        let rt = top.row_type();
+        let idx = rt
+            .field_index(name)
+            .ok_or_else(|| CalciteError::validate(format!("field '{name}' not found in {rt}")))?;
+        Ok(RexNode::input(idx, rt.field(idx).ty.clone()))
+    }
+
+    /// A reference to the `i`th field of the top expression.
+    pub fn field_at(&self, i: usize) -> Result<RexNode> {
+        let top = self
+            .stack
+            .last()
+            .ok_or_else(|| CalciteError::plan("builder stack is empty"))?;
+        let rt = top.row_type();
+        if i >= rt.arity() {
+            return Err(CalciteError::validate(format!(
+                "field #{i} out of range for {rt}"
+            )));
+        }
+        Ok(RexNode::input(i, rt.field(i).ty.clone()))
+    }
+
+    /// A join-condition reference: field of the left (0) or right (1)
+    /// input, offset into the concatenated join row.
+    pub fn join_field(&self, side: usize, name: &str) -> Result<RexNode> {
+        if self.stack.len() < 2 {
+            return Err(CalciteError::plan("join_field needs two inputs on the stack"));
+        }
+        let left = &self.stack[self.stack.len() - 2];
+        let right = &self.stack[self.stack.len() - 1];
+        let (rel_, offset) = if side == 0 {
+            (left, 0)
+        } else {
+            (right, left.row_type().arity())
+        };
+        let rt = rel_.row_type();
+        let idx = rt
+            .field_index(name)
+            .ok_or_else(|| CalciteError::validate(format!("field '{name}' not found in {rt}")))?;
+        Ok(RexNode::input(offset + idx, rt.field(idx).ty.clone()))
+    }
+
+    // -------------------------------------------------------------
+    // Operators
+    // -------------------------------------------------------------
+
+    /// Pushes a scan of `[schema.]table`.
+    pub fn scan(mut self, name: &str) -> Self {
+        let parts: Vec<&str> = name.split('.').collect();
+        match self.catalog.resolve(&parts) {
+            Ok(t) => {
+                self.stack.push(rel::scan(t));
+                self
+            }
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// Pushes literal rows.
+    pub fn values(mut self, row_type: RowType, rows: Vec<Row>) -> Self {
+        self.stack.push(rel::values(row_type, rows));
+        self
+    }
+
+    pub fn filter(mut self, condition: RexNode) -> Self {
+        match self.stack.pop() {
+            Some(input) => {
+                self.stack.push(rel::filter(input, condition));
+                self
+            }
+            None => self.fail(CalciteError::plan("filter on empty stack")),
+        }
+    }
+
+    /// Filter built from a closure receiving `self` for field lookups.
+    pub fn filter_with(self, f: impl FnOnce(&Self) -> Result<RexNode>) -> Self {
+        match f(&self) {
+            Ok(cond) => self.filter(cond),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    pub fn project(mut self, exprs: Vec<RexNode>, names: Vec<String>) -> Self {
+        match self.stack.pop() {
+            Some(input) => {
+                self.stack.push(rel::project(input, exprs, names));
+                self
+            }
+            None => self.fail(CalciteError::plan("project on empty stack")),
+        }
+    }
+
+    /// Projects named columns of the top expression.
+    pub fn project_fields(self, names: &[&str]) -> Self {
+        let mut exprs = vec![];
+        let mut out_names = vec![];
+        for n in names {
+            match self.field(n) {
+                Ok(e) => {
+                    exprs.push(e);
+                    out_names.push(n.to_string());
+                }
+                Err(e) => return self.fail(e),
+            }
+        }
+        self.project(exprs, out_names)
+    }
+
+    /// Joins the top two expressions (left pushed first).
+    pub fn join(mut self, kind: JoinKind, condition: RexNode) -> Self {
+        if self.stack.len() < 2 {
+            return self.fail(CalciteError::plan("join needs two inputs on the stack"));
+        }
+        let right = self.stack.pop().unwrap();
+        let left = self.stack.pop().unwrap();
+        self.stack.push(rel::join(left, right, kind, condition));
+        self
+    }
+
+    /// Equi-join on same-named columns (the SQL `USING` form).
+    pub fn join_using(self, kind: JoinKind, columns: &[&str]) -> Self {
+        let mut conds = vec![];
+        for c in columns {
+            let l = match self.join_field(0, c) {
+                Ok(e) => e,
+                Err(e) => return self.fail(e),
+            };
+            let r = match self.join_field(1, c) {
+                Ok(e) => e,
+                Err(e) => return self.fail(e),
+            };
+            conds.push(l.eq(r));
+        }
+        self.join(kind, RexNode::and_all(conds))
+    }
+
+    /// Aggregate with group keys given as column indexes of the input.
+    pub fn aggregate(mut self, group: Vec<usize>, aggs: Vec<AggCall>) -> Self {
+        match self.stack.pop() {
+            Some(input) => {
+                self.stack.push(rel::aggregate(input, group, aggs));
+                self
+            }
+            None => self.fail(CalciteError::plan("aggregate on empty stack")),
+        }
+    }
+
+    /// Aggregate with named group keys and aggregate specs, mirroring the
+    /// paper's `builder.aggregate(builder.groupKey("deptno"), ...)`.
+    pub fn aggregate_named(mut self, group: &[&str], aggs: Vec<AggSpec>) -> Self {
+        let input = match self.stack.pop() {
+            Some(i) => i,
+            None => return self.fail(CalciteError::plan("aggregate on empty stack")),
+        };
+        let rt = input.row_type().clone();
+        let mut group_idx = vec![];
+        for g in group {
+            match rt.field_index(g) {
+                Some(i) => group_idx.push(i),
+                None => {
+                    return self.fail(CalciteError::validate(format!(
+                        "group key '{g}' not found in {rt}"
+                    )))
+                }
+            }
+        }
+        let mut calls = vec![];
+        for spec in aggs {
+            let args = match &spec.arg {
+                None => vec![],
+                Some(col) => match rt.field_index(col) {
+                    Some(i) => vec![i],
+                    None => {
+                        return self.fail(CalciteError::validate(format!(
+                            "aggregate argument '{col}' not found in {rt}"
+                        )))
+                    }
+                },
+            };
+            calls.push(AggCall::new(spec.func, args, spec.distinct, spec.name, &rt));
+        }
+        self.stack.push(rel::aggregate(input, group_idx, calls));
+        self
+    }
+
+    /// Sorts by named columns; prefix a name with `-` for descending.
+    pub fn sort_by(mut self, columns: &[&str]) -> Self {
+        let input = match self.stack.pop() {
+            Some(i) => i,
+            None => return self.fail(CalciteError::plan("sort on empty stack")),
+        };
+        let rt = input.row_type().clone();
+        let mut collation: Collation = vec![];
+        for c in columns {
+            let (name, desc) = match c.strip_prefix('-') {
+                Some(rest) => (rest, true),
+                None => (*c, false),
+            };
+            match rt.field_index(name) {
+                Some(i) => collation.push(if desc {
+                    FieldCollation::desc(i)
+                } else {
+                    FieldCollation::asc(i)
+                }),
+                None => {
+                    return self.fail(CalciteError::validate(format!(
+                        "sort key '{name}' not found in {rt}"
+                    )))
+                }
+            }
+        }
+        self.stack.push(rel::sort(input, collation));
+        self
+    }
+
+    pub fn sort(mut self, collation: Collation) -> Self {
+        match self.stack.pop() {
+            Some(input) => {
+                self.stack.push(rel::sort(input, collation));
+                self
+            }
+            None => self.fail(CalciteError::plan("sort on empty stack")),
+        }
+    }
+
+    pub fn limit(mut self, offset: Option<usize>, fetch: Option<usize>) -> Self {
+        match self.stack.pop() {
+            Some(input) => {
+                self.stack.push(rel::sort_limit(input, vec![], offset, fetch));
+                self
+            }
+            None => self.fail(CalciteError::plan("limit on empty stack")),
+        }
+    }
+
+    /// Combines the top `n` expressions with UNION \[ALL\].
+    pub fn union(mut self, all: bool, n: usize) -> Self {
+        let have = self.stack.len();
+        if have < n || n < 2 {
+            return self.fail(CalciteError::plan(format!(
+                "union needs {n} inputs, stack has {have}"
+            )));
+        }
+        let inputs = self.stack.split_off(self.stack.len() - n);
+        self.stack.push(rel::union(inputs, all));
+        self
+    }
+
+    /// Marks the top expression as a stream delta (STREAM keyword, §7.2).
+    pub fn delta(mut self) -> Self {
+        match self.stack.pop() {
+            Some(input) => {
+                self.stack.push(rel::delta(input));
+                self
+            }
+            None => self.fail(CalciteError::plan("delta on empty stack")),
+        }
+    }
+
+    /// Pops the finished expression.
+    pub fn build(mut self) -> Result<Rel> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.stack
+            .pop()
+            .ok_or_else(|| CalciteError::plan("builder stack is empty at build()"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, Schema};
+    use crate::datum::Datum;
+    use crate::rel::RelKind;
+    use crate::types::{RowTypeBuilder, TypeKind};
+
+    fn catalog() -> std::sync::Arc<Catalog> {
+        let catalog = Catalog::new();
+        let s = Schema::new();
+        s.add_table(
+            "employee_data",
+            MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("deptno", TypeKind::Integer)
+                    .add("sal", TypeKind::Double)
+                    .build(),
+                vec![
+                    vec![Datum::Int(10), Datum::Double(100.0)],
+                    vec![Datum::Int(10), Datum::Double(200.0)],
+                    vec![Datum::Int(20), Datum::Double(300.0)],
+                ],
+            ),
+        );
+        s.add_table(
+            "dept",
+            MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("deptno", TypeKind::Integer)
+                    .add("name", TypeKind::Varchar)
+                    .build(),
+                vec![],
+            ),
+        );
+        catalog.add_schema("hr", s);
+        catalog
+    }
+
+    #[test]
+    fn paper_pig_example() {
+        // The §3 Pig script: GROUP emp BY deptno; COUNT(sal), SUM(sal).
+        let cat = catalog();
+        let node = RelBuilder::new(&cat)
+            .scan("employee_data")
+            .aggregate_named(
+                &["deptno"],
+                vec![
+                    RelBuilder::count(false, "c"),
+                    RelBuilder::sum(false, "s", "sal"),
+                ],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(node.kind(), RelKind::Aggregate);
+        assert_eq!(node.row_type().field_names(), vec!["deptno", "c", "s"]);
+    }
+
+    #[test]
+    fn filter_project_chain() {
+        let cat = catalog();
+        let b = RelBuilder::new(&cat).scan("employee_data");
+        let node = b
+            .filter_with(|b| Ok(b.field("sal")?.gt(RexNode::lit_double(150.0))))
+            .project_fields(&["deptno"])
+            .build()
+            .unwrap();
+        assert_eq!(node.kind(), RelKind::Project);
+        assert_eq!(node.input(0).kind(), RelKind::Filter);
+        assert_eq!(node.row_type().arity(), 1);
+    }
+
+    #[test]
+    fn join_using_builds_equi_condition() {
+        let cat = catalog();
+        let node = RelBuilder::new(&cat)
+            .scan("employee_data")
+            .scan("dept")
+            .join_using(JoinKind::Inner, &["deptno"])
+            .build()
+            .unwrap();
+        assert_eq!(node.kind(), RelKind::Join);
+        assert_eq!(node.row_type().arity(), 4);
+    }
+
+    #[test]
+    fn unknown_table_surfaces_at_build() {
+        let cat = catalog();
+        let r = RelBuilder::new(&cat).scan("nope").build();
+        assert!(matches!(r, Err(CalciteError::Validate(_))));
+    }
+
+    #[test]
+    fn unknown_field_surfaces_at_build() {
+        let cat = catalog();
+        let r = RelBuilder::new(&cat)
+            .scan("employee_data")
+            .project_fields(&["nope"])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let cat = catalog();
+        let r = RelBuilder::new(&cat)
+            .scan("missing_table")
+            .project_fields(&["also_missing"])
+            .build();
+        match r {
+            Err(CalciteError::Validate(msg)) => assert!(msg.contains("missing_table")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let cat = catalog();
+        let node = RelBuilder::new(&cat)
+            .scan("employee_data")
+            .sort_by(&["-sal"])
+            .limit(None, Some(2))
+            .build()
+            .unwrap();
+        assert_eq!(node.kind(), RelKind::Sort);
+    }
+
+    #[test]
+    fn union_of_two_scans() {
+        let cat = catalog();
+        let node = RelBuilder::new(&cat)
+            .scan("employee_data")
+            .scan("employee_data")
+            .union(true, 2)
+            .build()
+            .unwrap();
+        assert_eq!(node.kind(), RelKind::Union);
+        assert_eq!(node.inputs.len(), 2);
+    }
+}

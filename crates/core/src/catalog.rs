@@ -1,0 +1,383 @@
+//! The catalog SPI: tables, schemas and statistics. Calcite "provides a
+//! mechanism to define table schemas and views in external storage engines
+//! via adapters" (§3) — this module is that mechanism's core interface.
+
+use crate::datum::Row;
+use crate::error::{CalciteError, Result};
+use crate::traits::{Collation, Convention};
+use crate::types::RowType;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Statistics a table exposes to the optimizer. Per §6, "for many
+/// \[systems\], it is sufficient to provide statistics about their input
+/// data ... and Calcite will do the rest of the work".
+#[derive(Debug, Clone)]
+pub struct Statistic {
+    /// Estimated number of rows.
+    pub row_count: f64,
+    /// Sets of columns that are unique keys.
+    pub keys: Vec<Vec<usize>>,
+    /// Orderings the physical data already has (lets the optimizer drop
+    /// redundant sorts).
+    pub collations: Vec<Collation>,
+}
+
+impl Statistic {
+    pub fn unknown() -> Statistic {
+        Statistic {
+            row_count: 100.0,
+            keys: vec![],
+            collations: vec![],
+        }
+    }
+
+    pub fn of_rows(row_count: f64) -> Statistic {
+        Statistic {
+            row_count,
+            keys: vec![],
+            collations: vec![],
+        }
+    }
+
+    pub fn with_key(mut self, key: Vec<usize>) -> Statistic {
+        self.keys.push(key);
+        self
+    }
+
+    pub fn with_collation(mut self, collation: Collation) -> Statistic {
+        self.collations.push(collation);
+        self
+    }
+}
+
+/// The minimal interface an adapter must implement: expose a row type and a
+/// full table scan (§5: "If an adapter implements the table scan operator,
+/// the Calcite optimizer is then able to use client-side operators ... to
+/// execute arbitrary SQL queries against these tables").
+pub trait Table: Send + Sync {
+    fn row_type(&self) -> RowType;
+
+    fn statistic(&self) -> Statistic {
+        Statistic::unknown()
+    }
+
+    /// Enumerates all rows. Backends with richer access paths expose them
+    /// through adapter rules instead.
+    fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>>;
+
+    /// The calling convention in which scans of this table naturally start.
+    /// Adapter tables return their backend convention; plain tables return
+    /// the logical convention.
+    fn convention(&self) -> Convention {
+        Convention::none()
+    }
+
+    /// Whether this table is a stream (time-ordered, unbounded; §7.2).
+    fn is_stream(&self) -> bool {
+        false
+    }
+
+    /// Downcast hook for the built-in writable store; lets DML (INSERT)
+    /// reach `MemTable` storage without `Any` plumbing. Adapter tables are
+    /// read-only and keep the default.
+    fn as_mem_table(&self) -> Option<&MemTable> {
+        None
+    }
+}
+
+/// A resolved reference to a table in the catalog; carried by scan nodes.
+#[derive(Clone)]
+pub struct TableRef {
+    pub schema: String,
+    pub name: String,
+    pub table: Arc<dyn Table>,
+}
+
+impl TableRef {
+    pub fn new(schema: impl Into<String>, name: impl Into<String>, table: Arc<dyn Table>) -> Self {
+        TableRef {
+            schema: schema.into(),
+            name: name.into(),
+            table,
+        }
+    }
+
+    pub fn qualified_name(&self) -> String {
+        format!("{}.{}", self.schema, self.name)
+    }
+}
+
+impl fmt::Debug for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TableRef({})", self.qualified_name())
+    }
+}
+
+impl PartialEq for TableRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.name == other.name
+            && Arc::ptr_eq(
+                &(self.table.clone() as Arc<dyn Table>),
+                &(other.table.clone() as Arc<dyn Table>),
+            )
+    }
+}
+
+/// An in-memory table: the simplest `Table` implementation, used by tests,
+/// examples and as the backing store for materialized views.
+pub struct MemTable {
+    row_type: RowType,
+    rows: RwLock<Vec<Row>>,
+    statistic: RwLock<Option<Statistic>>,
+}
+
+impl MemTable {
+    pub fn new(row_type: RowType, rows: Vec<Row>) -> Arc<MemTable> {
+        Arc::new(MemTable {
+            row_type,
+            rows: RwLock::new(rows),
+            statistic: RwLock::new(None),
+        })
+    }
+
+    pub fn with_statistic(self: Arc<Self>, s: Statistic) -> Arc<Self> {
+        *self.statistic.write() = Some(s);
+        self
+    }
+
+    pub fn rows(&self) -> Vec<Row> {
+        self.rows.read().clone()
+    }
+
+    pub fn insert(&self, row: Row) {
+        self.rows.write().push(row);
+    }
+
+    pub fn replace_all(&self, rows: Vec<Row>) {
+        *self.rows.write() = rows;
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.read().is_empty()
+    }
+}
+
+impl Table for MemTable {
+    fn row_type(&self) -> RowType {
+        self.row_type.clone()
+    }
+
+    fn statistic(&self) -> Statistic {
+        self.statistic
+            .read()
+            .clone()
+            .unwrap_or_else(|| Statistic::of_rows(self.rows.read().len() as f64))
+    }
+
+    fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
+        Ok(Box::new(self.rows.read().clone().into_iter()))
+    }
+
+    fn as_mem_table(&self) -> Option<&MemTable> {
+        Some(self)
+    }
+}
+
+/// A named collection of tables, typically produced by an adapter's schema
+/// factory from a model (§5, Figure 3). Interior-mutable so DDL (§9 future
+/// work, implemented here) can add and drop tables on a live catalog.
+#[derive(Default)]
+pub struct Schema {
+    tables: RwLock<HashMap<String, Arc<dyn Table>>>,
+}
+
+impl Schema {
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    pub fn add_table(&self, name: impl Into<String>, table: Arc<dyn Table>) {
+        self.tables
+            .write()
+            .insert(name.into().to_ascii_lowercase(), table);
+    }
+
+    /// Removes a table; returns whether it existed.
+    pub fn remove_table(&self, name: &str) -> bool {
+        self.tables.write().remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    pub fn table(&self, name: &str) -> Option<Arc<dyn Table>> {
+        self.tables.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// The root catalog: a set of named schemas plus a default search schema.
+#[derive(Default)]
+pub struct Catalog {
+    schemas: RwLock<HashMap<String, Arc<Schema>>>,
+    default_schema: RwLock<Option<String>>,
+}
+
+impl Catalog {
+    pub fn new() -> Arc<Catalog> {
+        Arc::new(Catalog::default())
+    }
+
+    pub fn add_schema(&self, name: impl Into<String>, schema: Schema) {
+        let name = name.into().to_ascii_lowercase();
+        let mut schemas = self.schemas.write();
+        let is_first = schemas.is_empty();
+        schemas.insert(name.clone(), Arc::new(schema));
+        if is_first {
+            *self.default_schema.write() = Some(name);
+        }
+    }
+
+    pub fn set_default_schema(&self, name: impl Into<String>) {
+        *self.default_schema.write() = Some(name.into().to_ascii_lowercase());
+    }
+
+    pub fn default_schema_name(&self) -> Option<String> {
+        self.default_schema.read().clone()
+    }
+
+    pub fn schema(&self, name: &str) -> Option<Arc<Schema>> {
+        self.schemas.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    pub fn schema_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.schemas.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Resolves `[schema.]table` against the default schema.
+    pub fn resolve(&self, parts: &[&str]) -> Result<TableRef> {
+        match parts {
+            [table] => {
+                let default = self.default_schema.read().clone().ok_or_else(|| {
+                    CalciteError::validate(format!(
+                        "no default schema while resolving table '{table}'"
+                    ))
+                })?;
+                self.resolve(&[&default, table])
+            }
+            [schema, table] => {
+                let s = self.schema(schema).ok_or_else(|| {
+                    CalciteError::validate(format!("schema '{schema}' not found"))
+                })?;
+                let t = s.table(table).ok_or_else(|| {
+                    CalciteError::validate(format!("table '{schema}.{table}' not found"))
+                })?;
+                Ok(TableRef::new(
+                    schema.to_ascii_lowercase(),
+                    table.to_ascii_lowercase(),
+                    t,
+                ))
+            }
+            _ => Err(CalciteError::validate(format!(
+                "cannot resolve table name {:?}",
+                parts
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::Datum;
+    use crate::types::{RowTypeBuilder, TypeKind};
+
+    fn emp_table() -> Arc<MemTable> {
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("deptno", TypeKind::Integer)
+                .add("sal", TypeKind::Double)
+                .build(),
+            vec![
+                vec![Datum::Int(10), Datum::Double(1000.0)],
+                vec![Datum::Int(20), Datum::Double(2000.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn mem_table_scan_and_stats() {
+        let t = emp_table();
+        let rows: Vec<Row> = t.scan().unwrap().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(t.statistic().row_count, 2.0);
+        t.insert(vec![Datum::Int(30), Datum::Double(3000.0)]);
+        assert_eq!(t.statistic().row_count, 3.0);
+    }
+
+    #[test]
+    fn catalog_resolution() {
+        let cat = Catalog::new();
+        let s = Schema::new();
+        s.add_table("emp", emp_table());
+        cat.add_schema("hr", s);
+
+        // Qualified.
+        let r = cat.resolve(&["hr", "emp"]).unwrap();
+        assert_eq!(r.qualified_name(), "hr.emp");
+        // Unqualified falls back to the default (first) schema.
+        let r = cat.resolve(&["emp"]).unwrap();
+        assert_eq!(r.schema, "hr");
+        // Case-insensitive.
+        let r = cat.resolve(&["HR", "EMP"]).unwrap();
+        assert_eq!(r.name, "emp");
+    }
+
+    #[test]
+    fn catalog_errors() {
+        let cat = Catalog::new();
+        assert!(cat.resolve(&["nope"]).is_err());
+        let s = Schema::new();
+        s.add_table("emp", emp_table());
+        cat.add_schema("hr", s);
+        assert!(cat.resolve(&["hr", "nothere"]).is_err());
+        assert!(cat.resolve(&["badschema", "emp"]).is_err());
+    }
+
+    #[test]
+    fn default_schema_switch() {
+        let cat = Catalog::new();
+        let a = Schema::new();
+        a.add_table("t", emp_table());
+        cat.add_schema("a", a);
+        let b = Schema::new();
+        b.add_table("u", emp_table());
+        cat.add_schema("b", b);
+        assert!(cat.resolve(&["t"]).is_ok());
+        cat.set_default_schema("b");
+        assert!(cat.resolve(&["u"]).is_ok());
+        assert!(cat.resolve(&["t"]).is_err());
+    }
+
+    #[test]
+    fn statistic_builders() {
+        let s = Statistic::of_rows(50.0)
+            .with_key(vec![0])
+            .with_collation(vec![crate::traits::FieldCollation::asc(1)]);
+        assert_eq!(s.row_count, 50.0);
+        assert_eq!(s.keys, vec![vec![0]]);
+        assert_eq!(s.collations.len(), 1);
+    }
+}

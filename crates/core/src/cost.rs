@@ -1,0 +1,188 @@
+//! Plan cost. Per §6, "the default cost function implementation combines
+//! estimations for CPU, IO, and memory resources used by a given
+//! expression"; the cost model is pluggable.
+
+use crate::traits::Convention;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A resource-vector cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cost {
+    /// Estimated output row count (tie-breaking component, as in Volcano).
+    pub rows: f64,
+    /// CPU work units.
+    pub cpu: f64,
+    /// IO transfer units (dominates when rows cross engine boundaries).
+    pub io: f64,
+    /// Peak memory units.
+    pub memory: f64,
+}
+
+impl Cost {
+    pub const ZERO: Cost = Cost {
+        rows: 0.0,
+        cpu: 0.0,
+        io: 0.0,
+        memory: 0.0,
+    };
+
+    pub fn new(rows: f64, cpu: f64, io: f64, memory: f64) -> Cost {
+        Cost {
+            rows,
+            cpu,
+            io,
+            memory,
+        }
+    }
+
+    pub fn infinite() -> Cost {
+        Cost {
+            rows: f64::INFINITY,
+            cpu: f64::INFINITY,
+            io: f64::INFINITY,
+            memory: f64::INFINITY,
+        }
+    }
+
+    pub fn is_infinite(&self) -> bool {
+        !self.cpu.is_finite() || !self.io.is_finite()
+    }
+
+    pub fn plus(&self, other: &Cost) -> Cost {
+        Cost {
+            rows: self.rows + other.rows,
+            cpu: self.cpu + other.cpu,
+            io: self.io + other.io,
+            memory: self.memory + other.memory,
+        }
+    }
+
+    pub fn times(&self, factor: f64) -> Cost {
+        Cost {
+            rows: self.rows * factor,
+            cpu: self.cpu * factor,
+            io: self.io * factor,
+            memory: self.memory * factor,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{rows: {:.1}, cpu: {:.1}, io: {:.1}, mem: {:.1}}}",
+            self.rows, self.cpu, self.io, self.memory
+        )
+    }
+}
+
+/// Pluggable comparison of costs (§6: "Users can add ... cost models").
+pub trait CostModel: Send + Sync {
+    /// Collapses a cost vector to a comparable scalar.
+    fn weigh(&self, cost: &Cost) -> f64;
+
+    /// Relative per-row execution cost of a convention; lets systems teach
+    /// the optimizer that a backend executes its native operators faster
+    /// (or slower) than the in-process engine.
+    fn convention_factor(&self, _convention: &Convention) -> f64 {
+        1.0
+    }
+
+    /// Per-row cost of shipping rows across a convention boundary.
+    fn transfer_factor(&self) -> f64 {
+        1.0
+    }
+
+    fn is_cheaper(&self, a: &Cost, b: &Cost) -> bool {
+        self.weigh(a) < self.weigh(b) - 1e-9
+    }
+}
+
+/// Default cost model: weighted sum with IO dominating CPU.
+pub struct DefaultCostModel {
+    pub cpu_weight: f64,
+    pub io_weight: f64,
+    pub memory_weight: f64,
+    factors: HashMap<Convention, f64>,
+}
+
+impl DefaultCostModel {
+    pub fn new() -> DefaultCostModel {
+        DefaultCostModel {
+            cpu_weight: 1.0,
+            io_weight: 4.0,
+            memory_weight: 0.5,
+            factors: HashMap::new(),
+        }
+    }
+
+    /// Registers a convention-specific execution-cost factor.
+    pub fn with_convention_factor(mut self, conv: Convention, factor: f64) -> Self {
+        self.factors.insert(conv, factor);
+        self
+    }
+}
+
+impl Default for DefaultCostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostModel for DefaultCostModel {
+    fn weigh(&self, cost: &Cost) -> f64 {
+        cost.cpu * self.cpu_weight
+            + cost.io * self.io_weight
+            + cost.memory * self.memory_weight
+            + cost.rows * 1e-6 // tie-break toward smaller outputs
+    }
+
+    fn convention_factor(&self, convention: &Convention) -> f64 {
+        self.factors.get(convention).copied().unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cost::new(10.0, 5.0, 2.0, 1.0);
+        let b = Cost::new(1.0, 1.0, 1.0, 1.0);
+        let s = a.plus(&b);
+        assert_eq!(s.rows, 11.0);
+        assert_eq!(s.cpu, 6.0);
+        let t = a.times(2.0);
+        assert_eq!(t.io, 4.0);
+    }
+
+    #[test]
+    fn infinite_cost_always_loses() {
+        let m = DefaultCostModel::new();
+        let inf = Cost::infinite();
+        let fin = Cost::new(1e9, 1e9, 1e9, 1e9);
+        assert!(m.is_cheaper(&fin, &inf));
+        assert!(!m.is_cheaper(&inf, &fin));
+        assert!(inf.is_infinite());
+        assert!(!fin.is_infinite());
+    }
+
+    #[test]
+    fn io_dominates_cpu() {
+        let m = DefaultCostModel::new();
+        let io_heavy = Cost::new(0.0, 0.0, 10.0, 0.0);
+        let cpu_heavy = Cost::new(0.0, 30.0, 0.0, 0.0);
+        assert!(m.is_cheaper(&cpu_heavy, &io_heavy));
+    }
+
+    #[test]
+    fn convention_factors() {
+        let splunk = Convention::new("splunk");
+        let m = DefaultCostModel::new().with_convention_factor(splunk.clone(), 0.5);
+        assert_eq!(m.convention_factor(&splunk), 0.5);
+        assert_eq!(m.convention_factor(&Convention::enumerable()), 1.0);
+    }
+}

@@ -1,0 +1,473 @@
+//! Runtime values. `Datum` is the single value representation flowing
+//! through every convention's executor, and the representation of literals
+//! inside row expressions.
+
+use crate::types::{RelType, TypeKind};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Extension point for values whose representation core does not know
+/// (e.g. GEOMETRY, provided by `rcalcite-geo`).
+pub trait ExtValue: fmt::Debug + fmt::Display + Send + Sync {
+    /// Name of the extension type ("geometry", ...).
+    fn type_name(&self) -> &'static str;
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Equality against another extension value.
+    fn ext_eq(&self, other: &dyn ExtValue) -> bool;
+}
+
+/// A single SQL value. `Null` is typed dynamically: the static type lives
+/// in the enclosing expression.
+#[derive(Clone, Debug)]
+pub enum Datum {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Str(Arc<str>),
+    /// Days since epoch.
+    Date(i32),
+    /// Milliseconds since epoch.
+    Timestamp(i64),
+    /// Duration in milliseconds.
+    Interval(i64),
+    Array(Arc<Vec<Datum>>),
+    Map(Arc<BTreeMap<String, Datum>>),
+    Ext(Arc<dyn ExtValue>),
+}
+
+/// A materialized tuple.
+pub type Row = Vec<Datum>;
+
+impl Datum {
+    pub fn str(s: impl AsRef<str>) -> Datum {
+        Datum::Str(Arc::from(s.as_ref()))
+    }
+
+    pub fn array(items: Vec<Datum>) -> Datum {
+        Datum::Array(Arc::new(items))
+    }
+
+    pub fn map(entries: impl IntoIterator<Item = (String, Datum)>) -> Datum {
+        Datum::Map(Arc::new(entries.into_iter().collect()))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            Datum::Double(d) if d.fract() == 0.0 => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Milliseconds-since-epoch view of temporal values.
+    pub fn as_millis(&self) -> Option<i64> {
+        match self {
+            Datum::Timestamp(ms) | Datum::Interval(ms) => Some(*ms),
+            Datum::Date(d) => Some(*d as i64 * 86_400_000),
+            Datum::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The dynamic kind of this value, used for runtime type checks and
+    /// coercion of `ANY`-typed expressions.
+    pub fn kind(&self) -> TypeKind {
+        match self {
+            Datum::Null => TypeKind::Null,
+            Datum::Bool(_) => TypeKind::Boolean,
+            Datum::Int(_) => TypeKind::Integer,
+            Datum::Double(_) => TypeKind::Double,
+            Datum::Str(_) => TypeKind::Varchar,
+            Datum::Date(_) => TypeKind::Date,
+            Datum::Timestamp(_) => TypeKind::Timestamp,
+            Datum::Interval(_) => TypeKind::Interval,
+            Datum::Array(_) => TypeKind::Array(Box::new(RelType::nullable(TypeKind::Any))),
+            Datum::Map(_) => TypeKind::Map(
+                Box::new(RelType::not_null(TypeKind::Varchar)),
+                Box::new(RelType::nullable(TypeKind::Any)),
+            ),
+            Datum::Ext(_) => TypeKind::Geometry,
+        }
+    }
+
+    /// Rank used to totally order values of different kinds (NULL first,
+    /// matching `NULLS FIRST` semantics of the default collation).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Datum::Null => 0,
+            Datum::Bool(_) => 1,
+            Datum::Int(_) | Datum::Double(_) => 2,
+            Datum::Str(_) => 3,
+            Datum::Date(_) => 4,
+            Datum::Timestamp(_) => 5,
+            Datum::Interval(_) => 6,
+            Datum::Array(_) => 7,
+            Datum::Map(_) => 8,
+            Datum::Ext(_) => 9,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Datum {}
+
+impl PartialOrd for Datum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Datum {
+    /// Total order over all datums: NULL sorts first; numerics compare by
+    /// value across Int/Double; incomparable kinds order by type rank.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Interval(a), Interval(b)) => a.cmp(b),
+            (Array(a), Array(b)) => a.cmp(b),
+            (Map(a), Map(b)) => a.cmp(b),
+            (Ext(a), Ext(b)) => {
+                if a.ext_eq(b.as_ref()) {
+                    Ordering::Equal
+                } else {
+                    a.to_string().cmp(&b.to_string())
+                }
+            }
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Datum {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Datum::Null => 0u8.hash(state),
+            Datum::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Double that compare equal must hash equal; hash all
+            // numerics through the f64 bit pattern of their value.
+            Datum::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Datum::Double(d) => {
+                2u8.hash(state);
+                d.to_bits().hash(state);
+            }
+            Datum::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Datum::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+            Datum::Timestamp(t) => {
+                5u8.hash(state);
+                t.hash(state);
+            }
+            Datum::Interval(i) => {
+                6u8.hash(state);
+                i.hash(state);
+            }
+            Datum::Array(a) => {
+                7u8.hash(state);
+                a.hash(state);
+            }
+            Datum::Map(m) => {
+                8u8.hash(state);
+                for (k, v) in m.iter() {
+                    k.hash(state);
+                    v.hash(state);
+                }
+            }
+            Datum::Ext(e) => {
+                9u8.hash(state);
+                e.to_string().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    write!(f, "{:.1}", d)
+                } else {
+                    write!(f, "{d}")
+                }
+            }
+            Datum::Str(s) => write!(f, "{s}"),
+            Datum::Date(d) => write!(f, "{}", format_date(*d)),
+            Datum::Timestamp(ms) => write!(f, "{}", format_timestamp(*ms)),
+            Datum::Interval(ms) => write!(f, "INTERVAL {ms}ms"),
+            Datum::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Datum::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Datum::Ext(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Days-since-epoch to `YYYY-MM-DD` (proleptic Gregorian).
+pub fn format_date(epoch_days: i32) -> String {
+    let (y, m, d) = civil_from_days(epoch_days as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Milliseconds-since-epoch to `YYYY-MM-DD HH:MM:SS[.mmm]`.
+pub fn format_timestamp(ms: i64) -> String {
+    let days = ms.div_euclid(86_400_000);
+    let rem = ms.rem_euclid(86_400_000);
+    let (y, mo, d) = civil_from_days(days);
+    let s = rem / 1000;
+    let (h, mi, se) = (s / 3600, (s % 3600) / 60, s % 60);
+    let millis = rem % 1000;
+    if millis == 0 {
+        format!("{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{se:02}")
+    } else {
+        format!("{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{se:02}.{millis:03}")
+    }
+}
+
+/// `YYYY-MM-DD` to days since epoch. Returns `None` on malformed input.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let m: i64 = it.next()?.parse().ok()?;
+    let d: i64 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d) as i32)
+}
+
+/// `YYYY-MM-DD[ HH:MM[:SS[.mmm]]]` to ms since epoch.
+pub fn parse_timestamp(s: &str) -> Option<i64> {
+    let (date_part, time_part) = match s.find(' ') {
+        Some(i) => (&s[..i], Some(&s[i + 1..])),
+        None => (s, None),
+    };
+    let days = parse_date(date_part)? as i64;
+    let mut ms = days * 86_400_000;
+    if let Some(t) = time_part {
+        let (hms, frac) = match t.find('.') {
+            Some(i) => (&t[..i], Some(&t[i + 1..])),
+            None => (t, None),
+        };
+        let mut it = hms.split(':');
+        let h: i64 = it.next()?.parse().ok()?;
+        let mi: i64 = it.next()?.parse().ok()?;
+        let se: i64 = it.next().map(|x| x.parse().ok()).unwrap_or(Some(0))?;
+        if h > 23 || mi > 59 || se > 59 {
+            return None;
+        }
+        ms += (h * 3600 + mi * 60 + se) * 1000;
+        if let Some(fr) = frac {
+            let padded = format!("{:0<3}", fr);
+            ms += padded[..3].parse::<i64>().ok()?;
+        }
+    }
+    Some(ms)
+}
+
+// Howard Hinnant's civil-days algorithms.
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(d: &Datum) -> u64 {
+        let mut h = DefaultHasher::new();
+        d.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn cross_numeric_equality_and_hash() {
+        let i = Datum::Int(42);
+        let d = Datum::Double(42.0);
+        assert_eq!(i, d);
+        assert_eq!(hash_of(&i), hash_of(&d));
+        assert_ne!(Datum::Int(42), Datum::Double(42.5));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut v = vec![Datum::Int(1), Datum::Null, Datum::Int(-5)];
+        v.sort();
+        assert_eq!(v[0], Datum::Null);
+        assert_eq!(v[1], Datum::Int(-5));
+    }
+
+    #[test]
+    fn sql_cmp_is_three_valued() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert_eq!(
+            Datum::Int(1).sql_cmp(&Datum::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn date_round_trip() {
+        for s in ["1970-01-01", "2018-06-10", "1969-12-31", "2000-02-29"] {
+            let d = parse_date(s).unwrap();
+            assert_eq!(format_date(d), s);
+        }
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert!(parse_date("not-a-date").is_none());
+        assert!(parse_date("1970-13-01").is_none());
+    }
+
+    #[test]
+    fn timestamp_round_trip() {
+        let ms = parse_timestamp("2018-06-10 12:30:45").unwrap();
+        assert_eq!(format_timestamp(ms), "2018-06-10 12:30:45");
+        let ms = parse_timestamp("2018-06-10 12:30:45.250").unwrap();
+        assert_eq!(format_timestamp(ms), "2018-06-10 12:30:45.250");
+        assert_eq!(parse_timestamp("1970-01-01 00:00:00"), Some(0));
+    }
+
+    #[test]
+    fn array_and_map_display() {
+        let a = Datum::array(vec![Datum::Int(1), Datum::str("x")]);
+        assert_eq!(a.to_string(), "[1, x]");
+        let m = Datum::map(vec![("k".to_string(), Datum::Int(7))]);
+        assert_eq!(m.to_string(), "{k: 7}");
+    }
+
+    #[test]
+    fn as_millis_conversions() {
+        assert_eq!(Datum::Date(1).as_millis(), Some(86_400_000));
+        assert_eq!(Datum::Timestamp(5).as_millis(), Some(5));
+        assert_eq!(Datum::Interval(7).as_millis(), Some(7));
+    }
+
+    #[test]
+    fn double_display_keeps_decimal_point() {
+        assert_eq!(Datum::Double(3.0).to_string(), "3.0");
+        assert_eq!(Datum::Double(3.25).to_string(), "3.25");
+    }
+
+    #[test]
+    fn total_order_across_kinds_is_consistent() {
+        // Reflexivity/antisymmetry smoke check over a mixed set.
+        let vals = [
+            Datum::Null,
+            Datum::Bool(false),
+            Datum::Int(0),
+            Datum::str("a"),
+            Datum::Date(0),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+}

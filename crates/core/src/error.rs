@@ -1,0 +1,88 @@
+//! Unified error type shared by every rcalcite crate.
+
+use std::fmt;
+
+/// Errors produced by parsing, validation, planning or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalciteError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The statement parsed but failed semantic validation
+    /// (unknown column, type mismatch, non-monotonic stream grouping, ...).
+    Validate(String),
+    /// The planner could not produce a plan (no implementation for a
+    /// convention, cost extraction failure, unsupported operation).
+    Plan(String),
+    /// Runtime failure while executing a plan.
+    Execution(String),
+    /// The feature is recognized but not supported.
+    Unsupported(String),
+    /// Invariant violation; indicates a bug in rcalcite itself.
+    Internal(String),
+}
+
+impl CalciteError {
+    pub fn parse(msg: impl Into<String>) -> Self {
+        CalciteError::Parse(msg.into())
+    }
+    pub fn validate(msg: impl Into<String>) -> Self {
+        CalciteError::Validate(msg.into())
+    }
+    pub fn plan(msg: impl Into<String>) -> Self {
+        CalciteError::Plan(msg.into())
+    }
+    pub fn execution(msg: impl Into<String>) -> Self {
+        CalciteError::Execution(msg.into())
+    }
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        CalciteError::Unsupported(msg.into())
+    }
+    pub fn internal(msg: impl Into<String>) -> Self {
+        CalciteError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for CalciteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalciteError::Parse(m) => write!(f, "parse error: {m}"),
+            CalciteError::Validate(m) => write!(f, "validation error: {m}"),
+            CalciteError::Plan(m) => write!(f, "planning error: {m}"),
+            CalciteError::Execution(m) => write!(f, "execution error: {m}"),
+            CalciteError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CalciteError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CalciteError {}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = CalciteError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = CalciteError::parse("unexpected token `)`");
+        assert_eq!(e.to_string(), "parse error: unexpected token `)`");
+        let e = CalciteError::validate("column 'x' not found");
+        assert!(e.to_string().starts_with("validation error:"));
+        let e = CalciteError::plan("no plan");
+        assert!(e.to_string().contains("no plan"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CalciteError::parse("a"), CalciteError::Parse("a".into()));
+        assert_ne!(CalciteError::parse("a"), CalciteError::validate("a"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CalciteError::execution("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

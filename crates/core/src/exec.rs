@@ -1,0 +1,139 @@
+//! Execution SPI. Core plans; it does not execute (the paper's Calcite
+//! "omits ... algorithms to process data"). Engines — the enumerable
+//! convention, adapters — register a [`ConventionExecutor`] per calling
+//! convention, and the [`ExecContext`] dispatches plan subtrees to the
+//! engine named by each node's convention trait.
+
+use crate::datum::Row;
+use crate::error::{CalciteError, Result};
+use crate::rel::{Rel, RelOp};
+use crate::traits::Convention;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Iterator of rows produced by an executor.
+pub type RowIter = Box<dyn Iterator<Item = Row> + Send>;
+
+/// Executes plan subtrees belonging to one calling convention.
+pub trait ConventionExecutor: Send + Sync {
+    fn convention(&self) -> Convention;
+
+    /// Executes `rel` (whose convention is this executor's). Children in
+    /// foreign conventions are executed through `ctx`.
+    fn execute(&self, rel: &Rel, ctx: &ExecContext) -> Result<RowIter>;
+}
+
+/// Registry of executors, one per convention.
+#[derive(Default, Clone)]
+pub struct ExecContext {
+    executors: HashMap<Convention, Arc<dyn ConventionExecutor>>,
+}
+
+impl ExecContext {
+    pub fn new() -> ExecContext {
+        ExecContext::default()
+    }
+
+    pub fn register(&mut self, executor: Arc<dyn ConventionExecutor>) {
+        self.executors.insert(executor.convention(), executor);
+    }
+
+    pub fn has_convention(&self, conv: &Convention) -> bool {
+        self.executors.contains_key(conv)
+    }
+
+    pub fn conventions(&self) -> Vec<Convention> {
+        self.executors.keys().cloned().collect()
+    }
+
+    /// Executes a plan node, dispatching on its convention. `Convert`
+    /// nodes are handled here: they execute their input in its own
+    /// convention and pass rows through (the iterator interface *is* the
+    /// transfer).
+    pub fn execute(&self, rel: &Rel) -> Result<RowIter> {
+        if let RelOp::Convert { .. } = &rel.op {
+            return self.execute(rel.input(0));
+        }
+        let ex = self.executors.get(&rel.convention).ok_or_else(|| {
+            CalciteError::execution(format!(
+                "no executor registered for convention '{}' (node {})",
+                rel.convention,
+                rel.op.payload_digest()
+            ))
+        })?;
+        ex.execute(rel, self)
+    }
+
+    /// Executes and materializes all rows.
+    pub fn execute_collect(&self, rel: &Rel) -> Result<Vec<Row>> {
+        Ok(self.execute(rel)?.collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, TableRef};
+    use crate::datum::Datum;
+    use crate::rel::{self, RelNode};
+    use crate::types::{RowTypeBuilder, TypeKind};
+
+    struct ScanOnly(Convention);
+
+    impl ConventionExecutor for ScanOnly {
+        fn convention(&self) -> Convention {
+            self.0.clone()
+        }
+        fn execute(&self, rel: &Rel, _ctx: &ExecContext) -> Result<RowIter> {
+            match &rel.op {
+                RelOp::Scan { table } => table.table.scan(),
+                other => Err(CalciteError::execution(format!(
+                    "ScanOnly cannot execute {other:?}"
+                ))),
+            }
+        }
+    }
+
+    fn scan_in(conv: &Convention) -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new().add("a", TypeKind::Integer).build(),
+            vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
+        );
+        rel::scan(TableRef::new("s", "t", t)).with_convention(conv.clone())
+    }
+
+    #[test]
+    fn dispatch_by_convention() {
+        let conv = Convention::new("test");
+        let mut ctx = ExecContext::new();
+        ctx.register(Arc::new(ScanOnly(conv.clone())));
+        let rows = ctx.execute_collect(&scan_in(&conv)).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn missing_executor_is_an_error() {
+        let ctx = ExecContext::new();
+        let err = ctx.execute_collect(&scan_in(&Convention::new("nope")));
+        assert!(matches!(err, Err(CalciteError::Execution(_))));
+    }
+
+    #[test]
+    fn convert_nodes_delegate_to_input_convention() {
+        let backend = Convention::new("backend");
+        let mut ctx = ExecContext::new();
+        ctx.register(Arc::new(ScanOnly(backend.clone())));
+        let inner = scan_in(&backend);
+        let conv_node = RelNode::new(
+            RelOp::Convert {
+                from: backend.clone(),
+            },
+            Convention::enumerable(),
+            vec![inner],
+        );
+        // No enumerable executor registered, but Convert is handled by the
+        // context itself.
+        let rows = ctx.execute_collect(&conv_node).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+}

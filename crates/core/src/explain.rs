@@ -1,0 +1,109 @@
+//! Plan rendering: indented text (EXPLAIN) and Graphviz dot.
+
+use crate::metadata::MetadataQuery;
+use crate::rel::Rel;
+use std::fmt::Write;
+
+/// Renders a plan as an indented operator tree.
+pub fn explain(rel: &Rel) -> String {
+    let mut out = String::new();
+    fmt_node(rel, 0, None, &mut out);
+    out
+}
+
+/// Renders a plan with per-node row-count and cumulative-cost annotations.
+pub fn explain_with_costs(rel: &Rel, mq: &MetadataQuery) -> String {
+    let mut out = String::new();
+    fmt_node(rel, 0, Some(mq), &mut out);
+    out
+}
+
+fn fmt_node(rel: &Rel, depth: usize, mq: Option<&MetadataQuery>, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "{} [{}]", rel.op.payload_digest(), rel.convention);
+    if let Some(mq) = mq {
+        let _ = write!(
+            out,
+            " rows={:.1} cost={}",
+            mq.row_count(rel),
+            mq.cumulative_cost(rel)
+        );
+    }
+    out.push('\n');
+    for i in &rel.inputs {
+        fmt_node(i, depth + 1, mq, out);
+    }
+}
+
+/// Renders a plan as a Graphviz digraph (for inspecting Figure 2/4-style
+/// transformations visually).
+pub fn to_dot(rel: &Rel) -> String {
+    let mut out = String::from("digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut counter = 0usize;
+    dot_node(rel, &mut counter, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn dot_node(rel: &Rel, counter: &mut usize, out: &mut String) -> usize {
+    let id = *counter;
+    *counter += 1;
+    let label = format!("{}\\n[{}]", rel.op.payload_digest(), rel.convention)
+        .replace('"', "\\\"");
+    let _ = writeln!(out, "  n{id} [label=\"{label}\"];");
+    for i in &rel.inputs {
+        let cid = dot_node(i, counter, out);
+        let _ = writeln!(out, "  n{id} -> n{cid};");
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, TableRef};
+    use crate::rel;
+    use crate::rex::RexNode;
+    use crate::types::{RelType, RowTypeBuilder, TypeKind};
+
+    fn plan() -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("a", TypeKind::Integer)
+                .build(),
+            vec![],
+        );
+        rel::filter(
+            rel::scan(TableRef::new("s", "t", t)),
+            RexNode::input(0, RelType::not_null(TypeKind::Integer)).gt(RexNode::lit_int(1)),
+        )
+    }
+
+    #[test]
+    fn explain_is_indented_tree() {
+        let text = explain(&plan());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("Filter"));
+        assert!(lines[1].starts_with("  Scan"));
+        assert!(lines[0].contains("[logical]"));
+    }
+
+    #[test]
+    fn explain_with_costs_annotates() {
+        let mq = MetadataQuery::standard();
+        let text = explain_with_costs(&plan(), &mq);
+        assert!(text.contains("rows="));
+        assert!(text.contains("cost="));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let dot = to_dot(&plan());
+        assert!(dot.starts_with("digraph plan {"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,416 @@
+//! Materialized-view rewriting, approach 2 of paper §6: *lattices*. "Once
+//! the data sources are declared to form a lattice, Calcite represents
+//! each of the materializations as a tile which in turn can be used by the
+//! optimizer to answer incoming queries." The matching is more restrictive
+//! than substitution (star-schema aggregates only) but very fast.
+
+use crate::catalog::TableRef;
+use crate::rel::{self, AggCall, AggFunc, Rel, RelOp};
+use crate::rex::RexNode;
+use crate::rules::{Pattern, Rule, RuleCall};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A measure available in the lattice: an aggregate function over a fact
+/// column (`None` argument = COUNT(*)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Measure {
+    pub func: AggFunc,
+    pub arg: Option<usize>,
+    pub name: String,
+}
+
+impl Measure {
+    pub fn count_star() -> Measure {
+        Measure {
+            func: AggFunc::Count,
+            arg: None,
+            name: "cnt".into(),
+        }
+    }
+
+    pub fn sum(arg: usize, name: impl Into<String>) -> Measure {
+        Measure {
+            func: AggFunc::Sum,
+            arg: Some(arg),
+            name: name.into(),
+        }
+    }
+
+    pub fn min(arg: usize, name: impl Into<String>) -> Measure {
+        Measure {
+            func: AggFunc::Min,
+            arg: Some(arg),
+            name: name.into(),
+        }
+    }
+
+    pub fn max(arg: usize, name: impl Into<String>) -> Measure {
+        Measure {
+            func: AggFunc::Max,
+            arg: Some(arg),
+            name: name.into(),
+        }
+    }
+}
+
+/// A materialized tile: aggregation of the fact table at one grouping
+/// granularity. Column layout: the tile's dimension columns (in ascending
+/// fact-column order) followed by all lattice measures (in lattice order).
+#[derive(Clone)]
+pub struct Tile {
+    pub dims: BTreeSet<usize>,
+    pub table: TableRef,
+}
+
+/// A lattice over a (denormalized) fact table.
+pub struct Lattice {
+    pub name: String,
+    pub fact: TableRef,
+    /// Dimension columns of the fact table.
+    pub dims: Vec<usize>,
+    pub measures: Vec<Measure>,
+    tiles: Vec<Tile>,
+}
+
+impl Lattice {
+    pub fn new(
+        name: impl Into<String>,
+        fact: TableRef,
+        dims: Vec<usize>,
+        measures: Vec<Measure>,
+    ) -> Lattice {
+        Lattice {
+            name: name.into(),
+            fact,
+            dims,
+            measures,
+            tiles: vec![],
+        }
+    }
+
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// The logical plan that computes a tile at the given granularity.
+    /// Execute it and store the rows to build the tile table.
+    pub fn tile_plan(&self, dims: &BTreeSet<usize>) -> Rel {
+        let rt = self.fact.table.row_type();
+        let group: Vec<usize> = dims.iter().copied().collect();
+        let aggs: Vec<AggCall> = self
+            .measures
+            .iter()
+            .map(|m| match m.arg {
+                None => AggCall::count_star(m.name.clone()),
+                Some(a) => AggCall::new(m.func, vec![a], false, m.name.clone(), &rt),
+            })
+            .collect();
+        rel::aggregate(rel::scan(self.fact.clone()), group, aggs)
+    }
+
+    /// Registers a materialized tile (its table must hold the result of
+    /// [`Lattice::tile_plan`] for the same dims).
+    pub fn add_tile(&mut self, dims: BTreeSet<usize>, table: TableRef) {
+        self.tiles.push(Tile { dims, table });
+    }
+
+    /// The tile-matching rewrite: answers `Aggregate(group, aggs)` over a
+    /// scan of the fact table from the smallest tile whose dimensions
+    /// cover the query's grouping.
+    pub fn rewrite(&self, query: &Rel) -> Option<Rel> {
+        let (group, aggs) = match &query.op {
+            RelOp::Aggregate { group, aggs } => (group, aggs),
+            _ => return None,
+        };
+        match &query.input(0).op {
+            RelOp::Scan { table } if table.qualified_name() == self.fact.qualified_name() => {}
+            _ => return None,
+        }
+        let needed: BTreeSet<usize> = group.iter().copied().collect();
+        if !needed.iter().all(|d| self.dims.contains(d)) {
+            return None;
+        }
+        // Every aggregate must be a lattice measure (no DISTINCT).
+        let mut measure_idx = vec![];
+        for a in aggs {
+            if a.distinct {
+                return None;
+            }
+            let arg = a.args.first().copied();
+            let pos = self
+                .measures
+                .iter()
+                .position(|m| m.func == a.func && m.arg == arg)?;
+            measure_idx.push(pos);
+        }
+
+        // Smallest covering tile.
+        let tile = self
+            .tiles
+            .iter()
+            .filter(|t| needed.is_subset(&t.dims))
+            .min_by(|a, b| {
+                let ra = a.table.table.statistic().row_count;
+                let rb = b.table.table.statistic().row_count;
+                ra.partial_cmp(&rb).unwrap()
+            })?;
+
+        let tile_dims: Vec<usize> = tile.dims.iter().copied().collect();
+        let tile_rt = tile.table.table.row_type();
+        let scan = rel::scan(tile.table.clone());
+        let exact = tile.dims == needed;
+
+        if exact {
+            // Projection: reorder dims to the query's group order, pick
+            // requested measures.
+            let mut exprs = vec![];
+            let mut names = vec![];
+            let out_rt = query.row_type();
+            for (i, g) in group.iter().enumerate() {
+                let pos = tile_dims.iter().position(|d| d == g).unwrap();
+                exprs.push(RexNode::input(pos, tile_rt.field(pos).ty.clone()));
+                names.push(out_rt.field(i).name.clone());
+            }
+            for (i, mi) in measure_idx.iter().enumerate() {
+                let pos = tile_dims.len() + mi;
+                exprs.push(RexNode::input(pos, tile_rt.field(pos).ty.clone()));
+                names.push(out_rt.field(group.len() + i).name.clone());
+            }
+            return Some(rel::project(scan, exprs, names));
+        }
+
+        // Rollup from a finer tile.
+        let rollup_group: Vec<usize> = group
+            .iter()
+            .map(|g| tile_dims.iter().position(|d| d == g).unwrap())
+            .collect();
+        let mut rollup_aggs = vec![];
+        for (a, mi) in aggs.iter().zip(measure_idx.iter()) {
+            let col = tile_dims.len() + mi;
+            let func = match a.func {
+                AggFunc::Count => AggFunc::Sum, // counts roll up by summing
+                AggFunc::Sum => AggFunc::Sum,
+                AggFunc::Min => AggFunc::Min,
+                AggFunc::Max => AggFunc::Max,
+                AggFunc::Avg => return None,
+            };
+            rollup_aggs.push(AggCall {
+                func,
+                args: vec![col],
+                distinct: false,
+                name: a.name.clone(),
+                ty: a.ty.clone(),
+            });
+        }
+        Some(rel::aggregate(scan, rollup_group, rollup_aggs))
+    }
+
+    /// Tile advisor: given a workload of queries, returns the distinct
+    /// grouping sets that would be answerable by tiles, most frequent
+    /// first — a simple version of the lattice-based recommendation in
+    /// Harinarayan et al., which the paper cites.
+    pub fn recommend_tiles(&self, workload: &[Rel]) -> Vec<BTreeSet<usize>> {
+        use std::collections::HashMap;
+        let mut freq: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        for q in workload {
+            if let RelOp::Aggregate { group, .. } = &q.op {
+                if let RelOp::Scan { table } = &q.input(0).op {
+                    if table.qualified_name() == self.fact.qualified_name()
+                        && group.iter().all(|g| self.dims.contains(g))
+                    {
+                        *freq.entry(group.iter().copied().collect()).or_default() += 1;
+                    }
+                }
+            }
+        }
+        let mut sets: Vec<(BTreeSet<usize>, usize)> = freq.into_iter().collect();
+        sets.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.len().cmp(&b.0.len())));
+        sets.into_iter().map(|(s, _)| s).collect()
+    }
+}
+
+/// Planner rule applying lattice-tile rewriting.
+pub struct LatticeRule {
+    lattices: Vec<Arc<Lattice>>,
+}
+
+impl LatticeRule {
+    pub fn new(lattices: Vec<Arc<Lattice>>) -> LatticeRule {
+        LatticeRule { lattices }
+    }
+}
+
+impl Rule for LatticeRule {
+    fn name(&self) -> &str {
+        "LatticeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(crate::rel::RelKind::Aggregate)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let node = call.rel(0).clone();
+        if !node.convention.is_none() {
+            return;
+        }
+        for l in &self.lattices {
+            if let Some(rw) = l.rewrite(&node) {
+                call.transform_to(rw);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, Statistic, TableRef};
+    use crate::rel::RelKind;
+    use crate::types::{RowTypeBuilder, TypeKind};
+
+    fn fact() -> TableRef {
+        // sales(product, region, year, units)
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("product", TypeKind::Integer)
+                .add_not_null("region", TypeKind::Integer)
+                .add_not_null("year", TypeKind::Integer)
+                .add_not_null("units", TypeKind::Integer)
+                .build(),
+            vec![],
+        )
+        .with_statistic(Statistic::of_rows(1_000_000.0));
+        TableRef::new("s", "sales", t)
+    }
+
+    fn tile_table(dims: usize, rows: f64) -> TableRef {
+        let mut b = RowTypeBuilder::new();
+        for i in 0..dims {
+            b = b.add_not_null(format!("d{i}"), TypeKind::Integer);
+        }
+        b = b.add_not_null("cnt", TypeKind::Integer);
+        b = b.add_not_null("total", TypeKind::Integer);
+        let t = MemTable::new(b.build(), vec![]).with_statistic(Statistic::of_rows(rows));
+        TableRef::new("s", format!("tile{dims}_{rows}"), t)
+    }
+
+    fn lattice() -> Lattice {
+        let mut l = Lattice::new(
+            "sales_lattice",
+            fact(),
+            vec![0, 1, 2],
+            vec![Measure::count_star(), Measure::sum(3, "total")],
+        );
+        // Fine tile: (product, region); coarse tile: (region).
+        l.add_tile([0, 1].into_iter().collect(), tile_table(2, 10_000.0));
+        l.add_tile([1].into_iter().collect(), tile_table(1, 100.0));
+        l
+    }
+
+    fn query(group: Vec<usize>) -> Rel {
+        let f = fact();
+        let rt = f.table.row_type();
+        rel::aggregate(
+            rel::scan(f),
+            group,
+            vec![
+                AggCall::count_star("c"),
+                AggCall::new(AggFunc::Sum, vec![3], false, "u", &rt),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_tile_becomes_projection() {
+        let l = lattice();
+        let q = query(vec![1]);
+        let rw = l.rewrite(&q).unwrap();
+        assert_eq!(rw.kind(), RelKind::Project);
+        // The small (region) tile is chosen.
+        if let RelOp::Scan { table } = &rw.input(0).op {
+            assert!(table.name.starts_with("tile1"));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn coarser_query_rolls_up_from_finer_tile() {
+        let l = lattice();
+        // Group by product: only the (product, region) tile covers it.
+        let q = query(vec![0]);
+        let rw = l.rewrite(&q).unwrap();
+        assert_eq!(rw.kind(), RelKind::Aggregate);
+        if let RelOp::Aggregate { aggs, .. } = &rw.op {
+            // COUNT became SUM over the tile's count column.
+            assert_eq!(aggs[0].func, AggFunc::Sum);
+        }
+        if let RelOp::Scan { table } = &rw.input(0).op {
+            assert!(table.name.starts_with("tile2"));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn smallest_covering_tile_is_preferred() {
+        let mut l = lattice();
+        // Add a huge tile also covering (region).
+        l.add_tile([1, 2].into_iter().collect(), tile_table(2, 500_000.0));
+        let q = query(vec![1]);
+        let rw = l.rewrite(&q).unwrap();
+        if let RelOp::Scan { table } = &rw.input(0).op {
+            assert!(table.name.starts_with("tile1_100"), "{}", table.name);
+        } else {
+            // Exact match is a projection over tile1.
+            panic!();
+        }
+    }
+
+    #[test]
+    fn unknown_measure_or_dim_rejected() {
+        let l = lattice();
+        let f = fact();
+        let rt = f.table.row_type();
+        // AVG is not a lattice measure.
+        let q = rel::aggregate(
+            rel::scan(f.clone()),
+            vec![1],
+            vec![AggCall::new(AggFunc::Avg, vec![3], false, "a", &rt)],
+        );
+        assert!(l.rewrite(&q).is_none());
+        // Grouping by the measure column is not a dimension.
+        let q2 = rel::aggregate(rel::scan(f), vec![3], vec![AggCall::count_star("c")]);
+        assert!(l.rewrite(&q2).is_none());
+    }
+
+    #[test]
+    fn no_covering_tile_returns_none() {
+        let l = lattice();
+        // Group by year: no tile contains dim 2.
+        let q = query(vec![2]);
+        assert!(l.rewrite(&q).is_none());
+    }
+
+    #[test]
+    fn tile_plan_shape() {
+        let l = lattice();
+        let plan = l.tile_plan(&[0, 1].into_iter().collect());
+        assert_eq!(plan.kind(), RelKind::Aggregate);
+        assert_eq!(
+            plan.row_type().field_names(),
+            vec!["product", "region", "cnt", "total"]
+        );
+    }
+
+    #[test]
+    fn recommend_tiles_orders_by_frequency() {
+        let l = lattice();
+        let workload = vec![query(vec![1]), query(vec![1]), query(vec![0, 1])];
+        let recs = l.recommend_tiles(&workload);
+        assert_eq!(recs[0], [1].into_iter().collect::<BTreeSet<_>>());
+        assert_eq!(recs.len(), 2);
+    }
+}

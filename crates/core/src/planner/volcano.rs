@@ -1,0 +1,854 @@
+//! The cost-based planner engine (paper §6): a dynamic-programming
+//! optimizer in the style of Volcano. Expressions are registered in a memo
+//! of equivalence sets with digests; firing a rule on `e1` producing `e2`
+//! adds `e2` to `e1`'s set, and a digest collision between sets merges
+//! them. The search runs either exhaustively or until the plan cost stops
+//! improving by more than a threshold δ (both modes per the paper).
+//!
+//! Calling conventions are first-class: converter edges let the cheapest
+//! plan cross engines, paying a transfer cost at each `Convert` node.
+
+use crate::cost::Cost;
+use crate::error::{CalciteError, Result};
+use crate::metadata::MetadataQuery;
+use crate::planner::PlannerEngine;
+use crate::rel::{Rel, RelNode, RelOp};
+use crate::rules::{Children, Pattern, Rule, RuleCall};
+use crate::traits::Convention;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+type GroupId = usize;
+type ExprId = usize;
+
+/// A registered converter: the planner may translate rows of convention
+/// `from` into convention `to` (e.g. every adapter convention converts to
+/// `enumerable`; the Splunk adapter additionally registers
+/// `jdbc → splunk` to model its ODBC lookup capability, enabling the
+/// Figure 2 plan).
+#[derive(Debug, Clone)]
+pub struct ConverterDef {
+    pub from: Convention,
+    pub to: Convention,
+}
+
+/// Termination mode (§6): exhaustive search, or stop once cost improves by
+/// less than `delta` (relative) for `patience` consecutive checkpoints.
+#[derive(Debug, Clone, Copy)]
+pub enum FixpointMode {
+    Exhaustive,
+    CostThreshold { delta: f64, patience: usize },
+}
+
+/// A memoized expression: operator + convention over child equivalence
+/// sets.
+struct MExpr {
+    op: RelOp,
+    conv: Convention,
+    children: Vec<GroupId>,
+    group: GroupId,
+}
+
+/// An equivalence set of expressions.
+struct Group {
+    exprs: Vec<ExprId>,
+    /// A concrete representative tree, used to answer metadata queries.
+    repr: Rel,
+}
+
+struct Memo {
+    groups: Vec<Group>,
+    exprs: Vec<MExpr>,
+    /// Digest (payload@conv[child-groups]) → expression.
+    expr_map: HashMap<String, ExprId>,
+    /// Union-find over groups (set merging).
+    uf: Vec<GroupId>,
+    /// Group → expressions that have it as a child (for re-firing).
+    parents: HashMap<GroupId, Vec<ExprId>>,
+}
+
+impl Memo {
+    fn new() -> Memo {
+        Memo {
+            groups: vec![],
+            exprs: vec![],
+            expr_map: HashMap::new(),
+            uf: vec![],
+            parents: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, g: GroupId) -> GroupId {
+        if self.uf[g] != g {
+            let root = self.find(self.uf[g]);
+            self.uf[g] = root;
+        }
+        self.uf[g]
+    }
+
+    fn expr_key(op: &RelOp, conv: &Convention, children: &[GroupId]) -> String {
+        let kids: Vec<String> = children.iter().map(|g| format!("G{g}")).collect();
+        format!("{}@{}[{}]", op.payload_digest(), conv, kids.join("|"))
+    }
+
+    /// Registers a concrete tree, returning its group and any newly
+    /// created expressions.
+    fn register(&mut self, rel: &Rel, new_exprs: &mut Vec<ExprId>) -> GroupId {
+        let children: Vec<GroupId> = rel
+            .inputs
+            .iter()
+            .map(|i| self.register(i, new_exprs))
+            .collect();
+        let children: Vec<GroupId> = children.into_iter().map(|g| self.find(g)).collect();
+        let key = Self::expr_key(&rel.op, &rel.convention, &children);
+        if let Some(&eid) = self.expr_map.get(&key) {
+            let g = self.exprs[eid].group;
+            return self.find(g);
+        }
+        // New expression in a fresh group.
+        let gid = self.groups.len();
+        let repr = RelNode::new(
+            rel.op.clone(),
+            rel.convention.clone(),
+            children
+                .iter()
+                .map(|g| self.groups[*g].repr.clone())
+                .collect(),
+        );
+        self.groups.push(Group {
+            exprs: vec![],
+            repr,
+        });
+        self.uf.push(gid);
+        let eid = self.add_expr(rel.op.clone(), rel.convention.clone(), children, gid);
+        new_exprs.push(eid);
+        self.expr_map.insert(key, eid);
+        gid
+    }
+
+    fn add_expr(
+        &mut self,
+        op: RelOp,
+        conv: Convention,
+        children: Vec<GroupId>,
+        group: GroupId,
+    ) -> ExprId {
+        let eid = self.exprs.len();
+        for c in &children {
+            self.parents.entry(*c).or_default().push(eid);
+        }
+        self.exprs.push(MExpr {
+            op,
+            conv,
+            children,
+            group,
+        });
+        self.groups[group].exprs.push(eid);
+        eid
+    }
+
+    /// Registers `rel` and merges its group with `target`. Returns new
+    /// expressions created along the way.
+    fn register_into(&mut self, rel: &Rel, target: GroupId, new_exprs: &mut Vec<ExprId>) {
+        let gid = self.register(rel, new_exprs);
+        self.merge(target, gid);
+    }
+
+    fn merge(&mut self, a: GroupId, b: GroupId) {
+        let (a, b) = (self.find(a), self.find(b));
+        if a == b {
+            return;
+        }
+        let (winner, loser) = if a < b { (a, b) } else { (b, a) };
+        let moved: Vec<ExprId> = self.groups[loser].exprs.drain(..).collect();
+        for e in &moved {
+            self.exprs[*e].group = winner;
+        }
+        self.groups[winner].exprs.extend(moved);
+        self.uf[loser] = winner;
+        // Parents of the loser group become parents of the winner.
+        if let Some(ps) = self.parents.remove(&loser) {
+            self.parents.entry(winner).or_default().extend(ps);
+        }
+    }
+
+    fn group_exprs(&mut self, g: GroupId) -> Vec<ExprId> {
+        let g = self.find(g);
+        self.groups[g].exprs.clone()
+    }
+}
+
+/// Statistics from a planning run — the sizes the paper's memo structures
+/// reach (reported by `bench_planners`).
+#[derive(Debug, Clone, Default)]
+pub struct VolcanoStats {
+    pub groups: usize,
+    pub expressions: usize,
+    pub rule_firings: usize,
+}
+
+pub struct VolcanoPlanner {
+    rules: Vec<Arc<dyn Rule>>,
+    converters: Vec<ConverterDef>,
+    mode: FixpointMode,
+    max_expressions: usize,
+    max_firings: usize,
+    /// Cap on pattern-binding combinations per (expr, rule).
+    max_bindings: usize,
+}
+
+impl VolcanoPlanner {
+    pub fn new(rules: Vec<Arc<dyn Rule>>) -> VolcanoPlanner {
+        VolcanoPlanner {
+            rules,
+            converters: vec![],
+            mode: FixpointMode::Exhaustive,
+            max_expressions: 20_000,
+            max_firings: 50_000,
+            max_bindings: 128,
+        }
+    }
+
+    pub fn add_rule(&mut self, rule: Arc<dyn Rule>) {
+        self.rules.push(rule);
+    }
+
+    pub fn add_converter(&mut self, from: Convention, to: Convention) {
+        self.converters.push(ConverterDef { from, to });
+    }
+
+    pub fn with_mode(mut self, mode: FixpointMode) -> VolcanoPlanner {
+        self.mode = mode;
+        self
+    }
+
+    pub fn with_budget(mut self, max_expressions: usize, max_firings: usize) -> VolcanoPlanner {
+        self.max_expressions = max_expressions;
+        self.max_firings = max_firings;
+        self
+    }
+
+    /// Optimizes and also reports memo statistics.
+    pub fn optimize_with_stats(
+        &self,
+        root: &Rel,
+        required: &Convention,
+        mq: &MetadataQuery,
+    ) -> Result<(Rel, Cost, VolcanoStats)> {
+        let mut memo = Memo::new();
+        let mut new_exprs = vec![];
+        let root_group = memo.register(root, &mut new_exprs);
+
+        let mut queue: VecDeque<ExprId> = new_exprs.into_iter().collect();
+        // Add converter expressions for the initial population.
+        let initial: Vec<ExprId> = queue.iter().copied().collect();
+        for e in initial {
+            self.add_converters_for(&mut memo, e, &mut queue);
+        }
+
+        let mut fired_keys: HashSet<u64> = HashSet::new();
+        let mut firings = 0usize;
+        let mut checkpoint_cost = f64::INFINITY;
+        let mut stalled = 0usize;
+        let check_interval = 64usize;
+        let mut since_check = 0usize;
+
+        while let Some(e) = queue.pop_front() {
+            if memo.exprs.len() > self.max_expressions || firings > self.max_firings {
+                break;
+            }
+            for (ri, rule) in self.rules.iter().enumerate() {
+                let bindings = self.match_and_bind(&mut memo, e, &rule.pattern());
+                for (_, binds) in bindings.into_iter().take(self.max_bindings) {
+                    let key = Self::firing_key(ri, &binds);
+                    if !fired_keys.insert(key) {
+                        continue;
+                    }
+                    let target = memo.find(memo.exprs[e].group);
+                    let mut call = RuleCall::new(binds, mq);
+                    rule.on_match(&mut call);
+                    let results = call.into_results();
+                    if results.is_empty() {
+                        continue;
+                    }
+                    firings += 1;
+                    since_check += 1;
+                    for result in results {
+                        let mut created = vec![];
+                        memo.register_into(&result, target, &mut created);
+                        for ne in created {
+                            queue.push_back(ne);
+                            self.add_converters_for(&mut memo, ne, &mut queue);
+                            // A group gained an expression: parents may
+                            // have new deep-pattern matches.
+                            let g = memo.find(memo.exprs[ne].group);
+                            if let Some(ps) = memo.parents.get(&g) {
+                                for p in ps.clone() {
+                                    queue.push_back(p);
+                                }
+                            }
+                        }
+                    }
+                    // δ-threshold termination check.
+                    if let FixpointMode::CostThreshold { delta, patience } = self.mode {
+                        if since_check >= check_interval {
+                            since_check = 0;
+                            if let Ok((_, cost)) =
+                                self.extract(&mut memo, root_group, required, mq)
+                            {
+                                let v = mq.cost_model().weigh(&cost);
+                                let improvement = (checkpoint_cost - v) / checkpoint_cost.max(1e-9);
+                                if checkpoint_cost.is_finite() && improvement < delta {
+                                    stalled += 1;
+                                    if stalled >= patience {
+                                        let stats = VolcanoStats {
+                                            groups: memo
+                                                .groups
+                                                .iter()
+                                                .filter(|g| !g.exprs.is_empty())
+                                                .count(),
+                                            expressions: memo.exprs.len(),
+                                            rule_firings: firings,
+                                        };
+                                        let (plan, cost) =
+                                            self.extract(&mut memo, root_group, required, mq)?;
+                                        return Ok((plan, cost, stats));
+                                    }
+                                } else {
+                                    stalled = 0;
+                                }
+                                checkpoint_cost = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let stats = VolcanoStats {
+            groups: memo.groups.iter().filter(|g| !g.exprs.is_empty()).count(),
+            expressions: memo.exprs.len(),
+            rule_firings: firings,
+        };
+        let (plan, cost) = self.extract(&mut memo, root_group, required, mq)?;
+        Ok((plan, cost, stats))
+    }
+
+    fn firing_key(rule_idx: usize, binds: &[Rel]) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        rule_idx.hash(&mut h);
+        for b in binds {
+            b.digest().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Adds `Convert` expressions to the group of `e` for every converter
+    /// whose source convention matches `e`'s.
+    fn add_converters_for(&self, memo: &mut Memo, e: ExprId, queue: &mut VecDeque<ExprId>) {
+        let conv = memo.exprs[e].conv.clone();
+        if conv.is_none() {
+            return;
+        }
+        // Never convert a converter's output again in a chain of length 1;
+        // chains across distinct conventions are still possible because the
+        // new Convert expression is itself visited here.
+        let group = memo.find(memo.exprs[e].group);
+        for c in &self.converters {
+            if c.from == conv && c.to != conv {
+                let key = Memo::expr_key(
+                    &RelOp::Convert { from: c.from.clone() },
+                    &c.to,
+                    &[group],
+                );
+                if memo.expr_map.contains_key(&key) {
+                    continue;
+                }
+                let eid = memo.add_expr(
+                    RelOp::Convert { from: c.from.clone() },
+                    c.to.clone(),
+                    vec![group],
+                    group,
+                );
+                memo.expr_map.insert(key, eid);
+                queue.push_back(eid);
+            }
+        }
+    }
+
+    /// Matches a pattern with `e` at the root, enumerating child-group
+    /// expression combinations. Returns `(materialized root, pre-order
+    /// bindings)` pairs.
+    fn match_and_bind(
+        &self,
+        memo: &mut Memo,
+        e: ExprId,
+        pattern: &Pattern,
+    ) -> Vec<(Rel, Vec<Rel>)> {
+        // Fieldless check first.
+        let (kind, conv) = {
+            let ex = &memo.exprs[e];
+            (ex.op.kind(), ex.conv.clone())
+        };
+        let matches_node = match &pattern.matcher {
+            crate::rules::NodeMatcher::Any => true,
+            crate::rules::NodeMatcher::Kind(k) => kind == *k,
+            crate::rules::NodeMatcher::KindConv(k, c) => kind == *k && conv == *c,
+        };
+        if !matches_node {
+            return vec![];
+        }
+        let (op, children) = {
+            let ex = &memo.exprs[e];
+            (ex.op.clone(), ex.children.clone())
+        };
+        match &pattern.children {
+            Children::Any => {
+                let child_reprs: Vec<Rel> = children
+                    .iter()
+                    .map(|g| {
+                        let g = memo.find(*g);
+                        memo.groups[g].repr.clone()
+                    })
+                    .collect();
+                let node = RelNode::new(op, conv, child_reprs);
+                vec![(node.clone(), vec![node])]
+            }
+            Children::Are(pats) => {
+                if pats.len() != children.len() {
+                    return vec![];
+                }
+                // Candidate bindings per child.
+                let mut per_child: Vec<Vec<(Rel, Vec<Rel>)>> = vec![];
+                for (pat, g) in pats.iter().zip(children.iter()) {
+                    let mut cands = vec![];
+                    for ce in memo.group_exprs(*g) {
+                        cands.extend(self.match_and_bind(memo, ce, pat));
+                        if cands.len() >= self.max_bindings {
+                            break;
+                        }
+                    }
+                    if cands.is_empty() {
+                        return vec![];
+                    }
+                    per_child.push(cands);
+                }
+                // Cartesian product, capped.
+                let mut combos: Vec<(Vec<Rel>, Vec<Rel>)> = vec![(vec![], vec![])];
+                for cands in per_child {
+                    let mut next = vec![];
+                    for (nodes, binds) in &combos {
+                        for (cn, cb) in &cands {
+                            let mut n2 = nodes.clone();
+                            n2.push(cn.clone());
+                            let mut b2 = binds.clone();
+                            b2.extend(cb.iter().cloned());
+                            next.push((n2, b2));
+                            if next.len() >= self.max_bindings {
+                                break;
+                            }
+                        }
+                        if next.len() >= self.max_bindings {
+                            break;
+                        }
+                    }
+                    combos = next;
+                }
+                combos
+                    .into_iter()
+                    .map(|(nodes, binds)| {
+                        let node = RelNode::new(op.clone(), conv.clone(), nodes);
+                        let mut all = vec![node.clone()];
+                        all.extend(binds);
+                        (node, all)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Dynamic-programming extraction: cheapest implementation per
+    /// (group, convention), iterated to a fixpoint so converter cycles are
+    /// handled, then the best tree is built for the root.
+    fn extract(
+        &self,
+        memo: &mut Memo,
+        root_group: GroupId,
+        required: &Convention,
+        mq: &MetadataQuery,
+    ) -> Result<(Rel, Cost)> {
+        let root_group = memo.find(root_group);
+        #[derive(Clone)]
+        struct Best {
+            weight: f64,
+            cost: Cost,
+            expr: ExprId,
+        }
+        let mut best: HashMap<(GroupId, Convention), Best> = HashMap::new();
+        let n_exprs = memo.exprs.len();
+
+        // Pre-resolve per-expr data to avoid repeated borrow juggling.
+        let mut expr_info: Vec<(GroupId, Convention, Vec<GroupId>, Option<Convention>)> =
+            Vec::with_capacity(n_exprs);
+        for e in 0..n_exprs {
+            let group = memo.find(memo.exprs[e].group);
+            let conv = memo.exprs[e].conv.clone();
+            let children: Vec<GroupId> = memo.exprs[e]
+                .children
+                .clone()
+                .into_iter()
+                .map(|g| memo.find(g))
+                .collect();
+            let child_req = match &memo.exprs[e].op {
+                RelOp::Convert { from } => Some(from.clone()),
+                _ => None,
+            };
+            expr_info.push((group, conv, children, child_req));
+        }
+        // Non-cumulative costs from materialized nodes (children = reprs).
+        let mut own_cost: Vec<Cost> = Vec::with_capacity(n_exprs);
+        for e in 0..n_exprs {
+            let (_, ref conv, ref children, _) = expr_info[e];
+            let child_reprs: Vec<Rel> = children
+                .iter()
+                .map(|g| memo.groups[*g].repr.clone())
+                .collect();
+            let node = RelNode::new(memo.exprs[e].op.clone(), conv.clone(), child_reprs);
+            own_cost.push(mq.non_cumulative_cost(&node));
+        }
+
+        let max_iters = memo.groups.len() + 8;
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for e in 0..n_exprs {
+                let (group, ref conv, ref children, ref child_req) = expr_info[e];
+                if conv.is_none() {
+                    continue; // logical expressions are not executable
+                }
+                let req = child_req.as_ref().unwrap_or(conv);
+                let mut total = own_cost[e];
+                let mut feasible = true;
+                for cg in children {
+                    match best.get(&(*cg, req.clone())) {
+                        Some(b) => total = total.plus(&b.cost),
+                        None => {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if !feasible || total.is_infinite() {
+                    continue;
+                }
+                let w = mq.cost_model().weigh(&total);
+                let key = (group, conv.clone());
+                let better = match best.get(&key) {
+                    Some(b) => w < b.weight - 1e-9,
+                    None => true,
+                };
+                if better {
+                    best.insert(
+                        key,
+                        Best {
+                            weight: w,
+                            cost: total,
+                            expr: e,
+                        },
+                    );
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let root_best = best.get(&(root_group, required.clone())).ok_or_else(|| {
+            CalciteError::plan(format!(
+                "no implementation of the root in convention '{required}'; \
+                 register implementation rules and converters"
+            ))
+        })?;
+        let cost = root_best.cost;
+
+        // Build the plan tree.
+        fn build(
+            memo: &Memo,
+            best: &HashMap<(GroupId, Convention), BestRef>,
+            group: GroupId,
+            conv: &Convention,
+            expr_info: &[(GroupId, Convention, Vec<GroupId>, Option<Convention>)],
+            depth: usize,
+        ) -> Result<Rel> {
+            if depth > 512 {
+                return Err(CalciteError::internal("plan extraction recursion overflow"));
+            }
+            let b = best.get(&(group, conv.clone())).ok_or_else(|| {
+                CalciteError::internal(format!("missing best plan for group {group} in {conv}"))
+            })?;
+            let e = b.0;
+            let (_, ref econv, ref children, ref child_req) = expr_info[e];
+            let req = child_req.as_ref().unwrap_or(econv);
+            let mut inputs = vec![];
+            for cg in children {
+                inputs.push(build(memo, best, *cg, req, expr_info, depth + 1)?);
+            }
+            Ok(RelNode::new(
+                memo.exprs[e].op.clone(),
+                econv.clone(),
+                inputs,
+            ))
+        }
+        struct BestRef(ExprId);
+        let best_ref: HashMap<(GroupId, Convention), BestRef> = best
+            .iter()
+            .map(|(k, v)| (k.clone(), BestRef(v.expr)))
+            .collect();
+        let plan = build(memo, &best_ref, root_group, required, &expr_info, 0)?;
+        Ok((plan, cost))
+    }
+}
+
+impl PlannerEngine for VolcanoPlanner {
+    fn optimize(&self, root: &Rel, required: &Convention, mq: &MetadataQuery) -> Result<Rel> {
+        self.optimize_with_stats(root, required, mq)
+            .map(|(plan, _, _)| plan)
+    }
+
+    fn name(&self) -> &str {
+        "volcano"
+    }
+}
+
+/// Implements every logical operator in a target convention by re-stamping
+/// the convention trait (the paper's point that logical and physical
+/// operators are the same entities distinguished by traits). This is the
+/// implementation rule of the `enumerable` convention, which can execute
+/// every operator; adapters register narrower rules.
+pub struct UniversalImplementRule {
+    conv: Convention,
+    name: String,
+}
+
+impl UniversalImplementRule {
+    pub fn new(conv: Convention) -> UniversalImplementRule {
+        UniversalImplementRule {
+            name: format!("Implement({conv})"),
+            conv,
+        }
+    }
+}
+
+impl Rule for UniversalImplementRule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::any()
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let rel = call.rel(0);
+        if !rel.convention.is_none() || matches!(rel.op, RelOp::Convert { .. }) {
+            return;
+        }
+        // Scans of adapter-owned tables belong to their backend's
+        // convention; they reach this convention through a converter, not
+        // by direct enumeration (paper §5: the adapter's table scan is the
+        // access path).
+        if let RelOp::Scan { table } = &rel.op {
+            if !table.table.convention().is_none() {
+                return;
+            }
+        }
+        call.transform_to(rel.with_convention(self.conv.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, Statistic, TableRef};
+    use crate::rel::{self, JoinKind, RelKind};
+    use crate::rex::RexNode;
+    use crate::rules::{default_logical_rules, join_exploration_rules};
+    use crate::types::{RelType, RowTypeBuilder, TypeKind};
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn table(name: &str, rows: f64, cols: &[&str]) -> Rel {
+        let mut b = RowTypeBuilder::new();
+        for c in cols {
+            b = b.add_not_null(*c, TypeKind::Integer);
+        }
+        let t = MemTable::new(b.build(), vec![]).with_statistic(Statistic::of_rows(rows));
+        rel::scan(TableRef::new("s", name, t))
+    }
+
+    fn planner_with_enumerable(rules: Vec<Arc<dyn Rule>>) -> VolcanoPlanner {
+        let mut p = VolcanoPlanner::new(rules);
+        p.add_rule(Arc::new(UniversalImplementRule::new(Convention::enumerable())));
+        p
+    }
+
+    #[test]
+    fn implements_simple_scan() {
+        let planner = planner_with_enumerable(vec![]);
+        let mq = MetadataQuery::standard();
+        let t = table("t", 100.0, &["a"]);
+        let (plan, cost, stats) = planner
+            .optimize_with_stats(&t, &Convention::enumerable(), &mq)
+            .unwrap();
+        assert!(plan.convention.is_enumerable());
+        assert_eq!(plan.kind(), RelKind::Scan);
+        assert!(cost.cpu > 0.0);
+        assert!(stats.groups >= 1);
+    }
+
+    #[test]
+    fn fails_without_implementation_rules() {
+        let planner = VolcanoPlanner::new(vec![]);
+        let mq = MetadataQuery::standard();
+        let t = table("t", 100.0, &["a"]);
+        let r = planner.optimize_with_stats(&t, &Convention::enumerable(), &mq);
+        assert!(matches!(r, Err(CalciteError::Plan(_))));
+    }
+
+    #[test]
+    fn pushdown_plus_implementation() {
+        // Filter above join gets pushed AND everything is physicalized.
+        let sales = table("sales", 10_000.0, &["pid", "discount"]);
+        let products = table("products", 100.0, &["pid", "name"]);
+        let join = rel::join(
+            sales,
+            products,
+            JoinKind::Inner,
+            RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty())),
+        );
+        let root = rel::filter(join, RexNode::input(1, int_ty()).gt(RexNode::lit_int(0)));
+        let planner = planner_with_enumerable(default_logical_rules());
+        let mq = MetadataQuery::standard();
+        let (plan, _, _) = planner
+            .optimize_with_stats(&root, &Convention::enumerable(), &mq)
+            .unwrap();
+        assert!(plan.convention.is_enumerable());
+        // Cheapest plan filters below the join.
+        assert_eq!(plan.kind(), RelKind::Join);
+        let has_filter_below = plan.inputs.iter().any(|i| i.kind() == RelKind::Filter);
+        assert!(has_filter_below, "plan: {}", plan.digest());
+    }
+
+    #[test]
+    fn join_order_chosen_by_cost() {
+        // big ⋈ small should become small-build hash join either way, but
+        // associativity lets ((big ⋈ small1) ⋈ small2) be re-bracketed.
+        let big = table("big", 100_000.0, &["k1", "k2"]);
+        let s1 = table("s1", 10.0, &["k1"]);
+        let s2 = table("s2", 10.0, &["k2"]);
+        let j1 = rel::join(
+            big.clone(),
+            s1,
+            JoinKind::Inner,
+            RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty())),
+        );
+        let j2 = rel::join(
+            j1,
+            s2,
+            JoinKind::Inner,
+            RexNode::input(1, int_ty()).eq(RexNode::input(3, int_ty())),
+        );
+        let mut rules = default_logical_rules();
+        rules.extend(join_exploration_rules());
+        let planner = planner_with_enumerable(rules).with_budget(4_000, 10_000);
+        let mq = MetadataQuery::standard();
+        let (plan, cost, stats) = planner
+            .optimize_with_stats(&j2, &Convention::enumerable(), &mq)
+            .unwrap();
+        assert!(plan.convention.is_enumerable());
+        assert!(stats.rule_firings > 0);
+        assert!(!cost.is_infinite());
+        // Equivalence sets must have been created beyond the original 6
+        // nodes.
+        assert!(stats.expressions > 6, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn converter_crosses_conventions() {
+        // A table whose scan is only implementable in a custom convention:
+        // the final enumerable plan must include a Convert node.
+        struct AdapterScanRule {
+            conv: Convention,
+        }
+        impl Rule for AdapterScanRule {
+            fn name(&self) -> &str {
+                "AdapterScanRule"
+            }
+            fn pattern(&self) -> Pattern {
+                Pattern::of(RelKind::Scan)
+            }
+            fn on_match(&self, call: &mut RuleCall) {
+                let s = call.rel(0);
+                if s.convention.is_none() {
+                    call.transform_to(s.with_convention(self.conv.clone()));
+                }
+            }
+        }
+        let backend = Convention::new("kvstore");
+        let mut planner = VolcanoPlanner::new(vec![Arc::new(AdapterScanRule {
+            conv: backend.clone(),
+        })]);
+        planner.add_converter(backend.clone(), Convention::enumerable());
+        let mq = MetadataQuery::standard();
+        let t = table("t", 100.0, &["a"]);
+        let (plan, _, _) = planner
+            .optimize_with_stats(&t, &Convention::enumerable(), &mq)
+            .unwrap();
+        assert_eq!(plan.kind(), RelKind::Convert);
+        assert!(plan.convention.is_enumerable());
+        assert_eq!(plan.input(0).kind(), RelKind::Scan);
+        assert_eq!(plan.input(0).convention, backend);
+    }
+
+    #[test]
+    fn threshold_mode_terminates_and_returns_valid_plan() {
+        let big = table("big", 50_000.0, &["k"]);
+        let small = table("small", 10.0, &["k"]);
+        let j = rel::join(
+            big,
+            small,
+            JoinKind::Inner,
+            RexNode::input(0, int_ty()).eq(RexNode::input(1, int_ty())),
+        );
+        let mut rules = default_logical_rules();
+        rules.extend(join_exploration_rules());
+        let planner = planner_with_enumerable(rules).with_mode(FixpointMode::CostThreshold {
+            delta: 0.01,
+            patience: 2,
+        });
+        let mq = MetadataQuery::standard();
+        let (plan, cost, _) = planner
+            .optimize_with_stats(&j, &Convention::enumerable(), &mq)
+            .unwrap();
+        assert!(plan.convention.is_enumerable());
+        assert!(!cost.is_infinite());
+    }
+
+    #[test]
+    fn equivalence_sets_merge_on_duplicate_digest() {
+        // Registering the same tree twice must not duplicate groups.
+        let mut memo = Memo::new();
+        let t = table("t", 100.0, &["a"]);
+        let f1 = rel::filter(t.clone(), RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)));
+        let f2 = rel::filter(t, RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)));
+        let mut created = vec![];
+        let g1 = memo.register(&f1, &mut created);
+        let g2 = memo.register(&f2, &mut created);
+        assert_eq!(memo.find(g1), memo.find(g2));
+        assert_eq!(memo.groups.len(), 2); // scan group + filter group
+    }
+}

@@ -1,0 +1,1321 @@
+//! Row expressions (`RexNode`), the scalar expression language used inside
+//! relational operators, together with type derivation, evaluation and the
+//! structural utilities optimizer rules rely on (conjunct splitting, input
+//! remapping, ...).
+
+use crate::datum::{parse_date, parse_timestamp, Datum};
+use crate::error::{CalciteError, Result};
+use crate::types::{RelType, TypeKind};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// A user-defined scalar function (extension point; `rcalcite-geo` registers
+/// the `ST_*` family through this type).
+pub struct ScalarUdf {
+    pub name: String,
+    /// Derives the return type from argument types.
+    pub ret_type: fn(&[RelType]) -> RelType,
+    /// Evaluates the function on materialized arguments. NULL handling is
+    /// the function's responsibility.
+    pub eval: fn(&[Datum]) -> Result<Datum>,
+}
+
+impl fmt::Debug for ScalarUdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScalarUdf({})", self.name)
+    }
+}
+
+impl PartialEq for ScalarUdf {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+impl Eq for ScalarUdf {}
+
+/// Registry of user-defined scalar functions, consulted by the SQL
+/// validator and the expression evaluator. Extensions (e.g. the geospatial
+/// `ST_*` family, §7.3) register here.
+#[derive(Default, Clone)]
+pub struct FunctionRegistry {
+    fns: std::collections::HashMap<String, Arc<ScalarUdf>>,
+}
+
+impl FunctionRegistry {
+    pub fn new() -> FunctionRegistry {
+        FunctionRegistry::default()
+    }
+
+    pub fn register(&mut self, udf: ScalarUdf) {
+        self.fns.insert(udf.name.to_ascii_uppercase(), Arc::new(udf));
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<Arc<ScalarUdf>> {
+        self.fns.get(&name.to_ascii_uppercase()).cloned()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut n: Vec<String> = self.fns.keys().cloned().collect();
+        n.sort();
+        n
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinFn {
+    Upper,
+    Lower,
+    CharLength,
+    Substring,
+    Abs,
+    Floor,
+    Ceil,
+    Sqrt,
+    Power,
+    Coalesce,
+    NullIf,
+}
+
+impl BuiltinFn {
+    pub fn name(&self) -> &'static str {
+        match self {
+            BuiltinFn::Upper => "UPPER",
+            BuiltinFn::Lower => "LOWER",
+            BuiltinFn::CharLength => "CHAR_LENGTH",
+            BuiltinFn::Substring => "SUBSTRING",
+            BuiltinFn::Abs => "ABS",
+            BuiltinFn::Floor => "FLOOR",
+            BuiltinFn::Ceil => "CEIL",
+            BuiltinFn::Sqrt => "SQRT",
+            BuiltinFn::Power => "POWER",
+            BuiltinFn::Coalesce => "COALESCE",
+            BuiltinFn::NullIf => "NULLIF",
+        }
+    }
+
+    pub fn by_name(name: &str) -> Option<BuiltinFn> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "UPPER" => BuiltinFn::Upper,
+            "LOWER" => BuiltinFn::Lower,
+            "CHAR_LENGTH" | "CHARACTER_LENGTH" | "LENGTH" => BuiltinFn::CharLength,
+            "SUBSTRING" | "SUBSTR" => BuiltinFn::Substring,
+            "ABS" => BuiltinFn::Abs,
+            "FLOOR" => BuiltinFn::Floor,
+            "CEIL" | "CEILING" => BuiltinFn::Ceil,
+            "SQRT" => BuiltinFn::Sqrt,
+            "POWER" | "POW" => BuiltinFn::Power,
+            "COALESCE" => BuiltinFn::Coalesce,
+            "NULLIF" => BuiltinFn::NullIf,
+            _ => return None,
+        })
+    }
+}
+
+/// Operator of a [`RexNode::Call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    Plus,
+    Minus,
+    Times,
+    Divide,
+    Mod,
+    /// Unary negation.
+    Neg,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    IsNull,
+    IsNotNull,
+    Like,
+    /// `CASE WHEN c1 THEN v1 [WHEN c2 THEN v2 ...] ELSE e END`; arguments
+    /// are `[c1, v1, c2, v2, ..., e]` (odd length).
+    Case,
+    /// CAST to the call's result type.
+    Cast,
+    /// `expr[index]` item access on ARRAY (0-based, as in the paper's
+    /// `_MAP['loc'][0]` example) and MAP values.
+    Item,
+    /// String concatenation `||`.
+    Concat,
+    Func(BuiltinFn),
+    Udf(Arc<ScalarUdf>),
+}
+
+impl Op {
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge)
+    }
+
+    /// For comparisons: the operator with sides swapped (`<` becomes `>`).
+    pub fn swapped(&self) -> Option<Op> {
+        Some(match self {
+            Op::Eq => Op::Eq,
+            Op::Ne => Op::Ne,
+            Op::Lt => Op::Gt,
+            Op::Le => Op::Ge,
+            Op::Gt => Op::Lt,
+            Op::Ge => Op::Le,
+            _ => return None,
+        })
+    }
+
+    /// Negated comparison (`<` becomes `>=`).
+    pub fn negated(&self) -> Option<Op> {
+        Some(match self {
+            Op::Eq => Op::Ne,
+            Op::Ne => Op::Eq,
+            Op::Lt => Op::Ge,
+            Op::Le => Op::Gt,
+            Op::Gt => Op::Le,
+            Op::Ge => Op::Lt,
+            _ => return None,
+        })
+    }
+
+    fn symbol(&self) -> &str {
+        match self {
+            Op::Plus => "+",
+            Op::Minus => "-",
+            Op::Times => "*",
+            Op::Divide => "/",
+            Op::Mod => "%",
+            Op::Neg => "-",
+            Op::Eq => "=",
+            Op::Ne => "<>",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::And => "AND",
+            Op::Or => "OR",
+            Op::Not => "NOT",
+            Op::IsNull => "IS NULL",
+            Op::IsNotNull => "IS NOT NULL",
+            Op::Like => "LIKE",
+            Op::Case => "CASE",
+            Op::Cast => "CAST",
+            Op::Item => "ITEM",
+            Op::Concat => "||",
+            Op::Func(_) | Op::Udf(_) => "",
+        }
+    }
+}
+
+/// A scalar row expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RexNode {
+    /// Reference to a field of the input row, `$index`.
+    InputRef { index: usize, ty: RelType },
+    /// A constant.
+    Literal { value: Datum, ty: RelType },
+    /// An operator or function application.
+    Call {
+        op: Op,
+        args: Vec<RexNode>,
+        ty: RelType,
+    },
+}
+
+impl RexNode {
+    // ---------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------
+
+    pub fn input(index: usize, ty: RelType) -> RexNode {
+        RexNode::InputRef { index, ty }
+    }
+
+    pub fn literal(value: Datum, ty: RelType) -> RexNode {
+        RexNode::Literal { value, ty }
+    }
+
+    pub fn lit_int(v: i64) -> RexNode {
+        RexNode::literal(Datum::Int(v), RelType::not_null(TypeKind::Integer))
+    }
+
+    pub fn lit_double(v: f64) -> RexNode {
+        RexNode::literal(Datum::Double(v), RelType::not_null(TypeKind::Double))
+    }
+
+    pub fn lit_str(v: impl AsRef<str>) -> RexNode {
+        RexNode::literal(Datum::str(v), RelType::not_null(TypeKind::Varchar))
+    }
+
+    pub fn lit_bool(v: bool) -> RexNode {
+        RexNode::literal(Datum::Bool(v), RelType::not_null(TypeKind::Boolean))
+    }
+
+    pub fn lit_null(ty: RelType) -> RexNode {
+        RexNode::literal(Datum::Null, ty.with_nullable(true))
+    }
+
+    /// TRUE literal, the neutral element of AND.
+    pub fn true_lit() -> RexNode {
+        RexNode::lit_bool(true)
+    }
+
+    pub fn false_lit() -> RexNode {
+        RexNode::lit_bool(false)
+    }
+
+    /// Builds a call deriving its result type from the arguments.
+    pub fn call(op: Op, args: Vec<RexNode>) -> RexNode {
+        let ty = derive_type(&op, &args);
+        RexNode::Call { op, args, ty }
+    }
+
+    /// Builds a call with an explicit result type (CAST, UDFs with
+    /// context-dependent types).
+    pub fn call_typed(op: Op, args: Vec<RexNode>, ty: RelType) -> RexNode {
+        RexNode::Call { op, args, ty }
+    }
+
+    pub fn cast(self, ty: RelType) -> RexNode {
+        RexNode::call_typed(Op::Cast, vec![self], ty)
+    }
+
+    pub fn eq(self, other: RexNode) -> RexNode {
+        RexNode::call(Op::Eq, vec![self, other])
+    }
+
+    pub fn gt(self, other: RexNode) -> RexNode {
+        RexNode::call(Op::Gt, vec![self, other])
+    }
+
+    pub fn lt(self, other: RexNode) -> RexNode {
+        RexNode::call(Op::Lt, vec![self, other])
+    }
+
+    pub fn ge(self, other: RexNode) -> RexNode {
+        RexNode::call(Op::Ge, vec![self, other])
+    }
+
+    pub fn le(self, other: RexNode) -> RexNode {
+        RexNode::call(Op::Le, vec![self, other])
+    }
+
+    pub fn not(self) -> RexNode {
+        RexNode::call(Op::Not, vec![self])
+    }
+
+    pub fn is_null(self) -> RexNode {
+        RexNode::call(Op::IsNull, vec![self])
+    }
+
+    pub fn is_not_null(self) -> RexNode {
+        RexNode::call(Op::IsNotNull, vec![self])
+    }
+
+    /// Conjunction of expressions; TRUE when empty, the sole element when
+    /// singleton.
+    pub fn and_all(mut exprs: Vec<RexNode>) -> RexNode {
+        match exprs.len() {
+            0 => RexNode::true_lit(),
+            1 => exprs.pop().unwrap(),
+            _ => RexNode::call(Op::And, exprs),
+        }
+    }
+
+    pub fn or_all(mut exprs: Vec<RexNode>) -> RexNode {
+        match exprs.len() {
+            0 => RexNode::false_lit(),
+            1 => exprs.pop().unwrap(),
+            _ => RexNode::call(Op::Or, exprs),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------
+
+    pub fn ty(&self) -> &RelType {
+        match self {
+            RexNode::InputRef { ty, .. } => ty,
+            RexNode::Literal { ty, .. } => ty,
+            RexNode::Call { ty, .. } => ty,
+        }
+    }
+
+    pub fn is_literal(&self) -> bool {
+        matches!(self, RexNode::Literal { .. })
+    }
+
+    pub fn as_literal(&self) -> Option<&Datum> {
+        match self {
+            RexNode::Literal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    pub fn is_always_true(&self) -> bool {
+        matches!(
+            self,
+            RexNode::Literal {
+                value: Datum::Bool(true),
+                ..
+            }
+        )
+    }
+
+    pub fn is_always_false(&self) -> bool {
+        matches!(
+            self,
+            RexNode::Literal {
+                value: Datum::Bool(false),
+                ..
+            }
+        )
+    }
+
+    pub fn as_input_ref(&self) -> Option<usize> {
+        match self {
+            RexNode::InputRef { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Structural utilities used by rules
+    // ---------------------------------------------------------------
+
+    /// Flattens nested ANDs into a conjunct list.
+    pub fn conjuncts(&self) -> Vec<RexNode> {
+        let mut out = vec![];
+        fn walk(e: &RexNode, out: &mut Vec<RexNode>) {
+            match e {
+                RexNode::Call { op: Op::And, args, .. } => {
+                    for a in args {
+                        walk(a, out);
+                    }
+                }
+                _ => {
+                    if !e.is_always_true() {
+                        out.push(e.clone());
+                    }
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// The set of input field indexes referenced anywhere in the tree.
+    pub fn input_refs(&self) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let RexNode::InputRef { index, .. } = e {
+                set.insert(*index);
+            }
+        });
+        set
+    }
+
+    /// Pre-order visit.
+    pub fn visit(&self, f: &mut impl FnMut(&RexNode)) {
+        f(self);
+        if let RexNode::Call { args, .. } = self {
+            for a in args {
+                a.visit(f);
+            }
+        }
+    }
+
+    /// Rewrites every input reference through `f`.
+    pub fn map_input_refs(&self, f: &impl Fn(usize) -> usize) -> RexNode {
+        match self {
+            RexNode::InputRef { index, ty } => RexNode::InputRef {
+                index: f(*index),
+                ty: ty.clone(),
+            },
+            RexNode::Literal { .. } => self.clone(),
+            RexNode::Call { op, args, ty } => RexNode::Call {
+                op: op.clone(),
+                args: args.iter().map(|a| a.map_input_refs(f)).collect(),
+                ty: ty.clone(),
+            },
+        }
+    }
+
+    /// Shifts all input references by `delta` (may be negative).
+    pub fn shift(&self, delta: isize) -> RexNode {
+        self.map_input_refs(&|i| (i as isize + delta) as usize)
+    }
+
+    /// Substitutes input references with expressions, used when pulling a
+    /// condition above/below a Project: `$i` becomes `exprs[i]`.
+    pub fn substitute(&self, exprs: &[RexNode]) -> RexNode {
+        match self {
+            RexNode::InputRef { index, .. } => exprs[*index].clone(),
+            RexNode::Literal { .. } => self.clone(),
+            RexNode::Call { op, args, ty } => RexNode::Call {
+                op: op.clone(),
+                args: args.iter().map(|a| a.substitute(exprs)).collect(),
+                ty: ty.clone(),
+            },
+        }
+    }
+
+    /// Remaps references through a partial map; returns `None` if any
+    /// referenced column is absent from the map (the expression cannot be
+    /// pushed to that side).
+    pub fn try_remap(&self, map: &HashMap<usize, usize>) -> Option<RexNode> {
+        match self {
+            RexNode::InputRef { index, ty } => map.get(index).map(|i| RexNode::InputRef {
+                index: *i,
+                ty: ty.clone(),
+            }),
+            RexNode::Literal { .. } => Some(self.clone()),
+            RexNode::Call { op, args, ty } => {
+                let args = args
+                    .iter()
+                    .map(|a| a.try_remap(map))
+                    .collect::<Option<Vec<_>>>()?;
+                Some(RexNode::Call {
+                    op: op.clone(),
+                    args,
+                    ty: ty.clone(),
+                })
+            }
+        }
+    }
+
+    /// Whether the expression is constant (no input references).
+    pub fn is_constant(&self) -> bool {
+        self.input_refs().is_empty()
+    }
+
+    /// Stable textual digest used by planner memo deduplication.
+    pub fn digest(&self) -> String {
+        self.to_string()
+    }
+
+    // ---------------------------------------------------------------
+    // Evaluation
+    // ---------------------------------------------------------------
+
+    /// Evaluates the expression against an input row.
+    pub fn eval(&self, row: &[Datum]) -> Result<Datum> {
+        match self {
+            RexNode::InputRef { index, .. } => row.get(*index).cloned().ok_or_else(|| {
+                CalciteError::execution(format!(
+                    "input reference ${index} out of bounds (row arity {})",
+                    row.len()
+                ))
+            }),
+            RexNode::Literal { value, .. } => Ok(value.clone()),
+            RexNode::Call { op, args, ty } => eval_call(op, args, ty, row),
+        }
+    }
+}
+
+impl fmt::Display for RexNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RexNode::InputRef { index, .. } => write!(f, "${index}"),
+            RexNode::Literal { value, ty } => match value {
+                Datum::Str(s) => write!(f, "'{s}'"),
+                Datum::Null => write!(f, "NULL:{}", ty.kind),
+                v => write!(f, "{v}"),
+            },
+            RexNode::Call { op, args, ty } => match op {
+                Op::Plus | Op::Minus | Op::Times | Op::Divide | Op::Mod | Op::Concat
+                    if args.len() == 2 =>
+                {
+                    write!(f, "({} {} {})", args[0], op.symbol(), args[1])
+                }
+                Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::Like => {
+                    write!(f, "({} {} {})", args[0], op.symbol(), args[1])
+                }
+                Op::And | Op::Or => {
+                    write!(f, "(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " {} ", op.symbol())?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+                Op::Not => write!(f, "NOT({})", args[0]),
+                Op::Neg => write!(f, "-({})", args[0]),
+                Op::IsNull => write!(f, "({} IS NULL)", args[0]),
+                Op::IsNotNull => write!(f, "({} IS NOT NULL)", args[0]),
+                Op::Cast => write!(f, "CAST({} AS {})", args[0], ty.kind),
+                Op::Item => write!(f, "{}[{}]", args[0], args[1]),
+                Op::Case => {
+                    write!(f, "CASE")?;
+                    let mut i = 0;
+                    while i + 1 < args.len() {
+                        write!(f, " WHEN {} THEN {}", args[i], args[i + 1])?;
+                        i += 2;
+                    }
+                    if i < args.len() {
+                        write!(f, " ELSE {}", args[i])?;
+                    }
+                    write!(f, " END")
+                }
+                Op::Func(b) => {
+                    write!(f, "{}(", b.name())?;
+                    fmt_args(f, args)?;
+                    write!(f, ")")
+                }
+                Op::Udf(u) => {
+                    write!(f, "{}(", u.name)?;
+                    fmt_args(f, args)?;
+                    write!(f, ")")
+                }
+                // Arithmetic/concat with unexpected arity (defensive).
+                other => {
+                    write!(f, "{}(", other.symbol())?;
+                    fmt_args(f, args)?;
+                    write!(f, ")")
+                }
+            },
+        }
+    }
+}
+
+fn fmt_args(f: &mut fmt::Formatter<'_>, args: &[RexNode]) -> fmt::Result {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    Ok(())
+}
+
+/// Derives the result type of a call from its operator and arguments.
+pub fn derive_type(op: &Op, args: &[RexNode]) -> RelType {
+    let any_nullable = args.iter().any(|a| a.ty().nullable);
+    match op {
+        Op::Plus | Op::Minus | Op::Times | Op::Divide | Op::Mod => {
+            let lr = args[0]
+                .ty()
+                .least_restrictive(args[1].ty())
+                .unwrap_or(RelType::nullable(TypeKind::Any));
+            // Division of integers produces a double in rcalcite to avoid
+            // silent truncation surprises.
+            if matches!(op, Op::Divide) && lr.kind == TypeKind::Integer {
+                RelType::new(TypeKind::Double, lr.nullable)
+            } else {
+                lr
+            }
+        }
+        Op::Neg => args[0].ty().clone(),
+        Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::Like => {
+            RelType::new(TypeKind::Boolean, any_nullable)
+        }
+        Op::And | Op::Or | Op::Not => RelType::new(TypeKind::Boolean, any_nullable),
+        Op::IsNull | Op::IsNotNull => RelType::not_null(TypeKind::Boolean),
+        Op::Case => {
+            // Least restrictive type over the THEN arms and the ELSE arm.
+            let mut ty: Option<RelType> = None;
+            let mut i = 1;
+            while i < args.len() {
+                let t = args[i].ty().clone();
+                ty = Some(match ty {
+                    None => t,
+                    Some(prev) => prev
+                        .least_restrictive(&t)
+                        .unwrap_or(RelType::nullable(TypeKind::Any)),
+                });
+                i += if i + 1 < args.len() { 2 } else { 1 };
+            }
+            ty.unwrap_or(RelType::nullable(TypeKind::Any))
+        }
+        Op::Cast => RelType::nullable(TypeKind::Any), // overridden by call_typed
+        Op::Item => {
+            // Extract element type when statically known.
+            match &args[0].ty().kind {
+                TypeKind::Array(e) | TypeKind::Multiset(e) => e.as_ref().with_nullable(true),
+                TypeKind::Map(_, v) => v.as_ref().with_nullable(true),
+                _ => RelType::nullable(TypeKind::Any),
+            }
+        }
+        Op::Concat => RelType::new(TypeKind::Varchar, any_nullable),
+        Op::Func(b) => builtin_ret_type(*b, args),
+        Op::Udf(u) => {
+            let tys: Vec<RelType> = args.iter().map(|a| a.ty().clone()).collect();
+            (u.ret_type)(&tys)
+        }
+    }
+}
+
+fn builtin_ret_type(b: BuiltinFn, args: &[RexNode]) -> RelType {
+    let any_nullable = args.iter().any(|a| a.ty().nullable);
+    match b {
+        BuiltinFn::Upper | BuiltinFn::Lower | BuiltinFn::Substring => {
+            RelType::new(TypeKind::Varchar, any_nullable)
+        }
+        BuiltinFn::CharLength => RelType::new(TypeKind::Integer, any_nullable),
+        BuiltinFn::Abs | BuiltinFn::Floor | BuiltinFn::Ceil => args
+            .first()
+            .map(|a| a.ty().clone())
+            .unwrap_or(RelType::nullable(TypeKind::Any)),
+        BuiltinFn::Sqrt | BuiltinFn::Power => RelType::new(TypeKind::Double, any_nullable),
+        BuiltinFn::Coalesce => {
+            let mut ty = args
+                .first()
+                .map(|a| a.ty().clone())
+                .unwrap_or(RelType::nullable(TypeKind::Any));
+            for a in &args[1..] {
+                ty = ty
+                    .least_restrictive(a.ty())
+                    .unwrap_or(RelType::nullable(TypeKind::Any));
+            }
+            // COALESCE is non-null if any argument is non-null... only the
+            // last one matters for a guarantee; keep it simple: nullable if
+            // all nullable.
+            let nullable = args.iter().all(|a| a.ty().nullable);
+            ty.with_nullable(nullable)
+        }
+        BuiltinFn::NullIf => args
+            .first()
+            .map(|a| a.ty().with_nullable(true))
+            .unwrap_or(RelType::nullable(TypeKind::Any)),
+    }
+}
+
+fn eval_call(op: &Op, args: &[RexNode], ty: &RelType, row: &[Datum]) -> Result<Datum> {
+    // Short-circuit / lazy operators first.
+    match op {
+        Op::And => {
+            let mut saw_null = false;
+            for a in args {
+                match a.eval(row)? {
+                    Datum::Bool(false) => return Ok(Datum::Bool(false)),
+                    Datum::Null => saw_null = true,
+                    Datum::Bool(true) => {}
+                    v => {
+                        return Err(CalciteError::execution(format!(
+                            "AND operand is not boolean: {v}"
+                        )))
+                    }
+                }
+            }
+            return Ok(if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(true)
+            });
+        }
+        Op::Or => {
+            let mut saw_null = false;
+            for a in args {
+                match a.eval(row)? {
+                    Datum::Bool(true) => return Ok(Datum::Bool(true)),
+                    Datum::Null => saw_null = true,
+                    Datum::Bool(false) => {}
+                    v => {
+                        return Err(CalciteError::execution(format!(
+                            "OR operand is not boolean: {v}"
+                        )))
+                    }
+                }
+            }
+            return Ok(if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(false)
+            });
+        }
+        Op::Case => {
+            let mut i = 0;
+            while i + 1 < args.len() {
+                if args[i].eval(row)? == Datum::Bool(true) {
+                    return args[i + 1].eval(row);
+                }
+                i += 2;
+            }
+            return if i < args.len() {
+                args[i].eval(row)
+            } else {
+                Ok(Datum::Null)
+            };
+        }
+        Op::Func(BuiltinFn::Coalesce) => {
+            for a in args {
+                let v = a.eval(row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            return Ok(Datum::Null);
+        }
+        _ => {}
+    }
+
+    let vals: Vec<Datum> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+
+    match op {
+        Op::IsNull => return Ok(Datum::Bool(vals[0].is_null())),
+        Op::IsNotNull => return Ok(Datum::Bool(!vals[0].is_null())),
+        _ => {}
+    }
+
+    // Remaining operators are strict: NULL in, NULL out.
+    if vals.iter().any(Datum::is_null) {
+        return Ok(Datum::Null);
+    }
+
+    match op {
+        Op::Plus | Op::Minus | Op::Times | Op::Divide | Op::Mod => {
+            eval_arith(op, &vals[0], &vals[1])
+        }
+        Op::Neg => match &vals[0] {
+            Datum::Int(i) => Ok(Datum::Int(-i)),
+            Datum::Double(d) => Ok(Datum::Double(-d)),
+            Datum::Interval(i) => Ok(Datum::Interval(-i)),
+            v => Err(CalciteError::execution(format!("cannot negate {v}"))),
+        },
+        Op::Eq => Ok(Datum::Bool(vals[0] == vals[1])),
+        Op::Ne => Ok(Datum::Bool(vals[0] != vals[1])),
+        Op::Lt => Ok(Datum::Bool(vals[0] < vals[1])),
+        Op::Le => Ok(Datum::Bool(vals[0] <= vals[1])),
+        Op::Gt => Ok(Datum::Bool(vals[0] > vals[1])),
+        Op::Ge => Ok(Datum::Bool(vals[0] >= vals[1])),
+        Op::Not => match &vals[0] {
+            Datum::Bool(b) => Ok(Datum::Bool(!b)),
+            v => Err(CalciteError::execution(format!("NOT of non-boolean {v}"))),
+        },
+        Op::Like => {
+            let s = vals[0]
+                .as_str()
+                .ok_or_else(|| CalciteError::execution("LIKE operand must be string"))?;
+            let p = vals[1]
+                .as_str()
+                .ok_or_else(|| CalciteError::execution("LIKE pattern must be string"))?;
+            Ok(Datum::Bool(like_match(s, p)))
+        }
+        Op::Cast => eval_cast(&vals[0], ty),
+        Op::Item => eval_item(&vals[0], &vals[1]),
+        Op::Concat => {
+            let mut s = String::new();
+            for v in &vals {
+                match v {
+                    Datum::Str(x) => s.push_str(x),
+                    other => s.push_str(&other.to_string()),
+                }
+            }
+            Ok(Datum::str(s))
+        }
+        Op::Func(b) => eval_builtin(*b, &vals),
+        Op::Udf(u) => (u.eval)(&vals),
+        Op::And | Op::Or | Op::Case | Op::IsNull | Op::IsNotNull => unreachable!(),
+    }
+}
+
+fn eval_arith(op: &Op, a: &Datum, b: &Datum) -> Result<Datum> {
+    use Datum::*;
+    // Temporal arithmetic.
+    match (op, a, b) {
+        (Op::Plus, Timestamp(t), Interval(i)) | (Op::Plus, Interval(i), Timestamp(t)) => {
+            return Ok(Timestamp(t + i))
+        }
+        (Op::Minus, Timestamp(t), Interval(i)) => return Ok(Timestamp(t - i)),
+        (Op::Minus, Timestamp(t1), Timestamp(t2)) => return Ok(Interval(t1 - t2)),
+        (Op::Plus, Interval(i1), Interval(i2)) => return Ok(Interval(i1 + i2)),
+        (Op::Minus, Interval(i1), Interval(i2)) => return Ok(Interval(i1 - i2)),
+        // Timestamp % interval: offset into the current tumbling window
+        // (used by the TUMBLE desugaring, §7.2).
+        (Op::Mod, Timestamp(t), Interval(i)) if *i != 0 => {
+            return Ok(Interval(t.rem_euclid(*i)))
+        }
+        _ => {}
+    }
+    match (a, b) {
+        (Int(x), Int(y)) => match op {
+            Op::Plus => Ok(Int(x.wrapping_add(*y))),
+            Op::Minus => Ok(Int(x.wrapping_sub(*y))),
+            Op::Times => Ok(Int(x.wrapping_mul(*y))),
+            Op::Divide => {
+                if *y == 0 {
+                    Err(CalciteError::execution("division by zero"))
+                } else {
+                    Ok(Double(*x as f64 / *y as f64))
+                }
+            }
+            Op::Mod => {
+                if *y == 0 {
+                    Err(CalciteError::execution("division by zero"))
+                } else {
+                    Ok(Int(x % y))
+                }
+            }
+            _ => unreachable!(),
+        },
+        _ => {
+            let x = a
+                .as_double()
+                .ok_or_else(|| CalciteError::execution(format!("non-numeric operand {a}")))?;
+            let y = b
+                .as_double()
+                .ok_or_else(|| CalciteError::execution(format!("non-numeric operand {b}")))?;
+            match op {
+                Op::Plus => Ok(Double(x + y)),
+                Op::Minus => Ok(Double(x - y)),
+                Op::Times => Ok(Double(x * y)),
+                Op::Divide => {
+                    if y == 0.0 {
+                        Err(CalciteError::execution("division by zero"))
+                    } else {
+                        Ok(Double(x / y))
+                    }
+                }
+                Op::Mod => Ok(Double(x % y)),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// SQL LIKE with `%` and `_` wildcards (no escape character).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        if p.is_empty() {
+            return s.is_empty();
+        }
+        match p[0] {
+            '%' => {
+                // Collapse consecutive %.
+                let rest = &p[1..];
+                (0..=s.len()).any(|i| rec(&s[i..], rest))
+            }
+            '_' => !s.is_empty() && rec(&s[1..], &p[1..]),
+            c => !s.is_empty() && s[0] == c && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+fn eval_cast(v: &Datum, ty: &RelType) -> Result<Datum> {
+    let fail = || {
+        Err(CalciteError::execution(format!(
+            "cannot CAST {v} to {}",
+            ty.kind
+        )))
+    };
+    match &ty.kind {
+        TypeKind::Any | TypeKind::Null => Ok(v.clone()),
+        TypeKind::Integer => match v {
+            Datum::Int(_) => Ok(v.clone()),
+            Datum::Double(d) => Ok(Datum::Int(*d as i64)),
+            Datum::Bool(b) => Ok(Datum::Int(*b as i64)),
+            Datum::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Datum::Int)
+                .or_else(|_| s.trim().parse::<f64>().map(|d| Datum::Int(d as i64)))
+                .map_err(|_| CalciteError::execution(format!("cannot CAST '{s}' to INTEGER"))),
+            _ => fail(),
+        },
+        TypeKind::Double => match v {
+            Datum::Double(_) => Ok(v.clone()),
+            Datum::Int(i) => Ok(Datum::Double(*i as f64)),
+            Datum::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Datum::Double)
+                .map_err(|_| CalciteError::execution(format!("cannot CAST '{s}' to DOUBLE"))),
+            _ => fail(),
+        },
+        TypeKind::Varchar => Ok(Datum::str(v.to_string())),
+        TypeKind::Boolean => match v {
+            Datum::Bool(_) => Ok(v.clone()),
+            Datum::Str(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Ok(Datum::Bool(true)),
+                "false" | "f" | "0" => Ok(Datum::Bool(false)),
+                _ => fail(),
+            },
+            _ => fail(),
+        },
+        TypeKind::Date => match v {
+            Datum::Date(_) => Ok(v.clone()),
+            Datum::Timestamp(ms) => Ok(Datum::Date(ms.div_euclid(86_400_000) as i32)),
+            Datum::Str(s) => parse_date(s).map(Datum::Date).ok_or_else(|| {
+                CalciteError::execution(format!("cannot CAST '{s}' to DATE"))
+            }),
+            _ => fail(),
+        },
+        TypeKind::Timestamp => match v {
+            Datum::Timestamp(_) => Ok(v.clone()),
+            Datum::Date(d) => Ok(Datum::Timestamp(*d as i64 * 86_400_000)),
+            Datum::Int(i) => Ok(Datum::Timestamp(*i)),
+            Datum::Str(s) => parse_timestamp(s).map(Datum::Timestamp).ok_or_else(|| {
+                CalciteError::execution(format!("cannot CAST '{s}' to TIMESTAMP"))
+            }),
+            _ => fail(),
+        },
+        TypeKind::Interval => match v {
+            Datum::Interval(_) => Ok(v.clone()),
+            Datum::Int(i) => Ok(Datum::Interval(*i)),
+            _ => fail(),
+        },
+        TypeKind::Array(_) | TypeKind::Multiset(_) => match v {
+            Datum::Array(_) => Ok(v.clone()),
+            _ => fail(),
+        },
+        TypeKind::Map(_, _) => match v {
+            Datum::Map(_) => Ok(v.clone()),
+            _ => fail(),
+        },
+        TypeKind::Geometry => match v {
+            Datum::Ext(_) => Ok(v.clone()),
+            _ => fail(),
+        },
+    }
+}
+
+fn eval_item(container: &Datum, key: &Datum) -> Result<Datum> {
+    match container {
+        Datum::Array(items) => {
+            let i = key
+                .as_int()
+                .ok_or_else(|| CalciteError::execution("array index must be integer"))?;
+            if i < 0 {
+                return Ok(Datum::Null);
+            }
+            Ok(items.get(i as usize).cloned().unwrap_or(Datum::Null))
+        }
+        Datum::Map(m) => {
+            let k = key
+                .as_str()
+                .ok_or_else(|| CalciteError::execution("map key must be string"))?;
+            Ok(m.get(k).cloned().unwrap_or(Datum::Null))
+        }
+        other => Err(CalciteError::execution(format!(
+            "ITEM access on non-collection value {other}"
+        ))),
+    }
+}
+
+fn eval_builtin(b: BuiltinFn, vals: &[Datum]) -> Result<Datum> {
+    let str_arg = |i: usize| -> Result<&str> {
+        vals[i]
+            .as_str()
+            .ok_or_else(|| CalciteError::execution(format!("{} expects a string", b.name())))
+    };
+    match b {
+        BuiltinFn::Upper => Ok(Datum::str(str_arg(0)?.to_uppercase())),
+        BuiltinFn::Lower => Ok(Datum::str(str_arg(0)?.to_lowercase())),
+        BuiltinFn::CharLength => Ok(Datum::Int(str_arg(0)?.chars().count() as i64)),
+        BuiltinFn::Substring => {
+            let s: Vec<char> = str_arg(0)?.chars().collect();
+            let start = vals[1]
+                .as_int()
+                .ok_or_else(|| CalciteError::execution("SUBSTRING start must be integer"))?;
+            // SQL SUBSTRING is 1-based.
+            let begin = (start.max(1) - 1) as usize;
+            let end = if vals.len() > 2 {
+                let len = vals[2]
+                    .as_int()
+                    .ok_or_else(|| CalciteError::execution("SUBSTRING length must be integer"))?
+                    .max(0) as usize;
+                (begin + len).min(s.len())
+            } else {
+                s.len()
+            };
+            if begin >= s.len() {
+                return Ok(Datum::str(""));
+            }
+            Ok(Datum::str(s[begin..end].iter().collect::<String>()))
+        }
+        BuiltinFn::Abs => match &vals[0] {
+            Datum::Int(i) => Ok(Datum::Int(i.abs())),
+            Datum::Double(d) => Ok(Datum::Double(d.abs())),
+            v => Err(CalciteError::execution(format!("ABS of non-numeric {v}"))),
+        },
+        BuiltinFn::Floor => match &vals[0] {
+            Datum::Int(i) => Ok(Datum::Int(*i)),
+            Datum::Double(d) => Ok(Datum::Double(d.floor())),
+            v => Err(CalciteError::execution(format!("FLOOR of non-numeric {v}"))),
+        },
+        BuiltinFn::Ceil => match &vals[0] {
+            Datum::Int(i) => Ok(Datum::Int(*i)),
+            Datum::Double(d) => Ok(Datum::Double(d.ceil())),
+            v => Err(CalciteError::execution(format!("CEIL of non-numeric {v}"))),
+        },
+        BuiltinFn::Sqrt => {
+            let d = vals[0]
+                .as_double()
+                .ok_or_else(|| CalciteError::execution("SQRT of non-numeric"))?;
+            Ok(Datum::Double(d.sqrt()))
+        }
+        BuiltinFn::Power => {
+            let base = vals[0]
+                .as_double()
+                .ok_or_else(|| CalciteError::execution("POWER of non-numeric"))?;
+            let exp = vals[1]
+                .as_double()
+                .ok_or_else(|| CalciteError::execution("POWER of non-numeric"))?;
+            Ok(Datum::Double(base.powf(exp)))
+        }
+        BuiltinFn::Coalesce => unreachable!("handled lazily"),
+        BuiltinFn::NullIf => Ok(if vals[0] == vals[1] {
+            Datum::Null
+        } else {
+            vals[0].clone()
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = RexNode::call(
+            Op::Plus,
+            vec![RexNode::input(0, int_ty()), RexNode::lit_int(5)],
+        );
+        assert_eq!(e.eval(&[Datum::Int(2)]).unwrap(), Datum::Int(7));
+        let e = RexNode::call(Op::Divide, vec![RexNode::lit_int(7), RexNode::lit_int(2)]);
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Double(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = RexNode::call(Op::Divide, vec![RexNode::lit_int(1), RexNode::lit_int(0)]);
+        assert!(e.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let null = RexNode::lit_null(RelType::nullable(TypeKind::Boolean));
+        // NULL AND FALSE = FALSE
+        let e = RexNode::call(Op::And, vec![null.clone(), RexNode::false_lit()]);
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Bool(false));
+        // NULL AND TRUE = NULL
+        let e = RexNode::call(Op::And, vec![null.clone(), RexNode::true_lit()]);
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Null);
+        // NULL OR TRUE = TRUE
+        let e = RexNode::call(Op::Or, vec![null, RexNode::true_lit()]);
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn null_propagates_through_comparison() {
+        let null = RexNode::lit_null(RelType::nullable(TypeKind::Integer));
+        let e = null.eq(RexNode::lit_int(1));
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let null = RexNode::lit_null(RelType::nullable(TypeKind::Integer));
+        assert_eq!(null.clone().is_null().eval(&[]).unwrap(), Datum::Bool(true));
+        assert_eq!(
+            RexNode::lit_int(1).is_not_null().eval(&[]).unwrap(),
+            Datum::Bool(true)
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "H%"));
+        assert!(!like_match("hello", "h_o"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn case_evaluation() {
+        // CASE WHEN $0 > 0 THEN 'pos' ELSE 'neg' END
+        let e = RexNode::call(
+            Op::Case,
+            vec![
+                RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)),
+                RexNode::lit_str("pos"),
+                RexNode::lit_str("neg"),
+            ],
+        );
+        assert_eq!(e.eval(&[Datum::Int(5)]).unwrap(), Datum::str("pos"));
+        assert_eq!(e.eval(&[Datum::Int(-5)]).unwrap(), Datum::str("neg"));
+    }
+
+    #[test]
+    fn cast_string_to_number_and_back() {
+        let e = RexNode::lit_str("42").cast(RelType::not_null(TypeKind::Integer));
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Int(42));
+        let e = RexNode::lit_int(42).cast(RelType::not_null(TypeKind::Varchar));
+        assert_eq!(e.eval(&[]).unwrap(), Datum::str("42"));
+        let e = RexNode::lit_str("4.5").cast(RelType::not_null(TypeKind::Double));
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Double(4.5));
+    }
+
+    #[test]
+    fn item_access_on_map_and_array() {
+        // The paper's _MAP['loc'][0] pattern.
+        let map_val = Datum::map(vec![(
+            "loc".to_string(),
+            Datum::array(vec![Datum::Double(4.9), Datum::Double(52.4)]),
+        )]);
+        let map_ty = RelType::nullable(TypeKind::Map(
+            Box::new(RelType::not_null(TypeKind::Varchar)),
+            Box::new(RelType::nullable(TypeKind::Any)),
+        ));
+        let e = RexNode::call(
+            Op::Item,
+            vec![
+                RexNode::call(
+                    Op::Item,
+                    vec![RexNode::input(0, map_ty), RexNode::lit_str("loc")],
+                ),
+                RexNode::lit_int(0),
+            ],
+        );
+        assert_eq!(e.eval(&[map_val]).unwrap(), Datum::Double(4.9));
+    }
+
+    #[test]
+    fn item_access_missing_key_is_null() {
+        let map_val = Datum::map(vec![]);
+        let map_ty = RelType::nullable(TypeKind::Any);
+        let e = RexNode::call(
+            Op::Item,
+            vec![RexNode::input(0, map_ty), RexNode::lit_str("city")],
+        );
+        assert_eq!(e.eval(&[map_val]).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn builtin_functions() {
+        let e = RexNode::call(Op::Func(BuiltinFn::Upper), vec![RexNode::lit_str("abc")]);
+        assert_eq!(e.eval(&[]).unwrap(), Datum::str("ABC"));
+        let e = RexNode::call(
+            Op::Func(BuiltinFn::Substring),
+            vec![
+                RexNode::lit_str("hello"),
+                RexNode::lit_int(2),
+                RexNode::lit_int(3),
+            ],
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Datum::str("ell"));
+        let e = RexNode::call(
+            Op::Func(BuiltinFn::Coalesce),
+            vec![
+                RexNode::lit_null(RelType::nullable(TypeKind::Integer)),
+                RexNode::lit_int(9),
+            ],
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Int(9));
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let a = RexNode::input(0, int_ty()).gt(RexNode::lit_int(1));
+        let b = RexNode::input(1, int_ty()).lt(RexNode::lit_int(5));
+        let c = RexNode::input(2, int_ty()).eq(RexNode::lit_int(3));
+        let e = RexNode::and_all(vec![a.clone(), RexNode::and_all(vec![b.clone(), c.clone()])]);
+        let cj = e.conjuncts();
+        assert_eq!(cj.len(), 3);
+        assert_eq!(cj[0], a);
+        assert_eq!(cj[1], b);
+        assert_eq!(cj[2], c);
+    }
+
+    #[test]
+    fn and_all_identity() {
+        assert!(RexNode::and_all(vec![]).is_always_true());
+        let one = RexNode::lit_bool(false);
+        assert_eq!(RexNode::and_all(vec![one.clone()]), one);
+    }
+
+    #[test]
+    fn input_refs_and_shift() {
+        let e = RexNode::input(1, int_ty()).gt(RexNode::input(3, int_ty()));
+        assert_eq!(e.input_refs().into_iter().collect::<Vec<_>>(), vec![1, 3]);
+        let shifted = e.shift(-1);
+        assert_eq!(
+            shifted.input_refs().into_iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn try_remap_fails_on_missing_column() {
+        let e = RexNode::input(0, int_ty()).gt(RexNode::input(2, int_ty()));
+        let mut map = HashMap::new();
+        map.insert(0, 0);
+        assert!(e.try_remap(&map).is_none());
+        map.insert(2, 1);
+        let remapped = e.try_remap(&map).unwrap();
+        assert_eq!(
+            remapped.input_refs().into_iter().collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn substitute_through_project() {
+        // Condition $0 > 10 above Project[$2 + 1] becomes ($2 + 1) > 10.
+        let proj = vec![RexNode::call(
+            Op::Plus,
+            vec![RexNode::input(2, int_ty()), RexNode::lit_int(1)],
+        )];
+        let cond = RexNode::input(0, int_ty()).gt(RexNode::lit_int(10));
+        let pushed = cond.substitute(&proj);
+        assert_eq!(pushed.input_refs().into_iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn display_digest_is_stable() {
+        let e = RexNode::input(0, int_ty()).eq(RexNode::lit_int(42));
+        assert_eq!(e.digest(), "($0 = 42)");
+        let e = RexNode::and_all(vec![
+            RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)),
+            RexNode::input(1, int_ty()).is_not_null(),
+        ]);
+        assert_eq!(e.digest(), "(($0 > 1) AND ($1 IS NOT NULL))");
+    }
+
+    #[test]
+    fn timestamp_interval_arithmetic() {
+        let e = RexNode::call(
+            Op::Plus,
+            vec![
+                RexNode::literal(Datum::Timestamp(1000), RelType::not_null(TypeKind::Timestamp)),
+                RexNode::literal(Datum::Interval(500), RelType::not_null(TypeKind::Interval)),
+            ],
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Timestamp(1500));
+        assert_eq!(e.ty().kind, TypeKind::Timestamp);
+    }
+
+    #[test]
+    fn type_derivation() {
+        let e = RexNode::call(
+            Op::Plus,
+            vec![
+                RexNode::input(0, RelType::nullable(TypeKind::Integer)),
+                RexNode::lit_double(1.0),
+            ],
+        );
+        assert_eq!(e.ty().kind, TypeKind::Double);
+        assert!(e.ty().nullable);
+        let cmp = RexNode::lit_int(1).eq(RexNode::lit_int(2));
+        assert_eq!(cmp.ty().kind, TypeKind::Boolean);
+        assert!(!cmp.ty().nullable);
+    }
+}

@@ -1,0 +1,223 @@
+//! Aggregate rules.
+
+use crate::rel::{self, AggCall, RelKind, RelOp};
+use crate::rex::RexNode;
+use crate::rules::{Pattern, Rule, RuleCall};
+
+/// `Aggregate(Project)` where group keys and aggregate arguments all map
+/// to plain column references → aggregate directly over the project's
+/// input. A rename projection is added on top when field names change.
+pub struct AggregateProjectMergeRule;
+
+impl Rule for AggregateProjectMergeRule {
+    fn name(&self) -> &str {
+        "AggregateProjectMergeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Aggregate, vec![Pattern::of(RelKind::Project)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (agg, proj) = (call.rel(0), call.rel(1));
+        let (group, aggs) = match &agg.op {
+            RelOp::Aggregate { group, aggs } => (group.clone(), aggs.clone()),
+            _ => return,
+        };
+        let exprs = match &proj.op {
+            RelOp::Project { exprs, .. } => exprs.clone(),
+            _ => return,
+        };
+        // Every column the aggregate touches must be a bare reference in
+        // the projection.
+        let map_col = |i: usize| exprs.get(i).and_then(|e| e.as_input_ref());
+        let new_group: Option<Vec<usize>> = group.iter().map(|g| map_col(*g)).collect();
+        let Some(new_group) = new_group else { return };
+        let mut new_aggs = Vec::with_capacity(aggs.len());
+        for a in &aggs {
+            let args: Option<Vec<usize>> = a.args.iter().map(|i| map_col(*i)).collect();
+            let Some(args) = args else { return };
+            new_aggs.push(AggCall {
+                func: a.func,
+                args,
+                distinct: a.distinct,
+                name: a.name.clone(),
+                ty: a.ty.clone(),
+            });
+        }
+        let input = proj.input(0).clone();
+        let new_agg = rel::aggregate(input, new_group, new_aggs);
+
+        // Preserve output field names via a rename projection if needed.
+        let old_rt = agg.row_type();
+        let new_rt = new_agg.row_type();
+        if old_rt
+            .fields
+            .iter()
+            .zip(new_rt.fields.iter())
+            .all(|(a, b)| a.name == b.name)
+        {
+            call.transform_to(new_agg);
+        } else {
+            let exprs: Vec<RexNode> = new_rt
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| RexNode::input(i, f.ty.clone()))
+                .collect();
+            let names = old_rt.fields.iter().map(|f| f.name.clone()).collect();
+            call.transform_to(rel::project(new_agg, exprs, names));
+        }
+    }
+}
+
+/// Removes an aggregate whose group keys are already unique on its input
+/// and which computes no aggregate functions: it is a duplicate-free
+/// projection of the keys.
+pub struct AggregateRemoveRule;
+
+impl Rule for AggregateRemoveRule {
+    fn name(&self) -> &str {
+        "AggregateRemoveRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(RelKind::Aggregate)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let agg = call.rel(0);
+        let (group, aggs) = match &agg.op {
+            RelOp::Aggregate { group, aggs } => (group.clone(), aggs),
+            _ => return,
+        };
+        if !aggs.is_empty() || group.is_empty() {
+            return;
+        }
+        let input = agg.input(0);
+        if !call.mq.are_columns_unique(input, &group) {
+            return;
+        }
+        let rt = input.row_type();
+        let exprs: Vec<RexNode> = group
+            .iter()
+            .map(|g| RexNode::input(*g, rt.field(*g).ty.clone()))
+            .collect();
+        let names = group.iter().map(|g| rt.field(*g).name.clone()).collect();
+        call.transform_to(rel::project(input.clone(), exprs, names));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, Statistic, TableRef};
+    use crate::metadata::MetadataQuery;
+    use crate::rel::{AggFunc, Rel};
+    use crate::types::{RelType, RowTypeBuilder, TypeKind};
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn fire(rule: &dyn Rule, root: &Rel) -> Vec<Rel> {
+        let mq = MetadataQuery::standard();
+        match rule.pattern().match_tree(root) {
+            Some(binds) => {
+                let mut call = RuleCall::new(binds, &mq);
+                rule.on_match(&mut call);
+                call.into_results()
+            }
+            None => vec![],
+        }
+    }
+
+    fn keyed_table() -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("id", TypeKind::Integer)
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            vec![],
+        )
+        .with_statistic(Statistic::of_rows(100.0).with_key(vec![0]));
+        rel::scan(TableRef::new("s", "t", t))
+    }
+
+    #[test]
+    fn aggregate_project_merge_maps_columns() {
+        let t = keyed_table();
+        // Project (v, id); aggregate group by position 0 (=v), sum position 1 (=id).
+        let p = rel::project(
+            t,
+            vec![RexNode::input(1, int_ty()), RexNode::input(0, int_ty())],
+            vec!["v".into(), "id".into()],
+        );
+        let rt = p.row_type().clone();
+        let agg = rel::aggregate(
+            p,
+            vec![0],
+            vec![AggCall::new(AggFunc::Sum, vec![1], false, "s", &rt)],
+        );
+        let new = fire(&AggregateProjectMergeRule, &agg).pop().unwrap();
+        // The project is gone; the aggregate addresses the scan directly.
+        assert_eq!(new.kind(), RelKind::Aggregate);
+        assert_eq!(new.input(0).kind(), RelKind::Scan);
+        if let RelOp::Aggregate { group, aggs } = &new.op {
+            assert_eq!(group, &vec![1]);
+            assert_eq!(aggs[0].args, vec![0]);
+        }
+        assert_eq!(new.row_type().field_names(), agg.row_type().field_names());
+    }
+
+    #[test]
+    fn aggregate_project_merge_refuses_computed_columns() {
+        let t = keyed_table();
+        let p = rel::project(
+            t,
+            vec![RexNode::call(
+                crate::rex::Op::Plus,
+                vec![RexNode::input(0, int_ty()), RexNode::lit_int(1)],
+            )],
+            vec!["x".into()],
+        );
+        let agg = rel::aggregate(p, vec![0], vec![]);
+        assert!(fire(&AggregateProjectMergeRule, &agg).is_empty());
+    }
+
+    #[test]
+    fn aggregate_remove_on_unique_key() {
+        let t = keyed_table();
+        let agg = rel::aggregate(t, vec![0], vec![]);
+        let new = fire(&AggregateRemoveRule, &agg).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Project);
+        assert_eq!(new.row_type().field_names(), vec!["id"]);
+    }
+
+    #[test]
+    fn aggregate_remove_requires_uniqueness() {
+        let t = keyed_table();
+        // Group on the non-key column: must not fire.
+        let agg = rel::aggregate(t, vec![1], vec![]);
+        assert!(fire(&AggregateRemoveRule, &agg).is_empty());
+    }
+
+    #[test]
+    fn aggregate_remove_keeps_real_aggregates() {
+        let t = keyed_table();
+        let rt = t.row_type().clone();
+        let agg = rel::aggregate(
+            t,
+            vec![0],
+            vec![AggCall::new(AggFunc::Sum, vec![1], false, "s", &rt)],
+        );
+        assert!(fire(&AggregateRemoveRule, &agg).is_empty());
+    }
+
+    #[test]
+    fn aggregate_remove_keeps_global_aggregate() {
+        let t = keyed_table();
+        let agg = rel::aggregate(t, vec![], vec![]);
+        assert!(fire(&AggregateRemoveRule, &agg).is_empty());
+    }
+}

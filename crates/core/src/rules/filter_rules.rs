@@ -1,0 +1,455 @@
+//! Filter push-down rules, including `FilterIntoJoinRule` — the paper's
+//! Figure 4 example ("we can move the filter before the join ... this
+//! optimization can significantly reduce query execution time").
+
+use crate::rel::{self, JoinKind, Rel, RelKind, RelOp};
+use crate::rex::RexNode;
+use crate::rules::{Pattern, Rule, RuleCall};
+use std::collections::HashMap;
+
+/// Splits filter conjuncts over a join into (left-only, right-only,
+/// mixed), with right-only conjuncts rebased to the right input's
+/// coordinates.
+pub fn split_join_condition(
+    conjuncts: Vec<RexNode>,
+    left_arity: usize,
+    total_arity: usize,
+) -> (Vec<RexNode>, Vec<RexNode>, Vec<RexNode>) {
+    let left_map: HashMap<usize, usize> = (0..left_arity).map(|i| (i, i)).collect();
+    let right_map: HashMap<usize, usize> = (left_arity..total_arity)
+        .map(|i| (i, i - left_arity))
+        .collect();
+    let mut left = vec![];
+    let mut right = vec![];
+    let mut mixed = vec![];
+    for c in conjuncts {
+        if let Some(l) = c.try_remap(&left_map) {
+            left.push(l);
+        } else if let Some(r) = c.try_remap(&right_map) {
+            right.push(r);
+        } else {
+            mixed.push(c);
+        }
+    }
+    (left, right, mixed)
+}
+
+/// `Filter(Join)` → pushes the filter's conjuncts below the join where
+/// legal, merging cross-side conjuncts into the join condition of inner
+/// joins (Figure 4).
+pub struct FilterIntoJoinRule;
+
+impl Rule for FilterIntoJoinRule {
+    fn name(&self) -> &str {
+        "FilterIntoJoinRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Join)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let filter = call.rel(0);
+        let join_node = call.rel(1);
+        let (condition, (kind, join_cond)) = match (&filter.op, &join_node.op) {
+            (RelOp::Filter { condition }, RelOp::Join { kind, condition: jc }) => {
+                (condition.clone(), (*kind, jc.clone()))
+            }
+            _ => return,
+        };
+        let left = join_node.input(0).clone();
+        let right = join_node.input(1).clone();
+        let left_arity = left.row_type().arity();
+        let total = left_arity + if kind.projects_right() {
+            right.row_type().arity()
+        } else {
+            0
+        };
+        let (l, r, mixed) = split_join_condition(condition.conjuncts(), left_arity, total);
+
+        // Legality per join kind: a conjunct may move below the join only
+        // if that side does not generate NULLs (the filter above sees
+        // NULL-extended rows; below it would not).
+        let can_push_left = !kind.generates_nulls_on_left();
+        let can_push_right = kind.projects_right() && !kind.generates_nulls_on_right();
+        // Mixed conjuncts can strengthen the join condition of inner joins
+        // only.
+        let can_merge_mixed = kind == JoinKind::Inner;
+
+        let (push_l, keep_l) = if can_push_left { (l, vec![]) } else { (vec![], l) };
+        let (push_r, keep_r) = if can_push_right { (r, vec![]) } else { (vec![], r) };
+        let (merge_m, keep_m) = if can_merge_mixed {
+            (mixed, vec![])
+        } else {
+            (vec![], mixed)
+        };
+
+        if push_l.is_empty() && push_r.is_empty() && merge_m.is_empty() {
+            return;
+        }
+
+        let new_left = rel::filter(left, RexNode::and_all(push_l));
+        let new_right = rel::filter(right, RexNode::and_all(push_r));
+        let mut cond_parts = join_cond.conjuncts();
+        cond_parts.extend(merge_m);
+        let new_join = rel::join(new_left, new_right, kind, RexNode::and_all(cond_parts));
+
+        // Conjuncts that could not move stay above; re-basing: keep_r is in
+        // right coordinates, shift back.
+        let mut remaining = keep_l;
+        remaining.extend(keep_r.into_iter().map(|c| c.shift(left_arity as isize)));
+        remaining.extend(keep_m);
+        call.transform_to(rel::filter(new_join, RexNode::and_all(remaining)));
+    }
+}
+
+/// `Filter(Filter)` → single filter over the conjunction.
+pub struct FilterMergeRule;
+
+impl Rule for FilterMergeRule {
+    fn name(&self) -> &str {
+        "FilterMergeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Filter)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (top, bottom) = (call.rel(0), call.rel(1));
+        if let (RelOp::Filter { condition: c1 }, RelOp::Filter { condition: c2 }) =
+            (&top.op, &bottom.op)
+        {
+            let mut parts = c2.conjuncts();
+            parts.extend(c1.conjuncts());
+            call.transform_to(rel::filter(
+                bottom.input(0).clone(),
+                RexNode::and_all(parts),
+            ));
+        }
+    }
+}
+
+/// `Filter(Project)` → `Project(Filter)` with the condition rewritten in
+/// terms of the project's input.
+pub struct FilterProjectTransposeRule;
+
+impl Rule for FilterProjectTransposeRule {
+    fn name(&self) -> &str {
+        "FilterProjectTransposeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Project)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (filter, proj) = (call.rel(0), call.rel(1));
+        if let (RelOp::Filter { condition }, RelOp::Project { exprs, names }) =
+            (&filter.op, &proj.op)
+        {
+            let pushed = condition.substitute(exprs);
+            let new_filter = rel::filter(proj.input(0).clone(), pushed);
+            call.transform_to(rel::project(new_filter, exprs.clone(), names.clone()));
+        }
+    }
+}
+
+/// `Filter(Aggregate)` → pushes conjuncts that only touch group keys below
+/// the aggregate.
+pub struct FilterAggregateTransposeRule;
+
+impl Rule for FilterAggregateTransposeRule {
+    fn name(&self) -> &str {
+        "FilterAggregateTransposeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Aggregate)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (filter, agg) = (call.rel(0), call.rel(1));
+        if let (RelOp::Filter { condition }, RelOp::Aggregate { group, aggs }) =
+            (&filter.op, &agg.op)
+        {
+            // Output position i of a group key corresponds to input column
+            // group[i].
+            let map: HashMap<usize, usize> =
+                group.iter().enumerate().map(|(i, g)| (i, *g)).collect();
+            let mut pushed = vec![];
+            let mut kept = vec![];
+            for c in condition.conjuncts() {
+                match c.try_remap(&map) {
+                    Some(below) => pushed.push(below),
+                    None => kept.push(c),
+                }
+            }
+            if pushed.is_empty() {
+                return;
+            }
+            let new_input = rel::filter(agg.input(0).clone(), RexNode::and_all(pushed));
+            let new_agg = rel::aggregate(new_input, group.clone(), aggs.clone());
+            call.transform_to(rel::filter(new_agg, RexNode::and_all(kept)));
+        }
+    }
+}
+
+/// `Filter(Union)` → `Union(Filter, Filter, ...)`.
+pub struct FilterUnionTransposeRule;
+
+impl Rule for FilterUnionTransposeRule {
+    fn name(&self) -> &str {
+        "FilterUnionTransposeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Union)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (filter, un) = (call.rel(0), call.rel(1));
+        if let (RelOp::Filter { condition }, RelOp::Union { all }) = (&filter.op, &un.op) {
+            let inputs: Vec<Rel> = un
+                .inputs
+                .iter()
+                .map(|i| rel::filter(i.clone(), condition.clone()))
+                .collect();
+            call.transform_to(rel::union(inputs, *all));
+        }
+    }
+}
+
+/// `Filter(Sort)` → `Sort(Filter)` when the sort carries no OFFSET/FETCH
+/// (a limit would change which rows survive).
+pub struct FilterSortTransposeRule;
+
+impl Rule for FilterSortTransposeRule {
+    fn name(&self) -> &str {
+        "FilterSortTransposeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Sort)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (filter, sort_node) = (call.rel(0), call.rel(1));
+        if let (
+            RelOp::Filter { condition },
+            RelOp::Sort {
+                collation,
+                offset: None,
+                fetch: None,
+            },
+        ) = (&filter.op, &sort_node.op)
+        {
+            let new_filter = rel::filter(sort_node.input(0).clone(), condition.clone());
+            call.transform_to(rel::sort(new_filter, collation.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, TableRef};
+    use crate::metadata::MetadataQuery;
+    use crate::rel::{AggCall, RelKind};
+    use crate::types::{RelType, RowTypeBuilder, TypeKind};
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn table(name: &str, cols: &[&str]) -> Rel {
+        let mut b = RowTypeBuilder::new();
+        for c in cols {
+            b = b.add_not_null(*c, TypeKind::Integer);
+        }
+        rel::scan(TableRef::new("s", name, MemTable::new(b.build(), vec![])))
+    }
+
+    fn fire(rule: &dyn Rule, root: &Rel) -> Vec<Rel> {
+        let mq = MetadataQuery::standard();
+        let binds = rule.pattern().match_tree(root).expect("pattern must match");
+        let mut call = RuleCall::new(binds, &mq);
+        rule.on_match(&mut call);
+        call.into_results()
+    }
+
+    #[test]
+    fn filter_into_join_pushes_left_only_conjunct() {
+        // The Figure 4 query shape: filter on sales.discount above
+        // sales JOIN products.
+        let sales = table("sales", &["productid", "discount"]);
+        let products = table("products", &["productid", "name"]);
+        let join = rel::join(
+            sales,
+            products,
+            JoinKind::Inner,
+            RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty())),
+        );
+        let filt = rel::filter(join, RexNode::input(1, int_ty()).is_not_null());
+        let results = fire(&FilterIntoJoinRule, &filt);
+        assert_eq!(results.len(), 1);
+        let new = &results[0];
+        // Filter fully absorbed: root is now the join.
+        assert_eq!(new.kind(), RelKind::Join);
+        // The left input became Filter(Scan sales).
+        assert_eq!(new.input(0).kind(), RelKind::Filter);
+        assert_eq!(new.input(1).kind(), RelKind::Scan);
+        // Row types unchanged.
+        assert_eq!(new.row_type(), filt.row_type());
+    }
+
+    #[test]
+    fn filter_into_join_splits_three_ways() {
+        let l = table("l", &["a", "b"]);
+        let r = table("r", &["c", "d"]);
+        let join = rel::join(l, r, JoinKind::Inner, RexNode::true_lit());
+        // a > 1 AND c > 2 AND a = c
+        let cond = RexNode::and_all(vec![
+            RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)),
+            RexNode::input(2, int_ty()).gt(RexNode::lit_int(2)),
+            RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty())),
+        ]);
+        let filt = rel::filter(join, cond);
+        let new = fire(&FilterIntoJoinRule, &filt).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Join);
+        // Both sides filtered.
+        assert_eq!(new.input(0).kind(), RelKind::Filter);
+        assert_eq!(new.input(1).kind(), RelKind::Filter);
+        // Mixed conjunct became the join condition.
+        if let RelOp::Join { condition, .. } = &new.op {
+            assert!(condition.digest().contains("$0 = $2"), "{}", condition);
+        } else {
+            panic!();
+        }
+        // Right-side conjunct rebased to $0 of the right input.
+        if let RelOp::Filter { condition } = &new.input(1).op {
+            assert_eq!(condition.digest(), "($0 > 2)");
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn filter_not_pushed_to_null_generating_side() {
+        let l = table("l", &["a"]);
+        let r = table("r", &["b"]);
+        let join = rel::join(
+            l,
+            r,
+            JoinKind::Left,
+            RexNode::input(0, int_ty()).eq(RexNode::input(1, int_ty())),
+        );
+        // Condition on the right side of a LEFT join must not move below.
+        let filt = rel::filter(join, RexNode::input(1, int_ty()).gt(RexNode::lit_int(0)));
+        let results = fire(&FilterIntoJoinRule, &filt);
+        assert!(results.is_empty(), "no legal push for right side of LEFT join");
+        // But a left-side condition is pushable.
+        let join2 = call_join_left();
+        let filt2 = rel::filter(join2, RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
+        let results2 = fire(&FilterIntoJoinRule, &filt2);
+        assert_eq!(results2.len(), 1);
+        assert_eq!(results2[0].input(0).kind(), RelKind::Filter);
+    }
+
+    fn call_join_left() -> Rel {
+        let l = table("l", &["a"]);
+        let r = table("r", &["b"]);
+        rel::join(
+            l,
+            r,
+            JoinKind::Left,
+            RexNode::input(0, int_ty()).eq(RexNode::input(1, int_ty())),
+        )
+    }
+
+    #[test]
+    fn filter_merge() {
+        let t = table("t", &["a"]);
+        let f1 = rel::filter(t, RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)));
+        let f2 = rel::filter(f1, RexNode::input(0, int_ty()).lt(RexNode::lit_int(10)));
+        let new = fire(&FilterMergeRule, &f2).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Filter);
+        assert_eq!(new.input(0).kind(), RelKind::Scan);
+        if let RelOp::Filter { condition } = &new.op {
+            assert_eq!(condition.conjuncts().len(), 2);
+        }
+    }
+
+    #[test]
+    fn filter_project_transpose_rewrites_condition() {
+        let t = table("t", &["a", "b"]);
+        // Project b+1 AS x; filter x > 5.
+        let p = rel::project(
+            t,
+            vec![RexNode::call(
+                crate::rex::Op::Plus,
+                vec![RexNode::input(1, int_ty()), RexNode::lit_int(1)],
+            )],
+            vec!["x".into()],
+        );
+        let f = rel::filter(p, RexNode::input(0, int_ty()).gt(RexNode::lit_int(5)));
+        let new = fire(&FilterProjectTransposeRule, &f).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Project);
+        assert_eq!(new.input(0).kind(), RelKind::Filter);
+        if let RelOp::Filter { condition } = &new.input(0).op {
+            assert_eq!(condition.digest(), "(($1 + 1) > 5)");
+        } else {
+            panic!();
+        }
+        // Output schema preserved.
+        assert_eq!(new.row_type(), f.row_type());
+    }
+
+    #[test]
+    fn filter_aggregate_transpose_group_keys_only() {
+        let t = table("t", &["k", "v"]);
+        let agg = rel::aggregate(
+            t,
+            vec![0],
+            vec![AggCall::count_star("c")],
+        );
+        // k > 3 (group key, pushable) AND c > 1 (aggregate result, not).
+        let cond = RexNode::and_all(vec![
+            RexNode::input(0, int_ty()).gt(RexNode::lit_int(3)),
+            RexNode::input(1, int_ty()).gt(RexNode::lit_int(1)),
+        ]);
+        let f = rel::filter(agg, cond);
+        let new = fire(&FilterAggregateTransposeRule, &f).pop().unwrap();
+        // Remaining filter on top, aggregate beneath, pushed filter below.
+        assert_eq!(new.kind(), RelKind::Filter);
+        assert_eq!(new.input(0).kind(), RelKind::Aggregate);
+        assert_eq!(new.input(0).input(0).kind(), RelKind::Filter);
+        if let RelOp::Filter { condition } = &new.input(0).input(0).op {
+            assert_eq!(condition.digest(), "($0 > 3)");
+        }
+    }
+
+    #[test]
+    fn filter_union_transpose() {
+        let u = rel::union(vec![table("a", &["x"]), table("b", &["x"])], true);
+        let f = rel::filter(u, RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
+        let new = fire(&FilterUnionTransposeRule, &f).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Union);
+        assert!(new.inputs.iter().all(|i| i.kind() == RelKind::Filter));
+    }
+
+    #[test]
+    fn filter_sort_transpose_skips_limits() {
+        let t = table("t", &["a"]);
+        let sorted = rel::sort(t.clone(), vec![crate::traits::FieldCollation::asc(0)]);
+        let f = rel::filter(sorted, RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
+        let new = fire(&FilterSortTransposeRule, &f).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Sort);
+        assert_eq!(new.input(0).kind(), RelKind::Filter);
+
+        // With a fetch the rule must not fire.
+        let limited = rel::sort_limit(t, vec![crate::traits::FieldCollation::asc(0)], None, Some(5));
+        let f2 = rel::filter(limited, RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
+        assert!(fire(&FilterSortTransposeRule, &f2).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Projection rules.
+
+use crate::rel::{self, RelKind, RelOp};
+use crate::rules::{Pattern, Rule, RuleCall};
+
+/// `Project(Project)` → a single project with composed expressions.
+pub struct ProjectMergeRule;
+
+impl Rule for ProjectMergeRule {
+    fn name(&self) -> &str {
+        "ProjectMergeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Project, vec![Pattern::of(RelKind::Project)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (top, bottom) = (call.rel(0), call.rel(1));
+        if let (
+            RelOp::Project { exprs: top_exprs, names },
+            RelOp::Project { exprs: bot_exprs, .. },
+        ) = (&top.op, &bottom.op)
+        {
+            let composed = top_exprs
+                .iter()
+                .map(|e| e.substitute(bot_exprs))
+                .collect();
+            call.transform_to(rel::project(
+                bottom.input(0).clone(),
+                composed,
+                names.clone(),
+            ));
+        }
+    }
+}
+
+/// Removes identity projections (`$0, $1, ... $n-1` with unchanged names).
+/// Name equality is required so rename-only projections survive: they
+/// define the query's output schema.
+pub struct ProjectRemoveRule;
+
+impl Rule for ProjectRemoveRule {
+    fn name(&self) -> &str {
+        "ProjectRemoveRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(RelKind::Project)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let proj = call.rel(0);
+        if let RelOp::Project { exprs, names } = &proj.op {
+            let input = proj.input(0);
+            let input_rt = input.row_type();
+            if exprs.len() != input_rt.arity() {
+                return;
+            }
+            let identity = exprs
+                .iter()
+                .enumerate()
+                .all(|(i, e)| e.as_input_ref() == Some(i))
+                && names
+                    .iter()
+                    .zip(input_rt.fields.iter())
+                    .all(|(n, f)| n.eq_ignore_ascii_case(&f.name));
+            if identity {
+                call.transform_to(input.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, TableRef};
+    use crate::metadata::MetadataQuery;
+    use crate::rel::Rel;
+    use crate::rex::{Op, RexNode};
+    use crate::types::{RelType, RowTypeBuilder, TypeKind};
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn table(cols: &[&str]) -> Rel {
+        let mut b = RowTypeBuilder::new();
+        for c in cols {
+            b = b.add_not_null(*c, TypeKind::Integer);
+        }
+        rel::scan(TableRef::new("s", "t", MemTable::new(b.build(), vec![])))
+    }
+
+    fn fire(rule: &dyn Rule, root: &Rel) -> Vec<Rel> {
+        let mq = MetadataQuery::standard();
+        match rule.pattern().match_tree(root) {
+            Some(binds) => {
+                let mut call = RuleCall::new(binds, &mq);
+                rule.on_match(&mut call);
+                call.into_results()
+            }
+            None => vec![],
+        }
+    }
+
+    #[test]
+    fn project_merge_composes_expressions() {
+        let t = table(&["a", "b"]);
+        // bottom: x = a + 1 ; top: y = x * 2  =>  y = (a + 1) * 2
+        let bottom = rel::project(
+            t,
+            vec![RexNode::call(
+                Op::Plus,
+                vec![RexNode::input(0, int_ty()), RexNode::lit_int(1)],
+            )],
+            vec!["x".into()],
+        );
+        let top = rel::project(
+            bottom,
+            vec![RexNode::call(
+                Op::Times,
+                vec![RexNode::input(0, int_ty()), RexNode::lit_int(2)],
+            )],
+            vec!["y".into()],
+        );
+        let new = fire(&ProjectMergeRule, &top).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Project);
+        assert_eq!(new.input(0).kind(), RelKind::Scan);
+        if let RelOp::Project { exprs, .. } = &new.op {
+            assert_eq!(exprs[0].digest(), "(($0 + 1) * 2)");
+        }
+        assert_eq!(new.row_type().field(0).name, "y");
+    }
+
+    #[test]
+    fn identity_project_removed() {
+        let t = table(&["a", "b"]);
+        let p = rel::project(
+            t.clone(),
+            vec![RexNode::input(0, int_ty()), RexNode::input(1, int_ty())],
+            vec!["a".into(), "b".into()],
+        );
+        let new = fire(&ProjectRemoveRule, &p).pop().unwrap();
+        assert_eq!(new.digest(), t.digest());
+    }
+
+    #[test]
+    fn rename_project_is_kept() {
+        let t = table(&["a", "b"]);
+        let p = rel::project(
+            t,
+            vec![RexNode::input(0, int_ty()), RexNode::input(1, int_ty())],
+            vec!["x".into(), "y".into()],
+        );
+        assert!(fire(&ProjectRemoveRule, &p).is_empty());
+    }
+
+    #[test]
+    fn permutation_project_is_kept() {
+        let t = table(&["a", "b"]);
+        let p = rel::project(
+            t,
+            vec![RexNode::input(1, int_ty()), RexNode::input(0, int_ty())],
+            vec!["b".into(), "a".into()],
+        );
+        assert!(fire(&ProjectRemoveRule, &p).is_empty());
+    }
+
+    #[test]
+    fn narrowing_project_is_kept() {
+        let t = table(&["a", "b"]);
+        let p = rel::project(t, vec![RexNode::input(0, int_ty())], vec!["a".into()]);
+        assert!(fire(&ProjectRemoveRule, &p).is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! Expression-reduction and empty-subtree pruning rules.
+
+use crate::rel::{self, JoinKind, Rel, RelKind, RelOp};
+use crate::rules::{Pattern, Rule, RuleCall};
+use crate::simplify::simplify;
+
+/// Simplifies (constant-folds) filter conditions; a TRUE filter vanishes
+/// and a FALSE filter becomes an empty Values.
+pub struct ReduceExpressionsRule;
+
+impl Rule for ReduceExpressionsRule {
+    fn name(&self) -> &str {
+        "FilterReduceExpressionsRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(RelKind::Filter)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let f = call.rel(0);
+        if let RelOp::Filter { condition } = &f.op {
+            let s = simplify(condition);
+            if s.is_always_false() {
+                call.transform_to(rel::empty(f.row_type().clone()));
+            } else if s.is_always_true() {
+                call.transform_to(f.input(0).clone());
+            } else if s.digest() != condition.digest() {
+                call.transform_to(rel::filter(f.input(0).clone(), s));
+            }
+        }
+    }
+}
+
+/// Simplifies project expressions.
+pub struct ProjectReduceExpressionsRule;
+
+impl Rule for ProjectReduceExpressionsRule {
+    fn name(&self) -> &str {
+        "ProjectReduceExpressionsRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(RelKind::Project)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let p = call.rel(0);
+        if let RelOp::Project { exprs, names } = &p.op {
+            let simplified: Vec<_> = exprs.iter().map(simplify).collect();
+            let changed = simplified
+                .iter()
+                .zip(exprs.iter())
+                .any(|(a, b)| a.digest() != b.digest());
+            if changed {
+                call.transform_to(rel::project(p.input(0).clone(), simplified, names.clone()));
+            }
+        }
+    }
+}
+
+/// Simplifies join conditions; an inner join whose condition folds to
+/// FALSE produces no rows.
+pub struct JoinReduceExpressionsRule;
+
+impl Rule for JoinReduceExpressionsRule {
+    fn name(&self) -> &str {
+        "JoinReduceExpressionsRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(RelKind::Join)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let j = call.rel(0);
+        if let RelOp::Join { kind, condition } = &j.op {
+            let s = simplify(condition);
+            if s.is_always_false() && matches!(kind, JoinKind::Inner | JoinKind::Semi) {
+                call.transform_to(rel::empty(j.row_type().clone()));
+            } else if s.digest() != condition.digest() {
+                call.transform_to(rel::join(
+                    j.input(0).clone(),
+                    j.input(1).clone(),
+                    *kind,
+                    s,
+                ));
+            }
+        }
+    }
+}
+
+fn is_empty_values(rel_: &Rel) -> bool {
+    matches!(&rel_.op, RelOp::Values { tuples, .. } if tuples.is_empty())
+}
+
+/// Propagates empty inputs upward: `Filter(∅) = ∅`, `∅ ⋈ R = ∅` (inner),
+/// `Union(∅, R) = R`, and so on. Global aggregates are exempt — they
+/// produce one row even on empty input.
+pub struct PruneEmptyRule;
+
+impl Rule for PruneEmptyRule {
+    fn name(&self) -> &str {
+        "PruneEmptyRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::any()
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let n = call.rel(0);
+        if n.inputs.is_empty() || !n.inputs.iter().any(is_empty_values) {
+            return;
+        }
+        let empty = || rel::empty(n.row_type().clone());
+        match &n.op {
+            RelOp::Filter { .. }
+            | RelOp::Project { .. }
+            | RelOp::Sort { .. }
+            | RelOp::Window { .. }
+            | RelOp::Delta => call.transform_to(empty()),
+            RelOp::Aggregate { group, .. } => {
+                // GROUP BY of nothing over nothing is one row; grouped
+                // aggregation over nothing is nothing.
+                if !group.is_empty() {
+                    call.transform_to(empty());
+                }
+            }
+            RelOp::Join { kind, .. } => {
+                let left_empty = is_empty_values(n.input(0));
+                let right_empty = is_empty_values(n.input(1));
+                let prunable = match kind {
+                    JoinKind::Inner | JoinKind::Semi => left_empty || right_empty,
+                    JoinKind::Left | JoinKind::Anti => left_empty,
+                    JoinKind::Right => right_empty,
+                    JoinKind::Full => left_empty && right_empty,
+                };
+                if prunable {
+                    call.transform_to(empty());
+                }
+            }
+            RelOp::Union { all } => {
+                let remaining: Vec<Rel> = n
+                    .inputs
+                    .iter()
+                    .filter(|i| !is_empty_values(i))
+                    .cloned()
+                    .collect();
+                match remaining.len() {
+                    0 => call.transform_to(empty()),
+                    1 if *all => call.transform_to(remaining.into_iter().next().unwrap()),
+                    _ if remaining.len() < n.inputs.len() => {
+                        call.transform_to(rel::union(remaining, *all))
+                    }
+                    _ => {}
+                }
+            }
+            RelOp::Intersect { .. } => call.transform_to(empty()),
+            RelOp::Minus { .. } => {
+                if is_empty_values(n.input(0)) {
+                    call.transform_to(empty());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, TableRef};
+    use crate::metadata::MetadataQuery;
+    use crate::rex::{Op, RexNode};
+    use crate::types::{RelType, RowTypeBuilder, TypeKind};
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn table() -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("a", TypeKind::Integer)
+                .build(),
+            vec![],
+        );
+        rel::scan(TableRef::new("s", "t", t))
+    }
+
+    fn fire(rule: &dyn Rule, root: &Rel) -> Vec<Rel> {
+        let mq = MetadataQuery::standard();
+        match rule.pattern().match_tree(root) {
+            Some(binds) => {
+                let mut call = RuleCall::new(binds, &mq);
+                rule.on_match(&mut call);
+                call.into_results()
+            }
+            None => vec![],
+        }
+    }
+
+    #[test]
+    fn false_filter_becomes_empty_values() {
+        // a > 1 AND FALSE
+        let f = rel::filter(
+            table(),
+            RexNode::and_all(vec![
+                RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)),
+                RexNode::false_lit(),
+            ]),
+        );
+        let new = fire(&ReduceExpressionsRule, &f).pop().unwrap();
+        assert!(is_empty_values(&new));
+        assert_eq!(new.row_type(), f.row_type());
+    }
+
+    #[test]
+    fn constant_true_filter_vanishes() {
+        let f = rel::filter(
+            table(),
+            RexNode::lit_int(1).eq(RexNode::lit_int(1)),
+        );
+        let new = fire(&ReduceExpressionsRule, &f).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Scan);
+    }
+
+    #[test]
+    fn project_constants_folded() {
+        let p = rel::project(
+            table(),
+            vec![RexNode::call(
+                Op::Plus,
+                vec![RexNode::lit_int(1), RexNode::lit_int(2)],
+            )],
+            vec!["x".into()],
+        );
+        let new = fire(&ProjectReduceExpressionsRule, &p).pop().unwrap();
+        if let RelOp::Project { exprs, .. } = &new.op {
+            assert_eq!(exprs[0], RexNode::lit_int(3));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn join_false_condition_pruned() {
+        let j = rel::join(
+            table(),
+            table(),
+            JoinKind::Inner,
+            RexNode::and_all(vec![RexNode::false_lit(), RexNode::true_lit()]),
+        );
+        let new = fire(&JoinReduceExpressionsRule, &j).pop().unwrap();
+        assert!(is_empty_values(&new));
+    }
+
+    #[test]
+    fn empty_propagates_through_filter_and_inner_join() {
+        let e = rel::empty(table().row_type().clone());
+        let f = rel::filter(e.clone(), RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
+        assert!(is_empty_values(&fire(&PruneEmptyRule, &f).pop().unwrap()));
+
+        let j = rel::join(e.clone(), table(), JoinKind::Inner, RexNode::true_lit());
+        assert!(is_empty_values(&fire(&PruneEmptyRule, &j).pop().unwrap()));
+
+        // Right join with empty LEFT is NOT prunable (right rows survive).
+        let j2 = rel::join(e, table(), JoinKind::Right, RexNode::true_lit());
+        assert!(fire(&PruneEmptyRule, &j2).is_empty());
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_not_pruned() {
+        let e = rel::empty(table().row_type().clone());
+        let agg = rel::aggregate(e.clone(), vec![], vec![crate::rel::AggCall::count_star("c")]);
+        assert!(fire(&PruneEmptyRule, &agg).is_empty());
+        // Grouped aggregate over empty IS pruned.
+        let agg2 = rel::aggregate(e, vec![0], vec![]);
+        assert!(is_empty_values(&fire(&PruneEmptyRule, &agg2).pop().unwrap()));
+    }
+
+    #[test]
+    fn union_drops_empty_inputs() {
+        let e = rel::empty(table().row_type().clone());
+        let u = rel::union(vec![table(), e], true);
+        let new = fire(&PruneEmptyRule, &u).pop().unwrap();
+        assert_eq!(new.kind(), RelKind::Scan);
+    }
+}

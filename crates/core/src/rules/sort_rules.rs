@@ -1,0 +1,254 @@
+//! Sort rules. `SortRemoveRule` reproduces the paper's §4 trait example:
+//! "if the input to the sort operator is already correctly ordered ...
+//! then the sort operation can be removed".
+
+use crate::rel::{self, RelKind, RelOp};
+use crate::rules::{Pattern, Rule, RuleCall};
+use crate::traits::collation_satisfies;
+
+/// Removes a Sort whose required ordering is already satisfied by its
+/// input (and which applies no OFFSET/FETCH).
+pub struct SortRemoveRule;
+
+impl Rule for SortRemoveRule {
+    fn name(&self) -> &str {
+        "SortRemoveRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::of(RelKind::Sort)
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let sort_node = call.rel(0);
+        if let RelOp::Sort {
+            collation,
+            offset: None,
+            fetch: None,
+        } = &sort_node.op
+        {
+            if collation.is_empty() {
+                call.transform_to(sort_node.input(0).clone());
+                return;
+            }
+            let input = sort_node.input(0);
+            let satisfied = call
+                .mq
+                .collations(input)
+                .iter()
+                .any(|actual| collation_satisfies(actual, collation));
+            if satisfied {
+                call.transform_to(input.clone());
+            }
+        }
+    }
+}
+
+/// Merges a pure limit over a sort into a single Sort-with-fetch node
+/// (Top-K), and merges adjacent limits.
+pub struct SortMergeRule;
+
+impl Rule for SortMergeRule {
+    fn name(&self) -> &str {
+        "SortMergeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Sort, vec![Pattern::of(RelKind::Sort)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (top, bottom) = (call.rel(0), call.rel(1));
+        let (RelOp::Sort {
+            collation: c_top,
+            offset: o_top,
+            fetch: f_top,
+        }, RelOp::Sort {
+            collation: c_bot,
+            offset: o_bot,
+            fetch: f_bot,
+        }) = (&top.op, &bottom.op)
+        else {
+            return;
+        };
+        // Case 1: pure limit over a sort → Top-K.
+        if c_top.is_empty() && o_bot.is_none() && f_bot.is_none() {
+            call.transform_to(rel::sort_limit(
+                bottom.input(0).clone(),
+                c_bot.clone(),
+                *o_top,
+                *f_top,
+            ));
+            return;
+        }
+        // Case 2: limit over limit → combined offsets, min fetch.
+        if c_top.is_empty() && c_bot.is_empty() {
+            let o1 = o_top.unwrap_or(0);
+            let o2 = o_bot.unwrap_or(0);
+            let fetch = match (f_top, f_bot) {
+                (Some(f1), Some(f2)) => Some((*f1).min(f2.saturating_sub(o1))),
+                (Some(f1), None) => Some(*f1),
+                (None, Some(f2)) => Some(f2.saturating_sub(o1)),
+                (None, None) => None,
+            };
+            let offset = if o1 + o2 == 0 { None } else { Some(o1 + o2) };
+            call.transform_to(rel::sort_limit(
+                bottom.input(0).clone(),
+                vec![],
+                offset,
+                fetch,
+            ));
+        }
+    }
+}
+
+/// `Sort(Project)` → `Project(Sort)` when every projected expression is a
+/// bare column reference, remapping the collation through the projection.
+/// Normalizes plans so sorts sit directly on filters/scans, where adapter
+/// sort-pushdown rules (e.g. `CassandraSortRule`) can see them.
+pub struct SortProjectTransposeRule;
+
+impl Rule for SortProjectTransposeRule {
+    fn name(&self) -> &str {
+        "SortProjectTransposeRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Sort, vec![Pattern::of(RelKind::Project)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let (sort_node, proj) = (call.rel(0), call.rel(1));
+        let RelOp::Sort {
+            collation,
+            offset,
+            fetch,
+        } = &sort_node.op
+        else {
+            return;
+        };
+        let RelOp::Project { exprs, names } = &proj.op else {
+            return;
+        };
+        // Every collation key must map to a bare input reference.
+        let mut mapped = Vec::with_capacity(collation.len());
+        for fc in collation {
+            match exprs.get(fc.field).and_then(|e| e.as_input_ref()) {
+                Some(src) => mapped.push(crate::traits::FieldCollation {
+                    field: src,
+                    descending: fc.descending,
+                    nulls_first: fc.nulls_first,
+                }),
+                None => return,
+            }
+        }
+        let sorted = rel::sort_limit(proj.input(0).clone(), mapped, *offset, *fetch);
+        call.transform_to(rel::project(sorted, exprs.clone(), names.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, Statistic, TableRef};
+    use crate::metadata::MetadataQuery;
+    use crate::rel::Rel;
+    use crate::traits::FieldCollation;
+    use crate::types::{RowTypeBuilder, TypeKind};
+
+    fn fire(rule: &dyn Rule, root: &Rel) -> Vec<Rel> {
+        let mq = MetadataQuery::standard();
+        match rule.pattern().match_tree(root) {
+            Some(binds) => {
+                let mut call = RuleCall::new(binds, &mq);
+                rule.on_match(&mut call);
+                call.into_results()
+            }
+            None => vec![],
+        }
+    }
+
+    fn sorted_table() -> Rel {
+        // Physically sorted by column 0, as a backend index would be.
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .add("v", TypeKind::Integer)
+                .build(),
+            vec![],
+        )
+        .with_statistic(
+            Statistic::of_rows(100.0).with_collation(vec![FieldCollation::asc(0)]),
+        );
+        rel::scan(TableRef::new("s", "t", t))
+    }
+
+    #[test]
+    fn sort_removed_when_input_presorted() {
+        let t = sorted_table();
+        let s = rel::sort(t.clone(), vec![FieldCollation::asc(0)]);
+        let new = fire(&SortRemoveRule, &s).pop().unwrap();
+        assert_eq!(new.digest(), t.digest());
+    }
+
+    #[test]
+    fn sort_kept_when_direction_differs() {
+        let t = sorted_table();
+        let s = rel::sort(t, vec![FieldCollation::desc(0)]);
+        assert!(fire(&SortRemoveRule, &s).is_empty());
+    }
+
+    #[test]
+    fn sort_kept_when_limit_present() {
+        let t = sorted_table();
+        let s = rel::sort_limit(t, vec![FieldCollation::asc(0)], None, Some(5));
+        assert!(fire(&SortRemoveRule, &s).is_empty());
+    }
+
+    #[test]
+    fn sort_survives_through_filter() {
+        // Collation propagates through Filter in metadata, so the sort is
+        // still removable above a filter.
+        let t = sorted_table();
+        let f = rel::filter(
+            t,
+            crate::rex::RexNode::input(1, crate::types::RelType::nullable(TypeKind::Integer))
+                .is_not_null(),
+        );
+        let s = rel::sort(f.clone(), vec![FieldCollation::asc(0)]);
+        let new = fire(&SortRemoveRule, &s).pop().unwrap();
+        assert_eq!(new.digest(), f.digest());
+    }
+
+    #[test]
+    fn limit_over_sort_becomes_topk() {
+        let t = sorted_table();
+        let s = rel::sort(t, vec![FieldCollation::desc(1)]);
+        let lim = rel::sort_limit(s, vec![], None, Some(10));
+        let new = fire(&SortMergeRule, &lim).pop().unwrap();
+        if let RelOp::Sort {
+            collation, fetch, ..
+        } = &new.op
+        {
+            assert_eq!(collation.len(), 1);
+            assert_eq!(*fetch, Some(10));
+        } else {
+            panic!();
+        }
+        assert_eq!(new.input(0).kind(), RelKind::Scan);
+    }
+
+    #[test]
+    fn limit_over_limit_merges() {
+        let t = sorted_table();
+        let l1 = rel::sort_limit(t, vec![], Some(5), Some(20));
+        let l2 = rel::sort_limit(l1, vec![], Some(2), Some(10));
+        let new = fire(&SortMergeRule, &l2).pop().unwrap();
+        if let RelOp::Sort { offset, fetch, .. } = &new.op {
+            assert_eq!(*offset, Some(7));
+            assert_eq!(*fetch, Some(10));
+        } else {
+            panic!();
+        }
+    }
+}

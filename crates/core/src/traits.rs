@@ -1,0 +1,150 @@
+//! Physical traits (paper §4). Calcite describes the physical properties of
+//! an operator with *traits* rather than separate logical/physical operator
+//! entities. rcalcite follows the same design: the **calling convention**
+//! trait names the data processing system that will execute an operator,
+//! and **collation** describes sort order.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The calling-convention trait: "the data processing system where the
+/// expression will be executed" (§4). Conventions are interned names so
+/// adapters can mint their own (e.g. `jdbc:mysql`, `splunk`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Convention(Arc<str>);
+
+impl Convention {
+    pub fn new(name: impl AsRef<str>) -> Convention {
+        Convention(Arc::from(name.as_ref()))
+    }
+
+    /// The logical convention: no implementation has been chosen yet.
+    pub fn none() -> Convention {
+        Convention::new("logical")
+    }
+
+    /// The built-in convention whose operators "simply operate over tuples
+    /// via an iterator interface" (§5).
+    pub fn enumerable() -> Convention {
+        Convention::new("enumerable")
+    }
+
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.name() == "logical"
+    }
+
+    pub fn is_enumerable(&self) -> bool {
+        self.name() == "enumerable"
+    }
+}
+
+impl fmt::Display for Convention {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Convention {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Convention({})", self.0)
+    }
+}
+
+/// Sort direction of one field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldCollation {
+    pub field: usize,
+    pub descending: bool,
+    pub nulls_first: bool,
+}
+
+impl FieldCollation {
+    pub fn asc(field: usize) -> FieldCollation {
+        FieldCollation {
+            field,
+            descending: false,
+            nulls_first: true,
+        }
+    }
+
+    pub fn desc(field: usize) -> FieldCollation {
+        FieldCollation {
+            field,
+            descending: true,
+            nulls_first: false,
+        }
+    }
+}
+
+impl fmt::Display for FieldCollation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.field)?;
+        if self.descending {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordering of rows: the collation trait.
+pub type Collation = Vec<FieldCollation>;
+
+/// True when rows ordered by `actual` are also ordered by `required`
+/// (prefix satisfaction) — the condition under which "the sort operation
+/// can be removed" (§4).
+pub fn collation_satisfies(actual: &Collation, required: &Collation) -> bool {
+    if required.len() > actual.len() {
+        return false;
+    }
+    actual
+        .iter()
+        .zip(required.iter())
+        .all(|(a, r)| a.field == r.field && a.descending == r.descending)
+}
+
+/// Renders a collation for digests and EXPLAIN output.
+pub fn collation_to_string(c: &Collation) -> String {
+    let parts: Vec<String> = c.iter().map(|f| f.to_string()).collect();
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convention_identity() {
+        assert_eq!(Convention::none(), Convention::new("logical"));
+        assert_ne!(Convention::none(), Convention::enumerable());
+        assert!(Convention::none().is_none());
+        assert!(Convention::enumerable().is_enumerable());
+        assert_eq!(Convention::new("jdbc:mysql").name(), "jdbc:mysql");
+    }
+
+    #[test]
+    fn prefix_satisfaction() {
+        let actual = vec![FieldCollation::asc(0), FieldCollation::asc(1)];
+        let req = vec![FieldCollation::asc(0)];
+        assert!(collation_satisfies(&actual, &req));
+        assert!(!collation_satisfies(&req, &actual));
+        // Direction matters.
+        let req_desc = vec![FieldCollation::desc(0)];
+        assert!(!collation_satisfies(&actual, &req_desc));
+    }
+
+    #[test]
+    fn empty_required_is_always_satisfied() {
+        assert!(collation_satisfies(&vec![], &vec![]));
+        assert!(collation_satisfies(&vec![FieldCollation::asc(2)], &vec![]));
+    }
+
+    #[test]
+    fn display() {
+        let c = vec![FieldCollation::asc(0), FieldCollation::desc(3)];
+        assert_eq!(collation_to_string(&c), "$0, $3 DESC");
+    }
+}

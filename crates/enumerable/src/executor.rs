@@ -1,0 +1,1027 @@
+//! The enumerable executor: "relational operators with the enumerable
+//! calling convention simply operate over tuples via an iterator
+//! interface" (paper §5). It implements every operator of the algebra —
+//! including `EnumerableJoin`, "which implements joins by collecting rows
+//! from its child nodes and joining on the desired attributes" — so any
+//! adapter that provides just a table scan is fully queryable.
+
+use rcalcite_core::datum::{Datum, Row};
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::exec::{ConventionExecutor, ExecContext, RowIter};
+use rcalcite_core::rel::{
+    AggCall, AggFunc, FrameBound, FrameMode, JoinKind, Rel, RelOp, WinFunc, WindowFn,
+};
+use rcalcite_core::rex::{Op, RexNode};
+use rcalcite_core::traits::{Collation, Convention};
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+/// Executor for the `enumerable` convention. It also executes plans in
+/// the logical convention directly (interpreter mode), which is handy for
+/// differential testing of the optimizer.
+pub struct EnumerableExecutor {
+    convention: Convention,
+}
+
+impl EnumerableExecutor {
+    pub fn new() -> EnumerableExecutor {
+        EnumerableExecutor {
+            convention: Convention::enumerable(),
+        }
+    }
+
+    /// An executor instance registered for the *logical* convention:
+    /// interprets unoptimized plans.
+    pub fn interpreter() -> EnumerableExecutor {
+        EnumerableExecutor {
+            convention: Convention::none(),
+        }
+    }
+}
+
+impl Default for EnumerableExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConventionExecutor for EnumerableExecutor {
+    fn convention(&self) -> Convention {
+        self.convention.clone()
+    }
+
+    fn execute(&self, rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
+        execute_node(rel, ctx)
+    }
+}
+
+/// Recursively executes a node; children in foreign conventions are routed
+/// through the context.
+pub fn execute_node(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
+    let child = |i: usize| -> Result<RowIter> {
+        let c = rel.input(i);
+        if c.convention == rel.convention || matches!(c.op, RelOp::Convert { .. }) {
+            execute_node_dispatch(c, ctx, &rel.convention)
+        } else {
+            ctx.execute(c)
+        }
+    };
+    match &rel.op {
+        RelOp::Scan { table } => table.table.scan(),
+        RelOp::Values { tuples, .. } => Ok(Box::new(tuples.clone().into_iter())),
+        RelOp::Filter { condition } => {
+            let cond = condition.clone();
+            let input = child(0)?;
+            Ok(Box::new(input.filter(move |row| {
+                matches!(cond.eval(row), Ok(Datum::Bool(true)))
+            })))
+        }
+        RelOp::Project { exprs, .. } => {
+            let exprs = exprs.clone();
+            let input = child(0)?;
+            let mut out = Vec::new();
+            for row in input {
+                let mut r = Vec::with_capacity(exprs.len());
+                for e in &exprs {
+                    r.push(e.eval(&row)?);
+                }
+                out.push(r);
+            }
+            Ok(Box::new(out.into_iter()))
+        }
+        RelOp::Join { kind, condition } => {
+            let left: Vec<Row> = child(0)?.collect();
+            let right: Vec<Row> = child(1)?.collect();
+            let left_arity = rel.input(0).row_type().arity();
+            let right_arity = rel.input(1).row_type().arity();
+            execute_join(left, right, left_arity, right_arity, *kind, condition)
+        }
+        RelOp::Aggregate { group, aggs } => {
+            let input: Vec<Row> = child(0)?.collect();
+            execute_aggregate(input, group, aggs)
+        }
+        RelOp::Sort {
+            collation,
+            offset,
+            fetch,
+        } => {
+            let mut rows: Vec<Row> = child(0)?.collect();
+            if !collation.is_empty() {
+                let coll = collation.clone();
+                rows.sort_by(|a, b| compare_rows(a, b, &coll));
+            }
+            let start = offset.unwrap_or(0).min(rows.len());
+            let end = match fetch {
+                Some(f) => (start + f).min(rows.len()),
+                None => rows.len(),
+            };
+            Ok(Box::new(rows.drain(start..end).collect::<Vec<_>>().into_iter()))
+        }
+        RelOp::Window { functions } => {
+            let input: Vec<Row> = child(0)?.collect();
+            execute_window(input, functions)
+        }
+        RelOp::Union { all } => {
+            let mut rows: Vec<Row> = vec![];
+            for i in 0..rel.inputs.len() {
+                rows.extend(child(i)?);
+            }
+            if !*all {
+                rows = dedup_rows(rows);
+            }
+            Ok(Box::new(rows.into_iter()))
+        }
+        RelOp::Intersect { all } => {
+            let left: Vec<Row> = child(0)?.collect();
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for i in 1..rel.inputs.len() {
+                let side: Vec<Row> = child(i)?.collect();
+                let mut c: HashMap<Row, usize> = HashMap::new();
+                for r in side {
+                    *c.entry(r).or_default() += 1;
+                }
+                if i == 1 {
+                    counts = c;
+                } else {
+                    counts.retain(|k, v| {
+                        if let Some(n) = c.get(k) {
+                            *v = (*v).min(*n);
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                }
+            }
+            let mut out = vec![];
+            let mut seen: HashMap<Row, usize> = HashMap::new();
+            for r in left {
+                if let Some(max) = counts.get(&r) {
+                    let used = seen.entry(r.clone()).or_default();
+                    let limit = if *all { *max } else { 1 };
+                    if *used < limit {
+                        *used += 1;
+                        out.push(r);
+                    }
+                }
+            }
+            Ok(Box::new(out.into_iter()))
+        }
+        RelOp::Minus { all } => {
+            let left: Vec<Row> = child(0)?.collect();
+            let mut removed: HashMap<Row, usize> = HashMap::new();
+            for i in 1..rel.inputs.len() {
+                for r in child(i)? {
+                    *removed.entry(r).or_default() += 1;
+                }
+            }
+            let mut out = vec![];
+            let mut emitted: HashSet<Row> = HashSet::new();
+            for r in left {
+                match removed.get_mut(&r) {
+                    Some(n) if *n > 0 => {
+                        if *all {
+                            *n -= 1;
+                        }
+                        // In DISTINCT mode any presence in the right side
+                        // removes the row entirely.
+                    }
+                    _ => {
+                        if *all {
+                            out.push(r);
+                        } else if emitted.insert(r.clone()) {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+            Ok(Box::new(out.into_iter()))
+        }
+        // A finite replay of a stream: the Delta operator's batch-mode
+        // semantics (streaming runtimes execute it incrementally).
+        RelOp::Delta => child(0),
+        RelOp::Convert { .. } => ctx.execute(rel.input(0)),
+    }
+}
+
+fn execute_node_dispatch(rel: &Rel, ctx: &ExecContext, parent_conv: &Convention) -> Result<RowIter> {
+    if rel.convention == *parent_conv || matches!(rel.op, RelOp::Convert { .. }) {
+        execute_node(rel, ctx)
+    } else {
+        ctx.execute(rel)
+    }
+}
+
+/// Total-order comparison of two rows under a collation.
+pub fn compare_rows(a: &Row, b: &Row, collation: &Collation) -> Ordering {
+    for fc in collation {
+        let (x, y) = (&a[fc.field], &b[fc.field]);
+        let ord = match (x.is_null(), y.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if fc.nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, true) => {
+                if fc.nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, false) => {
+                let o = x.cmp(y);
+                if fc.descending {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen = HashSet::new();
+    rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+}
+
+/// Extracts equi-join key pairs from a condition; returns (left keys,
+/// right keys, residual conjuncts).
+fn extract_equi_keys(
+    condition: &RexNode,
+    left_arity: usize,
+) -> (Vec<usize>, Vec<usize>, Vec<RexNode>) {
+    let mut lk = vec![];
+    let mut rk = vec![];
+    let mut residual = vec![];
+    for c in condition.conjuncts() {
+        if let RexNode::Call { op: Op::Eq, args, .. } = &c {
+            if let (Some(a), Some(b)) = (args[0].as_input_ref(), args[1].as_input_ref()) {
+                if a < left_arity && b >= left_arity {
+                    lk.push(a);
+                    rk.push(b - left_arity);
+                    continue;
+                }
+                if b < left_arity && a >= left_arity {
+                    lk.push(b);
+                    rk.push(a - left_arity);
+                    continue;
+                }
+            }
+        }
+        residual.push(c);
+    }
+    (lk, rk, residual)
+}
+
+fn execute_join(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    _left_arity: usize,
+    right_arity: usize,
+    kind: JoinKind,
+    condition: &RexNode,
+) -> Result<RowIter> {
+    let left_arity = _left_arity;
+    let (lk, rk, residual) = extract_equi_keys(condition, left_arity);
+    let residual = RexNode::and_all(residual);
+
+    // Build a hash table on the right side (equi keys) or fall back to
+    // nested loops.
+    let probe_matches: Box<dyn Fn(&Row) -> Vec<usize>> = if lk.is_empty() {
+        let n = right.len();
+        Box::new(move |_l: &Row| (0..n).collect())
+    } else {
+        let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
+        for (i, r) in right.iter().enumerate() {
+            let key: Vec<Datum> = rk.iter().map(|k| r[*k].clone()).collect();
+            if key.iter().any(Datum::is_null) {
+                continue; // NULL keys never join
+            }
+            table.entry(key).or_default().push(i);
+        }
+        let lk = lk.clone();
+        Box::new(move |l: &Row| {
+            let key: Vec<Datum> = lk.iter().map(|k| l[*k].clone()).collect();
+            if key.iter().any(Datum::is_null) {
+                return vec![];
+            }
+            table.get(&key).cloned().unwrap_or_default()
+        })
+    };
+
+    let combined_matches = |l: &Row| -> Result<Vec<usize>> {
+        let mut out = vec![];
+        for ri in probe_matches(l) {
+            let mut combined = l.clone();
+            combined.extend(right[ri].iter().cloned());
+            if residual.is_always_true()
+                || matches!(residual.eval(&combined)?, Datum::Bool(true))
+            {
+                out.push(ri);
+            }
+        }
+        Ok(out)
+    };
+
+    let mut out: Vec<Row> = vec![];
+    let mut right_matched = vec![false; right.len()];
+    for l in &left {
+        let matches = combined_matches(l)?;
+        match kind {
+            JoinKind::Inner | JoinKind::Left | JoinKind::Right | JoinKind::Full => {
+                for ri in &matches {
+                    right_matched[*ri] = true;
+                    let mut row = l.clone();
+                    row.extend(right[*ri].iter().cloned());
+                    out.push(row);
+                }
+                if matches.is_empty() && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                    let mut row = l.clone();
+                    row.extend(std::iter::repeat(Datum::Null).take(right_arity));
+                    out.push(row);
+                }
+            }
+            JoinKind::Semi => {
+                if !matches.is_empty() {
+                    out.push(l.clone());
+                }
+            }
+            JoinKind::Anti => {
+                if matches.is_empty() {
+                    out.push(l.clone());
+                }
+            }
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                let mut row: Row = std::iter::repeat(Datum::Null).take(left_arity).collect();
+                row.extend(right[ri].iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok(Box::new(out.into_iter()))
+}
+
+/// Accumulator for one aggregate call.
+#[derive(Clone)]
+enum Acc {
+    Count(i64),
+    Sum(Option<Datum>),
+    Min(Option<Datum>),
+    Max(Option<Datum>),
+    Avg { sum: f64, count: i64 },
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum(None),
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn add(&mut self, v: Option<&Datum>) -> Result<()> {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) counts every row (v = None); COUNT(x) skips
+                // NULLs.
+                match v {
+                    None => *n += 1,
+                    Some(d) if !d.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            Acc::Sum(state) => {
+                if let Some(d) = v {
+                    if !d.is_null() {
+                        *state = Some(match state.take() {
+                            None => d.clone(),
+                            Some(prev) => add_datums(&prev, d)?,
+                        });
+                    }
+                }
+            }
+            Acc::Min(state) => {
+                if let Some(d) = v {
+                    if !d.is_null() {
+                        *state = Some(match state.take() {
+                            None => d.clone(),
+                            Some(prev) => {
+                                if d < &prev {
+                                    d.clone()
+                                } else {
+                                    prev
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+            Acc::Max(state) => {
+                if let Some(d) = v {
+                    if !d.is_null() {
+                        *state = Some(match state.take() {
+                            None => d.clone(),
+                            Some(prev) => {
+                                if d > &prev {
+                                    d.clone()
+                                } else {
+                                    prev
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+            Acc::Avg { sum, count } => {
+                if let Some(d) = v {
+                    if let Some(x) = d.as_double() {
+                        *sum += x;
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Datum {
+        match self {
+            Acc::Count(n) => Datum::Int(n),
+            Acc::Sum(s) | Acc::Min(s) | Acc::Max(s) => s.unwrap_or(Datum::Null),
+            Acc::Avg { sum, count } => {
+                if count == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Double(sum / count as f64)
+                }
+            }
+        }
+    }
+}
+
+fn add_datums(a: &Datum, b: &Datum) -> Result<Datum> {
+    match (a, b) {
+        (Datum::Int(x), Datum::Int(y)) => Ok(Datum::Int(x + y)),
+        _ => {
+            let x = a
+                .as_double()
+                .ok_or_else(|| CalciteError::execution("SUM over non-numeric value"))?;
+            let y = b
+                .as_double()
+                .ok_or_else(|| CalciteError::execution("SUM over non-numeric value"))?;
+            Ok(Datum::Double(x + y))
+        }
+    }
+}
+
+fn execute_aggregate(input: Vec<Row>, group: &[usize], aggs: &[AggCall]) -> Result<RowIter> {
+    // Group rows.
+    let mut groups: Vec<(Vec<Datum>, Vec<Acc>, Vec<HashSet<Vec<Datum>>>)> = vec![];
+    let mut index: HashMap<Vec<Datum>, usize> = HashMap::new();
+
+    let make_accs = || -> (Vec<Acc>, Vec<HashSet<Vec<Datum>>>) {
+        (
+            aggs.iter().map(|a| Acc::new(a.func)).collect(),
+            aggs.iter().map(|_| HashSet::new()).collect(),
+        )
+    };
+
+    if group.is_empty() {
+        let (accs, seen) = make_accs();
+        groups.push((vec![], accs, seen));
+        index.insert(vec![], 0);
+    }
+
+    for row in &input {
+        let key: Vec<Datum> = group.iter().map(|g| row[*g].clone()).collect();
+        let gi = match index.get(&key) {
+            Some(i) => *i,
+            None => {
+                let (accs, seen) = make_accs();
+                groups.push((key.clone(), accs, seen));
+                index.insert(key, groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        let (_, accs, seen) = &mut groups[gi];
+        for (ai, a) in aggs.iter().enumerate() {
+            let arg: Option<Datum> = a.args.first().map(|i| row[*i].clone());
+            if a.distinct {
+                let key: Vec<Datum> = a.args.iter().map(|i| row[*i].clone()).collect();
+                if key.iter().any(Datum::is_null) || !seen[ai].insert(key) {
+                    continue;
+                }
+            }
+            accs[ai].add(arg.as_ref())?;
+        }
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, accs, _) in groups {
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish());
+        }
+        out.push(row);
+    }
+    Ok(Box::new(out.into_iter()))
+}
+
+fn execute_window(input: Vec<Row>, functions: &[WindowFn]) -> Result<RowIter> {
+    let n = input.len();
+    // Results per function, indexed by original row position.
+    let mut results: Vec<Vec<Datum>> = vec![vec![Datum::Null; n]; functions.len()];
+
+    for (fi, wf) in functions.iter().enumerate() {
+        // Partition row indexes.
+        let mut parts: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
+        for (i, row) in input.iter().enumerate() {
+            let key: Vec<Datum> = wf.partition.iter().map(|p| row[*p].clone()).collect();
+            parts.entry(key).or_default().push(i);
+        }
+        for (_, mut idxs) in parts {
+            if !wf.order.is_empty() {
+                let order = wf.order.clone();
+                idxs.sort_by(|a, b| compare_rows(&input[*a], &input[*b], &order));
+            }
+            for (pos, &ri) in idxs.iter().enumerate() {
+                let (lo, hi) = frame_bounds(&input, &idxs, pos, wf)?;
+                match wf.func {
+                    WinFunc::RowNumber => {
+                        results[fi][ri] = Datum::Int(pos as i64 + 1);
+                    }
+                    WinFunc::Rank => {
+                        // Rank: 1 + number of preceding rows strictly less.
+                        let mut rank = 1;
+                        for p in 0..pos {
+                            if compare_rows(&input[idxs[p]], &input[ri], &wf.order)
+                                == Ordering::Less
+                            {
+                                rank = p as i64 + 2;
+                            }
+                        }
+                        results[fi][ri] = Datum::Int(rank);
+                    }
+                    WinFunc::Agg(func) => {
+                        let mut acc = Acc::new(func);
+                        for p in lo..=hi {
+                            let row = &input[idxs[p]];
+                            let arg: Option<Datum> =
+                                wf.args.first().map(|i| row[*i].clone());
+                            acc.add(arg.as_ref())?;
+                        }
+                        results[fi][ri] = acc.finish();
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (i, mut row) in input.into_iter().enumerate() {
+        for r in results.iter() {
+            row.push(r[i].clone());
+        }
+        out.push(row);
+    }
+    Ok(Box::new(out.into_iter()))
+}
+
+/// Computes the inclusive frame [lo, hi] (positions within the sorted
+/// partition) for the row at `pos`.
+fn frame_bounds(
+    input: &[Row],
+    idxs: &[usize],
+    pos: usize,
+    wf: &WindowFn,
+) -> Result<(usize, usize)> {
+    let last = idxs.len() - 1;
+    match wf.frame.mode {
+        FrameMode::Rows => {
+            let lo = match wf.frame.lower {
+                FrameBound::UnboundedPreceding => 0,
+                FrameBound::Preceding(k) => pos.saturating_sub(k as usize),
+                FrameBound::CurrentRow => pos,
+                FrameBound::Following(k) => (pos + k as usize).min(last),
+                FrameBound::UnboundedFollowing => last,
+            };
+            let hi = match wf.frame.upper {
+                FrameBound::UnboundedPreceding => 0,
+                FrameBound::Preceding(k) => pos.saturating_sub(k as usize),
+                FrameBound::CurrentRow => pos,
+                FrameBound::Following(k) => (pos + k as usize).min(last),
+                FrameBound::UnboundedFollowing => last,
+            };
+            Ok((lo, hi.max(lo)))
+        }
+        FrameMode::Range => {
+            // RANGE frames measure distance on the first ordering key.
+            let key_col = wf
+                .order
+                .first()
+                .map(|fc| fc.field)
+                .ok_or_else(|| {
+                    CalciteError::execution("RANGE frame requires an ORDER BY key")
+                })?;
+            let cur = input[idxs[pos]][key_col]
+                .as_millis()
+                .or_else(|| input[idxs[pos]][key_col].as_int());
+            let Some(cur) = cur else {
+                return Ok((pos, pos));
+            };
+            let value_at = |p: usize| -> i64 {
+                input[idxs[p]][key_col]
+                    .as_millis()
+                    .or_else(|| input[idxs[p]][key_col].as_int())
+                    .unwrap_or(cur)
+            };
+            let lo_limit = match wf.frame.lower {
+                FrameBound::UnboundedPreceding => i64::MIN,
+                FrameBound::Preceding(k) => cur - k,
+                FrameBound::CurrentRow => cur,
+                FrameBound::Following(k) => cur + k,
+                FrameBound::UnboundedFollowing => i64::MAX,
+            };
+            let hi_limit = match wf.frame.upper {
+                FrameBound::UnboundedPreceding => i64::MIN,
+                FrameBound::Preceding(k) => cur - k,
+                FrameBound::CurrentRow => cur,
+                FrameBound::Following(k) => cur + k,
+                FrameBound::UnboundedFollowing => i64::MAX,
+            };
+            let mut lo = pos;
+            while lo > 0 && value_at(lo - 1) >= lo_limit {
+                lo -= 1;
+            }
+            let mut hi = pos;
+            while hi < last && value_at(hi + 1) <= hi_limit {
+                hi += 1;
+            }
+            Ok((lo, hi))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcalcite_core::catalog::{MemTable, TableRef};
+    use rcalcite_core::rel::{self, WindowFrame};
+    use rcalcite_core::types::{RelType, RowTypeBuilder, TypeKind};
+    use std::sync::Arc;
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn ctx() -> ExecContext {
+        let mut c = ExecContext::new();
+        c.register(Arc::new(EnumerableExecutor::new()));
+        c.register(Arc::new(EnumerableExecutor::interpreter()));
+        c
+    }
+
+    fn emp() -> Rel {
+        // (deptno, sal)
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("deptno", TypeKind::Integer)
+                .add("sal", TypeKind::Integer)
+                .build(),
+            vec![
+                vec![Datum::Int(10), Datum::Int(100)],
+                vec![Datum::Int(10), Datum::Int(200)],
+                vec![Datum::Int(20), Datum::Int(300)],
+                vec![Datum::Int(20), Datum::Null],
+            ],
+        );
+        rel::scan(TableRef::new("hr", "emp", t))
+    }
+
+    fn dept() -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("deptno", TypeKind::Integer)
+                .add("name", TypeKind::Varchar)
+                .build(),
+            vec![
+                vec![Datum::Int(10), Datum::str("eng")],
+                vec![Datum::Int(30), Datum::str("ops")],
+            ],
+        );
+        rel::scan(TableRef::new("hr", "dept", t))
+    }
+
+    fn run(plan: &Rel) -> Vec<Row> {
+        ctx().execute_collect(plan).unwrap()
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let plan = rel::project(
+            rel::filter(
+                emp(),
+                RexNode::input(1, RelType::nullable(TypeKind::Integer))
+                    .gt(RexNode::lit_int(150)),
+            ),
+            vec![RexNode::input(0, int_ty())],
+            vec!["deptno".into()],
+        );
+        let rows = run(&plan);
+        assert_eq!(rows, vec![vec![Datum::Int(10)], vec![Datum::Int(20)]]);
+    }
+
+    #[test]
+    fn null_rows_fail_filter() {
+        // sal > 150 is NULL for the NULL salary: excluded.
+        let plan = rel::filter(
+            emp(),
+            RexNode::input(1, RelType::nullable(TypeKind::Integer)).gt(RexNode::lit_int(0)),
+        );
+        assert_eq!(run(&plan).len(), 3);
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let cond = RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty()));
+        let plan = rel::join(emp(), dept(), JoinKind::Inner, cond);
+        let rows = run(&plan);
+        assert_eq!(rows.len(), 2); // only deptno 10 matches
+        assert!(rows.iter().all(|r| r[0] == Datum::Int(10)));
+        assert_eq!(rows[0].len(), 4);
+    }
+
+    #[test]
+    fn left_join_pads_with_nulls() {
+        let cond = RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty()));
+        let plan = rel::join(emp(), dept(), JoinKind::Left, cond);
+        let rows = run(&plan);
+        assert_eq!(rows.len(), 4);
+        let unmatched: Vec<&Row> = rows.iter().filter(|r| r[2].is_null()).collect();
+        assert_eq!(unmatched.len(), 2); // the two deptno-20 rows
+    }
+
+    #[test]
+    fn right_and_full_join() {
+        let cond = RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty()));
+        let plan = rel::join(emp(), dept(), JoinKind::Right, cond.clone());
+        let rows = run(&plan);
+        // 2 matches + 1 unmatched right (deptno 30).
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.iter().filter(|r| r[0].is_null()).count(), 1);
+
+        let plan = rel::join(emp(), dept(), JoinKind::Full, cond);
+        let rows = run(&plan);
+        assert_eq!(rows.len(), 5); // 2 matches + 2 left-only + 1 right-only
+    }
+
+    #[test]
+    fn semi_and_anti_join() {
+        let cond = RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty()));
+        let semi = rel::join(emp(), dept(), JoinKind::Semi, cond.clone());
+        let rows = run(&semi);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 2); // left fields only
+
+        let anti = rel::join(emp(), dept(), JoinKind::Anti, cond);
+        let rows = run(&anti);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r[0] == Datum::Int(20)));
+    }
+
+    #[test]
+    fn theta_join_falls_back_to_nested_loops() {
+        let cond = RexNode::input(0, int_ty()).lt(RexNode::input(2, int_ty()));
+        let plan = rel::join(emp(), dept(), JoinKind::Inner, cond);
+        let rows = run(&plan);
+        // emp.deptno < dept.deptno: 10<30 (x2), 20<30 (x2), 10<10 no.
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn join_with_residual_condition() {
+        // deptno match AND sal > 150.
+        let cond = RexNode::and_all(vec![
+            RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty())),
+            RexNode::input(1, RelType::nullable(TypeKind::Integer)).gt(RexNode::lit_int(150)),
+        ]);
+        let plan = rel::join(emp(), dept(), JoinKind::Inner, cond);
+        let rows = run(&plan);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Datum::Int(200));
+    }
+
+    #[test]
+    fn aggregate_group_and_global() {
+        let rt = emp().row_type().clone();
+        let plan = rel::aggregate(
+            emp(),
+            vec![0],
+            vec![
+                AggCall::count_star("c"),
+                AggCall::new(AggFunc::Sum, vec![1], false, "s", &rt),
+                AggCall::new(AggFunc::Count, vec![1], false, "c_sal", &rt),
+            ],
+        );
+        let mut rows = run(&plan);
+        rows.sort();
+        // dept 10: 2 rows, sum 300; dept 20: 2 rows, sum 300, count(sal)=1.
+        assert_eq!(
+            rows,
+            vec![
+                vec![Datum::Int(10), Datum::Int(2), Datum::Int(300), Datum::Int(2)],
+                vec![Datum::Int(20), Datum::Int(2), Datum::Int(300), Datum::Int(1)],
+            ]
+        );
+
+        // Global aggregate over an empty input still yields one row.
+        let empty = rel::empty(emp().row_type().clone());
+        let plan = rel::aggregate(empty, vec![], vec![AggCall::count_star("c")]);
+        assert_eq!(run(&plan), vec![vec![Datum::Int(0)]]);
+    }
+
+    #[test]
+    fn distinct_and_avg_aggregates() {
+        let rt = emp().row_type().clone();
+        let plan = rel::aggregate(
+            emp(),
+            vec![],
+            vec![
+                AggCall::new(AggFunc::Count, vec![0], true, "dc", &rt),
+                AggCall::new(AggFunc::Avg, vec![1], false, "a", &rt),
+                AggCall::new(AggFunc::Min, vec![1], false, "mn", &rt),
+                AggCall::new(AggFunc::Max, vec![1], false, "mx", &rt),
+            ],
+        );
+        let rows = run(&plan);
+        assert_eq!(rows[0][0], Datum::Int(2)); // two distinct deptnos
+        assert_eq!(rows[0][1], Datum::Double(200.0)); // avg of 100,200,300
+        assert_eq!(rows[0][2], Datum::Int(100));
+        assert_eq!(rows[0][3], Datum::Int(300));
+    }
+
+    #[test]
+    fn sort_with_nulls_and_limit() {
+        use rcalcite_core::traits::FieldCollation;
+        let plan = rel::sort(emp(), vec![FieldCollation::desc(1)]);
+        let rows = run(&plan);
+        // DESC with nulls_first=false: 300, 200, 100, NULL.
+        assert_eq!(rows[0][1], Datum::Int(300));
+        assert!(rows[3][1].is_null());
+
+        let plan = rel::sort_limit(emp(), vec![FieldCollation::desc(1)], Some(1), Some(2));
+        let rows = run(&plan);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Datum::Int(200));
+    }
+
+    #[test]
+    fn union_all_and_distinct() {
+        let u = rel::union(vec![emp(), emp()], true);
+        assert_eq!(run(&u).len(), 8);
+        let u = rel::union(vec![emp(), emp()], false);
+        assert_eq!(run(&u).len(), 4);
+    }
+
+    #[test]
+    fn intersect_and_minus() {
+        let a = rel::values(
+            emp().row_type().clone(),
+            vec![
+                vec![Datum::Int(1), Datum::Int(1)],
+                vec![Datum::Int(1), Datum::Int(1)],
+                vec![Datum::Int(2), Datum::Int(2)],
+            ],
+        );
+        let b = rel::values(
+            emp().row_type().clone(),
+            vec![
+                vec![Datum::Int(1), Datum::Int(1)],
+                vec![Datum::Int(3), Datum::Int(3)],
+            ],
+        );
+        let i = rel::intersect(vec![a.clone(), b.clone()], false);
+        assert_eq!(run(&i), vec![vec![Datum::Int(1), Datum::Int(1)]]);
+        let m = rel::minus(vec![a.clone(), b.clone()], false);
+        assert_eq!(run(&m), vec![vec![Datum::Int(2), Datum::Int(2)]]);
+        // Bag semantics: EXCEPT ALL removes one occurrence per right row.
+        let m = rel::minus(vec![a, b], true);
+        let rows = run(&m);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn window_running_sum_per_partition() {
+        // SUM(sal) OVER (PARTITION BY deptno ORDER BY sal ROWS UNBOUNDED
+        // PRECEDING..CURRENT).
+        let wf = WindowFn {
+            func: WinFunc::Agg(AggFunc::Sum),
+            args: vec![1],
+            partition: vec![0],
+            order: vec![rcalcite_core::traits::FieldCollation::asc(1)],
+            frame: WindowFrame::rows(FrameBound::UnboundedPreceding, FrameBound::CurrentRow),
+            name: "running".into(),
+            ty: RelType::nullable(TypeKind::Integer),
+        };
+        let plan = rel::window(emp(), vec![wf]);
+        let mut rows = run(&plan);
+        rows.sort_by(|a, b| compare_rows(a, b, &vec![
+            rcalcite_core::traits::FieldCollation::asc(0),
+            rcalcite_core::traits::FieldCollation::asc(1),
+        ]));
+        // dept 10: sal 100 -> 100; sal 200 -> 300.
+        let d10: Vec<&Row> = rows.iter().filter(|r| r[0] == Datum::Int(10)).collect();
+        assert_eq!(d10[0][2], Datum::Int(100));
+        assert_eq!(d10[1][2], Datum::Int(300));
+    }
+
+    #[test]
+    fn window_row_number_and_rank() {
+        let order = vec![rcalcite_core::traits::FieldCollation::asc(1)];
+        let mk = |func: WinFunc, name: &str| WindowFn {
+            func,
+            args: vec![],
+            partition: vec![],
+            order: order.clone(),
+            frame: WindowFrame::default_frame(),
+            name: name.into(),
+            ty: RelType::not_null(TypeKind::Integer),
+        };
+        let t = rel::values(
+            RowTypeBuilder::new()
+                .add_not_null("g", TypeKind::Integer)
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            vec![
+                vec![Datum::Int(1), Datum::Int(10)],
+                vec![Datum::Int(2), Datum::Int(10)],
+                vec![Datum::Int(3), Datum::Int(20)],
+            ],
+        );
+        let plan = rel::window(t, vec![mk(WinFunc::RowNumber, "rn"), mk(WinFunc::Rank, "rk")]);
+        let mut rows = run(&plan);
+        rows.sort_by(|a, b| a[2].cmp(&b[2]));
+        assert_eq!(rows[0][2], Datum::Int(1));
+        assert_eq!(rows[1][2], Datum::Int(2));
+        assert_eq!(rows[2][2], Datum::Int(3));
+        // Rank ties: two rows with v=10 share rank 1; v=20 gets rank 3.
+        assert_eq!(rows[0][3], Datum::Int(1));
+        assert_eq!(rows[1][3], Datum::Int(1));
+        assert_eq!(rows[2][3], Datum::Int(3));
+    }
+
+    #[test]
+    fn window_range_frame_sliding_hour() {
+        // The §7.2 sliding-window example: SUM(units) OVER (ORDER BY
+        // rowtime RANGE INTERVAL '1' HOUR PRECEDING).
+        let hour = 3_600_000i64;
+        let t = rel::values(
+            RowTypeBuilder::new()
+                .add_not_null("rowtime", TypeKind::Timestamp)
+                .add_not_null("units", TypeKind::Integer)
+                .build(),
+            vec![
+                vec![Datum::Timestamp(0), Datum::Int(5)],
+                vec![Datum::Timestamp(hour / 2), Datum::Int(7)],
+                vec![Datum::Timestamp(2 * hour), Datum::Int(11)],
+            ],
+        );
+        let wf = WindowFn {
+            func: WinFunc::Agg(AggFunc::Sum),
+            args: vec![1],
+            partition: vec![],
+            order: vec![rcalcite_core::traits::FieldCollation::asc(0)],
+            frame: WindowFrame::range(FrameBound::Preceding(hour), FrameBound::CurrentRow),
+            name: "last_hour".into(),
+            ty: RelType::nullable(TypeKind::Integer),
+        };
+        let plan = rel::window(t, vec![wf]);
+        let mut rows = run(&plan);
+        rows.sort_by(|a, b| a[0].cmp(&b[0]));
+        assert_eq!(rows[0][2], Datum::Int(5));
+        assert_eq!(rows[1][2], Datum::Int(12)); // 5 + 7 within the hour
+        assert_eq!(rows[2][2], Datum::Int(11)); // others outside range
+    }
+
+    #[test]
+    fn values_and_one_row() {
+        let rows = run(&rel::one_row());
+        assert_eq!(rows, vec![Vec::<Datum>::new()]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Language-Integrated Query for Rust — the analogue of Calcite's LINQ4J
+//! (paper §7.4): "language-integrated query languages allow the programmer
+//! to write all of her code using a single language". `Enumerable<T>` is a
+//! typed, composable query pipeline over in-memory collections, closely
+//! following the LINQ operator vocabulary (`where`, `select`, `groupBy`,
+//! `join`, `orderBy`, ...).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A materialized enumerable sequence with LINQ-style combinators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enumerable<T> {
+    items: Vec<T>,
+}
+
+impl<T> Enumerable<T> {
+    pub fn from(items: Vec<T>) -> Enumerable<T> {
+        Enumerable { items }
+    }
+
+    pub fn empty() -> Enumerable<T> {
+        Enumerable { items: vec![] }
+    }
+
+    pub fn to_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    pub fn count(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn any(&self, pred: impl Fn(&T) -> bool) -> bool {
+        self.items.iter().any(|t| pred(t))
+    }
+
+    pub fn all(&self, pred: impl Fn(&T) -> bool) -> bool {
+        self.items.iter().all(|t| pred(t))
+    }
+
+    pub fn first(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    /// LINQ `Where`: filters by predicate.
+    pub fn where_(self, pred: impl Fn(&T) -> bool) -> Enumerable<T> {
+        Enumerable {
+            items: self.items.into_iter().filter(|t| pred(t)).collect(),
+        }
+    }
+
+    /// LINQ `Select`: projects each element.
+    pub fn select<U>(self, f: impl Fn(T) -> U) -> Enumerable<U> {
+        Enumerable {
+            items: self.items.into_iter().map(f).collect(),
+        }
+    }
+
+    /// LINQ `SelectMany`: projects and flattens.
+    pub fn select_many<U, I: IntoIterator<Item = U>>(
+        self,
+        f: impl Fn(T) -> I,
+    ) -> Enumerable<U> {
+        Enumerable {
+            items: self.items.into_iter().flat_map(f).collect(),
+        }
+    }
+
+    /// LINQ `OrderBy` (stable).
+    pub fn order_by<K: Ord>(mut self, key: impl Fn(&T) -> K) -> Enumerable<T> {
+        self.items.sort_by_key(|t| key(t));
+        self
+    }
+
+    /// LINQ `OrderByDescending` (stable).
+    pub fn order_by_desc<K: Ord>(mut self, key: impl Fn(&T) -> K) -> Enumerable<T> {
+        self.items.sort_by(|a, b| key(b).cmp(&key(a)));
+        self
+    }
+
+    /// LINQ `Take`.
+    pub fn take(mut self, n: usize) -> Enumerable<T> {
+        self.items.truncate(n);
+        self
+    }
+
+    /// LINQ `Skip`.
+    pub fn skip(self, n: usize) -> Enumerable<T> {
+        Enumerable {
+            items: self.items.into_iter().skip(n).collect(),
+        }
+    }
+
+    /// LINQ `Concat`.
+    pub fn concat(mut self, other: Enumerable<T>) -> Enumerable<T> {
+        self.items.extend(other.items);
+        self
+    }
+
+    /// LINQ `Aggregate` (fold).
+    pub fn aggregate<A>(self, init: A, f: impl Fn(A, T) -> A) -> A {
+        self.items.into_iter().fold(init, f)
+    }
+
+    /// LINQ `GroupBy` with an aggregate per group (the `groupBy(key,
+    /// accumulator)` overload). Group order follows first appearance.
+    pub fn group_by<K, A>(
+        self,
+        key: impl Fn(&T) -> K,
+        init: impl Fn() -> A,
+        fold: impl Fn(A, T) -> A,
+    ) -> Enumerable<(K, A)>
+    where
+        K: Eq + Hash + Clone,
+    {
+        let mut order: Vec<K> = vec![];
+        let mut groups: HashMap<K, A> = HashMap::new();
+        for t in self.items {
+            let k = key(&t);
+            let acc = match groups.remove(&k) {
+                Some(a) => a,
+                None => {
+                    order.push(k.clone());
+                    init()
+                }
+            };
+            groups.insert(k.clone(), fold(acc, t));
+        }
+        Enumerable {
+            items: order
+                .into_iter()
+                .map(|k| {
+                    let a = groups.remove(&k).unwrap();
+                    (k, a)
+                })
+                .collect(),
+        }
+    }
+
+    /// LINQ `Join`: hash equi-join producing one result per matching pair.
+    pub fn join<U, K, R>(
+        self,
+        inner: Enumerable<U>,
+        outer_key: impl Fn(&T) -> K,
+        inner_key: impl Fn(&U) -> K,
+        result: impl Fn(&T, &U) -> R,
+    ) -> Enumerable<R>
+    where
+        K: Eq + Hash,
+        U: Clone,
+    {
+        let mut table: HashMap<K, Vec<U>> = HashMap::new();
+        for u in inner.items {
+            table.entry(inner_key(&u)).or_default().push(u);
+        }
+        let mut out = vec![];
+        for t in &self.items {
+            if let Some(matches) = table.get(&outer_key(t)) {
+                for u in matches {
+                    out.push(result(t, u));
+                }
+            }
+        }
+        Enumerable { items: out }
+    }
+}
+
+impl<T: Eq + Hash + Clone> Enumerable<T> {
+    /// LINQ `Distinct` (preserves first appearance order).
+    pub fn distinct(self) -> Enumerable<T> {
+        let mut seen = std::collections::HashSet::new();
+        Enumerable {
+            items: self
+                .items
+                .into_iter()
+                .filter(|t| seen.insert(t.clone()))
+                .collect(),
+        }
+    }
+
+    /// LINQ `Union` (distinct concat).
+    pub fn union(self, other: Enumerable<T>) -> Enumerable<T> {
+        self.concat(other).distinct()
+    }
+
+    /// LINQ `Intersect` (distinct).
+    pub fn intersect(self, other: Enumerable<T>) -> Enumerable<T> {
+        let set: std::collections::HashSet<T> = other.items.into_iter().collect();
+        self.where_(|t| set.contains(t)).distinct()
+    }
+
+    /// LINQ `Except` (distinct).
+    pub fn except(self, other: Enumerable<T>) -> Enumerable<T> {
+        let set: std::collections::HashSet<T> = other.items.into_iter().collect();
+        self.where_(|t| !set.contains(t)).distinct()
+    }
+}
+
+impl<T> IntoIterator for Enumerable<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<T> FromIterator<T> for Enumerable<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Enumerable {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Emp {
+        deptno: i64,
+        sal: i64,
+    }
+
+    fn emps() -> Enumerable<Emp> {
+        Enumerable::from(vec![
+            Emp { deptno: 10, sal: 100 },
+            Emp { deptno: 10, sal: 200 },
+            Emp { deptno: 20, sal: 300 },
+        ])
+    }
+
+    #[test]
+    fn where_select_pipeline() {
+        let names: Vec<i64> = emps()
+            .where_(|e| e.sal > 150)
+            .select(|e| e.deptno)
+            .to_vec();
+        assert_eq!(names, vec![10, 20]);
+    }
+
+    #[test]
+    fn group_by_matches_paper_pig_example() {
+        // GROUP emp BY deptno; COUNT(sal), SUM(sal) — the §3 example, this
+        // time through the language-integrated API.
+        let agg = emps()
+            .group_by(
+                |e| e.deptno,
+                || (0i64, 0i64),
+                |(c, s), e| (c + 1, s + e.sal),
+            )
+            .to_vec();
+        assert_eq!(agg, vec![(10, (2, 300)), (20, (1, 300))]);
+    }
+
+    #[test]
+    fn join_two_collections() {
+        let depts = Enumerable::from(vec![(10, "eng"), (30, "ops")]);
+        let joined = emps()
+            .join(depts, |e| e.deptno, |d| d.0, |e, d| (e.sal, d.1))
+            .to_vec();
+        assert_eq!(joined, vec![(100, "eng"), (200, "eng")]);
+    }
+
+    #[test]
+    fn order_take_skip() {
+        let top: Vec<i64> = emps()
+            .order_by_desc(|e| e.sal)
+            .take(2)
+            .select(|e| e.sal)
+            .to_vec();
+        assert_eq!(top, vec![300, 200]);
+        let rest: Vec<i64> = emps().skip(1).select(|e| e.sal).to_vec();
+        assert_eq!(rest, vec![200, 300]);
+    }
+
+    #[test]
+    fn set_operators() {
+        let a = Enumerable::from(vec![1, 2, 2, 3]);
+        let b = Enumerable::from(vec![2, 4]);
+        assert_eq!(a.clone().distinct().to_vec(), vec![1, 2, 3]);
+        assert_eq!(a.clone().union(b.clone()).to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(a.clone().intersect(b.clone()).to_vec(), vec![2]);
+        assert_eq!(a.except(b).to_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn select_many_and_aggregate() {
+        let nested = Enumerable::from(vec![vec![1, 2], vec![3]]);
+        let flat = nested.select_many(|v| v).to_vec();
+        assert_eq!(flat, vec![1, 2, 3]);
+        let sum = Enumerable::from(vec![1, 2, 3]).aggregate(0, |a, b| a + b);
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn predicates_and_counts() {
+        assert_eq!(emps().count(), 3);
+        assert!(emps().any(|e| e.sal == 300));
+        assert!(emps().all(|e| e.sal >= 100));
+        assert_eq!(emps().first().unwrap().deptno, 10);
+        assert!(Enumerable::<i32>::empty().first().is_none());
+    }
+}

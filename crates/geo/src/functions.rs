@@ -1,0 +1,306 @@
+//! The `ST_*` SQL function family (paper §7.3), a subset of the OpenGIS
+//! Simple Feature Access SQL option. Functions register into the core
+//! [`FunctionRegistry`], making them available to the SQL validator and
+//! every execution convention.
+
+use crate::geometry::Geometry;
+use crate::wkt::{parse_wkt, to_wkt};
+use rcalcite_core::datum::{Datum, ExtValue};
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::rex::{FunctionRegistry, ScalarUdf};
+use rcalcite_core::types::{RelType, TypeKind};
+use std::any::Any;
+use std::sync::Arc;
+
+/// The runtime representation of GEOMETRY values: a [`Geometry`] behind
+/// core's extension-value interface.
+#[derive(Debug)]
+pub struct GeoValue(pub Geometry);
+
+impl std::fmt::Display for GeoValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", to_wkt(&self.0))
+    }
+}
+
+impl ExtValue for GeoValue {
+    fn type_name(&self) -> &'static str {
+        "geometry"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn ext_eq(&self, other: &dyn ExtValue) -> bool {
+        other
+            .as_any()
+            .downcast_ref::<GeoValue>()
+            .map(|g| g.0 == self.0)
+            .unwrap_or(false)
+    }
+}
+
+/// Wraps a geometry as a datum.
+pub fn geo_datum(g: Geometry) -> Datum {
+    Datum::Ext(Arc::new(GeoValue(g)))
+}
+
+/// Extracts a geometry from a datum (accepting WKT strings for
+/// convenience, as OGC functions do).
+pub fn datum_geo(d: &Datum) -> Result<Geometry> {
+    match d {
+        Datum::Ext(e) => e
+            .as_any()
+            .downcast_ref::<GeoValue>()
+            .map(|g| g.0.clone())
+            .ok_or_else(|| CalciteError::execution("expected a GEOMETRY value")),
+        Datum::Str(s) => parse_wkt(s),
+        other => Err(CalciteError::execution(format!(
+            "expected a GEOMETRY value, found {other}"
+        ))),
+    }
+}
+
+fn geometry_type() -> RelType {
+    RelType::nullable(TypeKind::Geometry)
+}
+
+fn ret_geometry(_args: &[RelType]) -> RelType {
+    geometry_type()
+}
+
+fn ret_boolean(_args: &[RelType]) -> RelType {
+    RelType::nullable(TypeKind::Boolean)
+}
+
+fn ret_double(_args: &[RelType]) -> RelType {
+    RelType::nullable(TypeKind::Double)
+}
+
+fn ret_varchar(_args: &[RelType]) -> RelType {
+    RelType::nullable(TypeKind::Varchar)
+}
+
+fn null_if_any_null(args: &[Datum]) -> bool {
+    args.iter().any(Datum::is_null)
+}
+
+fn st_geom_from_text(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    let s = args[0]
+        .as_str()
+        .ok_or_else(|| CalciteError::execution("ST_GeomFromText expects a string"))?;
+    Ok(geo_datum(parse_wkt(s)?))
+}
+
+fn st_as_text(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    Ok(Datum::str(to_wkt(&datum_geo(&args[0])?)))
+}
+
+fn st_point(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    let x = args[0]
+        .as_double()
+        .ok_or_else(|| CalciteError::execution("ST_Point expects numbers"))?;
+    let y = args[1]
+        .as_double()
+        .ok_or_else(|| CalciteError::execution("ST_Point expects numbers"))?;
+    Ok(geo_datum(Geometry::point(x, y)))
+}
+
+fn st_contains(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    Ok(Datum::Bool(
+        datum_geo(&args[0])?.contains(&datum_geo(&args[1])?),
+    ))
+}
+
+fn st_within(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    Ok(Datum::Bool(
+        datum_geo(&args[1])?.contains(&datum_geo(&args[0])?),
+    ))
+}
+
+fn st_intersects(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    Ok(Datum::Bool(
+        datum_geo(&args[0])?.intersects(&datum_geo(&args[1])?),
+    ))
+}
+
+fn st_distance(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    Ok(Datum::Double(
+        datum_geo(&args[0])?.distance(&datum_geo(&args[1])?),
+    ))
+}
+
+fn st_area(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    Ok(Datum::Double(datum_geo(&args[0])?.area()))
+}
+
+fn st_length(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    Ok(Datum::Double(datum_geo(&args[0])?.length()))
+}
+
+fn st_x(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    match datum_geo(&args[0])? {
+        Geometry::Point(c) => Ok(Datum::Double(c.x)),
+        _ => Err(CalciteError::execution("ST_X expects a POINT")),
+    }
+}
+
+fn st_y(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    match datum_geo(&args[0])? {
+        Geometry::Point(c) => Ok(Datum::Double(c.y)),
+        _ => Err(CalciteError::execution("ST_Y expects a POINT")),
+    }
+}
+
+fn st_envelope(args: &[Datum]) -> Result<Datum> {
+    if null_if_any_null(args) {
+        return Ok(Datum::Null);
+    }
+    let (min, max) = datum_geo(&args[0])?.envelope();
+    Ok(geo_datum(Geometry::Polygon(vec![
+        min,
+        crate::geometry::Coord::new(max.x, min.y),
+        max,
+        crate::geometry::Coord::new(min.x, max.y),
+        min,
+    ])))
+}
+
+/// Registers the `ST_*` family into a function registry.
+pub fn register(registry: &mut FunctionRegistry) {
+    let defs: Vec<(&str, fn(&[RelType]) -> RelType, fn(&[Datum]) -> Result<Datum>)> = vec![
+        ("ST_GeomFromText", ret_geometry, st_geom_from_text),
+        ("ST_AsText", ret_varchar, st_as_text),
+        ("ST_Point", ret_geometry, st_point),
+        ("ST_MakePoint", ret_geometry, st_point),
+        ("ST_Contains", ret_boolean, st_contains),
+        ("ST_Within", ret_boolean, st_within),
+        ("ST_Intersects", ret_boolean, st_intersects),
+        ("ST_Distance", ret_double, st_distance),
+        ("ST_Area", ret_double, st_area),
+        ("ST_Length", ret_double, st_length),
+        ("ST_X", ret_double, st_x),
+        ("ST_Y", ret_double, st_y),
+        ("ST_Envelope", ret_geometry, st_envelope),
+    ];
+    for (name, ret_type, eval) in defs {
+        registry.register(ScalarUdf {
+            name: name.to_string(),
+            ret_type,
+            eval,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_functions() {
+        let mut reg = FunctionRegistry::new();
+        register(&mut reg);
+        for n in ["ST_GEOMFROMTEXT", "st_contains", "St_Distance", "ST_X"] {
+            assert!(reg.lookup(n).is_some(), "{n} missing");
+        }
+        assert!(reg.names().len() >= 13);
+    }
+
+    #[test]
+    fn geom_from_text_and_back() {
+        let g = st_geom_from_text(&[Datum::str("POINT (1 2)")]).unwrap();
+        let text = st_as_text(&[g]).unwrap();
+        assert_eq!(text, Datum::str("POINT (1 2)"));
+    }
+
+    #[test]
+    fn contains_and_within_are_inverse() {
+        let poly = st_geom_from_text(&[Datum::str("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")])
+            .unwrap();
+        let p = st_point(&[Datum::Double(1.0), Datum::Double(1.0)]).unwrap();
+        assert_eq!(
+            st_contains(&[poly.clone(), p.clone()]).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(st_within(&[p, poly]).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn nulls_propagate() {
+        assert_eq!(
+            st_contains(&[Datum::Null, Datum::Null]).unwrap(),
+            Datum::Null
+        );
+        assert_eq!(st_area(&[Datum::Null]).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn coordinates_and_measures() {
+        let p = st_point(&[Datum::Double(3.5), Datum::Double(-1.0)]).unwrap();
+        assert_eq!(st_x(&[p.clone()]).unwrap(), Datum::Double(3.5));
+        assert_eq!(st_y(&[p]).unwrap(), Datum::Double(-1.0));
+        let sq = st_geom_from_text(&[Datum::str("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")])
+            .unwrap();
+        assert_eq!(st_area(&[sq.clone()]).unwrap(), Datum::Double(4.0));
+        assert_eq!(st_length(&[sq]).unwrap(), Datum::Double(8.0));
+    }
+
+    #[test]
+    fn wkt_strings_accepted_directly() {
+        // OGC-style convenience: string arguments parsed as WKT.
+        assert_eq!(
+            st_distance(&[Datum::str("POINT (0 0)"), Datum::str("POINT (3 4)")]).unwrap(),
+            Datum::Double(5.0)
+        );
+    }
+
+    #[test]
+    fn envelope_of_line() {
+        let line = st_geom_from_text(&[Datum::str("LINESTRING (0 0, 2 1)")]).unwrap();
+        let env = st_envelope(&[line]).unwrap();
+        assert_eq!(st_area(&[env]).unwrap(), Datum::Double(2.0));
+    }
+
+    #[test]
+    fn ext_value_equality() {
+        let a = geo_datum(Geometry::point(1.0, 2.0));
+        let b = geo_datum(Geometry::point(1.0, 2.0));
+        let c = geo_datum(Geometry::point(9.0, 9.0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,334 @@
+//! Geometry objects (paper §7.3): "the core of this implementation
+//! consists in adding a new GEOMETRY data type which encapsulates
+//! different geometric objects such as points, curves, and polygons",
+//! following the OpenGIS Simple Feature Access model.
+
+use std::fmt;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coord {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Coord {
+    pub fn new(x: f64, y: f64) -> Coord {
+        Coord { x, y }
+    }
+
+    pub fn distance(&self, other: &Coord) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A geometry value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Geometry {
+    Point(Coord),
+    /// An open curve through the coordinates.
+    LineString(Vec<Coord>),
+    /// A simple polygon: exterior ring (closed: first == last coordinate).
+    Polygon(Vec<Coord>),
+}
+
+impl Geometry {
+    pub fn point(x: f64, y: f64) -> Geometry {
+        Geometry::Point(Coord::new(x, y))
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Geometry::Point(_) => "POINT",
+            Geometry::LineString(_) => "LINESTRING",
+            Geometry::Polygon(_) => "POLYGON",
+        }
+    }
+
+    fn coords(&self) -> &[Coord] {
+        match self {
+            Geometry::Point(c) => std::slice::from_ref(c),
+            Geometry::LineString(cs) | Geometry::Polygon(cs) => cs,
+        }
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    pub fn envelope(&self) -> (Coord, Coord) {
+        let cs = self.coords();
+        let mut min = cs[0];
+        let mut max = cs[0];
+        for c in cs {
+            min.x = min.x.min(c.x);
+            min.y = min.y.min(c.y);
+            max.x = max.x.max(c.x);
+            max.y = max.y.max(c.y);
+        }
+        (min, max)
+    }
+
+    /// Signed area of a polygon (shoelace formula); 0 for other types.
+    pub fn area(&self) -> f64 {
+        match self {
+            Geometry::Polygon(ring) if ring.len() >= 4 => {
+                let mut sum = 0.0;
+                for w in ring.windows(2) {
+                    sum += w[0].x * w[1].y - w[1].x * w[0].y;
+                }
+                (sum / 2.0).abs()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Total length of a linestring / polygon perimeter.
+    pub fn length(&self) -> f64 {
+        let cs = self.coords();
+        cs.windows(2).map(|w| w[0].distance(&w[1])).sum()
+    }
+
+    /// Point-in-polygon test (ray casting); boundary points count as
+    /// inside.
+    pub fn polygon_contains_point(ring: &[Coord], p: &Coord) -> bool {
+        // On-boundary check first.
+        for w in ring.windows(2) {
+            if point_on_segment(p, &w[0], &w[1]) {
+                return true;
+            }
+        }
+        let mut inside = false;
+        for w in ring.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_at {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// OGC `ST_Contains`-style containment: every point of `other` lies
+    /// within this geometry.
+    pub fn contains(&self, other: &Geometry) -> bool {
+        match self {
+            Geometry::Polygon(ring) => other
+                .coords()
+                .iter()
+                .all(|c| Self::polygon_contains_point(ring, c))
+                // For polygon-in-polygon, vertex containment plus no
+                // boundary crossing is required.
+                && match other {
+                    Geometry::Polygon(oring) | Geometry::LineString(oring) => {
+                        !rings_cross(ring, oring)
+                    }
+                    Geometry::Point(_) => true,
+                },
+            Geometry::Point(a) => matches!(other, Geometry::Point(b) if a == b),
+            Geometry::LineString(cs) => match other {
+                Geometry::Point(p) => cs.windows(2).any(|w| point_on_segment(p, &w[0], &w[1])),
+                _ => false,
+            },
+        }
+    }
+
+    /// Whether the geometries share at least one point.
+    pub fn intersects(&self, other: &Geometry) -> bool {
+        // Fast envelope rejection.
+        let (amin, amax) = self.envelope();
+        let (bmin, bmax) = other.envelope();
+        if amax.x < bmin.x || bmax.x < amin.x || amax.y < bmin.y || bmax.y < amin.y {
+            return false;
+        }
+        match (self, other) {
+            (Geometry::Point(a), Geometry::Point(b)) => a == b,
+            (Geometry::Point(p), g) | (g, Geometry::Point(p)) => match g {
+                Geometry::Polygon(ring) => Self::polygon_contains_point(ring, p),
+                Geometry::LineString(cs) => {
+                    cs.windows(2).any(|w| point_on_segment(p, &w[0], &w[1]))
+                }
+                Geometry::Point(q) => p == q,
+            },
+            (a, b) => {
+                // Any pair of segments crossing, or either containing the
+                // other's first vertex.
+                if rings_cross(a.coords(), b.coords()) {
+                    return true;
+                }
+                match (a, b) {
+                    (Geometry::Polygon(ring), other2) => {
+                        other2.coords().iter().any(|c| Self::polygon_contains_point(ring, c))
+                            || matches!(other2, Geometry::Polygon(oring)
+                                if a.coords().iter().any(|c| Self::polygon_contains_point(oring, c)))
+                    }
+                    (other2, Geometry::Polygon(ring)) => other2
+                        .coords()
+                        .iter()
+                        .any(|c| Self::polygon_contains_point(ring, c)),
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Minimum distance between the two geometries (0 when intersecting).
+    pub fn distance(&self, other: &Geometry) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        let a = self.coords();
+        let b = other.coords();
+        // Point-to-segment distances in both directions.
+        let seg_dist = |p: &Coord, u: &Coord, v: &Coord| -> f64 {
+            let len2 = (v.x - u.x).powi(2) + (v.y - u.y).powi(2);
+            if len2 == 0.0 {
+                return p.distance(u);
+            }
+            let t = (((p.x - u.x) * (v.x - u.x) + (p.y - u.y) * (v.y - u.y)) / len2)
+                .clamp(0.0, 1.0);
+            let proj = Coord::new(u.x + t * (v.x - u.x), u.y + t * (v.y - u.y));
+            p.distance(&proj)
+        };
+        for p in a {
+            if b.len() == 1 {
+                best = best.min(p.distance(&b[0]));
+            }
+            for w in b.windows(2) {
+                best = best.min(seg_dist(p, &w[0], &w[1]));
+            }
+        }
+        for p in b {
+            if a.len() == 1 {
+                best = best.min(p.distance(&a[0]));
+            }
+            for w in a.windows(2) {
+                best = best.min(seg_dist(p, &w[0], &w[1]));
+            }
+        }
+        best
+    }
+}
+
+fn point_on_segment(p: &Coord, a: &Coord, b: &Coord) -> bool {
+    let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if cross.abs() > 1e-9 {
+        return false;
+    }
+    p.x >= a.x.min(b.x) - 1e-9
+        && p.x <= a.x.max(b.x) + 1e-9
+        && p.y >= a.y.min(b.y) - 1e-9
+        && p.y <= a.y.max(b.y) + 1e-9
+}
+
+fn segments_cross(a1: &Coord, a2: &Coord, b1: &Coord, b2: &Coord) -> bool {
+    let d = |p: &Coord, q: &Coord, r: &Coord| (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+    let d1 = d(b1, b2, a1);
+    let d2 = d(b1, b2, a2);
+    let d3 = d(a1, a2, b1);
+    let d4 = d(a1, a2, b2);
+    ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+}
+
+fn rings_cross(a: &[Coord], b: &[Coord]) -> bool {
+    for wa in a.windows(2) {
+        for wb in b.windows(2) {
+            if segments_cross(&wa[0], &wa[1], &wb[0], &wb[1]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::wkt::to_wkt(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Geometry {
+        Geometry::Polygon(vec![
+            Coord::new(0.0, 0.0),
+            Coord::new(1.0, 0.0),
+            Coord::new(1.0, 1.0),
+            Coord::new(0.0, 1.0),
+            Coord::new(0.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn point_in_polygon() {
+        let sq = unit_square();
+        assert!(sq.contains(&Geometry::point(0.5, 0.5)));
+        assert!(!sq.contains(&Geometry::point(1.5, 0.5)));
+        // Boundary counts as contained.
+        assert!(sq.contains(&Geometry::point(0.0, 0.5)));
+        assert!(sq.contains(&Geometry::point(1.0, 1.0)));
+    }
+
+    #[test]
+    fn polygon_in_polygon() {
+        let sq = unit_square();
+        let inner = Geometry::Polygon(vec![
+            Coord::new(0.25, 0.25),
+            Coord::new(0.75, 0.25),
+            Coord::new(0.75, 0.75),
+            Coord::new(0.25, 0.75),
+            Coord::new(0.25, 0.25),
+        ]);
+        assert!(sq.contains(&inner));
+        assert!(!inner.contains(&sq));
+        // Overlapping but not contained.
+        let shifted = Geometry::Polygon(vec![
+            Coord::new(0.5, 0.5),
+            Coord::new(1.5, 0.5),
+            Coord::new(1.5, 1.5),
+            Coord::new(0.5, 1.5),
+            Coord::new(0.5, 0.5),
+        ]);
+        assert!(!sq.contains(&shifted));
+        assert!(sq.intersects(&shifted));
+    }
+
+    #[test]
+    fn area_and_length() {
+        assert!((unit_square().area() - 1.0).abs() < 1e-12);
+        assert!((unit_square().length() - 4.0).abs() < 1e-12);
+        let line = Geometry::LineString(vec![Coord::new(0.0, 0.0), Coord::new(3.0, 4.0)]);
+        assert!((line.length() - 5.0).abs() < 1e-12);
+        assert_eq!(line.area(), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let sq = unit_square();
+        let p = Geometry::point(3.0, 0.0);
+        assert!((sq.distance(&p) - 2.0).abs() < 1e-9);
+        assert_eq!(sq.distance(&Geometry::point(0.5, 0.5)), 0.0);
+        let a = Geometry::point(0.0, 0.0);
+        let b = Geometry::point(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersections() {
+        let l1 = Geometry::LineString(vec![Coord::new(0.0, 0.0), Coord::new(2.0, 2.0)]);
+        let l2 = Geometry::LineString(vec![Coord::new(0.0, 2.0), Coord::new(2.0, 0.0)]);
+        assert!(l1.intersects(&l2));
+        let l3 = Geometry::LineString(vec![Coord::new(5.0, 5.0), Coord::new(6.0, 6.0)]);
+        assert!(!l1.intersects(&l3));
+        // Envelope rejection path.
+        assert!(!unit_square().intersects(&Geometry::point(10.0, 10.0)));
+    }
+
+    #[test]
+    fn envelope() {
+        let (min, max) = unit_square().envelope();
+        assert_eq!((min.x, min.y, max.x, max.y), (0.0, 0.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,20 @@
+//! # rcalcite-geo
+//!
+//! Geospatial queries (paper §7.3), "implemented using Calcite's
+//! relational algebra" by adding a GEOMETRY data type plus the OpenGIS
+//! `ST_*` SQL functions. Register with a connection:
+//!
+//! ```
+//! # use rcalcite_core::catalog::Catalog;
+//! let mut conn = rcalcite_sql::Connection::new(Catalog::new());
+//! rcalcite_geo::register(conn.functions_mut());
+//! assert!(conn.functions().lookup("ST_Contains").is_some());
+//! ```
+
+pub mod functions;
+pub mod geometry;
+pub mod wkt;
+
+pub use functions::{datum_geo, geo_datum, register, GeoValue};
+pub use geometry::{Coord, Geometry};
+pub use wkt::{parse_wkt, to_wkt};

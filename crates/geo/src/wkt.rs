@@ -1,0 +1,235 @@
+//! Well-Known Text reading/writing, the interchange format of the paper's
+//! §7.3 example (`ST_GeomFromText('POLYGON ((4.82 52.43, ...))')`).
+
+use crate::geometry::{Coord, Geometry};
+use rcalcite_core::error::{CalciteError, Result};
+
+/// Parses a WKT string into a geometry.
+pub fn parse_wkt(text: &str) -> Result<Geometry> {
+    let trimmed = text.trim();
+    let upper = trimmed.to_ascii_uppercase();
+    if let Some(rest) = upper.strip_prefix("POINT") {
+        let coords = parse_coord_list(strip_parens(rest, trimmed, "POINT")?)?;
+        if coords.len() != 1 {
+            return Err(CalciteError::parse("POINT requires one coordinate"));
+        }
+        return Ok(Geometry::Point(coords[0]));
+    }
+    if let Some(rest) = upper.strip_prefix("LINESTRING") {
+        let coords = parse_coord_list(strip_parens(rest, trimmed, "LINESTRING")?)?;
+        if coords.len() < 2 {
+            return Err(CalciteError::parse("LINESTRING requires >= 2 coordinates"));
+        }
+        return Ok(Geometry::LineString(coords));
+    }
+    if let Some(rest) = upper.strip_prefix("POLYGON") {
+        // POLYGON ((x y, x y, ...)) — single exterior ring.
+        let inner = strip_parens(rest, trimmed, "POLYGON")?;
+        let inner = inner.trim();
+        let ring_src = inner
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| CalciteError::parse("POLYGON requires a double-parenthesized ring"))?;
+        let mut coords = parse_coord_list(ring_src)?;
+        if coords.len() < 3 {
+            return Err(CalciteError::parse("POLYGON ring requires >= 3 coordinates"));
+        }
+        // Close the ring if needed.
+        if coords.first() != coords.last() {
+            let first = coords[0];
+            coords.push(first);
+        }
+        return Ok(Geometry::Polygon(coords));
+    }
+    Err(CalciteError::parse(format!(
+        "unsupported WKT geometry: '{}'",
+        trimmed.chars().take(24).collect::<String>()
+    )))
+}
+
+/// Extracts `...` from ` (...)` of the original (case-preserved) text.
+fn strip_parens<'a>(upper_rest: &str, original: &'a str, kw: &str) -> Result<&'a str> {
+    let _ = upper_rest;
+    let after = &original[kw.len()..];
+    let after = after.trim_start();
+    after
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| CalciteError::parse(format!("{kw} requires parenthesized coordinates")))
+}
+
+fn parse_coord_list(src: &str) -> Result<Vec<Coord>> {
+    let mut out = vec![];
+    for part in src.split(',') {
+        let nums: Vec<&str> = part.split_whitespace().collect();
+        if nums.len() != 2 {
+            return Err(CalciteError::parse(format!(
+                "bad WKT coordinate '{part}'"
+            )));
+        }
+        let x: f64 = nums[0]
+            .parse()
+            .map_err(|_| CalciteError::parse(format!("bad WKT number '{}'", nums[0])))?;
+        let y: f64 = nums[1]
+            .parse()
+            .map_err(|_| CalciteError::parse(format!("bad WKT number '{}'", nums[1])))?;
+        out.push(Coord::new(x, y));
+    }
+    Ok(out)
+}
+
+/// Renders a geometry as WKT.
+pub fn to_wkt(g: &Geometry) -> String {
+    let fmt_c = |c: &Coord| format!("{} {}", fmt_f(c.x), fmt_f(c.y));
+    match g {
+        Geometry::Point(c) => format!("POINT ({})", fmt_c(c)),
+        Geometry::LineString(cs) => format!(
+            "LINESTRING ({})",
+            cs.iter().map(fmt_c).collect::<Vec<_>>().join(", ")
+        ),
+        Geometry::Polygon(cs) => format!(
+            "POLYGON (({}))",
+            cs.iter().map(fmt_c).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+fn fmt_f(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_amsterdam_polygon() {
+        // Verbatim from §7.3.
+        let g = parse_wkt(
+            "POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33, 4.82 52.33, 4.82 52.43))",
+        )
+        .unwrap();
+        match &g {
+            Geometry::Polygon(ring) => {
+                assert_eq!(ring.len(), 5);
+                assert_eq!(ring[0], ring[4]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for wkt in [
+            "POINT (4.9 52.37)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 1 0, 1 1, 0 0))",
+        ] {
+            let g = parse_wkt(wkt).unwrap();
+            assert_eq!(to_wkt(&g), wkt);
+            // Reparse equality.
+            assert_eq!(parse_wkt(&to_wkt(&g)).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn unclosed_ring_is_closed() {
+        let g = parse_wkt("POLYGON ((0 0, 1 0, 1 1))").unwrap();
+        match g {
+            Geometry::Polygon(ring) => {
+                assert_eq!(ring.len(), 4);
+                assert_eq!(ring[0], ring[3]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn case_insensitive_keyword() {
+        assert!(parse_wkt("point (1 2)").is_ok());
+        assert!(parse_wkt("Polygon ((0 0, 1 0, 0 1, 0 0))").is_ok());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_wkt("CIRCLE (1 2 3)").is_err());
+        assert!(parse_wkt("POINT 1 2").is_err());
+        assert!(parse_wkt("POINT (1)").is_err());
+        assert!(parse_wkt("POINT (a b)").is_err());
+        assert!(parse_wkt("LINESTRING (1 2)").is_err());
+        assert!(parse_wkt("POLYGON ((1 2))").is_err());
+        assert!(parse_wkt("POLYGON (1 2, 3 4, 5 6)").is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::geometry::{Coord, Geometry};
+    use proptest::prelude::*;
+
+    fn coord() -> impl Strategy<Value = Coord> {
+        (-1000i32..1000, -1000i32..1000)
+            .prop_map(|(x, y)| Coord::new(x as f64 / 4.0, y as f64 / 4.0))
+    }
+
+    proptest! {
+        /// WKT round trip for every geometry kind.
+        #[test]
+        fn point_round_trip(c in coord()) {
+            let g = Geometry::Point(c);
+            prop_assert_eq!(parse_wkt(&to_wkt(&g)).unwrap(), g);
+        }
+
+        #[test]
+        fn linestring_round_trip(cs in proptest::collection::vec(coord(), 2..8)) {
+            let g = Geometry::LineString(cs);
+            prop_assert_eq!(parse_wkt(&to_wkt(&g)).unwrap(), g);
+        }
+
+        #[test]
+        fn polygon_round_trip(mut cs in proptest::collection::vec(coord(), 3..8)) {
+            let first = cs[0];
+            cs.push(first); // close the ring
+            let g = Geometry::Polygon(cs);
+            prop_assert_eq!(parse_wkt(&to_wkt(&g)).unwrap(), g);
+        }
+
+        /// Envelope always contains every vertex; intersects is symmetric.
+        #[test]
+        fn envelope_contains_vertices(cs in proptest::collection::vec(coord(), 2..8)) {
+            let g = Geometry::LineString(cs.clone());
+            let (min, max) = g.envelope();
+            for c in &cs {
+                prop_assert!(c.x >= min.x && c.x <= max.x);
+                prop_assert!(c.y >= min.y && c.y <= max.y);
+            }
+        }
+
+        #[test]
+        fn intersects_is_symmetric(a in coord(), b in coord(), c in coord(), d in coord()) {
+            let l1 = Geometry::LineString(vec![a, b]);
+            let l2 = Geometry::LineString(vec![c, d]);
+            prop_assert_eq!(l1.intersects(&l2), l2.intersects(&l1));
+        }
+
+        /// Distance is symmetric, non-negative, and zero iff intersecting
+        /// (up to tolerance).
+        #[test]
+        fn distance_properties(a in coord(), b in coord()) {
+            let p = Geometry::Point(a);
+            let q = Geometry::Point(b);
+            let d1 = p.distance(&q);
+            let d2 = q.distance(&p);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+            prop_assert!(d1 >= 0.0);
+            if a == b {
+                prop_assert_eq!(d1, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! SQL abstract syntax tree, covering ANSI SELECT plus the paper's
+//! extensions: `SELECT STREAM` (§7.2), windowed aggregates with
+//! `ROWS`/`RANGE` frames, `[]` item access on semi-structured columns
+//! (§7.1) and interval literals.
+
+/// A parsed statement. Besides queries, rcalcite implements the DDL/DML
+/// surface the paper lists as future work for standalone-engine use (§9):
+/// CREATE TABLE / VIEW / MATERIALIZED VIEW, INSERT and DROP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Query(Query),
+    /// `EXPLAIN <query>` — prints the optimized plan.
+    Explain(Query),
+    CreateTable {
+        name: Vec<String>,
+        columns: Vec<ColumnDef>,
+    },
+    CreateView {
+        name: Vec<String>,
+        query: Query,
+    },
+    CreateMaterializedView {
+        name: Vec<String>,
+        query: Query,
+    },
+    Insert {
+        table: Vec<String>,
+        source: Query,
+    },
+    DropTable {
+        name: Vec<String>,
+        if_exists: bool,
+    },
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: AstType,
+    pub not_null: bool,
+}
+
+/// A query: set-expression body plus ordering and limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub offset: Option<u64>,
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    Union,
+    Intersect,
+    Except,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    SetOp {
+        op: SetOpKind,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
+    Values(Vec<Vec<Expr>>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT STREAM ...` (§7.2): "the user is interested in incoming
+    /// records, not existing ones".
+    pub stream: bool,
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableExpr>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstJoinKind {
+    Inner,
+    Left,
+    Right,
+    Full,
+    Cross,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinCond {
+    On(Expr),
+    Using(Vec<String>),
+    None,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableExpr {
+    Table {
+        name: Vec<String>,
+        alias: Option<String>,
+    },
+    Subquery {
+        query: Box<Query>,
+        alias: Option<String>,
+    },
+    Join {
+        left: Box<TableExpr>,
+        right: Box<TableExpr>,
+        kind: AstJoinKind,
+        cond: JoinCond,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Plus,
+    Minus,
+    Times,
+    Divide,
+    Mod,
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// `DATE 'YYYY-MM-DD'`
+    Date(String),
+    /// `TIMESTAMP 'YYYY-MM-DD HH:MM:SS'`
+    Timestamp(String),
+    /// `INTERVAL '<n>' <unit>`
+    Interval { value: String, unit: TimeUnit },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeUnit {
+    Second,
+    Minute,
+    Hour,
+    Day,
+}
+
+impl TimeUnit {
+    pub fn millis(&self) -> i64 {
+        match self {
+            TimeUnit::Second => 1_000,
+            TimeUnit::Minute => 60_000,
+            TimeUnit::Hour => 3_600_000,
+            TimeUnit::Day => 86_400_000,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            TimeUnit::Second => "SECOND",
+            TimeUnit::Minute => "MINUTE",
+            TimeUnit::Hour => "HOUR",
+            TimeUnit::Day => "DAY",
+        }
+    }
+}
+
+/// Window frame specification in OVER clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSpec {
+    pub rows: bool, // true = ROWS, false = RANGE
+    pub lower: AstFrameBound,
+    pub upper: Option<AstFrameBound>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstFrameBound {
+    UnboundedPreceding,
+    Preceding(Box<Expr>),
+    CurrentRow,
+    Following(Box<Expr>),
+    UnboundedFollowing,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    pub partition: Vec<Expr>,
+    pub order: Vec<OrderItem>,
+    pub frame: Option<FrameSpec>,
+}
+
+/// A named SQL type in CAST expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstType {
+    Boolean,
+    Integer,
+    Double,
+    Varchar,
+    Date,
+    Timestamp,
+    Geometry,
+    Any,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Possibly-qualified column reference (`col` or `alias.col`).
+    Ident(Vec<String>),
+    Literal(Lit),
+    Unary {
+        minus: bool,
+        expr: Box<Expr>,
+    },
+    Not(Box<Expr>),
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<Expr>>,
+        whens: Vec<(Expr, Expr)>,
+        else_: Option<Box<Expr>>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: AstType,
+    },
+    /// Function call: scalar, aggregate (with optional DISTINCT / `*`
+    /// argument) or windowed (with OVER).
+    Func {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+        star: bool,
+        over: Option<WindowSpec>,
+    },
+    /// `base[index]` item access (§7.1).
+    Item {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+}
+
+impl Expr {
+    pub fn ident(name: &str) -> Expr {
+        Expr::Ident(vec![name.to_string()])
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Lit::Int(v))
+    }
+}

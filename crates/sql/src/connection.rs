@@ -1,0 +1,485 @@
+//! The embedded connection facade — rcalcite's analogue of Calcite's JDBC
+//! driver entry point (Avatica). A `Connection` owns the catalog, function
+//! registry, planner configuration and execution context; engines and
+//! adapters plug their rules, converters and executors into it.
+
+use crate::ast::Stmt;
+use crate::converter::{ast_type_to_kind, query_to_rel_with_views};
+use crate::parser::parse;
+use parking_lot::RwLock;
+use rcalcite_core::catalog::{Catalog, MemTable, TableRef};
+use rcalcite_core::cost::CostModel;
+use rcalcite_core::datum::{Datum, Row};
+use rcalcite_core::error::Result;
+use rcalcite_core::exec::{ConventionExecutor, ExecContext};
+use rcalcite_core::explain::explain_with_costs;
+use rcalcite_core::lattice::{Lattice, LatticeRule};
+use rcalcite_core::metadata::{MetadataProvider, MetadataQuery};
+use rcalcite_core::mv::{Materialization, MaterializedViewRule};
+use rcalcite_core::planner::hep::HepPlanner;
+use rcalcite_core::planner::volcano::{FixpointMode, VolcanoPlanner};
+use rcalcite_core::planner::PlannerEngine;
+use rcalcite_core::rel::Rel;
+use rcalcite_core::rex::FunctionRegistry;
+use rcalcite_core::rules::{default_logical_rules, Rule};
+use rcalcite_core::traits::Convention;
+use std::sync::Arc;
+
+/// Result of a query: column names plus materialized rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Formats the result as an aligned text table (for examples/demos).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &cells {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An embedded rcalcite connection.
+pub struct Connection {
+    catalog: Arc<Catalog>,
+    functions: FunctionRegistry,
+    exec: ExecContext,
+    rules: Vec<Arc<dyn Rule>>,
+    converters: Vec<(Convention, Convention)>,
+    providers: Vec<Arc<dyn MetadataProvider>>,
+    cost_model: Option<Arc<dyn CostModel>>,
+    materializations: RwLock<Vec<Materialization>>,
+    lattices: Vec<Arc<Lattice>>,
+    mode: FixpointMode,
+    metadata_cache: bool,
+    /// Named views (lowercase) created through DDL; expanded inline.
+    views: RwLock<std::collections::HashMap<String, Rel>>,
+}
+
+impl Connection {
+    pub fn new(catalog: Arc<Catalog>) -> Connection {
+        Connection {
+            catalog,
+            functions: FunctionRegistry::new(),
+            exec: ExecContext::new(),
+            rules: default_logical_rules(),
+            converters: vec![],
+            providers: vec![],
+            cost_model: None,
+            materializations: RwLock::new(vec![]),
+            lattices: vec![],
+            mode: FixpointMode::Exhaustive,
+            metadata_cache: true,
+            views: RwLock::new(std::collections::HashMap::new()),
+        }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn functions_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.functions
+    }
+
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.functions
+    }
+
+    /// Registers a planner rule (adapter pushdown, implementation, ...).
+    pub fn add_rule(&mut self, rule: Arc<dyn Rule>) {
+        self.rules.push(rule);
+    }
+
+    /// Registers a convention converter edge.
+    pub fn add_converter(&mut self, from: Convention, to: Convention) {
+        self.converters.push((from, to));
+    }
+
+    /// Registers an executor for a convention.
+    pub fn register_executor(&mut self, executor: Arc<dyn ConventionExecutor>) {
+        self.exec.register(executor);
+    }
+
+    pub fn exec_context(&self) -> &ExecContext {
+        &self.exec
+    }
+
+    /// Registers a materialization. The defining plan is normalized with
+    /// the same heuristic phase queries go through, so the substitution
+    /// matcher compares like with like.
+    pub fn add_materialization(&self, m: Materialization) {
+        let mq = self.metadata_query();
+        let hep = HepPlanner::new(default_logical_rules());
+        let (normalized, _) = hep.optimize_counted(&m.plan, &mq);
+        self.materializations
+            .write()
+            .push(Materialization::new(m.name, m.table, normalized));
+    }
+
+    pub fn add_lattice(&mut self, l: Arc<Lattice>) {
+        self.lattices.push(l);
+    }
+
+    /// Prepends a metadata provider (consulted before the defaults).
+    pub fn add_metadata_provider(&mut self, p: Arc<dyn MetadataProvider>) {
+        self.providers.push(p);
+    }
+
+    pub fn set_cost_model(&mut self, m: Arc<dyn CostModel>) {
+        self.cost_model = Some(m);
+    }
+
+    /// Switches the cost-based engine's termination mode (§6: exhaustive
+    /// or cost-improvement threshold δ).
+    pub fn set_fixpoint_mode(&mut self, mode: FixpointMode) {
+        self.mode = mode;
+    }
+
+    /// Disables the metadata cache (for benchmarking its effect).
+    pub fn set_metadata_cache(&mut self, enabled: bool) {
+        self.metadata_cache = enabled;
+    }
+
+    pub fn metadata_query(&self) -> MetadataQuery {
+        MetadataQuery::new(
+            self.providers.clone(),
+            self.cost_model
+                .clone()
+                .unwrap_or_else(|| Arc::new(rcalcite_core::cost::DefaultCostModel::new())),
+            self.metadata_cache,
+        )
+    }
+
+    /// Parses and validates SQL into a logical plan.
+    pub fn parse_to_rel(&self, sql: &str) -> Result<Rel> {
+        match parse(sql)? {
+            Stmt::Query(q) | Stmt::Explain(q) => self.convert(&q),
+            other => Err(rcalcite_core::error::CalciteError::validate(format!(
+                "not a query: {other:?}"
+            ))),
+        }
+    }
+
+    fn convert(&self, q: &crate::ast::Query) -> Result<Rel> {
+        let views = self.views.read();
+        query_to_rel_with_views(&self.catalog, &self.functions, &views, q)
+    }
+
+    /// Registers a named view (also done by `CREATE VIEW`).
+    pub fn add_view(&self, name: impl Into<String>, plan: Rel) {
+        self.views
+            .write()
+            .insert(name.into().to_ascii_lowercase(), plan);
+    }
+
+    fn volcano(&self) -> VolcanoPlanner {
+        let mut rules = self.rules.clone();
+        let mats = self.materializations.read();
+        if !mats.is_empty() {
+            rules.push(Arc::new(MaterializedViewRule::new(mats.clone())));
+        }
+        if !self.lattices.is_empty() {
+            rules.push(Arc::new(LatticeRule::new(self.lattices.clone())));
+        }
+        let mut planner = VolcanoPlanner::new(rules).with_mode(self.mode);
+        for (from, to) in &self.converters {
+            planner.add_converter(from.clone(), to.clone());
+        }
+        planner
+    }
+
+    /// Optimizes a logical plan into an executable plan in the enumerable
+    /// convention, using the paper's multi-stage scheme: a heuristic
+    /// normalization phase followed by cost-based planning.
+    pub fn optimize(&self, logical: &Rel) -> Result<Rel> {
+        let mq = self.metadata_query();
+        let hep = HepPlanner::new(default_logical_rules());
+        let normalized = hep.optimize(logical, &Convention::enumerable(), &mq)?;
+        self.volcano()
+            .optimize(&normalized, &Convention::enumerable(), &mq)
+    }
+
+    /// Parses, optimizes and executes a statement (query, EXPLAIN, or the
+    /// DDL/DML surface of §9's standalone-engine future work).
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        use rcalcite_core::error::CalciteError;
+        let message = |m: String| QueryResult {
+            columns: vec!["result".into()],
+            rows: vec![vec![Datum::str(m)]],
+        };
+        match parse(sql)? {
+            Stmt::Explain(q) => {
+                let logical = self.convert(&q)?;
+                let physical = self.optimize(&logical)?;
+                let mq = self.metadata_query();
+                let text = explain_with_costs(&physical, &mq);
+                Ok(QueryResult {
+                    columns: vec!["PLAN".into()],
+                    rows: text
+                        .lines()
+                        .map(|l| vec![Datum::str(l)])
+                        .collect(),
+                })
+            }
+            Stmt::Query(q) => {
+                let logical = self.convert(&q)?;
+                let physical = self.optimize(&logical)?;
+                let rows = self.exec.execute_collect(&physical)?;
+                Ok(QueryResult {
+                    columns: logical
+                        .row_type()
+                        .fields
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect(),
+                    rows,
+                })
+            }
+            Stmt::CreateTable { name, columns } => {
+                let (schema_name, table_name) = self.split_name(&name)?;
+                let schema = self.catalog.schema(&schema_name).ok_or_else(|| {
+                    CalciteError::validate(format!("schema '{schema_name}' not found"))
+                })?;
+                let mut b = rcalcite_core::types::RowTypeBuilder::new();
+                for c in &columns {
+                    let kind = ast_type_to_kind(&c.ty);
+                    b = if c.not_null {
+                        b.add_not_null(c.name.clone(), kind)
+                    } else {
+                        b.add(c.name.clone(), kind)
+                    };
+                }
+                schema.add_table(table_name.clone(), MemTable::new(b.build(), vec![]));
+                Ok(message(format!("table {schema_name}.{table_name} created")))
+            }
+            Stmt::CreateView { name, query } => {
+                let plan = self.convert(&query)?;
+                let key = name.join(".").to_ascii_lowercase();
+                self.views.write().insert(key.clone(), plan);
+                Ok(message(format!("view {key} created")))
+            }
+            Stmt::CreateMaterializedView { name, query } => {
+                // Execute the definition now, store the rows, and register
+                // both a materialization (for the optimizer's rewriting)
+                // and a view (for direct reference).
+                let plan = self.convert(&query)?;
+                let physical = self.optimize(&plan)?;
+                let rows = self.exec.execute_collect(&physical)?;
+                let n = rows.len();
+                let table = MemTable::new(plan.row_type().clone(), rows);
+                let key = name.join(".").to_ascii_lowercase();
+                let tref = TableRef::new("mv", key.clone(), table);
+                self.views
+                    .write()
+                    .insert(key.clone(), rcalcite_core::rel::scan(tref.clone()));
+                // Registered through add_materialization so the defining
+                // plan is normalized; the rebuilt planner picks it up on
+                // the next optimize call.
+                self.add_materialization(rcalcite_core::mv::Materialization::new(
+                    key.clone(),
+                    tref,
+                    plan,
+                ));
+                Ok(message(format!(
+                    "materialized view {key} created ({n} rows)"
+                )))
+            }
+            Stmt::Insert { table, source } => {
+                let (schema_name, table_name) = self.split_name(&table)?;
+                let tref = self.catalog.resolve(&[&schema_name, &table_name])?;
+                let mem = tref.table.as_mem_table().ok_or_else(|| {
+                    CalciteError::unsupported(format!(
+                        "INSERT is only supported on built-in tables, not '{}'",
+                        tref.qualified_name()
+                    ))
+                })?;
+                let plan = self.convert(&source)?;
+                let arity = tref.table.row_type().arity();
+                if plan.row_type().arity() != arity {
+                    return Err(CalciteError::validate(format!(
+                        "INSERT arity mismatch: table has {arity} columns, query produces {}",
+                        plan.row_type().arity()
+                    )));
+                }
+                let physical = self.optimize(&plan)?;
+                let rows = self.exec.execute_collect(&physical)?;
+                let n = rows.len();
+                for row in rows {
+                    mem.insert(row);
+                }
+                Ok(message(format!("{n} rows inserted")))
+            }
+            Stmt::DropTable { name, if_exists } => {
+                let (schema_name, table_name) = self.split_name(&name)?;
+                let schema = self.catalog.schema(&schema_name).ok_or_else(|| {
+                    CalciteError::validate(format!("schema '{schema_name}' not found"))
+                })?;
+                let existed = schema.remove_table(&table_name);
+                if !existed && !if_exists {
+                    return Err(CalciteError::validate(format!(
+                        "table '{schema_name}.{table_name}' not found"
+                    )));
+                }
+                Ok(message(format!(
+                    "table {schema_name}.{table_name} {}",
+                    if existed { "dropped" } else { "did not exist" }
+                )))
+            }
+        }
+    }
+
+    /// Resolves `[schema.]name` to (schema, name) using the default schema.
+    fn split_name(&self, parts: &[String]) -> Result<(String, String)> {
+        use rcalcite_core::error::CalciteError;
+        match parts {
+            [t] => {
+                let s = self.catalog.default_schema_name().ok_or_else(|| {
+                    CalciteError::validate("no default schema for unqualified name")
+                })?;
+                Ok((s, t.to_ascii_lowercase()))
+            }
+            [s, t] => Ok((s.to_ascii_lowercase(), t.to_ascii_lowercase())),
+            _ => Err(CalciteError::validate(format!(
+                "cannot resolve name {parts:?}"
+            ))),
+        }
+    }
+
+    /// EXPLAIN helper returning the plan as one string.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let logical = self.parse_to_rel(sql)?;
+        let physical = self.optimize(&logical)?;
+        let mq = self.metadata_query();
+        Ok(explain_with_costs(&physical, &mq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcalcite_core::catalog::{MemTable, Schema};
+    use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+
+    fn connection() -> Connection {
+        let catalog = Catalog::new();
+        let s = Schema::new();
+        s.add_table(
+            "emp",
+            MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("deptno", TypeKind::Integer)
+                    .add("sal", TypeKind::Integer)
+                    .build(),
+                vec![
+                    vec![Datum::Int(10), Datum::Int(100)],
+                    vec![Datum::Int(10), Datum::Int(200)],
+                    vec![Datum::Int(20), Datum::Int(300)],
+                ],
+            ),
+        );
+        catalog.add_schema("hr", s);
+        let mut conn = Connection::new(catalog);
+        // Wire in the enumerable engine the way a host system would.
+        conn.add_rule(rcalcite_enumerable::implement_rule());
+        conn.register_executor(Arc::new(
+            rcalcite_enumerable::EnumerableExecutor::new(),
+        ));
+        conn
+    }
+
+    #[test]
+    fn end_to_end_sql() {
+        let conn = connection();
+        let r = conn
+            .query("SELECT deptno, SUM(sal) AS total FROM emp GROUP BY deptno ORDER BY deptno")
+            .unwrap();
+        assert_eq!(r.columns, vec!["deptno", "total"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Datum::Int(10), Datum::Int(300)],
+                vec![Datum::Int(20), Datum::Int(300)],
+            ]
+        );
+    }
+
+    #[test]
+    fn explain_returns_physical_plan() {
+        let conn = connection();
+        let text = conn.explain("SELECT deptno FROM emp WHERE sal > 150").unwrap();
+        assert!(text.contains("[enumerable]"), "{text}");
+        assert!(text.contains("rows="), "{text}");
+    }
+
+    #[test]
+    fn explain_statement_through_query() {
+        let conn = connection();
+        let r = conn.query("EXPLAIN SELECT deptno FROM emp").unwrap();
+        assert_eq!(r.columns, vec!["PLAN"]);
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn query_result_table_format() {
+        let conn = connection();
+        let r = conn.query("SELECT deptno FROM emp ORDER BY deptno LIMIT 1").unwrap();
+        let table = r.to_table();
+        assert!(table.contains("deptno"));
+        assert!(table.contains("10"));
+    }
+
+    #[test]
+    fn fixpoint_mode_and_cache_toggles_preserve_results() {
+        let mut conn = connection();
+        let sql = "SELECT deptno, SUM(sal) AS total FROM emp GROUP BY deptno ORDER BY deptno";
+        let reference = conn.query(sql).unwrap();
+        conn.set_fixpoint_mode(rcalcite_core::planner::volcano::FixpointMode::CostThreshold {
+            delta: 0.05,
+            patience: 2,
+        });
+        assert_eq!(conn.query(sql).unwrap(), reference);
+        conn.set_metadata_cache(false);
+        assert_eq!(conn.query(sql).unwrap(), reference);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let conn = connection();
+        assert!(conn.query("SELECT nope FROM emp").is_err());
+        assert!(conn.query("SELEC 1").is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! SQL tokenizer.
+
+use rcalcite_core::error::{CalciteError, Result};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier or keyword (stored as written).
+    Ident(String),
+    /// `"quoted"` identifier (never a keyword).
+    QuotedIdent(String),
+    /// Numeric literal text.
+    Number(String),
+    /// `'single quoted'` string literal (escaped quotes collapsed).
+    Str(String),
+    /// Operator or punctuation: `(`, `)`, `,`, `.`, `+`, `-`, `*`, `/`,
+    /// `%`, `=`, `<`, `<=`, `>`, `>=`, `<>`, `!=`, `||`, `[`, `]`.
+    Sym(&'static str),
+    Eof,
+}
+
+impl Token {
+    /// Keyword check (case-insensitive) on unquoted identifiers.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::QuotedIdent(s) => write!(f, "\"{s}\""),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s}"),
+            Token::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+/// Tokenizes SQL text. Comments (`-- ...` and `/* ... */`) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = vec![];
+    let mut i = 0;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '-' && i + 1 < n && chars[i + 1] == '-' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            i += 2;
+            while i + 1 < n && !(chars[i] == '*' && chars[i + 1] == '/') {
+                i += 1;
+            }
+            if i + 1 >= n {
+                return Err(CalciteError::parse("unterminated block comment"));
+            }
+            i += 2;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(chars[start..i].iter().collect()));
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            let mut seen_dot = false;
+            while i < n
+                && (chars[i].is_ascii_digit()
+                    || (chars[i] == '.' && !seen_dot)
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
+                    || ((chars[i] == '+' || chars[i] == '-')
+                        && i > start
+                        && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+            {
+                if chars[i] == '.' {
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            out.push(Token::Number(chars[start..i].iter().collect()));
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= n {
+                    return Err(CalciteError::parse("unterminated string literal"));
+                }
+                if chars[i] == '\'' {
+                    // Doubled quote escapes.
+                    if i + 1 < n && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let start = i;
+            while i < n && chars[i] != '"' {
+                i += 1;
+            }
+            if i >= n {
+                return Err(CalciteError::parse("unterminated quoted identifier"));
+            }
+            out.push(Token::QuotedIdent(chars[start..i].iter().collect()));
+            i += 1;
+            continue;
+        }
+        // Multi-char operators first.
+        let two: String = chars[i..n.min(i + 2)].iter().collect();
+        let sym: &'static str = match two.as_str() {
+            "<=" => "<=",
+            ">=" => ">=",
+            "<>" => "<>",
+            "!=" => "<>",
+            "||" => "||",
+            _ => match c {
+                '(' => "(",
+                ')' => ")",
+                ',' => ",",
+                '.' => ".",
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '=' => "=",
+                '<' => "<",
+                '>' => ">",
+                '[' => "[",
+                ']' => "]",
+                ';' => ";",
+                other => {
+                    return Err(CalciteError::parse(format!(
+                        "unexpected character '{other}'"
+                    )))
+                }
+            },
+        };
+        i += sym.chars().count();
+        out.push(Token::Sym(sym));
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_numbers_strings() {
+        let toks = tokenize("SELECT 1, 2.5, 'it''s' FROM t").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Number("1".into()));
+        assert_eq!(toks[3], Token::Number("2.5".into()));
+        assert_eq!(toks[5], Token::Str("it's".into()));
+        assert!(toks[6].is_kw("from"));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a <= b <> c != d || e").unwrap();
+        assert_eq!(toks[1], Token::Sym("<="));
+        assert_eq!(toks[3], Token::Sym("<>"));
+        assert_eq!(toks[5], Token::Sym("<>"));
+        assert_eq!(toks[7], Token::Sym("||"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- everything\n 1 /* block */ + 2").unwrap();
+        assert_eq!(toks.len(), 5); // SELECT 1 + 2 EOF
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize(r#"SELECT "Country" FROM t"#).unwrap();
+        assert_eq!(toks[1], Token::QuotedIdent("Country".into()));
+    }
+
+    #[test]
+    fn item_access_brackets() {
+        let toks = tokenize("_MAP['city'][0]").unwrap();
+        assert_eq!(toks[0], Token::Ident("_MAP".into()));
+        assert_eq!(toks[1], Token::Sym("["));
+        assert_eq!(toks[2], Token::Str("city".into()));
+        assert_eq!(toks[4], Token::Sym("["));
+        assert_eq!(toks[5], Token::Number("0".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("/* no end").is_err());
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e6 2.5E-3").unwrap();
+        assert_eq!(toks[0], Token::Number("1e6".into()));
+        assert_eq!(toks[1], Token::Number("2.5E-3".into()));
+    }
+}

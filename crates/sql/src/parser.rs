@@ -1,0 +1,1231 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use rcalcite_core::error::{CalciteError, Result};
+
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses one statement: a query, `EXPLAIN`, or DDL/DML (`CREATE TABLE`,
+/// `CREATE [MATERIALIZED] VIEW`, `INSERT INTO`, `DROP TABLE`).
+pub fn parse(sql: &str) -> Result<Stmt> {
+    let mut p = Parser {
+        tokens: tokenize(sql)?,
+        pos: 0,
+    };
+    let stmt = if p.eat_kw("EXPLAIN") {
+        Stmt::Explain(p.parse_query()?)
+    } else if p.peek().is_kw("CREATE") {
+        p.parse_create()?
+    } else if p.peek().is_kw("INSERT") {
+        p.parse_insert()?
+    } else if p.peek().is_kw("DROP") {
+        p.parse_drop()?
+    } else {
+        Stmt::Query(p.parse_query()?)
+    };
+    p.eat_sym(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Token {
+        self.tokens
+            .get(self.pos + n)
+            .unwrap_or(&Token::Eof)
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(CalciteError::parse(format!(
+                "expected {kw}, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Token::Sym(x) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(CalciteError::parse(format!(
+                "expected '{s}', found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        match self.peek() {
+            Token::Eof => Ok(()),
+            t => Err(CalciteError::parse(format!("unexpected trailing {t}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            Token::QuotedIdent(s) => Ok(s),
+            t => Err(CalciteError::parse(format!("expected identifier, found {t}"))),
+        }
+    }
+
+    fn number_u64(&mut self) -> Result<u64> {
+        match self.next() {
+            Token::Number(s) => s
+                .parse()
+                .map_err(|_| CalciteError::parse(format!("invalid count '{s}'"))),
+            t => Err(CalciteError::parse(format!("expected number, found {t}"))),
+        }
+    }
+
+    // -------------------------------------------------------------
+    // DDL / DML
+    // -------------------------------------------------------------
+
+    fn qualified_name(&mut self) -> Result<Vec<String>> {
+        let mut parts = vec![self.ident()?];
+        while self.eat_sym(".") {
+            parts.push(self.ident()?);
+        }
+        Ok(parts)
+    }
+
+    fn parse_create(&mut self) -> Result<Stmt> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            let name = self.qualified_name()?;
+            self.expect_sym("(")?;
+            let mut columns = vec![];
+            loop {
+                let col = self.ident()?;
+                let ty = self.parse_type()?;
+                let not_null = if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                    true
+                } else {
+                    self.eat_kw("NULL");
+                    false
+                };
+                columns.push(ColumnDef {
+                    name: col,
+                    ty,
+                    not_null,
+                });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Stmt::CreateTable { name, columns });
+        }
+        let materialized = self.eat_kw("MATERIALIZED");
+        if self.eat_kw("VIEW") {
+            let name = self.qualified_name()?;
+            self.expect_kw("AS")?;
+            let query = self.parse_query()?;
+            return Ok(if materialized {
+                Stmt::CreateMaterializedView { name, query }
+            } else {
+                Stmt::CreateView { name, query }
+            });
+        }
+        Err(CalciteError::parse(
+            "expected TABLE or [MATERIALIZED] VIEW after CREATE",
+        ))
+    }
+
+    fn parse_insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.qualified_name()?;
+        let source = self.parse_query()?;
+        Ok(Stmt::Insert { table, source })
+    }
+
+    fn parse_drop(&mut self) -> Result<Stmt> {
+        self.expect_kw("DROP")?;
+        self.expect_kw("TABLE")?;
+        let if_exists = if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.qualified_name()?;
+        Ok(Stmt::DropTable { name, if_exists })
+    }
+
+    // -------------------------------------------------------------
+    // Query structure
+    // -------------------------------------------------------------
+
+    pub fn parse_query(&mut self) -> Result<Query> {
+        let body = self.parse_set_expr()?;
+        let mut order_by = vec![];
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut offset = None;
+        let mut limit = None;
+        // Both LIMIT n OFFSET m and OFFSET m ROWS FETCH ... forms.
+        if self.eat_kw("LIMIT") {
+            limit = Some(self.number_u64()?);
+            if self.eat_kw("OFFSET") {
+                offset = Some(self.number_u64()?);
+            }
+        } else if self.eat_kw("OFFSET") {
+            offset = Some(self.number_u64()?);
+            self.eat_kw("ROWS");
+            if self.eat_kw("FETCH") {
+                self.eat_kw("NEXT");
+                self.eat_kw("FIRST");
+                limit = Some(self.number_u64()?);
+                self.eat_kw("ROWS");
+                self.eat_kw("ONLY");
+            }
+        } else if self.eat_kw("FETCH") {
+            self.eat_kw("NEXT");
+            self.eat_kw("FIRST");
+            limit = Some(self.number_u64()?);
+            self.eat_kw("ROWS");
+            self.eat_kw("ONLY");
+        }
+        Ok(Query {
+            body,
+            order_by,
+            offset,
+            limit,
+        })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_term()?;
+        loop {
+            let op = if self.peek().is_kw("UNION") {
+                SetOpKind::Union
+            } else if self.peek().is_kw("INTERSECT") {
+                SetOpKind::Intersect
+            } else if self.peek().is_kw("EXCEPT") {
+                SetOpKind::Except
+            } else {
+                return Ok(left);
+            };
+            self.pos += 1;
+            let all = self.eat_kw("ALL");
+            self.eat_kw("DISTINCT");
+            let right = self.parse_set_term()?;
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_set_term(&mut self) -> Result<SetExpr> {
+        if self.eat_sym("(") {
+            let inner = self.parse_set_expr()?;
+            self.expect_sym(")")?;
+            return Ok(inner);
+        }
+        if self.peek().is_kw("VALUES") {
+            self.pos += 1;
+            let mut rows = vec![];
+            loop {
+                self.expect_sym("(")?;
+                let mut row = vec![];
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                rows.push(row);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            return Ok(SetExpr::Values(rows));
+        }
+        Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let stream = self.eat_kw("STREAM");
+        let distinct = self.eat_kw("DISTINCT");
+        self.eat_kw("ALL");
+
+        let mut items = vec![];
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem::Wildcard);
+            } else if matches!(self.peek(), Token::Ident(_) | Token::QuotedIdent(_))
+                && matches!(self.peek_ahead(1), Token::Sym("."))
+                && matches!(self.peek_ahead(2), Token::Sym("*"))
+            {
+                let alias = self.ident()?;
+                self.expect_sym(".")?;
+                self.expect_sym("*")?;
+                items.push(SelectItem::QualifiedWildcard(alias));
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = self.parse_alias()?;
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+
+        let from = if self.eat_kw("FROM") {
+            Some(self.parse_table_expr()?)
+        } else {
+            None
+        };
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = vec![];
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            stream,
+            distinct,
+            items,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    /// `AS alias`, bare alias, or nothing. Bare aliases must not collide
+    /// with clause keywords.
+    fn parse_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        const STOP: &[&str] = &[
+            "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "FETCH", "UNION",
+            "INTERSECT", "EXCEPT", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS",
+            "USING", "AND", "OR", "AS",
+        ];
+        match self.peek() {
+            Token::Ident(s) if !STOP.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Some(s))
+            }
+            Token::QuotedIdent(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Some(s))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // -------------------------------------------------------------
+    // FROM clause
+    // -------------------------------------------------------------
+
+    fn parse_table_expr(&mut self) -> Result<TableExpr> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            // Comma join = cross join.
+            if self.eat_sym(",") {
+                let right = self.parse_table_factor()?;
+                left = TableExpr::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    kind: AstJoinKind::Cross,
+                    cond: JoinCond::None,
+                };
+                continue;
+            }
+            let kind = if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                AstJoinKind::Cross
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                AstJoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                AstJoinKind::Left
+            } else if self.eat_kw("RIGHT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                AstJoinKind::Right
+            } else if self.eat_kw("FULL") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                AstJoinKind::Full
+            } else if self.eat_kw("JOIN") {
+                AstJoinKind::Inner
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_table_factor()?;
+            let cond = if kind == AstJoinKind::Cross {
+                JoinCond::None
+            } else if self.eat_kw("ON") {
+                JoinCond::On(self.parse_expr()?)
+            } else if self.eat_kw("USING") {
+                self.expect_sym("(")?;
+                let mut cols = vec![];
+                loop {
+                    cols.push(self.ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                JoinCond::Using(cols)
+            } else {
+                return Err(CalciteError::parse("JOIN requires ON or USING"));
+            };
+            left = TableExpr::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                cond,
+            };
+        }
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableExpr> {
+        if self.eat_sym("(") {
+            // Subquery or parenthesized join.
+            if self.peek().is_kw("SELECT") || self.peek().is_kw("VALUES") {
+                let q = self.parse_query()?;
+                self.expect_sym(")")?;
+                let alias = self.parse_alias()?;
+                return Ok(TableExpr::Subquery {
+                    query: Box::new(q),
+                    alias,
+                });
+            }
+            let inner = self.parse_table_expr()?;
+            self.expect_sym(")")?;
+            return Ok(inner);
+        }
+        let mut name = vec![self.ident()?];
+        while self.eat_sym(".") {
+            name.push(self.ident()?);
+        }
+        let alias = self.parse_alias()?;
+        Ok(TableExpr::Table { name, alias })
+    }
+
+    // -------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // -------------------------------------------------------------
+
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+
+        // Postfix predicates.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = if self.peek().is_kw("NOT")
+            && (self.peek_ahead(1).is_kw("LIKE")
+                || self.peek_ahead(1).is_kw("BETWEEN")
+                || self.peek_ahead(1).is_kw("IN"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_sym("(")?;
+            let mut list = vec![];
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(CalciteError::parse("dangling NOT"));
+        }
+
+        let op = if self.eat_sym("=") {
+            BinOp::Eq
+        } else if self.eat_sym("<>") {
+            BinOp::Ne
+        } else if self.eat_sym("<=") {
+            BinOp::Le
+        } else if self.eat_sym(">=") {
+            BinOp::Ge
+        } else if self.eat_sym("<") {
+            BinOp::Lt
+        } else if self.eat_sym(">") {
+            BinOp::Gt
+        } else {
+            return Ok(left);
+        };
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                BinOp::Plus
+            } else if self.eat_sym("-") {
+                BinOp::Minus
+            } else if self.eat_sym("||") {
+                BinOp::Concat
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                BinOp::Times
+            } else if self.eat_sym("/") {
+                BinOp::Divide
+            } else if self.eat_sym("%") {
+                BinOp::Mod
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_sym("-") {
+            return Ok(Expr::Unary {
+                minus: true,
+                expr: Box::new(self.parse_unary()?),
+            });
+        }
+        if self.eat_sym("+") {
+            return self.parse_unary();
+        }
+        self.parse_postfix()
+    }
+
+    /// Primary expression plus `[index]` accesses.
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        while self.eat_sym("[") {
+            let idx = self.parse_expr()?;
+            self.expect_sym("]")?;
+            e = Expr::Item {
+                base: Box::new(e),
+                index: Box::new(idx),
+            };
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        // Parenthesized expression.
+        if self.eat_sym("(") {
+            let e = self.parse_expr()?;
+            self.expect_sym(")")?;
+            return self.parse_postfix_on(e);
+        }
+        match self.peek().clone() {
+            Token::Number(s) => {
+                self.pos += 1;
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    s.parse::<f64>()
+                        .map(|d| Expr::Literal(Lit::Double(d)))
+                        .map_err(|_| CalciteError::parse(format!("bad number '{s}'")))
+                } else {
+                    s.parse::<i64>()
+                        .map(|i| Expr::Literal(Lit::Int(i)))
+                        .map_err(|_| CalciteError::parse(format!("bad number '{s}'")))
+                }
+            }
+            Token::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Lit::Str(s)))
+            }
+            Token::QuotedIdent(_) => {
+                let mut parts = vec![self.ident()?];
+                while self.eat_sym(".") {
+                    parts.push(self.ident()?);
+                }
+                Ok(Expr::Ident(parts))
+            }
+            Token::Ident(word) => self.parse_word_expr(word),
+            t => Err(CalciteError::parse(format!("unexpected {t}"))),
+        }
+    }
+
+    fn parse_postfix_on(&mut self, mut e: Expr) -> Result<Expr> {
+        while self.eat_sym("[") {
+            let idx = self.parse_expr()?;
+            self.expect_sym("]")?;
+            e = Expr::Item {
+                base: Box::new(e),
+                index: Box::new(idx),
+            };
+        }
+        Ok(e)
+    }
+
+    /// Keywords that can never start a primary expression; hitting one
+    /// here means a clause is malformed (e.g. `SELECT FROM t`).
+    const RESERVED: &'static [&'static str] = &[
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "FETCH", "UNION",
+        "INTERSECT", "EXCEPT", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "USING",
+        "AND", "OR", "AS", "BY", "SELECT", "THEN", "WHEN", "ELSE", "END", "ASC", "DESC",
+        "BETWEEN", "IN", "LIKE", "IS",
+    ];
+
+    fn parse_word_expr(&mut self, word: String) -> Result<Expr> {
+        let upper = word.to_ascii_uppercase();
+        if Self::RESERVED.contains(&upper.as_str()) {
+            return Err(CalciteError::parse(format!(
+                "unexpected keyword {upper} in expression"
+            )));
+        }
+        match upper.as_str() {
+            "TRUE" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Lit::Bool(true)))
+            }
+            "FALSE" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Lit::Bool(false)))
+            }
+            "NULL" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Lit::Null))
+            }
+            "DATE" if matches!(self.peek_ahead(1), Token::Str(_)) => {
+                self.pos += 1;
+                if let Token::Str(s) = self.next() {
+                    Ok(Expr::Literal(Lit::Date(s)))
+                } else {
+                    unreachable!()
+                }
+            }
+            "TIMESTAMP" if matches!(self.peek_ahead(1), Token::Str(_)) => {
+                self.pos += 1;
+                if let Token::Str(s) = self.next() {
+                    Ok(Expr::Literal(Lit::Timestamp(s)))
+                } else {
+                    unreachable!()
+                }
+            }
+            "INTERVAL" => {
+                self.pos += 1;
+                let value = match self.next() {
+                    Token::Str(s) => s,
+                    Token::Number(s) => s,
+                    t => {
+                        return Err(CalciteError::parse(format!(
+                            "expected interval value, found {t}"
+                        )))
+                    }
+                };
+                let unit_word = self.ident()?;
+                let unit = match unit_word.to_ascii_uppercase().as_str() {
+                    "SECOND" | "SECONDS" => TimeUnit::Second,
+                    "MINUTE" | "MINUTES" => TimeUnit::Minute,
+                    "HOUR" | "HOURS" => TimeUnit::Hour,
+                    "DAY" | "DAYS" => TimeUnit::Day,
+                    u => {
+                        return Err(CalciteError::parse(format!(
+                            "unsupported interval unit '{u}'"
+                        )))
+                    }
+                };
+                Ok(Expr::Literal(Lit::Interval { value, unit }))
+            }
+            "CASE" => {
+                self.pos += 1;
+                let operand = if !self.peek().is_kw("WHEN") {
+                    Some(Box::new(self.parse_expr()?))
+                } else {
+                    None
+                };
+                let mut whens = vec![];
+                while self.eat_kw("WHEN") {
+                    let cond = self.parse_expr()?;
+                    self.expect_kw("THEN")?;
+                    let val = self.parse_expr()?;
+                    whens.push((cond, val));
+                }
+                let else_ = if self.eat_kw("ELSE") {
+                    Some(Box::new(self.parse_expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw("END")?;
+                Ok(Expr::Case {
+                    operand,
+                    whens,
+                    else_,
+                })
+            }
+            "CAST" => {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let e = self.parse_expr()?;
+                self.expect_kw("AS")?;
+                let ty = self.parse_type()?;
+                self.expect_sym(")")?;
+                Ok(Expr::Cast {
+                    expr: Box::new(e),
+                    ty,
+                })
+            }
+            _ => {
+                // Function call?
+                if matches!(self.peek_ahead(1), Token::Sym("(")) {
+                    self.pos += 2; // name + (
+                    let mut distinct = false;
+                    let mut star = false;
+                    let mut args = vec![];
+                    if self.eat_sym("*") {
+                        star = true;
+                    } else if !matches!(self.peek(), Token::Sym(")")) {
+                        distinct = self.eat_kw("DISTINCT");
+                        self.eat_kw("ALL");
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    let over = if self.eat_kw("OVER") {
+                        Some(self.parse_window_spec()?)
+                    } else {
+                        None
+                    };
+                    return Ok(Expr::Func {
+                        name: word,
+                        args,
+                        distinct,
+                        star,
+                        over,
+                    });
+                }
+                // Qualified identifier.
+                let mut parts = vec![self.ident()?];
+                while self.eat_sym(".") {
+                    parts.push(self.ident()?);
+                }
+                Ok(Expr::Ident(parts))
+            }
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<AstType> {
+        let name = self.ident()?;
+        let ty = match name.to_ascii_uppercase().as_str() {
+            "BOOLEAN" => AstType::Boolean,
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" => AstType::Integer,
+            "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" => AstType::Double,
+            "VARCHAR" | "CHAR" | "TEXT" | "STRING" => AstType::Varchar,
+            "DATE" => AstType::Date,
+            "TIMESTAMP" => AstType::Timestamp,
+            "GEOMETRY" => AstType::Geometry,
+            "ANY" => AstType::Any,
+            other => {
+                return Err(CalciteError::parse(format!("unknown type '{other}'")))
+            }
+        };
+        // Optional (precision[, scale]).
+        if self.eat_sym("(") {
+            self.number_u64()?;
+            if self.eat_sym(",") {
+                self.number_u64()?;
+            }
+            self.expect_sym(")")?;
+        }
+        Ok(ty)
+    }
+
+    fn parse_window_spec(&mut self) -> Result<WindowSpec> {
+        self.expect_sym("(")?;
+        let mut partition = vec![];
+        let mut order = vec![];
+        let mut frame = None;
+        loop {
+            if self.eat_kw("PARTITION") {
+                self.expect_kw("BY")?;
+                loop {
+                    partition.push(self.parse_expr()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else if self.eat_kw("ORDER") {
+                self.expect_kw("BY")?;
+                loop {
+                    let expr = self.parse_expr()?;
+                    let desc = if self.eat_kw("DESC") {
+                        true
+                    } else {
+                        self.eat_kw("ASC");
+                        false
+                    };
+                    order.push(OrderItem { expr, desc });
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else if self.peek().is_kw("ROWS") || self.peek().is_kw("RANGE") {
+                let rows = self.eat_kw("ROWS");
+                if !rows {
+                    self.expect_kw("RANGE")?;
+                }
+                if self.eat_kw("BETWEEN") {
+                    let lower = self.parse_frame_bound()?;
+                    self.expect_kw("AND")?;
+                    let upper = self.parse_frame_bound()?;
+                    frame = Some(FrameSpec {
+                        rows,
+                        lower,
+                        upper: Some(upper),
+                    });
+                } else {
+                    let lower = self.parse_frame_bound()?;
+                    frame = Some(FrameSpec {
+                        rows,
+                        lower,
+                        upper: None,
+                    });
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(WindowSpec {
+            partition,
+            order,
+            frame,
+        })
+    }
+
+    fn parse_frame_bound(&mut self) -> Result<AstFrameBound> {
+        if self.eat_kw("UNBOUNDED") {
+            if self.eat_kw("PRECEDING") {
+                return Ok(AstFrameBound::UnboundedPreceding);
+            }
+            self.expect_kw("FOLLOWING")?;
+            return Ok(AstFrameBound::UnboundedFollowing);
+        }
+        if self.eat_kw("CURRENT") {
+            self.expect_kw("ROW")?;
+            return Ok(AstFrameBound::CurrentRow);
+        }
+        let e = self.parse_expr()?;
+        if self.eat_kw("PRECEDING") {
+            return Ok(AstFrameBound::Preceding(Box::new(e)));
+        }
+        self.expect_kw("FOLLOWING")?;
+        Ok(AstFrameBound::Following(Box::new(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str) -> Query {
+        match parse(sql).unwrap() {
+            Stmt::Query(q) => q,
+            _ => panic!("expected query"),
+        }
+    }
+
+    fn sel(sql: &str) -> Select {
+        match q(sql).body {
+            SetExpr::Select(s) => *s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_select() {
+        let s = sel("SELECT a, b AS bee FROM t WHERE a > 1");
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert!(s.selection.is_some());
+        assert!(!s.stream);
+    }
+
+    #[test]
+    fn paper_figure4_query_parses() {
+        let s = sel(
+            "SELECT products.name, COUNT(*) \
+             FROM sales JOIN products USING (productId) \
+             WHERE sales.discount IS NOT NULL \
+             GROUP BY products.name",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        match s.from.unwrap() {
+            TableExpr::Join { cond, kind, .. } => {
+                assert_eq!(kind, AstJoinKind::Inner);
+                assert_eq!(cond, JoinCond::Using(vec!["productId".into()]));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            s.selection,
+            Some(Expr::IsNull { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn order_by_count_desc_and_limit() {
+        let query = q("SELECT a FROM t ORDER BY COUNT(*) DESC, a LIMIT 10 OFFSET 2");
+        assert_eq!(query.order_by.len(), 2);
+        assert!(query.order_by[0].desc);
+        assert_eq!(query.limit, Some(10));
+        assert_eq!(query.offset, Some(2));
+    }
+
+    #[test]
+    fn stream_query_parses() {
+        // The §7.2 example.
+        let s = sel("SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 25");
+        assert!(s.stream);
+        assert_eq!(s.items.len(), 3);
+    }
+
+    #[test]
+    fn tumble_group_by_parses() {
+        let s = sel(
+            "SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS rowtime, productId, \
+             COUNT(*) AS c, SUM(units) AS units \
+             FROM Orders \
+             GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId",
+        );
+        assert_eq!(s.group_by.len(), 2);
+        assert!(matches!(
+            &s.group_by[0],
+            Expr::Func { name, .. } if name.eq_ignore_ascii_case("tumble")
+        ));
+    }
+
+    #[test]
+    fn window_over_clause() {
+        // The §7.2 sliding-window query.
+        let s = sel(
+            "SELECT STREAM rowtime, productId, units, \
+             SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+             RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour FROM Orders",
+        );
+        match &s.items[3] {
+            SelectItem::Expr {
+                expr: Expr::Func { over: Some(w), .. },
+                alias,
+            } => {
+                assert_eq!(alias.as_deref(), Some("unitsLastHour"));
+                assert_eq!(w.partition.len(), 1);
+                assert_eq!(w.order.len(), 1);
+                let f = w.frame.as_ref().unwrap();
+                assert!(!f.rows);
+                assert!(matches!(f.lower, AstFrameBound::Preceding(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn semistructured_item_access() {
+        // The §7.1 MongoDB zips view.
+        let s = sel(
+            "SELECT CAST(_MAP['city'] AS varchar(20)) AS city, \
+             CAST(_MAP['loc'][0] AS float) AS longitude \
+             FROM mongo_raw.zips",
+        );
+        match &s.items[1] {
+            SelectItem::Expr {
+                expr: Expr::Cast { expr, ty },
+                ..
+            } => {
+                assert_eq!(*ty, AstType::Double);
+                assert!(matches!(**expr, Expr::Item { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_between_interval_stream_join() {
+        // The §7.2 stream-to-stream join.
+        let s = sel(
+            "SELECT STREAM o.rowtime, o.productId, o.orderId, s.rowtime AS shipTime \
+             FROM Orders AS o JOIN Shipments AS s \
+             ON o.orderId = s.orderId AND s.rowtime \
+             BETWEEN o.rowtime AND o.rowtime + INTERVAL '1' HOUR",
+        );
+        match s.from.unwrap() {
+            TableExpr::Join { cond: JoinCond::On(e), .. } => {
+                assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_operations_and_values() {
+        let query = q("SELECT a FROM t UNION ALL SELECT b FROM u EXCEPT SELECT c FROM v");
+        match query.body {
+            SetExpr::SetOp { op, all, .. } => {
+                assert_eq!(op, SetOpKind::Except);
+                assert!(!all);
+            }
+            other => panic!("{other:?}"),
+        }
+        let query = q("VALUES (1, 'x'), (2, 'y')");
+        match query.body {
+            SetExpr::Values(rows) => assert_eq!(rows.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let s = sel("SELECT x FROM (SELECT a AS x FROM t) AS sub WHERE x > 0");
+        assert!(matches!(s.from.unwrap(), TableExpr::Subquery { .. }));
+    }
+
+    #[test]
+    fn case_in_not_between() {
+        let s = sel(
+            "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END, b IN (1,2), \
+             c NOT BETWEEN 1 AND 5, d NOT LIKE 'x%' FROM t",
+        );
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: Expr::Case { .. }, .. }
+        ));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: Expr::InList { negated: false, .. }, .. }
+        ));
+        assert!(matches!(
+            &s.items[2],
+            SelectItem::Expr { expr: Expr::Between { negated: true, .. }, .. }
+        ));
+        assert!(matches!(
+            &s.items[3],
+            SelectItem::Expr { expr: Expr::Like { negated: true, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn explain_statement() {
+        assert!(matches!(
+            parse("EXPLAIN SELECT 1").unwrap(),
+            Stmt::Explain(_)
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 = 7, not 9.
+        let s = sel("SELECT 1 + 2 * 3");
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Binary { op: BinOp::Plus, right, .. },
+                ..
+            } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Times, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // AND binds tighter than OR.
+        let s = sel("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+        assert!(matches!(
+            s.selection,
+            Some(Expr::Binary { op: BinOp::Or, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a t JOIN u").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT CAST(a AS badtype) FROM t").is_err());
+        assert!(parse("SELECT a FROM t trailing garbage ,").is_err());
+    }
+
+    #[test]
+    fn geospatial_query_parses() {
+        // The §7.3 Amsterdam query (simplified).
+        let s = sel(
+            "SELECT name FROM (SELECT name, ST_GeomFromText('POINT (1 2)') AS g \
+             FROM country) WHERE ST_Contains(g, g)",
+        );
+        assert!(matches!(s.from.unwrap(), TableExpr::Subquery { .. }));
+    }
+}

@@ -1,0 +1,601 @@
+//! Relational-algebra-to-SQL unparsing. Per §3, "once the query has been
+//! optimized, Calcite can translate the relational expression back to
+//! SQL", letting it sit on top of engines that speak SQL but have no
+//! optimizer. The JDBC adapter "supports the generation of multiple SQL
+//! dialects" (§8.2) — dialects are pluggable here.
+//!
+//! Generated queries name intermediate columns positionally (`c0`, `c1`,
+//! ...) and restore the plan's real field names in the outermost SELECT.
+
+use rcalcite_core::datum::{format_date, format_timestamp, Datum};
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::rel::{AggCall, JoinKind, Rel, RelOp};
+use rcalcite_core::rex::{Op, RexNode};
+use rcalcite_core::traits::Collation;
+use rcalcite_core::types::TypeKind;
+
+/// A SQL dialect: identifier quoting, limit syntax and type names.
+pub trait Dialect: Send + Sync {
+    fn name(&self) -> &str;
+
+    fn quote(&self, ident: &str) -> String {
+        format!("\"{ident}\"")
+    }
+
+    fn limit_clause(&self, offset: Option<usize>, fetch: Option<usize>) -> String {
+        let mut s = String::new();
+        if let Some(f) = fetch {
+            s.push_str(&format!(" LIMIT {f}"));
+        }
+        if let Some(o) = offset {
+            s.push_str(&format!(" OFFSET {o}"));
+        }
+        s
+    }
+
+    fn type_name(&self, kind: &TypeKind) -> String {
+        match kind {
+            TypeKind::Boolean => "BOOLEAN".into(),
+            TypeKind::Integer => "BIGINT".into(),
+            TypeKind::Double => "DOUBLE PRECISION".into(),
+            TypeKind::Varchar => "VARCHAR".into(),
+            TypeKind::Date => "DATE".into(),
+            TypeKind::Timestamp => "TIMESTAMP".into(),
+            other => other.to_string(),
+        }
+    }
+
+    /// String concatenation; ANSI uses the `||` operator.
+    fn concat(&self, parts: &[String]) -> String {
+        format!("({})", parts.join(" || "))
+    }
+}
+
+/// ANSI/PostgreSQL-style dialect.
+pub struct PostgresDialect;
+
+impl Dialect for PostgresDialect {
+    fn name(&self) -> &str {
+        "postgresql"
+    }
+}
+
+/// MySQL-style dialect: backtick quoting, `LIMIT offset, count`,
+/// `CONCAT(...)`.
+pub struct MySqlDialect;
+
+impl Dialect for MySqlDialect {
+    fn name(&self) -> &str {
+        "mysql"
+    }
+
+    fn quote(&self, ident: &str) -> String {
+        format!("`{ident}`")
+    }
+
+    fn limit_clause(&self, offset: Option<usize>, fetch: Option<usize>) -> String {
+        match (offset, fetch) {
+            (None, None) => String::new(),
+            (Some(o), Some(f)) => format!(" LIMIT {o}, {f}"),
+            (None, Some(f)) => format!(" LIMIT {f}"),
+            // MySQL has no OFFSET without LIMIT; use a huge limit.
+            (Some(o), None) => format!(" LIMIT {o}, 18446744073709551615"),
+        }
+    }
+
+    fn type_name(&self, kind: &TypeKind) -> String {
+        match kind {
+            TypeKind::Integer => "SIGNED".into(),
+            TypeKind::Double => "DOUBLE".into(),
+            TypeKind::Varchar => "CHAR".into(),
+            other => Dialect::type_name(&PostgresDialect, other),
+        }
+    }
+
+    fn concat(&self, parts: &[String]) -> String {
+        format!("CONCAT({})", parts.join(", "))
+    }
+}
+
+/// Unparses a logical plan to a SQL string in the given dialect.
+pub fn to_sql(rel: &Rel, dialect: &dyn Dialect) -> Result<String> {
+    let inner = unparse(rel, dialect, &mut 0)?;
+    // Restore real output names.
+    let fields = &rel.row_type().fields;
+    let cols: Vec<String> = fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| format!("c{} AS {}", i, dialect.quote(&f.name)))
+        .collect();
+    Ok(format!("SELECT {} FROM ({}) AS t", cols.join(", "), inner))
+}
+
+fn col(i: usize) -> String {
+    format!("c{i}")
+}
+
+/// Produces a query string whose output columns are `c0..cN-1`.
+fn unparse(rel: &Rel, d: &dyn Dialect, alias_seq: &mut usize) -> Result<String> {
+    let fresh = |seq: &mut usize| {
+        let a = format!("t{seq}");
+        *seq += 1;
+        a
+    };
+    match &rel.op {
+        RelOp::Scan { table } => {
+            let cols: Vec<String> = rel
+                .row_type()
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{} AS {}", d.quote(&f.name), col(i)))
+                .collect();
+            Ok(format!(
+                "SELECT {} FROM {}.{}",
+                cols.join(", "),
+                d.quote(&table.schema),
+                d.quote(&table.name)
+            ))
+        }
+        RelOp::Values { tuples, row_type } => {
+            if tuples.is_empty() {
+                let cols: Vec<String> = (0..row_type.arity())
+                    .map(|i| format!("NULL AS {}", col(i)))
+                    .collect();
+                let sel = if cols.is_empty() {
+                    "SELECT 1".to_string()
+                } else {
+                    format!("SELECT {}", cols.join(", "))
+                };
+                return Ok(format!("{sel} WHERE 1 = 0"));
+            }
+            let mut selects = vec![];
+            for row in tuples {
+                let cols: Vec<String> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| format!("{} AS {}", datum_sql(v), col(i)))
+                    .collect();
+                if cols.is_empty() {
+                    selects.push("SELECT 1".to_string());
+                } else {
+                    selects.push(format!("SELECT {}", cols.join(", ")));
+                }
+            }
+            Ok(selects.join(" UNION ALL "))
+        }
+        RelOp::Filter { condition } => {
+            let input = unparse(rel.input(0), d, alias_seq)?;
+            let t = fresh(alias_seq);
+            let n = rel.row_type().arity();
+            let cols: Vec<String> = (0..n).map(col).collect();
+            Ok(format!(
+                "SELECT {} FROM ({}) AS {} WHERE {}",
+                cols.join(", "),
+                input,
+                t,
+                rex_sql(condition, d, &|i| col(i))?
+            ))
+        }
+        RelOp::Project { exprs, .. } => {
+            let input = unparse(rel.input(0), d, alias_seq)?;
+            let t = fresh(alias_seq);
+            let cols: Vec<String> = exprs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| Ok(format!("{} AS {}", rex_sql(e, d, &|i| col(i))?, col(i))))
+                .collect::<Result<_>>()?;
+            Ok(format!("SELECT {} FROM ({}) AS {}", cols.join(", "), input, t))
+        }
+        RelOp::Join { kind, condition } => {
+            let left = unparse(rel.input(0), d, alias_seq)?;
+            let right = unparse(rel.input(1), d, alias_seq)?;
+            let (tl, tr) = (fresh(alias_seq), fresh(alias_seq));
+            let l_arity = rel.input(0).row_type().arity();
+            let r_arity = rel.input(1).row_type().arity();
+            let qualify = |i: usize| {
+                if i < l_arity {
+                    format!("{tl}.{}", col(i))
+                } else {
+                    format!("{tr}.{}", col(i - l_arity))
+                }
+            };
+            let cond_sql = rex_sql(condition, d, &qualify)?;
+            match kind {
+                JoinKind::Inner | JoinKind::Left | JoinKind::Right | JoinKind::Full => {
+                    let kw = match kind {
+                        JoinKind::Inner => "INNER JOIN",
+                        JoinKind::Left => "LEFT JOIN",
+                        JoinKind::Right => "RIGHT JOIN",
+                        JoinKind::Full => "FULL JOIN",
+                        _ => unreachable!(),
+                    };
+                    let mut cols: Vec<String> = (0..l_arity)
+                        .map(|i| format!("{tl}.{} AS {}", col(i), col(i)))
+                        .collect();
+                    cols.extend(
+                        (0..r_arity).map(|i| format!("{tr}.{} AS {}", col(i), col(l_arity + i))),
+                    );
+                    Ok(format!(
+                        "SELECT {} FROM ({}) AS {} {} ({}) AS {} ON {}",
+                        cols.join(", "),
+                        left,
+                        tl,
+                        kw,
+                        right,
+                        tr,
+                        cond_sql
+                    ))
+                }
+                JoinKind::Semi | JoinKind::Anti => {
+                    let exists = if *kind == JoinKind::Semi {
+                        "EXISTS"
+                    } else {
+                        "NOT EXISTS"
+                    };
+                    let cols: Vec<String> = (0..l_arity)
+                        .map(|i| format!("{tl}.{} AS {}", col(i), col(i)))
+                        .collect();
+                    Ok(format!(
+                        "SELECT {} FROM ({}) AS {} WHERE {} (SELECT 1 FROM ({}) AS {} WHERE {})",
+                        cols.join(", "),
+                        left,
+                        tl,
+                        exists,
+                        right,
+                        tr,
+                        cond_sql
+                    ))
+                }
+            }
+        }
+        RelOp::Aggregate { group, aggs } => {
+            let input = unparse(rel.input(0), d, alias_seq)?;
+            let t = fresh(alias_seq);
+            let mut cols: Vec<String> = group
+                .iter()
+                .enumerate()
+                .map(|(out, g)| format!("{} AS {}", col(*g), col(out)))
+                .collect();
+            for (i, a) in aggs.iter().enumerate() {
+                cols.push(format!("{} AS {}", agg_sql(a), col(group.len() + i)));
+            }
+            let mut sql = format!("SELECT {} FROM ({}) AS {}", cols.join(", "), input, t);
+            if !group.is_empty() {
+                let keys: Vec<String> = group.iter().map(|g| col(*g)).collect();
+                sql.push_str(&format!(" GROUP BY {}", keys.join(", ")));
+            }
+            Ok(sql)
+        }
+        RelOp::Sort {
+            collation,
+            offset,
+            fetch,
+        } => {
+            let input = unparse(rel.input(0), d, alias_seq)?;
+            let t = fresh(alias_seq);
+            let n = rel.row_type().arity();
+            let cols: Vec<String> = (0..n).map(col).collect();
+            let mut sql = format!("SELECT {} FROM ({}) AS {}", cols.join(", "), input, t);
+            if !collation.is_empty() {
+                sql.push_str(&format!(" ORDER BY {}", collation_sql(collation)));
+            }
+            sql.push_str(&d.limit_clause(*offset, *fetch));
+            Ok(sql)
+        }
+        RelOp::Union { all } | RelOp::Intersect { all } | RelOp::Minus { all } => {
+            let kw = match &rel.op {
+                RelOp::Union { .. } => "UNION",
+                RelOp::Intersect { .. } => "INTERSECT",
+                _ => "EXCEPT",
+            };
+            let sep = if *all {
+                format!(" {kw} ALL ")
+            } else {
+                format!(" {kw} ")
+            };
+            let parts: Vec<String> = rel
+                .inputs
+                .iter()
+                .map(|i| unparse(i, d, alias_seq))
+                .collect::<Result<_>>()?;
+            Ok(parts.join(&sep))
+        }
+        RelOp::Window { functions } => {
+            let input = unparse(rel.input(0), d, alias_seq)?;
+            let t = fresh(alias_seq);
+            let base = rel.input(0).row_type().arity();
+            let mut cols: Vec<String> = (0..base).map(col).collect();
+            for (i, w) in functions.iter().enumerate() {
+                let args: Vec<String> = w.args.iter().map(|a| col(*a)).collect();
+                let mut over = String::new();
+                if !w.partition.is_empty() {
+                    let ps: Vec<String> = w.partition.iter().map(|p| col(*p)).collect();
+                    over.push_str(&format!("PARTITION BY {}", ps.join(", ")));
+                }
+                if !w.order.is_empty() {
+                    if !over.is_empty() {
+                        over.push(' ');
+                    }
+                    over.push_str(&format!("ORDER BY {}", collation_sql(&w.order)));
+                }
+                cols.push(format!(
+                    "{}({}) OVER ({}) AS {}",
+                    w.func.name(),
+                    args.join(", "),
+                    over,
+                    col(base + i)
+                ));
+            }
+            Ok(format!("SELECT {} FROM ({}) AS {}", cols.join(", "), input, t))
+        }
+        RelOp::Delta | RelOp::Convert { .. } => Err(CalciteError::unsupported(format!(
+            "cannot unparse {:?} to SQL",
+            rel.op.kind()
+        ))),
+    }
+}
+
+fn collation_sql(collation: &Collation) -> String {
+    collation
+        .iter()
+        .map(|fc| {
+            let mut s = col(fc.field);
+            if fc.descending {
+                s.push_str(" DESC");
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn agg_sql(a: &AggCall) -> String {
+    let arg = if a.args.is_empty() {
+        "*".to_string()
+    } else {
+        let args: Vec<String> = a.args.iter().map(|i| col(*i)).collect();
+        args.join(", ")
+    };
+    if a.distinct {
+        format!("{}(DISTINCT {})", a.func.name(), arg)
+    } else {
+        format!("{}({})", a.func.name(), arg)
+    }
+}
+
+/// Renders a literal as SQL text.
+pub fn datum_sql(v: &Datum) -> String {
+    match v {
+        Datum::Null => "NULL".into(),
+        Datum::Bool(b) => if *b { "TRUE" } else { "FALSE" }.into(),
+        Datum::Int(i) => i.to_string(),
+        Datum::Double(x) => {
+            if x.fract() == 0.0 {
+                format!("{:.1}", x)
+            } else {
+                x.to_string()
+            }
+        }
+        Datum::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Datum::Date(dd) => format!("DATE '{}'", format_date(*dd)),
+        Datum::Timestamp(ms) => format!("TIMESTAMP '{}'", format_timestamp(*ms)),
+        Datum::Interval(ms) => {
+            if ms % 1000 == 0 {
+                format!("INTERVAL '{}' SECOND", ms / 1000)
+            } else {
+                format!("INTERVAL '{}' SECOND", *ms as f64 / 1000.0)
+            }
+        }
+        other => format!("'{other}'"),
+    }
+}
+
+/// Renders a row expression as SQL; `name_of` maps input indexes to SQL
+/// column references.
+pub fn rex_sql(
+    rex: &RexNode,
+    d: &dyn Dialect,
+    name_of: &dyn Fn(usize) -> String,
+) -> Result<String> {
+    Ok(match rex {
+        RexNode::InputRef { index, .. } => name_of(*index),
+        RexNode::Literal { value, .. } => datum_sql(value),
+        RexNode::Call { op, args, ty } => {
+            let sub = |i: usize| rex_sql(&args[i], d, name_of);
+            match op {
+                Op::Plus => format!("({} + {})", sub(0)?, sub(1)?),
+                Op::Minus => format!("({} - {})", sub(0)?, sub(1)?),
+                Op::Times => format!("({} * {})", sub(0)?, sub(1)?),
+                Op::Divide => format!("({} / {})", sub(0)?, sub(1)?),
+                Op::Mod => format!("MOD({}, {})", sub(0)?, sub(1)?),
+                Op::Neg => format!("(- {})", sub(0)?),
+                Op::Eq => format!("({} = {})", sub(0)?, sub(1)?),
+                Op::Ne => format!("({} <> {})", sub(0)?, sub(1)?),
+                Op::Lt => format!("({} < {})", sub(0)?, sub(1)?),
+                Op::Le => format!("({} <= {})", sub(0)?, sub(1)?),
+                Op::Gt => format!("({} > {})", sub(0)?, sub(1)?),
+                Op::Ge => format!("({} >= {})", sub(0)?, sub(1)?),
+                Op::And | Op::Or => {
+                    let kw = if matches!(op, Op::And) { " AND " } else { " OR " };
+                    let parts: Vec<String> = args
+                        .iter()
+                        .map(|a| rex_sql(a, d, name_of))
+                        .collect::<Result<_>>()?;
+                    format!("({})", parts.join(kw))
+                }
+                Op::Not => format!("(NOT {})", sub(0)?),
+                Op::IsNull => format!("({} IS NULL)", sub(0)?),
+                Op::IsNotNull => format!("({} IS NOT NULL)", sub(0)?),
+                Op::Like => format!("({} LIKE {})", sub(0)?, sub(1)?),
+                Op::Cast => format!("CAST({} AS {})", sub(0)?, d.type_name(&ty.kind)),
+                Op::Item => format!("{}[{}]", sub(0)?, sub(1)?),
+                Op::Concat => {
+                    let parts: Vec<String> = args
+                        .iter()
+                        .map(|a| rex_sql(a, d, name_of))
+                        .collect::<Result<_>>()?;
+                    d.concat(&parts)
+                }
+                Op::Case => {
+                    let mut s = String::from("CASE");
+                    let mut i = 0;
+                    while i + 1 < args.len() {
+                        s.push_str(&format!(" WHEN {} THEN {}", sub(i)?, sub(i + 1)?));
+                        i += 2;
+                    }
+                    if i < args.len() {
+                        s.push_str(&format!(" ELSE {}", sub(i)?));
+                    }
+                    s.push_str(" END");
+                    s
+                }
+                Op::Func(b) => {
+                    let parts: Vec<String> = args
+                        .iter()
+                        .map(|a| rex_sql(a, d, name_of))
+                        .collect::<Result<_>>()?;
+                    format!("{}({})", b.name(), parts.join(", "))
+                }
+                Op::Udf(u) => {
+                    let parts: Vec<String> = args
+                        .iter()
+                        .map(|a| rex_sql(a, d, name_of))
+                        .collect::<Result<_>>()?;
+                    format!("{}({})", u.name, parts.join(", "))
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcalcite_core::catalog::{MemTable, TableRef};
+    use rcalcite_core::rel;
+    use rcalcite_core::types::{RelType, RowTypeBuilder};
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn products() -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("productid", TypeKind::Integer)
+                .add_not_null("name", TypeKind::Varchar)
+                .build(),
+            vec![],
+        );
+        rel::scan(TableRef::new("db", "products", t))
+    }
+
+    #[test]
+    fn scan_filter_to_postgres() {
+        let plan = rel::filter(
+            products(),
+            RexNode::input(0, int_ty()).gt(RexNode::lit_int(5)),
+        );
+        let sql = to_sql(&plan, &PostgresDialect).unwrap();
+        assert!(sql.contains("\"db\".\"products\""), "{sql}");
+        assert!(sql.contains("WHERE (c0 > 5)"), "{sql}");
+        assert!(sql.contains("AS \"productid\""), "{sql}");
+    }
+
+    #[test]
+    fn mysql_dialect_differences() {
+        let plan = rel::sort_limit(products(), vec![], Some(3), Some(10));
+        let pg = to_sql(&plan, &PostgresDialect).unwrap();
+        let my = to_sql(&plan, &MySqlDialect).unwrap();
+        assert!(pg.contains("LIMIT 10 OFFSET 3"), "{pg}");
+        assert!(my.contains("LIMIT 3, 10"), "{my}");
+        assert!(my.contains("`db`.`products`"), "{my}");
+    }
+
+    #[test]
+    fn join_unparse() {
+        let plan = rel::join(
+            products(),
+            products(),
+            JoinKind::Left,
+            RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty())),
+        );
+        let sql = to_sql(&plan, &PostgresDialect).unwrap();
+        assert!(sql.contains("LEFT JOIN"), "{sql}");
+        assert!(sql.contains("ON (t0.c0 = t1.c0)"), "{sql}");
+    }
+
+    #[test]
+    fn semi_join_becomes_exists() {
+        let plan = rel::join(
+            products(),
+            products(),
+            JoinKind::Semi,
+            RexNode::input(0, int_ty()).eq(RexNode::input(2, int_ty())),
+        );
+        let sql = to_sql(&plan, &PostgresDialect).unwrap();
+        assert!(sql.contains("WHERE EXISTS (SELECT 1"), "{sql}");
+    }
+
+    #[test]
+    fn aggregate_unparse() {
+        let rt = products().row_type().clone();
+        let plan = rel::aggregate(
+            products(),
+            vec![1],
+            vec![
+                rel::AggCall::count_star("c"),
+                rel::AggCall::new(rel::AggFunc::Sum, vec![0], false, "s", &rt),
+            ],
+        );
+        let sql = to_sql(&plan, &PostgresDialect).unwrap();
+        assert!(sql.contains("COUNT(*)"), "{sql}");
+        assert!(sql.contains("SUM(c0)"), "{sql}");
+        assert!(sql.contains("GROUP BY c1"), "{sql}");
+    }
+
+    #[test]
+    fn concat_dialect_difference() {
+        let e = RexNode::call(
+            Op::Concat,
+            vec![RexNode::lit_str("a"), RexNode::lit_str("b")],
+        );
+        let pg = rex_sql(&e, &PostgresDialect, &|i| format!("c{i}")).unwrap();
+        let my = rex_sql(&e, &MySqlDialect, &|i| format!("c{i}")).unwrap();
+        assert_eq!(pg, "('a' || 'b')");
+        assert_eq!(my, "CONCAT('a', 'b')");
+    }
+
+    #[test]
+    fn literals_escape_and_format() {
+        assert_eq!(datum_sql(&Datum::str("it's")), "'it''s'");
+        assert_eq!(datum_sql(&Datum::Date(0)), "DATE '1970-01-01'");
+        assert_eq!(
+            datum_sql(&Datum::Interval(3_600_000)),
+            "INTERVAL '3600' SECOND"
+        );
+    }
+
+    #[test]
+    fn values_unparse() {
+        let plan = rel::values(
+            RowTypeBuilder::new().add("x", TypeKind::Integer).build(),
+            vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
+        );
+        let sql = to_sql(&plan, &PostgresDialect).unwrap();
+        assert!(sql.contains("SELECT 1 AS c0 UNION ALL SELECT 2 AS c0"), "{sql}");
+        let empty = rel::values(
+            RowTypeBuilder::new().add("x", TypeKind::Integer).build(),
+            vec![],
+        );
+        let sql = to_sql(&empty, &PostgresDialect).unwrap();
+        assert!(sql.contains("WHERE 1 = 0"), "{sql}");
+    }
+
+    #[test]
+    fn delta_is_not_unparsable() {
+        let plan = rel::delta(products());
+        assert!(to_sql(&plan, &PostgresDialect).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Name-resolution scopes and semantic checks: the validator component of
+//! Figure 1. Type checking happens as expressions are converted (types are
+//! intrinsic to `RexNode`); this module owns identifier resolution,
+//! ambiguity detection, and the streaming monotonicity validation of §7.2
+//! ("streaming queries involving window aggregates require the presence of
+//! monotonic or quasi-monotonic expressions in the GROUP BY clause").
+
+use crate::ast::Expr;
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::rel::Rel;
+use rcalcite_core::types::{RelType, TypeKind};
+
+/// One column visible in a scope.
+#[derive(Debug, Clone)]
+pub struct ScopeCol {
+    /// Table alias qualifying the column (lowercase).
+    pub table: Option<String>,
+    pub name: String,
+    pub ty: RelType,
+}
+
+/// The set of columns visible to expressions at some point of a query.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    pub fn empty() -> Scope {
+        Scope::default()
+    }
+
+    /// Scope exposing the output of a relational expression under an
+    /// optional alias.
+    pub fn from_rel(alias: Option<&str>, rel: &Rel) -> Scope {
+        let alias = alias.map(|a| a.to_ascii_lowercase());
+        Scope {
+            cols: rel
+                .row_type()
+                .fields
+                .iter()
+                .map(|f| ScopeCol {
+                    table: alias.clone(),
+                    name: f.name.clone(),
+                    ty: f.ty.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Concatenation for joins: left columns first.
+    pub fn join(mut self, right: Scope) -> Scope {
+        self.cols.extend(right.cols);
+        self
+    }
+
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Resolves `[col]` or `[alias, col]` to (index, type). Ambiguous
+    /// unqualified names are an error.
+    pub fn resolve(&self, parts: &[String]) -> Result<(usize, RelType)> {
+        match parts {
+            [col] => {
+                let mut found: Option<usize> = None;
+                for (i, c) in self.cols.iter().enumerate() {
+                    if c.name.eq_ignore_ascii_case(col) {
+                        if found.is_some() {
+                            return Err(CalciteError::validate(format!(
+                                "column '{col}' is ambiguous"
+                            )));
+                        }
+                        found = Some(i);
+                    }
+                }
+                found
+                    .map(|i| (i, self.cols[i].ty.clone()))
+                    .ok_or_else(|| CalciteError::validate(format!("column '{col}' not found")))
+            }
+            [tbl, col] => {
+                let tbl = tbl.to_ascii_lowercase();
+                for (i, c) in self.cols.iter().enumerate() {
+                    if c.table.as_deref() == Some(tbl.as_str())
+                        && c.name.eq_ignore_ascii_case(col)
+                    {
+                        return Ok((i, c.ty.clone()));
+                    }
+                }
+                Err(CalciteError::validate(format!(
+                    "column '{tbl}.{col}' not found"
+                )))
+            }
+            _ => Err(CalciteError::validate(format!(
+                "cannot resolve identifier {:?}",
+                parts
+            ))),
+        }
+    }
+
+    /// Indexes of the columns belonging to `alias` (for `alias.*`).
+    pub fn columns_of(&self, alias: &str) -> Vec<usize> {
+        let alias = alias.to_ascii_lowercase();
+        self.cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.table.as_deref() == Some(alias.as_str()))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Whether an AST group-by expression is (quasi-)monotonic with respect to
+/// stream time: a TUMBLE over a timestamp column, or a bare timestamp
+/// column reference.
+pub fn is_monotonic_group_expr(expr: &Expr, scope: &Scope) -> bool {
+    match expr {
+        Expr::Func { name, args, .. } if name.eq_ignore_ascii_case("TUMBLE") => args
+            .first()
+            .map(|a| is_timestamp_column(a, scope))
+            .unwrap_or(false),
+        _ => is_timestamp_column(expr, scope),
+    }
+}
+
+fn is_timestamp_column(expr: &Expr, scope: &Scope) -> bool {
+    if let Expr::Ident(parts) = expr {
+        if let Ok((_, ty)) = scope.resolve(parts) {
+            return ty.kind == TypeKind::Timestamp;
+        }
+    }
+    false
+}
+
+/// Validates a streaming GROUP BY: at least one group expression must be
+/// monotonic, otherwise the query would block forever (§7.2).
+pub fn check_stream_group_by(group_by: &[Expr], scope: &Scope) -> Result<()> {
+    if group_by.is_empty() {
+        return Err(CalciteError::validate(
+            "streaming aggregation without GROUP BY can never emit a result; \
+             group by a monotonic expression such as TUMBLE(rowtime, ...)",
+        ));
+    }
+    if group_by.iter().any(|e| is_monotonic_group_expr(e, scope)) {
+        Ok(())
+    } else {
+        Err(CalciteError::validate(
+            "streaming GROUP BY requires a monotonic or quasi-monotonic \
+             expression (e.g. TUMBLE over the stream's timestamp column)",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcalcite_core::catalog::{MemTable, TableRef};
+    use rcalcite_core::rel;
+    use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+
+    fn orders() -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("rowtime", TypeKind::Timestamp)
+                .add_not_null("productid", TypeKind::Integer)
+                .add("units", TypeKind::Integer)
+                .build(),
+            vec![],
+        );
+        rel::scan(TableRef::new("s", "orders", t))
+    }
+
+    #[test]
+    fn resolve_qualified_and_unqualified() {
+        let s = Scope::from_rel(Some("o"), &orders());
+        assert_eq!(s.resolve(&["units".into()]).unwrap().0, 2);
+        assert_eq!(s.resolve(&["o".into(), "rowtime".into()]).unwrap().0, 0);
+        assert!(s.resolve(&["x".into(), "rowtime".into()]).is_err());
+        assert!(s.resolve(&["nothere".into()]).is_err());
+    }
+
+    #[test]
+    fn ambiguity_detection() {
+        let s = Scope::from_rel(Some("a"), &orders()).join(Scope::from_rel(Some("b"), &orders()));
+        assert!(s.resolve(&["units".into()]).is_err());
+        // Qualification disambiguates; right side is offset by the left
+        // arity.
+        assert_eq!(s.resolve(&["b".into(), "units".into()]).unwrap().0, 5);
+    }
+
+    #[test]
+    fn qualified_wildcard_columns() {
+        let s = Scope::from_rel(Some("a"), &orders()).join(Scope::from_rel(Some("b"), &orders()));
+        assert_eq!(s.columns_of("b"), vec![3, 4, 5]);
+        assert!(s.columns_of("zzz").is_empty());
+    }
+
+    #[test]
+    fn monotonicity_of_tumble_and_rowtime() {
+        let s = Scope::from_rel(None, &orders());
+        let tumble = Expr::Func {
+            name: "TUMBLE".into(),
+            args: vec![Expr::ident("rowtime")],
+            distinct: false,
+            star: false,
+            over: None,
+        };
+        assert!(is_monotonic_group_expr(&tumble, &s));
+        assert!(is_monotonic_group_expr(&Expr::ident("rowtime"), &s));
+        assert!(!is_monotonic_group_expr(&Expr::ident("productid"), &s));
+    }
+
+    #[test]
+    fn stream_group_by_validation() {
+        let s = Scope::from_rel(None, &orders());
+        // productid alone: blocking, rejected.
+        assert!(check_stream_group_by(&[Expr::ident("productid")], &s).is_err());
+        // TUMBLE plus productid: fine (the paper's tumbling example).
+        let tumble = Expr::Func {
+            name: "TUMBLE".into(),
+            args: vec![Expr::ident("rowtime")],
+            distinct: false,
+            star: false,
+            over: None,
+        };
+        assert!(check_stream_group_by(&[tumble, Expr::ident("productid")], &s).is_ok());
+        // Empty group by on a stream: rejected.
+        assert!(check_stream_group_by(&[], &s).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Incremental streaming aggregation: the executable form of the paper's
+//! §7.2 tumbling-window query. Events are pushed in; completed windows are
+//! emitted when the watermark passes their end — the operator never
+//! blocks, which is the whole point of windowing unbounded streams.
+
+use crate::windows::{Assigner, Window};
+use rcalcite_core::datum::{Datum, Row};
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::rel::AggFunc;
+use std::collections::BTreeMap;
+
+/// One aggregate over a column (`None` = COUNT(*)).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamAgg {
+    pub func: AggFunc,
+    pub col: Option<usize>,
+}
+
+#[derive(Clone)]
+enum State {
+    Count(i64),
+    Sum(f64, bool),
+    Min(Option<Datum>),
+    Max(Option<Datum>),
+    Avg(f64, i64),
+}
+
+impl State {
+    fn new(f: AggFunc) -> State {
+        match f {
+            AggFunc::Count => State::Count(0),
+            AggFunc::Sum => State::Sum(0.0, false),
+            AggFunc::Min => State::Min(None),
+            AggFunc::Max => State::Max(None),
+            AggFunc::Avg => State::Avg(0.0, 0),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Datum>) {
+        match self {
+            State::Count(n) => {
+                if v.map(|d| !d.is_null()).unwrap_or(true) {
+                    *n += 1;
+                }
+            }
+            State::Sum(s, any) => {
+                if let Some(x) = v.and_then(|d| d.as_double()) {
+                    *s += x;
+                    *any = true;
+                }
+            }
+            State::Min(m) => {
+                if let Some(d) = v.filter(|d| !d.is_null()) {
+                    if m.as_ref().map(|prev| d < prev).unwrap_or(true) {
+                        *m = Some(d.clone());
+                    }
+                }
+            }
+            State::Max(m) => {
+                if let Some(d) = v.filter(|d| !d.is_null()) {
+                    if m.as_ref().map(|prev| d > prev).unwrap_or(true) {
+                        *m = Some(d.clone());
+                    }
+                }
+            }
+            State::Avg(s, n) => {
+                if let Some(x) = v.and_then(|d| d.as_double()) {
+                    *s += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> Datum {
+        match self {
+            State::Count(n) => Datum::Int(*n),
+            State::Sum(s, any) => {
+                if *any {
+                    if s.fract() == 0.0 {
+                        Datum::Int(*s as i64)
+                    } else {
+                        Datum::Double(*s)
+                    }
+                } else {
+                    Datum::Null
+                }
+            }
+            State::Min(m) | State::Max(m) => m.clone().unwrap_or(Datum::Null),
+            State::Avg(s, n) => {
+                if *n == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Double(s / *n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Push-based windowed aggregator. Output rows are
+/// `(window_end, group keys..., aggregates...)` — `window_end` matching
+/// the paper's `TUMBLE_END(rowtime, ...) AS rowtime` projection.
+pub struct WindowedAggregator {
+    assigner: Assigner,
+    time_col: usize,
+    group_cols: Vec<usize>,
+    aggs: Vec<StreamAgg>,
+    /// Open windows: (window, key) → per-agg state.
+    open: BTreeMap<(Window, Vec<Datum>), Vec<State>>,
+    watermark: i64,
+}
+
+impl WindowedAggregator {
+    pub fn new(
+        assigner: Assigner,
+        time_col: usize,
+        group_cols: Vec<usize>,
+        aggs: Vec<StreamAgg>,
+    ) -> WindowedAggregator {
+        WindowedAggregator {
+            assigner,
+            time_col,
+            group_cols,
+            aggs,
+            open: BTreeMap::new(),
+            watermark: i64::MIN,
+        }
+    }
+
+    /// Number of currently open (window, key) states.
+    pub fn open_states(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feeds one event. Late events (behind the watermark) are dropped,
+    /// as in watermark-based streaming systems.
+    pub fn on_event(&mut self, row: &Row) -> Result<()> {
+        let t = row[self.time_col]
+            .as_millis()
+            .ok_or_else(|| CalciteError::execution("stream aggregator: bad time column"))?;
+        if t < self.watermark {
+            return Ok(()); // late event
+        }
+        let key: Vec<Datum> = self.group_cols.iter().map(|c| row[*c].clone()).collect();
+        for w in self.assigner.windows_of(t)? {
+            let states = self
+                .open
+                .entry((w, key.clone()))
+                .or_insert_with(|| self.aggs.iter().map(|a| State::new(a.func)).collect());
+            for (st, a) in states.iter_mut().zip(self.aggs.iter()) {
+                st.update(a.col.map(|c| &row[c]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances event time, emitting every window whose end has passed.
+    pub fn on_watermark(&mut self, t: i64) -> Vec<Row> {
+        self.watermark = self.watermark.max(t);
+        let mut out = vec![];
+        let mut remaining = BTreeMap::new();
+        for ((w, key), states) in std::mem::take(&mut self.open) {
+            if w.end <= t {
+                let mut row: Row = vec![Datum::Timestamp(w.end)];
+                row.extend(key);
+                row.extend(states.iter().map(|s| s.finish()));
+                out.push(row);
+            } else {
+                remaining.insert((w, key), states);
+            }
+        }
+        self.open = remaining;
+        out
+    }
+
+    /// Flushes everything (end of a finite stream).
+    pub fn finish(&mut self) -> Vec<Row> {
+        self.on_watermark(i64::MAX)
+    }
+
+    /// Convenience: run a finite, time-ordered batch through the
+    /// aggregator with a watermark trailing each event.
+    pub fn run_batch(&mut self, rows: &[Row]) -> Result<Vec<Row>> {
+        let mut out = vec![];
+        for row in rows {
+            let t = row[self.time_col]
+                .as_millis()
+                .ok_or_else(|| CalciteError::execution("stream aggregator: bad time column"))?;
+            out.extend(self.on_watermark(t));
+            self.on_event(row)?;
+        }
+        out.extend(self.finish());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: i64, product: i64, units: i64) -> Row {
+        vec![Datum::Timestamp(t), Datum::Int(product), Datum::Int(units)]
+    }
+
+    fn paper_aggregator() -> WindowedAggregator {
+        // The §7.2 query: GROUP BY TUMBLE(rowtime, 1h), productId with
+        // COUNT(*) and SUM(units). Windows here are 100ms for readability.
+        WindowedAggregator::new(
+            Assigner::Tumble { size: 100 },
+            0,
+            vec![1],
+            vec![
+                StreamAgg {
+                    func: AggFunc::Count,
+                    col: None,
+                },
+                StreamAgg {
+                    func: AggFunc::Sum,
+                    col: Some(2),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn tumbling_aggregation_emits_per_window_per_key() {
+        let mut agg = paper_aggregator();
+        let rows = vec![ev(10, 1, 5), ev(20, 1, 7), ev(30, 2, 1), ev(150, 1, 9)];
+        let out = agg.run_batch(&rows).unwrap();
+        // Window [0,100): product 1 → (2, 12); product 2 → (1, 1).
+        // Window [100,200): product 1 → (1, 9).
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out[0],
+            vec![Datum::Timestamp(100), Datum::Int(1), Datum::Int(2), Datum::Int(12)]
+        );
+        assert_eq!(
+            out[1],
+            vec![Datum::Timestamp(100), Datum::Int(2), Datum::Int(1), Datum::Int(1)]
+        );
+        assert_eq!(
+            out[2],
+            vec![Datum::Timestamp(200), Datum::Int(1), Datum::Int(1), Datum::Int(9)]
+        );
+    }
+
+    #[test]
+    fn windows_emit_as_watermark_advances() {
+        let mut agg = paper_aggregator();
+        agg.on_event(&ev(10, 1, 5)).unwrap();
+        agg.on_event(&ev(110, 1, 7)).unwrap();
+        assert_eq!(agg.open_states(), 2);
+        // Watermark 100 closes the first window only.
+        let emitted = agg.on_watermark(100);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0][0], Datum::Timestamp(100));
+        assert_eq!(agg.open_states(), 1);
+        let emitted = agg.finish();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(agg.open_states(), 0);
+    }
+
+    #[test]
+    fn late_events_are_dropped() {
+        let mut agg = paper_aggregator();
+        agg.on_watermark(200);
+        agg.on_event(&ev(50, 1, 5)).unwrap(); // behind the watermark
+        assert_eq!(agg.open_states(), 0);
+        assert!(agg.finish().is_empty());
+    }
+
+    #[test]
+    fn hopping_windows_double_count() {
+        let mut agg = WindowedAggregator::new(
+            Assigner::Hop {
+                slide: 50,
+                size: 100,
+            },
+            0,
+            vec![],
+            vec![StreamAgg {
+                func: AggFunc::Count,
+                col: None,
+            }],
+        );
+        // One event at t=75 lands in windows [0,100) and [50,150).
+        let out = agg.run_batch(&[ev(75, 1, 1)]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r[1] == Datum::Int(1)));
+    }
+
+    #[test]
+    fn min_max_avg_states() {
+        let mut agg = WindowedAggregator::new(
+            Assigner::Tumble { size: 1000 },
+            0,
+            vec![],
+            vec![
+                StreamAgg {
+                    func: AggFunc::Min,
+                    col: Some(2),
+                },
+                StreamAgg {
+                    func: AggFunc::Max,
+                    col: Some(2),
+                },
+                StreamAgg {
+                    func: AggFunc::Avg,
+                    col: Some(2),
+                },
+            ],
+        );
+        let out = agg
+            .run_batch(&[ev(1, 1, 10), ev(2, 1, 20), ev(3, 1, 30)])
+            .unwrap();
+        assert_eq!(out[0][1], Datum::Int(10));
+        assert_eq!(out[0][2], Datum::Int(30));
+        assert_eq!(out[0][3], Datum::Double(20.0));
+    }
+}

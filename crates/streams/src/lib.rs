@@ -1,0 +1,22 @@
+//! # rcalcite-streams
+//!
+//! Streaming support (paper §7.2). The STREAM keyword, monotonicity
+//! validation and the `TUMBLE` SQL surface live in `rcalcite-sql`; this
+//! crate provides the streaming *runtime*:
+//!
+//! - [`windows`] — tumbling / hopping / session window assignment;
+//! - [`incremental`] — push-based windowed aggregation with watermarks
+//!   (the unblocked execution of `GROUP BY TUMBLE(...)`);
+//! - [`join`] — stream-to-stream joins over implicit time windows
+//!   (the §7.2 Orders ⋈ Shipments example), with bounded buffers;
+//! - [`source`] — replayable and live stream sources.
+
+pub mod incremental;
+pub mod join;
+pub mod source;
+pub mod windows;
+
+pub use incremental::{StreamAgg, WindowedAggregator};
+pub use join::{join_streams, StreamJoinSpec, StreamJoiner};
+pub use source::{generate_orders, live_stream, orders_row_type, ReplayStream};
+pub use windows::{assign_sessions, Assigner, Window};

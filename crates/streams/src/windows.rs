@@ -1,0 +1,225 @@
+//! Window assignment for streaming queries (paper §7.2): "Tumbling,
+//! hopping, sliding, and session windows are different schemes for
+//! grouping of the streaming events." Windowing "is used to unblock
+//! blocking operators such as aggregates and joins" on unbounded streams.
+
+use rcalcite_core::datum::{Datum, Row};
+use rcalcite_core::error::{CalciteError, Result};
+
+/// A window instance: `[start, end)` in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Window {
+    pub start: i64,
+    pub end: i64,
+}
+
+impl Window {
+    pub fn contains(&self, t: i64) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A window assignment scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assigner {
+    /// Fixed, non-overlapping windows of `size` ms (`TUMBLE`).
+    Tumble { size: i64 },
+    /// Overlapping windows of `size` ms starting every `slide` ms
+    /// (`HOPPING`).
+    Hop { slide: i64, size: i64 },
+    /// Per-key windows that close after `gap` ms of inactivity
+    /// (`SESSION`).
+    Session { gap: i64 },
+}
+
+impl Assigner {
+    /// The windows an event at time `t` belongs to. Session windows are
+    /// data-driven and handled by [`assign_sessions`].
+    pub fn windows_of(&self, t: i64) -> Result<Vec<Window>> {
+        match self {
+            Assigner::Tumble { size } => {
+                if *size <= 0 {
+                    return Err(CalciteError::validate("TUMBLE size must be positive"));
+                }
+                let start = t.div_euclid(*size) * size;
+                Ok(vec![Window {
+                    start,
+                    end: start + size,
+                }])
+            }
+            Assigner::Hop { slide, size } => {
+                if *slide <= 0 || *size <= 0 || size < slide {
+                    return Err(CalciteError::validate(
+                        "HOP requires 0 < slide <= size",
+                    ));
+                }
+                let mut out = vec![];
+                // Earliest window containing t starts at the first slide
+                // boundary > t - size.
+                let first = (t - size).div_euclid(*slide) * slide + slide;
+                let mut start = first;
+                while start <= t {
+                    out.push(Window {
+                        start,
+                        end: start + size,
+                    });
+                    start += slide;
+                }
+                Ok(out)
+            }
+            Assigner::Session { .. } => Err(CalciteError::internal(
+                "session windows are data-driven; use assign_sessions",
+            )),
+        }
+    }
+}
+
+/// Groups time-ordered rows into session windows per key: a session ends
+/// when the next event of the same key is more than `gap` ms later.
+/// Returns `(key, window, rows)` triples.
+pub fn assign_sessions(
+    rows: &[Row],
+    time_col: usize,
+    key_cols: &[usize],
+    gap: i64,
+) -> Result<Vec<(Vec<Datum>, Window, Vec<Row>)>> {
+    if gap <= 0 {
+        return Err(CalciteError::validate("SESSION gap must be positive"));
+    }
+    use std::collections::HashMap;
+    // Open sessions per key.
+    let mut open: HashMap<Vec<Datum>, (Window, Vec<Row>)> = HashMap::new();
+    let mut closed: Vec<(Vec<Datum>, Window, Vec<Row>)> = vec![];
+    for row in rows {
+        let t = row[time_col]
+            .as_millis()
+            .ok_or_else(|| CalciteError::execution("session: non-temporal time column"))?;
+        let key: Vec<Datum> = key_cols.iter().map(|k| row[*k].clone()).collect();
+        match open.get_mut(&key) {
+            Some((w, items)) if t < w.end => {
+                w.end = t + gap;
+                items.push(row.clone());
+            }
+            Some(_) => {
+                let (w, items) = open.remove(&key).unwrap();
+                closed.push((key.clone(), w, items));
+                open.insert(
+                    key,
+                    (
+                        Window {
+                            start: t,
+                            end: t + gap,
+                        },
+                        vec![row.clone()],
+                    ),
+                );
+            }
+            None => {
+                open.insert(
+                    key,
+                    (
+                        Window {
+                            start: t,
+                            end: t + gap,
+                        },
+                        vec![row.clone()],
+                    ),
+                );
+            }
+        }
+    }
+    for (key, (w, items)) in open {
+        closed.push((key, w, items));
+    }
+    closed.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+    Ok(closed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumble_assignment() {
+        let a = Assigner::Tumble { size: 100 };
+        assert_eq!(
+            a.windows_of(250).unwrap(),
+            vec![Window {
+                start: 200,
+                end: 300
+            }]
+        );
+        // Boundary belongs to the next window.
+        assert_eq!(a.windows_of(200).unwrap()[0].start, 200);
+        assert_eq!(a.windows_of(199).unwrap()[0].start, 100);
+        // Negative time (pre-epoch) still floors correctly.
+        assert_eq!(a.windows_of(-1).unwrap()[0].start, -100);
+    }
+
+    #[test]
+    fn hop_assignment_overlaps() {
+        let a = Assigner::Hop {
+            slide: 50,
+            size: 100,
+        };
+        let ws = a.windows_of(125).unwrap();
+        assert_eq!(
+            ws,
+            vec![
+                Window { start: 50, end: 150 },
+                Window {
+                    start: 100,
+                    end: 200
+                },
+            ]
+        );
+        // Every returned window contains the timestamp.
+        assert!(ws.iter().all(|w| w.contains(125)));
+    }
+
+    #[test]
+    fn hop_with_equal_slide_is_tumble() {
+        let hop = Assigner::Hop {
+            slide: 100,
+            size: 100,
+        };
+        let tumble = Assigner::Tumble { size: 100 };
+        for t in [0, 99, 100, 555] {
+            assert_eq!(hop.windows_of(t).unwrap(), tumble.windows_of(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(Assigner::Tumble { size: 0 }.windows_of(1).is_err());
+        assert!(Assigner::Hop { slide: 200, size: 100 }.windows_of(1).is_err());
+        assert!(Assigner::Session { gap: 10 }.windows_of(1).is_err());
+    }
+
+    #[test]
+    fn sessions_split_on_gap() {
+        // key 1: events at 0, 50, 200 with gap 100 → sessions [0,150) and
+        // [200,300).
+        let rows: Vec<Row> = [(0, 1), (50, 1), (200, 1), (40, 2)]
+            .iter()
+            .map(|(t, k)| vec![Datum::Timestamp(*t), Datum::Int(*k)])
+            .collect();
+        let mut rows = rows;
+        rows.sort_by(|a, b| a[0].cmp(&b[0]));
+        let sessions = assign_sessions(&rows, 0, &[1], 100).unwrap();
+        assert_eq!(sessions.len(), 3);
+        let key1: Vec<_> = sessions
+            .iter()
+            .filter(|(k, _, _)| k[0] == Datum::Int(1))
+            .collect();
+        assert_eq!(key1.len(), 2);
+        assert_eq!(key1[0].1, Window { start: 0, end: 150 });
+        assert_eq!(key1[0].2.len(), 2);
+        assert_eq!(key1[1].1, Window { start: 200, end: 300 });
+    }
+
+    #[test]
+    fn session_gap_validation() {
+        assert!(assign_sessions(&[], 0, &[], 0).is_err());
+    }
+}

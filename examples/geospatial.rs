@@ -1,0 +1,68 @@
+//! Geospatial queries (paper §7.3): the GEOMETRY type and ST_ functions,
+//! culminating in the paper's example — finding the country that contains
+//! the city of Amsterdam.
+//!
+//! Run with: `cargo run --example geospatial`
+
+use rcalcite_core::catalog::{Catalog, MemTable, Schema};
+use rcalcite_core::datum::Datum;
+use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+use rcalcite_enumerable::EnumerableExecutor;
+use rcalcite_sql::Connection;
+use std::sync::Arc;
+
+fn main() -> rcalcite_core::error::Result<()> {
+    // country(name, boundary WKT).
+    let catalog = Catalog::new();
+    let s = Schema::new();
+    s.add_table(
+        "country",
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("name", TypeKind::Varchar)
+                .add_not_null("boundary", TypeKind::Varchar)
+                .build(),
+            vec![
+                vec![
+                    Datum::str("Netherlands"),
+                    Datum::str("POLYGON ((3.3 50.7, 7.2 50.7, 7.2 53.6, 3.3 53.6, 3.3 50.7))"),
+                ],
+                vec![
+                    Datum::str("Belgium"),
+                    Datum::str("POLYGON ((2.5 49.5, 6.4 49.5, 6.4 51.5, 2.5 51.5, 2.5 49.5))"),
+                ],
+                vec![
+                    Datum::str("Luxembourg"),
+                    Datum::str("POLYGON ((5.7 49.4, 6.5 49.4, 6.5 50.2, 5.7 50.2, 5.7 49.4))"),
+                ],
+            ],
+        ),
+    );
+    catalog.add_schema("geo", s);
+
+    let mut conn = Connection::new(catalog);
+    conn.add_rule(rcalcite_enumerable::implement_rule());
+    conn.register_executor(Arc::new(EnumerableExecutor::new()));
+    rcalcite_geo::register(conn.functions_mut());
+
+    // The §7.3 query, verbatim structure: which country contains
+    // Amsterdam?
+    let sql = r#"SELECT name FROM (
+        SELECT name,
+               ST_GeomFromText('POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33, 4.82 52.33, 4.82 52.43))') AS "Amsterdam",
+               ST_GeomFromText(boundary) AS "Country"
+        FROM country
+    ) WHERE ST_Contains("Country", "Amsterdam")"#;
+    println!("Query:\n{sql}\n");
+    let r = conn.query(sql)?;
+    println!("{}", r.to_table());
+
+    // More of the OpenGIS surface.
+    let r = conn.query(
+        "SELECT name, ST_Area(ST_GeomFromText(boundary)) AS area, \
+         ST_Distance(ST_GeomFromText(boundary), ST_Point(4.9, 52.37)) AS dist_to_ams \
+         FROM geo.country ORDER BY area DESC",
+    )?;
+    println!("Areas and distances:\n{}", r.to_table());
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: embed rcalcite as a query engine over in-memory tables.
+//!
+//! Demonstrates the two entry paths of the paper's Figure 1 — SQL text
+//! through parser/validator, and direct algebra construction through the
+//! RelBuilder — both feeding the same optimizer and executor.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rcalcite_core::builder::RelBuilder;
+use rcalcite_core::catalog::{Catalog, MemTable, Schema};
+use rcalcite_core::datum::Datum;
+use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+use rcalcite_enumerable::EnumerableExecutor;
+use rcalcite_sql::Connection;
+use std::sync::Arc;
+
+fn main() -> rcalcite_core::error::Result<()> {
+    // 1. Define a schema with an in-memory table.
+    let catalog = Catalog::new();
+    let hr = Schema::new();
+    hr.add_table(
+        "emp",
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("empid", TypeKind::Integer)
+                .add_not_null("deptno", TypeKind::Integer)
+                .add_not_null("name", TypeKind::Varchar)
+                .add("sal", TypeKind::Integer)
+                .build(),
+            vec![
+                vec![Datum::Int(100), Datum::Int(10), Datum::str("Bill"), Datum::Int(10000)],
+                vec![Datum::Int(110), Datum::Int(10), Datum::str("Theodore"), Datum::Int(11500)],
+                vec![Datum::Int(150), Datum::Int(20), Datum::str("Sebastian"), Datum::Int(7000)],
+                vec![Datum::Int(200), Datum::Int(20), Datum::str("Eric"), Datum::Null],
+            ],
+        ),
+    );
+    catalog.add_schema("hr", hr);
+
+    // 2. Open a connection and wire in the enumerable engine.
+    let mut conn = Connection::new(catalog.clone());
+    conn.add_rule(rcalcite_enumerable::implement_rule());
+    conn.register_executor(Arc::new(EnumerableExecutor::new()));
+
+    // 3. SQL path.
+    let sql = "SELECT deptno, COUNT(*) AS c, SUM(sal) AS total \
+               FROM hr.emp WHERE sal IS NOT NULL \
+               GROUP BY deptno ORDER BY deptno";
+    println!("SQL> {sql}\n");
+    let result = conn.query(sql)?;
+    println!("{}", result.to_table());
+
+    println!("Optimized plan:\n{}", conn.explain(sql)?);
+
+    // 4. RelBuilder path (the paper's §3 Pig example, adapted).
+    let plan = RelBuilder::new(&catalog)
+        .scan("hr.emp")
+        .aggregate_named(
+            &["deptno"],
+            vec![
+                RelBuilder::count(false, "c"),
+                RelBuilder::sum(false, "s", "sal"),
+            ],
+        )
+        .build()?;
+    println!("RelBuilder plan:\n{}", rcalcite_core::explain::explain(&plan));
+    let physical = conn.optimize(&plan)?;
+    let rows = conn.exec_context().execute_collect(&physical)?;
+    println!("RelBuilder result rows: {rows:?}");
+    Ok(())
+}
