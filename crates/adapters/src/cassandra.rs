@@ -162,7 +162,10 @@ impl Rule for CassandraFilterRule {
 }
 
 /// The partition-key equalities of a pushed filter.
-fn partition_eqs(preds: &[ColPredicate], def: &WideTableDef) -> Vec<(usize, rcalcite_core::datum::Datum)> {
+fn partition_eqs(
+    preds: &[ColPredicate],
+    def: &WideTableDef,
+) -> Vec<(usize, rcalcite_core::datum::Datum)> {
     preds
         .iter()
         .filter(|p| p.op == CmpOp::Eq && def.partition_key.contains(&p.col))
@@ -305,8 +308,8 @@ impl CassandraExecutor {
                 let d = def.as_ref().ok_or_else(|| {
                     CalciteError::internal("cassandra executor: sort without scan")
                 })?;
-                let reverse = collation_matches_clustering(collation, &d.clustering)
-                    .ok_or_else(|| {
+                let reverse =
+                    collation_matches_clustering(collation, &d.clustering).ok_or_else(|| {
                         CalciteError::internal("cassandra executor: incompatible sort")
                     })?;
                 q.reverse = reverse;
@@ -415,11 +418,7 @@ mod tests {
             for t in [10, 20, 30, 40] {
                 s.insert(
                     "events",
-                    vec![
-                        Datum::Int(d),
-                        Datum::Int(t),
-                        Datum::Double((d * t) as f64),
-                    ],
+                    vec![Datum::Int(d), Datum::Int(t), Datum::Double((d * t) as f64)],
                 )
                 .unwrap();
             }
@@ -473,7 +472,11 @@ mod tests {
 
         // Without the partition filter the sort must NOT be pushed.
         let plan = conn
-            .optimize(&conn.parse_to_rel("SELECT ts FROM events ORDER BY ts DESC").unwrap())
+            .optimize(
+                &conn
+                    .parse_to_rel("SELECT ts FROM events ORDER BY ts DESC")
+                    .unwrap(),
+            )
             .unwrap();
         let cass_sort = find(&plan, |n| {
             n.kind() == RelKind::Sort && n.convention.name() == "cassandra"
@@ -488,9 +491,7 @@ mod tests {
         let plan = conn
             .optimize(
                 &conn
-                    .parse_to_rel(
-                        "SELECT reading FROM events WHERE device = 1 ORDER BY reading",
-                    )
+                    .parse_to_rel("SELECT reading FROM events WHERE device = 1 ORDER BY reading")
                     .unwrap(),
             )
             .unwrap();

@@ -154,7 +154,7 @@ pub fn build_federation(orders_count: usize, product_count: usize) -> Federation
     conn.add_rule(rcalcite_enumerable::implement_rule());
     conn.register_executor(Arc::new(rcalcite_enumerable::EnumerableExecutor::new()));
     jdbc.install(&mut conn);
-    splunk.install(&mut conn, &[jdbc.convention.clone()]);
+    splunk.install(&mut conn, std::slice::from_ref(&jdbc.convention));
     cassandra.install(&mut conn);
     mongo.install(&mut conn);
 

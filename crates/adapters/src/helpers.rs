@@ -73,7 +73,9 @@ fn conjunct_to_predicate(c: &RexNode) -> Option<ColPredicate> {
 /// Looks through CASTs (backends compare dynamically-typed values).
 fn strip_cast(e: &RexNode) -> &RexNode {
     match e {
-        RexNode::Call { op: Op::Cast, args, .. } => strip_cast(&args[0]),
+        RexNode::Call {
+            op: Op::Cast, args, ..
+        } => strip_cast(&args[0]),
         other => other,
     }
 }

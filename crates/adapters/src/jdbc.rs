@@ -345,7 +345,11 @@ mod tests {
     fn plan_pushes_filter_into_jdbc_convention() {
         let (conn, _) = connection();
         let plan = conn
-            .optimize(&conn.parse_to_rel("SELECT name FROM products WHERE price > 6").unwrap())
+            .optimize(
+                &conn
+                    .parse_to_rel("SELECT name FROM products WHERE price > 6")
+                    .unwrap(),
+            )
             .unwrap();
         let text = rcalcite_core::explain::explain(&plan);
         assert!(text.contains("[jdbc:mysql]"), "{text}");
@@ -388,7 +392,10 @@ mod tests {
         let t = schema.table("products").unwrap();
         assert_eq!(t.statistic().row_count, 3.0);
         assert_eq!(t.convention().name(), "jdbc:pg");
-        assert_eq!(t.row_type().field_names(), vec!["productid", "name", "price"]);
+        assert_eq!(
+            t.row_type().field_names(),
+            vec!["productid", "name", "price"]
+        );
     }
 
     #[test]

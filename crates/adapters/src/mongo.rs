@@ -47,9 +47,7 @@ impl Table for MongoTable {
 
     fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
         let docs = self.store.find(&FindQuery::all(&self.collection))?;
-        Ok(Box::new(
-            docs.into_iter().map(|d| vec![json_to_datum(&d)]),
-        ))
+        Ok(Box::new(docs.into_iter().map(|d| vec![json_to_datum(&d)])))
     }
 
     fn convention(&self) -> Convention {
@@ -126,8 +124,12 @@ fn datum_to_json(d: &Datum) -> Option<Json> {
 /// the `_MAP` column (`_MAP['loc'][0]` → `loc.0`); CASTs are transparent.
 fn rex_to_path(e: &RexNode) -> Option<String> {
     match e {
-        RexNode::Call { op: Op::Cast, args, .. } => rex_to_path(&args[0]),
-        RexNode::Call { op: Op::Item, args, .. } => {
+        RexNode::Call {
+            op: Op::Cast, args, ..
+        } => rex_to_path(&args[0]),
+        RexNode::Call {
+            op: Op::Item, args, ..
+        } => {
             let key = match args[1].as_literal()? {
                 Datum::Str(s) => s.to_string(),
                 Datum::Int(i) => i.to_string(),
@@ -242,9 +244,8 @@ impl MongoExecutor {
             }
             RelOp::Filter { condition } => {
                 self.build(rel.input(0), q)?;
-                let filters = rex_to_field_filters(condition).ok_or_else(|| {
-                    CalciteError::internal("mongo executor: unpushable filter")
-                })?;
+                let filters = rex_to_field_filters(condition)
+                    .ok_or_else(|| CalciteError::internal("mongo executor: unpushable filter"))?;
                 q.filter.extend(filters);
                 Ok(())
             }
@@ -265,9 +266,7 @@ impl ConventionExecutor for MongoExecutor {
         self.build(rel, &mut q)?;
         self.adapter.log.record(q.to_json().to_string());
         let docs = self.adapter.store.find(&q)?;
-        Ok(Box::new(
-            docs.into_iter().map(|d| vec![json_to_datum(&d)]),
-        ))
+        Ok(Box::new(docs.into_iter().map(|d| vec![json_to_datum(&d)])))
     }
 }
 
@@ -294,8 +293,7 @@ mod tests {
             vec![
                 Json::parse(r#"{"city": "AMSTERDAM", "loc": [4.89, 52.37], "pop": 821752}"#)
                     .unwrap(),
-                Json::parse(r#"{"city": "UTRECHT", "loc": [5.12, 52.09], "pop": 345080}"#)
-                    .unwrap(),
+                Json::parse(r#"{"city": "UTRECHT", "loc": [5.12, 52.09], "pop": 345080}"#).unwrap(),
                 Json::parse(r#"{"city": "DELFT", "loc": [4.36, 52.01], "pop": 101030}"#).unwrap(),
             ],
         );

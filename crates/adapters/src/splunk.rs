@@ -29,7 +29,10 @@ pub struct SplunkTable {
 
 impl Table for SplunkTable {
     fn row_type(&self) -> RowType {
-        let def = self.store.source_def(&self.source).expect("source vanished");
+        let def = self
+            .store
+            .source_def(&self.source)
+            .expect("source vanished");
         RowType::new(
             def.fields
                 .iter()
@@ -93,7 +96,10 @@ impl SplunkAdapter {
                 src.clone(),
                 Arc::new(SplunkTable {
                     store: self.store.clone(),
-                    stream: self.stream_sources.iter().any(|x| x.eq_ignore_ascii_case(&src)),
+                    stream: self
+                        .stream_sources
+                        .iter()
+                        .any(|x| x.eq_ignore_ascii_case(&src)),
                     source: src,
                     convention: self.convention.clone(),
                 }),
@@ -204,7 +210,10 @@ fn equi_pair(condition: &RexNode, left_arity: usize) -> Option<(usize, usize)> {
     if conjuncts.len() != 1 {
         return None;
     }
-    if let RexNode::Call { op: Op::Eq, args, .. } = &conjuncts[0] {
+    if let RexNode::Call {
+        op: Op::Eq, args, ..
+    } = &conjuncts[0]
+    {
         let a = args[0].as_input_ref()?;
         let b = args[1].as_input_ref()?;
         if a < left_arity && b >= left_arity {
@@ -240,7 +249,11 @@ impl Rule for SplunkJoinRule {
         if !join_node.convention.is_none() || left.convention != self.conv {
             return;
         }
-        let RelOp::Join { kind: JoinKind::Inner, condition } = &join_node.op else {
+        let RelOp::Join {
+            kind: JoinKind::Inner,
+            condition,
+        } = &join_node.op
+        else {
             return;
         };
         // Left side must be a shape the executor can turn into a search.
@@ -263,12 +276,7 @@ struct SplunkExecutor {
 }
 
 impl SplunkExecutor {
-    fn build_search(
-        &self,
-        rel: &Rel,
-        q: &mut Search,
-        def: &mut Option<SourceDef>,
-    ) -> Result<()> {
+    fn build_search(&self, rel: &Rel, q: &mut Search, def: &mut Option<SourceDef>) -> Result<()> {
         match &rel.op {
             RelOp::Scan { table } => {
                 q.source = table.name.clone();
@@ -280,17 +288,12 @@ impl SplunkExecutor {
                 let d = def.as_ref().ok_or_else(|| {
                     CalciteError::internal("splunk executor: filter without scan")
                 })?;
-                let preds = rex_to_predicates(condition).ok_or_else(|| {
-                    CalciteError::internal("splunk executor: unpushable filter")
-                })?;
+                let preds = rex_to_predicates(condition)
+                    .ok_or_else(|| CalciteError::internal("splunk executor: unpushable filter"))?;
                 for p in preds {
-                    let field = d
-                        .fields
-                        .get(p.col)
-                        .map(|(n, _)| n.clone())
-                        .ok_or_else(|| {
-                            CalciteError::internal("splunk executor: bad column index")
-                        })?;
+                    let field = d.fields.get(p.col).map(|(n, _)| n.clone()).ok_or_else(|| {
+                        CalciteError::internal("splunk executor: bad column index")
+                    })?;
                     q.terms.push(SearchTerm {
                         field,
                         op: p.op,
@@ -313,7 +316,10 @@ impl ConventionExecutor for SplunkExecutor {
 
     fn execute(&self, rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
         match &rel.op {
-            RelOp::Join { kind: JoinKind::Inner, condition } => {
+            RelOp::Join {
+                kind: JoinKind::Inner,
+                condition,
+            } => {
                 let left = rel.input(0);
                 let right = rel.input(1);
                 let left_arity = left.row_type().arity();
@@ -337,17 +343,14 @@ impl ConventionExecutor for SplunkExecutor {
                 for r in ext_rows {
                     index.entry(r[rk].clone()).or_default().push(r);
                 }
-                let resolve = move |key: &Datum| -> Vec<Row> {
-                    index.get(key).cloned().unwrap_or_default()
-                };
+                let resolve =
+                    move |key: &Datum| -> Vec<Row> { index.get(key).cloned().unwrap_or_default() };
                 let lookup = LookupStage {
                     key_field: key_field.clone(),
                     resolve: &resolve,
                     arity,
                 };
-                self.adapter
-                    .log
-                    .record(search.to_spl(Some(&key_field)));
+                self.adapter.log.record(search.to_spl(Some(&key_field)));
                 let rows = self.adapter.store.search_with_lookup(&search, &lookup)?;
                 Ok(Box::new(rows.into_iter()))
             }
@@ -383,7 +386,11 @@ mod tests {
 
     /// Builds the Figure 2 federation: Orders in "Splunk", Products in
     /// "MySQL".
-    fn figure2() -> (Connection, Arc<SplunkAdapter>, Arc<crate::jdbc::JdbcAdapter>) {
+    fn figure2() -> (
+        Connection,
+        Arc<SplunkAdapter>,
+        Arc<crate::jdbc::JdbcAdapter>,
+    ) {
         let logs = LogStore::new();
         logs.create_source(
             "orders",
@@ -428,7 +435,7 @@ mod tests {
         conn.add_rule(rcalcite_enumerable::implement_rule());
         conn.register_executor(Arc::new(rcalcite_enumerable::EnumerableExecutor::new()));
         jdbc.install(&mut conn);
-        splunk.install(&mut conn, &[jdbc.convention.clone()]);
+        splunk.install(&mut conn, std::slice::from_ref(&jdbc.convention));
         (conn, splunk, jdbc)
     }
 
@@ -502,7 +509,11 @@ mod tests {
         // sort (the §4 trait example).
         let (conn, _, _) = figure2();
         let plan = conn
-            .optimize(&conn.parse_to_rel("SELECT rowtime FROM orders ORDER BY rowtime").unwrap())
+            .optimize(
+                &conn
+                    .parse_to_rel("SELECT rowtime FROM orders ORDER BY rowtime")
+                    .unwrap(),
+            )
             .unwrap();
         let has_sort = find(&plan, &|n: &Rel| n.kind() == RelKind::Sort);
         assert!(!has_sort, "{}", rcalcite_core::explain::explain(&plan));

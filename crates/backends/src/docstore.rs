@@ -61,11 +61,7 @@ impl FindQuery {
         if let Some(proj) = &self.projection {
             q.insert(
                 "projection".to_string(),
-                Json::Obj(
-                    proj.iter()
-                        .map(|p| (p.clone(), Json::Num(1.0)))
-                        .collect(),
-                ),
+                Json::Obj(proj.iter().map(|p| (p.clone(), Json::Num(1.0))).collect()),
             );
         }
         if let Some(l) = self.limit {
@@ -166,7 +162,9 @@ impl DocStore {
         let mut out = vec![];
         for doc in docs {
             let ok = q.filter.iter().all(|f| match f.op {
-                CmpOp::IsNull => get_path(doc, &f.path).map(|v| v == &Json::Null).unwrap_or(true),
+                CmpOp::IsNull => get_path(doc, &f.path)
+                    .map(|v| v == &Json::Null)
+                    .unwrap_or(true),
                 CmpOp::IsNotNull => get_path(doc, &f.path)
                     .map(|v| v != &Json::Null)
                     .unwrap_or(false),

@@ -201,9 +201,8 @@ fn parse_value(c: &[char], pos: &mut usize) -> Result<Json> {
                             Some('/') => s.push('/'),
                             Some('u') => {
                                 let hex: String = c[*pos + 1..*pos + 5].iter().collect();
-                                let code = u32::from_str_radix(&hex, 16).map_err(|_| {
-                                    CalciteError::parse("bad \\u escape in JSON")
-                                })?;
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| CalciteError::parse("bad \\u escape in JSON"))?;
                                 s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                                 *pos += 4;
                             }
@@ -234,8 +233,7 @@ fn parse_value(c: &[char], pos: &mut usize) -> Result<Json> {
         _ => {
             let start = *pos;
             while *pos < c.len()
-                && (c[*pos].is_ascii_digit()
-                    || matches!(c[*pos], '-' | '+' | '.' | 'e' | 'E'))
+                && (c[*pos].is_ascii_digit() || matches!(c[*pos], '-' | '+' | '.' | 'e' | 'E'))
             {
                 *pos += 1;
             }

@@ -120,7 +120,12 @@ impl KvWideStore {
                 "kvwide: arity mismatch inserting into '{table}'"
             )));
         }
-        let key: Vec<Datum> = t.def.partition_key.iter().map(|i| row[*i].clone()).collect();
+        let key: Vec<Datum> = t
+            .def
+            .partition_key
+            .iter()
+            .map(|i| row[*i].clone())
+            .collect();
         let clustering = t.def.clustering.clone();
         let partition = t.partitions.entry(key).or_default();
         let pos = partition

@@ -164,9 +164,9 @@ impl LogStore {
     /// Executes a search, returning matching events in time order.
     pub fn search(&self, q: &Search) -> Result<Vec<Row>> {
         let sources = self.sources.read();
-        let s = sources
-            .get(&q.source.to_ascii_lowercase())
-            .ok_or_else(|| CalciteError::execution(format!("logstore: no source '{}'", q.source)))?;
+        let s = sources.get(&q.source.to_ascii_lowercase()).ok_or_else(|| {
+            CalciteError::execution(format!("logstore: no source '{}'", q.source))
+        })?;
         let mut out = vec![];
         for ev in &s.events {
             let ok = q.terms.iter().all(|t| {

@@ -159,8 +159,8 @@ impl MemDb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcalcite_core::datum::Datum;
     use crate::common::CmpOp;
+    use rcalcite_core::datum::Datum;
 
     fn db() -> Arc<MemDb> {
         let db = MemDb::new();

@@ -22,7 +22,13 @@ fn star_connection(n: usize) -> (Connection, Arc<MemTable>) {
             .add_not_null("units", TypeKind::Integer)
             .build(),
         (0..n as i64)
-            .map(|i| vec![Datum::Int(i % 100), Datum::Int(i % 8), Datum::Int(i % 20 + 1)])
+            .map(|i| {
+                vec![
+                    Datum::Int(i % 100),
+                    Datum::Int(i % 8),
+                    Datum::Int(i % 20 + 1),
+                ]
+            })
             .collect(),
     );
     let catalog = Catalog::new();
@@ -68,9 +74,11 @@ fn bench_matviews(c: &mut Criterion) {
         ));
         let mv_plan = conn.optimize(&conn.parse_to_rel(QUERY).unwrap()).unwrap();
         let ctx = conn.exec_context().clone();
-        g.bench_with_input(BenchmarkId::new("view_substitution", n), &mv_plan, |b, p| {
-            b.iter(|| black_box(ctx.execute_collect(p).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("view_substitution", n),
+            &mv_plan,
+            |b, p| b.iter(|| black_box(ctx.execute_collect(p).unwrap())),
+        );
 
         // (c) exact lattice tile.
         let (mut conn, fact2) = star_connection(n);

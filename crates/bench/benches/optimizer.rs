@@ -18,7 +18,6 @@ use rcalcite_core::traits::Convention;
 use std::hint::black_box;
 use std::time::Duration;
 
-
 fn bench_planners(c: &mut Criterion) {
     let mut g = c.benchmark_group("planners");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
@@ -31,19 +30,23 @@ fn bench_planners(c: &mut Criterion) {
                 black_box(hep.optimize_counted(plan, &mq))
             })
         });
-        g.bench_with_input(BenchmarkId::new("volcano_exhaustive", n), &plan, |b, plan| {
-            b.iter(|| {
-                let mq = MetadataQuery::standard();
-                let mut rules = default_logical_rules();
-                rules.extend(join_exploration_rules());
-                let mut v = VolcanoPlanner::new(rules);
-                v.add_rule(rcalcite_enumerable::implement_rule());
-                black_box(
-                    v.optimize_with_stats(plan, &Convention::enumerable(), &mq)
-                        .unwrap(),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("volcano_exhaustive", n),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let mq = MetadataQuery::standard();
+                    let mut rules = default_logical_rules();
+                    rules.extend(join_exploration_rules());
+                    let mut v = VolcanoPlanner::new(rules);
+                    v.add_rule(rcalcite_enumerable::implement_rule());
+                    black_box(
+                        v.optimize_with_stats(plan, &Convention::enumerable(), &mq)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("volcano_delta", n), &plan, |b, plan| {
             b.iter(|| {
                 let mq = MetadataQuery::standard();

@@ -38,7 +38,9 @@ fn bench_tumbling(c: &mut Criterion) {
     for n in [10_000usize, 50_000] {
         g.throughput(Throughput::Elements(n as u64));
         let conn = stream_conn(n);
-        let plan = conn.optimize(&conn.parse_to_rel(TUMBLE_SQL).unwrap()).unwrap();
+        let plan = conn
+            .optimize(&conn.parse_to_rel(TUMBLE_SQL).unwrap())
+            .unwrap();
         let ctx = conn.exec_context().clone();
         g.bench_with_input(BenchmarkId::new("sql_batch_replay", n), &plan, |b, p| {
             b.iter(|| black_box(ctx.execute_collect(p).unwrap()))
@@ -104,9 +106,7 @@ fn bench_stream_join(c: &mut Criterion) {
             .iter()
             .map(|o| {
                 vec![
-                    rcalcite_core::datum::Datum::Timestamp(
-                        o[0].as_millis().unwrap() + 500_000,
-                    ),
+                    rcalcite_core::datum::Datum::Timestamp(o[0].as_millis().unwrap() + 500_000),
                     o[1].clone(),
                 ]
             })
@@ -138,5 +138,10 @@ fn bench_stream_join(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tumbling, bench_window_assignment, bench_stream_join);
+criterion_group!(
+    benches,
+    bench_tumbling,
+    bench_window_assignment,
+    bench_stream_join
+);
 criterion_main!(benches);

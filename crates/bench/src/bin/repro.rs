@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper (see
 //! EXPERIMENTS.md for the index). Run all sections, or one with
-//! `cargo run -p rcalcite-bench --bin repro -- --fig2`.
+//! `cargo run -p rcalcite_bench --bin repro -- --fig2`.
 
 use rcalcite_adapters::demo::build_federation;
 use rcalcite_adapters::{load_model, FactoryRegistry};
@@ -64,10 +64,14 @@ fn main() -> Result<()> {
 fn fig1() -> Result<()> {
     banner("Figure 1 — architecture: two entry paths, one optimizer");
     let conn = figure4_connection(1_000, 20, 0.3);
-    let sql = "SELECT productid, COUNT(*) AS c FROM sales GROUP BY productid ORDER BY c DESC LIMIT 3";
+    let sql =
+        "SELECT productid, COUNT(*) AS c FROM sales GROUP BY productid ORDER BY c DESC LIMIT 3";
     println!("[SQL path]   query: {sql}");
     let logical = conn.parse_to_rel(sql)?;
-    println!("parser/validator -> relational expression:\n{}", explain(&logical));
+    println!(
+        "parser/validator -> relational expression:\n{}",
+        explain(&logical)
+    );
     let physical = conn.optimize(&logical)?;
     println!("optimizer -> physical plan:\n{}", explain(&physical));
     let rows = conn.exec_context().execute_collect(&physical)?;
@@ -99,7 +103,10 @@ fn fig2() -> Result<()> {
     println!("query: {sql}\n");
 
     let logical = fed.conn.parse_to_rel(sql)?;
-    println!("(a) logical plan — join in the 'logical' convention:\n{}", explain(&logical));
+    println!(
+        "(a) logical plan — join in the 'logical' convention:\n{}",
+        explain(&logical)
+    );
 
     let mq = fed.conn.metadata_query();
     let chosen = fed.conn.optimize(&logical)?;
@@ -187,11 +194,17 @@ fn fig4() -> Result<()> {
     let mq = MetadataQuery::standard();
     let hep = HepPlanner::new(default_logical_rules());
     let (after, fired) = hep.optimize_counted(&logical, &mq);
-    println!("(b) after {fired} rule firings — filter pushed below:\n{}", explain(&after));
+    println!(
+        "(b) after {fired} rule firings — filter pushed below:\n{}",
+        explain(&after)
+    );
 
     // Execution effect, sweeping the predicate selectivity.
     println!("selectivity sweep (fraction of sales with NULL discount = rows removed):");
-    println!("{:>12} {:>14} {:>14} {:>9}", "null_frac", "unoptimized", "optimized", "speedup");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "null_frac", "unoptimized", "optimized", "speedup"
+    );
     let mut interp = rcalcite_core::exec::ExecContext::new();
     rcalcite_enumerable::register_executors(&mut interp);
     for null_frac in [0.1, 0.5, 0.9, 0.99] {
@@ -227,14 +240,27 @@ fn table1() -> Result<()> {
     );
     let row = |sys: &str, drv: bool, pv: bool, alg: bool, eng: &str| {
         let c = |b: bool| if b { "yes" } else { "-" };
-        println!("{:<26} {:<7} {:<17} {:<10} {:<24}", sys, c(drv), c(pv), c(alg), eng);
+        println!(
+            "{:<26} {:<7} {:<17} {:<10} {:<24}",
+            sys,
+            c(drv),
+            c(pv),
+            c(alg),
+            eng
+        );
     };
     // Each row is exercised by an integration test / example in this repo.
     row("sql-host (quickstart)", true, true, true, "enumerable");
     row("builder-host (Pig-like)", false, false, true, "enumerable");
     row("streaming-host", true, true, true, "streams runtime");
     row("federated-host", true, true, true, "adapters + enumerable");
-    row("unparser-host (no engine)", false, true, true, "remote SQL via unparser");
+    row(
+        "unparser-host (no engine)",
+        false,
+        true,
+        true,
+        "remote SQL via unparser",
+    );
     row("linq4j-host", false, false, false, "linq4j iterators");
     println!("\n(each path is validated by tests; see tests/paper_examples.rs)");
     Ok(())
@@ -246,29 +272,40 @@ fn table2() -> Result<()> {
     let fed = build_federation(200, 10);
 
     fed.jdbc.log.clear();
-    fed.conn.query(
-        "SELECT name FROM mysql.products WHERE price > 50 ORDER BY price DESC LIMIT 3",
-    )?;
-    println!("JDBC (MySQL dialect):\n  {}", fed.jdbc.log.entries().join("\n  "));
+    fed.conn
+        .query("SELECT name FROM mysql.products WHERE price > 50 ORDER BY price DESC LIMIT 3")?;
+    println!(
+        "JDBC (MySQL dialect):\n  {}",
+        fed.jdbc.log.entries().join("\n  ")
+    );
 
     fed.cassandra.log.clear();
     fed.conn
         .query("SELECT ts, value FROM cass.readings WHERE device = 3 ORDER BY ts DESC LIMIT 5")?;
-    println!("\nCassandra (CQL):\n  {}", fed.cassandra.log.entries().join("\n  "));
+    println!(
+        "\nCassandra (CQL):\n  {}",
+        fed.cassandra.log.entries().join("\n  ")
+    );
 
     fed.mongo.log.clear();
     fed.conn.query(
         "SELECT CAST(_MAP['city'] AS varchar(20)) AS city FROM mongo_raw.zips \
          WHERE CAST(_MAP['pop'] AS integer) > 300000",
     )?;
-    println!("\nMongoDB (JSON):\n  {}", fed.mongo.log.entries().join("\n  "));
+    println!(
+        "\nMongoDB (JSON):\n  {}",
+        fed.mongo.log.entries().join("\n  ")
+    );
 
     fed.splunk.log.clear();
     fed.conn.query(
         "SELECT o.rowtime, p.name FROM orders o \
          JOIN mysql.products p ON o.productid = p.productid WHERE o.units > 40",
     )?;
-    println!("\nSplunk (SPL):\n  {}", fed.splunk.log.entries().join("\n  "));
+    println!(
+        "\nSplunk (SPL):\n  {}",
+        fed.splunk.log.entries().join("\n  ")
+    );
 
     // Postgres dialect from the same algebra (unparser flexibility).
     let conn2 = figure4_connection(10, 5, 0.5);
@@ -389,7 +426,11 @@ fn stream() -> Result<()> {
               COUNT(*) AS c, SUM(units) AS units FROM orders \
               GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productid ORDER BY 1, productid";
     let r = conn.query(q3)?;
-    println!("Q3 (tumbling aggregate): {} window rows; first: {:?}", r.rows.len(), r.rows[0]);
+    println!(
+        "Q3 (tumbling aggregate): {} window rows; first: {:?}",
+        r.rows.len(),
+        r.rows[0]
+    );
 
     // Q4: stream-to-stream join via the streaming runtime.
     let orders = generate_orders(1_000, 5, 1_000);

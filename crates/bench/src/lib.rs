@@ -113,8 +113,7 @@ pub fn join_chain(n_tables: usize, base_rows: usize) -> (Arc<Catalog>, Rel) {
     let mut plan = scans[0].clone();
     let mut left_arity = 2;
     for scan in scans.into_iter().skip(1) {
-        let cond =
-            RexNode::input(0, int_ty.clone()).eq(RexNode::input(left_arity, int_ty.clone()));
+        let cond = RexNode::input(0, int_ty.clone()).eq(RexNode::input(left_arity, int_ty.clone()));
         plan = rel::join(plan, scan, JoinKind::Inner, cond);
         left_arity += 2;
     }

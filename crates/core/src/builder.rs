@@ -76,7 +76,11 @@ impl<'a> RelBuilder<'a> {
         }
     }
 
-    pub fn count_column(distinct: bool, name: impl Into<String>, col: impl Into<String>) -> AggSpec {
+    pub fn count_column(
+        distinct: bool,
+        name: impl Into<String>,
+        col: impl Into<String>,
+    ) -> AggSpec {
         AggSpec {
             func: AggFunc::Count,
             distinct,
@@ -169,7 +173,9 @@ impl<'a> RelBuilder<'a> {
     /// input, offset into the concatenated join row.
     pub fn join_field(&self, side: usize, name: &str) -> Result<RexNode> {
         if self.stack.len() < 2 {
-            return Err(CalciteError::plan("join_field needs two inputs on the stack"));
+            return Err(CalciteError::plan(
+                "join_field needs two inputs on the stack",
+            ));
         }
         let left = &self.stack[self.stack.len() - 2];
         let right = &self.stack[self.stack.len() - 1];
@@ -371,7 +377,8 @@ impl<'a> RelBuilder<'a> {
     pub fn limit(mut self, offset: Option<usize>, fetch: Option<usize>) -> Self {
         match self.stack.pop() {
             Some(input) => {
-                self.stack.push(rel::sort_limit(input, vec![], offset, fetch));
+                self.stack
+                    .push(rel::sort_limit(input, vec![], offset, fetch));
                 self
             }
             None => self.fail(CalciteError::plan("limit on empty stack")),

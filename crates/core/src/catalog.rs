@@ -212,7 +212,10 @@ impl Schema {
 
     /// Removes a table; returns whether it existed.
     pub fn remove_table(&self, name: &str) -> bool {
-        self.tables.write().remove(&name.to_ascii_lowercase()).is_some()
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .is_some()
     }
 
     pub fn table(&self, name: &str) -> Option<Arc<dyn Table>> {

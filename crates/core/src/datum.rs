@@ -395,7 +395,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut v = vec![Datum::Int(1), Datum::Null, Datum::Int(-5)];
+        let mut v = [Datum::Int(1), Datum::Null, Datum::Int(-5)];
         v.sort();
         assert_eq!(v[0], Datum::Null);
         assert_eq!(v[1], Datum::Int(-5));
@@ -404,10 +404,7 @@ mod tests {
     #[test]
     fn sql_cmp_is_three_valued() {
         assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
-        assert_eq!(
-            Datum::Int(1).sql_cmp(&Datum::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Int(2)), Some(Ordering::Less));
     }
 
     #[test]

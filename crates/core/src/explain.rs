@@ -50,8 +50,7 @@ pub fn to_dot(rel: &Rel) -> String {
 fn dot_node(rel: &Rel, counter: &mut usize, out: &mut String) -> usize {
     let id = *counter;
     *counter += 1;
-    let label = format!("{}\\n[{}]", rel.op.payload_digest(), rel.convention)
-        .replace('"', "\\\"");
+    let label = format!("{}\\n[{}]", rel.op.payload_digest(), rel.convention).replace('"', "\\\"");
     let _ = writeln!(out, "  n{id} [label=\"{label}\"];");
     for i in &rel.inputs {
         let cid = dot_node(i, counter, out);

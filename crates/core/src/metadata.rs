@@ -148,7 +148,15 @@ impl MetadataQuery {
         }
     }
 
-    fn cached<T, F>(&self, rel: &Rel, kind: u8, aux: u64, wrap: fn(T) -> CacheVal, unwrap: fn(CacheVal) -> T, compute: F) -> T
+    fn cached<T, F>(
+        &self,
+        rel: &Rel,
+        kind: u8,
+        aux: u64,
+        wrap: fn(T) -> CacheVal,
+        unwrap: fn(CacheVal) -> T,
+        compute: F,
+    ) -> T
     where
         T: Clone,
         F: FnOnce() -> T,
@@ -377,8 +385,7 @@ impl DefaultMdProvider {
                     // plain column reference.
                     if let (Some(col), true) = (args[0].as_input_ref(), args[1].is_literal()) {
                         1.0 / mq.distinct_count(rel, &[col])
-                    } else if let (true, Some(col)) =
-                        (args[0].is_literal(), args[1].as_input_ref())
+                    } else if let (true, Some(col)) = (args[0].is_literal(), args[1].as_input_ref())
                     {
                         1.0 / mq.distinct_count(rel, &[col])
                     } else {
@@ -403,7 +410,10 @@ impl DefaultMdProvider {
         let left_arity = left.row_type().arity();
         let mut sel = 1.0;
         for c in cond.conjuncts() {
-            if let RexNode::Call { op: Op::Eq, args, .. } = &c {
+            if let RexNode::Call {
+                op: Op::Eq, args, ..
+            } = &c
+            {
                 if let (Some(a), Some(b)) = (args[0].as_input_ref(), args[1].as_input_ref()) {
                     let (lcol, rcol) = if a < left_arity && b >= left_arity {
                         (a, b - left_arity)
@@ -497,10 +507,7 @@ impl MetadataProvider for DefaultMdProvider {
         match &rel.op {
             RelOp::Scan { table } => {
                 let stat = table.table.statistic();
-                let unique = stat
-                    .keys
-                    .iter()
-                    .any(|k| k.iter().all(|c| cols.contains(c)));
+                let unique = stat.keys.iter().any(|k| k.iter().all(|c| cols.contains(c)));
                 if unique {
                     Some(rc)
                 } else {
@@ -563,7 +570,9 @@ impl MetadataProvider for DefaultMdProvider {
                 let n = mq.row_count(&rel.inputs[0]);
                 Cost::new(out_rows, n, 0.0, out_rows)
             }
-            RelOp::Sort { collation, fetch, .. } => {
+            RelOp::Sort {
+                collation, fetch, ..
+            } => {
                 let n = mq.row_count(&rel.inputs[0]);
                 if collation.is_empty() {
                     // Pure limit.
@@ -692,9 +701,9 @@ impl MetadataProvider for DefaultMdProvider {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::Convention;
     use crate::catalog::{MemTable, Statistic, TableRef};
     use crate::rel::{self, JoinKind};
+    use crate::traits::Convention;
     use crate::types::{RelType, RowTypeBuilder, TypeKind};
     use std::sync::Arc;
 
@@ -756,7 +765,7 @@ mod tests {
         let j = rel::join(facts, dims, JoinKind::Inner, cond);
         let rc = mq.row_count(&j);
         assert!(
-            rc >= 100.0 && rc <= 10_000.0,
+            (100.0..=10_000.0).contains(&rc),
             "rc = {rc} should be well below the 1e6 Cartesian product"
         );
     }

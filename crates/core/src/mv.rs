@@ -69,10 +69,9 @@ pub fn unify(node: &Rel, mat: &Materialization) -> Option<Rel> {
     match (&node.op, &mat.plan.op) {
         // Query filter over the view's exact input: compensate with the
         // full filter. (The pure-recursion case; cheap win.)
-        (RelOp::Filter { condition }, _) if same(node.input(0), &mat.plan) => Some(rel::filter(
-            rel::scan(mat.table.clone()),
-            condition.clone(),
-        )),
+        (RelOp::Filter { condition }, _) if same(node.input(0), &mat.plan) => {
+            Some(rel::filter(rel::scan(mat.table.clone()), condition.clone()))
+        }
 
         // Filter vs filter over the same input: residual-predicate
         // rewriting when the view's conjuncts are a subset of the query's.
@@ -85,10 +84,8 @@ pub fn unify(node: &Rel, mat: &Materialization) -> Option<Rel> {
             if !all_covered {
                 return None;
             }
-            let residual: Vec<RexNode> = q
-                .into_iter()
-                .filter(|c| !v.contains(&c.digest()))
-                .collect();
+            let residual: Vec<RexNode> =
+                q.into_iter().filter(|c| !v.contains(&c.digest())).collect();
             Some(rel::filter(
                 rel::scan(mat.table.clone()),
                 RexNode::and_all(residual),
@@ -98,7 +95,10 @@ pub fn unify(node: &Rel, mat: &Materialization) -> Option<Rel> {
         // Project vs project over the same input: column remapping when
         // every query expression appears in the view output.
         (
-            RelOp::Project { exprs: eq, names: nq },
+            RelOp::Project {
+                exprs: eq,
+                names: nq,
+            },
             RelOp::Project { exprs: ev, .. },
         ) if same(node.input(0), mat.plan.input(0)) => {
             let view_rt = mat.table.table.row_type();
@@ -107,20 +107,20 @@ pub fn unify(node: &Rel, mat: &Materialization) -> Option<Rel> {
                 let pos = ev.iter().position(|ve| ve.digest() == e.digest())?;
                 out.push(RexNode::input(pos, view_rt.field(pos).ty.clone()));
             }
-            Some(rel::project(
-                rel::scan(mat.table.clone()),
-                out,
-                nq.clone(),
-            ))
+            Some(rel::project(rel::scan(mat.table.clone()), out, nq.clone()))
         }
 
         // Aggregate rollup: query groups by a subset of the view's keys.
         (
-            RelOp::Aggregate { group: gq, aggs: aq },
-            RelOp::Aggregate { group: gv, aggs: av },
-        ) if same(node.input(0), mat.plan.input(0)) => {
-            rollup(node, mat, gq, aq, gv, av)
-        }
+            RelOp::Aggregate {
+                group: gq,
+                aggs: aq,
+            },
+            RelOp::Aggregate {
+                group: gv,
+                aggs: av,
+            },
+        ) if same(node.input(0), mat.plan.input(0)) => rollup(node, mat, gq, aq, gv, av),
         _ => None,
     }
 }

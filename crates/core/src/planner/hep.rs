@@ -81,11 +81,7 @@ impl HepPlanner {
         if rel.inputs.is_empty() {
             return rel.clone();
         }
-        let new_inputs: Vec<Rel> = rel
-            .inputs
-            .iter()
-            .map(|i| self.pass(i, mq, fired))
-            .collect();
+        let new_inputs: Vec<Rel> = rel.inputs.iter().map(|i| self.pass(i, mq, fired)).collect();
         let changed = new_inputs
             .iter()
             .zip(rel.inputs.iter())

@@ -100,7 +100,10 @@ mod tests {
             Convention::enumerable(),
         )));
         let program = Program::new()
-            .add_phase("normalize", Box::new(HepPlanner::new(default_logical_rules())))
+            .add_phase(
+                "normalize",
+                Box::new(HepPlanner::new(default_logical_rules())),
+            )
             .add_phase("physical", Box::new(volcano));
         assert_eq!(program.phase_names(), vec!["normalize", "physical"]);
 

@@ -293,8 +293,7 @@ impl VolcanoPlanner {
                     if let FixpointMode::CostThreshold { delta, patience } = self.mode {
                         if since_check >= check_interval {
                             since_check = 0;
-                            if let Ok((_, cost)) =
-                                self.extract(&mut memo, root_group, required, mq)
+                            if let Ok((_, cost)) = self.extract(&mut memo, root_group, required, mq)
                             {
                                 let v = mq.cost_model().weigh(&cost);
                                 let improvement = (checkpoint_cost - v) / checkpoint_cost.max(1e-9);
@@ -359,7 +358,9 @@ impl VolcanoPlanner {
         for c in &self.converters {
             if c.from == conv && c.to != conv {
                 let key = Memo::expr_key(
-                    &RelOp::Convert { from: c.from.clone() },
+                    &RelOp::Convert {
+                        from: c.from.clone(),
+                    },
                     &c.to,
                     &[group],
                 );
@@ -367,7 +368,9 @@ impl VolcanoPlanner {
                     continue;
                 }
                 let eid = memo.add_expr(
-                    RelOp::Convert { from: c.from.clone() },
+                    RelOp::Convert {
+                        from: c.from.clone(),
+                    },
                     c.to.clone(),
                     vec![group],
                     group,
@@ -509,8 +512,7 @@ impl VolcanoPlanner {
         }
         // Non-cumulative costs from materialized nodes (children = reprs).
         let mut own_cost: Vec<Cost> = Vec::with_capacity(n_exprs);
-        for e in 0..n_exprs {
-            let (_, ref conv, ref children, _) = expr_info[e];
+        for (e, (_, conv, children, _)) in expr_info.iter().enumerate() {
             let child_reprs: Vec<Rel> = children
                 .iter()
                 .map(|g| memo.groups[*g].repr.clone())
@@ -692,7 +694,9 @@ mod tests {
 
     fn planner_with_enumerable(rules: Vec<Arc<dyn Rule>>) -> VolcanoPlanner {
         let mut p = VolcanoPlanner::new(rules);
-        p.add_rule(Arc::new(UniversalImplementRule::new(Convention::enumerable())));
+        p.add_rule(Arc::new(UniversalImplementRule::new(
+            Convention::enumerable(),
+        )));
         p
     }
 
@@ -843,7 +847,10 @@ mod tests {
         // Registering the same tree twice must not duplicate groups.
         let mut memo = Memo::new();
         let t = table("t", 100.0, &["a"]);
-        let f1 = rel::filter(t.clone(), RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)));
+        let f1 = rel::filter(
+            t.clone(),
+            RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)),
+        );
         let f2 = rel::filter(t, RexNode::input(0, int_ty()).gt(RexNode::lit_int(1)));
         let mut created = vec![];
         let g1 = memo.register(&f1, &mut created);

@@ -108,7 +108,13 @@ pub struct AggCall {
 }
 
 impl AggCall {
-    pub fn new(func: AggFunc, args: Vec<usize>, distinct: bool, name: impl Into<String>, input: &RowType) -> AggCall {
+    pub fn new(
+        func: AggFunc,
+        args: Vec<usize>,
+        distinct: bool,
+        name: impl Into<String>,
+        input: &RowType,
+    ) -> AggCall {
         let arg_ty = args.first().map(|i| &input.field(*i).ty);
         AggCall {
             ty: func.ret_type(arg_ty),
@@ -255,7 +261,11 @@ impl fmt::Display for WindowFn {
             write!(f, "${p}")?;
         }
         write!(f, "] order=[{}]", collation_to_string(&self.order))?;
-        write!(f, " frame={:?}:{:?}..{:?})", self.frame.mode, self.frame.lower, self.frame.upper)
+        write!(
+            f,
+            " frame={:?}:{:?}..{:?})",
+            self.frame.mode, self.frame.lower, self.frame.upper
+        )
     }
 }
 
@@ -263,13 +273,29 @@ impl fmt::Display for WindowFn {
 #[derive(Clone)]
 pub enum RelOp {
     /// Scan of a catalog table.
-    Scan { table: TableRef },
+    Scan {
+        table: TableRef,
+    },
     /// Literal rows.
-    Values { row_type: RowType, tuples: Vec<Row> },
-    Filter { condition: RexNode },
-    Project { exprs: Vec<RexNode>, names: Vec<String> },
-    Join { kind: JoinKind, condition: RexNode },
-    Aggregate { group: Vec<usize>, aggs: Vec<AggCall> },
+    Values {
+        row_type: RowType,
+        tuples: Vec<Row>,
+    },
+    Filter {
+        condition: RexNode,
+    },
+    Project {
+        exprs: Vec<RexNode>,
+        names: Vec<String>,
+    },
+    Join {
+        kind: JoinKind,
+        condition: RexNode,
+    },
+    Aggregate {
+        group: Vec<usize>,
+        aggs: Vec<AggCall>,
+    },
     /// Sort with optional OFFSET/FETCH; a pure LIMIT is a Sort with an
     /// empty collation.
     Sort {
@@ -277,17 +303,27 @@ pub enum RelOp {
         offset: Option<usize>,
         fetch: Option<usize>,
     },
-    Window { functions: Vec<WindowFn> },
-    Union { all: bool },
-    Intersect { all: bool },
-    Minus { all: bool },
+    Window {
+        functions: Vec<WindowFn>,
+    },
+    Union {
+        all: bool,
+    },
+    Intersect {
+        all: bool,
+    },
+    Minus {
+        all: bool,
+    },
     /// Streaming delta (§7.2): interest in *incoming* records. Produced by
     /// the STREAM keyword.
     Delta,
     /// Calling-convention converter: executes its input in `from` and hands
     /// rows to the enclosing convention. Inserted by the Volcano planner
     /// when the cheapest plan crosses engines.
-    Convert { from: Convention },
+    Convert {
+        from: Convention,
+    },
 }
 
 /// Fieldless discriminant of `RelOp`, used by rule patterns.
@@ -360,7 +396,11 @@ impl RelOp {
             RelOp::Aggregate { group, aggs } => {
                 let g: Vec<String> = group.iter().map(|i| format!("${i}")).collect();
                 let a: Vec<String> = aggs.iter().map(|c| format!("{}={}", c.name, c)).collect();
-                format!("Aggregate(group=[{}], aggs=[{}])", g.join(", "), a.join(", "))
+                format!(
+                    "Aggregate(group=[{}], aggs=[{}])",
+                    g.join(", "),
+                    a.join(", ")
+                )
             }
             RelOp::Sort {
                 collation,
@@ -432,7 +472,8 @@ impl RelNode {
 
     /// The output row type, derived once and cached.
     pub fn row_type(&self) -> &RowType {
-        self.row_type.get_or_init(|| derive_row_type(&self.op, &self.inputs))
+        self.row_type
+            .get_or_init(|| derive_row_type(&self.op, &self.inputs))
     }
 
     /// Rebuilds this node with new inputs (same op and convention).
@@ -485,9 +526,7 @@ fn derive_row_type(op: &RelOp, inputs: &[Rel]) -> RowType {
     match op {
         RelOp::Scan { table } => table.table.row_type(),
         RelOp::Values { row_type, .. } => row_type.clone(),
-        RelOp::Filter { .. } | RelOp::Delta | RelOp::Convert { .. } => {
-            inputs[0].row_type().clone()
-        }
+        RelOp::Filter { .. } | RelOp::Delta | RelOp::Convert { .. } => inputs[0].row_type().clone(),
         RelOp::Project { exprs, names } => RowType::new(
             exprs
                 .iter()

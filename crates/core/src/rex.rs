@@ -48,7 +48,8 @@ impl FunctionRegistry {
     }
 
     pub fn register(&mut self, udf: ScalarUdf) {
-        self.fns.insert(udf.name.to_ascii_uppercase(), Arc::new(udf));
+        self.fns
+            .insert(udf.name.to_ascii_uppercase(), Arc::new(udf));
     }
 
     pub fn lookup(&self, name: &str) -> Option<Arc<ScalarUdf>> {
@@ -302,6 +303,9 @@ impl RexNode {
         RexNode::call(Op::Le, vec![self, other])
     }
 
+    // Named for SQL's NOT, deliberately mirroring the builder methods
+    // around it rather than `std::ops::Not` (which takes `!e` syntax).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> RexNode {
         RexNode::call(Op::Not, vec![self])
     }
@@ -391,7 +395,9 @@ impl RexNode {
         let mut out = vec![];
         fn walk(e: &RexNode, out: &mut Vec<RexNode>) {
             match e {
-                RexNode::Call { op: Op::And, args, .. } => {
+                RexNode::Call {
+                    op: Op::And, args, ..
+                } => {
                     for a in args {
                         walk(a, out);
                     }
@@ -827,9 +833,7 @@ fn eval_arith(op: &Op, a: &Datum, b: &Datum) -> Result<Datum> {
         (Op::Minus, Interval(i1), Interval(i2)) => return Ok(Interval(i1 - i2)),
         // Timestamp % interval: offset into the current tumbling window
         // (used by the TUMBLE desugaring, §7.2).
-        (Op::Mod, Timestamp(t), Interval(i)) if *i != 0 => {
-            return Ok(Interval(t.rem_euclid(*i)))
-        }
+        (Op::Mod, Timestamp(t), Interval(i)) if *i != 0 => return Ok(Interval(t.rem_euclid(*i))),
         _ => {}
     }
     match (a, b) {
@@ -943,18 +947,18 @@ fn eval_cast(v: &Datum, ty: &RelType) -> Result<Datum> {
         TypeKind::Date => match v {
             Datum::Date(_) => Ok(v.clone()),
             Datum::Timestamp(ms) => Ok(Datum::Date(ms.div_euclid(86_400_000) as i32)),
-            Datum::Str(s) => parse_date(s).map(Datum::Date).ok_or_else(|| {
-                CalciteError::execution(format!("cannot CAST '{s}' to DATE"))
-            }),
+            Datum::Str(s) => parse_date(s)
+                .map(Datum::Date)
+                .ok_or_else(|| CalciteError::execution(format!("cannot CAST '{s}' to DATE"))),
             _ => fail(),
         },
         TypeKind::Timestamp => match v {
             Datum::Timestamp(_) => Ok(v.clone()),
             Datum::Date(d) => Ok(Datum::Timestamp(*d as i64 * 86_400_000)),
             Datum::Int(i) => Ok(Datum::Timestamp(*i)),
-            Datum::Str(s) => parse_timestamp(s).map(Datum::Timestamp).ok_or_else(|| {
-                CalciteError::execution(format!("cannot CAST '{s}' to TIMESTAMP"))
-            }),
+            Datum::Str(s) => parse_timestamp(s)
+                .map(Datum::Timestamp)
+                .ok_or_else(|| CalciteError::execution(format!("cannot CAST '{s}' to TIMESTAMP"))),
             _ => fail(),
         },
         TypeKind::Interval => match v {
@@ -1227,7 +1231,10 @@ mod tests {
         let a = RexNode::input(0, int_ty()).gt(RexNode::lit_int(1));
         let b = RexNode::input(1, int_ty()).lt(RexNode::lit_int(5));
         let c = RexNode::input(2, int_ty()).eq(RexNode::lit_int(3));
-        let e = RexNode::and_all(vec![a.clone(), RexNode::and_all(vec![b.clone(), c.clone()])]);
+        let e = RexNode::and_all(vec![
+            a.clone(),
+            RexNode::and_all(vec![b.clone(), c.clone()]),
+        ]);
         let cj = e.conjuncts();
         assert_eq!(cj.len(), 3);
         assert_eq!(cj[0], a);
@@ -1295,7 +1302,10 @@ mod tests {
         let e = RexNode::call(
             Op::Plus,
             vec![
-                RexNode::literal(Datum::Timestamp(1000), RelType::not_null(TypeKind::Timestamp)),
+                RexNode::literal(
+                    Datum::Timestamp(1000),
+                    RelType::not_null(TypeKind::Timestamp),
+                ),
                 RexNode::literal(Datum::Interval(500), RelType::not_null(TypeKind::Interval)),
             ],
         );

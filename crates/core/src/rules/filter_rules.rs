@@ -52,19 +52,24 @@ impl Rule for FilterIntoJoinRule {
         let filter = call.rel(0);
         let join_node = call.rel(1);
         let (condition, (kind, join_cond)) = match (&filter.op, &join_node.op) {
-            (RelOp::Filter { condition }, RelOp::Join { kind, condition: jc }) => {
-                (condition.clone(), (*kind, jc.clone()))
-            }
+            (
+                RelOp::Filter { condition },
+                RelOp::Join {
+                    kind,
+                    condition: jc,
+                },
+            ) => (condition.clone(), (*kind, jc.clone())),
             _ => return,
         };
         let left = join_node.input(0).clone();
         let right = join_node.input(1).clone();
         let left_arity = left.row_type().arity();
-        let total = left_arity + if kind.projects_right() {
-            right.row_type().arity()
-        } else {
-            0
-        };
+        let total = left_arity
+            + if kind.projects_right() {
+                right.row_type().arity()
+            } else {
+                0
+            };
         let (l, r, mixed) = split_join_condition(condition.conjuncts(), left_arity, total);
 
         // Legality per join kind: a conjunct may move below the join only
@@ -76,8 +81,16 @@ impl Rule for FilterIntoJoinRule {
         // only.
         let can_merge_mixed = kind == JoinKind::Inner;
 
-        let (push_l, keep_l) = if can_push_left { (l, vec![]) } else { (vec![], l) };
-        let (push_r, keep_r) = if can_push_right { (r, vec![]) } else { (vec![], r) };
+        let (push_l, keep_l) = if can_push_left {
+            (l, vec![])
+        } else {
+            (vec![], l)
+        };
+        let (push_r, keep_r) = if can_push_right {
+            (r, vec![])
+        } else {
+            (vec![], r)
+        };
         let (merge_m, keep_m) = if can_merge_mixed {
             (mixed, vec![])
         } else {
@@ -347,7 +360,10 @@ mod tests {
         // Condition on the right side of a LEFT join must not move below.
         let filt = rel::filter(join, RexNode::input(1, int_ty()).gt(RexNode::lit_int(0)));
         let results = fire(&FilterIntoJoinRule, &filt);
-        assert!(results.is_empty(), "no legal push for right side of LEFT join");
+        assert!(
+            results.is_empty(),
+            "no legal push for right side of LEFT join"
+        );
         // But a left-side condition is pushable.
         let join2 = call_join_left();
         let filt2 = rel::filter(join2, RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
@@ -408,11 +424,7 @@ mod tests {
     #[test]
     fn filter_aggregate_transpose_group_keys_only() {
         let t = table("t", &["k", "v"]);
-        let agg = rel::aggregate(
-            t,
-            vec![0],
-            vec![AggCall::count_star("c")],
-        );
+        let agg = rel::aggregate(t, vec![0], vec![AggCall::count_star("c")]);
         // k > 3 (group key, pushable) AND c > 1 (aggregate result, not).
         let cond = RexNode::and_all(vec![
             RexNode::input(0, int_ty()).gt(RexNode::lit_int(3)),
@@ -448,7 +460,12 @@ mod tests {
         assert_eq!(new.input(0).kind(), RelKind::Filter);
 
         // With a fetch the rule must not fire.
-        let limited = rel::sort_limit(t, vec![crate::traits::FieldCollation::asc(0)], None, Some(5));
+        let limited = rel::sort_limit(
+            t,
+            vec![crate::traits::FieldCollation::asc(0)],
+            None,
+            Some(5),
+        );
         let f2 = rel::filter(limited, RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
         assert!(fire(&FilterSortTransposeRule, &f2).is_empty());
     }

@@ -122,10 +122,10 @@ impl Rule for JoinAssociateRule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rel::Rel;
     use crate::catalog::{MemTable, TableRef};
     use crate::datum::Datum;
     use crate::metadata::MetadataQuery;
+    use crate::rel::Rel;
     use crate::types::{RelType, RowTypeBuilder, TypeKind};
 
     fn int_ty() -> RelType {

@@ -6,21 +6,20 @@
 mod agg_rules;
 mod filter_rules;
 mod join_rules;
-mod prune_rules;
 mod project_rules;
+mod prune_rules;
 mod sort_rules;
 
 pub use agg_rules::{AggregateProjectMergeRule, AggregateRemoveRule};
 pub use filter_rules::{
-    FilterAggregateTransposeRule, FilterIntoJoinRule, FilterMergeRule,
-    FilterProjectTransposeRule, FilterSortTransposeRule, FilterUnionTransposeRule,
+    FilterAggregateTransposeRule, FilterIntoJoinRule, FilterMergeRule, FilterProjectTransposeRule,
+    FilterSortTransposeRule, FilterUnionTransposeRule,
 };
 pub use join_rules::{JoinAssociateRule, JoinCommuteRule};
-pub use prune_rules::{
-    JoinReduceExpressionsRule, ProjectReduceExpressionsRule, PruneEmptyRule,
-    ReduceExpressionsRule,
-};
 pub use project_rules::{ProjectMergeRule, ProjectRemoveRule};
+pub use prune_rules::{
+    JoinReduceExpressionsRule, ProjectReduceExpressionsRule, PruneEmptyRule, ReduceExpressionsRule,
+};
 pub use sort_rules::{SortMergeRule, SortProjectTransposeRule, SortRemoveRule};
 
 use crate::metadata::MetadataQuery;
@@ -244,11 +243,12 @@ mod tests {
         let s = scan();
         let binds = p.match_tree(&s).unwrap();
         assert_eq!(binds.len(), 1);
-        assert!(p.match_tree(&rel::filter(
-            s,
-            RexNode::input(0, RelType::not_null(TypeKind::Integer)).gt(RexNode::lit_int(1))
-        ))
-        .is_none());
+        assert!(p
+            .match_tree(&rel::filter(
+                s,
+                RexNode::input(0, RelType::not_null(TypeKind::Integer)).gt(RexNode::lit_int(1))
+            ))
+            .is_none());
     }
 
     #[test]

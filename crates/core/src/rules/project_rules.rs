@@ -18,14 +18,16 @@ impl Rule for ProjectMergeRule {
     fn on_match(&self, call: &mut RuleCall) {
         let (top, bottom) = (call.rel(0), call.rel(1));
         if let (
-            RelOp::Project { exprs: top_exprs, names },
-            RelOp::Project { exprs: bot_exprs, .. },
+            RelOp::Project {
+                exprs: top_exprs,
+                names,
+            },
+            RelOp::Project {
+                exprs: bot_exprs, ..
+            },
         ) = (&top.op, &bottom.op)
         {
-            let composed = top_exprs
-                .iter()
-                .map(|e| e.substitute(bot_exprs))
-                .collect();
+            let composed = top_exprs.iter().map(|e| e.substitute(bot_exprs)).collect();
             call.transform_to(rel::project(
                 bottom.input(0).clone(),
                 composed,

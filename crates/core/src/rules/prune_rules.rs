@@ -79,12 +79,7 @@ impl Rule for JoinReduceExpressionsRule {
             if s.is_always_false() && matches!(kind, JoinKind::Inner | JoinKind::Semi) {
                 call.transform_to(rel::empty(j.row_type().clone()));
             } else if s.digest() != condition.digest() {
-                call.transform_to(rel::join(
-                    j.input(0).clone(),
-                    j.input(1).clone(),
-                    *kind,
-                    s,
-                ));
+                call.transform_to(rel::join(j.input(0).clone(), j.input(1).clone(), *kind, s));
             }
         }
     }
@@ -120,13 +115,12 @@ impl Rule for PruneEmptyRule {
             | RelOp::Sort { .. }
             | RelOp::Window { .. }
             | RelOp::Delta => call.transform_to(empty()),
-            RelOp::Aggregate { group, .. } => {
+            RelOp::Aggregate { group, .. }
                 // GROUP BY of nothing over nothing is one row; grouped
                 // aggregation over nothing is nothing.
-                if !group.is_empty() {
+                if !group.is_empty() => {
                     call.transform_to(empty());
                 }
-            }
             RelOp::Join { kind, .. } => {
                 let left_empty = is_empty_values(n.input(0));
                 let right_empty = is_empty_values(n.input(1));
@@ -157,11 +151,10 @@ impl Rule for PruneEmptyRule {
                 }
             }
             RelOp::Intersect { .. } => call.transform_to(empty()),
-            RelOp::Minus { .. } => {
-                if is_empty_values(n.input(0)) {
+            RelOp::Minus { .. }
+                if is_empty_values(n.input(0)) => {
                     call.transform_to(empty());
                 }
-            }
             _ => {}
         }
     }
@@ -218,10 +211,7 @@ mod tests {
 
     #[test]
     fn constant_true_filter_vanishes() {
-        let f = rel::filter(
-            table(),
-            RexNode::lit_int(1).eq(RexNode::lit_int(1)),
-        );
+        let f = rel::filter(table(), RexNode::lit_int(1).eq(RexNode::lit_int(1)));
         let new = fire(&ReduceExpressionsRule, &f).pop().unwrap();
         assert_eq!(new.kind(), RelKind::Scan);
     }
@@ -259,7 +249,10 @@ mod tests {
     #[test]
     fn empty_propagates_through_filter_and_inner_join() {
         let e = rel::empty(table().row_type().clone());
-        let f = rel::filter(e.clone(), RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)));
+        let f = rel::filter(
+            e.clone(),
+            RexNode::input(0, int_ty()).gt(RexNode::lit_int(0)),
+        );
         assert!(is_empty_values(&fire(&PruneEmptyRule, &f).pop().unwrap()));
 
         let j = rel::join(e.clone(), table(), JoinKind::Inner, RexNode::true_lit());
@@ -273,11 +266,17 @@ mod tests {
     #[test]
     fn global_aggregate_over_empty_not_pruned() {
         let e = rel::empty(table().row_type().clone());
-        let agg = rel::aggregate(e.clone(), vec![], vec![crate::rel::AggCall::count_star("c")]);
+        let agg = rel::aggregate(
+            e.clone(),
+            vec![],
+            vec![crate::rel::AggCall::count_star("c")],
+        );
         assert!(fire(&PruneEmptyRule, &agg).is_empty());
         // Grouped aggregate over empty IS pruned.
         let agg2 = rel::aggregate(e, vec![0], vec![]);
-        assert!(is_empty_values(&fire(&PruneEmptyRule, &agg2).pop().unwrap()));
+        assert!(is_empty_values(
+            &fire(&PruneEmptyRule, &agg2).pop().unwrap()
+        ));
     }
 
     #[test]

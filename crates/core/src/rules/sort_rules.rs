@@ -59,15 +59,18 @@ impl Rule for SortMergeRule {
 
     fn on_match(&self, call: &mut RuleCall) {
         let (top, bottom) = (call.rel(0), call.rel(1));
-        let (RelOp::Sort {
-            collation: c_top,
-            offset: o_top,
-            fetch: f_top,
-        }, RelOp::Sort {
-            collation: c_bot,
-            offset: o_bot,
-            fetch: f_bot,
-        }) = (&top.op, &bottom.op)
+        let (
+            RelOp::Sort {
+                collation: c_top,
+                offset: o_top,
+                fetch: f_top,
+            },
+            RelOp::Sort {
+                collation: c_bot,
+                offset: o_bot,
+                fetch: f_bot,
+            },
+        ) = (&top.op, &bottom.op)
         else {
             return;
         };
@@ -177,9 +180,7 @@ mod tests {
                 .build(),
             vec![],
         )
-        .with_statistic(
-            Statistic::of_rows(100.0).with_collation(vec![FieldCollation::asc(0)]),
-        );
+        .with_statistic(Statistic::of_rows(100.0).with_collation(vec![FieldCollation::asc(0)]));
         rel::scan(TableRef::new("s", "t", t))
     }
 

@@ -96,7 +96,10 @@ fn simplify_and(args: Vec<RexNode>) -> RexNode {
     let mut seen = std::collections::HashSet::new();
     for a in args {
         // Flatten nested ANDs.
-        let parts = if let RexNode::Call { op: Op::And, args, .. } = &a {
+        let parts = if let RexNode::Call {
+            op: Op::And, args, ..
+        } = &a
+        {
             args.clone()
         } else {
             vec![a]
@@ -120,7 +123,10 @@ fn simplify_or(args: Vec<RexNode>) -> RexNode {
     let mut out: Vec<RexNode> = vec![];
     let mut seen = std::collections::HashSet::new();
     for a in args {
-        let parts = if let RexNode::Call { op: Op::Or, args, .. } = &a {
+        let parts = if let RexNode::Call {
+            op: Op::Or, args, ..
+        } = &a
+        {
             args.clone()
         } else {
             vec![a]
@@ -148,15 +154,14 @@ fn simplify_not(mut args: Vec<RexNode>) -> RexNode {
             Datum::Null => a.clone().not(),
             _ => a.not(),
         },
-        RexNode::Call { op, args: inner, .. } => match op {
+        RexNode::Call {
+            op, args: inner, ..
+        } => match op {
             // Double negation.
             Op::Not => inner[0].clone(),
             // NOT(a < b) => a >= b  — only valid under 2-valued logic,
             // which holds when both operands are non-nullable.
-            _ if op.is_comparison()
-                && !inner[0].ty().nullable
-                && !inner[1].ty().nullable =>
-            {
+            _ if op.is_comparison() && !inner[0].ty().nullable && !inner[1].ty().nullable => {
                 RexNode::call(op.negated().unwrap(), inner.clone())
             }
             _ => a.not(),
@@ -220,7 +225,10 @@ mod tests {
     fn does_not_fold_division_by_zero() {
         let e = RexNode::call(Op::Divide, vec![RexNode::lit_int(1), RexNode::lit_int(0)]);
         let s = simplify(&e);
-        assert!(!s.is_literal(), "division by zero must stay a runtime error");
+        assert!(
+            !s.is_literal(),
+            "division by zero must stay a runtime error"
+        );
     }
 
     #[test]
@@ -320,7 +328,9 @@ mod tests {
         );
         let s = simplify(&e);
         match &s {
-            RexNode::Call { op: Op::Case, args, .. } => assert_eq!(args.len(), 3),
+            RexNode::Call {
+                op: Op::Case, args, ..
+            } => assert_eq!(args.len(), 3),
             other => panic!("expected CASE, got {other}"),
         }
     }

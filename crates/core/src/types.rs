@@ -292,10 +292,7 @@ mod tests {
     fn timestamp_plus_interval() {
         let ts = RelType::not_null(TypeKind::Timestamp);
         let iv = RelType::not_null(TypeKind::Interval);
-        assert_eq!(
-            ts.least_restrictive(&iv).unwrap().kind,
-            TypeKind::Timestamp
-        );
+        assert_eq!(ts.least_restrictive(&iv).unwrap().kind, TypeKind::Timestamp);
     }
 
     #[test]

@@ -115,7 +115,9 @@ pub fn execute_node(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
                 Some(f) => (start + f).min(rows.len()),
                 None => rows.len(),
             };
-            Ok(Box::new(rows.drain(start..end).collect::<Vec<_>>().into_iter()))
+            Ok(Box::new(
+                rows.drain(start..end).collect::<Vec<_>>().into_iter(),
+            ))
         }
         RelOp::Window { functions } => {
             let input: Vec<Row> = child(0)?.collect();
@@ -187,9 +189,7 @@ pub fn execute_node(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
                         // removes the row entirely.
                     }
                     _ => {
-                        if *all {
-                            out.push(r);
-                        } else if emitted.insert(r.clone()) {
+                        if *all || emitted.insert(r.clone()) {
                             out.push(r);
                         }
                     }
@@ -204,7 +204,11 @@ pub fn execute_node(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
     }
 }
 
-fn execute_node_dispatch(rel: &Rel, ctx: &ExecContext, parent_conv: &Convention) -> Result<RowIter> {
+fn execute_node_dispatch(
+    rel: &Rel,
+    ctx: &ExecContext,
+    parent_conv: &Convention,
+) -> Result<RowIter> {
     if rel.convention == *parent_conv || matches!(rel.op, RelOp::Convert { .. }) {
         execute_node(rel, ctx)
     } else {
@@ -250,7 +254,9 @@ pub fn compare_rows(a: &Row, b: &Row, collation: &Collation) -> Ordering {
 
 fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
     let mut seen = HashSet::new();
-    rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+    rows.into_iter()
+        .filter(|r| seen.insert(r.clone()))
+        .collect()
 }
 
 /// Extracts equi-join key pairs from a condition; returns (left keys,
@@ -263,7 +269,10 @@ fn extract_equi_keys(
     let mut rk = vec![];
     let mut residual = vec![];
     for c in condition.conjuncts() {
-        if let RexNode::Call { op: Op::Eq, args, .. } = &c {
+        if let RexNode::Call {
+            op: Op::Eq, args, ..
+        } = &c
+        {
             if let (Some(a), Some(b)) = (args[0].as_input_ref(), args[1].as_input_ref()) {
                 if a < left_arity && b >= left_arity {
                     lk.push(a);
@@ -296,7 +305,8 @@ fn execute_join(
 
     // Build a hash table on the right side (equi keys) or fall back to
     // nested loops.
-    let probe_matches: Box<dyn Fn(&Row) -> Vec<usize>> = if lk.is_empty() {
+    type ProbeFn = Box<dyn Fn(&Row) -> Vec<usize>>;
+    let probe_matches: ProbeFn = if lk.is_empty() {
         let n = right.len();
         Box::new(move |_l: &Row| (0..n).collect())
     } else {
@@ -323,9 +333,7 @@ fn execute_join(
         for ri in probe_matches(l) {
             let mut combined = l.clone();
             combined.extend(right[ri].iter().cloned());
-            if residual.is_always_true()
-                || matches!(residual.eval(&combined)?, Datum::Bool(true))
-            {
+            if residual.is_always_true() || matches!(residual.eval(&combined)?, Datum::Bool(true)) {
                 out.push(ri);
             }
         }
@@ -346,7 +354,7 @@ fn execute_join(
                 }
                 if matches.is_empty() && matches!(kind, JoinKind::Left | JoinKind::Full) {
                     let mut row = l.clone();
-                    row.extend(std::iter::repeat(Datum::Null).take(right_arity));
+                    row.extend(std::iter::repeat_n(Datum::Null, right_arity));
                     out.push(row);
                 }
             }
@@ -365,7 +373,7 @@ fn execute_join(
     if matches!(kind, JoinKind::Right | JoinKind::Full) {
         for (ri, matched) in right_matched.iter().enumerate() {
             if !matched {
-                let mut row: Row = std::iter::repeat(Datum::Null).take(left_arity).collect();
+                let mut row: Row = std::iter::repeat_n(Datum::Null, left_arity).collect();
                 row.extend(right[ri].iter().cloned());
                 out.push(row);
             }
@@ -491,8 +499,9 @@ fn add_datums(a: &Datum, b: &Datum) -> Result<Datum> {
 }
 
 fn execute_aggregate(input: Vec<Row>, group: &[usize], aggs: &[AggCall]) -> Result<RowIter> {
-    // Group rows.
-    let mut groups: Vec<(Vec<Datum>, Vec<Acc>, Vec<HashSet<Vec<Datum>>>)> = vec![];
+    // Group rows: key, one accumulator per agg, one distinct-set per agg.
+    type GroupState = (Vec<Datum>, Vec<Acc>, Vec<HashSet<Vec<Datum>>>);
+    let mut groups: Vec<GroupState> = vec![];
     let mut index: HashMap<Vec<Datum>, usize> = HashMap::new();
 
     let make_accs = || -> (Vec<Acc>, Vec<HashSet<Vec<Datum>>>) {
@@ -582,8 +591,7 @@ fn execute_window(input: Vec<Row>, functions: &[WindowFn]) -> Result<RowIter> {
                         let mut acc = Acc::new(func);
                         for p in lo..=hi {
                             let row = &input[idxs[p]];
-                            let arg: Option<Datum> =
-                                wf.args.first().map(|i| row[*i].clone());
+                            let arg: Option<Datum> = wf.args.first().map(|i| row[*i].clone());
                             acc.add(arg.as_ref())?;
                         }
                         results[fi][ri] = acc.finish();
@@ -632,11 +640,8 @@ fn frame_bounds(
         }
         FrameMode::Range => {
             // RANGE frames measure distance on the first ordering key.
-            let key_col = wf
-                .order
-                .first()
-                .map(|fc| fc.field)
-                .ok_or_else(|| {
+            let key_col =
+                wf.order.first().map(|fc| fc.field).ok_or_else(|| {
                     CalciteError::execution("RANGE frame requires an ORDER BY key")
                 })?;
             let cur = input[idxs[pos]][key_col]
@@ -737,8 +742,7 @@ mod tests {
         let plan = rel::project(
             rel::filter(
                 emp(),
-                RexNode::input(1, RelType::nullable(TypeKind::Integer))
-                    .gt(RexNode::lit_int(150)),
+                RexNode::input(1, RelType::nullable(TypeKind::Integer)).gt(RexNode::lit_int(150)),
             ),
             vec![RexNode::input(0, int_ty())],
             vec!["deptno".into()],
@@ -845,8 +849,18 @@ mod tests {
         assert_eq!(
             rows,
             vec![
-                vec![Datum::Int(10), Datum::Int(2), Datum::Int(300), Datum::Int(2)],
-                vec![Datum::Int(20), Datum::Int(2), Datum::Int(300), Datum::Int(1)],
+                vec![
+                    Datum::Int(10),
+                    Datum::Int(2),
+                    Datum::Int(300),
+                    Datum::Int(2)
+                ],
+                vec![
+                    Datum::Int(20),
+                    Datum::Int(2),
+                    Datum::Int(300),
+                    Datum::Int(1)
+                ],
             ]
         );
 
@@ -941,10 +955,16 @@ mod tests {
         };
         let plan = rel::window(emp(), vec![wf]);
         let mut rows = run(&plan);
-        rows.sort_by(|a, b| compare_rows(a, b, &vec![
-            rcalcite_core::traits::FieldCollation::asc(0),
-            rcalcite_core::traits::FieldCollation::asc(1),
-        ]));
+        rows.sort_by(|a, b| {
+            compare_rows(
+                a,
+                b,
+                &vec![
+                    rcalcite_core::traits::FieldCollation::asc(0),
+                    rcalcite_core::traits::FieldCollation::asc(1),
+                ],
+            )
+        });
         // dept 10: sal 100 -> 100; sal 200 -> 300.
         let d10: Vec<&Row> = rows.iter().filter(|r| r[0] == Datum::Int(10)).collect();
         assert_eq!(d10[0][2], Datum::Int(100));
@@ -974,7 +994,10 @@ mod tests {
                 vec![Datum::Int(3), Datum::Int(20)],
             ],
         );
-        let plan = rel::window(t, vec![mk(WinFunc::RowNumber, "rn"), mk(WinFunc::Rank, "rk")]);
+        let plan = rel::window(
+            t,
+            vec![mk(WinFunc::RowNumber, "rn"), mk(WinFunc::Rank, "rk")],
+        );
         let mut rows = run(&plan);
         rows.sort_by(|a, b| a[2].cmp(&b[2]));
         assert_eq!(rows[0][2], Datum::Int(1));

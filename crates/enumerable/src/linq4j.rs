@@ -32,11 +32,11 @@ impl<T> Enumerable<T> {
     }
 
     pub fn any(&self, pred: impl Fn(&T) -> bool) -> bool {
-        self.items.iter().any(|t| pred(t))
+        self.items.iter().any(pred)
     }
 
     pub fn all(&self, pred: impl Fn(&T) -> bool) -> bool {
-        self.items.iter().all(|t| pred(t))
+        self.items.iter().all(pred)
     }
 
     pub fn first(&self) -> Option<&T> {
@@ -58,10 +58,7 @@ impl<T> Enumerable<T> {
     }
 
     /// LINQ `SelectMany`: projects and flattens.
-    pub fn select_many<U, I: IntoIterator<Item = U>>(
-        self,
-        f: impl Fn(T) -> I,
-    ) -> Enumerable<U> {
+    pub fn select_many<U, I: IntoIterator<Item = U>>(self, f: impl Fn(T) -> I) -> Enumerable<U> {
         Enumerable {
             items: self.items.into_iter().flat_map(f).collect(),
         }
@@ -75,7 +72,7 @@ impl<T> Enumerable<T> {
 
     /// LINQ `OrderByDescending` (stable).
     pub fn order_by_desc<K: Ord>(mut self, key: impl Fn(&T) -> K) -> Enumerable<T> {
-        self.items.sort_by(|a, b| key(b).cmp(&key(a)));
+        self.items.sort_by_key(|a| std::cmp::Reverse(key(a)));
         self
     }
 
@@ -225,18 +222,24 @@ mod tests {
 
     fn emps() -> Enumerable<Emp> {
         Enumerable::from(vec![
-            Emp { deptno: 10, sal: 100 },
-            Emp { deptno: 10, sal: 200 },
-            Emp { deptno: 20, sal: 300 },
+            Emp {
+                deptno: 10,
+                sal: 100,
+            },
+            Emp {
+                deptno: 10,
+                sal: 200,
+            },
+            Emp {
+                deptno: 20,
+                sal: 300,
+            },
         ])
     }
 
     #[test]
     fn where_select_pipeline() {
-        let names: Vec<i64> = emps()
-            .where_(|e| e.sal > 150)
-            .select(|e| e.deptno)
-            .to_vec();
+        let names: Vec<i64> = emps().where_(|e| e.sal > 150).select(|e| e.deptno).to_vec();
         assert_eq!(names, vec![10, 20]);
     }
 

@@ -200,9 +200,16 @@ fn st_envelope(args: &[Datum]) -> Result<Datum> {
     ])))
 }
 
+/// One `ST_*` registration: name, return-type derivation, evaluator.
+type GeoFnDef = (
+    &'static str,
+    fn(&[RelType]) -> RelType,
+    fn(&[Datum]) -> Result<Datum>,
+);
+
 /// Registers the `ST_*` family into a function registry.
 pub fn register(registry: &mut FunctionRegistry) {
-    let defs: Vec<(&str, fn(&[RelType]) -> RelType, fn(&[Datum]) -> Result<Datum>)> = vec![
+    let defs: Vec<GeoFnDef> = vec![
         ("ST_GeomFromText", ret_geometry, st_geom_from_text),
         ("ST_AsText", ret_varchar, st_as_text),
         ("ST_Point", ret_geometry, st_point),
@@ -249,8 +256,7 @@ mod tests {
 
     #[test]
     fn contains_and_within_are_inverse() {
-        let poly = st_geom_from_text(&[Datum::str("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")])
-            .unwrap();
+        let poly = st_geom_from_text(&[Datum::str("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")]).unwrap();
         let p = st_point(&[Datum::Double(1.0), Datum::Double(1.0)]).unwrap();
         assert_eq!(
             st_contains(&[poly.clone(), p.clone()]).unwrap(),
@@ -271,11 +277,13 @@ mod tests {
     #[test]
     fn coordinates_and_measures() {
         let p = st_point(&[Datum::Double(3.5), Datum::Double(-1.0)]).unwrap();
-        assert_eq!(st_x(&[p.clone()]).unwrap(), Datum::Double(3.5));
+        assert_eq!(st_x(std::slice::from_ref(&p)).unwrap(), Datum::Double(3.5));
         assert_eq!(st_y(&[p]).unwrap(), Datum::Double(-1.0));
-        let sq = st_geom_from_text(&[Datum::str("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")])
-            .unwrap();
-        assert_eq!(st_area(&[sq.clone()]).unwrap(), Datum::Double(4.0));
+        let sq = st_geom_from_text(&[Datum::str("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")]).unwrap();
+        assert_eq!(
+            st_area(std::slice::from_ref(&sq)).unwrap(),
+            Datum::Double(4.0)
+        );
         assert_eq!(st_length(&[sq]).unwrap(), Datum::Double(8.0));
     }
 

@@ -111,7 +111,8 @@ impl Geometry {
     /// within this geometry.
     pub fn contains(&self, other: &Geometry) -> bool {
         match self {
-            Geometry::Polygon(ring) => other
+            Geometry::Polygon(ring) => {
+                other
                 .coords()
                 .iter()
                 .all(|c| Self::polygon_contains_point(ring, c))
@@ -122,7 +123,8 @@ impl Geometry {
                         !rings_cross(ring, oring)
                     }
                     Geometry::Point(_) => true,
-                },
+                }
+            }
             Geometry::Point(a) => matches!(other, Geometry::Point(b) if a == b),
             Geometry::LineString(cs) => match other {
                 Geometry::Point(p) => cs.windows(2).any(|w| point_on_segment(p, &w[0], &w[1])),
@@ -156,7 +158,10 @@ impl Geometry {
                 }
                 match (a, b) {
                     (Geometry::Polygon(ring), other2) => {
-                        other2.coords().iter().any(|c| Self::polygon_contains_point(ring, c))
+                        other2
+                            .coords()
+                            .iter()
+                            .any(|c| Self::polygon_contains_point(ring, c))
                             || matches!(other2, Geometry::Polygon(oring)
                                 if a.coords().iter().any(|c| Self::polygon_contains_point(oring, c)))
                     }
@@ -184,8 +189,8 @@ impl Geometry {
             if len2 == 0.0 {
                 return p.distance(u);
             }
-            let t = (((p.x - u.x) * (v.x - u.x) + (p.y - u.y) * (v.y - u.y)) / len2)
-                .clamp(0.0, 1.0);
+            let t =
+                (((p.x - u.x) * (v.x - u.x) + (p.y - u.y) * (v.y - u.y)) / len2).clamp(0.0, 1.0);
             let proj = Coord::new(u.x + t * (v.x - u.x), u.y + t * (v.y - u.y));
             p.distance(&proj)
         };

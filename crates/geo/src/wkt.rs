@@ -32,7 +32,9 @@ pub fn parse_wkt(text: &str) -> Result<Geometry> {
             .ok_or_else(|| CalciteError::parse("POLYGON requires a double-parenthesized ring"))?;
         let mut coords = parse_coord_list(ring_src)?;
         if coords.len() < 3 {
-            return Err(CalciteError::parse("POLYGON ring requires >= 3 coordinates"));
+            return Err(CalciteError::parse(
+                "POLYGON ring requires >= 3 coordinates",
+            ));
         }
         // Close the ring if needed.
         if coords.first() != coords.last() {
@@ -63,9 +65,7 @@ fn parse_coord_list(src: &str) -> Result<Vec<Coord>> {
     for part in src.split(',') {
         let nums: Vec<&str> = part.split_whitespace().collect();
         if nums.len() != 2 {
-            return Err(CalciteError::parse(format!(
-                "bad WKT coordinate '{part}'"
-            )));
+            return Err(CalciteError::parse(format!("bad WKT coordinate '{part}'")));
         }
         let x: f64 = nums[0]
             .parse()
@@ -109,10 +109,8 @@ mod tests {
     #[test]
     fn parse_paper_amsterdam_polygon() {
         // Verbatim from §7.3.
-        let g = parse_wkt(
-            "POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33, 4.82 52.33, 4.82 52.43))",
-        )
-        .unwrap();
+        let g = parse_wkt("POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33, 4.82 52.33, 4.82 52.43))")
+            .unwrap();
         match &g {
             Geometry::Polygon(ring) => {
                 assert_eq!(ring.len(), 5);

@@ -88,7 +88,10 @@ pub enum SelectItem {
     Wildcard,
     /// `alias.*`
     QualifiedWildcard(String),
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,7 +164,10 @@ pub enum Lit {
     /// `TIMESTAMP 'YYYY-MM-DD HH:MM:SS'`
     Timestamp(String),
     /// `INTERVAL '<n>' <unit>`
-    Interval { value: String, unit: TimeUnit },
+    Interval {
+        value: String,
+        unit: TimeUnit,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

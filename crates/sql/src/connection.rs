@@ -249,10 +249,7 @@ impl Connection {
                 let text = explain_with_costs(&physical, &mq);
                 Ok(QueryResult {
                     columns: vec!["PLAN".into()],
-                    rows: text
-                        .lines()
-                        .map(|l| vec![Datum::str(l)])
-                        .collect(),
+                    rows: text.lines().map(|l| vec![Datum::str(l)]).collect(),
                 })
             }
             Stmt::Query(q) => {
@@ -415,9 +412,7 @@ mod tests {
         let mut conn = Connection::new(catalog);
         // Wire in the enumerable engine the way a host system would.
         conn.add_rule(rcalcite_enumerable::implement_rule());
-        conn.register_executor(Arc::new(
-            rcalcite_enumerable::EnumerableExecutor::new(),
-        ));
+        conn.register_executor(Arc::new(rcalcite_enumerable::EnumerableExecutor::new()));
         conn
     }
 
@@ -440,7 +435,9 @@ mod tests {
     #[test]
     fn explain_returns_physical_plan() {
         let conn = connection();
-        let text = conn.explain("SELECT deptno FROM emp WHERE sal > 150").unwrap();
+        let text = conn
+            .explain("SELECT deptno FROM emp WHERE sal > 150")
+            .unwrap();
         assert!(text.contains("[enumerable]"), "{text}");
         assert!(text.contains("rows="), "{text}");
     }
@@ -456,7 +453,9 @@ mod tests {
     #[test]
     fn query_result_table_format() {
         let conn = connection();
-        let r = conn.query("SELECT deptno FROM emp ORDER BY deptno LIMIT 1").unwrap();
+        let r = conn
+            .query("SELECT deptno FROM emp ORDER BY deptno LIMIT 1")
+            .unwrap();
         let table = r.to_table();
         assert!(table.contains("deptno"));
         assert!(table.contains("10"));
@@ -467,10 +466,12 @@ mod tests {
         let mut conn = connection();
         let sql = "SELECT deptno, SUM(sal) AS total FROM emp GROUP BY deptno ORDER BY deptno";
         let reference = conn.query(sql).unwrap();
-        conn.set_fixpoint_mode(rcalcite_core::planner::volcano::FixpointMode::CostThreshold {
-            delta: 0.05,
-            patience: 2,
-        });
+        conn.set_fixpoint_mode(
+            rcalcite_core::planner::volcano::FixpointMode::CostThreshold {
+                delta: 0.05,
+                patience: 2,
+            },
+        );
         assert_eq!(conn.query(sql).unwrap(), reference);
         conn.set_metadata_cache(false);
         assert_eq!(conn.query(sql).unwrap(), reference);

@@ -24,11 +24,7 @@ pub struct Converter<'a> {
 }
 
 /// Converts a parsed query into a logical plan.
-pub fn query_to_rel(
-    catalog: &Catalog,
-    functions: &FunctionRegistry,
-    query: &Query,
-) -> Result<Rel> {
+pub fn query_to_rel(catalog: &Catalog, functions: &FunctionRegistry, query: &Query) -> Result<Rel> {
     static NO_VIEWS: std::sync::OnceLock<std::collections::HashMap<String, Rel>> =
         std::sync::OnceLock::new();
     let views = NO_VIEWS.get_or_init(std::collections::HashMap::new);
@@ -137,7 +133,12 @@ impl<'a> Converter<'a> {
     fn convert_set_expr(&self, body: &SetExpr) -> Result<(Rel, Vec<Option<Expr>>)> {
         match body {
             SetExpr::Select(s) => Ok((self.convert_select(s, &[], None, None)?, vec![])),
-            SetExpr::SetOp { op, all, left, right } => {
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 let (l, _) = self.convert_set_expr(left)?;
                 let (r, _) = self.convert_set_expr(right)?;
                 if l.row_type().arity() != r.row_type().arity() {
@@ -178,9 +179,7 @@ impl<'a> Converter<'a> {
                         None => row_type = Some(RowType::new(fields)),
                         Some(rt) => {
                             if rt.arity() != datums.len() {
-                                return Err(CalciteError::validate(
-                                    "VALUES rows differ in arity",
-                                ));
+                                return Err(CalciteError::validate("VALUES rows differ in arity"));
                             }
                         }
                     }
@@ -237,7 +236,7 @@ impl<'a> Converter<'a> {
                 SelectItem::Expr { expr, .. } => contains_agg(expr),
                 _ => false,
             })
-            || s.having.as_ref().map(|h| contains_agg(h)).unwrap_or(false);
+            || s.having.as_ref().map(contains_agg).unwrap_or(false);
 
         let out = if has_agg {
             if s.stream {
@@ -405,8 +404,7 @@ impl<'a> Converter<'a> {
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
-                    let rex =
-                        self.to_rex_with_windows(expr, scope, &windows, base_arity, &rel_)?;
+                    let rex = self.to_rex_with_windows(expr, scope, &windows, base_arity, &rel_)?;
                     names.push(derive_name(alias.as_deref(), expr, i));
                     exprs.push(rex);
                     asts.push(Some(expr.clone()));
@@ -414,14 +412,10 @@ impl<'a> Converter<'a> {
             }
         }
         let n_visible = exprs.len();
-        let collation = self.resolve_order_items(
-            order_by,
-            &mut exprs,
-            &mut names,
-            &asts,
-            n_visible,
-            &|e| self.to_rex_with_windows(e, scope, &windows, base_arity, &rel_),
-        )?;
+        let collation =
+            self.resolve_order_items(order_by, &mut exprs, &mut names, &asts, n_visible, &|e| {
+                self.to_rex_with_windows(e, scope, &windows, base_arity, &rel_)
+            })?;
         // `SELECT *` with nothing else: skip the identity projection.
         if s.items.len() == 1
             && matches!(s.items[0], SelectItem::Wildcard)
@@ -457,9 +451,7 @@ impl<'a> Converter<'a> {
             if let Expr::Func { name, args, .. } = g {
                 if name.eq_ignore_ascii_case("TUMBLE") {
                     if args.len() != 2 {
-                        return Err(CalciteError::validate(
-                            "TUMBLE takes (timestamp, interval)",
-                        ));
+                        return Err(CalciteError::validate("TUMBLE takes (timestamp, interval)"));
                     }
                     let ts = self.to_rex(&args[0], scope)?;
                     let iv = self.to_rex(&args[1], scope)?;
@@ -494,8 +486,7 @@ impl<'a> Converter<'a> {
 
         // 3. Pre-projection: group expressions then aggregate arguments.
         let mut pre_exprs: Vec<RexNode> = group_rex.clone();
-        let mut pre_names: Vec<String> =
-            (0..group_rex.len()).map(|i| format!("g${i}")).collect();
+        let mut pre_names: Vec<String> = (0..group_rex.len()).map(|i| format!("g${i}")).collect();
         let mut agg_calls: Vec<AggCall> = vec![];
         for (i, a) in aggs.iter().enumerate() {
             let args = match &a.arg {
@@ -555,14 +546,10 @@ impl<'a> Converter<'a> {
             }
         }
         let n_visible = exprs.len();
-        let collation = self.resolve_order_items(
-            order_by,
-            &mut exprs,
-            &mut names,
-            &asts,
-            n_visible,
-            &|e| self.rewrite_post_agg(e, scope, &post),
-        )?;
+        let collation =
+            self.resolve_order_items(order_by, &mut exprs, &mut names, &asts, n_visible, &|e| {
+                self.rewrite_post_agg(e, scope, &post)
+            })?;
         Ok(SelectOutput {
             rel: rel::project(rel_, exprs, names),
             n_visible,
@@ -595,9 +582,7 @@ impl<'a> Converter<'a> {
                             )));
                         }
                         if contains_agg(&args[0]) {
-                            return Err(CalciteError::validate(
-                                "aggregate calls cannot be nested",
-                            ));
+                            return Err(CalciteError::validate("aggregate calls cannot be nested"));
                         }
                         Some(self.to_rex(&args[0], scope)?)
                     };
@@ -662,10 +647,7 @@ impl<'a> Converter<'a> {
                 let target = tumble_start(ts, ms).digest();
                 for (i, g) in post.group_rex.iter().enumerate() {
                     if post.tumble_info[i] == Some(ms) && g.digest() == target {
-                        let key = RexNode::input(
-                            i,
-                            post.agg_node.row_type().field(i).ty.clone(),
-                        );
+                        let key = RexNode::input(i, post.agg_node.row_type().field(i).ty.clone());
                         return Ok(if name.eq_ignore_ascii_case("TUMBLE_END") {
                             RexNode::call_typed(
                                 Op::Plus,
@@ -772,7 +754,12 @@ impl<'a> Converter<'a> {
                 }
                 Ok(RexNode::call(Op::Case, args))
             }
-            Expr::Func { name, args, over: None, .. } => {
+            Expr::Func {
+                name,
+                args,
+                over: None,
+                ..
+            } => {
                 // Scalar function over rewritten arguments.
                 let mut rex_args = vec![];
                 for a in args {
@@ -852,9 +839,7 @@ impl<'a> Converter<'a> {
                             let (li, lty) = resolve_in_range(&joined, c, 0, left_arity)?;
                             let (ri, rty) =
                                 resolve_in_range(&joined, c, left_arity, joined.arity())?;
-                            conds.push(
-                                RexNode::input(li, lty).eq(RexNode::input(ri, rty)),
-                            );
+                            conds.push(RexNode::input(li, lty).eq(RexNode::input(ri, rty)));
                         }
                         RexNode::and_all(conds)
                     }
@@ -929,8 +914,7 @@ impl<'a> Converter<'a> {
                 let e_ = self.to_rex(expr, scope)?;
                 let lo = self.to_rex(low, scope)?;
                 let hi = self.to_rex(high, scope)?;
-                let between =
-                    RexNode::and_all(vec![e_.clone().ge(lo), e_.le(hi)]);
+                let between = RexNode::and_all(vec![e_.clone().ge(lo), e_.le(hi)]);
                 Ok(if *negated { between.not() } else { between })
             }
             Expr::InList {
@@ -1043,9 +1027,7 @@ impl<'a> Converter<'a> {
             let ty = (udf.ret_type)(&tys);
             return Ok(RexNode::call_typed(Op::Udf(udf), args, ty));
         }
-        Err(CalciteError::validate(format!(
-            "unknown function '{name}'"
-        )))
+        Err(CalciteError::validate(format!("unknown function '{name}'")))
     }
 
     fn binary_rex(&self, op: BinOp, l: RexNode, r: RexNode) -> Result<RexNode> {
@@ -1071,14 +1053,14 @@ impl<'a> Converter<'a> {
                 require_boolean(&l, "AND/OR")?;
                 require_boolean(&r, "AND/OR")?;
             }
-            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
-                if l.ty().least_restrictive(r.ty()).is_none() {
-                    return Err(CalciteError::validate(format!(
-                        "cannot compare {} with {}",
-                        l.ty(),
-                        r.ty()
-                    )));
-                }
+            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge
+                if l.ty().least_restrictive(r.ty()).is_none() =>
+            {
+                return Err(CalciteError::validate(format!(
+                    "cannot compare {} with {}",
+                    l.ty(),
+                    r.ty()
+                )));
             }
             Op::Plus | Op::Minus | Op::Times | Op::Divide | Op::Mod => {
                 let lk = &l.ty().kind;
@@ -1159,12 +1141,8 @@ impl<'a> Converter<'a> {
                 let frame = self.convert_frame(&spec.frame, !order.is_empty(), scope)?;
                 let idx = scope.arity() + wfs.len();
                 let ty = match func {
-                    WinFunc::RowNumber | WinFunc::Rank => {
-                        RelType::not_null(TypeKind::Integer)
-                    }
-                    WinFunc::Agg(a) => a.ret_type(
-                        arg_cols.first().map(|c| &scope.cols[*c].ty),
-                    ),
+                    WinFunc::RowNumber | WinFunc::Rank => RelType::not_null(TypeKind::Integer),
+                    WinFunc::Agg(a) => a.ret_type(arg_cols.first().map(|c| &scope.cols[*c].ty)),
                 };
                 wfs.push(WindowFn {
                     func,
@@ -1210,12 +1188,8 @@ impl<'a> Converter<'a> {
                 AstFrameBound::UnboundedPreceding => FrameBound::UnboundedPreceding,
                 AstFrameBound::CurrentRow => FrameBound::CurrentRow,
                 AstFrameBound::UnboundedFollowing => FrameBound::UnboundedFollowing,
-                AstFrameBound::Preceding(e) => {
-                    FrameBound::Preceding(self.frame_offset(e, scope)?)
-                }
-                AstFrameBound::Following(e) => {
-                    FrameBound::Following(self.frame_offset(e, scope)?)
-                }
+                AstFrameBound::Preceding(e) => FrameBound::Preceding(self.frame_offset(e, scope)?),
+                AstFrameBound::Following(e) => FrameBound::Following(self.frame_offset(e, scope)?),
             })
         };
         let lower = conv(&f.lower)?;
@@ -1267,7 +1241,8 @@ impl<'a> Converter<'a> {
                 Err(CalciteError::internal("uncollected window call"))
             }
             Expr::Binary { op, left, right } => {
-                let l = self.to_rex_with_windows(left, scope, windows, _base_arity, windowed_rel)?;
+                let l =
+                    self.to_rex_with_windows(left, scope, windows, _base_arity, windowed_rel)?;
                 let r =
                     self.to_rex_with_windows(right, scope, windows, _base_arity, windowed_rel)?;
                 self.binary_rex(*op, l, r)
@@ -1555,8 +1530,8 @@ mod tests {
     fn select_star_and_qualified_star() {
         let rel_ = to_rel("SELECT * FROM products").unwrap();
         assert_eq!(rel_.kind(), RelKind::Scan);
-        let rel_ = to_rel("SELECT p.* FROM products p JOIN sales s ON p.productid = s.productid")
-            .unwrap();
+        let rel_ =
+            to_rel("SELECT p.* FROM products p JOIN sales s ON p.productid = s.productid").unwrap();
         assert_eq!(rel_.row_type().arity(), 2);
     }
 
@@ -1574,10 +1549,8 @@ mod tests {
 
     #[test]
     fn group_expr_arithmetic_matched_in_select() {
-        let rel_ = to_rel(
-            "SELECT productid + 1, COUNT(*) FROM sales GROUP BY productid + 1",
-        )
-        .unwrap();
+        let rel_ =
+            to_rel("SELECT productid + 1, COUNT(*) FROM sales GROUP BY productid + 1").unwrap();
         assert_eq!(rel_.row_type().arity(), 2);
     }
 
@@ -1642,23 +1615,23 @@ mod tests {
 
     #[test]
     fn union_and_values() {
-        let rel_ = to_rel("SELECT productid FROM sales UNION SELECT productid FROM products")
-            .unwrap();
+        let rel_ =
+            to_rel("SELECT productid FROM sales UNION SELECT productid FROM products").unwrap();
         assert_eq!(rel_.kind(), RelKind::Union);
         let rel_ = to_rel("VALUES (1, 'a'), (2, 'b')").unwrap();
         assert_eq!(rel_.kind(), RelKind::Values);
         assert_eq!(rel_.row_type().arity(), 2);
         // Arity mismatch.
-        assert!(to_rel("SELECT productid FROM sales UNION SELECT productid, units FROM sales")
-            .is_err());
+        assert!(
+            to_rel("SELECT productid FROM sales UNION SELECT productid, units FROM sales").is_err()
+        );
     }
 
     #[test]
     fn subquery_scope() {
-        let rel_ = to_rel(
-            "SELECT n FROM (SELECT name AS n FROM products) AS sub WHERE n LIKE 'a%'",
-        )
-        .unwrap();
+        let rel_ =
+            to_rel("SELECT n FROM (SELECT name AS n FROM products) AS sub WHERE n LIKE 'a%'")
+                .unwrap();
         assert_eq!(rel_.row_type().field_names(), vec!["n"]);
     }
 
@@ -1680,20 +1653,18 @@ mod tests {
 
     #[test]
     fn window_function_in_select() {
-        let rel_ = to_rel(
-            "SELECT productid, SUM(units) OVER (PARTITION BY productid) AS s FROM sales",
-        )
-        .unwrap();
+        let rel_ =
+            to_rel("SELECT productid, SUM(units) OVER (PARTITION BY productid) AS s FROM sales")
+                .unwrap();
         assert_eq!(rel_.kind(), RelKind::Project);
         assert_eq!(rel_.input(0).kind(), RelKind::Window);
     }
 
     #[test]
     fn row_number_window() {
-        let rel_ = to_rel(
-            "SELECT productid, ROW_NUMBER() OVER (ORDER BY units DESC) AS rn FROM sales",
-        )
-        .unwrap();
+        let rel_ =
+            to_rel("SELECT productid, ROW_NUMBER() OVER (ORDER BY units DESC) AS rn FROM sales")
+                .unwrap();
         assert_eq!(rel_.input(0).kind(), RelKind::Window);
         assert_eq!(rel_.row_type().field_names(), vec!["productid", "rn"]);
     }

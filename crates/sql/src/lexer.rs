@@ -78,9 +78,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             out.push(Token::Ident(chars[start..i].iter().collect()));
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit())
-        {
+        if c.is_ascii_digit() || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit()) {
             let start = i;
             let mut seen_dot = false;
             while i < n

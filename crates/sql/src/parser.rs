@@ -38,9 +38,7 @@ impl Parser {
     }
 
     fn peek_ahead(&self, n: usize) -> &Token {
-        self.tokens
-            .get(self.pos + n)
-            .unwrap_or(&Token::Eof)
+        self.tokens.get(self.pos + n).unwrap_or(&Token::Eof)
     }
 
     fn next(&mut self) -> Token {
@@ -102,7 +100,9 @@ impl Parser {
         match self.next() {
             Token::Ident(s) => Ok(s),
             Token::QuotedIdent(s) => Ok(s),
-            t => Err(CalciteError::parse(format!("expected identifier, found {t}"))),
+            t => Err(CalciteError::parse(format!(
+                "expected identifier, found {t}"
+            ))),
         }
     }
 
@@ -373,9 +373,28 @@ impl Parser {
             return Ok(Some(self.ident()?));
         }
         const STOP: &[&str] = &[
-            "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "FETCH", "UNION",
-            "INTERSECT", "EXCEPT", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS",
-            "USING", "AND", "OR", "AS",
+            "FROM",
+            "WHERE",
+            "GROUP",
+            "HAVING",
+            "ORDER",
+            "LIMIT",
+            "OFFSET",
+            "FETCH",
+            "UNION",
+            "INTERSECT",
+            "EXCEPT",
+            "ON",
+            "JOIN",
+            "INNER",
+            "LEFT",
+            "RIGHT",
+            "FULL",
+            "CROSS",
+            "USING",
+            "AND",
+            "OR",
+            "AS",
         ];
         match self.peek() {
             Token::Ident(s) if !STOP.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
@@ -730,10 +749,40 @@ impl Parser {
     /// Keywords that can never start a primary expression; hitting one
     /// here means a clause is malformed (e.g. `SELECT FROM t`).
     const RESERVED: &'static [&'static str] = &[
-        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "FETCH", "UNION",
-        "INTERSECT", "EXCEPT", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "USING",
-        "AND", "OR", "AS", "BY", "SELECT", "THEN", "WHEN", "ELSE", "END", "ASC", "DESC",
-        "BETWEEN", "IN", "LIKE", "IS",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "OFFSET",
+        "FETCH",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "ON",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "CROSS",
+        "USING",
+        "AND",
+        "OR",
+        "AS",
+        "BY",
+        "SELECT",
+        "THEN",
+        "WHEN",
+        "ELSE",
+        "END",
+        "ASC",
+        "DESC",
+        "BETWEEN",
+        "IN",
+        "LIKE",
+        "IS",
     ];
 
     fn parse_word_expr(&mut self, word: String) -> Result<Expr> {
@@ -889,9 +938,7 @@ impl Parser {
             "TIMESTAMP" => AstType::Timestamp,
             "GEOMETRY" => AstType::Geometry,
             "ANY" => AstType::Any,
-            other => {
-                return Err(CalciteError::parse(format!("unknown type '{other}'")))
-            }
+            other => return Err(CalciteError::parse(format!("unknown type '{other}'"))),
         };
         // Optional (precision[, scale]).
         if self.eat_sym("(") {
@@ -1020,12 +1067,10 @@ mod tests {
 
     #[test]
     fn paper_figure4_query_parses() {
-        let s = sel(
-            "SELECT products.name, COUNT(*) \
+        let s = sel("SELECT products.name, COUNT(*) \
              FROM sales JOIN products USING (productId) \
              WHERE sales.discount IS NOT NULL \
-             GROUP BY products.name",
-        );
+             GROUP BY products.name");
         assert_eq!(s.group_by.len(), 1);
         match s.from.unwrap() {
             TableExpr::Join { cond, kind, .. } => {
@@ -1075,11 +1120,9 @@ mod tests {
     #[test]
     fn window_over_clause() {
         // The §7.2 sliding-window query.
-        let s = sel(
-            "SELECT STREAM rowtime, productId, units, \
+        let s = sel("SELECT STREAM rowtime, productId, units, \
              SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
-             RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour FROM Orders",
-        );
+             RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour FROM Orders");
         match &s.items[3] {
             SelectItem::Expr {
                 expr: Expr::Func { over: Some(w), .. },
@@ -1099,11 +1142,9 @@ mod tests {
     #[test]
     fn semistructured_item_access() {
         // The §7.1 MongoDB zips view.
-        let s = sel(
-            "SELECT CAST(_MAP['city'] AS varchar(20)) AS city, \
+        let s = sel("SELECT CAST(_MAP['city'] AS varchar(20)) AS city, \
              CAST(_MAP['loc'][0] AS float) AS longitude \
-             FROM mongo_raw.zips",
-        );
+             FROM mongo_raw.zips");
         match &s.items[1] {
             SelectItem::Expr {
                 expr: Expr::Cast { expr, ty },
@@ -1126,7 +1167,10 @@ mod tests {
              BETWEEN o.rowtime AND o.rowtime + INTERVAL '1' HOUR",
         );
         match s.from.unwrap() {
-            TableExpr::Join { cond: JoinCond::On(e), .. } => {
+            TableExpr::Join {
+                cond: JoinCond::On(e),
+                ..
+            } => {
                 assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("{other:?}"),
@@ -1158,25 +1202,35 @@ mod tests {
 
     #[test]
     fn case_in_not_between() {
-        let s = sel(
-            "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END, b IN (1,2), \
-             c NOT BETWEEN 1 AND 5, d NOT LIKE 'x%' FROM t",
-        );
+        let s = sel("SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END, b IN (1,2), \
+             c NOT BETWEEN 1 AND 5, d NOT LIKE 'x%' FROM t");
         assert!(matches!(
             &s.items[0],
-            SelectItem::Expr { expr: Expr::Case { .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::Case { .. },
+                ..
+            }
         ));
         assert!(matches!(
             &s.items[1],
-            SelectItem::Expr { expr: Expr::InList { negated: false, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::InList { negated: false, .. },
+                ..
+            }
         ));
         assert!(matches!(
             &s.items[2],
-            SelectItem::Expr { expr: Expr::Between { negated: true, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::Between { negated: true, .. },
+                ..
+            }
         ));
         assert!(matches!(
             &s.items[3],
-            SelectItem::Expr { expr: Expr::Like { negated: true, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::Like { negated: true, .. },
+                ..
+            }
         ));
     }
 
@@ -1194,10 +1248,21 @@ mod tests {
         let s = sel("SELECT 1 + 2 * 3");
         match &s.items[0] {
             SelectItem::Expr {
-                expr: Expr::Binary { op: BinOp::Plus, right, .. },
+                expr:
+                    Expr::Binary {
+                        op: BinOp::Plus,
+                        right,
+                        ..
+                    },
                 ..
             } => {
-                assert!(matches!(**right, Expr::Binary { op: BinOp::Times, .. }));
+                assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: BinOp::Times,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }

@@ -185,7 +185,12 @@ fn unparse(rel: &Rel, d: &dyn Dialect, alias_seq: &mut usize) -> Result<String> 
                 .enumerate()
                 .map(|(i, e)| Ok(format!("{} AS {}", rex_sql(e, d, &|i| col(i))?, col(i))))
                 .collect::<Result<_>>()?;
-            Ok(format!("SELECT {} FROM ({}) AS {}", cols.join(", "), input, t))
+            Ok(format!(
+                "SELECT {} FROM ({}) AS {}",
+                cols.join(", "),
+                input,
+                t
+            ))
         }
         RelOp::Join { kind, condition } => {
             let left = unparse(rel.input(0), d, alias_seq)?;
@@ -327,7 +332,12 @@ fn unparse(rel: &Rel, d: &dyn Dialect, alias_seq: &mut usize) -> Result<String> 
                     col(base + i)
                 ));
             }
-            Ok(format!("SELECT {} FROM ({}) AS {}", cols.join(", "), input, t))
+            Ok(format!(
+                "SELECT {} FROM ({}) AS {}",
+                cols.join(", "),
+                input,
+                t
+            ))
         }
         RelOp::Delta | RelOp::Convert { .. } => Err(CalciteError::unsupported(format!(
             "cannot unparse {:?} to SQL",
@@ -417,7 +427,11 @@ pub fn rex_sql(
                 Op::Gt => format!("({} > {})", sub(0)?, sub(1)?),
                 Op::Ge => format!("({} >= {})", sub(0)?, sub(1)?),
                 Op::And | Op::Or => {
-                    let kw = if matches!(op, Op::And) { " AND " } else { " OR " };
+                    let kw = if matches!(op, Op::And) {
+                        " AND "
+                    } else {
+                        " OR "
+                    };
                     let parts: Vec<String> = args
                         .iter()
                         .map(|a| rex_sql(a, d, name_of))
@@ -584,7 +598,10 @@ mod tests {
             vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
         );
         let sql = to_sql(&plan, &PostgresDialect).unwrap();
-        assert!(sql.contains("SELECT 1 AS c0 UNION ALL SELECT 2 AS c0"), "{sql}");
+        assert!(
+            sql.contains("SELECT 1 AS c0 UNION ALL SELECT 2 AS c0"),
+            "{sql}"
+        );
         let empty = rel::values(
             RowTypeBuilder::new().add("x", TypeKind::Integer).build(),
             vec![],

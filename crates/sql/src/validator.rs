@@ -81,8 +81,7 @@ impl Scope {
             [tbl, col] => {
                 let tbl = tbl.to_ascii_lowercase();
                 for (i, c) in self.cols.iter().enumerate() {
-                    if c.table.as_deref() == Some(tbl.as_str())
-                        && c.name.eq_ignore_ascii_case(col)
+                    if c.table.as_deref() == Some(tbl.as_str()) && c.name.eq_ignore_ascii_case(col)
                     {
                         return Ok((i, c.ty.clone()));
                     }

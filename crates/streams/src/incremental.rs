@@ -233,15 +233,30 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(
             out[0],
-            vec![Datum::Timestamp(100), Datum::Int(1), Datum::Int(2), Datum::Int(12)]
+            vec![
+                Datum::Timestamp(100),
+                Datum::Int(1),
+                Datum::Int(2),
+                Datum::Int(12)
+            ]
         );
         assert_eq!(
             out[1],
-            vec![Datum::Timestamp(100), Datum::Int(2), Datum::Int(1), Datum::Int(1)]
+            vec![
+                Datum::Timestamp(100),
+                Datum::Int(2),
+                Datum::Int(1),
+                Datum::Int(1)
+            ]
         );
         assert_eq!(
             out[2],
-            vec![Datum::Timestamp(200), Datum::Int(1), Datum::Int(1), Datum::Int(9)]
+            vec![
+                Datum::Timestamp(200),
+                Datum::Int(1),
+                Datum::Int(1),
+                Datum::Int(9)
+            ]
         );
     }
 

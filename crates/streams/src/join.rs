@@ -73,8 +73,7 @@ impl StreamJoiner {
             let rt = Self::time_of(r, spec.right_time)?;
             if rt - t <= spec.upper
                 && rt - t >= spec.lower
-                && row[spec.left_key].sql_cmp(&r[spec.right_key])
-                    == Some(std::cmp::Ordering::Equal)
+                && row[spec.left_key].sql_cmp(&r[spec.right_key]) == Some(std::cmp::Ordering::Equal)
             {
                 let mut joined = row.clone();
                 joined.extend(r.iter().cloned());
@@ -102,8 +101,7 @@ impl StreamJoiner {
             let lt = Self::time_of(l, spec.left_time)?;
             if t - lt <= spec.upper
                 && t - lt >= spec.lower
-                && l[spec.left_key].sql_cmp(&row[spec.right_key])
-                    == Some(std::cmp::Ordering::Equal)
+                && l[spec.left_key].sql_cmp(&row[spec.right_key]) == Some(std::cmp::Ordering::Equal)
             {
                 let mut joined = l.clone();
                 joined.extend(row.iter().cloned());
@@ -117,11 +115,7 @@ impl StreamJoiner {
 
 /// Batch helper: joins two finite time-ordered streams, merging by event
 /// time (the §7.2 Orders ⋈ Shipments example).
-pub fn join_streams(
-    left: &[Row],
-    right: &[Row],
-    spec: StreamJoinSpec,
-) -> Result<Vec<Row>> {
+pub fn join_streams(left: &[Row], right: &[Row], spec: StreamJoinSpec) -> Result<Vec<Row>> {
     let mut joiner = StreamJoiner::new(spec.clone())?;
     let mut out = vec![];
     let (mut i, mut j) = (0, 0);

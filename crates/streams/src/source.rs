@@ -40,8 +40,7 @@ impl Table for ReplayStream {
 
     fn statistic(&self) -> Statistic {
         // Time-ordered: expose the collation on the rowtime column.
-        Statistic::of_rows(self.events.len() as f64)
-            .with_collation(vec![FieldCollation::asc(0)])
+        Statistic::of_rows(self.events.len() as f64).with_collation(vec![FieldCollation::asc(0)])
     }
 
     fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
@@ -134,9 +133,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0][0] <= w[1][0]));
         // Product ids stay in range.
-        assert!(a
-            .iter()
-            .all(|r| (0..10).contains(&r[1].as_int().unwrap())));
+        assert!(a.iter().all(|r| (0..10).contains(&r[1].as_int().unwrap())));
     }
 
     #[test]

@@ -49,9 +49,7 @@ impl Assigner {
             }
             Assigner::Hop { slide, size } => {
                 if *slide <= 0 || *size <= 0 || size < slide {
-                    return Err(CalciteError::validate(
-                        "HOP requires 0 < slide <= size",
-                    ));
+                    return Err(CalciteError::validate("HOP requires 0 < slide <= size"));
                 }
                 let mut out = vec![];
                 // Earliest window containing t starts at the first slide
@@ -74,6 +72,9 @@ impl Assigner {
     }
 }
 
+/// A closed session: the grouping key, its window, and the rows in it.
+pub type Session = (Vec<Datum>, Window, Vec<Row>);
+
 /// Groups time-ordered rows into session windows per key: a session ends
 /// when the next event of the same key is more than `gap` ms later.
 /// Returns `(key, window, rows)` triples.
@@ -82,14 +83,14 @@ pub fn assign_sessions(
     time_col: usize,
     key_cols: &[usize],
     gap: i64,
-) -> Result<Vec<(Vec<Datum>, Window, Vec<Row>)>> {
+) -> Result<Vec<Session>> {
     if gap <= 0 {
         return Err(CalciteError::validate("SESSION gap must be positive"));
     }
     use std::collections::HashMap;
     // Open sessions per key.
     let mut open: HashMap<Vec<Datum>, (Window, Vec<Row>)> = HashMap::new();
-    let mut closed: Vec<(Vec<Datum>, Window, Vec<Row>)> = vec![];
+    let mut closed: Vec<Session> = vec![];
     for row in rows {
         let t = row[time_col]
             .as_millis()
@@ -166,7 +167,10 @@ mod tests {
         assert_eq!(
             ws,
             vec![
-                Window { start: 50, end: 150 },
+                Window {
+                    start: 50,
+                    end: 150
+                },
                 Window {
                     start: 100,
                     end: 200
@@ -192,7 +196,12 @@ mod tests {
     #[test]
     fn invalid_parameters() {
         assert!(Assigner::Tumble { size: 0 }.windows_of(1).is_err());
-        assert!(Assigner::Hop { slide: 200, size: 100 }.windows_of(1).is_err());
+        assert!(Assigner::Hop {
+            slide: 200,
+            size: 100
+        }
+        .windows_of(1)
+        .is_err());
         assert!(Assigner::Session { gap: 10 }.windows_of(1).is_err());
     }
 
@@ -215,7 +224,13 @@ mod tests {
         assert_eq!(key1.len(), 2);
         assert_eq!(key1[0].1, Window { start: 0, end: 150 });
         assert_eq!(key1[0].2.len(), 2);
-        assert_eq!(key1[1].1, Window { start: 200, end: 300 });
+        assert_eq!(
+            key1[1].1,
+            Window {
+                start: 200,
+                end: 300
+            }
+        );
     }
 
     #[test]

@@ -17,7 +17,13 @@ fn main() -> rcalcite_core::error::Result<()> {
     // A sales fact table: (product, region, units).
     let n = 100_000i64;
     let fact_rows: Vec<Vec<Datum>> = (0..n)
-        .map(|i| vec![Datum::Int(i % 50), Datum::Int(i % 8), Datum::Int(i % 20 + 1)])
+        .map(|i| {
+            vec![
+                Datum::Int(i % 50),
+                Datum::Int(i % 8),
+                Datum::Int(i % 20 + 1),
+            ]
+        })
         .collect();
     let fact_table = MemTable::new(
         RowTypeBuilder::new()
@@ -87,7 +93,10 @@ fn main() -> rcalcite_core::error::Result<()> {
 
     let region_query = "SELECT region, COUNT(*) AS c, SUM(units) AS u \
                         FROM mart.sales GROUP BY region ORDER BY region";
-    println!("\nRegion query with a lattice tile:\n{}", conn.explain(region_query)?);
+    println!(
+        "\nRegion query with a lattice tile:\n{}",
+        conn.explain(region_query)?
+    );
     let r = conn.query(region_query)?;
     println!("{}", r.to_table());
     Ok(())

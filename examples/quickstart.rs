@@ -28,10 +28,30 @@ fn main() -> rcalcite_core::error::Result<()> {
                 .add("sal", TypeKind::Integer)
                 .build(),
             vec![
-                vec![Datum::Int(100), Datum::Int(10), Datum::str("Bill"), Datum::Int(10000)],
-                vec![Datum::Int(110), Datum::Int(10), Datum::str("Theodore"), Datum::Int(11500)],
-                vec![Datum::Int(150), Datum::Int(20), Datum::str("Sebastian"), Datum::Int(7000)],
-                vec![Datum::Int(200), Datum::Int(20), Datum::str("Eric"), Datum::Null],
+                vec![
+                    Datum::Int(100),
+                    Datum::Int(10),
+                    Datum::str("Bill"),
+                    Datum::Int(10000),
+                ],
+                vec![
+                    Datum::Int(110),
+                    Datum::Int(10),
+                    Datum::str("Theodore"),
+                    Datum::Int(11500),
+                ],
+                vec![
+                    Datum::Int(150),
+                    Datum::Int(20),
+                    Datum::str("Sebastian"),
+                    Datum::Int(7000),
+                ],
+                vec![
+                    Datum::Int(200),
+                    Datum::Int(20),
+                    Datum::str("Eric"),
+                    Datum::Null,
+                ],
             ],
         ),
     );
@@ -63,7 +83,10 @@ fn main() -> rcalcite_core::error::Result<()> {
             ],
         )
         .build()?;
-    println!("RelBuilder plan:\n{}", rcalcite_core::explain::explain(&plan));
+    println!(
+        "RelBuilder plan:\n{}",
+        rcalcite_core::explain::explain(&plan)
+    );
     let physical = conn.optimize(&plan)?;
     let rows = conn.exec_context().execute_collect(&physical)?;
     println!("RelBuilder result rows: {rows:?}");

@@ -28,7 +28,11 @@ fn main() -> rcalcite_core::error::Result<()> {
 
     // 1. The paper's filter query: "SELECT STREAM ... WHERE units > 25".
     let r = conn.query("SELECT STREAM rowtime, productid, units FROM orders WHERE units > 25")?;
-    println!("STREAM filter: {} matching events (of {})", r.rows.len(), 7200);
+    println!(
+        "STREAM filter: {} matching events (of {})",
+        r.rows.len(),
+        7200
+    );
 
     // 2. The paper's tumbling-window aggregate.
     let sql = "SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS rowtime, \

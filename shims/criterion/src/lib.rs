@@ -1,0 +1,271 @@
+//! Offline stand-in for the slice of [criterion](https://docs.rs/criterion)
+//! used by the `rcalcite_bench` benches.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! source-compatible harness: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, and `Throughput`. It actually measures: each benchmark
+//! runs for the configured sample count (bounded by the measurement-time
+//! budget) and reports the mean wall-clock time per iteration, plus
+//! derived throughput when one was declared.
+//!
+//! When invoked with `--test` (CI's bench-smoke job runs
+//! `cargo bench -- --test`; the bench targets set `test = false`, so
+//! `cargo test` never reaches them), every benchmark body runs exactly
+//! once so smoke checks stay fast.
+
+use std::fmt::Display;
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: a function name plus an
+/// optional parameter, rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput declaration used to derive elements/sec or bytes/sec.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness state shared by every group.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` forwards `--test` to each bench binary;
+        // run each body once in that mode so the smoke check is fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            test_mode: self.test_mode,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, &mut f);
+        g.finish();
+    }
+}
+
+/// A named group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
+            measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        if self.test_mode {
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        if b.samples.is_empty() {
+            println!("{label}: no samples");
+            return;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!(
+                    "{label}: mean {mean:?} over {} samples ({rate:.0} elem/s)",
+                    b.samples.len()
+                );
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!(
+                    "{label}: mean {mean:?} over {} samples ({rate:.0} B/s)",
+                    b.samples.len()
+                );
+            }
+            _ => println!("{label}: mean {mean:?} over {} samples", b.samples.len()),
+        }
+    }
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up iteration, unmeasured.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0usize;
+        g.bench_with_input(BenchmarkId::new("count", 10), &10usize, |b, n| {
+            b.iter(|| {
+                ran += 1;
+                *n * 2
+            })
+        });
+        g.finish();
+        assert!(ran >= 1);
+    }
+}

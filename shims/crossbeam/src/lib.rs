@@ -1,0 +1,116 @@
+//! Offline stand-in for the slice of [`crossbeam`] used by the engine:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`.
+//!
+//! Backed by `std::sync::mpsc`. Unlike `std`'s receiver, crossbeam's
+//! `Receiver` is `Clone` and `Sync`, so the shim wraps the std receiver
+//! in a mutex to preserve that contract for multi-consumer callers.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Multi-producer sender half, mirroring `crossbeam_channel::Sender`.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Cloneable receiver half, mirroring `crossbeam_channel::Receiver`.
+    #[derive(Debug, Clone)]
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the channel is empty and disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive. Implemented as a poll loop so the inner
+        /// mutex is never held while waiting: a cloned receiver calling
+        /// `try_recv` concurrently still returns immediately, matching
+        /// crossbeam's non-blocking contract.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                match self.try_recv() {
+                    Ok(v) => return Ok(v),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    Err(TryRecvError::Empty) => {
+                        std::thread::sleep(std::time::Duration::from_micros(100))
+                    }
+                }
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    /// Creates an unbounded channel, mirroring `crossbeam_channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            tx.send(8).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.try_recv(), Ok(8));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn receiver_is_cloneable() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            assert_eq!(rx2.recv(), Ok(1));
+        }
+
+        #[test]
+        fn try_recv_stays_nonblocking_while_a_clone_blocks_in_recv() {
+            let (tx, rx) = unbounded::<i32>();
+            let blocked = rx.clone();
+            let waiter = std::thread::spawn(move || blocked.recv());
+            // Give the waiter time to enter its recv loop, then poll: the
+            // clone must answer immediately instead of queueing on a lock.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(7).unwrap();
+            assert_eq!(waiter.join().unwrap(), Ok(7));
+        }
+    }
+}

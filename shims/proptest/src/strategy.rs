@@ -1,0 +1,446 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+///
+/// The real crate generates *value trees* to support shrinking; this
+/// stand-in generates plain values (`new_value`), which is all the
+/// workspace's tests rely on.
+pub trait Strategy {
+    type Value;
+
+    /// Generates one value from `rng`.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for
+    /// the previous depth and returns the strategy for one level deeper.
+    /// Each level picks the deeper branch or a leaf with equal
+    /// probability, so generated trees have varied depth up to `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = RecursiveLevel {
+                leaf: leaf.clone(),
+                deeper,
+            }
+            .boxed();
+        }
+        current
+    }
+
+    /// Erases the strategy type, mirroring `Strategy::boxed`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy, mirroring
+/// `proptest::strategy::BoxedStrategy`.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Object-safe forwarding trait behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Chooses uniformly among its arms; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].new_value(rng)
+    }
+}
+
+/// One depth level of a [`Strategy::prop_recursive`] strategy.
+struct RecursiveLevel<T> {
+    leaf: BoxedStrategy<T>,
+    deeper: BoxedStrategy<T>,
+}
+
+impl<T> Strategy for RecursiveLevel<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        if rng.below(2) == 0 {
+            self.leaf.new_value(rng)
+        } else {
+            self.deeper.new_value(rng)
+        }
+    }
+}
+
+/// Strategy for "any value of `T`", mirroring `proptest::prelude::any`.
+/// Implemented for the primitive types the workspace asks for.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! impl_any_int_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_any_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let offset = rng.below(span) as i128;
+                    (self.start as i128 + offset) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let unit = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// String-pattern strategies: in proptest, a `&str` is a regex strategy
+/// producing matching `String`s. This stand-in supports the subset the
+/// workspace uses — sequences of literal characters and `[...]` classes
+/// (with `a-z` ranges), each optionally quantified by `{n}`, `{lo,hi}`,
+/// `?`, `*`, or `+` (the unbounded quantifiers cap at 16 repetitions).
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string-strategy pattern: {self:?}"));
+        let mut out = String::new();
+        for (choices, lo, hi) in &atoms {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                let i = rng.below(choices.len() as u64) as usize;
+                out.push(choices[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses a pattern into `(choices, min_reps, max_reps)` atoms; `None`
+/// if the pattern uses syntax this stand-in does not implement.
+#[allow(clippy::type_complexity)]
+fn parse_pattern(pattern: &str) -> Option<Vec<(Vec<char>, usize, usize)>> {
+    const UNBOUNDED_CAP: usize = 16;
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next()?;
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let hi = chars.next()?;
+                            let lo = prev.take()?;
+                            set.extend((lo..=hi).filter(|ch| ch.is_ascii()));
+                        }
+                        _ => {
+                            if let Some(p) = prev {
+                                set.push(p);
+                            }
+                            prev = Some(c);
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                set
+            }
+            '\\' => vec![chars.next()?],
+            '(' | ')' | '|' | '.' | '^' | '$' => return None,
+            _ => vec![c],
+        };
+        if choices.is_empty() {
+            return None;
+        }
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                loop {
+                    let c = chars.next()?;
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                    None => {
+                        let n = body.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        if lo > hi {
+            return None;
+        }
+        atoms.push((choices, lo, hi));
+    }
+    Some(atoms)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let v = (-10i64..10).new_value(&mut rng);
+            assert!((-10..10).contains(&v));
+            let u = (0usize..3).new_value(&mut rng);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let s = (0i64..5, 0i64..5).prop_map(|(a, b)| a * 10 + b);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((0..45).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::for_test("recursive");
+        for _ in 0..200 {
+            assert!(depth(&s.new_value(&mut rng)) <= 3);
+        }
+    }
+
+    #[test]
+    fn string_pattern_matches_class_and_reps() {
+        let mut rng = TestRng::for_test("pattern");
+        let s = "[a-zA-Z0-9 _-]{0,16}";
+        for _ in 0..300 {
+            let v = s.new_value(&mut rng);
+            assert!(v.len() <= 16);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+        }
+        let lit = "ab[01]c{2}x?".new_value(&mut rng);
+        assert!(lit == "ab0cc" || lit == "ab1cc" || lit == "ab0ccx" || lit == "ab1ccx");
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = TestRng::for_test("f64");
+        for _ in 0..500 {
+            let v = (-2.0f64..3.0).new_value(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let s = crate::prop_oneof![Just(1i64), Just(2i64), Just(3i64)];
+        let mut rng = TestRng::for_test("union");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(s.new_value(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Facade over the rcalcite workspace.
+//!
+//! This crate exists to give the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) a home, and to offer a
+//! single `use rcalcite::...` entry point that re-exports every layer:
+//!
+//! ```text
+//! rcalcite_core  ←  rcalcite_sql / rcalcite_enumerable / rcalcite_backends
+//!        ↑                ↑
+//!        └── rcalcite_adapters / rcalcite_streams / rcalcite_geo
+//!                         ↑
+//!                  rcalcite_bench
+//! ```
+
+pub use rcalcite_adapters as adapters;
+pub use rcalcite_backends as backends;
+pub use rcalcite_bench as bench;
+pub use rcalcite_core as core;
+pub use rcalcite_enumerable as enumerable;
+pub use rcalcite_geo as geo;
+pub use rcalcite_sql as sql;
+pub use rcalcite_streams as streams;

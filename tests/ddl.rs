@@ -134,7 +134,10 @@ fn insert_into_adapter_table_is_rejected() {
         .conn
         .query("INSERT INTO mysql.products VALUES (99, 'x', 1.0)")
         .unwrap_err();
-    assert!(err.to_string().contains("only supported on built-in"), "{err}");
+    assert!(
+        err.to_string().contains("only supported on built-in"),
+        "{err}"
+    );
 }
 
 #[test]

@@ -34,7 +34,10 @@ fn table2_target_languages_are_generated() {
         .query("SELECT name FROM mysql.products WHERE price > 50 ORDER BY price DESC LIMIT 3")
         .unwrap();
     let sql = fed.jdbc.log.entries().join("\n");
-    assert!(sql.contains("`mysql`.`products`"), "mysql dialect quoting: {sql}");
+    assert!(
+        sql.contains("`mysql`.`products`"),
+        "mysql dialect quoting: {sql}"
+    );
     assert!(sql.contains("LIMIT"), "{sql}");
 
     fed.cassandra.log.clear();
@@ -88,7 +91,10 @@ fn three_backend_union_plan_mixes_conventions() {
     let sql = "SELECT COUNT(*) AS c FROM orders WHERE units > 10 \
                UNION ALL SELECT COUNT(*) FROM cass.readings WHERE device = 1 \
                UNION ALL SELECT COUNT(*) FROM mysql.sales WHERE amount > 5";
-    let plan = fed.conn.optimize(&fed.conn.parse_to_rel(sql).unwrap()).unwrap();
+    let plan = fed
+        .conn
+        .optimize(&fed.conn.parse_to_rel(sql).unwrap())
+        .unwrap();
     for conv in ["splunk", "cassandra", "jdbc:mysql"] {
         assert!(
             find(&plan, &|n| n.convention.name() == conv),
@@ -133,7 +139,10 @@ fn unpushable_work_stays_in_engine_but_results_match() {
     // engine over converted rows.
     let sql = "SELECT device, MAX(value) AS m FROM cass.readings \
                GROUP BY device ORDER BY device";
-    let plan = fed.conn.optimize(&fed.conn.parse_to_rel(sql).unwrap()).unwrap();
+    let plan = fed
+        .conn
+        .optimize(&fed.conn.parse_to_rel(sql).unwrap())
+        .unwrap();
     assert!(find(&plan, &|n| n.kind() == RelKind::Aggregate
         && n.convention.is_enumerable()));
     let r = fed.conn.query(sql).unwrap();
@@ -185,7 +194,10 @@ fn model_file_builds_the_federation_catalog() {
         &catalog,
     )
     .unwrap();
-    assert_eq!(catalog.schema_names(), vec!["docs", "logs", "sales", "wide"]);
+    assert_eq!(
+        catalog.schema_names(),
+        vec!["docs", "logs", "sales", "wide"]
+    );
     assert!(catalog.resolve(&["orders"]).is_ok()); // default schema = logs
     assert!(catalog.resolve(&["sales", "products"]).is_ok());
 }

@@ -29,7 +29,11 @@ fn test_connection(rows_a: usize, rows_b: usize) -> Connection {
                     vec![
                         Datum::Int(i % 13),
                         Datum::Int(i % 7),
-                        if i % 5 == 0 { Datum::Null } else { Datum::Int(i) },
+                        if i % 5 == 0 {
+                            Datum::Null
+                        } else {
+                            Datum::Int(i)
+                        },
                     ]
                 })
                 .collect(),
@@ -151,10 +155,8 @@ fn arb_condition() -> impl Strategy<Value = RexNode> {
     });
     cmp.prop_recursive(2, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RexNode::and_all(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RexNode::or_all(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RexNode::and_all(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RexNode::or_all(vec![a, b])),
             inner.clone().prop_map(|a| a.not()),
         ]
     })

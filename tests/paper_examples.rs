@@ -63,7 +63,11 @@ fn figure4_filter_pushed_below_join() {
         }
         rel.inputs.iter().any(filter_above_join)
     }
-    assert!(filter_above_join(&logical), "{}", rcalcite_core::explain::explain(&logical));
+    assert!(
+        filter_above_join(&logical),
+        "{}",
+        rcalcite_core::explain::explain(&logical)
+    );
 
     // After the heuristic phase: the join's left input is filtered
     // (Figure 4b).
@@ -100,7 +104,10 @@ fn figure2_join_pushed_into_splunk_convention() {
     let sql = "SELECT o.rowtime, p.name \
                FROM orders o JOIN mysql.products p ON o.productid = p.productid \
                WHERE o.units > 45";
-    let plan = fed.conn.optimize(&fed.conn.parse_to_rel(sql).unwrap()).unwrap();
+    let plan = fed
+        .conn
+        .optimize(&fed.conn.parse_to_rel(sql).unwrap())
+        .unwrap();
     // The join runs in the splunk convention...
     assert!(
         find(&plan, &|n| n.kind() == RelKind::Join
@@ -242,7 +249,10 @@ fn section7_2_tumbling_aggregate_matches_incremental_runtime() {
     );
     let mut inc_rows = agg.run_batch(&generate_orders(720, 5, 10_000)).unwrap();
     inc_rows.sort_by(|a, b| (a[0].clone(), a[1].clone()).cmp(&(b[0].clone(), b[1].clone())));
-    assert_eq!(sql_rows, inc_rows, "batch SQL and incremental runtime disagree");
+    assert_eq!(
+        sql_rows, inc_rows,
+        "batch SQL and incremental runtime disagree"
+    );
 }
 
 #[test]

@@ -20,11 +20,36 @@ fn conn() -> Connection {
                 .add("sal", TypeKind::Integer)
                 .build(),
             vec![
-                vec![Datum::Int(1), Datum::Int(10), Datum::str("alice"), Datum::Int(1000)],
-                vec![Datum::Int(2), Datum::Int(10), Datum::str("bob"), Datum::Int(2000)],
-                vec![Datum::Int(3), Datum::Int(20), Datum::str("carol"), Datum::Int(3000)],
-                vec![Datum::Int(4), Datum::Int(20), Datum::str("dave"), Datum::Null],
-                vec![Datum::Int(5), Datum::Int(30), Datum::str("erin"), Datum::Int(5000)],
+                vec![
+                    Datum::Int(1),
+                    Datum::Int(10),
+                    Datum::str("alice"),
+                    Datum::Int(1000),
+                ],
+                vec![
+                    Datum::Int(2),
+                    Datum::Int(10),
+                    Datum::str("bob"),
+                    Datum::Int(2000),
+                ],
+                vec![
+                    Datum::Int(3),
+                    Datum::Int(20),
+                    Datum::str("carol"),
+                    Datum::Int(3000),
+                ],
+                vec![
+                    Datum::Int(4),
+                    Datum::Int(20),
+                    Datum::str("dave"),
+                    Datum::Null,
+                ],
+                vec![
+                    Datum::Int(5),
+                    Datum::Int(30),
+                    Datum::str("erin"),
+                    Datum::Int(5000),
+                ],
             ],
         ),
     );
@@ -80,7 +105,9 @@ fn where_combinations() {
         3
     );
     assert_eq!(
-        c.query("SELECT empid FROM emp WHERE sal IS NULL").unwrap().rows,
+        c.query("SELECT empid FROM emp WHERE sal IS NULL")
+            .unwrap()
+            .rows,
         vec![vec![Datum::Int(4)]]
     );
     assert_eq!(
@@ -158,7 +185,7 @@ fn joins() {
         )
         .unwrap();
     assert_eq!(r.rows.len(), 4); // erin's dept 30 unmatched
-    // Left outer.
+                                 // Left outer.
     let r = c
         .query(
             "SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.deptno = d.deptno \
@@ -172,7 +199,7 @@ fn joins() {
         .query("SELECT d.dname FROM emp e RIGHT JOIN dept d ON e.deptno = d.deptno")
         .unwrap();
     assert_eq!(r.rows.len(), 5); // 4 matches + unmatched dept 40
-    // Full outer.
+                                 // Full outer.
     let r = c
         .query("SELECT e.empid, d.deptno FROM emp e FULL JOIN dept d ON e.deptno = d.deptno")
         .unwrap();
@@ -268,9 +295,7 @@ fn case_cast_functions() {
 #[test]
 fn coalesce_and_concat() {
     let r = conn()
-        .query(
-            "SELECT COALESCE(sal, 0) AS s, name || '!' AS loud FROM emp ORDER BY empid",
-        )
+        .query("SELECT COALESCE(sal, 0) AS s, name || '!' AS loud FROM emp ORDER BY empid")
         .unwrap();
     assert_eq!(r.rows[3][0], Datum::Int(0));
     assert_eq!(r.rows[0][1], Datum::str("alice!"));
@@ -303,7 +328,9 @@ fn values_and_no_from() {
 #[test]
 fn explain_output() {
     let c = conn();
-    let text = c.explain("SELECT deptno FROM emp WHERE sal > 1000").unwrap();
+    let text = c
+        .explain("SELECT deptno FROM emp WHERE sal > 1000")
+        .unwrap();
     assert!(text.contains("[enumerable]"));
     assert!(text.contains("Scan(hr.emp)"));
 }
