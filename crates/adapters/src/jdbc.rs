@@ -7,7 +7,7 @@
 use crate::helpers::{rex_to_predicates, QueryLog};
 use rcalcite_backends::memdb::{MemDb, SqlQuerySpec};
 use rcalcite_core::catalog::{Schema, Statistic, Table};
-use rcalcite_core::datum::Row;
+use rcalcite_core::datum::{Column, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{ConventionExecutor, ExecContext, RowIter};
 use rcalcite_core::rel::{Rel, RelKind, RelOp};
@@ -42,6 +42,12 @@ impl Table for JdbcTable {
     fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
         let rows = self.db.execute(&SqlQuerySpec::scan(&self.name))?;
         Ok(Box::new(rows.into_iter()))
+    }
+
+    fn scan_columns(&self) -> Option<Result<Vec<Column>>> {
+        // memdb keeps a native columnar mirror, so batch executors get
+        // typed vectors straight from storage with no row pivot.
+        Some(self.db.scan_columns(&self.name))
     }
 
     fn convention(&self) -> Convention {
@@ -201,7 +207,15 @@ impl Rule for JdbcSortRule {
     fn on_match(&self, call: &mut RuleCall) {
         let s = call.rel(0).clone();
         let child = call.rel(1);
+        // memdb sorts NULLs last in both directions; only push collations
+        // with matching NULL placement so a pushed sort can't diverge
+        // from one executed by the enumerable engines.
+        let nulls_pushable = match &s.op {
+            RelOp::Sort { collation, .. } => collation.iter().all(|fc| !fc.nulls_first),
+            _ => false,
+        };
         if s.convention.is_none()
+            && nulls_pushable
             && child.convention == self.conv
             && matches!(child.kind(), RelKind::Scan | RelKind::Filter)
         {

@@ -7,24 +7,46 @@
 
 use crate::common::ColPredicate;
 use parking_lot::RwLock;
-use rcalcite_core::datum::Row;
+use rcalcite_core::datum::{Column, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::types::TypeKind;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// One relation: schema plus rows.
+/// One relation: schema plus rows, mirrored columnar.
 #[derive(Debug, Clone)]
 pub struct MemRelation {
     pub columns: Vec<(String, TypeKind)>,
     pub rows: Vec<Row>,
+    /// Columnar mirror of `rows`, built at load time and maintained on
+    /// insert, so batch scans read typed vectors directly instead of
+    /// pivoting rows per scan.
+    col_store: Vec<Column>,
 }
 
 impl MemRelation {
+    fn new(columns: Vec<(String, TypeKind)>, rows: Vec<Row>) -> MemRelation {
+        let col_store = columns
+            .iter()
+            .enumerate()
+            .map(|(i, (_, kind))| Column::from_rows(kind, &rows, i))
+            .collect();
+        MemRelation {
+            columns,
+            rows,
+            col_store,
+        }
+    }
+
     pub fn column_index(&self, name: &str) -> Option<usize> {
         self.columns
             .iter()
             .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+
+    /// The native columnar form of this relation.
+    pub fn column_data(&self) -> &[Column] {
+        &self.col_store
     }
 }
 
@@ -70,7 +92,7 @@ impl MemDb {
     ) {
         self.tables.write().insert(
             name.into().to_ascii_lowercase(),
-            MemRelation { columns, rows },
+            MemRelation::new(columns, rows),
         );
     }
 
@@ -84,8 +106,21 @@ impl MemDb {
                 "memdb: arity mismatch inserting into '{table}'"
             )));
         }
+        for (col, d) in rel.col_store.iter_mut().zip(row.iter()) {
+            col.push(d.clone());
+        }
         rel.rows.push(row);
         Ok(())
+    }
+
+    /// Native columnar scan: clones the typed column vectors of a table —
+    /// no per-row pivoting. This is what feeds the batch execution path.
+    pub fn scan_columns(&self, name: &str) -> Result<Vec<Column>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .map(|t| t.col_store.clone())
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{name}'")))
     }
 
     pub fn table(&self, name: &str) -> Option<MemRelation> {
@@ -129,10 +164,26 @@ impl MemDb {
             .cloned()
             .collect();
         if !q.order.is_empty() {
+            // NULLs sort last for both directions, matching the default
+            // `FieldCollation` the planner pushes down (so a sort executed
+            // here is indistinguishable from one run by the enumerable
+            // executors).
             rows.sort_by(|a, b| {
                 for (col, desc) in &q.order {
-                    let ord = a[*col].cmp(&b[*col]);
-                    let ord = if *desc { ord.reverse() } else { ord };
+                    let (x, y) = (&a[*col], &b[*col]);
+                    let ord = match (x.is_null(), y.is_null()) {
+                        (true, true) => std::cmp::Ordering::Equal,
+                        (true, false) => std::cmp::Ordering::Greater,
+                        (false, true) => std::cmp::Ordering::Less,
+                        (false, false) => {
+                            let o = x.cmp(y);
+                            if *desc {
+                                o.reverse()
+                            } else {
+                                o
+                            }
+                        }
+                    };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
                     }
@@ -239,6 +290,49 @@ mod tests {
             ..SqlQuerySpec::scan("products")
         };
         assert!(db.execute(&q).is_err());
+    }
+
+    #[test]
+    fn columnar_mirror_tracks_inserts() {
+        let db = db();
+        let cols = db.scan_columns("products").unwrap();
+        assert_eq!(cols.len(), 3);
+        assert!(matches!(cols[0], Column::Int { .. }));
+        assert!(matches!(cols[1], Column::Str { .. }));
+        assert_eq!(cols[0].len(), 3);
+        db.insert(
+            "products",
+            vec![Datum::Int(4), Datum::str("tnt"), Datum::Double(50.0)],
+        )
+        .unwrap();
+        let cols = db.scan_columns("products").unwrap();
+        assert_eq!(cols[0].len(), 4);
+        assert_eq!(cols[1].get(3), Datum::str("tnt"));
+        assert!(db.scan_columns("missing").is_err());
+    }
+
+    #[test]
+    fn order_puts_nulls_last_both_directions() {
+        let db = MemDb::new();
+        db.create_table(
+            "t",
+            vec![("v".into(), TypeKind::Integer)],
+            vec![vec![Datum::Null], vec![Datum::Int(2)], vec![Datum::Int(1)]],
+        );
+        let q = SqlQuerySpec {
+            order: vec![(0, false)],
+            ..SqlQuerySpec::scan("t")
+        };
+        let rows = db.execute(&q).unwrap();
+        assert_eq!(rows[0][0], Datum::Int(1));
+        assert!(rows[2][0].is_null());
+        let q = SqlQuerySpec {
+            order: vec![(0, true)],
+            ..SqlQuerySpec::scan("t")
+        };
+        let rows = db.execute(&q).unwrap();
+        assert_eq!(rows[0][0], Datum::Int(2));
+        assert!(rows[2][0].is_null());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! mechanism to define table schemas and views in external storage engines
 //! via adapters" (§3) — this module is that mechanism's core interface.
 
-use crate::datum::Row;
+use crate::datum::{Column, Row};
 use crate::error::{CalciteError, Result};
 use crate::traits::{Collation, Convention};
 use crate::types::RowType;
@@ -67,6 +67,14 @@ pub trait Table: Send + Sync {
     /// Enumerates all rows. Backends with richer access paths expose them
     /// through adapter rules instead.
     fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>>;
+
+    /// Columnar scan: the whole table as typed column vectors, one per
+    /// field. Batch executors use this to feed column batches without
+    /// per-row pivoting; `None` means the table only supports row
+    /// iteration and callers must bridge through [`Table::scan`].
+    fn scan_columns(&self) -> Option<Result<Vec<Column>>> {
+        None
+    }
 
     /// The calling convention in which scans of this table naturally start.
     /// Adapter tables return their backend convention; plain tables return
@@ -184,6 +192,17 @@ impl Table for MemTable {
 
     fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
         Ok(Box::new(self.rows.read().clone().into_iter()))
+    }
+
+    fn scan_columns(&self) -> Option<Result<Vec<Column>>> {
+        let rows = self.rows.read();
+        Some(Ok(self
+            .row_type
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Column::from_rows(&f.ty.kind, &rows, i))
+            .collect()))
     }
 
     fn as_mem_table(&self) -> Option<&MemTable> {

@@ -287,6 +287,340 @@ impl fmt::Display for Datum {
     }
 }
 
+// ---------------------------------------------------------------------
+// Columnar representation
+// ---------------------------------------------------------------------
+
+/// One field of a batch of rows as a typed vector. This is the unit the
+/// vectorized execution path operates on: kernels loop over the raw
+/// `values` vectors instead of dispatching per [`Datum`]. Kinds without a
+/// dedicated vector fall back to [`Column::Generic`].
+///
+/// For the typed variants, `valid[i] == false` marks SQL NULL at row `i`
+/// (the corresponding `values[i]` is a don't-care filler).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Int {
+        values: Vec<i64>,
+        valid: Vec<bool>,
+    },
+    Double {
+        values: Vec<f64>,
+        valid: Vec<bool>,
+    },
+    Bool {
+        values: Vec<bool>,
+        valid: Vec<bool>,
+    },
+    Str {
+        values: Vec<Arc<str>>,
+        valid: Vec<bool>,
+    },
+    /// Row-major fallback for kinds without a typed vector (dates,
+    /// intervals, arrays, maps, extension values, mixed columns).
+    Generic(Vec<Datum>),
+}
+
+impl Column {
+    /// An empty column whose representation suits `kind`.
+    pub fn for_kind(kind: &TypeKind) -> Column {
+        Column::for_kind_with_capacity(kind, 0)
+    }
+
+    pub fn for_kind_with_capacity(kind: &TypeKind, cap: usize) -> Column {
+        match kind {
+            TypeKind::Integer => Column::Int {
+                values: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            TypeKind::Double => Column::Double {
+                values: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            TypeKind::Boolean => Column::Bool {
+                values: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            TypeKind::Varchar => Column::Str {
+                values: Vec::with_capacity(cap),
+                valid: Vec::with_capacity(cap),
+            },
+            _ => Column::Generic(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Builds a column from datums, choosing the representation by `kind`.
+    pub fn from_datums(kind: &TypeKind, datums: impl IntoIterator<Item = Datum>) -> Column {
+        let it = datums.into_iter();
+        let mut col = Column::for_kind_with_capacity(kind, it.size_hint().0);
+        for d in it {
+            col.push(d);
+        }
+        col
+    }
+
+    /// Builds a column from field `index` of each row.
+    pub fn from_rows(kind: &TypeKind, rows: &[Row], index: usize) -> Column {
+        Column::from_datums(kind, rows.iter().map(|r| r[index].clone()))
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { values, .. } => values.len(),
+            Column::Double { values, .. } => values.len(),
+            Column::Bool { values, .. } => values.len(),
+            Column::Str { values, .. } => values.len(),
+            Column::Generic(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a datum. A value that does not fit the typed variant
+    /// demotes the whole column to `Generic` first, so `push` never loses
+    /// information.
+    pub fn push(&mut self, d: Datum) {
+        match (&mut *self, d) {
+            (Column::Int { values, valid }, Datum::Int(x)) => {
+                values.push(x);
+                valid.push(true);
+            }
+            (Column::Int { values, valid }, Datum::Null) => {
+                values.push(0);
+                valid.push(false);
+            }
+            (Column::Double { values, valid }, Datum::Double(x)) => {
+                values.push(x);
+                valid.push(true);
+            }
+            (Column::Double { values, valid }, Datum::Null) => {
+                values.push(0.0);
+                valid.push(false);
+            }
+            (Column::Bool { values, valid }, Datum::Bool(x)) => {
+                values.push(x);
+                valid.push(true);
+            }
+            (Column::Bool { values, valid }, Datum::Null) => {
+                values.push(false);
+                valid.push(false);
+            }
+            (Column::Str { values, valid }, Datum::Str(x)) => {
+                values.push(x);
+                valid.push(true);
+            }
+            (Column::Str { values, valid }, Datum::Null) => {
+                values.push(Arc::from(""));
+                valid.push(false);
+            }
+            (Column::Generic(v), d) => v.push(d),
+            (_, d) => {
+                self.demote_to_generic();
+                self.push(d);
+            }
+        }
+    }
+
+    pub fn push_null(&mut self) {
+        self.push(Datum::Null);
+    }
+
+    fn demote_to_generic(&mut self) {
+        if !matches!(self, Column::Generic(_)) {
+            let datums: Vec<Datum> = (0..self.len()).map(|i| self.get(i)).collect();
+            *self = Column::Generic(datums);
+        }
+    }
+
+    /// The datum at row `i` (clones out of the vector).
+    pub fn get(&self, i: usize) -> Datum {
+        match self {
+            Column::Int { values, valid } => {
+                if valid[i] {
+                    Datum::Int(values[i])
+                } else {
+                    Datum::Null
+                }
+            }
+            Column::Double { values, valid } => {
+                if valid[i] {
+                    Datum::Double(values[i])
+                } else {
+                    Datum::Null
+                }
+            }
+            Column::Bool { values, valid } => {
+                if valid[i] {
+                    Datum::Bool(values[i])
+                } else {
+                    Datum::Null
+                }
+            }
+            Column::Str { values, valid } => {
+                if valid[i] {
+                    Datum::Str(values[i].clone())
+                } else {
+                    Datum::Null
+                }
+            }
+            Column::Generic(v) => v[i].clone(),
+        }
+    }
+
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int { valid, .. }
+            | Column::Double { valid, .. }
+            | Column::Bool { valid, .. }
+            | Column::Str { valid, .. } => !valid[i],
+            Column::Generic(v) => v[i].is_null(),
+        }
+    }
+
+    pub fn to_datums(&self) -> Vec<Datum> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// A new column holding `self[idx[0]], self[idx[1]], ...` — the
+    /// selection-compaction / join-output primitive.
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        fn take<T: Clone>(values: &[T], valid: &[bool], idx: &[usize]) -> (Vec<T>, Vec<bool>) {
+            (
+                idx.iter().map(|&i| values[i].clone()).collect(),
+                idx.iter().map(|&i| valid[i]).collect(),
+            )
+        }
+        match self {
+            Column::Int { values, valid } => {
+                let (values, valid) = take(values, valid, idx);
+                Column::Int { values, valid }
+            }
+            Column::Double { values, valid } => {
+                let (values, valid) = take(values, valid, idx);
+                Column::Double { values, valid }
+            }
+            Column::Bool { values, valid } => {
+                let (values, valid) = take(values, valid, idx);
+                Column::Bool { values, valid }
+            }
+            Column::Str { values, valid } => {
+                let (values, valid) = take(values, valid, idx);
+                Column::Str { values, valid }
+            }
+            Column::Generic(v) => Column::Generic(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// A contiguous sub-column `[start, start + len)`.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        let end = (start + len).min(self.len());
+        match self {
+            Column::Int { values, valid } => Column::Int {
+                values: values[start..end].to_vec(),
+                valid: valid[start..end].to_vec(),
+            },
+            Column::Double { values, valid } => Column::Double {
+                values: values[start..end].to_vec(),
+                valid: valid[start..end].to_vec(),
+            },
+            Column::Bool { values, valid } => Column::Bool {
+                values: values[start..end].to_vec(),
+                valid: valid[start..end].to_vec(),
+            },
+            Column::Str { values, valid } => Column::Str {
+                values: values[start..end].to_vec(),
+                valid: valid[start..end].to_vec(),
+            },
+            Column::Generic(v) => Column::Generic(v[start..end].to_vec()),
+        }
+    }
+
+    /// Appends all rows of `other` (demoting to `Generic` on a
+    /// representation mismatch).
+    pub fn append(&mut self, other: &Column) {
+        match (&mut *self, other) {
+            (
+                Column::Int { values, valid },
+                Column::Int {
+                    values: v2,
+                    valid: n2,
+                },
+            ) => {
+                values.extend_from_slice(v2);
+                valid.extend_from_slice(n2);
+            }
+            (
+                Column::Double { values, valid },
+                Column::Double {
+                    values: v2,
+                    valid: n2,
+                },
+            ) => {
+                values.extend_from_slice(v2);
+                valid.extend_from_slice(n2);
+            }
+            (
+                Column::Bool { values, valid },
+                Column::Bool {
+                    values: v2,
+                    valid: n2,
+                },
+            ) => {
+                values.extend_from_slice(v2);
+                valid.extend_from_slice(n2);
+            }
+            (
+                Column::Str { values, valid },
+                Column::Str {
+                    values: v2,
+                    valid: n2,
+                },
+            ) => {
+                values.extend_from_slice(v2);
+                valid.extend_from_slice(n2);
+            }
+            _ => {
+                for i in 0..other.len() {
+                    self.push(other.get(i));
+                }
+            }
+        }
+    }
+
+    /// A column of `n` copies of `d`.
+    pub fn repeat(d: &Datum, n: usize) -> Column {
+        match d {
+            Datum::Int(x) => Column::Int {
+                values: vec![*x; n],
+                valid: vec![true; n],
+            },
+            Datum::Double(x) => Column::Double {
+                values: vec![*x; n],
+                valid: vec![true; n],
+            },
+            Datum::Bool(x) => Column::Bool {
+                values: vec![*x; n],
+                valid: vec![true; n],
+            },
+            Datum::Str(x) => Column::Str {
+                values: vec![x.clone(); n],
+                valid: vec![true; n],
+            },
+            other => Column::Generic(vec![other.clone(); n]),
+        }
+    }
+}
+
+/// Pivots equal-length columns back into rows.
+pub fn columns_to_rows(columns: &[Column]) -> Vec<Row> {
+    let n = columns.first().map_or(0, Column::len);
+    (0..n)
+        .map(|i| columns.iter().map(|c| c.get(i)).collect())
+        .collect()
+}
+
 /// Days-since-epoch to `YYYY-MM-DD` (proleptic Gregorian).
 pub fn format_date(epoch_days: i32) -> String {
     let (y, m, d) = civil_from_days(epoch_days as i64);
@@ -447,6 +781,82 @@ mod tests {
     fn double_display_keeps_decimal_point() {
         assert_eq!(Datum::Double(3.0).to_string(), "3.0");
         assert_eq!(Datum::Double(3.25).to_string(), "3.25");
+    }
+
+    #[test]
+    fn column_round_trip_per_kind() {
+        let cases = vec![
+            (
+                TypeKind::Integer,
+                vec![Datum::Int(1), Datum::Null, Datum::Int(i64::MAX)],
+            ),
+            (
+                TypeKind::Double,
+                vec![Datum::Double(1.5), Datum::Null, Datum::Double(-0.0)],
+            ),
+            (
+                TypeKind::Boolean,
+                vec![Datum::Bool(true), Datum::Null, Datum::Bool(false)],
+            ),
+            (
+                TypeKind::Varchar,
+                vec![Datum::str("a"), Datum::Null, Datum::str("")],
+            ),
+            (TypeKind::Date, vec![Datum::Date(3), Datum::Null]),
+        ];
+        for (kind, datums) in cases {
+            let col = Column::from_datums(&kind, datums.clone());
+            assert_eq!(col.len(), datums.len());
+            assert_eq!(col.to_datums(), datums, "kind {kind:?}");
+            assert!(col.is_null(1));
+        }
+    }
+
+    #[test]
+    fn column_demotes_on_mismatched_push() {
+        let mut col = Column::from_datums(&TypeKind::Integer, vec![Datum::Int(1)]);
+        col.push(Datum::str("x"));
+        assert!(matches!(col, Column::Generic(_)));
+        assert_eq!(col.to_datums(), vec![Datum::Int(1), Datum::str("x")]);
+    }
+
+    #[test]
+    fn column_gather_slice_append_repeat() {
+        let col = Column::from_datums(
+            &TypeKind::Integer,
+            vec![Datum::Int(10), Datum::Null, Datum::Int(30), Datum::Int(40)],
+        );
+        assert_eq!(
+            col.gather(&[3, 1]).to_datums(),
+            vec![Datum::Int(40), Datum::Null]
+        );
+        assert_eq!(
+            col.slice(1, 2).to_datums(),
+            vec![Datum::Null, Datum::Int(30)]
+        );
+        let mut a = col.slice(0, 2);
+        a.append(&col.slice(2, 2));
+        assert_eq!(a.to_datums(), col.to_datums());
+        // Mixed-representation append demotes.
+        let mut b = col.slice(0, 1);
+        b.append(&Column::repeat(&Datum::str("s"), 2));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(2), Datum::str("s"));
+        assert_eq!(Column::repeat(&Datum::Null, 2).to_datums().len(), 2);
+    }
+
+    #[test]
+    fn columns_to_rows_pivots() {
+        let a = Column::from_datums(&TypeKind::Integer, vec![Datum::Int(1), Datum::Int(2)]);
+        let b = Column::from_datums(&TypeKind::Varchar, vec![Datum::str("x"), Datum::Null]);
+        assert_eq!(
+            columns_to_rows(&[a, b]),
+            vec![
+                vec![Datum::Int(1), Datum::str("x")],
+                vec![Datum::Int(2), Datum::Null],
+            ]
+        );
+        assert!(columns_to_rows(&[]).is_empty());
     }
 
     #[test]

@@ -773,6 +773,15 @@ fn eval_call(op: &Op, args: &[RexNode], ty: &RelType, row: &[Datum]) -> Result<D
         return Ok(Datum::Null);
     }
 
+    eval_op_strict(op, &vals, ty)
+}
+
+/// Applies a strict operator to already-evaluated, non-NULL argument
+/// values. Public so the vectorized executor's generic fallback applies
+/// exactly the same per-operator semantics as row evaluation; the caller
+/// is responsible for the strict NULL-in/NULL-out rule and must not pass
+/// the lazy operators (`AND`/`OR`/`CASE`/`COALESCE`) or `IS [NOT] NULL`.
+pub fn eval_op_strict(op: &Op, vals: &[Datum], ty: &RelType) -> Result<Datum> {
     match op {
         Op::Plus | Op::Minus | Op::Times | Op::Divide | Op::Mod => {
             eval_arith(op, &vals[0], &vals[1])
@@ -806,7 +815,7 @@ fn eval_call(op: &Op, args: &[RexNode], ty: &RelType, row: &[Datum]) -> Result<D
         Op::Item => eval_item(&vals[0], &vals[1]),
         Op::Concat => {
             let mut s = String::new();
-            for v in &vals {
+            for v in vals {
                 match v {
                     Datum::Str(x) => s.push_str(x),
                     other => s.push_str(&other.to_string()),
@@ -814,8 +823,8 @@ fn eval_call(op: &Op, args: &[RexNode], ty: &RelType, row: &[Datum]) -> Result<D
             }
             Ok(Datum::str(s))
         }
-        Op::Func(b) => eval_builtin(*b, &vals),
-        Op::Udf(u) => (u.eval)(&vals),
+        Op::Func(b) => eval_builtin(*b, vals),
+        Op::Udf(u) => (u.eval)(vals),
         Op::And | Op::Or | Op::Case | Op::IsNull | Op::IsNotNull => unreachable!(),
     }
 }

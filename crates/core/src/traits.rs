@@ -63,14 +63,19 @@ pub struct FieldCollation {
 }
 
 impl FieldCollation {
+    /// Ascending, NULLs last. NULLS LAST is the default for both
+    /// directions so every sort implementation (the row executor's
+    /// `compare_rows`, the batch sort kernel, and memdb's pushed-down
+    /// ORDER BY) agrees on where NULLs land.
     pub fn asc(field: usize) -> FieldCollation {
         FieldCollation {
             field,
             descending: false,
-            nulls_first: true,
+            nulls_first: false,
         }
     }
 
+    /// Descending, NULLs last.
     pub fn desc(field: usize) -> FieldCollation {
         FieldCollation {
             field,

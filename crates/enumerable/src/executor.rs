@@ -12,21 +12,29 @@ use rcalcite_core::rel::{
     AggCall, AggFunc, FrameBound, FrameMode, JoinKind, Rel, RelOp, WinFunc, WindowFn,
 };
 use rcalcite_core::rex::{Op, RexNode};
-use rcalcite_core::traits::{Collation, Convention};
+use rcalcite_core::traits::{Collation, Convention, FieldCollation};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 
 /// Executor for the `enumerable` convention. It also executes plans in
 /// the logical convention directly (interpreter mode), which is handy for
 /// differential testing of the optimizer.
+///
+/// Two execution modes share the convention: the classic row-at-a-time
+/// interpreter (`new`/`interpreter`) and the vectorized batch path
+/// (`batched`/`batched_interpreter`), which runs operators over
+/// [`crate::batch::ColumnBatch`]es and falls back to row iteration for
+/// operators without a batch kernel.
 pub struct EnumerableExecutor {
     convention: Convention,
+    batch: bool,
 }
 
 impl EnumerableExecutor {
     pub fn new() -> EnumerableExecutor {
         EnumerableExecutor {
             convention: Convention::enumerable(),
+            batch: false,
         }
     }
 
@@ -35,7 +43,29 @@ impl EnumerableExecutor {
     pub fn interpreter() -> EnumerableExecutor {
         EnumerableExecutor {
             convention: Convention::none(),
+            batch: false,
         }
+    }
+
+    /// The vectorized executor: same convention, same results, but
+    /// operators with batch kernels run over column batches.
+    pub fn batched() -> EnumerableExecutor {
+        EnumerableExecutor {
+            convention: Convention::enumerable(),
+            batch: true,
+        }
+    }
+
+    /// The vectorized interpreter for unoptimized logical plans.
+    pub fn batched_interpreter() -> EnumerableExecutor {
+        EnumerableExecutor {
+            convention: Convention::none(),
+            batch: true,
+        }
+    }
+
+    pub fn is_batched(&self) -> bool {
+        self.batch
     }
 }
 
@@ -51,7 +81,11 @@ impl ConventionExecutor for EnumerableExecutor {
     }
 
     fn execute(&self, rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
-        execute_node(rel, ctx)
+        if self.batch {
+            crate::batch::execute_node_batched(rel, ctx)
+        } else {
+            execute_node(rel, ctx)
+        }
     }
 }
 
@@ -216,35 +250,42 @@ fn execute_node_dispatch(
     }
 }
 
+/// Comparison of two datums under one collation key — the single source
+/// of truth for sort semantics (NULL placement included). Both the
+/// row-path `compare_rows` and the batch sort kernel route through this,
+/// so the two executors cannot disagree on ordering.
+pub fn compare_datums(fc: &FieldCollation, x: &Datum, y: &Datum) -> Ordering {
+    match (x.is_null(), y.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => {
+            if fc.nulls_first {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (false, true) => {
+            if fc.nulls_first {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }
+        }
+        (false, false) => {
+            let o = x.cmp(y);
+            if fc.descending {
+                o.reverse()
+            } else {
+                o
+            }
+        }
+    }
+}
+
 /// Total-order comparison of two rows under a collation.
 pub fn compare_rows(a: &Row, b: &Row, collation: &Collation) -> Ordering {
     for fc in collation {
-        let (x, y) = (&a[fc.field], &b[fc.field]);
-        let ord = match (x.is_null(), y.is_null()) {
-            (true, true) => Ordering::Equal,
-            (true, false) => {
-                if fc.nulls_first {
-                    Ordering::Less
-                } else {
-                    Ordering::Greater
-                }
-            }
-            (false, true) => {
-                if fc.nulls_first {
-                    Ordering::Greater
-                } else {
-                    Ordering::Less
-                }
-            }
-            (false, false) => {
-                let o = x.cmp(y);
-                if fc.descending {
-                    o.reverse()
-                } else {
-                    o
-                }
-            }
-        };
+        let ord = compare_datums(fc, &a[fc.field], &b[fc.field]);
         if ord != Ordering::Equal {
             return ord;
         }
@@ -252,7 +293,7 @@ pub fn compare_rows(a: &Row, b: &Row, collation: &Collation) -> Ordering {
     Ordering::Equal
 }
 
-fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
+pub(crate) fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
     let mut seen = HashSet::new();
     rows.into_iter()
         .filter(|r| seen.insert(r.clone()))
@@ -261,7 +302,7 @@ fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
 
 /// Extracts equi-join key pairs from a condition; returns (left keys,
 /// right keys, residual conjuncts).
-fn extract_equi_keys(
+pub(crate) fn extract_equi_keys(
     condition: &RexNode,
     left_arity: usize,
 ) -> (Vec<usize>, Vec<usize>, Vec<RexNode>) {
@@ -291,7 +332,7 @@ fn extract_equi_keys(
     (lk, rk, residual)
 }
 
-fn execute_join(
+pub(crate) fn execute_join(
     left: Vec<Row>,
     right: Vec<Row>,
     _left_arity: usize,
@@ -382,9 +423,11 @@ fn execute_join(
     Ok(Box::new(out.into_iter()))
 }
 
-/// Accumulator for one aggregate call.
+/// Accumulator for one aggregate call. Shared by the row executor, the
+/// window evaluator, and the batch aggregate kernel so NULL handling and
+/// overflow behavior are identical everywhere.
 #[derive(Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     Sum(Option<Datum>),
     Min(Option<Datum>),
@@ -393,7 +436,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: AggFunc) -> Acc {
+    pub(crate) fn new(func: AggFunc) -> Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Sum => Acc::Sum(None),
@@ -403,7 +446,7 @@ impl Acc {
         }
     }
 
-    fn add(&mut self, v: Option<&Datum>) -> Result<()> {
+    pub(crate) fn add(&mut self, v: Option<&Datum>) -> Result<()> {
         match self {
             Acc::Count(n) => {
                 // COUNT(*) counts every row (v = None); COUNT(x) skips
@@ -468,7 +511,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Datum {
+    pub(crate) fn finish(self) -> Datum {
         match self {
             Acc::Count(n) => Datum::Int(n),
             Acc::Sum(s) | Acc::Min(s) | Acc::Max(s) => s.unwrap_or(Datum::Null),
@@ -483,9 +526,12 @@ impl Acc {
     }
 }
 
-fn add_datums(a: &Datum, b: &Datum) -> Result<Datum> {
+pub(crate) fn add_datums(a: &Datum, b: &Datum) -> Result<Datum> {
     match (a, b) {
-        (Datum::Int(x), Datum::Int(y)) => Ok(Datum::Int(x + y)),
+        (Datum::Int(x), Datum::Int(y)) => x
+            .checked_add(*y)
+            .map(Datum::Int)
+            .ok_or_else(|| CalciteError::execution("integer overflow in SUM")),
         _ => {
             let x = a
                 .as_double()
@@ -498,7 +544,11 @@ fn add_datums(a: &Datum, b: &Datum) -> Result<Datum> {
     }
 }
 
-fn execute_aggregate(input: Vec<Row>, group: &[usize], aggs: &[AggCall]) -> Result<RowIter> {
+pub(crate) fn execute_aggregate(
+    input: Vec<Row>,
+    group: &[usize],
+    aggs: &[AggCall],
+) -> Result<RowIter> {
     // Group rows: key, one accumulator per agg, one distinct-set per agg.
     type GroupState = (Vec<Datum>, Vec<Acc>, Vec<HashSet<Vec<Datum>>>);
     let mut groups: Vec<GroupState> = vec![];

@@ -14,10 +14,12 @@
 //! rcalcite_enumerable::install(&mut planner, &mut ctx);
 //! ```
 
+pub mod batch;
 pub mod executor;
 pub mod linq4j;
 
-pub use executor::{compare_rows, execute_node, EnumerableExecutor};
+pub use batch::{execute_batches, execute_node_batched, ColumnBatch, BATCH_SIZE};
+pub use executor::{compare_datums, compare_rows, execute_node, EnumerableExecutor};
 pub use linq4j::Enumerable;
 
 use rcalcite_core::exec::ExecContext;
