@@ -9,7 +9,7 @@ use rcalcite_backends::memdb::{MemDb, SqlQuerySpec};
 use rcalcite_core::catalog::{Schema, Statistic, Table};
 use rcalcite_core::datum::{Column, Row};
 use rcalcite_core::error::{CalciteError, Result};
-use rcalcite_core::exec::{ConventionExecutor, ExecContext, RowIter};
+use rcalcite_core::exec::{BatchIter, ConventionExecutor, ExecContext, RowIter};
 use rcalcite_core::rel::{Rel, RelKind, RelOp};
 use rcalcite_core::rules::{Pattern, Rule, RuleCall};
 use rcalcite_core::traits::Convention;
@@ -48,6 +48,13 @@ impl Table for JdbcTable {
         // memdb keeps a native columnar mirror, so batch executors get
         // typed vectors straight from storage with no row pivot.
         Some(self.db.scan_columns(&self.name))
+    }
+
+    fn scan_batches(&self, batch_size: usize) -> Result<Box<dyn BatchIter>> {
+        // Stream slices of the columnar mirror lazily instead of cloning
+        // whole columns up front — the batch pipeline pulls one slice at
+        // a time from an Arc snapshot of the relation.
+        self.db.scan_batches(&self.name, batch_size)
     }
 
     fn convention(&self) -> Convention {

@@ -9,6 +9,7 @@ use crate::common::ColPredicate;
 use parking_lot::RwLock;
 use rcalcite_core::datum::{Column, Row};
 use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::exec::{BatchIter, SlicedColumns};
 use rcalcite_core::types::TypeKind;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -73,10 +74,22 @@ impl SqlQuerySpec {
     }
 }
 
-/// The database: a set of named relations.
+/// The database: a set of named relations. Each relation sits behind an
+/// `Arc` so scans can snapshot it (cheap pointer clone) and stream from
+/// the snapshot without holding the lock or copying the data.
 #[derive(Default)]
 pub struct MemDb {
-    tables: RwLock<HashMap<String, MemRelation>>,
+    tables: RwLock<HashMap<String, Arc<MemRelation>>>,
+}
+
+/// An `Arc` snapshot of a relation's columnar mirror, viewable as a
+/// column slice for [`SlicedColumns`].
+struct ColStoreSnapshot(Arc<MemRelation>);
+
+impl AsRef<[Column]> for ColStoreSnapshot {
+    fn as_ref(&self) -> &[Column] {
+        &self.0.col_store
+    }
 }
 
 impl MemDb {
@@ -92,7 +105,7 @@ impl MemDb {
     ) {
         self.tables.write().insert(
             name.into().to_ascii_lowercase(),
-            MemRelation::new(columns, rows),
+            Arc::new(MemRelation::new(columns, rows)),
         );
     }
 
@@ -101,6 +114,9 @@ impl MemDb {
         let rel = tables
             .get_mut(&table.to_ascii_lowercase())
             .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{table}'")))?;
+        // Copy-on-write: in-flight scan snapshots keep the pre-insert
+        // relation; new scans see the new row.
+        let rel = Arc::make_mut(rel);
         if row.len() != rel.columns.len() {
             return Err(CalciteError::execution(format!(
                 "memdb: arity mismatch inserting into '{table}'"
@@ -114,7 +130,8 @@ impl MemDb {
     }
 
     /// Native columnar scan: clones the typed column vectors of a table —
-    /// no per-row pivoting. This is what feeds the batch execution path.
+    /// no per-row pivoting. This is the materializing form; batch
+    /// executors stream through [`MemDb::scan_batches`] instead.
     pub fn scan_columns(&self, name: &str) -> Result<Vec<Column>> {
         self.tables
             .read()
@@ -123,7 +140,24 @@ impl MemDb {
             .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{name}'")))
     }
 
-    pub fn table(&self, name: &str) -> Option<MemRelation> {
+    /// Streaming columnar scan: takes an `Arc` snapshot of the relation
+    /// and serves `batch_size`-row slices of the columnar mirror on
+    /// demand. Nothing beyond the slice being pulled is copied, so the
+    /// batch pipeline's memory stays bounded regardless of table size.
+    pub fn scan_batches(&self, name: &str, batch_size: usize) -> Result<Box<dyn BatchIter>> {
+        let rel = self
+            .tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{name}'")))?;
+        Ok(Box::new(SlicedColumns::new(
+            ColStoreSnapshot(rel),
+            batch_size,
+        )))
+    }
+
+    pub fn table(&self, name: &str) -> Option<Arc<MemRelation>> {
         self.tables.read().get(&name.to_ascii_lowercase()).cloned()
     }
 
@@ -309,6 +343,29 @@ mod tests {
         assert_eq!(cols[0].len(), 4);
         assert_eq!(cols[1].get(3), Datum::str("tnt"));
         assert!(db.scan_columns("missing").is_err());
+    }
+
+    #[test]
+    fn scan_batches_streams_slices_from_a_snapshot() {
+        let db = db();
+        let mut it = db.scan_batches("products", 2).unwrap();
+        assert_eq!(it.arity(), 3);
+        let first = it.next_batch().unwrap().unwrap();
+        assert_eq!(first[0].len(), 2);
+        // An insert between pulls must not disturb the open scan: it
+        // reads from its Arc snapshot.
+        db.insert(
+            "products",
+            vec![Datum::Int(4), Datum::str("tnt"), Datum::Double(50.0)],
+        )
+        .unwrap();
+        let second = it.next_batch().unwrap().unwrap();
+        assert_eq!(second[0].len(), 1);
+        assert!(it.next_batch().unwrap().is_none());
+        // A fresh scan sees the inserted row.
+        let mut it = db.scan_batches("products", 10).unwrap();
+        assert_eq!(it.next_batch().unwrap().unwrap()[0].len(), 4);
+        assert!(db.scan_batches("missing", 2).is_err());
     }
 
     #[test]

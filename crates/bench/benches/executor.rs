@@ -1,8 +1,11 @@
 //! Row vs batch execution benches: the same plans run through the
-//! row-at-a-time interpreter and the vectorized batch path over
-//! 100k-row memdb tables (native columnar scans). Workloads cover the
-//! batch kernels that matter for throughput: filter, project,
-//! filter+project pipelines, hash join and grouped aggregation.
+//! row-at-a-time interpreter and the streaming vectorized batch path
+//! over 100k-row memdb tables (native columnar scans). Workloads cover
+//! the kernels that matter for throughput: filter, project,
+//! filter+project pipelines, hash join, grouped aggregation and Top-K
+//! sort — plus two pairs isolating the new execution shape itself:
+//! fused vs unfused Scan→Filter→Project, and streaming batch pulls vs
+//! materializing every row at the engine boundary.
 //!
 //! Each plan's two engines are cross-checked for identical results at
 //! startup, so the bench cannot silently measure a wrong answer.
@@ -15,8 +18,9 @@ use rcalcite_core::datum::Datum;
 use rcalcite_core::exec::ExecContext;
 use rcalcite_core::rel::{self, AggCall, AggFunc, JoinKind, Rel};
 use rcalcite_core::rex::{Op, RexNode};
+use rcalcite_core::traits::FieldCollation;
 use rcalcite_core::types::{RelType, TypeKind};
-use rcalcite_enumerable::EnumerableExecutor;
+use rcalcite_enumerable::{execute_batches_with_fusion, EnumerableExecutor};
 use rcalcite_sql::PostgresDialect;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -142,7 +146,43 @@ fn workloads(sales: &Rel, custs: &Rel) -> Vec<(&'static str, Rel)> {
                 ],
             ),
         ),
+        (
+            // ORDER BY price DESC LIMIT 10: a full stable sort in the
+            // row engine, a bounded Top-K heap in the batch engine.
+            "sort_topk",
+            rel::sort_limit(
+                sales.clone(),
+                vec![FieldCollation::desc(4)],
+                Some(5),
+                Some(10),
+            ),
+        ),
     ]
+}
+
+/// The fusion-sensitive pipeline: Scan→Filter→Project where the filter
+/// passes about half the rows, so the mask-vs-materialize difference is
+/// what gets measured.
+fn fused_pipeline(sales: &Rel) -> Rel {
+    rel::project(
+        rel::filter(sales.clone(), int_in(3).gt(RexNode::lit_int(500))),
+        vec![
+            int_in(2),
+            RexNode::call(Op::Plus, vec![int_in(3), RexNode::lit_int(1)]),
+        ],
+        vec!["cat".into(), "a1".into()],
+    )
+}
+
+/// Drains the streaming batch iterator, counting live rows batch by
+/// batch — nothing is held beyond the batch in flight.
+fn drain_streaming(plan: &Rel, ctx: &ExecContext, fuse: bool) -> usize {
+    let mut it = execute_batches_with_fusion(plan, ctx, fuse).unwrap();
+    let mut n = 0;
+    while let Some(cols) = it.next_batch().unwrap() {
+        n += cols.first().map_or(0, |c| c.len());
+    }
+    n
 }
 
 fn bench_executors(c: &mut Criterion) {
@@ -169,6 +209,37 @@ fn bench_executors(c: &mut Criterion) {
             bench.iter(|| black_box(batch.execute_collect(plan).unwrap().len()))
         });
     }
+
+    // Fused vs unfused Scan→Filter→Project, both through the streaming
+    // tree: what collapsing the chain into one kernel pass buys.
+    let pipeline = fused_pipeline(&sales);
+    let fused_n = drain_streaming(&pipeline, &batch, true);
+    assert_eq!(
+        fused_n,
+        drain_streaming(&pipeline, &batch, false),
+        "fusion changed the result"
+    );
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_with_input(
+        BenchmarkId::new("batch_fused", "filter_project"),
+        &pipeline,
+        |bench, plan| bench.iter(|| black_box(drain_streaming(plan, &batch, true))),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("batch_unfused", "filter_project"),
+        &pipeline,
+        |bench, plan| bench.iter(|| black_box(drain_streaming(plan, &batch, false))),
+    );
+
+    // Streaming batch pulls vs materializing every row at the engine
+    // boundary: `batch_fused` above IS the streaming measurement (the
+    // same plan drained batch by batch); this case adds the row pivot +
+    // full materialization that the streaming BatchIter avoids.
+    g.bench_with_input(
+        BenchmarkId::new("batch_materialized", "filter_project"),
+        &pipeline,
+        |bench, plan| bench.iter(|| black_box(batch.execute_collect(plan).unwrap().len())),
+    );
     g.finish();
 }
 

@@ -4,6 +4,7 @@
 
 use crate::datum::{Column, Row};
 use crate::error::{CalciteError, Result};
+use crate::exec::{BatchIter, RowBatcher, SlicedColumns};
 use crate::traits::{Collation, Convention};
 use crate::types::RowType;
 use parking_lot::RwLock;
@@ -74,6 +75,35 @@ pub trait Table: Send + Sync {
     /// iteration and callers must bridge through [`Table::scan`].
     fn scan_columns(&self) -> Option<Result<Vec<Column>>> {
         None
+    }
+
+    /// Streaming columnar scan: a pull-based [`BatchIter`] serving at most
+    /// `batch_size` rows per batch. This is what the streaming batch
+    /// executor pulls from, one batch per `next_batch`, so memory stays
+    /// bounded by the pipeline depth rather than the table size.
+    ///
+    /// The default bridges through [`Table::scan_columns`] (slicing the
+    /// materialized vectors lazily) or, failing that, pivots
+    /// [`Table::scan`] through a [`RowBatcher`]. Backends with a native
+    /// columnar store override this to serve slices without materializing
+    /// whole columns up front (see the memdb backend). Zero-column tables
+    /// cannot be represented as column batches (a `Vec<Column>` carries
+    /// no row count without columns) — callers must route those through
+    /// [`Table::scan`].
+    fn scan_batches(&self, batch_size: usize) -> Result<Box<dyn BatchIter>> {
+        if let Some(cols) = self.scan_columns() {
+            let cols = cols?;
+            if !cols.is_empty() {
+                return Ok(Box::new(SlicedColumns::new(cols, batch_size)));
+            }
+        }
+        let kinds = self
+            .row_type()
+            .fields
+            .iter()
+            .map(|f| f.ty.kind.clone())
+            .collect();
+        Ok(Box::new(RowBatcher::new(self.scan()?, kinds, batch_size)))
     }
 
     /// The calling convention in which scans of this table naturally start.

@@ -28,6 +28,120 @@ pub trait BatchIter: Send {
     fn next_batch(&mut self) -> Result<Option<Vec<Column>>>;
 }
 
+/// The operator-level contract for streaming batch engines: a pull-based
+/// tree where `open` prepares an operator to produce (pipeline breakers
+/// run their build phase here — hash-table build, Top-K fill) and `next`
+/// yields one batch at a time. `B` is the engine's batch type, so the
+/// combinators below work for any columnar representation.
+///
+/// Protocol: the driver calls `open` exactly once on the root before the
+/// first `next`; each operator is responsible for opening the children it
+/// pulls (usually inside its own `open`, lazily for deferred inputs).
+pub trait Operator<B>: Send {
+    /// Prepares the operator: opens children, runs any build phase.
+    fn open(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// The next batch, or `None` when the stream is exhausted.
+    fn next(&mut self) -> Result<Option<B>>;
+}
+
+/// A boxed streaming operator.
+pub type BoxOperator<B> = Box<dyn Operator<B>>;
+
+/// Streams pre-built batches — the tail of a build-then-stream operator
+/// (aggregate and sort results, the outer-join padding batch).
+pub struct BatchesOp<B> {
+    batches: std::collections::VecDeque<B>,
+}
+
+impl<B> BatchesOp<B> {
+    pub fn new(batches: impl IntoIterator<Item = B>) -> BatchesOp<B> {
+        BatchesOp {
+            batches: batches.into_iter().collect(),
+        }
+    }
+}
+
+impl<B: Send> Operator<B> for BatchesOp<B> {
+    fn next(&mut self) -> Result<Option<B>> {
+        Ok(self.batches.pop_front())
+    }
+}
+
+/// Applies a per-batch kernel to a child stream. The kernel may drop a
+/// batch entirely (`Ok(None)`, e.g. a filter that selected nothing), in
+/// which case the next child batch is pulled — so downstream operators
+/// never see empty batches.
+pub struct FilterMapOp<B, F> {
+    child: BoxOperator<B>,
+    kernel: F,
+}
+
+impl<B, F> FilterMapOp<B, F>
+where
+    F: FnMut(B) -> Result<Option<B>> + Send,
+{
+    pub fn new(child: BoxOperator<B>, kernel: F) -> FilterMapOp<B, F> {
+        FilterMapOp { child, kernel }
+    }
+}
+
+impl<B: Send, F> Operator<B> for FilterMapOp<B, F>
+where
+    F: FnMut(B) -> Result<Option<B>> + Send,
+{
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<B>> {
+        while let Some(b) = self.child.next()? {
+            if let Some(out) = (self.kernel)(b)? {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Concatenates child streams in order (UNION ALL). Children are opened
+/// lazily, right before their first pull, so no child runs its build
+/// phase until the stream actually reaches it.
+pub struct ChainOp<B> {
+    children: Vec<BoxOperator<B>>,
+    current: usize,
+    opened: bool,
+}
+
+impl<B> ChainOp<B> {
+    pub fn new(children: Vec<BoxOperator<B>>) -> ChainOp<B> {
+        ChainOp {
+            children,
+            current: 0,
+            opened: false,
+        }
+    }
+}
+
+impl<B: Send> Operator<B> for ChainOp<B> {
+    fn next(&mut self) -> Result<Option<B>> {
+        while self.current < self.children.len() {
+            if !self.opened {
+                self.children[self.current].open()?;
+                self.opened = true;
+            }
+            if let Some(b) = self.children[self.current].next()? {
+                return Ok(Some(b));
+            }
+            self.current += 1;
+            self.opened = false;
+        }
+        Ok(None)
+    }
+}
+
 /// A materialized [`BatchIter`] over pre-built batches.
 pub struct VecBatchIter {
     arity: usize,
@@ -95,6 +209,53 @@ impl BatchIter for RowBatcher {
         } else {
             Ok(Some(cols))
         }
+    }
+}
+
+/// A [`BatchIter`] over whole-table column vectors, yielding contiguous
+/// `batch_size`-row slices one pull at a time. Only the slice being
+/// served is copied; the backing columns are shared (typically behind an
+/// `Arc` snapshot taken by the table).
+pub struct SlicedColumns<S> {
+    source: S,
+    arity: usize,
+    len: usize,
+    pos: usize,
+    batch_size: usize,
+}
+
+impl<S: AsRef<[Column]> + Send> SlicedColumns<S> {
+    pub fn new(source: S, batch_size: usize) -> SlicedColumns<S> {
+        let cols = source.as_ref();
+        let (arity, len) = (cols.len(), cols.first().map_or(0, Column::len));
+        SlicedColumns {
+            source,
+            arity,
+            len,
+            pos: 0,
+            batch_size: batch_size.max(1),
+        }
+    }
+}
+
+impl<S: AsRef<[Column]> + Send> BatchIter for SlicedColumns<S> {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Column>>> {
+        if self.pos >= self.len {
+            return Ok(None);
+        }
+        let take = self.batch_size.min(self.len - self.pos);
+        let cols = self
+            .source
+            .as_ref()
+            .iter()
+            .map(|c| c.slice(self.pos, take))
+            .collect();
+        self.pos += take;
+        Ok(Some(cols))
     }
 }
 
@@ -245,6 +406,35 @@ mod tests {
         let rows = collect_batches_to_rows(Box::new(it)).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[3], vec![Datum::Int(2)]);
+    }
+
+    #[test]
+    fn operator_combinators_stream() {
+        // FilterMap drops batches the kernel rejects; Chain opens children
+        // lazily and concatenates.
+        let evens = FilterMapOp::new(Box::new(BatchesOp::new(vec![1, 2, 3, 4])), |b: i32| {
+            Ok((b % 2 == 0).then_some(b * 10))
+        });
+        let mut chain = ChainOp::new(vec![
+            Box::new(evens) as BoxOperator<i32>,
+            Box::new(BatchesOp::new(vec![7])),
+        ]);
+        chain.open().unwrap();
+        let mut out = vec![];
+        while let Some(b) = chain.next().unwrap() {
+            out.push(b);
+        }
+        assert_eq!(out, vec![20, 40, 7]);
+    }
+
+    #[test]
+    fn sliced_columns_serves_bounded_slices() {
+        let col = Column::from_datums(&TypeKind::Integer, (0..10).map(Datum::Int));
+        let mut it = SlicedColumns::new(vec![col], 4);
+        assert_eq!(it.arity(), 1);
+        let sizes: Vec<usize> =
+            std::iter::from_fn(|| it.next_batch().unwrap().map(|cols| cols[0].len())).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
     }
 
     #[test]

@@ -787,9 +787,15 @@ pub fn eval_op_strict(op: &Op, vals: &[Datum], ty: &RelType) -> Result<Datum> {
             eval_arith(op, &vals[0], &vals[1])
         }
         Op::Neg => match &vals[0] {
-            Datum::Int(i) => Ok(Datum::Int(-i)),
+            Datum::Int(i) => i
+                .checked_neg()
+                .map(Datum::Int)
+                .ok_or_else(|| CalciteError::execution("integer overflow in Neg")),
             Datum::Double(d) => Ok(Datum::Double(-d)),
-            Datum::Interval(i) => Ok(Datum::Interval(-i)),
+            Datum::Interval(i) => i
+                .checked_neg()
+                .map(Datum::Interval)
+                .ok_or_else(|| CalciteError::execution("integer overflow in Neg")),
             v => Err(CalciteError::execution(format!("cannot negate {v}"))),
         },
         Op::Eq => Ok(Datum::Bool(vals[0] == vals[1])),
@@ -831,25 +837,53 @@ pub fn eval_op_strict(op: &Op, vals: &[Datum], ty: &RelType) -> Result<Datum> {
 
 fn eval_arith(op: &Op, a: &Datum, b: &Datum) -> Result<Datum> {
     use Datum::*;
+    // All i64-backed arithmetic — integer and temporal — is checked:
+    // overflow is an execution error, the same contract as SUM. Both
+    // executors route here (the batch engine's typed kernels mirror
+    // this exactly), so overflow surfaces identically everywhere
+    // instead of wrapping in release and panicking in debug.
+    let overflow = |op: &Op| CalciteError::execution(format!("integer overflow in {op:?}"));
     // Temporal arithmetic.
     match (op, a, b) {
         (Op::Plus, Timestamp(t), Interval(i)) | (Op::Plus, Interval(i), Timestamp(t)) => {
-            return Ok(Timestamp(t + i))
+            return t.checked_add(*i).map(Timestamp).ok_or_else(|| overflow(op))
         }
-        (Op::Minus, Timestamp(t), Interval(i)) => return Ok(Timestamp(t - i)),
-        (Op::Minus, Timestamp(t1), Timestamp(t2)) => return Ok(Interval(t1 - t2)),
-        (Op::Plus, Interval(i1), Interval(i2)) => return Ok(Interval(i1 + i2)),
-        (Op::Minus, Interval(i1), Interval(i2)) => return Ok(Interval(i1 - i2)),
+        (Op::Minus, Timestamp(t), Interval(i)) => {
+            return t.checked_sub(*i).map(Timestamp).ok_or_else(|| overflow(op))
+        }
+        (Op::Minus, Timestamp(t1), Timestamp(t2)) => {
+            return t1
+                .checked_sub(*t2)
+                .map(Interval)
+                .ok_or_else(|| overflow(op))
+        }
+        (Op::Plus, Interval(i1), Interval(i2)) => {
+            return i1
+                .checked_add(*i2)
+                .map(Interval)
+                .ok_or_else(|| overflow(op))
+        }
+        (Op::Minus, Interval(i1), Interval(i2)) => {
+            return i1
+                .checked_sub(*i2)
+                .map(Interval)
+                .ok_or_else(|| overflow(op))
+        }
         // Timestamp % interval: offset into the current tumbling window
         // (used by the TUMBLE desugaring, §7.2).
-        (Op::Mod, Timestamp(t), Interval(i)) if *i != 0 => return Ok(Interval(t.rem_euclid(*i))),
+        (Op::Mod, Timestamp(t), Interval(i)) if *i != 0 => {
+            return t
+                .checked_rem_euclid(*i)
+                .map(Interval)
+                .ok_or_else(|| overflow(op))
+        }
         _ => {}
     }
     match (a, b) {
         (Int(x), Int(y)) => match op {
-            Op::Plus => Ok(Int(x.wrapping_add(*y))),
-            Op::Minus => Ok(Int(x.wrapping_sub(*y))),
-            Op::Times => Ok(Int(x.wrapping_mul(*y))),
+            Op::Plus => x.checked_add(*y).map(Int).ok_or_else(|| overflow(op)),
+            Op::Minus => x.checked_sub(*y).map(Int).ok_or_else(|| overflow(op)),
+            Op::Times => x.checked_mul(*y).map(Int).ok_or_else(|| overflow(op)),
             Op::Divide => {
                 if *y == 0 {
                     Err(CalciteError::execution("division by zero"))
@@ -1100,6 +1134,26 @@ mod tests {
         assert_eq!(e.eval(&[Datum::Int(2)]).unwrap(), Datum::Int(7));
         let e = RexNode::call(Op::Divide, vec![RexNode::lit_int(7), RexNode::lit_int(2)]);
         assert_eq!(e.eval(&[]).unwrap(), Datum::Double(3.5));
+    }
+
+    #[test]
+    fn integer_overflow_errors() {
+        for (op, lhs) in [
+            (Op::Plus, i64::MAX),
+            (Op::Minus, i64::MIN),
+            (Op::Times, i64::MAX / 2 + 1),
+        ] {
+            let e = RexNode::call(op, vec![RexNode::lit_int(lhs), RexNode::lit_int(2)]);
+            assert!(e.eval(&[]).is_err(), "{lhs} should overflow");
+        }
+        // In-range extremes still evaluate.
+        let e = RexNode::call(
+            Op::Plus,
+            vec![RexNode::lit_int(i64::MAX), RexNode::lit_int(-1)],
+        );
+        assert_eq!(e.eval(&[]).unwrap(), Datum::Int(i64::MAX - 1));
+        let e = RexNode::call(Op::Neg, vec![RexNode::lit_int(i64::MIN)]);
+        assert!(e.eval(&[]).is_err());
     }
 
     #[test]

@@ -1,17 +1,36 @@
-//! Vectorized batch execution for the enumerable convention.
+//! Vectorized, streaming batch execution for the enumerable convention.
 //!
 //! The row executor in [`crate::executor`] reproduces the paper's
 //! iterator interface faithfully but pays per-row dispatch on every
-//! operator. This module is the throughput path: plans execute over
-//! [`ColumnBatch`]es — typed column vectors of up to [`BATCH_SIZE`] rows
-//! with a selection mask — so Filter and Project run tight loops over
-//! `Vec<i64>`/`Vec<f64>` instead of cloning `Datum`s per row.
+//! operator. This module is the throughput path: plans compile into a
+//! pull-based tree of streaming operators (the [`Operator`] open/next
+//! contract from `rcalcite_core::exec`), each pulling one
+//! [`ColumnBatch`] — typed column vectors of up to [`BATCH_SIZE`] rows
+//! with a selection mask — at a time from its child. Scan, Values,
+//! Filter, Project, Union and Delta are fully pipelined (memory stays
+//! bounded by the pipeline depth, not the table size); HashJoin,
+//! Aggregate, Sort, Intersect and Minus are build-then-stream: only the
+//! build side / operator state materializes, and results stream out in
+//! batches.
 //!
-//! Operators with batch kernels: Scan, Values, Filter, Project,
-//! HashJoin (equi keys), Aggregate, Sort, Union and Delta. Everything
-//! else (Window, Intersect, Minus, foreign conventions) falls back to
-//! [`execute_node`] row iteration and is re-pivoted into batches, so a
-//! batched plan always runs end to end.
+//! Two physical optimizations ride on the streaming shape:
+//!
+//! - **Scan→Filter→Project fusion**: the plan builder collapses a
+//!   Project over a Filter into one kernel invocation per batch. The
+//!   filter's selection mask never materializes between the two — the
+//!   projection evaluates directly over the masked batch, gathering
+//!   only the columns it references.
+//! - **Top-K sort**: `Sort` with a `fetch` keeps a bounded heap of
+//!   `offset + fetch` rows instead of sorting the whole input, and a
+//!   pure `LIMIT`/`OFFSET` (empty collation) streams and stops pulling
+//!   its child as soon as the limit is satisfied.
+//!
+//! Operators without a batch implementation (Window, foreign
+//! conventions) fall back to [`execute_node`] row iteration and are
+//! re-pivoted through the [`RowBatcher`] bridge, so a batched plan
+//! always runs end to end. All kernels are pure per-batch functions
+//! invoked by the streaming drivers — the shape morsel-driven
+//! parallelism will farm out.
 //!
 //! Semantics are pinned to the row engine: the generic expression path
 //! routes through [`rcalcite_core::rex::eval_op_strict`] (the same code
@@ -20,26 +39,32 @@
 //! executor's accumulators. The differential suite in
 //! `tests/executor_differential.rs` holds the two engines equal.
 
-use crate::executor::{self, compare_datums, dedup_rows, execute_node, extract_equi_keys, Acc};
+use crate::executor::{self, compare_datums, compare_rows, execute_node, extract_equi_keys, Acc};
 use rcalcite_core::catalog::TableRef;
 use rcalcite_core::datum::{Column, Datum, Row};
-use rcalcite_core::error::Result;
+use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{
-    collect_batches_to_rows, BatchIter, ExecContext, RowBatcher, RowIter, VecBatchIter,
+    BatchIter, BoxOperator, ChainOp, ExecContext, FilterMapOp, Operator, RowBatcher, RowIter,
 };
 use rcalcite_core::rel::{AggCall, AggFunc, JoinKind, Rel, RelOp};
 use rcalcite_core::rex::{eval_op_strict, BuiltinFn, Op, RexNode};
-use rcalcite_core::traits::{Collation, Convention};
+use rcalcite_core::traits::Collation;
 use rcalcite_core::types::{RowType, TypeKind};
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Target number of rows per batch.
 pub const BATCH_SIZE: usize = 1024;
 
+/// A boxed streaming operator over column batches — one node of the
+/// physical operator tree.
+pub type BatchOp = BoxOperator<ColumnBatch>;
+
 /// A batch of rows in columnar form: equal-length typed columns plus an
 /// optional selection mask listing the live row indexes. Filters only
-/// update the mask; downstream kernels compact (gather the live rows)
-/// when they need dense vectors.
+/// update the mask; downstream kernels either consume the mask directly
+/// (the fused projection) or compact (gather the live rows) when they
+/// need dense vectors.
 #[derive(Debug, Clone)]
 pub struct ColumnBatch {
     /// Physical row count (including filtered-out rows). Kept explicitly
@@ -54,6 +79,16 @@ impl ColumnBatch {
     /// A batch over dense columns (all rows live).
     pub fn new(columns: Vec<Column>) -> ColumnBatch {
         let len = columns.first().map_or(0, Column::len);
+        ColumnBatch {
+            len,
+            columns,
+            selection: None,
+        }
+    }
+
+    /// A dense batch with an explicit row count (columns may be empty
+    /// for zero-arity rows).
+    fn with_len(columns: Vec<Column>, len: usize) -> ColumnBatch {
         ColumnBatch {
             len,
             columns,
@@ -118,6 +153,16 @@ impl ColumnBatch {
         }
     }
 
+    /// A contiguous dense sub-batch `[start, start + len)`.
+    fn slice(&self, start: usize, len: usize) -> ColumnBatch {
+        debug_assert!(self.selection.is_none());
+        ColumnBatch {
+            len,
+            columns: self.columns.iter().map(|c| c.slice(start, len)).collect(),
+            selection: None,
+        }
+    }
+
     /// Row `i` of a dense batch as datums.
     fn row(&self, i: usize) -> Row {
         debug_assert!(self.selection.is_none());
@@ -135,33 +180,66 @@ impl ColumnBatch {
     }
 }
 
-/// Executes a plan through the batch kernels and flattens the result to
-/// a row iterator (the engine-boundary interface).
+// ---------------------------------------------------------------------
+// Engine entry points
+// ---------------------------------------------------------------------
+
+/// Executes a plan through the streaming batch tree and flattens the
+/// result to a row iterator (the engine-boundary interface). Rows are
+/// materialized here so evaluation errors surface eagerly, matching the
+/// row executor's behavior at the same boundary; the tree underneath
+/// still pipelines, so inputs never materialize wholesale.
 pub fn execute_node_batched(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
-    // A `Vec<Column>` batch cannot carry a row count without columns, so
-    // zero-arity plans (`SELECT` with no `FROM`) bypass the BatchIter
-    // boundary and flatten ColumnBatches (which track length) directly.
-    let rows = if rel.row_type().arity() == 0 {
-        let mut rows: Vec<Row> = vec![];
-        for b in batches_for(rel, ctx)? {
-            rows.extend(b.to_rows());
-        }
-        rows
-    } else {
-        collect_batches_to_rows(execute_batches(rel, ctx)?)?
-    };
+    let mut op = build_op(rel, ctx, true)?;
+    op.open()?;
+    let mut rows: Vec<Row> = vec![];
+    while let Some(b) = op.next()? {
+        rows.extend(b.to_rows());
+    }
     Ok(Box::new(rows.into_iter()))
 }
 
-/// Executes a plan and exposes the result as a [`BatchIter`] of dense
-/// column batches.
+/// Executes a plan and exposes the result as a streaming [`BatchIter`]
+/// of dense column batches: each `next_batch` pulls one batch through
+/// the operator tree, so consumers control how much is in flight.
+///
+/// Caveat: a `Vec<Column>` batch cannot carry a row count without
+/// columns, so zero-arity plans (`SELECT` with no `FROM`) lose their
+/// row count at this boundary — use [`execute_node_batched`] (which
+/// tracks lengths through [`ColumnBatch`]) for those.
 pub fn execute_batches(rel: &Rel, ctx: &ExecContext) -> Result<Box<dyn BatchIter>> {
+    execute_batches_with_fusion(rel, ctx, true)
+}
+
+/// [`execute_batches`] with the Scan→Filter→Project fusion pass
+/// switchable — `fuse: false` builds one operator per plan node, which
+/// exists so benches can measure what fusion buys.
+pub fn execute_batches_with_fusion(
+    rel: &Rel,
+    ctx: &ExecContext,
+    fuse: bool,
+) -> Result<Box<dyn BatchIter>> {
     let arity = rel.row_type().arity();
-    let batches = batches_for(rel, ctx)?;
-    Ok(Box::new(VecBatchIter::new(
-        arity,
-        batches.into_iter().map(|b| b.compact().columns).collect(),
-    )))
+    let mut op = build_op(rel, ctx, fuse)?;
+    op.open()?;
+    Ok(Box::new(OpBatchIter { op, arity }))
+}
+
+/// Adapts the operator tree to the engine-boundary [`BatchIter`]
+/// (compacting each batch's selection into dense columns).
+struct OpBatchIter {
+    op: BatchOp,
+    arity: usize,
+}
+
+impl BatchIter for OpBatchIter {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Vec<Column>>> {
+        Ok(self.op.next()?.map(|b| b.compact().columns))
+    }
 }
 
 fn kinds_of(row_type: &RowType) -> Vec<TypeKind> {
@@ -169,7 +247,8 @@ fn kinds_of(row_type: &RowType) -> Vec<TypeKind> {
 }
 
 /// Chunks materialized rows into batches via the core [`RowBatcher`]
-/// bridge (one shared row→column pivot implementation).
+/// bridge (one shared row→column pivot implementation). Used for the
+/// bounded outputs of build-then-stream operators.
 fn rebatch_rows(rows: Vec<Row>, kinds: &[TypeKind]) -> Vec<ColumnBatch> {
     if rows.is_empty() {
         return vec![];
@@ -189,7 +268,7 @@ fn rebatch_rows(rows: Vec<Row>, kinds: &[TypeKind]) -> Vec<ColumnBatch> {
 }
 
 /// Concatenates batches into one dense batch (the materialization point
-/// for pipeline breakers: join, aggregate, sort).
+/// for build sides and full sorts).
 fn concat_batches(batches: Vec<ColumnBatch>, arity: usize) -> ColumnBatch {
     let mut it = batches.into_iter().map(ColumnBatch::compact);
     let Some(mut acc) = it.next() else {
@@ -208,138 +287,404 @@ fn concat_batches(batches: Vec<ColumnBatch>, arity: usize) -> ColumnBatch {
     acc
 }
 
-/// Recursively executes a node through batch kernels, mirroring the
+/// Splits one dense batch into `BATCH_SIZE`-row chunks.
+fn split_to_batches(b: ColumnBatch) -> Vec<ColumnBatch> {
+    if b.len <= BATCH_SIZE {
+        return if b.len == 0 { vec![] } else { vec![b] };
+    }
+    let mut out = Vec::with_capacity(b.len.div_ceil(BATCH_SIZE));
+    let mut start = 0;
+    while start < b.len {
+        let take = BATCH_SIZE.min(b.len - start);
+        out.push(b.slice(start, take));
+        start += take;
+    }
+    out
+}
+
+/// Fully drains an operator into rows (build sides, fallbacks).
+fn drain_rows(op: &mut BatchOp) -> Result<Vec<Row>> {
+    let mut rows = vec![];
+    while let Some(b) = op.next()? {
+        rows.extend(b.to_rows());
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Plan → operator tree
+// ---------------------------------------------------------------------
+
+/// Compiles a plan node into its streaming operator, mirroring the
 /// dispatch structure of [`execute_node`]: children in foreign
-/// conventions are routed through the context and re-pivoted.
-fn batches_for(rel: &Rel, ctx: &ExecContext) -> Result<Vec<ColumnBatch>> {
-    let child = |i: usize| -> Result<Vec<ColumnBatch>> {
-        let c = rel.input(i);
-        if c.convention == rel.convention || matches!(c.op, RelOp::Convert { .. }) {
-            batches_for_dispatch(c, ctx, &rel.convention)
-        } else {
-            Ok(rebatch_rows(
-                ctx.execute(c)?.collect(),
-                &kinds_of(c.row_type()),
-            ))
-        }
-    };
+/// conventions are routed through the context and re-pivoted lazily.
+fn build_op(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
+    let child = |i: usize| -> Result<BatchOp> { build_input(rel, i, ctx, fuse) };
     match &rel.op {
-        RelOp::Scan { table } => scan_batches(table),
-        RelOp::Values { tuples, row_type } => Ok(rebatch_rows(tuples.clone(), &kinds_of(row_type))),
-        RelOp::Filter { condition } => filter_batches(child(0)?, condition),
-        RelOp::Project { exprs, .. } => project_batches(child(0)?, exprs),
-        RelOp::Join { kind, condition } => {
-            let left_arity = rel.input(0).row_type().arity();
-            let right_arity = rel.input(1).row_type().arity();
-            join_batches(
-                child(0)?,
-                child(1)?,
-                left_arity,
-                right_arity,
-                *kind,
-                condition,
-                &kinds_of(rel.row_type()),
-            )
+        RelOp::Scan { table } => Ok(Box::new(ScanOp::new(table.clone()))),
+        RelOp::Values { tuples, row_type } => {
+            Ok(Box::new(ValuesOp::new(tuples.clone(), kinds_of(row_type))))
         }
-        RelOp::Aggregate { group, aggs } => {
-            let input_arity = rel.input(0).row_type().arity();
-            aggregate_batches(
-                child(0)?,
-                input_arity,
-                group,
-                aggs,
-                &kinds_of(rel.row_type()),
-            )
+        RelOp::Filter { condition } => Ok(fused(child(0)?, Some(condition.clone()), None)),
+        RelOp::Project { exprs, .. } => {
+            // Fusion pass: a Project directly over a Filter in the same
+            // convention collapses into one kernel invocation per batch;
+            // the selection mask flows straight into the projection.
+            let c = rel.input(0);
+            if fuse && c.convention == rel.convention {
+                if let RelOp::Filter { condition } = &c.op {
+                    let src = build_input(c, 0, ctx, fuse)?;
+                    return Ok(fused(src, Some(condition.clone()), Some(exprs.clone())));
+                }
+            }
+            Ok(fused(child(0)?, None, Some(exprs.clone())))
         }
+        RelOp::Join { kind, condition } => Ok(Box::new(HashJoinOp::new(
+            child(0)?,
+            child(1)?,
+            rel.input(0).row_type().arity(),
+            rel.input(1).row_type().arity(),
+            *kind,
+            condition.clone(),
+            kinds_of(rel.row_type()),
+        ))),
+        RelOp::Aggregate { group, aggs } => Ok(Box::new(AggregateOp::new(
+            child(0)?,
+            group.clone(),
+            aggs.clone(),
+            kinds_of(rel.row_type()),
+        ))),
         RelOp::Sort {
             collation,
             offset,
             fetch,
         } => {
-            let arity = rel.row_type().arity();
-            sort_batches(child(0)?, arity, collation, *offset, *fetch)
+            let input = child(0)?;
+            if collation.is_empty() {
+                return Ok(match (offset, fetch) {
+                    // A no-op sort is the identity.
+                    (None, None) => input,
+                    // Pure LIMIT/OFFSET: stream, stop pulling once done.
+                    _ => Box::new(LimitOp::new(input, offset.unwrap_or(0), *fetch)),
+                });
+            }
+            match fetch {
+                // ORDER BY ... LIMIT: bounded Top-K heap of offset+fetch
+                // rows; the full input never materializes.
+                Some(f) => Ok(Box::new(TopKOp::new(
+                    input,
+                    collation.clone(),
+                    offset.unwrap_or(0),
+                    *f,
+                    kinds_of(rel.row_type()),
+                ))),
+                None => Ok(Box::new(FullSortOp::new(
+                    input,
+                    collation.clone(),
+                    offset.unwrap_or(0),
+                    rel.row_type().arity(),
+                ))),
+            }
         }
         RelOp::Union { all } => {
-            let mut batches = vec![];
-            for i in 0..rel.inputs.len() {
-                batches.extend(child(i)?);
-            }
+            let children: Vec<BatchOp> = (0..rel.inputs.len())
+                .map(|i| build_input(rel, i, ctx, fuse))
+                .collect::<Result<_>>()?;
+            let chain: BatchOp = Box::new(ChainOp::new(children));
             if *all {
-                Ok(batches)
+                Ok(chain)
             } else {
-                let mut rows = vec![];
-                for b in batches {
-                    rows.extend(b.to_rows());
-                }
-                Ok(rebatch_rows(dedup_rows(rows), &kinds_of(rel.row_type())))
+                // Streaming dedup: state is the distinct-row set, input
+                // batches flow through one at a time.
+                let kinds = kinds_of(rel.row_type());
+                let mut seen: HashSet<Row> = HashSet::new();
+                Ok(Box::new(FilterMapOp::new(chain, move |b: ColumnBatch| {
+                    let fresh: Vec<Row> = b
+                        .to_rows()
+                        .into_iter()
+                        .filter(|r| seen.insert(r.clone()))
+                        .collect();
+                    Ok((!fresh.is_empty()).then(|| ColumnBatch::from_rows(&kinds, &fresh)))
+                })))
             }
         }
+        RelOp::Intersect { all } => {
+            let rights = (1..rel.inputs.len())
+                .map(|i| build_input(rel, i, ctx, fuse))
+                .collect::<Result<_>>()?;
+            Ok(Box::new(IntersectOp::new(
+                child(0)?,
+                rights,
+                *all,
+                kinds_of(rel.row_type()),
+            )))
+        }
+        RelOp::Minus { all } => {
+            let rights = (1..rel.inputs.len())
+                .map(|i| build_input(rel, i, ctx, fuse))
+                .collect::<Result<_>>()?;
+            Ok(Box::new(MinusOp::new(
+                child(0)?,
+                rights,
+                *all,
+                kinds_of(rel.row_type()),
+            )))
+        }
+        // A finite replay of a stream: the Delta operator's batch-mode
+        // semantics (streaming runtimes execute it incrementally).
         RelOp::Delta => child(0),
-        RelOp::Convert { .. } => Ok(rebatch_rows(
-            ctx.execute(rel.input(0))?.collect(),
-            &kinds_of(rel.row_type()),
-        )),
-        // No batch kernel (Window, Intersect, Minus): run the row
-        // operator and re-pivot its output.
-        _ => Ok(rebatch_rows(
-            execute_node(rel, ctx)?.collect(),
-            &kinds_of(rel.row_type()),
-        )),
+        // Convert: execute the foreign subtree through the context and
+        // stream its rows through the pivot bridge.
+        RelOp::Convert { .. } => Ok(Box::new(RowBridgeOp::foreign(rel.clone(), ctx.clone()))),
+        // No batch operator (Window): run the row operator and re-pivot
+        // its output lazily.
+        _ => Ok(Box::new(RowBridgeOp::fallback(rel.clone(), ctx.clone()))),
     }
 }
 
-fn batches_for_dispatch(
-    rel: &Rel,
-    ctx: &ExecContext,
-    parent_conv: &Convention,
-) -> Result<Vec<ColumnBatch>> {
-    if rel.convention == *parent_conv || matches!(rel.op, RelOp::Convert { .. }) {
-        batches_for(rel, ctx)
+/// Builds input `i` of `rel`, bridging through the row engine when the
+/// child belongs to a foreign convention.
+fn build_input(rel: &Rel, i: usize, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
+    let c = rel.input(i);
+    if c.convention == rel.convention || matches!(c.op, RelOp::Convert { .. }) {
+        build_op(c, ctx, fuse)
     } else {
-        Ok(rebatch_rows(
-            ctx.execute(rel)?.collect(),
-            &kinds_of(rel.row_type()),
-        ))
+        Ok(Box::new(RowBridgeOp::foreign(c.clone(), ctx.clone())))
     }
 }
 
+/// Wraps the fused filter+project kernel into a streaming operator.
+fn fused(child: BatchOp, predicate: Option<RexNode>, exprs: Option<Vec<RexNode>>) -> BatchOp {
+    Box::new(FilterMapOp::new(child, move |b: ColumnBatch| {
+        fused_filter_project(predicate.as_ref(), exprs.as_deref(), b)
+    }))
+}
+
 // ---------------------------------------------------------------------
-// Scan
+// Source operators: Scan, Values, row bridge
 // ---------------------------------------------------------------------
 
-fn scan_batches(table: &TableRef) -> Result<Vec<ColumnBatch>> {
-    if let Some(cols) = table.table.scan_columns() {
-        let cols = cols?;
-        if !cols.is_empty() {
-            let n = cols[0].len();
-            let mut out = Vec::with_capacity(n.div_ceil(BATCH_SIZE));
-            let mut start = 0;
-            while start < n {
-                let len = BATCH_SIZE.min(n - start);
-                out.push(ColumnBatch::new(
-                    cols.iter().map(|c| c.slice(start, len)).collect(),
-                ));
-                start += len;
-            }
-            return Ok(out);
+/// Streams a base table: pulls one column-batch slice at a time through
+/// the [`rcalcite_core::catalog::Table::scan_batches`] SPI (memdb serves
+/// these from an `Arc` snapshot of its columnar mirror).
+struct ScanOp {
+    table: TableRef,
+    batches: Option<Box<dyn BatchIter>>,
+    /// Zero-arity tables can't be represented as column batches; count
+    /// their rows instead.
+    zero_arity_rows: Option<RowIter>,
+}
+
+impl ScanOp {
+    fn new(table: TableRef) -> ScanOp {
+        ScanOp {
+            table,
+            batches: None,
+            zero_arity_rows: None,
         }
     }
-    let rows: Vec<Row> = table.table.scan()?.collect();
-    Ok(rebatch_rows(rows, &kinds_of(&table.table.row_type())))
+}
+
+impl Operator<ColumnBatch> for ScanOp {
+    fn open(&mut self) -> Result<()> {
+        if self.table.table.row_type().arity() == 0 {
+            self.zero_arity_rows = Some(self.table.table.scan()?);
+        } else {
+            self.batches = Some(self.table.table.scan_batches(BATCH_SIZE)?);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        if let Some(rows) = &mut self.zero_arity_rows {
+            let n = rows.by_ref().take(BATCH_SIZE).count();
+            return Ok((n > 0).then(|| ColumnBatch::zero_arity(n)));
+        }
+        let it = self.batches.as_mut().expect("ScanOp not opened");
+        Ok(it.next_batch()?.map(ColumnBatch::new))
+    }
+}
+
+/// Streams literal rows, pivoting one batch-sized chunk per pull.
+struct ValuesOp {
+    rows: std::vec::IntoIter<Row>,
+    kinds: Vec<TypeKind>,
+}
+
+impl ValuesOp {
+    fn new(rows: Vec<Row>, kinds: Vec<TypeKind>) -> ValuesOp {
+        ValuesOp {
+            rows: rows.into_iter(),
+            kinds,
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for ValuesOp {
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        let chunk: Vec<Row> = self.rows.by_ref().take(BATCH_SIZE).collect();
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(if self.kinds.is_empty() {
+            ColumnBatch::zero_arity(chunk.len())
+        } else {
+            ColumnBatch::from_rows(&self.kinds, &chunk)
+        }))
+    }
+}
+
+/// Bridges a row-producing subtree into the batch pipeline: the row
+/// iterator is obtained at `open` and pivoted one batch at a time, so a
+/// lazy row source stays lazy.
+struct RowBridgeOp {
+    rel: Rel,
+    ctx: ExecContext,
+    /// `true`: execute through the context (foreign conventions,
+    /// Convert); `false`: run the row operator for this node directly
+    /// (operators without a batch implementation).
+    foreign: bool,
+    state: Option<BridgeState>,
+}
+
+enum BridgeState {
+    Batcher(RowBatcher),
+    ZeroArity(RowIter),
+}
+
+impl RowBridgeOp {
+    fn foreign(rel: Rel, ctx: ExecContext) -> RowBridgeOp {
+        RowBridgeOp {
+            rel,
+            ctx,
+            foreign: true,
+            state: None,
+        }
+    }
+
+    fn fallback(rel: Rel, ctx: ExecContext) -> RowBridgeOp {
+        RowBridgeOp {
+            rel,
+            ctx,
+            foreign: false,
+            state: None,
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for RowBridgeOp {
+    fn open(&mut self) -> Result<()> {
+        let rows = if self.foreign {
+            self.ctx.execute(&self.rel)?
+        } else {
+            execute_node(&self.rel, &self.ctx)?
+        };
+        let kinds = kinds_of(self.rel.row_type());
+        self.state = Some(if kinds.is_empty() {
+            BridgeState::ZeroArity(rows)
+        } else {
+            BridgeState::Batcher(RowBatcher::new(rows, kinds, BATCH_SIZE))
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        match self.state.as_mut().expect("RowBridgeOp not opened") {
+            BridgeState::Batcher(b) => Ok(b.next_batch()?.map(ColumnBatch::new)),
+            BridgeState::ZeroArity(rows) => {
+                let n = rows.by_ref().take(BATCH_SIZE).count();
+                Ok((n > 0).then(|| ColumnBatch::zero_arity(n)))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused Filter/Project kernel
+// ---------------------------------------------------------------------
+
+/// The fused per-batch kernel: filter (optional) then project
+/// (optional) in one pass. The selection computed by the filter never
+/// materializes as an intermediate batch — the projection evaluates
+/// over the mask, gathering only the columns it references. Returns
+/// `None` when the filter selects nothing (the batch is dropped).
+fn fused_filter_project(
+    predicate: Option<&RexNode>,
+    exprs: Option<&[RexNode]>,
+    b: ColumnBatch,
+) -> Result<Option<ColumnBatch>> {
+    let mut b = b.compact();
+    let sel: Option<Vec<usize>> = match predicate {
+        None => None,
+        Some(cond) => {
+            let sel = filter_selection(cond, &b);
+            if sel.is_empty() {
+                return Ok(None);
+            }
+            // A full selection is represented as "no mask".
+            (sel.len() < b.len).then_some(sel)
+        }
+    };
+    match exprs {
+        None => {
+            if let Some(sel) = sel {
+                b.set_selection(sel);
+            }
+            Ok(Some(b))
+        }
+        Some(exprs) => {
+            let n = sel.as_ref().map_or(b.len, Vec::len);
+            let columns: Vec<Column> = exprs
+                .iter()
+                .map(|e| eval_batch_sel(e, &b, sel.as_deref()))
+                .collect::<Result<_>>()?;
+            Ok(Some(ColumnBatch::with_len(columns, n)))
+        }
+    }
+}
+
+/// Evaluates a filter predicate over a dense batch, returning the live
+/// row indexes. The row engine's filter drops rows whose predicate
+/// errors (`matches!(cond.eval(row), Ok(true))`); reproduce that by
+/// re-evaluating per row when the vectorized pass fails.
+fn filter_selection(condition: &RexNode, b: &ColumnBatch) -> Vec<usize> {
+    match eval_batch(condition, b) {
+        Ok(Column::Bool { values, valid }) => {
+            (0..b.len).filter(|&i| valid[i] && values[i]).collect()
+        }
+        Ok(col) => (0..b.len)
+            .filter(|&i| col.get(i) == Datum::Bool(true))
+            .collect(),
+        Err(_) => (0..b.len)
+            .filter(|&i| matches!(condition.eval(&b.row(i)), Ok(Datum::Bool(true))))
+            .collect(),
+    }
 }
 
 // ---------------------------------------------------------------------
 // Vectorized expression evaluation
 // ---------------------------------------------------------------------
 
-/// Evaluates an expression over every row of a dense batch. Fast paths
-/// run typed loops; everything else goes through the generic per-row
-/// path built on the same [`eval_op_strict`] the row engine uses.
+/// Evaluates an expression over every row of a dense batch.
 fn eval_batch(e: &RexNode, b: &ColumnBatch) -> Result<Column> {
+    eval_batch_sel(e, b, None)
+}
+
+/// Evaluates an expression over the selected rows of a dense batch,
+/// producing a dense column of `sel.len()` values (all rows when `sel`
+/// is `None`). Only the live rows are ever evaluated, so errors surface
+/// exactly where row execution would surface them. Fast paths run typed
+/// loops; everything else goes through the generic per-row path built
+/// on the same [`eval_op_strict`] the row engine uses.
+fn eval_batch_sel(e: &RexNode, b: &ColumnBatch, sel: Option<&[usize]>) -> Result<Column> {
     debug_assert!(b.selection.is_none(), "eval_batch needs a dense batch");
+    let n = sel.map_or(b.len, <[usize]>::len);
     match e {
-        RexNode::InputRef { index, .. } => Ok(b.columns[*index].clone()),
-        RexNode::Literal { value, .. } => Ok(Column::repeat(value, b.len)),
+        RexNode::InputRef { index, .. } => Ok(match sel {
+            None => b.columns[*index].clone(),
+            Some(s) => b.columns[*index].gather(s),
+        }),
+        RexNode::Literal { value, .. } => Ok(Column::repeat(value, n)),
         RexNode::Call { op, args, .. } => match op {
             // Lazy operators: the row engine short-circuits them, so an
             // eagerly-evaluated argument may error where row execution
@@ -347,29 +692,44 @@ fn eval_batch(e: &RexNode, b: &ColumnBatch) -> Result<Column> {
             // cleanly; otherwise redo the whole call row-by-row (which
             // short-circuits exactly like the row engine).
             Op::And | Op::Or | Op::Case | Op::Func(BuiltinFn::Coalesce) => {
-                let argcols: Result<Vec<Column>> = args.iter().map(|a| eval_batch(a, b)).collect();
+                let argcols: Result<Vec<Column>> =
+                    args.iter().map(|a| eval_batch_sel(a, b, sel)).collect();
                 match argcols {
-                    Ok(cols) => eval_lazy_vector(op, &cols, b.len),
-                    Err(_) => eval_rowwise(e, b),
+                    Ok(cols) => eval_lazy_vector(op, &cols, n),
+                    Err(_) => eval_rowwise(e, b, sel),
                 }
             }
             _ => {
                 let cols: Vec<Column> = args
                     .iter()
-                    .map(|a| eval_batch(a, b))
+                    .map(|a| eval_batch_sel(a, b, sel))
                     .collect::<Result<_>>()?;
-                eval_strict_vector(e, &cols, b.len)
+                eval_strict_vector(e, &cols, n)
             }
         },
     }
 }
 
-/// Row-by-row evaluation of one expression over a dense batch — the
-/// exact row-engine semantics, used as the fallback.
-fn eval_rowwise(e: &RexNode, b: &ColumnBatch) -> Result<Column> {
-    let mut out = Column::for_kind_with_capacity(&e.ty().kind, b.len);
-    for i in 0..b.len {
+/// Row-by-row evaluation of one expression over the live rows of a
+/// dense batch — the exact row-engine semantics, used as the fallback.
+fn eval_rowwise(e: &RexNode, b: &ColumnBatch, sel: Option<&[usize]>) -> Result<Column> {
+    let n = sel.map_or(b.len, <[usize]>::len);
+    let mut out = Column::for_kind_with_capacity(&e.ty().kind, n);
+    let mut eval_at = |i: usize| -> Result<()> {
         out.push(e.eval(&b.row(i))?);
+        Ok(())
+    };
+    match sel {
+        None => {
+            for i in 0..b.len {
+                eval_at(i)?;
+            }
+        }
+        Some(s) => {
+            for &i in s {
+                eval_at(i)?;
+            }
+        }
     }
     Ok(out)
 }
@@ -394,7 +754,7 @@ fn eval_lazy_vector(op: &Op, cols: &[Column], n: usize) -> Result<Column> {
                         Datum::Null => saw_null = true,
                         Datum::Bool(true) => {}
                         v => {
-                            return Err(rcalcite_core::error::CalciteError::execution(format!(
+                            return Err(CalciteError::execution(format!(
                                 "AND operand is not boolean: {v}"
                             )))
                         }
@@ -420,7 +780,7 @@ fn eval_lazy_vector(op: &Op, cols: &[Column], n: usize) -> Result<Column> {
                         Datum::Null => saw_null = true,
                         Datum::Bool(false) => {}
                         v => {
-                            return Err(rcalcite_core::error::CalciteError::execution(format!(
+                            return Err(CalciteError::execution(format!(
                                 "OR operand is not boolean: {v}"
                             )))
                         }
@@ -471,7 +831,8 @@ fn eval_lazy_vector(op: &Op, cols: &[Column], n: usize) -> Result<Column> {
 }
 
 /// Strict-operator application over argument columns: typed loops for
-/// the hot shapes, per-row [`eval_op_strict`] for the rest.
+/// the hot shapes, per-row [`eval_op_strict`] for the rest. Integer
+/// arithmetic is checked, matching `eval_arith` in the row engine.
 fn eval_strict_vector(e: &RexNode, cols: &[Column], n: usize) -> Result<Column> {
     let RexNode::Call { op, ty, .. } = e else {
         unreachable!()
@@ -528,8 +889,8 @@ fn eval_strict_vector(e: &RexNode, cols: &[Column], n: usize) -> Result<Column> 
                     }
                     return Ok(Column::Bool { values, valid });
                 }
-                // Same wrapping arithmetic as the row engine's
-                // `eval_arith`.
+                // Checked arithmetic: overflow is an execution error on
+                // the live row, exactly as the row engine's `eval_arith`.
                 Op::Plus | Op::Minus | Op::Times => {
                     let mut values = Vec::with_capacity(n);
                     let mut valid = Vec::with_capacity(n);
@@ -538,11 +899,14 @@ fn eval_strict_vector(e: &RexNode, cols: &[Column], n: usize) -> Result<Column> 
                         valid.push(ok);
                         values.push(if ok {
                             match op {
-                                Op::Plus => xs[i].wrapping_add(ys[i]),
-                                Op::Minus => xs[i].wrapping_sub(ys[i]),
-                                Op::Times => xs[i].wrapping_mul(ys[i]),
+                                Op::Plus => xs[i].checked_add(ys[i]),
+                                Op::Minus => xs[i].checked_sub(ys[i]),
+                                Op::Times => xs[i].checked_mul(ys[i]),
                                 _ => unreachable!(),
                             }
+                            .ok_or_else(|| {
+                                CalciteError::execution(format!("integer overflow in {op:?}"))
+                            })?
                         } else {
                             0
                         });
@@ -660,100 +1024,201 @@ fn eval_strict_vector(e: &RexNode, cols: &[Column], n: usize) -> Result<Column> 
 }
 
 // ---------------------------------------------------------------------
-// Filter / Project
+// Hash join (build right, stream left)
 // ---------------------------------------------------------------------
 
-fn filter_batches(input: Vec<ColumnBatch>, condition: &RexNode) -> Result<Vec<ColumnBatch>> {
-    let mut out = Vec::with_capacity(input.len());
-    for b in input {
-        let b = b.compact();
-        let sel: Vec<usize> = match eval_batch(condition, &b) {
-            Ok(Column::Bool { values, valid }) => {
-                (0..b.len).filter(|&i| valid[i] && values[i]).collect()
-            }
-            Ok(col) => (0..b.len)
-                .filter(|&i| col.get(i) == Datum::Bool(true))
-                .collect(),
-            // The row engine's filter drops rows whose predicate errors
-            // (`matches!(cond.eval(row), Ok(true))`); reproduce that by
-            // re-evaluating per row.
-            Err(_) => (0..b.len)
-                .filter(|&i| matches!(condition.eval(&b.row(i)), Ok(Datum::Bool(true))))
-                .collect(),
-        };
-        if sel.is_empty() {
-            continue;
-        }
-        let mut b = b;
-        if sel.len() < b.len {
-            b.set_selection(sel);
-        }
-        out.push(b);
-    }
-    Ok(out)
-}
-
-fn project_batches(input: Vec<ColumnBatch>, exprs: &[RexNode]) -> Result<Vec<ColumnBatch>> {
-    let mut out = Vec::with_capacity(input.len());
-    for b in input {
-        let b = b.compact();
-        let columns: Vec<Column> = exprs
-            .iter()
-            .map(|e| eval_batch(e, &b))
-            .collect::<Result<_>>()?;
-        out.push(ColumnBatch {
-            len: b.len,
-            columns,
-            selection: None,
-        });
-    }
-    Ok(out)
-}
-
-// ---------------------------------------------------------------------
-// Hash join
-// ---------------------------------------------------------------------
-
-#[allow(clippy::too_many_arguments)]
-fn join_batches(
-    left: Vec<ColumnBatch>,
-    right: Vec<ColumnBatch>,
+struct HashJoinOp {
+    left: BatchOp,
+    right: BatchOp,
     left_arity: usize,
     right_arity: usize,
     kind: JoinKind,
-    condition: &RexNode,
-    out_kinds: &[TypeKind],
-) -> Result<Vec<ColumnBatch>> {
-    let left = concat_batches(left, left_arity);
-    let right = concat_batches(right, right_arity);
-    let (lk, rk, residual) = extract_equi_keys(condition, left_arity);
+    condition: RexNode,
+    out_kinds: Vec<TypeKind>,
+    state: Option<JoinState>,
+    /// Probed pairs not yet assembled: output is served in
+    /// `BATCH_SIZE` chunks so a high-multiplicity probe (or the
+    /// unmatched-right pad of an outer join) never gathers one
+    /// unbounded batch.
+    pending: Option<PendingJoinOutput>,
+}
 
-    if lk.is_empty() {
-        // No equi keys: defer to the row engine's nested-loop join.
-        let rows = executor::execute_join(
-            left.to_rows(),
-            right.to_rows(),
+struct PendingJoinOutput {
+    left: ColumnBatch,
+    pairs: Vec<(Option<usize>, Option<usize>)>,
+    pos: usize,
+}
+
+enum JoinState {
+    /// Equi join: the right side is built into a hash table; left
+    /// batches stream through the probe.
+    Hash {
+        lk: Vec<usize>,
+        residual: RexNode,
+        right: ColumnBatch,
+        table: HashMap<Vec<Datum>, Vec<usize>>,
+        right_matched: Vec<bool>,
+        emitted_right_pad: bool,
+    },
+    /// No equi keys: defer to the row engine's nested-loop join over
+    /// materialized sides, then stream the result.
+    Fallback(VecDeque<ColumnBatch>),
+}
+
+impl HashJoinOp {
+    fn new(
+        left: BatchOp,
+        right: BatchOp,
+        left_arity: usize,
+        right_arity: usize,
+        kind: JoinKind,
+        condition: RexNode,
+        out_kinds: Vec<TypeKind>,
+    ) -> HashJoinOp {
+        HashJoinOp {
+            left,
+            right,
             left_arity,
             right_arity,
             kind,
             condition,
-        )?
-        .collect();
-        return Ok(rebatch_rows(rows, out_kinds));
-    }
-    let residual = RexNode::and_all(residual);
-
-    // Build side: hash the right keys (NULL keys never join).
-    let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
-    for i in 0..right.len {
-        let key: Vec<Datum> = rk.iter().map(|&k| right.columns[k].get(i)).collect();
-        if key.iter().any(Datum::is_null) {
-            continue;
+            out_kinds,
+            state: None,
+            pending: None,
         }
-        table.entry(key).or_default().push(i);
+    }
+}
+
+impl Operator<ColumnBatch> for HashJoinOp {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        let (lk, rk, residual) = extract_equi_keys(&self.condition, self.left_arity);
+        if lk.is_empty() {
+            let left_rows = drain_rows(&mut self.left)?;
+            let right_rows = drain_rows(&mut self.right)?;
+            let rows: Vec<Row> = executor::execute_join(
+                left_rows,
+                right_rows,
+                self.left_arity,
+                self.right_arity,
+                self.kind,
+                &self.condition,
+            )?
+            .collect();
+            self.state = Some(JoinState::Fallback(
+                rebatch_rows(rows, &self.out_kinds).into(),
+            ));
+            return Ok(());
+        }
+
+        // Build side: materialize the right input and hash its keys
+        // (NULL keys never join).
+        let mut right_batches = vec![];
+        while let Some(b) = self.right.next()? {
+            right_batches.push(b);
+        }
+        let right = concat_batches(right_batches, self.right_arity);
+        let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
+        for i in 0..right.len {
+            let key: Vec<Datum> = rk.iter().map(|&k| right.columns[k].get(i)).collect();
+            if key.iter().any(Datum::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(i);
+        }
+        let right_matched = vec![false; right.len];
+        self.state = Some(JoinState::Hash {
+            lk,
+            residual: RexNode::and_all(residual),
+            right,
+            table,
+            right_matched,
+            emitted_right_pad: false,
+        });
+        Ok(())
     }
 
-    // Probe side: collect matching (left, right) index pairs.
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        match self.state.as_mut().expect("HashJoinOp not opened") {
+            JoinState::Fallback(q) => Ok(q.pop_front()),
+            JoinState::Hash {
+                lk,
+                residual,
+                right,
+                table,
+                right_matched,
+                emitted_right_pad,
+            } => loop {
+                // Serve any probed-but-unassembled pairs first, one
+                // batch-sized chunk per pull.
+                if let Some(p) = &mut self.pending {
+                    if p.pos < p.pairs.len() {
+                        let take = BATCH_SIZE.min(p.pairs.len() - p.pos);
+                        let chunk = &p.pairs[p.pos..p.pos + take];
+                        p.pos += take;
+                        return Ok(Some(assemble_join_output(
+                            chunk,
+                            &p.left,
+                            right,
+                            self.left_arity,
+                            self.kind.projects_right(),
+                            &self.out_kinds,
+                        )));
+                    }
+                    self.pending = None;
+                }
+                let Some(b) = self.left.next()? else {
+                    // Left exhausted: Right/Full joins stage the
+                    // NULL-padded unmatched right rows (served above,
+                    // chunk by chunk).
+                    if !*emitted_right_pad {
+                        *emitted_right_pad = true;
+                        if matches!(self.kind, JoinKind::Right | JoinKind::Full) {
+                            let pairs: Vec<(Option<usize>, Option<usize>)> = right_matched
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, m)| !**m)
+                                .map(|(ri, _)| (None, Some(ri)))
+                                .collect();
+                            if !pairs.is_empty() {
+                                self.pending = Some(PendingJoinOutput {
+                                    left: ColumnBatch::zero_arity(0),
+                                    pairs,
+                                    pos: 0,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    return Ok(None);
+                };
+                let b = b.compact();
+                let pairs = probe_batch(&b, right, table, lk, residual, self.kind, right_matched)?;
+                if pairs.is_empty() {
+                    continue;
+                }
+                self.pending = Some(PendingJoinOutput {
+                    left: b,
+                    pairs,
+                    pos: 0,
+                });
+            },
+        }
+    }
+}
+
+/// Probes one left batch against the build table, producing the
+/// (left, right) index pairs this batch contributes.
+fn probe_batch(
+    left: &ColumnBatch,
+    right: &ColumnBatch,
+    table: &HashMap<Vec<Datum>, Vec<usize>>,
+    lk: &[usize],
+    residual: &RexNode,
+    kind: JoinKind,
+    right_matched: &mut [bool],
+) -> Result<Vec<(Option<usize>, Option<usize>)>> {
     let check_residual = |li: usize, ri: usize| -> Result<bool> {
         if residual.is_always_true() {
             return Ok(true);
@@ -764,7 +1229,6 @@ fn join_batches(
     };
 
     let mut pairs: Vec<(Option<usize>, Option<usize>)> = vec![];
-    let mut right_matched = vec![false; right.len];
     for li in 0..left.len {
         let key: Vec<Datum> = lk.iter().map(|&k| left.columns[k].get(li)).collect();
         let candidates = if key.iter().any(Datum::is_null) {
@@ -795,23 +1259,28 @@ fn join_batches(
             _ => {}
         }
     }
-    if matches!(kind, JoinKind::Right | JoinKind::Full) {
-        for (ri, m) in right_matched.iter().enumerate() {
-            if !m {
-                pairs.push((None, Some(ri)));
-            }
-        }
-    }
+    Ok(pairs)
+}
 
-    // Assemble output columns by gathering; NULL padding where one side
-    // is absent.
-    let projects_right = kind.projects_right();
+/// Assembles output columns from index pairs by gathering; NULL padding
+/// where one side is absent.
+fn assemble_join_output(
+    pairs: &[(Option<usize>, Option<usize>)],
+    left: &ColumnBatch,
+    right: &ColumnBatch,
+    left_arity: usize,
+    projects_right: bool,
+    out_kinds: &[TypeKind],
+) -> ColumnBatch {
     let n = pairs.len();
+    if out_kinds.is_empty() {
+        return ColumnBatch::zero_arity(n);
+    }
     let mut columns: Vec<Column> = Vec::with_capacity(out_kinds.len());
     for (j, kind_j) in out_kinds.iter().enumerate() {
         let mut col = Column::for_kind_with_capacity(kind_j, n);
         if j < left_arity {
-            for &(li, _) in &pairs {
+            for &(li, _) in pairs {
                 match li {
                     Some(i) => col.push(left.columns[j].get(i)),
                     None => col.push_null(),
@@ -819,7 +1288,7 @@ fn join_batches(
             }
         } else if projects_right {
             let rj = j - left_arity;
-            for &(_, ri) in &pairs {
+            for &(_, ri) in pairs {
                 match ri {
                     Some(i) => col.push(right.columns[rj].get(i)),
                     None => col.push_null(),
@@ -828,20 +1297,11 @@ fn join_batches(
         }
         columns.push(col);
     }
-    let batch = if out_kinds.is_empty() {
-        ColumnBatch::zero_arity(n)
-    } else {
-        ColumnBatch {
-            len: n,
-            columns,
-            selection: None,
-        }
-    };
-    Ok(vec![batch])
+    ColumnBatch::with_len(columns, n)
 }
 
 // ---------------------------------------------------------------------
-// Aggregate
+// Aggregate (consume streaming, state per group, stream results)
 // ---------------------------------------------------------------------
 
 /// Typed accumulator for the vectorized fast path (single Int group key,
@@ -881,9 +1341,9 @@ impl FastAcc {
             }
             FastAcc::Sum { sum, seen } => {
                 if valid {
-                    *sum = sum.checked_add(value).ok_or_else(|| {
-                        rcalcite_core::error::CalciteError::execution("integer overflow in SUM")
-                    })?;
+                    *sum = sum
+                        .checked_add(value)
+                        .ok_or_else(|| CalciteError::execution("integer overflow in SUM"))?;
                     *seen = true;
                 }
             }
@@ -927,28 +1387,84 @@ impl FastAcc {
             }
         }
     }
+
+    /// Converts the typed state into the generic accumulator (used when
+    /// a later batch cannot take the fast path).
+    fn into_acc(self) -> Acc {
+        match self {
+            FastAcc::CountStar(n) | FastAcc::Count(n) => Acc::Count(n),
+            FastAcc::Sum { sum, seen } => Acc::Sum(seen.then(|| Datum::Int(sum))),
+            FastAcc::Min(m) => Acc::Min(m.map(Datum::Int)),
+            FastAcc::Max(m) => Acc::Max(m.map(Datum::Int)),
+            FastAcc::Avg { sum, count } => Acc::Avg { sum, count },
+        }
+    }
 }
 
-fn aggregate_batches(
-    input: Vec<ColumnBatch>,
-    input_arity: usize,
-    group: &[usize],
-    aggs: &[AggCall],
-    out_kinds: &[TypeKind],
-) -> Result<Vec<ColumnBatch>> {
-    let b = concat_batches(input, input_arity);
+type GroupState = (Vec<Datum>, Vec<Acc>, Vec<HashSet<Vec<Datum>>>);
 
-    // Fast path: single Int group key, all aggregates simple (non-
-    // distinct, zero/one Int argument).
-    if group.len() == 1 {
-        if let Column::Int { values, valid } = &b.columns[group[0]] {
-            let simple = aggs.iter().all(|a| {
-                !a.distinct
-                    && (a.args.is_empty()
-                        || (a.args.len() == 1
-                            && matches!(b.columns[a.args[0]], Column::Int { .. })))
-            });
-            if simple {
+/// Incremental aggregation state, fed one batch at a time. The input
+/// never materializes; only per-group accumulators are held.
+enum AggState {
+    /// No batch seen yet: the representation is chosen from the first.
+    Pending,
+    /// Single Int group key, all aggregates simple (non-distinct,
+    /// zero/one Int argument): typed loops over the raw vectors.
+    Fast {
+        index: HashMap<(bool, i64), usize>,
+        keys: Vec<Datum>,
+        states: Vec<Vec<FastAcc>>,
+    },
+    /// Generic path: the row executor's accumulators over column
+    /// getters (identical semantics by construction).
+    Generic {
+        index: HashMap<Vec<Datum>, usize>,
+        groups: Vec<GroupState>,
+    },
+}
+
+impl AggState {
+    fn generic_empty(group: &[usize], aggs: &[AggCall]) -> AggState {
+        let mut index = HashMap::new();
+        let mut groups: Vec<GroupState> = vec![];
+        if group.is_empty() {
+            let (accs, seen) = make_accs(aggs);
+            groups.push((vec![], accs, seen));
+            index.insert(vec![], 0);
+        }
+        AggState::Generic { index, groups }
+    }
+
+    fn update(&mut self, b: &ColumnBatch, group: &[usize], aggs: &[AggCall]) -> Result<()> {
+        if matches!(self, AggState::Pending) {
+            *self = if fast_eligible(b, group, aggs) {
+                AggState::Fast {
+                    index: HashMap::new(),
+                    keys: vec![],
+                    states: vec![],
+                }
+            } else {
+                AggState::generic_empty(group, aggs)
+            };
+        }
+        if let AggState::Fast { .. } = self {
+            // Column representations are stable across batches of one
+            // plan, but a mismatched batch downgrades to the generic
+            // state rather than miscounting.
+            if !fast_eligible(b, group, aggs) {
+                self.downgrade(aggs);
+            }
+        }
+        match self {
+            AggState::Pending => unreachable!(),
+            AggState::Fast {
+                index,
+                keys,
+                states,
+            } => {
+                let Column::Int { values, valid } = &b.columns[group[0]] else {
+                    unreachable!("fast_eligible checked")
+                };
                 let argcols: Vec<Option<(&Vec<i64>, &Vec<bool>)>> = aggs
                     .iter()
                     .map(|a| {
@@ -957,13 +1473,10 @@ fn aggregate_batches(
                                 values: v,
                                 valid: nv,
                             } => (v, nv),
-                            _ => unreachable!(),
+                            _ => unreachable!("fast_eligible checked"),
                         })
                     })
                     .collect();
-                let mut index: HashMap<(bool, i64), usize> = HashMap::new();
-                let mut keys: Vec<Datum> = vec![];
-                let mut states: Vec<Vec<FastAcc>> = vec![];
                 for i in 0..b.len {
                     let key = (valid[i], if valid[i] { values[i] } else { 0 });
                     let gi = *index.entry(key).or_insert_with(|| {
@@ -986,163 +1499,627 @@ fn aggregate_batches(
                         }
                     }
                 }
-                let rows: Vec<Row> = keys
-                    .into_iter()
-                    .zip(states)
-                    .map(|(k, accs)| {
-                        let mut row = vec![k];
-                        row.extend(accs.into_iter().map(FastAcc::finish));
-                        row
-                    })
-                    .collect();
-                return Ok(rebatch_rows(rows, out_kinds));
             }
-        }
-    }
-
-    // Generic path: reuse the row executor's accumulators over column
-    // getters (identical semantics by construction).
-    let mut index: HashMap<Vec<Datum>, usize> = HashMap::new();
-    type GroupState = (
-        Vec<Datum>,
-        Vec<Acc>,
-        Vec<std::collections::HashSet<Vec<Datum>>>,
-    );
-    let mut groups: Vec<GroupState> = vec![];
-    let make_accs = || -> (Vec<Acc>, Vec<std::collections::HashSet<Vec<Datum>>>) {
-        (
-            aggs.iter().map(|a| Acc::new(a.func)).collect(),
-            aggs.iter()
-                .map(|_| std::collections::HashSet::new())
-                .collect(),
-        )
-    };
-    if group.is_empty() {
-        let (accs, seen) = make_accs();
-        groups.push((vec![], accs, seen));
-        index.insert(vec![], 0);
-    }
-    for i in 0..b.len {
-        let key: Vec<Datum> = group.iter().map(|&g| b.columns[g].get(i)).collect();
-        let gi = match index.get(&key) {
-            Some(g) => *g,
-            None => {
-                let (accs, seen) = make_accs();
-                groups.push((key.clone(), accs, seen));
-                index.insert(key, groups.len() - 1);
-                groups.len() - 1
-            }
-        };
-        let (_, accs, seen) = &mut groups[gi];
-        for (ai, a) in aggs.iter().enumerate() {
-            let arg: Option<Datum> = a.args.first().map(|&c| b.columns[c].get(i));
-            if a.distinct {
-                let dkey: Vec<Datum> = a.args.iter().map(|&c| b.columns[c].get(i)).collect();
-                if dkey.iter().any(Datum::is_null) || !seen[ai].insert(dkey) {
-                    continue;
+            AggState::Generic { index, groups } => {
+                for i in 0..b.len {
+                    let key: Vec<Datum> = group.iter().map(|&g| b.columns[g].get(i)).collect();
+                    let gi = match index.get(&key) {
+                        Some(g) => *g,
+                        None => {
+                            let (accs, seen) = make_accs(aggs);
+                            groups.push((key.clone(), accs, seen));
+                            index.insert(key, groups.len() - 1);
+                            groups.len() - 1
+                        }
+                    };
+                    let (_, accs, seen) = &mut groups[gi];
+                    for (ai, a) in aggs.iter().enumerate() {
+                        let arg: Option<Datum> = a.args.first().map(|&c| b.columns[c].get(i));
+                        if a.distinct {
+                            let dkey: Vec<Datum> =
+                                a.args.iter().map(|&c| b.columns[c].get(i)).collect();
+                            if dkey.iter().any(Datum::is_null) || !seen[ai].insert(dkey) {
+                                continue;
+                            }
+                        }
+                        accs[ai].add(arg.as_ref())?;
+                    }
                 }
             }
-            accs[ai].add(arg.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Migrates typed fast-path state into the generic representation.
+    fn downgrade(&mut self, aggs: &[AggCall]) {
+        let AggState::Fast {
+            index: _,
+            keys,
+            states,
+        } = std::mem::replace(
+            self,
+            AggState::Generic {
+                index: HashMap::new(),
+                groups: vec![],
+            },
+        )
+        else {
+            return;
+        };
+        let AggState::Generic { index, groups } = self else {
+            unreachable!()
+        };
+        for (key, accs) in keys.into_iter().zip(states) {
+            let key = vec![key];
+            let seen = aggs.iter().map(|_| HashSet::new()).collect();
+            groups.push((
+                key.clone(),
+                accs.into_iter().map(FastAcc::into_acc).collect(),
+                seen,
+            ));
+            index.insert(key, groups.len() - 1);
         }
     }
-    let rows: Vec<Row> = groups
-        .into_iter()
-        .map(|(key, accs, _)| {
-            let mut row = key;
-            for acc in accs {
-                row.push(acc.finish());
+
+    fn finish(self, group: &[usize], aggs: &[AggCall]) -> Vec<Row> {
+        match self {
+            AggState::Pending => {
+                // No input at all: a global aggregate still yields one
+                // row (the empty-input accumulator results).
+                if group.is_empty() {
+                    let (accs, _) = make_accs(aggs);
+                    vec![accs.into_iter().map(Acc::finish).collect()]
+                } else {
+                    vec![]
+                }
             }
-            row
-        })
-        .collect();
-    Ok(rebatch_rows(rows, out_kinds))
-}
-
-// ---------------------------------------------------------------------
-// Sort
-// ---------------------------------------------------------------------
-
-fn sort_batches(
-    input: Vec<ColumnBatch>,
-    arity: usize,
-    collation: &Collation,
-    offset: Option<usize>,
-    fetch: Option<usize>,
-) -> Result<Vec<ColumnBatch>> {
-    let b = concat_batches(input, arity);
-    let mut idx: Vec<usize> = (0..b.len).collect();
-    if !collation.is_empty() {
-        // Single Int key: sort on the raw vector. NULL placement comes
-        // from the same `compare_datums` contract as `compare_rows`.
-        if let [fc] = collation.as_slice() {
-            if let Column::Int { values, valid } = &b.columns[fc.field] {
-                idx.sort_by(|&a, &c| {
-                    use std::cmp::Ordering;
-                    match (valid[a], valid[c]) {
-                        (false, false) => Ordering::Equal,
-                        (false, true) => {
-                            if fc.nulls_first {
-                                Ordering::Less
-                            } else {
-                                Ordering::Greater
-                            }
-                        }
-                        (true, false) => {
-                            if fc.nulls_first {
-                                Ordering::Greater
-                            } else {
-                                Ordering::Less
-                            }
-                        }
-                        (true, true) => {
-                            let o = values[a].cmp(&values[c]);
-                            if fc.descending {
-                                o.reverse()
-                            } else {
-                                o
-                            }
-                        }
+            AggState::Fast { keys, states, .. } => keys
+                .into_iter()
+                .zip(states)
+                .map(|(k, accs)| {
+                    let mut row = vec![k];
+                    row.extend(accs.into_iter().map(FastAcc::finish));
+                    row
+                })
+                .collect(),
+            AggState::Generic { groups, .. } => groups
+                .into_iter()
+                .map(|(key, accs, _)| {
+                    let mut row = key;
+                    for acc in accs {
+                        row.push(acc.finish());
                     }
-                });
-            } else {
-                sort_generic(&mut idx, &b, collation);
-            }
-        } else {
-            sort_generic(&mut idx, &b, collation);
+                    row
+                })
+                .collect(),
         }
     }
-    let start = offset.unwrap_or(0).min(idx.len());
-    let end = match fetch {
-        Some(f) => (start + f).min(idx.len()),
-        None => idx.len(),
-    };
-    let idx = &idx[start..end];
-    if idx.is_empty() {
-        return Ok(vec![]);
-    }
-    if arity == 0 {
-        return Ok(vec![ColumnBatch::zero_arity(idx.len())]);
-    }
-    let sorted = ColumnBatch::new(b.columns.iter().map(|c| c.gather(idx)).collect());
-    Ok(vec![sorted])
 }
 
-fn sort_generic(idx: &mut [usize], b: &ColumnBatch, collation: &Collation) {
+fn make_accs(aggs: &[AggCall]) -> (Vec<Acc>, Vec<HashSet<Vec<Datum>>>) {
+    (
+        aggs.iter().map(|a| Acc::new(a.func)).collect(),
+        aggs.iter().map(|_| HashSet::new()).collect(),
+    )
+}
+
+fn fast_eligible(b: &ColumnBatch, group: &[usize], aggs: &[AggCall]) -> bool {
+    group.len() == 1
+        && matches!(b.columns[group[0]], Column::Int { .. })
+        && aggs.iter().all(|a| {
+            !a.distinct
+                && (a.args.is_empty()
+                    || (a.args.len() == 1 && matches!(b.columns[a.args[0]], Column::Int { .. })))
+        })
+}
+
+struct AggregateOp {
+    child: BatchOp,
+    group: Vec<usize>,
+    aggs: Vec<AggCall>,
+    out_kinds: Vec<TypeKind>,
+    out: VecDeque<ColumnBatch>,
+}
+
+impl AggregateOp {
+    fn new(
+        child: BatchOp,
+        group: Vec<usize>,
+        aggs: Vec<AggCall>,
+        out_kinds: Vec<TypeKind>,
+    ) -> Self {
+        AggregateOp {
+            child,
+            group,
+            aggs,
+            out_kinds,
+            out: VecDeque::new(),
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for AggregateOp {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        let mut state = AggState::Pending;
+        while let Some(b) = self.child.next()? {
+            state.update(&b.compact(), &self.group, &self.aggs)?;
+        }
+        let rows = state.finish(&self.group, &self.aggs);
+        self.out = rebatch_rows(rows, &self.out_kinds).into();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        Ok(self.out.pop_front())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sort: streaming LIMIT, bounded Top-K, full sort
+// ---------------------------------------------------------------------
+
+/// Pure `LIMIT`/`OFFSET` (no collation): streams through, trimming
+/// batches, and stops pulling its child once the fetch is satisfied —
+/// the rest of the input is never produced.
+struct LimitOp {
+    child: BatchOp,
+    skip: usize,
+    remaining: Option<usize>,
+    done: bool,
+}
+
+impl LimitOp {
+    fn new(child: BatchOp, offset: usize, fetch: Option<usize>) -> LimitOp {
+        LimitOp {
+            child,
+            skip: offset,
+            remaining: fetch,
+            done: false,
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for LimitOp {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        if self.done || self.remaining == Some(0) {
+            return Ok(None);
+        }
+        loop {
+            let Some(b) = self.child.next()? else {
+                self.done = true;
+                return Ok(None);
+            };
+            let b = b.compact();
+            if self.skip >= b.len {
+                self.skip -= b.len;
+                continue;
+            }
+            let start = std::mem::take(&mut self.skip);
+            let avail = b.len - start;
+            let take = self.remaining.map_or(avail, |r| avail.min(r));
+            if let Some(r) = &mut self.remaining {
+                *r -= take;
+            }
+            let out = if start == 0 && take == b.len {
+                b
+            } else {
+                b.slice(start, take)
+            };
+            return Ok(Some(out));
+        }
+    }
+}
+
+/// A bounded Top-K heap over rows: keeps the `k` smallest entries under
+/// `(collation key, input sequence)`. The sequence tiebreak reproduces
+/// the stable sort of the row engine, so both engines select the same
+/// rows among collation ties.
+struct TopK {
+    k: usize,
+    collation: Collation,
+    /// Binary max-heap: the worst kept entry sits at index 0.
+    heap: Vec<(usize, Row)>,
+}
+
+fn cmp_entries(collation: &Collation, a: &(usize, Row), b: &(usize, Row)) -> Ordering {
+    compare_rows(&a.1, &b.1, collation).then(a.0.cmp(&b.0))
+}
+
+impl TopK {
+    fn new(k: usize, collation: Collation) -> TopK {
+        TopK {
+            k,
+            collation,
+            heap: Vec::with_capacity(k.min(BATCH_SIZE)),
+        }
+    }
+
+    /// Offers row `i` of a dense batch. The candidate is compared to the
+    /// current worst straight from the columns, so rejected rows (the
+    /// common case once the heap fills) are never materialized.
+    fn offer(&mut self, b: &ColumnBatch, i: usize, seq: usize) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() == self.k {
+            let worst = &self.heap[0];
+            let mut ord = Ordering::Equal;
+            for fc in &self.collation {
+                ord = compare_datums(fc, &b.columns[fc.field].get(i), &worst.1[fc.field]);
+                if ord != Ordering::Equal {
+                    break;
+                }
+            }
+            if ord.then(seq.cmp(&worst.0)) != Ordering::Less {
+                return;
+            }
+            self.heap[0] = (seq, b.row(i));
+            self.sift_down(0);
+        } else {
+            self.heap.push((seq, b.row(i)));
+            self.sift_up(self.heap.len() - 1);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if cmp_entries(&self.collation, &self.heap[i], &self.heap[parent]) == Ordering::Greater
+            {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            for c in [l, r] {
+                if c < self.heap.len()
+                    && cmp_entries(&self.collation, &self.heap[c], &self.heap[largest])
+                        == Ordering::Greater
+                {
+                    largest = c;
+                }
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// The kept rows in collation order (ties in input order).
+    fn into_sorted_rows(self) -> Vec<Row> {
+        let TopK {
+            collation,
+            mut heap,
+            ..
+        } = self;
+        heap.sort_by(|a, b| cmp_entries(&collation, a, b));
+        heap.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// `ORDER BY ... [OFFSET o] FETCH f`: fills a Top-K heap of `o + f`
+/// rows while consuming the child batch by batch, then streams the
+/// sorted survivors. Memory is O(o + f), not O(input).
+struct TopKOp {
+    child: BatchOp,
+    collation: Collation,
+    offset: usize,
+    fetch: usize,
+    out_kinds: Vec<TypeKind>,
+    out: VecDeque<ColumnBatch>,
+}
+
+impl TopKOp {
+    fn new(
+        child: BatchOp,
+        collation: Collation,
+        offset: usize,
+        fetch: usize,
+        out_kinds: Vec<TypeKind>,
+    ) -> TopKOp {
+        TopKOp {
+            child,
+            collation,
+            offset,
+            fetch,
+            out_kinds,
+            out: VecDeque::new(),
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for TopKOp {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        let k = self.offset.saturating_add(self.fetch);
+        let mut topk = TopK::new(k, self.collation.clone());
+        let mut seq = 0usize;
+        while let Some(b) = self.child.next()? {
+            let b = b.compact();
+            for i in 0..b.len {
+                topk.offer(&b, i, seq);
+                seq += 1;
+            }
+        }
+        let mut rows = topk.into_sorted_rows();
+        let rows: Vec<Row> = rows.drain(self.offset.min(rows.len())..).collect();
+        self.out = rebatch_rows(rows, &self.out_kinds).into();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        Ok(self.out.pop_front())
+    }
+}
+
+/// Full sort (no fetch): materializes the input (the sort itself needs
+/// every row), sorts an index vector — typed loop for a single Int key,
+/// shared `compare_datums` otherwise — and streams the result in
+/// batch-sized chunks.
+struct FullSortOp {
+    child: BatchOp,
+    collation: Collation,
+    offset: usize,
+    arity: usize,
+    out: VecDeque<ColumnBatch>,
+}
+
+impl FullSortOp {
+    fn new(child: BatchOp, collation: Collation, offset: usize, arity: usize) -> FullSortOp {
+        FullSortOp {
+            child,
+            collation,
+            offset,
+            arity,
+            out: VecDeque::new(),
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for FullSortOp {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        let mut batches = vec![];
+        while let Some(b) = self.child.next()? {
+            batches.push(b);
+        }
+        let b = concat_batches(batches, self.arity);
+        let mut idx: Vec<usize> = (0..b.len).collect();
+        sort_indexes(&mut idx, &b, &self.collation);
+        let start = self.offset.min(idx.len());
+        let idx = &idx[start..];
+        if idx.is_empty() {
+            return Ok(());
+        }
+        let sorted = if self.arity == 0 {
+            ColumnBatch::zero_arity(idx.len())
+        } else {
+            ColumnBatch::new(b.columns.iter().map(|c| c.gather(idx)).collect())
+        };
+        self.out = split_to_batches(sorted).into();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        Ok(self.out.pop_front())
+    }
+}
+
+/// Sorts an index vector over a dense batch. Single Int key sorts on
+/// the raw vector; NULL placement comes from the same `compare_datums`
+/// contract as `compare_rows`.
+fn sort_indexes(idx: &mut [usize], b: &ColumnBatch, collation: &Collation) {
+    if collation.is_empty() {
+        return;
+    }
+    if let [fc] = collation.as_slice() {
+        if let Column::Int { values, valid } = &b.columns[fc.field] {
+            idx.sort_by(|&a, &c| match (valid[a], valid[c]) {
+                (false, false) => Ordering::Equal,
+                (false, true) => {
+                    if fc.nulls_first {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    }
+                }
+                (true, false) => {
+                    if fc.nulls_first {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Less
+                    }
+                }
+                (true, true) => {
+                    let o = values[a].cmp(&values[c]);
+                    if fc.descending {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+            });
+            return;
+        }
+    }
     idx.sort_by(|&a, &c| {
         for fc in collation {
             let ord = compare_datums(fc, &b.columns[fc.field].get(a), &b.columns[fc.field].get(c));
-            if ord != std::cmp::Ordering::Equal {
+            if ord != Ordering::Equal {
                 return ord;
             }
         }
-        std::cmp::Ordering::Equal
+        Ordering::Equal
     });
+}
+
+// ---------------------------------------------------------------------
+// Set operations: Intersect / Minus (build rights, stream left)
+// ---------------------------------------------------------------------
+
+/// INTERSECT [ALL]: the right inputs build per-row count maps (the
+/// multiset minimum across sides); the left input then streams through,
+/// each batch emitting its surviving rows. Matches the row engine's
+/// bag/set semantics exactly.
+struct IntersectOp {
+    left: BatchOp,
+    rights: Vec<BatchOp>,
+    all: bool,
+    out_kinds: Vec<TypeKind>,
+    counts: HashMap<Row, usize>,
+    used: HashMap<Row, usize>,
+}
+
+impl IntersectOp {
+    fn new(left: BatchOp, rights: Vec<BatchOp>, all: bool, out_kinds: Vec<TypeKind>) -> Self {
+        IntersectOp {
+            left,
+            rights,
+            all,
+            out_kinds,
+            counts: HashMap::new(),
+            used: HashMap::new(),
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for IntersectOp {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        for (i, r) in self.rights.iter_mut().enumerate() {
+            r.open()?;
+            let mut c: HashMap<Row, usize> = HashMap::new();
+            while let Some(b) = r.next()? {
+                for row in b.to_rows() {
+                    *c.entry(row).or_default() += 1;
+                }
+            }
+            if i == 0 {
+                self.counts = c;
+            } else {
+                self.counts.retain(|k, v| {
+                    if let Some(n) = c.get(k) {
+                        *v = (*v).min(*n);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        loop {
+            let Some(b) = self.left.next()? else {
+                return Ok(None);
+            };
+            let mut out: Vec<Row> = vec![];
+            for row in b.to_rows() {
+                if let Some(max) = self.counts.get(&row) {
+                    let limit = if self.all { *max } else { 1 };
+                    let used = self.used.entry(row.clone()).or_default();
+                    if *used < limit {
+                        *used += 1;
+                        out.push(row);
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(ColumnBatch::from_rows(&self.out_kinds, &out)));
+            }
+        }
+    }
+}
+
+/// EXCEPT [ALL]: the right inputs build a removal-count map; the left
+/// input streams through it. In DISTINCT mode any right-side presence
+/// removes the row entirely and survivors dedup; in ALL mode each right
+/// occurrence cancels one left occurrence.
+struct MinusOp {
+    left: BatchOp,
+    rights: Vec<BatchOp>,
+    all: bool,
+    out_kinds: Vec<TypeKind>,
+    removed: HashMap<Row, usize>,
+    emitted: HashSet<Row>,
+}
+
+impl MinusOp {
+    fn new(left: BatchOp, rights: Vec<BatchOp>, all: bool, out_kinds: Vec<TypeKind>) -> Self {
+        MinusOp {
+            left,
+            rights,
+            all,
+            out_kinds,
+            removed: HashMap::new(),
+            emitted: HashSet::new(),
+        }
+    }
+}
+
+impl Operator<ColumnBatch> for MinusOp {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        for r in &mut self.rights {
+            r.open()?;
+            while let Some(b) = r.next()? {
+                for row in b.to_rows() {
+                    *self.removed.entry(row).or_default() += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        loop {
+            let Some(b) = self.left.next()? else {
+                return Ok(None);
+            };
+            let mut out: Vec<Row> = vec![];
+            for row in b.to_rows() {
+                match self.removed.get_mut(&row) {
+                    Some(n) if *n > 0 => {
+                        if self.all {
+                            *n -= 1;
+                        }
+                        // In DISTINCT mode any presence in the right side
+                        // removes the row entirely.
+                    }
+                    _ => {
+                        if self.all || self.emitted.insert(row.clone()) {
+                            out.push(row);
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(ColumnBatch::from_rows(&self.out_kinds, &out)));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::{compare_rows, EnumerableExecutor};
+    use crate::executor::EnumerableExecutor;
     use rcalcite_core::catalog::{MemTable, TableRef};
     use rcalcite_core::rel;
     use rcalcite_core::traits::FieldCollation;
@@ -1210,6 +2187,38 @@ mod tests {
     }
 
     #[test]
+    fn fused_and_unfused_pipelines_agree() {
+        // The fusion pass must be a pure physical optimization: the
+        // fused Scan→Filter→Project tree and the unfused one produce
+        // identical batches.
+        let plan = rel::project(
+            rel::filter(
+                emp(),
+                RexNode::input(1, RelType::nullable(TypeKind::Integer)).gt(RexNode::lit_int(150)),
+            ),
+            vec![RexNode::call(
+                Op::Plus,
+                vec![
+                    RexNode::input(1, RelType::nullable(TypeKind::Integer)),
+                    RexNode::input(0, RelType::not_null(TypeKind::Integer)),
+                ],
+            )],
+            vec!["v".into()],
+        );
+        let ctx = ctx_batch();
+        let collect = |fuse: bool| -> Vec<Row> {
+            let mut it = execute_batches_with_fusion(&plan, &ctx, fuse).unwrap();
+            let mut rows = vec![];
+            while let Some(cols) = it.next_batch().unwrap() {
+                rows.extend(ColumnBatch::new(cols).to_rows());
+            }
+            rows
+        };
+        assert_eq!(collect(true), collect(false));
+        assert_eq!(collect(true).len(), 2);
+    }
+
+    #[test]
     fn join_kinds_match_row_engine() {
         let dept = {
             let t = MemTable::new(
@@ -1247,6 +2256,47 @@ mod tests {
     }
 
     #[test]
+    fn join_output_streams_in_bounded_chunks() {
+        // High-multiplicity probe (2 left rows × 2000 right matches) and
+        // a mostly-unmatched right side: output must arrive in
+        // ≤ BATCH_SIZE batches, never one unbounded gather.
+        let int_ty = RelType::not_null(TypeKind::Integer);
+        let left = rel::values(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .build(),
+            vec![vec![Datum::Int(1)], vec![Datum::Int(1)]],
+        );
+        let right = rel::values(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            (0..3000)
+                .map(|i| vec![Datum::Int(if i < 2000 { 1 } else { 2 }), Datum::Int(i)])
+                .collect(),
+        );
+        let cond = RexNode::input(0, int_ty.clone()).eq(RexNode::input(1, int_ty));
+        for (kind, want_rows) in [
+            (JoinKind::Inner, 4000),
+            // 4000 matches + 1000 unmatched right, NULL-padded.
+            (JoinKind::Full, 5000),
+        ] {
+            let plan = rel::join(left.clone(), right.clone(), kind, cond.clone());
+            let ctx = ctx_batch();
+            let mut it = execute_batches(&plan, &ctx).unwrap();
+            let mut total = 0;
+            while let Some(cols) = it.next_batch().unwrap() {
+                assert!(cols[0].len() <= BATCH_SIZE, "oversized join batch");
+                total += cols[0].len();
+            }
+            assert_eq!(total, want_rows, "join kind {kind:?}");
+            let (a, b) = both(&plan);
+            assert_eq!(a, b, "join kind {kind:?}");
+        }
+    }
+
+    #[test]
     fn aggregate_fast_and_generic_paths_match() {
         let rt = emp().row_type().clone();
         // Fast path: single Int key, simple aggs.
@@ -1272,6 +2322,46 @@ mod tests {
         let (a, b) = both(&plan);
         assert_eq!(a, b);
         assert_eq!(a, vec![vec![Datum::Int(2)]]);
+    }
+
+    #[test]
+    fn fast_agg_state_downgrades_on_mixed_batches() {
+        // First batch takes the typed Int fast path; a later batch whose
+        // key column is Generic must migrate the state, not miscount.
+        let group = vec![0usize];
+        let rt = RowTypeBuilder::new()
+            .add("k", TypeKind::Integer)
+            .add("v", TypeKind::Integer)
+            .build();
+        let aggs = vec![
+            AggCall::count_star("c"),
+            AggCall::new(AggFunc::Sum, vec![1], false, "s", &rt),
+        ];
+        let mut state = AggState::Pending;
+        let int_batch = ColumnBatch::from_rows(
+            &[TypeKind::Integer, TypeKind::Integer],
+            &[
+                vec![Datum::Int(1), Datum::Int(10)],
+                vec![Datum::Int(2), Datum::Int(20)],
+            ],
+        );
+        state.update(&int_batch, &group, &aggs).unwrap();
+        assert!(matches!(state, AggState::Fast { .. }));
+        let generic_batch = ColumnBatch::new(vec![
+            Column::Generic(vec![Datum::Int(1)]),
+            Column::Generic(vec![Datum::Int(5)]),
+        ]);
+        state.update(&generic_batch, &group, &aggs).unwrap();
+        assert!(matches!(state, AggState::Generic { .. }));
+        let mut rows = state.finish(&group, &aggs);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Datum::Int(1), Datum::Int(2), Datum::Int(15)],
+                vec![Datum::Int(2), Datum::Int(1), Datum::Int(20)],
+            ]
+        );
     }
 
     #[test]
@@ -1324,6 +2414,121 @@ mod tests {
         let (a, b) = both(&u);
         assert_eq!(a, b);
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn top_k_heap_is_bounded_and_stable() {
+        // The heap never holds more than k entries, and collation ties
+        // resolve by input order — the same rows a stable full sort
+        // followed by a LIMIT would keep.
+        let collation = vec![FieldCollation::asc(0)];
+        let mut topk = TopK::new(5, collation.clone());
+        let b = ColumnBatch::from_rows(
+            &[TypeKind::Integer, TypeKind::Integer],
+            &(0..1000)
+                .map(|i| vec![Datum::Int(i % 7), Datum::Int(i)])
+                .collect::<Vec<_>>(),
+        );
+        for i in 0..b.num_rows() {
+            topk.offer(&b, i, i);
+            assert!(topk.heap.len() <= 5, "heap exceeded k");
+        }
+        let rows = topk.into_sorted_rows();
+        // Smallest key is 0 (at seq 0, 7, 14, ...); the five kept rows
+        // are the first five such inputs, in input order.
+        let expect: Vec<Row> = (0..5)
+            .map(|j| vec![Datum::Int(0), Datum::Int(j * 7)])
+            .collect();
+        assert_eq!(rows, expect);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_with_ties() {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .add_not_null("seq", TypeKind::Integer)
+                .build(),
+            (0..500)
+                .map(|i| vec![Datum::Int(i % 3), Datum::Int(i)])
+                .collect(),
+        );
+        let scan = rel::scan(TableRef::new("s", "t", t));
+        for (offset, fetch) in [
+            (None, Some(7)),
+            (Some(2), Some(7)),
+            (Some(0), Some(0)),
+            (Some(1000), Some(3)),
+            (None, Some(500)),
+        ] {
+            let plan = rel::sort_limit(scan.clone(), vec![FieldCollation::asc(0)], offset, fetch);
+            let a = ctx_row().execute_collect(&plan).unwrap();
+            let b = ctx_batch().execute_collect(&plan).unwrap();
+            assert_eq!(a, b, "offset={offset:?} fetch={fetch:?}");
+        }
+    }
+
+    #[test]
+    fn pure_limit_stops_pulling_early() {
+        // LIMIT with no collation is fully streaming: the scan must not
+        // be drained past the batches the limit needs.
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            (0..10_000).map(|i| vec![Datum::Int(i)]).collect(),
+        );
+        let plan = rel::sort_limit(
+            rel::scan(TableRef::new("s", "t", t)),
+            vec![],
+            Some(3),
+            Some(5),
+        );
+        let ctx = ctx_batch();
+        let mut it = execute_batches(&plan, &ctx).unwrap();
+        let first = it.next_batch().unwrap().unwrap();
+        assert_eq!(first[0].len(), 5);
+        assert_eq!(first[0].get(0), Datum::Int(3));
+        assert!(it.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn intersect_and_minus_batch_kernels_match_row_engine() {
+        let rt = RowTypeBuilder::new()
+            .add_not_null("a", TypeKind::Integer)
+            .add("b", TypeKind::Integer)
+            .build();
+        let left = rel::values(
+            rt.clone(),
+            vec![
+                vec![Datum::Int(1), Datum::Int(1)],
+                vec![Datum::Int(1), Datum::Int(1)],
+                vec![Datum::Int(2), Datum::Null],
+                vec![Datum::Int(2), Datum::Null],
+                vec![Datum::Int(3), Datum::Int(3)],
+            ],
+        );
+        let right = rel::values(
+            rt,
+            vec![
+                vec![Datum::Int(1), Datum::Int(1)],
+                vec![Datum::Int(2), Datum::Null],
+                vec![Datum::Int(2), Datum::Null],
+                vec![Datum::Int(4), Datum::Int(4)],
+            ],
+        );
+        for all in [false, true] {
+            let i = rel::intersect(vec![left.clone(), right.clone()], all);
+            let (a, b) = both(&i);
+            assert_eq!(a, b, "intersect all={all}");
+            let m = rel::minus(vec![left.clone(), right.clone()], all);
+            let (a, b) = both(&m);
+            assert_eq!(a, b, "minus all={all}");
+        }
+        // Spot-check DISTINCT semantics directly.
+        let m = rel::minus(vec![left.clone(), right.clone()], false);
+        let (rows, _) = both(&m);
+        assert_eq!(rows, vec![vec![Datum::Int(3), Datum::Int(3)]]);
     }
 
     #[test]
@@ -1453,5 +2658,39 @@ mod tests {
             dense.to_rows(),
             vec![vec![Datum::Int(1)], vec![Datum::Int(3)]]
         );
+    }
+
+    #[test]
+    fn checked_batch_arithmetic_matches_row_engine_at_extremes() {
+        // Both the typed Int kernel and the row engine's eval_arith are
+        // checked: overflow errors, in-range extremes agree.
+        let t = rel::values(
+            RowTypeBuilder::new()
+                .add_not_null("x", TypeKind::Integer)
+                .build(),
+            vec![vec![Datum::Int(i64::MAX)]],
+        );
+        let int_ty = RelType::not_null(TypeKind::Integer);
+        let plus_one = rel::project(
+            t.clone(),
+            vec![RexNode::call(
+                Op::Plus,
+                vec![RexNode::input(0, int_ty.clone()), RexNode::lit_int(1)],
+            )],
+            vec!["v".into()],
+        );
+        assert!(ctx_row().execute_collect(&plus_one).is_err());
+        assert!(ctx_batch().execute_collect(&plus_one).is_err());
+        let minus_one = rel::project(
+            t,
+            vec![RexNode::call(
+                Op::Minus,
+                vec![RexNode::input(0, int_ty), RexNode::lit_int(1)],
+            )],
+            vec!["v".into()],
+        );
+        let (a, b) = both(&minus_one);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![vec![Datum::Int(i64::MAX - 1)]]);
     }
 }

@@ -18,7 +18,9 @@ pub mod batch;
 pub mod executor;
 pub mod linq4j;
 
-pub use batch::{execute_batches, execute_node_batched, ColumnBatch, BATCH_SIZE};
+pub use batch::{
+    execute_batches, execute_batches_with_fusion, execute_node_batched, ColumnBatch, BATCH_SIZE,
+};
 pub use executor::{compare_datums, compare_rows, execute_node, EnumerableExecutor};
 pub use linq4j::Enumerable;
 

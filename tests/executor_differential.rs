@@ -6,13 +6,16 @@
 //! masks and checked arithmetic are held equal.
 
 use proptest::prelude::*;
-use rcalcite_core::datum::{Datum, Row};
-use rcalcite_core::exec::ExecContext;
+use rcalcite_core::catalog::{Table, TableRef};
+use rcalcite_core::datum::{Column, Datum, Row};
+use rcalcite_core::error::Result as CoreResult;
+use rcalcite_core::exec::{BatchIter, ExecContext};
 use rcalcite_core::rel::{self, AggCall, AggFunc, JoinKind, Rel};
 use rcalcite_core::rex::{Op, RexNode};
 use rcalcite_core::traits::FieldCollation;
-use rcalcite_core::types::{RelType, RowTypeBuilder, TypeKind};
-use rcalcite_enumerable::EnumerableExecutor;
+use rcalcite_core::types::{RelType, RowType, RowTypeBuilder, TypeKind};
+use rcalcite_enumerable::{execute_batches, EnumerableExecutor};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn row_ctx() -> ExecContext {
@@ -292,6 +295,26 @@ proptest! {
     }
 
     #[test]
+    fn set_ops_agree(
+        left in table_rows(),
+        right in table_rows(),
+        all in any::<bool>(),
+        minus in any::<bool>(),
+        post in op_spec(),
+    ) {
+        // INTERSECT/EXCEPT now run as streaming hash-based batch kernels;
+        // bag and set semantics must match the row engine exactly,
+        // including NULL rows and duplicate multiplicities.
+        let (l, r) = (base_table(left), base_table(right));
+        let plan = if minus {
+            rel::minus(vec![l, r], all)
+        } else {
+            rel::intersect(vec![l, r], all)
+        };
+        assert_engines_agree(&apply_op(plan, &post))?;
+    }
+
+    #[test]
     fn theta_joins_agree(left in table_rows(), right in table_rows(), cmp in 0usize..6) {
         let plan = rel::join(
             base_table(left),
@@ -341,19 +364,49 @@ fn overflow_adjacent_sum_errors_in_both_engines() {
 }
 
 #[test]
-fn wrapping_arithmetic_matches_between_engines() {
-    // Projection arithmetic wraps (the row engine's eval_arith contract);
-    // the typed batch kernel must wrap identically at the extremes.
-    let t = base_table(vec![vec![Datum::Int(1), Datum::Int(i64::MAX), Datum::Null]]);
-    let e = RexNode::call(
-        Op::Plus,
-        vec![RexNode::input(1, int_ty()), RexNode::lit_int(1)],
-    );
-    let plan = rel::project(t, vec![e], vec!["v".into()]);
-    let a = row_ctx().execute_collect(&plan).unwrap();
-    let b = batch_ctx().execute_collect(&plan).unwrap();
-    assert_eq!(a, b);
-    assert_eq!(a[0][0], Datum::Int(i64::MIN));
+fn checked_arithmetic_matches_between_engines_at_extremes() {
+    // Projection arithmetic is checked (the row engine's eval_arith
+    // contract): overflow is an execution error in BOTH engines — the
+    // typed batch kernel must neither wrap nor panic — and in-range
+    // extremes still agree exactly.
+    let overflowing = [
+        (Op::Plus, i64::MAX, 1),
+        (Op::Plus, i64::MIN + 1, -2),
+        (Op::Minus, i64::MIN + 1, 2),
+        (Op::Times, i64::MAX, 2),
+        (Op::Times, i64::MIN + 1, -2),
+    ];
+    for (op, lhs, rhs) in overflowing {
+        let t = base_table(vec![vec![Datum::Int(1), Datum::Int(lhs), Datum::Null]]);
+        let e = RexNode::call(
+            op.clone(),
+            vec![RexNode::input(1, int_ty()), RexNode::lit_int(rhs)],
+        );
+        let plan = rel::project(t, vec![e], vec!["v".into()]);
+        assert!(
+            row_ctx().execute_collect(&plan).is_err(),
+            "row engine must error for {lhs} {op:?} {rhs}"
+        );
+        assert!(
+            batch_ctx().execute_collect(&plan).is_err(),
+            "batch engine must error for {lhs} {op:?} {rhs}"
+        );
+    }
+
+    let in_range = [
+        (Op::Plus, i64::MAX, -1, i64::MAX - 1),
+        (Op::Minus, i64::MIN + 1, 1, i64::MIN),
+        (Op::Times, i64::MAX, 1, i64::MAX),
+    ];
+    for (op, lhs, rhs, want) in in_range {
+        let t = base_table(vec![vec![Datum::Int(1), Datum::Int(lhs), Datum::Null]]);
+        let e = RexNode::call(op, vec![RexNode::input(1, int_ty()), RexNode::lit_int(rhs)]);
+        let plan = rel::project(t, vec![e], vec!["v".into()]);
+        let a = row_ctx().execute_collect(&plan).unwrap();
+        let b = batch_ctx().execute_collect(&plan).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0][0], Datum::Int(want));
+    }
 }
 
 #[test]
@@ -386,4 +439,206 @@ fn empty_input_corner_cases_agree() {
         b.sort();
         assert_eq!(a, b, "empty-input divergence for {plan:?}");
     }
+}
+
+#[test]
+fn three_way_set_ops_agree() {
+    let mk = |vals: &[i64]| {
+        base_table(
+            vals.iter()
+                .map(|&v| vec![Datum::Int(v), Datum::Null, Datum::Null])
+                .collect(),
+        )
+    };
+    let (a, b, c) = (
+        mk(&[1, 1, 2, 3, 3, 3]),
+        mk(&[1, 3, 3, 4]),
+        mk(&[1, 1, 3, 5]),
+    );
+    for all in [false, true] {
+        let plan = rel::intersect(vec![a.clone(), b.clone(), c.clone()], all);
+        let mut x = row_ctx().execute_collect(&plan).unwrap();
+        let mut y = batch_ctx().execute_collect(&plan).unwrap();
+        x.sort();
+        y.sort();
+        assert_eq!(x, y, "3-way intersect all={all}");
+        let plan = rel::minus(vec![a.clone(), b.clone(), c.clone()], all);
+        let mut x = row_ctx().execute_collect(&plan).unwrap();
+        let mut y = batch_ctx().execute_collect(&plan).unwrap();
+        x.sort();
+        y.sort();
+        assert_eq!(x, y, "3-way minus all={all}");
+    }
+}
+
+#[test]
+fn top_k_fetch_offset_agree_with_row_engine() {
+    // ORDER BY + FETCH runs as a bounded Top-K heap in the batch engine.
+    // The selected rows — including which rows win among collation ties —
+    // and their order must match the row engine's stable full sort for
+    // every offset/fetch shape: ties, offset past the end, fetch 0.
+    let rows: Vec<Row> = (0..300)
+        .map(|i| {
+            vec![
+                Datum::Int(i % 5), // heavy ties on the sort key
+                if i % 3 == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int(i)
+                },
+                Datum::str(format!("s{}", i % 4)),
+            ]
+        })
+        .collect();
+    let configs = [
+        (None, Some(0)),       // fetch 0: empty
+        (Some(1000), Some(5)), // offset past the end: empty
+        (Some(3), Some(7)),    // offset into ties
+        (None, Some(10)),
+        (Some(295), Some(50)), // fetch runs past the end
+    ];
+    for fc in [
+        FieldCollation::asc(0),
+        FieldCollation::desc(0),
+        FieldCollation::asc(1), // NULLs in the key
+        FieldCollation::desc(1),
+    ] {
+        for (offset, fetch) in configs {
+            let plan = rel::sort_limit(base_table(rows.clone()), vec![fc.clone()], offset, fetch);
+            let a = row_ctx().execute_collect(&plan).unwrap();
+            let b = batch_ctx().execute_collect(&plan).unwrap();
+            assert_eq!(a, b, "collation {fc:?} offset={offset:?} fetch={fetch:?}");
+        }
+    }
+}
+
+/// A table that counts how many batches its scan has served, so tests
+/// can observe whether the pipeline pulls lazily or drains the scan.
+struct TrackingTable {
+    row_type: RowType,
+    col: Column,
+    served: Arc<AtomicUsize>,
+}
+
+impl TrackingTable {
+    fn new(n: i64) -> TrackingTable {
+        TrackingTable {
+            row_type: RowTypeBuilder::new()
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            col: Column::from_datums(&TypeKind::Integer, (0..n).map(Datum::Int)),
+            served: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+}
+
+struct TrackingScan {
+    col: Column,
+    pos: usize,
+    batch_size: usize,
+    served: Arc<AtomicUsize>,
+}
+
+impl BatchIter for TrackingScan {
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn next_batch(&mut self) -> CoreResult<Option<Vec<Column>>> {
+        if self.pos >= self.col.len() {
+            return Ok(None);
+        }
+        let take = self.batch_size.min(self.col.len() - self.pos);
+        let out = self.col.slice(self.pos, take);
+        self.pos += take;
+        self.served.fetch_add(1, Ordering::SeqCst);
+        Ok(Some(vec![out]))
+    }
+}
+
+impl Table for TrackingTable {
+    fn row_type(&self) -> RowType {
+        self.row_type.clone()
+    }
+
+    fn scan(&self) -> CoreResult<Box<dyn Iterator<Item = Row> + Send>> {
+        let rows: Vec<Row> = self.col.to_datums().into_iter().map(|d| vec![d]).collect();
+        Ok(Box::new(rows.into_iter()))
+    }
+
+    fn scan_batches(&self, batch_size: usize) -> CoreResult<Box<dyn BatchIter>> {
+        Ok(Box::new(TrackingScan {
+            col: self.col.clone(),
+            pos: 0,
+            batch_size,
+            served: self.served.clone(),
+        }))
+    }
+}
+
+#[test]
+fn scan_filter_project_pipelines_without_materializing() {
+    // The peak-memory contract of the streaming tree: Scan→Filter→Project
+    // over a 100k-row table is pulled one batch at a time — after k output
+    // batches, the scan has served ~k input batches, never the whole
+    // table. (The old engine drained all ~98 scan batches before the
+    // first output batch existed.)
+    const N: i64 = 100_000;
+    let table = TrackingTable::new(N);
+    let served = table.served.clone();
+    let scan = rel::scan(TableRef::new("s", "big", Arc::new(table)));
+    let plan = rel::project(
+        rel::filter(
+            scan,
+            RexNode::input(0, RelType::not_null(TypeKind::Integer)).ge(RexNode::lit_int(10)),
+        ),
+        vec![RexNode::call(
+            Op::Plus,
+            vec![
+                RexNode::input(0, RelType::not_null(TypeKind::Integer)),
+                RexNode::lit_int(1),
+            ],
+        )],
+        vec!["v1".into()],
+    );
+    let mut ctx = ExecContext::new();
+    ctx.register(Arc::new(EnumerableExecutor::batched_interpreter()));
+
+    let mut it = execute_batches(&plan, &ctx).unwrap();
+    assert_eq!(served.load(Ordering::SeqCst), 0, "open() must not scan");
+    let mut produced = 0usize;
+    let mut total_rows = 0usize;
+    while let Some(cols) = it.next_batch().unwrap() {
+        produced += 1;
+        total_rows += cols[0].len();
+        // A handful of batches in flight at most: each output pull may
+        // consume a few input batches (empty post-filter batches are
+        // skipped), but the scan must never run ahead of the consumer.
+        assert!(
+            served.load(Ordering::SeqCst) <= produced + 4,
+            "scan ran ahead: {} input batches served for {} output batches",
+            served.load(Ordering::SeqCst),
+            produced
+        );
+    }
+    assert_eq!(total_rows, (N - 10) as usize);
+    assert_eq!(served.load(Ordering::SeqCst), (N as usize).div_ceil(1024));
+}
+
+#[test]
+fn top_k_consumes_stream_without_full_sort_memory() {
+    // ORDER BY ... FETCH over 100k rows: the scan is fully consumed (a
+    // sort must see every row) but the operator's state is the bounded
+    // heap — the result is exactly the k smallest, served immediately.
+    const N: i64 = 100_000;
+    let table = TrackingTable::new(N);
+    let scan = rel::scan(TableRef::new("s", "big", Arc::new(table)));
+    let plan = rel::sort_limit(scan, vec![FieldCollation::desc(0)], Some(2), Some(3));
+    let mut ctx = ExecContext::new();
+    ctx.register(Arc::new(EnumerableExecutor::batched_interpreter()));
+    let rows: Vec<Row> =
+        rcalcite_core::exec::collect_batches_to_rows(execute_batches(&plan, &ctx).unwrap())
+            .unwrap();
+    let want: Vec<Row> = (0..3).map(|i| vec![Datum::Int(N - 3 - i)]).collect();
+    assert_eq!(rows, want);
 }

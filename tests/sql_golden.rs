@@ -310,6 +310,36 @@ const GOLDEN: &[(&str, bool, &[&str])] = &[
         true,
         &["20", "30"],
     ),
+    // LIMIT/OFFSET shapes: the batch engine runs these as a bounded
+    // Top-K (with ORDER BY) or a streaming limit (without), so every
+    // corner — ties on the sort key, offset past the end, LIMIT 0 —
+    // must keep matching the row engine's stable full sort.
+    (
+        // deptno ties (10,10,20,...): the stable-order rows win.
+        "SELECT empid FROM emp ORDER BY deptno LIMIT 3",
+        true,
+        &["1", "2", "3"],
+    ),
+    (
+        "SELECT empid, sal FROM emp ORDER BY sal DESC OFFSET 1 ROWS FETCH NEXT 2 ROWS ONLY",
+        true,
+        &["3|3000", "2|2000"],
+    ),
+    (
+        // NULL sal sorts last even under LIMIT.
+        "SELECT empid FROM emp ORDER BY sal LIMIT 4",
+        true,
+        &["1", "2", "3", "5"],
+    ),
+    ("SELECT empid FROM emp ORDER BY empid OFFSET 10 ROWS", true, &[]),
+    ("SELECT empid FROM emp ORDER BY empid LIMIT 0", true, &[]),
+    (
+        "SELECT empid FROM emp ORDER BY empid LIMIT 2 OFFSET 4",
+        true,
+        &["5"],
+    ),
+    // Pure LIMIT (no ORDER BY): streams and stops pulling early.
+    ("SELECT empid FROM emp LIMIT 2", false, &["1", "2"]),
 ];
 
 #[test]
