@@ -150,9 +150,12 @@ pub fn build_federation(orders_count: usize, product_count: usize) -> Federation
     catalog.add_schema("mongo_raw", mongo.schema());
     catalog.set_default_schema("splunk");
 
-    let mut conn = Connection::new(catalog);
-    conn.add_rule(rcalcite_enumerable::implement_rule());
-    conn.register_executor(Arc::new(rcalcite_enumerable::EnumerableExecutor::new()));
+    // The builder wires the default enumerable rules and executor; the
+    // adapters then install their conventions on top. Row mode: adapter
+    // subtrees execute through their own row-producing executors.
+    let mut conn = Connection::builder(catalog)
+        .execution_mode(rcalcite_sql::ExecutionMode::Row)
+        .build();
     jdbc.install(&mut conn);
     splunk.install(&mut conn, std::slice::from_ref(&jdbc.convention));
     cassandra.install(&mut conn);

@@ -4,7 +4,7 @@
 //! convention, and the [`ExecContext`] dispatches plan subtrees to the
 //! engine named by each node's convention trait.
 
-use crate::datum::{columns_to_rows, Column, Row};
+use crate::datum::{columns_to_rows, Column, Datum, Row};
 use crate::error::{CalciteError, Result};
 use crate::rel::{Rel, RelOp};
 use crate::traits::Convention;
@@ -278,10 +278,12 @@ pub trait ConventionExecutor: Send + Sync {
     fn execute(&self, rel: &Rel, ctx: &ExecContext) -> Result<RowIter>;
 }
 
-/// Registry of executors, one per convention.
+/// Registry of executors, one per convention, plus the dynamic-parameter
+/// bindings of the current execution (empty outside prepared statements).
 #[derive(Default, Clone)]
 pub struct ExecContext {
     executors: HashMap<Convention, Arc<dyn ConventionExecutor>>,
+    params: Arc<Vec<Datum>>,
 }
 
 impl ExecContext {
@@ -291,6 +293,33 @@ impl ExecContext {
 
     pub fn register(&mut self, executor: Arc<dyn ConventionExecutor>) {
         self.executors.insert(executor.convention(), executor);
+    }
+
+    /// A context sharing this one's executors with dynamic-parameter
+    /// bindings attached. The prepared-statement layer calls this once
+    /// per execution; engines read the values back through [`Self::bind`].
+    pub fn with_params(&self, params: Vec<Datum>) -> ExecContext {
+        ExecContext {
+            executors: self.executors.clone(),
+            params: Arc::new(params),
+        }
+    }
+
+    /// The current execution's parameter bindings (empty by default).
+    pub fn params(&self) -> &[Datum] {
+        &self.params
+    }
+
+    /// Resolves an expression against this execution's bindings: every
+    /// `DynamicParam` becomes the bound literal. Engines call this on
+    /// each expression they are about to evaluate, so one compiled plan
+    /// serves many executions with different bindings.
+    pub fn bind(&self, e: &crate::rex::RexNode) -> Result<crate::rex::RexNode> {
+        if e.has_dynamic_params() {
+            e.bind_params(&self.params)
+        } else {
+            Ok(e.clone())
+        }
     }
 
     pub fn has_convention(&self, conv: &Convention) -> bool {

@@ -399,7 +399,9 @@ impl DefaultMdProvider {
                 Op::IsNotNull => 0.9,
                 _ => 0.25,
             },
-            RexNode::InputRef { .. } => 0.5,
+            // A parameter's value is unknown at planning time; treat it
+            // like a boolean column reference.
+            RexNode::InputRef { .. } | RexNode::DynamicParam { .. } => 0.5,
         }
     }
 

@@ -508,6 +508,24 @@ impl RelNode {
     pub fn node_count(&self) -> usize {
         1 + self.inputs.iter().map(|i| i.node_count()).sum::<usize>()
     }
+
+    /// Visits every row expression carried by this plan tree (filter and
+    /// join conditions, projection expressions), top-down. Used by the
+    /// prepared-statement layer to discover dynamic parameters.
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&crate::rex::RexNode)) {
+        match &self.op {
+            RelOp::Filter { condition } | RelOp::Join { condition, .. } => f(condition),
+            RelOp::Project { exprs, .. } => {
+                for e in exprs {
+                    f(e);
+                }
+            }
+            _ => {}
+        }
+        for i in &self.inputs {
+            i.visit_exprs(f);
+        }
+    }
 }
 
 impl fmt::Debug for RelNode {

@@ -217,6 +217,12 @@ pub enum RexNode {
     InputRef { index: usize, ty: RelType },
     /// A constant.
     Literal { value: Datum, ty: RelType },
+    /// A dynamic parameter (`?` placeholder in prepared statements),
+    /// numbered by lexical position. The plan is compiled once with
+    /// parameters unbound; execution supplies values through the
+    /// execution context (`ExecContext::with_params`) and the engines
+    /// substitute them via [`RexNode::bind_params`].
+    DynamicParam { index: usize, ty: RelType },
     /// An operator or function application.
     Call {
         op: Op,
@@ -236,6 +242,11 @@ impl RexNode {
 
     pub fn literal(value: Datum, ty: RelType) -> RexNode {
         RexNode::Literal { value, ty }
+    }
+
+    /// A dynamic parameter placeholder (`?`), numbered from zero.
+    pub fn param(index: usize, ty: RelType) -> RexNode {
+        RexNode::DynamicParam { index, ty }
     }
 
     pub fn lit_int(v: i64) -> RexNode {
@@ -344,6 +355,7 @@ impl RexNode {
         match self {
             RexNode::InputRef { ty, .. } => ty,
             RexNode::Literal { ty, .. } => ty,
+            RexNode::DynamicParam { ty, .. } => ty,
             RexNode::Call { ty, .. } => ty,
         }
     }
@@ -441,7 +453,7 @@ impl RexNode {
                 index: f(*index),
                 ty: ty.clone(),
             },
-            RexNode::Literal { .. } => self.clone(),
+            RexNode::Literal { .. } | RexNode::DynamicParam { .. } => self.clone(),
             RexNode::Call { op, args, ty } => RexNode::Call {
                 op: op.clone(),
                 args: args.iter().map(|a| a.map_input_refs(f)).collect(),
@@ -460,7 +472,7 @@ impl RexNode {
     pub fn substitute(&self, exprs: &[RexNode]) -> RexNode {
         match self {
             RexNode::InputRef { index, .. } => exprs[*index].clone(),
-            RexNode::Literal { .. } => self.clone(),
+            RexNode::Literal { .. } | RexNode::DynamicParam { .. } => self.clone(),
             RexNode::Call { op, args, ty } => RexNode::Call {
                 op: op.clone(),
                 args: args.iter().map(|a| a.substitute(exprs)).collect(),
@@ -478,7 +490,7 @@ impl RexNode {
                 index: *i,
                 ty: ty.clone(),
             }),
-            RexNode::Literal { .. } => Some(self.clone()),
+            RexNode::Literal { .. } | RexNode::DynamicParam { .. } => Some(self.clone()),
             RexNode::Call { op, args, ty } => {
                 let args = args
                     .iter()
@@ -493,9 +505,73 @@ impl RexNode {
         }
     }
 
-    /// Whether the expression is constant (no input references).
+    /// Whether the expression is constant (no input references and no
+    /// dynamic parameters — a parameter's value varies per execution).
     pub fn is_constant(&self) -> bool {
-        self.input_refs().is_empty()
+        self.input_refs().is_empty() && !self.has_dynamic_params()
+    }
+
+    /// Whether the tree contains any dynamic parameter.
+    pub fn has_dynamic_params(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, RexNode::DynamicParam { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Records the declared type of every dynamic parameter in the tree
+    /// into `out`, growing it as needed (`out[i]` is `None` while `?i` is
+    /// unseen). Conflicting uses widen to the least restrictive type.
+    pub fn collect_params(&self, out: &mut Vec<Option<RelType>>) {
+        self.visit(&mut |e| {
+            if let RexNode::DynamicParam { index, ty } = e {
+                if out.len() <= *index {
+                    out.resize(*index + 1, None);
+                }
+                out[*index] = Some(match &out[*index] {
+                    None => ty.clone(),
+                    Some(prev) => prev
+                        .least_restrictive(ty)
+                        .unwrap_or(RelType::nullable(TypeKind::Any)),
+                });
+            }
+        });
+    }
+
+    /// Substitutes every dynamic parameter with the corresponding literal
+    /// from `params`. Errors when a parameter index has no binding.
+    pub fn bind_params(&self, params: &[Datum]) -> Result<RexNode> {
+        Ok(match self {
+            RexNode::InputRef { .. } | RexNode::Literal { .. } => self.clone(),
+            RexNode::DynamicParam { index, ty } => {
+                let v = params.get(*index).ok_or_else(|| {
+                    CalciteError::execution(format!(
+                        "no binding for dynamic parameter ?{index} ({} provided)",
+                        params.len()
+                    ))
+                })?;
+                let ty = if v.is_null() {
+                    ty.with_nullable(true)
+                } else {
+                    ty.clone()
+                };
+                RexNode::Literal {
+                    value: v.clone(),
+                    ty,
+                }
+            }
+            RexNode::Call { op, args, ty } => RexNode::Call {
+                op: op.clone(),
+                args: args
+                    .iter()
+                    .map(|a| a.bind_params(params))
+                    .collect::<Result<_>>()?,
+                ty: ty.clone(),
+            },
+        })
     }
 
     /// Stable textual digest used by planner memo deduplication.
@@ -517,6 +593,10 @@ impl RexNode {
                 ))
             }),
             RexNode::Literal { value, .. } => Ok(value.clone()),
+            RexNode::DynamicParam { index, .. } => Err(CalciteError::execution(format!(
+                "unbound dynamic parameter ?{index}: execute through a prepared \
+                 statement (or bind_params) to supply a value"
+            ))),
             RexNode::Call { op, args, ty } => eval_call(op, args, ty, row),
         }
     }
@@ -531,6 +611,7 @@ impl fmt::Display for RexNode {
                 Datum::Null => write!(f, "NULL:{}", ty.kind),
                 v => write!(f, "{v}"),
             },
+            RexNode::DynamicParam { index, .. } => write!(f, "?{index}"),
             RexNode::Call { op, args, ty } => match op {
                 Op::Plus | Op::Minus | Op::Times | Op::Divide | Op::Mod | Op::Concat
                     if args.len() == 2 =>

@@ -9,7 +9,9 @@ use crate::rex::{Op, RexNode};
 /// equivalent on every input row (verified by property tests).
 pub fn simplify(expr: &RexNode) -> RexNode {
     match expr {
-        RexNode::InputRef { .. } | RexNode::Literal { .. } => expr.clone(),
+        RexNode::InputRef { .. } | RexNode::Literal { .. } | RexNode::DynamicParam { .. } => {
+            expr.clone()
+        }
         RexNode::Call { op, args, ty } => {
             let args: Vec<RexNode> = args.iter().map(simplify).collect();
             simplify_call(op, args, ty.clone())

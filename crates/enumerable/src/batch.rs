@@ -190,7 +190,18 @@ impl ColumnBatch {
 /// row executor's behavior at the same boundary; the tree underneath
 /// still pipelines, so inputs never materialize wholesale.
 pub fn execute_node_batched(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
-    let mut op = build_op(rel, ctx, true)?;
+    execute_node_batched_with_fusion(rel, ctx, true)
+}
+
+/// [`execute_node_batched`] with the Scan→Filter→Project fusion pass
+/// switchable (`ExecutionMode::Batch` in the SQL front door runs the
+/// unfused tree).
+pub fn execute_node_batched_with_fusion(
+    rel: &Rel,
+    ctx: &ExecContext,
+    fuse: bool,
+) -> Result<RowIter> {
+    let mut op = build_op(rel, ctx, fuse)?;
     op.open()?;
     let mut rows: Vec<Row> = vec![];
     while let Some(b) = op.next()? {
@@ -325,8 +336,12 @@ fn build_op(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
         RelOp::Values { tuples, row_type } => {
             Ok(Box::new(ValuesOp::new(tuples.clone(), kinds_of(row_type))))
         }
-        RelOp::Filter { condition } => Ok(fused(child(0)?, Some(condition.clone()), None)),
+        // Expressions resolve their dynamic parameters against the
+        // context's bindings before entering a kernel, so the compiled
+        // plan is reusable across executions of a prepared statement.
+        RelOp::Filter { condition } => Ok(fused(child(0)?, Some(ctx.bind(condition)?), None)),
         RelOp::Project { exprs, .. } => {
+            let bound: Vec<RexNode> = exprs.iter().map(|e| ctx.bind(e)).collect::<Result<_>>()?;
             // Fusion pass: a Project directly over a Filter in the same
             // convention collapses into one kernel invocation per batch;
             // the selection mask flows straight into the projection.
@@ -334,10 +349,10 @@ fn build_op(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
             if fuse && c.convention == rel.convention {
                 if let RelOp::Filter { condition } = &c.op {
                     let src = build_input(c, 0, ctx, fuse)?;
-                    return Ok(fused(src, Some(condition.clone()), Some(exprs.clone())));
+                    return Ok(fused(src, Some(ctx.bind(condition)?), Some(bound)));
                 }
             }
-            Ok(fused(child(0)?, None, Some(exprs.clone())))
+            Ok(fused(child(0)?, None, Some(bound)))
         }
         RelOp::Join { kind, condition } => Ok(Box::new(HashJoinOp::new(
             child(0)?,
@@ -345,7 +360,7 @@ fn build_op(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
             rel.input(0).row_type().arity(),
             rel.input(1).row_type().arity(),
             *kind,
-            condition.clone(),
+            ctx.bind(condition)?,
             kinds_of(rel.row_type()),
         ))),
         RelOp::Aggregate { group, aggs } => Ok(Box::new(AggregateOp::new(
@@ -685,6 +700,10 @@ fn eval_batch_sel(e: &RexNode, b: &ColumnBatch, sel: Option<&[usize]>) -> Result
             Some(s) => b.columns[*index].gather(s),
         }),
         RexNode::Literal { value, .. } => Ok(Column::repeat(value, n)),
+        RexNode::DynamicParam { index, .. } => Err(CalciteError::execution(format!(
+            "unbound dynamic parameter ?{index} reached a batch kernel; \
+             bind values through the execution context"
+        ))),
         RexNode::Call { op, args, .. } => match op {
             // Lazy operators: the row engine short-circuits them, so an
             // eagerly-evaluated argument may error where row execution

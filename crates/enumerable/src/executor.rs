@@ -28,6 +28,7 @@ use std::collections::{HashMap, HashSet};
 pub struct EnumerableExecutor {
     convention: Convention,
     batch: bool,
+    fuse: bool,
 }
 
 impl EnumerableExecutor {
@@ -35,6 +36,7 @@ impl EnumerableExecutor {
         EnumerableExecutor {
             convention: Convention::enumerable(),
             batch: false,
+            fuse: false,
         }
     }
 
@@ -44,15 +46,28 @@ impl EnumerableExecutor {
         EnumerableExecutor {
             convention: Convention::none(),
             batch: false,
+            fuse: false,
         }
     }
 
     /// The vectorized executor: same convention, same results, but
-    /// operators with batch kernels run over column batches.
+    /// operators with batch kernels run over column batches (with the
+    /// Scan→Filter→Project fusion pass on).
     pub fn batched() -> EnumerableExecutor {
         EnumerableExecutor {
             convention: Convention::enumerable(),
             batch: true,
+            fuse: true,
+        }
+    }
+
+    /// The vectorized executor without the fusion pass — one operator
+    /// per plan node (`ExecutionMode::Batch` in the SQL front door).
+    pub fn batched_unfused() -> EnumerableExecutor {
+        EnumerableExecutor {
+            convention: Convention::enumerable(),
+            batch: true,
+            fuse: false,
         }
     }
 
@@ -61,6 +76,7 @@ impl EnumerableExecutor {
         EnumerableExecutor {
             convention: Convention::none(),
             batch: true,
+            fuse: true,
         }
     }
 
@@ -82,7 +98,7 @@ impl ConventionExecutor for EnumerableExecutor {
 
     fn execute(&self, rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
         if self.batch {
-            crate::batch::execute_node_batched(rel, ctx)
+            crate::batch::execute_node_batched_with_fusion(rel, ctx, self.fuse)
         } else {
             execute_node(rel, ctx)
         }
@@ -104,14 +120,17 @@ pub fn execute_node(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
         RelOp::Scan { table } => table.table.scan(),
         RelOp::Values { tuples, .. } => Ok(Box::new(tuples.clone().into_iter())),
         RelOp::Filter { condition } => {
-            let cond = condition.clone();
+            // Dynamic parameters resolve against the context's bindings,
+            // so one compiled plan serves every execution of a prepared
+            // statement.
+            let cond = ctx.bind(condition)?;
             let input = child(0)?;
             Ok(Box::new(input.filter(move |row| {
                 matches!(cond.eval(row), Ok(Datum::Bool(true)))
             })))
         }
         RelOp::Project { exprs, .. } => {
-            let exprs = exprs.clone();
+            let exprs: Vec<RexNode> = exprs.iter().map(|e| ctx.bind(e)).collect::<Result<_>>()?;
             let input = child(0)?;
             let mut out = Vec::new();
             for row in input {
@@ -124,11 +143,12 @@ pub fn execute_node(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
             Ok(Box::new(out.into_iter()))
         }
         RelOp::Join { kind, condition } => {
+            let condition = ctx.bind(condition)?;
             let left: Vec<Row> = child(0)?.collect();
             let right: Vec<Row> = child(1)?.collect();
             let left_arity = rel.input(0).row_type().arity();
             let right_arity = rel.input(1).row_type().arity();
-            execute_join(left, right, left_arity, right_arity, *kind, condition)
+            execute_join(left, right, left_arity, right_arity, *kind, &condition)
         }
         RelOp::Aggregate { group, aggs } => {
             let input: Vec<Row> = child(0)?.collect();

@@ -240,6 +240,9 @@ pub enum Expr {
     /// Possibly-qualified column reference (`col` or `alias.col`).
     Ident(Vec<String>),
     Literal(Lit),
+    /// `?` dynamic parameter of a prepared statement, numbered by lexical
+    /// position (0-based).
+    Param(usize),
     Unary {
         minus: bool,
         expr: Box<Expr>,

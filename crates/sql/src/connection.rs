@@ -2,10 +2,19 @@
 //! driver entry point (Avatica). A `Connection` owns the catalog, function
 //! registry, planner configuration and execution context; engines and
 //! adapters plug their rules, converters and executors into it.
+//!
+//! The query surface is prepared-statement shaped, as in Avatica:
+//! [`Connection::prepare`] compiles SQL (with `?` placeholders) once into
+//! a cached physical plan, and the resulting [`PreparedStatement`] binds
+//! values and streams rows many times without re-planning.
+//! [`Connection::query`] and [`Connection::execute`] ride the same plan
+//! cache.
 
-use crate::ast::Stmt;
+use crate::ast::{Query, Stmt};
 use crate::converter::{ast_type_to_kind, query_to_rel_with_views};
 use crate::parser::parse;
+use crate::prepared::{ConnectionBuilder, ExecutionMode, PreparedStatement, ResultSet};
+use crate::validator::collect_plan_params;
 use parking_lot::RwLock;
 use rcalcite_core::catalog::{Catalog, MemTable, TableRef};
 use rcalcite_core::cost::CostModel;
@@ -23,9 +32,14 @@ use rcalcite_core::rel::Rel;
 use rcalcite_core::rex::FunctionRegistry;
 use rcalcite_core::rules::{default_logical_rules, Rule};
 use rcalcite_core::traits::Convention;
+use rcalcite_core::types::RelType;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Result of a query: column names plus materialized rows.
+/// Result of a query: column names plus materialized rows. This is the
+/// thin materialized view of a [`ResultSet`] — `ResultSet::collect()`
+/// produces one; use the cursor directly to stream instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     pub columns: Vec<String>,
@@ -35,40 +49,132 @@ pub struct QueryResult {
 impl QueryResult {
     /// Formats the result as an aligned text table (for examples/demos).
     pub fn to_table(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let width = |s: &str| s.chars().count();
         let cells: Vec<Vec<String>> = self
             .rows
             .iter()
             .map(|r| r.iter().map(|v| v.to_string()).collect())
             .collect();
+        // Column widths cover the header and every rendered cell, by
+        // character count (not bytes, so multi-byte datums stay aligned).
+        let arity = cells
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .max(self.columns.len());
+        let mut widths = vec![0usize; arity];
+        for (i, c) in self.columns.iter().enumerate() {
+            widths[i] = width(c);
+        }
         for row in &cells {
             for (i, c) in row.iter().enumerate() {
-                if i < widths.len() {
-                    widths[i] = widths[i].max(c.len());
-                }
+                widths[i] = widths[i].max(width(c));
             }
         }
-        let mut out = String::new();
-        let header: Vec<String> = self
+        let pad = |s: &str, w: usize| {
+            let mut s = s.to_string();
+            s.extend(std::iter::repeat_n(' ', w.saturating_sub(width(&s))));
+            s
+        };
+        let header = self
             .columns
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
-            .collect();
-        out.push_str(&header.join(" | "));
+            .map(|(i, c)| pad(c, widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        // The divider spans the header's character width (falling back to
+        // the widest row for headerless results).
+        let divider_len =
+            width(&header).max(widths.iter().sum::<usize>() + 3 * arity.saturating_sub(1));
+        let mut out = header;
         out.push('\n');
-        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push_str(&"-".repeat(divider_len));
         out.push('\n');
         for row in &cells {
-            let line: Vec<String> = row
+            let line = row
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(0)))
-                .collect();
-            out.push_str(&line.join(" | "));
+                .map(|(i, c)| pad(c, widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            out.push_str(&line);
             out.push('\n');
         }
         out
+    }
+}
+
+/// A query compiled all the way to a physical plan, shared between the
+/// plan cache and any prepared statements holding it.
+pub(crate) struct CachedPlan {
+    /// Output column names (from the logical plan, before physical
+    /// rewrites).
+    pub columns: Vec<String>,
+    /// The optimized physical plan, parameters still unbound.
+    pub physical: Rel,
+    /// Declared type of each `?` parameter.
+    pub params: Vec<RelType>,
+    /// Catalog/config generation this plan was compiled under; a bump
+    /// (DDL, INSERT, planner reconfiguration) invalidates it.
+    pub generation: u64,
+}
+
+/// Bounded LRU of compiled plans, keyed by SQL text. Recency is an
+/// atomic per-entry counter so cache *hits* — the server-workload hot
+/// path — run entirely under the outer read lock.
+struct PlanCache {
+    capacity: usize,
+    tick: AtomicU64,
+    entries: HashMap<String, (Arc<CachedPlan>, AtomicU64)>,
+}
+
+impl PlanCache {
+    /// `capacity` 0 disables caching entirely (every statement re-plans;
+    /// the bench baseline).
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            tick: AtomicU64::new(0),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Lookup through a shared reference (read-lock friendly).
+    fn get(&self, key: &str) -> Option<Arc<CachedPlan>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        self.entries.get(key).map(|(plan, used)| {
+            used.store(tick, Ordering::Relaxed);
+            plan.clone()
+        })
+    }
+
+    fn insert(&mut self, key: String, plan: Arc<CachedPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (plan, AtomicU64::new(tick)));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -87,6 +193,20 @@ pub struct Connection {
     metadata_cache: bool,
     /// Named views (lowercase) created through DDL; expanded inline.
     views: RwLock<std::collections::HashMap<String, Rel>>,
+    /// How query plans execute: row iterators or the vectorized batch
+    /// tree (with or without fusion). Set through [`ConnectionBuilder`].
+    pub(crate) exec_mode: ExecutionMode,
+    /// Compiled plans keyed by SQL text, bounded LRU.
+    plan_cache: RwLock<PlanCache>,
+    /// The assembled cost-based planner (rules + converters +
+    /// materializations), built once and reused until configuration
+    /// changes.
+    planner: RwLock<Option<Arc<VolcanoPlanner>>>,
+    /// The heuristic normalization phase, fixed for the connection.
+    hep: HepPlanner,
+    /// Bumped by DDL/INSERT and planner reconfiguration; cached plans
+    /// compiled under an older generation are discarded.
+    generation: AtomicU64,
 }
 
 impl Connection {
@@ -104,7 +224,20 @@ impl Connection {
             mode: FixpointMode::Exhaustive,
             metadata_cache: true,
             views: RwLock::new(std::collections::HashMap::new()),
+            exec_mode: ExecutionMode::Row,
+            plan_cache: RwLock::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            planner: RwLock::new(None),
+            hep: HepPlanner::new(default_logical_rules()),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// The preferred way to open a connection: picks the execution mode,
+    /// planner settings and plan-cache size, and wires the default
+    /// enumerable rules and executor so callers stop hand-registering
+    /// them.
+    pub fn builder(catalog: Arc<Catalog>) -> ConnectionBuilder {
+        ConnectionBuilder::new(catalog)
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -112,6 +245,8 @@ impl Connection {
     }
 
     pub fn functions_mut(&mut self) -> &mut FunctionRegistry {
+        // UDF changes alter what SQL means; compiled plans are stale.
+        self.invalidate_plans();
         &mut self.functions
     }
 
@@ -119,14 +254,21 @@ impl Connection {
         &self.functions
     }
 
+    /// The execution mode query plans run in.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.exec_mode
+    }
+
     /// Registers a planner rule (adapter pushdown, implementation, ...).
     pub fn add_rule(&mut self, rule: Arc<dyn Rule>) {
         self.rules.push(rule);
+        self.invalidate_planner();
     }
 
     /// Registers a convention converter edge.
     pub fn add_converter(&mut self, from: Convention, to: Convention) {
         self.converters.push((from, to));
+        self.invalidate_planner();
     }
 
     /// Registers an executor for a convention.
@@ -143,35 +285,75 @@ impl Connection {
     /// matcher compares like with like.
     pub fn add_materialization(&self, m: Materialization) {
         let mq = self.metadata_query();
-        let hep = HepPlanner::new(default_logical_rules());
-        let (normalized, _) = hep.optimize_counted(&m.plan, &mq);
+        let (normalized, _) = self.hep.optimize_counted(&m.plan, &mq);
         self.materializations
             .write()
             .push(Materialization::new(m.name, m.table, normalized));
+        self.invalidate_planner_shared();
     }
 
     pub fn add_lattice(&mut self, l: Arc<Lattice>) {
         self.lattices.push(l);
+        self.invalidate_planner();
     }
 
     /// Prepends a metadata provider (consulted before the defaults).
     pub fn add_metadata_provider(&mut self, p: Arc<dyn MetadataProvider>) {
         self.providers.push(p);
+        self.invalidate_plans();
     }
 
     pub fn set_cost_model(&mut self, m: Arc<dyn CostModel>) {
         self.cost_model = Some(m);
+        self.invalidate_plans();
     }
 
     /// Switches the cost-based engine's termination mode (§6: exhaustive
     /// or cost-improvement threshold δ).
     pub fn set_fixpoint_mode(&mut self, mode: FixpointMode) {
         self.mode = mode;
+        self.invalidate_planner();
     }
 
     /// Disables the metadata cache (for benchmarking its effect).
     pub fn set_metadata_cache(&mut self, enabled: bool) {
         self.metadata_cache = enabled;
+        self.invalidate_plans();
+    }
+
+    /// Resizes the plan cache (and drops its contents). Capacity 0
+    /// disables plan caching: every statement re-plans from scratch.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        *self.plan_cache.write() = PlanCache::new(capacity);
+    }
+
+    /// Number of compiled plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.read().len()
+    }
+
+    /// Current catalog/config generation (prepared statements compare
+    /// this against their plan's to detect staleness).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Drops every cached plan (DDL, INSERT, semantic configuration
+    /// changes).
+    fn invalidate_plans(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.plan_cache.write().clear();
+    }
+
+    /// Drops cached plans *and* the assembled planner (rule set or
+    /// converter topology changed).
+    fn invalidate_planner(&mut self) {
+        self.invalidate_planner_shared();
+    }
+
+    fn invalidate_planner_shared(&self) {
+        self.invalidate_plans();
+        *self.planner.write() = None;
     }
 
     pub fn metadata_query(&self) -> MetadataQuery {
@@ -204,14 +386,23 @@ impl Connection {
         self.views
             .write()
             .insert(name.into().to_ascii_lowercase(), plan);
+        self.invalidate_plans();
     }
 
-    fn volcano(&self) -> VolcanoPlanner {
+    /// The assembled cost-based planner: rules, converter edges and
+    /// materializations. Built on first use and reused across statements
+    /// until the configuration changes — the planner itself is immutable
+    /// during optimization, so sharing it is free.
+    fn planner(&self) -> Arc<VolcanoPlanner> {
+        if let Some(p) = self.planner.read().as_ref() {
+            return p.clone();
+        }
         let mut rules = self.rules.clone();
         let mats = self.materializations.read();
         if !mats.is_empty() {
             rules.push(Arc::new(MaterializedViewRule::new(mats.clone())));
         }
+        drop(mats);
         if !self.lattices.is_empty() {
             rules.push(Arc::new(LatticeRule::new(self.lattices.clone())));
         }
@@ -219,6 +410,8 @@ impl Connection {
         for (from, to) in &self.converters {
             planner.add_converter(from.clone(), to.clone());
         }
+        let planner = Arc::new(planner);
+        *self.planner.write() = Some(planner.clone());
         planner
     }
 
@@ -227,44 +420,97 @@ impl Connection {
     /// normalization phase followed by cost-based planning.
     pub fn optimize(&self, logical: &Rel) -> Result<Rel> {
         let mq = self.metadata_query();
-        let hep = HepPlanner::new(default_logical_rules());
-        let normalized = hep.optimize(logical, &Convention::enumerable(), &mq)?;
-        self.volcano()
+        let normalized = self.hep.optimize(logical, &Convention::enumerable(), &mq)?;
+        self.planner()
             .optimize(&normalized, &Convention::enumerable(), &mq)
     }
 
-    /// Parses, optimizes and executes a statement (query, EXPLAIN, or the
-    /// DDL/DML surface of §9's standalone-engine future work).
-    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+    // -------------------------------------------------------------
+    // Statement surface: prepare / execute / query / explain
+    // -------------------------------------------------------------
+
+    /// Compiles a query (with optional `?` placeholders) once: parse,
+    /// validate, optimize — served from the plan cache when the same SQL
+    /// text was prepared before. The statement then binds values and
+    /// executes any number of times without re-planning.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement<'_>> {
         use rcalcite_core::error::CalciteError;
-        let message = |m: String| QueryResult {
-            columns: vec!["result".into()],
-            rows: vec![vec![Datum::str(m)]],
+        let q = match parse(sql)? {
+            Stmt::Query(q) => q,
+            other => {
+                return Err(CalciteError::validate(format!(
+                    "only queries can be prepared, got {other:?}"
+                )))
+            }
         };
+        let key = plan_cache_key(sql);
+        let (plan, _) = self.plan_query(&key, &q)?;
+        Ok(PreparedStatement::new(self, key, q, plan))
+    }
+
+    /// Compiles `q` under cache key `key`, consulting the plan cache
+    /// first. Returns the plan and whether it was served from the cache.
+    pub(crate) fn plan_query(&self, key: &str, q: &Query) -> Result<(Arc<CachedPlan>, bool)> {
+        let generation = self.generation();
+        if let Some(hit) = self.plan_cache.read().get(key) {
+            if hit.generation == generation {
+                return Ok((hit, true));
+            }
+        }
+        let logical = self.convert(q)?;
+        let columns = logical
+            .row_type()
+            .fields
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let params = collect_plan_params(&logical);
+        let physical = self.optimize(&logical)?;
+        let plan = Arc::new(CachedPlan {
+            columns,
+            physical,
+            params,
+            generation,
+        });
+        self.plan_cache
+            .write()
+            .insert(key.to_string(), plan.clone());
+        Ok((plan, false))
+    }
+
+    /// Re-plans a prepared statement whose plan went stale (DDL or
+    /// reconfiguration since it was compiled).
+    pub(crate) fn replan(&self, key: &str, q: &Query) -> Result<Arc<CachedPlan>> {
+        Ok(self.plan_query(key, q)?.0)
+    }
+
+    /// Parses, optimizes and executes a statement (query, EXPLAIN, or the
+    /// DDL/DML surface of §9's standalone-engine future work), returning a
+    /// streaming [`ResultSet`]. Queries ride the plan cache; DDL and
+    /// INSERT invalidate it.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        use rcalcite_core::error::CalciteError;
+        let message =
+            |m: String| ResultSet::materialized(vec!["result".into()], vec![vec![Datum::str(m)]]);
         match parse(sql)? {
             Stmt::Explain(q) => {
-                let logical = self.convert(&q)?;
-                let physical = self.optimize(&logical)?;
-                let mq = self.metadata_query();
-                let text = explain_with_costs(&physical, &mq);
-                Ok(QueryResult {
-                    columns: vec!["PLAN".into()],
-                    rows: text.lines().map(|l| vec![Datum::str(l)]).collect(),
-                })
+                let (text, cached) = self.explain_query(plan_cache_key(sql), &q)?;
+                let mut rows: Vec<Row> = vec![vec![Datum::str(format!(
+                    "-- plan cache: {}",
+                    hit_str(cached)
+                ))]];
+                rows.extend(text.lines().map(|l| vec![Datum::str(l)]));
+                Ok(ResultSet::materialized(vec!["PLAN".into()], rows))
             }
             Stmt::Query(q) => {
-                let logical = self.convert(&q)?;
-                let physical = self.optimize(&logical)?;
-                let rows = self.exec.execute_collect(&physical)?;
-                Ok(QueryResult {
-                    columns: logical
-                        .row_type()
-                        .fields
-                        .iter()
-                        .map(|f| f.name.clone())
-                        .collect(),
-                    rows,
-                })
+                let (plan, _) = self.plan_query(&plan_cache_key(sql), &q)?;
+                if !plan.params.is_empty() {
+                    return Err(CalciteError::validate(format!(
+                        "statement has {} dynamic parameter(s); use prepare() and bind()",
+                        plan.params.len()
+                    )));
+                }
+                ResultSet::open(self, &plan, vec![])
             }
             Stmt::CreateTable { name, columns } => {
                 let (schema_name, table_name) = self.split_name(&name)?;
@@ -281,12 +527,15 @@ impl Connection {
                     };
                 }
                 schema.add_table(table_name.clone(), MemTable::new(b.build(), vec![]));
+                self.invalidate_plans();
                 Ok(message(format!("table {schema_name}.{table_name} created")))
             }
             Stmt::CreateView { name, query } => {
                 let plan = self.convert(&query)?;
+                reject_params(&plan, "CREATE VIEW")?;
                 let key = name.join(".").to_ascii_lowercase();
                 self.views.write().insert(key.clone(), plan);
+                self.invalidate_plans();
                 Ok(message(format!("view {key} created")))
             }
             Stmt::CreateMaterializedView { name, query } => {
@@ -294,6 +543,7 @@ impl Connection {
                 // both a materialization (for the optimizer's rewriting)
                 // and a view (for direct reference).
                 let plan = self.convert(&query)?;
+                reject_params(&plan, "CREATE MATERIALIZED VIEW")?;
                 let physical = self.optimize(&plan)?;
                 let rows = self.exec.execute_collect(&physical)?;
                 let n = rows.len();
@@ -325,6 +575,7 @@ impl Connection {
                     ))
                 })?;
                 let plan = self.convert(&source)?;
+                reject_params(&plan, "INSERT")?;
                 let arity = tref.table.row_type().arity();
                 if plan.row_type().arity() != arity {
                     return Err(CalciteError::validate(format!(
@@ -338,6 +589,10 @@ impl Connection {
                 for row in rows {
                     mem.insert(row);
                 }
+                // New rows shift statistics; cached plans may no longer
+                // be the cheapest (and snapshots taken by prepared plans
+                // should refresh).
+                self.invalidate_plans();
                 Ok(message(format!("{n} rows inserted")))
             }
             Stmt::DropTable { name, if_exists } => {
@@ -351,12 +606,19 @@ impl Connection {
                         "table '{schema_name}.{table_name}' not found"
                     )));
                 }
+                self.invalidate_plans();
                 Ok(message(format!(
                     "table {schema_name}.{table_name} {}",
                     if existed { "dropped" } else { "did not exist" }
                 )))
             }
         }
+    }
+
+    /// Parses, optimizes and executes a statement, materializing the
+    /// result — [`Connection::execute`] collected into a [`QueryResult`].
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)?.collect()
     }
 
     /// Resolves `[schema.]name` to (schema, name) using the default schema.
@@ -376,12 +638,70 @@ impl Connection {
         }
     }
 
-    /// EXPLAIN helper returning the plan as one string.
+    /// EXPLAIN helper returning the plan as one string. Accepts a bare
+    /// query or an `EXPLAIN ...` statement; both this and
+    /// `query("EXPLAIN ...")` render through the same path, and the first
+    /// line reports whether the plan came from the plan cache.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let logical = self.parse_to_rel(sql)?;
-        let physical = self.optimize(&logical)?;
+        use rcalcite_core::error::CalciteError;
+        let q = match parse(sql)? {
+            Stmt::Query(q) | Stmt::Explain(q) => q,
+            other => return Err(CalciteError::validate(format!("cannot EXPLAIN {other:?}"))),
+        };
+        let (text, cached) = self.explain_query(plan_cache_key(sql), &q)?;
+        Ok(format!("-- plan cache: {}\n{text}", hit_str(cached)))
+    }
+
+    /// The shared EXPLAIN implementation: plans through the cache (so
+    /// EXPLAIN observes — and warms — the same entries queries use) and
+    /// renders the physical plan with cost annotations.
+    fn explain_query(&self, key: String, q: &Query) -> Result<(String, bool)> {
+        let (plan, cached) = self.plan_query(&key, q)?;
         let mq = self.metadata_query();
-        Ok(explain_with_costs(&physical, &mq))
+        Ok((explain_with_costs(&plan.physical, &mq), cached))
+    }
+}
+
+/// Default bound on the number of compiled plans a connection keeps.
+pub(crate) const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Normalizes a statement's text into its plan-cache key. `EXPLAIN <q>`
+/// maps to `<q>`'s key, so EXPLAIN reports on the entry the query itself
+/// would use.
+fn plan_cache_key(sql: &str) -> String {
+    let t = sql.trim().trim_end_matches(';').trim();
+    // Strip a leading EXPLAIN keyword case-insensitively, matching the
+    // parser's keyword handling.
+    if t.len() > 7
+        && t[..7].eq_ignore_ascii_case("EXPLAIN")
+        && t.as_bytes()[7].is_ascii_whitespace()
+    {
+        return t[7..].trim().to_string();
+    }
+    t.to_string()
+}
+
+/// `?` placeholders are only meaningful through `prepare()`/`bind()`.
+/// In DDL the stored plan would be spliced into later statements whose
+/// own parameters are numbered from 0 as well, colliding with the
+/// view's — reject them up front.
+fn reject_params(plan: &Rel, what: &str) -> Result<()> {
+    let n = collect_plan_params(plan).len();
+    if n == 0 {
+        Ok(())
+    } else {
+        Err(rcalcite_core::error::CalciteError::validate(format!(
+            "dynamic parameters are not allowed in {what} ({n} found); \
+             only queries can be prepared"
+        )))
+    }
+}
+
+fn hit_str(cached: bool) -> &'static str {
+    if cached {
+        "hit"
+    } else {
+        "miss"
     }
 }
 
@@ -482,5 +802,185 @@ mod tests {
         let conn = connection();
         assert!(conn.query("SELECT nope FROM emp").is_err());
         assert!(conn.query("SELEC 1").is_err());
+    }
+
+    #[test]
+    fn prepared_statement_binds_many_times() {
+        let conn = connection();
+        let stmt = conn
+            .prepare("SELECT deptno, sal FROM emp WHERE sal > ? ORDER BY sal")
+            .unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        assert_eq!(stmt.columns(), vec!["deptno", "sal"]);
+        let r = stmt.query(&[Datum::Int(150)]).unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Datum::Int(10), Datum::Int(200)],
+                vec![Datum::Int(20), Datum::Int(300)],
+            ]
+        );
+        let r = stmt.query(&[Datum::Int(250)]).unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int(20), Datum::Int(300)]]);
+        // Identical to the inlined-literal query.
+        let inline = conn
+            .query("SELECT deptno, sal FROM emp WHERE sal > 250 ORDER BY sal")
+            .unwrap();
+        assert_eq!(r, inline);
+    }
+
+    #[test]
+    fn prepared_bind_errors() {
+        let conn = connection();
+        let stmt = conn
+            .prepare("SELECT deptno FROM emp WHERE sal > ?")
+            .unwrap();
+        // Wrong arity.
+        assert!(stmt.query(&[]).is_err());
+        assert!(stmt.query(&[Datum::Int(1), Datum::Int(2)]).is_err());
+        // Type mismatch: sal is INTEGER, a string cannot compare.
+        assert!(stmt.query(&[Datum::str("nope")]).is_err());
+        // NULL binds (and matches nothing under three-valued logic).
+        assert_eq!(stmt.query(&[Datum::Null]).unwrap().rows.len(), 0);
+        // Executing parameterized SQL without preparing is an error.
+        assert!(conn.query("SELECT deptno FROM emp WHERE sal > ?").is_err());
+    }
+
+    #[test]
+    fn plan_cache_hits_and_explain_marker() {
+        let conn = connection();
+        let sql = "SELECT deptno FROM emp WHERE sal > 150";
+        let first = conn.explain(sql).unwrap();
+        assert!(first.starts_with("-- plan cache: miss"), "{first}");
+        let second = conn.explain(sql).unwrap();
+        assert!(second.starts_with("-- plan cache: hit"), "{second}");
+        // query("EXPLAIN ...") reports through the same path, whatever
+        // the keyword's casing.
+        for kw in ["EXPLAIN", "explain", "eXpLaIn"] {
+            let r = conn.query(&format!("{kw} {sql}")).unwrap();
+            assert_eq!(r.columns, vec!["PLAN"]);
+            assert_eq!(r.rows[0], vec![Datum::str("-- plan cache: hit")], "{kw}");
+        }
+    }
+
+    #[test]
+    fn params_rejected_outside_queries() {
+        let conn = connection();
+        conn.query("CREATE TABLE hr.t2 (v INTEGER)").unwrap();
+        for sql in [
+            "CREATE VIEW v AS SELECT deptno FROM emp WHERE sal > ?",
+            "CREATE MATERIALIZED VIEW mv AS SELECT deptno FROM emp WHERE sal > ?",
+            "INSERT INTO hr.t2 SELECT deptno FROM emp WHERE sal > ?",
+        ] {
+            let err = conn.query(sql).unwrap_err().to_string();
+            assert!(err.contains("dynamic parameters"), "{sql}: {err}");
+        }
+        // Non-queries cannot be prepared either.
+        assert!(conn.prepare("DROP TABLE hr.t2").is_err());
+    }
+
+    #[test]
+    fn ddl_invalidates_cached_plans() {
+        let conn = connection();
+        let stmt = conn
+            .prepare("SELECT COUNT(*) AS c FROM emp WHERE deptno = ?")
+            .unwrap();
+        assert_eq!(
+            stmt.query(&[Datum::Int(10)]).unwrap().rows,
+            vec![vec![Datum::Int(2)]]
+        );
+        conn.query("INSERT INTO hr.emp SELECT deptno, sal + 1 FROM hr.emp WHERE deptno = 10")
+            .unwrap();
+        // The cache was cleared by the INSERT...
+        let marker = conn.explain("SELECT COUNT(*) AS c FROM emp WHERE deptno = ?");
+        assert!(marker.unwrap().starts_with("-- plan cache: miss"));
+        // ...and the statement re-plans against the mutated table.
+        assert_eq!(
+            stmt.query(&[Datum::Int(10)]).unwrap().rows,
+            vec![vec![Datum::Int(4)]]
+        );
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_lru() {
+        let conn = connection();
+        conn.set_plan_cache_capacity(2);
+        conn.query("SELECT deptno FROM emp").unwrap();
+        conn.query("SELECT sal FROM emp").unwrap();
+        assert_eq!(conn.plan_cache_len(), 2);
+        // Touch the first so the second is the LRU victim.
+        conn.query("SELECT deptno FROM emp").unwrap();
+        conn.query("SELECT deptno, sal FROM emp").unwrap();
+        assert_eq!(conn.plan_cache_len(), 2);
+        assert!(conn
+            .explain("SELECT deptno FROM emp")
+            .unwrap()
+            .starts_with("-- plan cache: hit"));
+        assert!(conn
+            .explain("SELECT sal FROM emp")
+            .unwrap()
+            .starts_with("-- plan cache: miss"));
+    }
+
+    #[test]
+    fn result_set_streams_rows() {
+        let conn = connection();
+        let mut rs = conn
+            .execute("SELECT deptno FROM emp ORDER BY deptno")
+            .unwrap();
+        assert_eq!(rs.columns(), ["deptno"]);
+        assert_eq!(rs.next_row().unwrap(), Some(vec![Datum::Int(10)]));
+        assert_eq!(rs.next_row().unwrap(), Some(vec![Datum::Int(10)]));
+        assert_eq!(rs.next_row().unwrap(), Some(vec![Datum::Int(20)]));
+        assert_eq!(rs.next_row().unwrap(), None);
+    }
+
+    #[test]
+    fn builder_wires_engine_for_all_modes() {
+        use crate::prepared::ExecutionMode;
+        for mode in [
+            ExecutionMode::Row,
+            ExecutionMode::Batch,
+            ExecutionMode::Fused,
+        ] {
+            let catalog = connection().catalog().clone();
+            let conn = Connection::builder(catalog).execution_mode(mode).build();
+            let r = conn
+                .query("SELECT deptno, SUM(sal) AS s FROM hr.emp GROUP BY deptno ORDER BY deptno")
+                .unwrap();
+            assert_eq!(
+                r.rows,
+                vec![
+                    vec![Datum::Int(10), Datum::Int(300)],
+                    vec![Datum::Int(20), Datum::Int(300)],
+                ],
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_table_handles_empty_and_wide_cells() {
+        // Empty result: header plus divider of matching width.
+        let empty = QueryResult {
+            columns: vec!["a".into(), "long_name".into()],
+            rows: vec![],
+        };
+        let t = empty.to_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].chars().count(), lines[0].chars().count());
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Multi-character (and multi-byte) cells widen their column; the
+        // divider spans the header, which is padded to the same width.
+        let wide = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::str("ünïcödé-value")]],
+        };
+        let t = wide.to_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0].chars().count(), "ünïcödé-value".chars().count());
+        assert_eq!(lines[1].chars().count(), lines[0].chars().count());
+        assert_eq!(lines[2].chars().count(), lines[0].chars().count());
     }
 }

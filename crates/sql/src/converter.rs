@@ -699,7 +699,7 @@ impl<'a> Converter<'a> {
                     post.agg_node.row_type().field(out).ty.clone(),
                 ))
             }
-            Expr::Literal(_) => self.to_rex(e, scope),
+            Expr::Literal(_) | Expr::Param(_) => self.to_rex(e, scope),
             Expr::Ident(parts) => Err(CalciteError::validate(format!(
                 "column '{}' must appear in GROUP BY or an aggregate",
                 parts.join(".")
@@ -860,6 +860,9 @@ impl<'a> Converter<'a> {
                 Ok(RexNode::input(i, ty))
             }
             Expr::Literal(lit) => literal_rex(lit),
+            // A parameter's type is unknown in isolation (ANY); binary_rex
+            // narrows it from the other operand where possible.
+            Expr::Param(i) => Ok(RexNode::param(*i, RelType::nullable(TypeKind::Any))),
             Expr::Unary { minus, expr } => {
                 let inner = self.to_rex(expr, scope)?;
                 if *minus {
@@ -1031,6 +1034,11 @@ impl<'a> Converter<'a> {
     }
 
     fn binary_rex(&self, op: BinOp, l: RexNode, r: RexNode) -> Result<RexNode> {
+        // Narrow an untyped (`ANY`) dynamic parameter from the other
+        // operand, so `deptno = ?` types the parameter as INTEGER: the
+        // bind-time type check gets teeth and batch kernels get a typed
+        // column instead of a generic one.
+        let (l, r) = narrow_param_types(l, r);
         let rex_op = match op {
             BinOp::Plus => Op::Plus,
             BinOp::Minus => Op::Minus,
@@ -1329,6 +1337,26 @@ fn literal_rex(lit: &Lit) -> Result<RexNode> {
     })
 }
 
+/// When exactly one side of a binary operator is an `ANY`-typed dynamic
+/// parameter and the other side has a concrete type, adopt that type for
+/// the parameter (nullable: the bound value may be NULL).
+fn narrow_param_types(l: RexNode, r: RexNode) -> (RexNode, RexNode) {
+    fn concrete(ty: &RelType) -> bool {
+        !matches!(ty.kind, TypeKind::Any | TypeKind::Null)
+    }
+    fn narrow(e: RexNode, other: &RelType) -> RexNode {
+        match e {
+            RexNode::DynamicParam { index, ty } if !concrete(&ty) && concrete(other) => {
+                RexNode::param(index, RelType::nullable(other.kind.clone()))
+            }
+            e => e,
+        }
+    }
+    let l_ty = l.ty().clone();
+    let r_ty = r.ty().clone();
+    (narrow(l, &r_ty), narrow(r, &l_ty))
+}
+
 /// Maps a parsed SQL type to the core type system (shared by CAST and
 /// CREATE TABLE column definitions).
 pub fn ast_type_to_kind(ty: &AstType) -> TypeKind {
@@ -1382,7 +1410,7 @@ fn contains_agg(e: &Expr) -> bool {
 /// Child expressions for generic AST traversal.
 fn expr_children(e: &Expr) -> Vec<&Expr> {
     match e {
-        Expr::Ident(_) | Expr::Literal(_) => vec![],
+        Expr::Ident(_) | Expr::Literal(_) | Expr::Param(_) => vec![],
         Expr::Unary { expr, .. } => vec![expr],
         Expr::Not(x) => vec![x],
         Expr::Binary { left, right, .. } => vec![left, right],

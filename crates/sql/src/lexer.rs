@@ -14,7 +14,8 @@ pub enum Token {
     /// `'single quoted'` string literal (escaped quotes collapsed).
     Str(String),
     /// Operator or punctuation: `(`, `)`, `,`, `.`, `+`, `-`, `*`, `/`,
-    /// `%`, `=`, `<`, `<=`, `>`, `>=`, `<>`, `!=`, `||`, `[`, `]`.
+    /// `%`, `=`, `<`, `<=`, `>`, `>=`, `<>`, `!=`, `||`, `[`, `]`, and
+    /// the `?` dynamic-parameter placeholder of prepared statements.
     Sym(&'static str),
     Eof,
 }
@@ -158,6 +159,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 '[' => "[",
                 ']' => "]",
                 ';' => ";",
+                '?' => "?",
                 other => {
                     return Err(CalciteError::parse(format!(
                         "unexpected character '{other}'"
@@ -221,8 +223,15 @@ mod tests {
     fn errors() {
         assert!(tokenize("'unterminated").is_err());
         assert!(tokenize("\"unterminated").is_err());
-        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a @ b").is_err());
         assert!(tokenize("/* no end").is_err());
+    }
+
+    #[test]
+    fn dynamic_parameter_placeholder() {
+        let toks = tokenize("a = ? AND b > ?").unwrap();
+        assert_eq!(toks[2], Token::Sym("?"));
+        assert_eq!(toks[6], Token::Sym("?"));
     }
 
     #[test]

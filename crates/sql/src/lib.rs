@@ -17,10 +17,12 @@ pub mod connection;
 pub mod converter;
 pub mod lexer;
 pub mod parser;
+pub mod prepared;
 pub mod unparser;
 pub mod validator;
 
 pub use connection::{Connection, QueryResult};
 pub use converter::query_to_rel;
 pub use parser::parse;
+pub use prepared::{ConnectionBuilder, ExecutionMode, PreparedStatement, ResultSet};
 pub use unparser::{to_sql, Dialect, MySqlDialect, PostgresDialect};

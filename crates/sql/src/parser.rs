@@ -7,6 +7,9 @@ use rcalcite_core::error::{CalciteError, Result};
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far; each occurrence takes the
+    /// next ordinal, in lexical order.
+    params: usize,
 }
 
 /// Parses one statement: a query, `EXPLAIN`, or DDL/DML (`CREATE TABLE`,
@@ -15,6 +18,7 @@ pub fn parse(sql: &str) -> Result<Stmt> {
     let mut p = Parser {
         tokens: tokenize(sql)?,
         pos: 0,
+        params: 0,
     };
     let stmt = if p.eat_kw("EXPLAIN") {
         Stmt::Explain(p.parse_query()?)
@@ -705,6 +709,12 @@ impl Parser {
             self.expect_sym(")")?;
             return self.parse_postfix_on(e);
         }
+        // Dynamic parameter placeholder.
+        if self.eat_sym("?") {
+            let i = self.params;
+            self.params += 1;
+            return Ok(Expr::Param(i));
+        }
         match self.peek().clone() {
             Token::Number(s) => {
                 self.pos += 1;
@@ -1232,6 +1242,31 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn dynamic_parameters_numbered_in_order() {
+        let s = sel("SELECT a + ? FROM t WHERE b = ? AND c IN (?, ?)");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: Expr::Binary { right, .. },
+                ..
+            } if matches!(**right, Expr::Param(0))
+        ));
+        match s.selection.unwrap() {
+            Expr::Binary { left, right, .. } => {
+                assert!(
+                    matches!(&*left, Expr::Binary { right: r, .. } if matches!(**r, Expr::Param(1)))
+                );
+                assert!(matches!(
+                    &*right,
+                    Expr::InList { list, .. }
+                        if list == &[Expr::Param(2), Expr::Param(3)]
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! The prepared-statement front door: [`ConnectionBuilder`] configures a
+//! connection (execution mode, planner settings, plan cache) and wires
+//! the default enumerable engine; [`PreparedStatement`] compiles SQL with
+//! `?` placeholders once and executes it many times with different
+//! bindings; [`ResultSet`] is the pull-based cursor both it and
+//! [`Connection::execute`] return.
+//!
+//! This mirrors how the paper's framework is consumed in production —
+//! a JDBC/Avatica server prepares statements once and serves many
+//! executions, amortizing parse and optimization cost across calls.
+
+use crate::connection::{CachedPlan, Connection, QueryResult};
+use crate::validator::check_bindings;
+use parking_lot::RwLock;
+use rcalcite_core::catalog::Catalog;
+use rcalcite_core::datum::{columns_to_rows, Datum, Row};
+use rcalcite_core::error::Result;
+use rcalcite_core::exec::{BatchIter, RowIter};
+use rcalcite_core::planner::volcano::FixpointMode;
+use rcalcite_core::types::RelType;
+use rcalcite_enumerable::EnumerableExecutor;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How a connection executes optimized plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Row-at-a-time iterators (the paper's enumerable convention).
+    Row,
+    /// The vectorized streaming batch tree, one operator per plan node.
+    Batch,
+    /// The batch tree with the Scan→Filter→Project fusion pass — the
+    /// fastest mode, and the default for built connections.
+    #[default]
+    Fused,
+}
+
+impl ExecutionMode {
+    /// Whether this mode runs the vectorized batch tree, and if so with
+    /// the fusion pass on — the single source of truth shared by the
+    /// builder's executor choice and the cursor's streaming path.
+    pub(crate) fn batch_fusion(self) -> Option<bool> {
+        match self {
+            ExecutionMode::Row => None,
+            ExecutionMode::Batch => Some(false),
+            ExecutionMode::Fused => Some(true),
+        }
+    }
+}
+
+/// Builds a [`Connection`] with the execution engine wired in, replacing
+/// the old hand-registration dance (`add_rule(implement_rule())` +
+/// `register_executor(...)`).
+///
+/// ```
+/// # use rcalcite_core::catalog::Catalog;
+/// # use rcalcite_sql::{Connection, ExecutionMode};
+/// let conn = Connection::builder(Catalog::new())
+///     .execution_mode(ExecutionMode::Row)
+///     .build();
+/// ```
+pub struct ConnectionBuilder {
+    catalog: Arc<Catalog>,
+    mode: ExecutionMode,
+    fixpoint: FixpointMode,
+    metadata_cache: bool,
+    plan_cache_capacity: Option<usize>,
+    interpreter: bool,
+}
+
+impl ConnectionBuilder {
+    pub fn new(catalog: Arc<Catalog>) -> ConnectionBuilder {
+        ConnectionBuilder {
+            catalog,
+            mode: ExecutionMode::default(),
+            fixpoint: FixpointMode::Exhaustive,
+            metadata_cache: true,
+            plan_cache_capacity: None,
+            interpreter: false,
+        }
+    }
+
+    /// Picks row, batch, or fused-batch execution (default: fused).
+    pub fn execution_mode(mut self, mode: ExecutionMode) -> ConnectionBuilder {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the cost-based planner's termination mode (§6).
+    pub fn fixpoint_mode(mut self, mode: FixpointMode) -> ConnectionBuilder {
+        self.fixpoint = mode;
+        self
+    }
+
+    /// Enables or disables the planner metadata cache (default: on).
+    pub fn metadata_cache(mut self, enabled: bool) -> ConnectionBuilder {
+        self.metadata_cache = enabled;
+        self
+    }
+
+    /// Bounds the compiled-plan LRU (default: 128 entries).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> ConnectionBuilder {
+        self.plan_cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Also registers the logical-plan interpreter executor, used by
+    /// differential tests to run unoptimized plans.
+    pub fn with_interpreter(mut self) -> ConnectionBuilder {
+        self.interpreter = true;
+        self
+    }
+
+    /// Builds the connection: enumerable implementation rule plus the
+    /// executor for the chosen mode, planner configuration applied.
+    pub fn build(self) -> Connection {
+        let mut conn = Connection::new(self.catalog);
+        conn.set_fixpoint_mode(self.fixpoint);
+        conn.set_metadata_cache(self.metadata_cache);
+        if let Some(cap) = self.plan_cache_capacity {
+            conn.set_plan_cache_capacity(cap);
+        }
+        conn.add_rule(rcalcite_enumerable::implement_rule());
+        conn.register_executor(Arc::new(match self.mode.batch_fusion() {
+            None => EnumerableExecutor::new(),
+            Some(false) => EnumerableExecutor::batched_unfused(),
+            Some(true) => EnumerableExecutor::batched(),
+        }));
+        if self.interpreter {
+            conn.register_executor(Arc::new(if self.mode.batch_fusion().is_some() {
+                EnumerableExecutor::batched_interpreter()
+            } else {
+                EnumerableExecutor::interpreter()
+            }));
+        }
+        conn.exec_mode = self.mode;
+        conn
+    }
+}
+
+/// A query parsed, validated and optimized once, ready to execute many
+/// times with different `?` bindings. Obtained from
+/// [`Connection::prepare`].
+///
+/// If the connection's catalog or configuration changes after
+/// preparation (DDL, INSERT, new rules), the statement transparently
+/// re-plans on its next execution.
+pub struct PreparedStatement<'c> {
+    conn: &'c Connection,
+    /// Plan-cache key (normalized SQL text).
+    key: String,
+    /// Parsed query, kept so a stale plan re-compiles without re-parsing.
+    query: crate::ast::Query,
+    plan: RwLock<Arc<CachedPlan>>,
+}
+
+impl<'c> PreparedStatement<'c> {
+    pub(crate) fn new(
+        conn: &'c Connection,
+        key: String,
+        query: crate::ast::Query,
+        plan: Arc<CachedPlan>,
+    ) -> PreparedStatement<'c> {
+        PreparedStatement {
+            conn,
+            key,
+            query,
+            plan: RwLock::new(plan),
+        }
+    }
+
+    /// Number of `?` parameters the statement takes.
+    pub fn param_count(&self) -> usize {
+        self.plan.read().params.len()
+    }
+
+    /// Declared type of each parameter (as inferred from its uses).
+    pub fn param_types(&self) -> Vec<RelType> {
+        self.plan.read().params.clone()
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> Vec<String> {
+        self.plan.read().columns.clone()
+    }
+
+    /// The current plan, re-compiled if the connection moved on since
+    /// this statement was prepared (the fast path is one atomic load).
+    fn current_plan(&self) -> Result<Arc<CachedPlan>> {
+        let plan = self.plan.read().clone();
+        if plan.generation == self.conn.generation() {
+            return Ok(plan);
+        }
+        let fresh = self.conn.replan(&self.key, &self.query)?;
+        *self.plan.write() = fresh.clone();
+        Ok(fresh)
+    }
+
+    /// Binds parameter values and executes, returning a streaming
+    /// cursor. Arity and types are checked against the statement's
+    /// parameters; planning is skipped entirely.
+    pub fn bind(&self, params: &[Datum]) -> Result<ResultSet> {
+        let plan = self.current_plan()?;
+        check_bindings(&plan.params, params)?;
+        ResultSet::open(self.conn, &plan, params.to_vec())
+    }
+
+    /// Binds, executes and materializes — `bind(...)` collected into a
+    /// [`QueryResult`].
+    pub fn query(&self, params: &[Datum]) -> Result<QueryResult> {
+        self.bind(params)?.collect()
+    }
+}
+
+/// A streaming cursor over query results. In the batch execution modes
+/// rows are pulled from the executing plan one batch at a time, so
+/// `LIMIT 1` over a large table never materializes the table; in `Row`
+/// mode the cursor is still pull-based but the row engine's blocking
+/// operators (project, sort, join) may materialize their outputs behind
+/// it. [`ResultSet::collect`] produces the materialized [`QueryResult`]
+/// view.
+pub struct ResultSet {
+    columns: Vec<String>,
+    source: Source,
+}
+
+enum Source {
+    /// Row-mode execution (and pre-materialized DDL results).
+    Rows(RowIter),
+    /// Batch-mode execution: one batch is pulled and buffered at a time.
+    Batches {
+        it: Box<dyn BatchIter>,
+        buf: VecDeque<Row>,
+    },
+}
+
+impl ResultSet {
+    /// A cursor over already-materialized rows (DDL messages, EXPLAIN).
+    pub(crate) fn materialized(columns: Vec<String>, rows: Vec<Row>) -> ResultSet {
+        ResultSet {
+            columns,
+            source: Source::Rows(Box::new(rows.into_iter())),
+        }
+    }
+
+    /// Opens a cursor over an optimized plan with the given parameter
+    /// bindings, honoring the connection's execution mode. The batch
+    /// modes stream through the built-in batch engine directly (the
+    /// registered executor's row boundary would materialize); foreign
+    /// sub-trees still dispatch through the registered executors.
+    pub(crate) fn open(
+        conn: &Connection,
+        plan: &CachedPlan,
+        params: Vec<Datum>,
+    ) -> Result<ResultSet> {
+        let ctx = conn.exec_context().with_params(params);
+        let Some(fuse) = conn.execution_mode().batch_fusion() else {
+            return Ok(ResultSet {
+                columns: plan.columns.clone(),
+                source: Source::Rows(ctx.execute(&plan.physical)?),
+            });
+        };
+        // Zero-arity plans can't be represented as column batches (a
+        // batch with no columns carries no row count); run them through
+        // the registered (batched) executor's row boundary instead.
+        if plan.physical.row_type().arity() == 0 {
+            return Ok(ResultSet {
+                columns: plan.columns.clone(),
+                source: Source::Rows(ctx.execute(&plan.physical)?),
+            });
+        }
+        let it = rcalcite_enumerable::execute_batches_with_fusion(&plan.physical, &ctx, fuse)?;
+        Ok(ResultSet {
+            columns: plan.columns.clone(),
+            source: Source::Batches {
+                it,
+                buf: VecDeque::new(),
+            },
+        })
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The next row, or `None` when the cursor is exhausted. Pulls at
+    /// most one batch through the plan per call in batch mode.
+    pub fn next_row(&mut self) -> Result<Option<Row>> {
+        match &mut self.source {
+            Source::Rows(it) => Ok(it.next()),
+            Source::Batches { it, buf } => {
+                while buf.is_empty() {
+                    match it.next_batch()? {
+                        None => return Ok(None),
+                        Some(cols) => buf.extend(columns_to_rows(&cols)),
+                    }
+                }
+                Ok(buf.pop_front())
+            }
+        }
+    }
+
+    /// Drains the cursor into a materialized [`QueryResult`].
+    pub fn collect(mut self) -> Result<QueryResult> {
+        let mut rows = vec![];
+        while let Some(r) = self.next_row()? {
+            rows.push(r);
+        }
+        Ok(QueryResult {
+            columns: self.columns,
+            rows,
+        })
+    }
+}

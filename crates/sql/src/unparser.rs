@@ -411,6 +411,9 @@ pub fn rex_sql(
     Ok(match rex {
         RexNode::InputRef { index, .. } => name_of(*index),
         RexNode::Literal { value, .. } => datum_sql(value),
+        // JDBC positional placeholder; backends receiving unparsed SQL
+        // bind values through their own prepared-statement machinery.
+        RexNode::DynamicParam { .. } => "?".to_string(),
         RexNode::Call { op, args, ty } => {
             let sub = |i: usize| rex_sql(&args[i], d, name_of);
             match op {

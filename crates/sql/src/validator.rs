@@ -6,6 +6,7 @@
 //! monotonic or quasi-monotonic expressions in the GROUP BY clause").
 
 use crate::ast::Expr;
+use rcalcite_core::datum::Datum;
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::rel::Rel;
 use rcalcite_core::types::{RelType, TypeKind};
@@ -107,6 +108,45 @@ impl Scope {
             .map(|(i, _)| i)
             .collect()
     }
+}
+
+/// Discovers the dynamic parameters of a compiled plan: `result[i]` is
+/// the declared type of `?i` (as inferred during conversion; `ANY` when
+/// no use narrowed it). The parameter count of a prepared statement is
+/// `result.len()`.
+pub fn collect_plan_params(rel: &Rel) -> Vec<RelType> {
+    let mut found: Vec<Option<RelType>> = vec![];
+    rel.visit_exprs(&mut |e| e.collect_params(&mut found));
+    found
+        .into_iter()
+        .map(|t| t.unwrap_or(RelType::nullable(TypeKind::Any)))
+        .collect()
+}
+
+/// Validates a set of bind values against a statement's parameter types:
+/// the arity must match exactly, and each non-NULL value must be
+/// coercible to the declared type (NULL binds to any parameter).
+pub fn check_bindings(expected: &[RelType], values: &[Datum]) -> Result<()> {
+    if values.len() != expected.len() {
+        return Err(CalciteError::validate(format!(
+            "statement takes {} parameter(s), {} bound",
+            expected.len(),
+            values.len()
+        )));
+    }
+    for (i, (ty, v)) in expected.iter().zip(values).enumerate() {
+        if v.is_null() {
+            continue;
+        }
+        let vty = RelType::nullable(v.kind());
+        if vty.least_restrictive(ty).is_none() {
+            return Err(CalciteError::validate(format!(
+                "parameter ?{i} expects {}, got {} value {v}",
+                ty.kind, vty.kind
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Whether an AST group-by expression is (quasi-)monotonic with respect to

@@ -31,12 +31,17 @@ fn main() -> rcalcite_core::error::Result<()> {
     let mq = fed.conn.metadata_query();
     println!("Optimized plan:\n{}", explain_with_costs(&physical, &mq));
 
-    // Execute and show the native queries generated for each backend
-    // (the target languages of the paper's Table 2).
+    // Execute through the streaming ResultSet cursor and show the native
+    // queries generated for each backend (the target languages of the
+    // paper's Table 2).
     fed.splunk.log.clear();
     fed.jdbc.log.clear();
-    let result = fed.conn.query(sql)?;
-    println!("Result rows: {}", result.rows.len());
+    let mut rs = fed.conn.execute(sql)?;
+    let mut n = 0usize;
+    while rs.next_row()?.is_some() {
+        n += 1;
+    }
+    println!("Result rows: {n}");
     println!("\nSPL sent to the log store:");
     for q in fed.splunk.log.entries() {
         println!("  {q}");

@@ -7,9 +7,7 @@
 use rcalcite_core::catalog::{Catalog, MemTable, Schema};
 use rcalcite_core::datum::Datum;
 use rcalcite_core::types::{RowTypeBuilder, TypeKind};
-use rcalcite_enumerable::EnumerableExecutor;
 use rcalcite_sql::Connection;
-use std::sync::Arc;
 
 fn main() -> rcalcite_core::error::Result<()> {
     // country(name, boundary WKT).
@@ -40,9 +38,7 @@ fn main() -> rcalcite_core::error::Result<()> {
     );
     catalog.add_schema("geo", s);
 
-    let mut conn = Connection::new(catalog);
-    conn.add_rule(rcalcite_enumerable::implement_rule());
-    conn.register_executor(Arc::new(EnumerableExecutor::new()));
+    let mut conn = Connection::builder(catalog).build();
     rcalcite_geo::register(conn.functions_mut());
 
     // The §7.3 query, verbatim structure: which country contains

@@ -9,7 +9,6 @@ use rcalcite_core::datum::Datum;
 use rcalcite_core::lattice::{Lattice, Measure};
 use rcalcite_core::mv::Materialization;
 use rcalcite_core::types::{RowTypeBuilder, TypeKind};
-use rcalcite_enumerable::EnumerableExecutor;
 use rcalcite_sql::Connection;
 use std::sync::Arc;
 
@@ -38,9 +37,7 @@ fn main() -> rcalcite_core::error::Result<()> {
     s.add_table("sales", fact_table.clone());
     catalog.add_schema("mart", s);
 
-    let mut conn = Connection::new(catalog.clone());
-    conn.add_rule(rcalcite_enumerable::implement_rule());
-    conn.register_executor(Arc::new(EnumerableExecutor::new()));
+    let mut conn = Connection::builder(catalog.clone()).build();
 
     let query = "SELECT product, COUNT(*) AS c, SUM(units) AS u \
                  FROM mart.sales GROUP BY product ORDER BY product LIMIT 5";

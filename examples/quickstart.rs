@@ -10,9 +10,7 @@ use rcalcite_core::builder::RelBuilder;
 use rcalcite_core::catalog::{Catalog, MemTable, Schema};
 use rcalcite_core::datum::Datum;
 use rcalcite_core::types::{RowTypeBuilder, TypeKind};
-use rcalcite_enumerable::EnumerableExecutor;
 use rcalcite_sql::Connection;
-use std::sync::Arc;
 
 fn main() -> rcalcite_core::error::Result<()> {
     // 1. Define a schema with an in-memory table.
@@ -57,12 +55,11 @@ fn main() -> rcalcite_core::error::Result<()> {
     );
     catalog.add_schema("hr", hr);
 
-    // 2. Open a connection and wire in the enumerable engine.
-    let mut conn = Connection::new(catalog.clone());
-    conn.add_rule(rcalcite_enumerable::implement_rule());
-    conn.register_executor(Arc::new(EnumerableExecutor::new()));
+    // 2. Open a connection: the builder wires the enumerable engine
+    //    (vectorized, fused) — no hand-registration of rules/executors.
+    let conn = Connection::builder(catalog.clone()).build();
 
-    // 3. SQL path.
+    // 3. One-shot SQL path.
     let sql = "SELECT deptno, COUNT(*) AS c, SUM(sal) AS total \
                FROM hr.emp WHERE sal IS NOT NULL \
                GROUP BY deptno ORDER BY deptno";
@@ -72,7 +69,23 @@ fn main() -> rcalcite_core::error::Result<()> {
 
     println!("Optimized plan:\n{}", conn.explain(sql)?);
 
-    // 4. RelBuilder path (the paper's §3 Pig example, adapted).
+    // 4. Prepared-statement path: plan once, bind many times.
+    let stmt = conn
+        .prepare("SELECT name, sal FROM hr.emp WHERE deptno = ? AND sal > ? ORDER BY sal DESC")?;
+    for dept in [10, 20] {
+        let result = stmt.query(&[Datum::Int(dept), Datum::Int(5000)])?;
+        println!("dept {dept} (prepared, bound):\n{}", result.to_table());
+    }
+
+    // 5. Streaming cursor: rows are pulled on demand (this connection
+    //    runs the fused batch mode, so nothing materializes behind the
+    //    cursor).
+    let mut rs = conn.execute("SELECT name FROM hr.emp ORDER BY name LIMIT 2")?;
+    while let Some(row) = rs.next_row()? {
+        println!("streamed: {row:?}");
+    }
+
+    // 6. RelBuilder path (the paper's §3 Pig example, adapted).
     let plan = RelBuilder::new(&catalog)
         .scan("hr.emp")
         .aggregate_named(

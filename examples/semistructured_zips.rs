@@ -16,7 +16,9 @@ fn main() -> rcalcite_core::error::Result<()> {
                CAST(_MAP['loc'][1] AS float) AS latitude \
                FROM mongo_raw.zips ORDER BY city";
     println!("Query:\n  {sql}\n");
-    let r = fed.conn.query(sql)?;
+    // `execute` returns the streaming cursor; `collect` is the thin
+    // materialized view over it.
+    let r = fed.conn.execute(sql)?.collect()?;
     println!("{}", r.to_table());
 
     // A filtered query pushes into the document store.

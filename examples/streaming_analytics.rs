@@ -6,12 +6,10 @@
 
 use rcalcite_core::catalog::{Catalog, Schema};
 use rcalcite_core::rel::AggFunc;
-use rcalcite_enumerable::EnumerableExecutor;
 use rcalcite_sql::Connection;
 use rcalcite_streams::{
     generate_orders, orders_row_type, Assigner, ReplayStream, StreamAgg, WindowedAggregator,
 };
-use std::sync::Arc;
 
 fn main() -> rcalcite_core::error::Result<()> {
     // An Orders stream: one event per second over ~2 hours.
@@ -22,9 +20,7 @@ fn main() -> rcalcite_core::error::Result<()> {
     let s = Schema::new();
     s.add_table("orders", stream);
     catalog.add_schema("sales", s);
-    let mut conn = Connection::new(catalog);
-    conn.add_rule(rcalcite_enumerable::implement_rule());
-    conn.register_executor(Arc::new(EnumerableExecutor::new()));
+    let conn = Connection::builder(catalog).build();
 
     // 1. The paper's filter query: "SELECT STREAM ... WHERE units > 25".
     let r = conn.query("SELECT STREAM rowtime, productid, units FROM orders WHERE units > 25")?;

@@ -1,4 +1,4 @@
-//! Offline stand-in for the slice of [`crossbeam`] used by the engine:
+//! Offline stand-in for the slice of `crossbeam` used by the engine:
 //! `crossbeam::channel::{unbounded, Sender, Receiver}`.
 //!
 //! Backed by `std::sync::mpsc`. Unlike `std`'s receiver, crossbeam's

@@ -1,4 +1,4 @@
-//! Offline stand-in for [`parking_lot`], backed by `std::sync`.
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the tiny slice of the `parking_lot` API the engine uses:

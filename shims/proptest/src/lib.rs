@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates.io access, so this crate
 //! implements the subset of the [proptest](https://docs.rs/proptest) API
-//! the workspace uses: the [`Strategy`](strategy::Strategy) trait with
+//! the workspace uses: the [`Strategy`] trait with
 //! `prop_map`/`prop_recursive`/`boxed`, range / tuple / [`Just`] /
 //! [`prop_oneof!`] strategies, [`collection::vec`], and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.

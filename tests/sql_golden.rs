@@ -369,6 +369,90 @@ fn run_golden(batched: bool) {
     }
 }
 
+/// Parameterized golden statements: (SQL with `?`, bindings, ordered,
+/// expected snapshot). Run through prepared statements in both modes.
+fn param_golden() -> Vec<(&'static str, Vec<Datum>, bool, Vec<&'static str>)> {
+    vec![
+        (
+            "SELECT empid FROM emp WHERE sal > ? ORDER BY empid",
+            vec![Datum::Int(1500)],
+            true,
+            vec!["2", "3", "5"],
+        ),
+        (
+            "SELECT empid, sal + ? AS bumped FROM emp WHERE deptno = ? ORDER BY empid",
+            vec![Datum::Int(100), Datum::Int(10)],
+            true,
+            vec!["1|1100", "2|2100"],
+        ),
+        (
+            "SELECT name FROM emp WHERE name LIKE ?",
+            vec![Datum::str("%ar%")],
+            false,
+            vec!["carol"],
+        ),
+        (
+            "SELECT deptno, COUNT(*) AS c FROM emp GROUP BY deptno HAVING COUNT(*) >= ? \
+             ORDER BY deptno",
+            vec![Datum::Int(2)],
+            true,
+            vec!["10|2", "20|2"],
+        ),
+        (
+            "SELECT e.empid, d.dname FROM emp e JOIN dept d ON e.deptno = d.deptno \
+             WHERE e.sal >= ? ORDER BY e.empid",
+            vec![Datum::Int(2000)],
+            true,
+            vec!["2|eng", "3|sales"],
+        ),
+        (
+            "SELECT empid FROM emp WHERE sal = ?",
+            vec![Datum::Null],
+            true,
+            vec![],
+        ),
+        (
+            "SELECT empid, ? AS tag FROM emp WHERE empid < ? ORDER BY empid",
+            vec![Datum::str("t"), Datum::Int(3)],
+            true,
+            vec!["1|t", "2|t"],
+        ),
+    ]
+}
+
+#[test]
+fn param_golden_snapshots_row_executor() {
+    run_param_golden(false);
+}
+
+#[test]
+fn param_golden_snapshots_batch_executor() {
+    run_param_golden(true);
+}
+
+fn run_param_golden(batched: bool) {
+    let conn = connection(batched);
+    let mode = if batched { "batch" } else { "row" };
+    for (sql, params, ordered, expected) in param_golden() {
+        let stmt = conn
+            .prepare(sql)
+            .unwrap_or_else(|e| panic!("[{mode}] prepare failed: {sql}: {e}"));
+        // Execute twice: the second run reuses the compiled plan.
+        for pass in 0..2 {
+            let result = stmt
+                .query(&params)
+                .unwrap_or_else(|e| panic!("[{mode}] bind failed: {sql}: {e}"));
+            let mut got = render(&result.rows);
+            let mut want: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+            if !ordered {
+                got.sort();
+                want.sort();
+            }
+            assert_eq!(got, want, "[{mode} pass {pass}] mismatch for: {sql}");
+        }
+    }
+}
+
 #[test]
 fn both_executors_agree_on_every_golden_statement() {
     // Belt and braces on top of the snapshots: the two modes must agree
