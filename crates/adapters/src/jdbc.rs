@@ -57,6 +57,17 @@ impl Table for JdbcTable {
         self.db.scan_batches(&self.name, batch_size)
     }
 
+    fn range_scan_rows(&self) -> Option<usize> {
+        Some(self.db.row_count(&self.name))
+    }
+
+    fn scan_snapshot(&self) -> Result<Option<Arc<dyn rcalcite_core::catalog::RangeScan>>> {
+        // Morsel workers slice disjoint ranges of one Arc snapshot of
+        // memdb's columnar mirror — no copying, no locking during the
+        // scan.
+        Ok(Some(self.db.scan_snapshot(&self.name)?))
+    }
+
     fn convention(&self) -> Convention {
         self.convention.clone()
     }

@@ -7,6 +7,7 @@
 
 use crate::common::ColPredicate;
 use parking_lot::RwLock;
+use rcalcite_core::catalog::RangeScan;
 use rcalcite_core::datum::{Column, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{BatchIter, SlicedColumns};
@@ -83,12 +84,34 @@ pub struct MemDb {
 }
 
 /// An `Arc` snapshot of a relation's columnar mirror, viewable as a
-/// column slice for [`SlicedColumns`].
-struct ColStoreSnapshot(Arc<MemRelation>);
+/// column slice for [`SlicedColumns`]. Also serves as the [`RangeScan`]
+/// morsel-driven parallel scans slice: every worker's range reads the
+/// same snapshot, zero-copy (only the slice being pulled is cloned).
+pub struct ColStoreSnapshot(Arc<MemRelation>);
 
 impl AsRef<[Column]> for ColStoreSnapshot {
     fn as_ref(&self) -> &[Column] {
         &self.0.col_store
+    }
+}
+
+impl RangeScan for ColStoreSnapshot {
+    fn row_count(&self) -> usize {
+        self.0.rows.len()
+    }
+
+    fn scan_range(
+        self: Arc<Self>,
+        batch_size: usize,
+        start: usize,
+        len: usize,
+    ) -> Result<Box<dyn BatchIter>> {
+        Ok(Box::new(SlicedColumns::new_range(
+            ColStoreSnapshot(self.0.clone()),
+            batch_size,
+            start,
+            len,
+        )))
     }
 }
 
@@ -155,6 +178,19 @@ impl MemDb {
             ColStoreSnapshot(rel),
             batch_size,
         )))
+    }
+
+    /// A consistent snapshot of a table's columnar mirror for
+    /// morsel-driven parallel scans: workers slice disjoint row ranges
+    /// out of one `Arc` snapshot without copying the store.
+    pub fn scan_snapshot(&self, name: &str) -> Result<Arc<ColStoreSnapshot>> {
+        let rel = self
+            .tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{name}'")))?;
+        Ok(Arc::new(ColStoreSnapshot(rel)))
     }
 
     pub fn table(&self, name: &str) -> Option<Arc<MemRelation>> {
@@ -366,6 +402,26 @@ mod tests {
         let mut it = db.scan_batches("products", 10).unwrap();
         assert_eq!(it.next_batch().unwrap().unwrap()[0].len(), 4);
         assert!(db.scan_batches("missing", 2).is_err());
+    }
+
+    #[test]
+    fn range_snapshot_is_zero_copy_and_stable() {
+        let db = db();
+        let snap = db.scan_snapshot("products").unwrap();
+        assert_eq!(snap.row_count(), 3);
+        // Inserts after the snapshot stay invisible to its ranges.
+        db.insert(
+            "products",
+            vec![Datum::Int(4), Datum::str("tnt"), Datum::Double(50.0)],
+        )
+        .unwrap();
+        let mut it = snap.clone().scan_range(2, 1, 10).unwrap();
+        let first = it.next_batch().unwrap().unwrap();
+        assert_eq!(first[0].len(), 2);
+        assert_eq!(first[0].get(0), Datum::Int(2));
+        assert!(it.next_batch().unwrap().is_none());
+        assert_eq!(db.scan_snapshot("products").unwrap().row_count(), 4);
+        assert!(db.scan_snapshot("missing").is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use rcalcite_adapters::jdbc::JdbcAdapter;
 use rcalcite_backends::memdb::MemDb;
 use rcalcite_core::catalog::TableRef;
 use rcalcite_core::datum::Datum;
-use rcalcite_core::exec::ExecContext;
+use rcalcite_core::exec::{ExecContext, Parallelism};
 use rcalcite_core::rel::{self, AggCall, AggFunc, JoinKind, Rel};
 use rcalcite_core::rex::{Op, RexNode};
 use rcalcite_core::traits::FieldCollation;
@@ -243,5 +243,50 @@ fn bench_executors(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_executors);
+/// Morsel-driven parallel scaling: the 100k-row
+/// scan→filter→project→aggregate pipeline at 1/2/4/8 workers (morsel
+/// size 4096). Workers=1 runs the serial operators — the baseline the
+/// speedup is measured against. Results are cross-checked against the
+/// serial engine before timing, so the bench cannot reward a wrong
+/// answer. (Scaling requires cores; on a single-core host all points
+/// collapse to the serial time plus exchange overhead.)
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let (sales, _) = setup();
+    let pipeline = rel::aggregate(
+        fused_pipeline(&sales),
+        vec![0],
+        vec![
+            AggCall::count_star("c"),
+            AggCall::new(
+                AggFunc::Sum,
+                vec![1],
+                false,
+                "s",
+                fused_pipeline(&sales).row_type(),
+            ),
+        ],
+    );
+    let serial = batch_ctx();
+    let mut reference = serial.execute_collect(&pipeline).unwrap();
+    reference.sort();
+
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let mut ctx = batch_ctx();
+        ctx.set_parallelism(Parallelism::new(workers, 4096));
+        let mut got = ctx.execute_collect(&pipeline).unwrap();
+        got.sort();
+        assert_eq!(got, reference, "parallel divergence at {workers} workers");
+        g.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &pipeline,
+            |bench, plan| bench.iter(|| black_box(ctx.execute_collect(plan).unwrap().len())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_parallel_scaling);
 criterion_main!(benches);

@@ -106,6 +106,40 @@ pub trait Table: Send + Sync {
         Ok(Box::new(RowBatcher::new(self.scan()?, kinds, batch_size)))
     }
 
+    /// Number of rows a range-partitioned scan of this table would
+    /// cover, when the table supports one — the gate morsel-driven
+    /// parallel executors check before splitting a scan into per-worker
+    /// ranges. `None` (the default) means only whole-table scans are
+    /// available and the scan stays serial. Must be cheap: planners and
+    /// EXPLAIN call it without scanning.
+    fn range_scan_rows(&self) -> Option<usize> {
+        None
+    }
+
+    /// Takes a consistent snapshot supporting positional range scans,
+    /// for morsel-driven parallel execution: every worker slices its
+    /// claimed `[start, start + len)` ranges out of the *same* snapshot,
+    /// so a concurrent insert cannot tear the scan between morsels.
+    ///
+    /// The default materializes [`Table::scan_columns`] once into a
+    /// [`ColumnsSnapshot`]; backends with a native columnar store
+    /// override this to hand out zero-copy `Arc` snapshots (see memdb).
+    /// `Ok(None)` means range scans are unsupported (matching a `None`
+    /// from [`Table::range_scan_rows`]).
+    fn scan_snapshot(&self) -> Result<Option<Arc<dyn RangeScan>>> {
+        match self.scan_columns() {
+            Some(cols) => {
+                let cols = cols?;
+                if cols.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(Arc::new(ColumnsSnapshot::new(cols))))
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
     /// The calling convention in which scans of this table naturally start.
     /// Adapter tables return their backend convention; plain tables return
     /// the logical convention.
@@ -123,6 +157,68 @@ pub trait Table: Send + Sync {
     /// read-only and keep the default.
     fn as_mem_table(&self) -> Option<&MemTable> {
         None
+    }
+}
+
+/// A consistent, positionally-addressable view of a table taken at scan
+/// open, from which morsel workers slice their claimed row ranges.
+/// Implementations are immutable snapshots (shared behind `Arc`), so
+/// concurrent range scans need no locking.
+pub trait RangeScan: Send + Sync {
+    /// Total rows in the snapshot (morsel ranges partition `0..rows`).
+    fn row_count(&self) -> usize;
+
+    /// Streams rows `[start, start + len)` as batches of at most
+    /// `batch_size` rows. Out-of-range windows clamp.
+    fn scan_range(
+        self: Arc<Self>,
+        batch_size: usize,
+        start: usize,
+        len: usize,
+    ) -> Result<Box<dyn BatchIter>>;
+}
+
+/// The default [`RangeScan`]: whole-table column vectors materialized
+/// once at snapshot time, sliced per range without further copying.
+pub struct ColumnsSnapshot {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl ColumnsSnapshot {
+    pub fn new(columns: Vec<Column>) -> ColumnsSnapshot {
+        let rows = columns.first().map_or(0, Column::len);
+        ColumnsSnapshot { columns, rows }
+    }
+}
+
+/// View of an `Arc<ColumnsSnapshot>` as a column slice for
+/// [`SlicedColumns`].
+struct SnapshotCols(Arc<ColumnsSnapshot>);
+
+impl AsRef<[Column]> for SnapshotCols {
+    fn as_ref(&self) -> &[Column] {
+        &self.0.columns
+    }
+}
+
+impl RangeScan for ColumnsSnapshot {
+    fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    fn scan_range(
+        self: Arc<Self>,
+        batch_size: usize,
+        start: usize,
+        len: usize,
+    ) -> Result<Box<dyn BatchIter>> {
+        Ok(Box::new(SlicedColumns::new_range(
+            SnapshotCols(self),
+            batch_size,
+            start,
+            len,
+        )))
     }
 }
 
@@ -233,6 +329,13 @@ impl Table for MemTable {
             .enumerate()
             .map(|(i, f)| Column::from_rows(&f.ty.kind, &rows, i))
             .collect()))
+    }
+
+    fn range_scan_rows(&self) -> Option<usize> {
+        if self.row_type.arity() == 0 {
+            return None; // zero-arity rows can't be column batches
+        }
+        Some(self.rows.read().len())
     }
 
     fn as_mem_table(&self) -> Option<&MemTable> {
@@ -421,6 +524,32 @@ mod tests {
         cat.set_default_schema("b");
         assert!(cat.resolve(&["u"]).is_ok());
         assert!(cat.resolve(&["t"]).is_err());
+    }
+
+    #[test]
+    fn snapshot_serves_consistent_ranges() {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            (0..20).map(|i| vec![Datum::Int(i)]).collect(),
+        );
+        assert_eq!(t.range_scan_rows(), Some(20));
+        let snap = t.scan_snapshot().unwrap().unwrap();
+        assert_eq!(snap.row_count(), 20);
+        // A row inserted after the snapshot is invisible to its ranges.
+        t.insert(vec![Datum::Int(99)]);
+        let mut it = snap.clone().scan_range(8, 10, 10).unwrap();
+        let mut got = vec![];
+        while let Some(cols) = it.next_batch().unwrap() {
+            for i in 0..cols[0].len() {
+                got.push(cols[0].get(i));
+            }
+        }
+        assert_eq!(got, (10..20).map(Datum::Int).collect::<Vec<_>>());
+        // But a fresh snapshot (and range_scan_rows) see it.
+        assert_eq!(t.range_scan_rows(), Some(21));
+        assert_eq!(t.scan_snapshot().unwrap().unwrap().row_count(), 21);
     }
 
     #[test]

@@ -9,8 +9,10 @@ use crate::error::{CalciteError, Result};
 use crate::rel::{Rel, RelOp};
 use crate::traits::Convention;
 use crate::types::TypeKind;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Iterator of rows produced by an executor.
 pub type RowIter = Box<dyn Iterator<Item = Row> + Send>;
@@ -49,6 +51,488 @@ pub trait Operator<B>: Send {
 
 /// A boxed streaming operator.
 pub type BoxOperator<B> = Box<dyn Operator<B>>;
+
+// ---------------------------------------------------------------------
+// Exchange operators: morsel-driven parallelism over Operator<B>
+// ---------------------------------------------------------------------
+
+/// Default number of rows per morsel (the unit of work a parallel worker
+/// claims at a time).
+pub const DEFAULT_MORSEL_SIZE: usize = 4096;
+
+/// Parallel-execution settings carried by the [`ExecContext`]: how many
+/// worker threads an exchange may spawn and how many rows each claimed
+/// morsel covers. `workers == 1` means serial execution (no exchange
+/// operators are placed at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    pub workers: usize,
+    pub morsel_size: usize,
+}
+
+impl Parallelism {
+    pub fn new(workers: usize, morsel_size: usize) -> Parallelism {
+        Parallelism {
+            workers: workers.max(1),
+            morsel_size: morsel_size.max(1),
+        }
+    }
+
+    /// Serial execution: one worker, default morsel size.
+    pub fn serial() -> Parallelism {
+        Parallelism::new(1, DEFAULT_MORSEL_SIZE)
+    }
+
+    pub fn is_parallel(&self) -> bool {
+        self.workers > 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::serial()
+    }
+}
+
+/// Position of an exchange item in the serial order: (morsel index,
+/// chunk within the morsel). Morsel indexes are dense — every index in
+/// `0..total` is claimed by exactly one worker — and one worker emits a
+/// morsel's chunks in order, so the pair reconstructs the exact batch
+/// sequence serial execution would have produced.
+pub type ExchangeTag = (usize, usize);
+
+/// One message from an exchange worker to the gather side.
+pub enum ExchangeItem<B> {
+    /// A produced batch at this position in the serial order.
+    Batch(ExchangeTag, B),
+    /// A kernel error at this position. Ordered like a batch, so the
+    /// gather surfaces exactly the error serial execution would have hit
+    /// first — and never surfaces an error positioned after the point
+    /// where a consumer (e.g. LIMIT) stops pulling.
+    Error(ExchangeTag, CalciteError),
+    /// All of this morsel's items have been emitted.
+    MorselEnd(usize),
+}
+
+enum Buffered<B> {
+    Batch(B),
+    Error(CalciteError),
+}
+
+/// Order-preserving exchange consumer: runs one worker operator subtree
+/// per partition on its own `std::thread` and reassembles their tagged
+/// output in morsel order, so the merged stream is byte-identical to
+/// what serial execution of the same subtree would produce.
+///
+/// The channel between workers and the gather is bounded, which gives
+/// backpressure: when the consumer stops pulling (a satisfied LIMIT),
+/// workers block after a bounded amount of prefetch and are shut down
+/// when the gather is dropped. While the consumer is *waiting* for a
+/// slow in-order morsel, however, faster workers keep draining into
+/// the reorder buffer — under heavy per-morsel cost skew that buffer
+/// can grow toward the skewed portion of the output (credit-based
+/// flow control is future work, tracked with spill-to-disk).
+pub struct OrderedGatherOp<B> {
+    workers: Vec<BoxOperator<ExchangeItem<B>>>,
+    channel_cap: usize,
+    state: Option<OrderedGatherState<B>>,
+    failed: bool,
+}
+
+struct OrderedGatherState<B> {
+    rx: Option<mpsc::Receiver<ExchangeItem<B>>>,
+    handles: Vec<JoinHandle<()>>,
+    buffered: BTreeMap<ExchangeTag, Buffered<B>>,
+    ended: BTreeSet<usize>,
+    next: ExchangeTag,
+}
+
+impl<B> Drop for OrderedGatherState<B> {
+    fn drop(&mut self) {
+        // Disconnect first so workers blocked on a full channel wake up
+        // with a send error and exit, then reap the threads.
+        self.rx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<B: Send + 'static> OrderedGatherOp<B> {
+    pub fn new(workers: Vec<BoxOperator<ExchangeItem<B>>>) -> OrderedGatherOp<B> {
+        let n = workers.len().max(1);
+        OrderedGatherOp {
+            workers,
+            channel_cap: n * 4,
+            state: None,
+            failed: false,
+        }
+    }
+}
+
+/// Spawns one driver thread per worker operator; each opens its subtree
+/// and forwards every item into the shared bounded channel until the
+/// stream ends or the receiver goes away.
+fn spawn_exchange_workers<B: Send + 'static>(
+    workers: Vec<BoxOperator<ExchangeItem<B>>>,
+    cap: usize,
+) -> (mpsc::Receiver<ExchangeItem<B>>, Vec<JoinHandle<()>>) {
+    let (tx, rx) = mpsc::sync_channel::<ExchangeItem<B>>(cap);
+    let handles = workers
+        .into_iter()
+        .map(|mut op| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                if let Err(e) = op.open() {
+                    let _ = tx.send(ExchangeItem::Error((0, 0), e));
+                    return;
+                }
+                loop {
+                    match op.next() {
+                        Ok(Some(item)) => {
+                            if tx.send(item).is_err() {
+                                return; // consumer went away
+                            }
+                        }
+                        Ok(None) => return,
+                        Err(e) => {
+                            // Exchange workers embed kernel errors as
+                            // tagged items; an untagged error here means
+                            // the worker subtree itself failed.
+                            let _ = tx.send(ExchangeItem::Error((0, 0), e));
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    (rx, handles)
+}
+
+impl<B: Send + 'static> Operator<B> for OrderedGatherOp<B> {
+    fn open(&mut self) -> Result<()> {
+        let workers = std::mem::take(&mut self.workers);
+        let (rx, handles) = spawn_exchange_workers(workers, self.channel_cap);
+        self.state = Some(OrderedGatherState {
+            rx: Some(rx),
+            handles,
+            buffered: BTreeMap::new(),
+            ended: BTreeSet::new(),
+            next: (0, 0),
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<B>> {
+        if self.failed {
+            return Ok(None);
+        }
+        // Taken out while working; put back on the success paths. The
+        // error paths leave it out, which drops the receiver and reaps
+        // the worker threads.
+        let mut st = self.state.take().expect("OrderedGatherOp not opened");
+        loop {
+            // Serve the next in-order item if it is already buffered.
+            if let Some(item) = st.buffered.remove(&st.next) {
+                st.next.1 += 1;
+                match item {
+                    Buffered::Batch(b) => {
+                        self.state = Some(st);
+                        return Ok(Some(b));
+                    }
+                    Buffered::Error(e) => {
+                        self.failed = true;
+                        return Err(e);
+                    }
+                }
+            }
+            // The current morsel is complete: advance to the next one.
+            if st.ended.remove(&st.next.0) {
+                st.next = (st.next.0 + 1, 0);
+                continue;
+            }
+            let Some(rx) = st.rx.as_ref() else {
+                self.state = Some(st);
+                return Ok(None);
+            };
+            match rx.recv() {
+                Ok(ExchangeItem::Batch(tag, b)) => {
+                    st.buffered.insert(tag, Buffered::Batch(b));
+                }
+                Ok(ExchangeItem::Error(tag, e)) => {
+                    st.buffered.insert(tag, Buffered::Error(e));
+                }
+                Ok(ExchangeItem::MorselEnd(m)) => {
+                    st.ended.insert(m);
+                }
+                Err(_) => {
+                    // All workers finished. Anything still buffered is
+                    // emitted in order above; a tagged leftover without
+                    // its MorselEnd means a worker died mid-morsel.
+                    if st.buffered.is_empty() && st.ended.is_empty() {
+                        let mut panicked = false;
+                        for h in st.handles.drain(..) {
+                            panicked |= h.join().is_err();
+                        }
+                        st.rx = None;
+                        if panicked {
+                            self.failed = true;
+                            return Err(CalciteError::execution(
+                                "parallel exchange worker thread panicked",
+                            ));
+                        }
+                        self.state = Some(st);
+                        return Ok(None);
+                    }
+                    if !st.buffered.contains_key(&st.next) && !st.ended.contains(&st.next.0) {
+                        self.failed = true;
+                        return Err(CalciteError::execution(
+                            "parallel exchange worker died mid-morsel",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unordered gather: runs one worker operator per partition on its own
+/// thread and yields results in arrival order. Used where the consumer
+/// recombines worker outputs itself (partial-aggregate merge, sorted-run
+/// merge) and ordering is re-established there.
+pub struct GatherOp<B> {
+    workers: Vec<BoxOperator<B>>,
+    channel_cap: usize,
+    state: Option<GatherState<B>>,
+    failed: bool,
+}
+
+struct GatherState<B> {
+    rx: Option<mpsc::Receiver<Result<B>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<B> Drop for GatherState<B> {
+    fn drop(&mut self) {
+        self.rx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<B: Send + 'static> GatherOp<B> {
+    pub fn new(workers: Vec<BoxOperator<B>>) -> GatherOp<B> {
+        let n = workers.len().max(1);
+        GatherOp {
+            workers,
+            channel_cap: n * 2,
+            state: None,
+            failed: false,
+        }
+    }
+}
+
+impl<B: Send + 'static> Operator<B> for GatherOp<B> {
+    fn open(&mut self) -> Result<()> {
+        let (tx, rx) = mpsc::sync_channel::<Result<B>>(self.channel_cap);
+        let handles = std::mem::take(&mut self.workers)
+            .into_iter()
+            .map(|mut op| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    if let Err(e) = op.open() {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                    loop {
+                        match op.next() {
+                            Ok(Some(b)) => {
+                                if tx.send(Ok(b)).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) => return,
+                            Err(e) => {
+                                let _ = tx.send(Err(e));
+                                return;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        self.state = Some(GatherState {
+            rx: Some(rx),
+            handles,
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<B>> {
+        if self.failed {
+            return Ok(None);
+        }
+        let st = self.state.as_mut().expect("GatherOp not opened");
+        let Some(rx) = st.rx.as_ref() else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(b)) => Ok(Some(b)),
+            Ok(Err(e)) => {
+                // Dropping the state disconnects and reaps the workers;
+                // further pulls end the stream instead of panicking.
+                self.failed = true;
+                self.state = None;
+                Err(e)
+            }
+            Err(_) => {
+                let mut panicked = false;
+                for h in st.handles.drain(..) {
+                    panicked |= h.join().is_err();
+                }
+                st.rx = None;
+                if panicked {
+                    self.failed = true;
+                    Err(CalciteError::execution(
+                        "parallel gather worker thread panicked",
+                    ))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+/// Routes one source batch to its destination partitions. The `usize`
+/// argument is the batch's sequence number in the source stream; the
+/// returned pairs are (partition, piece). Round-robin routers forward
+/// whole batches; hash routers split a batch into per-partition pieces.
+pub type Router<B> = Box<dyn FnMut(usize, B) -> Vec<(usize, B)> + Send>;
+
+/// A round-robin router: batch `i` goes to partition `i % n` whole.
+pub fn round_robin_router<B>(n: usize) -> Router<B> {
+    let n = n.max(1);
+    Box::new(move |seq, b| vec![(seq % n, b)])
+}
+
+/// The messages a scatter partition receives: (source batch sequence,
+/// the routed piece or the source's error at that position).
+pub type ScatterMsg<B> = (usize, Result<B>);
+
+struct ScatterSeed<B> {
+    child: BoxOperator<B>,
+    router: Router<B>,
+    txs: Vec<mpsc::SyncSender<ScatterMsg<B>>>,
+}
+
+struct ScatterShared<B> {
+    seed: Mutex<Option<ScatterSeed<B>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<B> Drop for ScatterShared<B> {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.lock().expect("scatter lock").take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One output partition of a [`ScatterOp::split`]: a stream of routed
+/// `(sequence, batch)` pieces, fed by a shared feeder thread that pulls
+/// the child once and routes each batch.
+pub struct ScatterPartition<B> {
+    // Field order matters: `rx` must drop before `shared`, whose Drop
+    // joins the feeder thread — a feeder blocked sending to this very
+    // partition would otherwise never observe the disconnect.
+    rx: mpsc::Receiver<ScatterMsg<B>>,
+    shared: Arc<ScatterShared<B>>,
+}
+
+impl<B: Send + 'static> Operator<ScatterMsg<B>> for ScatterPartition<B> {
+    fn open(&mut self) -> Result<()> {
+        // The first partition to open starts the shared feeder.
+        let seed = self.shared.seed.lock().expect("scatter lock").take();
+        if let Some(mut seed) = seed {
+            let handle = std::thread::spawn(move || {
+                if let Err(e) = seed.child.open() {
+                    let _ = seed.txs[0].send((0, Err(e)));
+                    return;
+                }
+                let mut seq = 0usize;
+                loop {
+                    match seed.child.next() {
+                        Ok(Some(b)) => {
+                            for (p, piece) in (seed.router)(seq, b) {
+                                if seed.txs[p].send((seq, Ok(piece))).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(None) => return,
+                        Err(e) => {
+                            // Surface the error at its position in the
+                            // stream, on the partition that sequence
+                            // routes to.
+                            let p = seq % seed.txs.len();
+                            let _ = seed.txs[p].send((seq, Err(e)));
+                            return;
+                        }
+                    }
+                    seq += 1;
+                }
+            });
+            *self.shared.handle.lock().expect("scatter lock") = Some(handle);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ScatterMsg<B>>> {
+        match self.rx.recv() {
+            Ok(msg) => Ok(Some(msg)),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// The partitioning half of an exchange: splits a child's batch stream
+/// into `n` worker queues through a [`Router`] (round-robin for
+/// stateless stages, hash-partitioned on key columns when the consumer
+/// needs co-location). The feeder runs on its own thread with bounded
+/// queues, so partitions exert backpressure on the child.
+pub struct ScatterOp;
+
+impl ScatterOp {
+    /// Splits `child` into `n` partitions. Opening any returned
+    /// partition starts the shared feeder thread (exactly once).
+    pub fn split<B: Send + 'static>(
+        child: BoxOperator<B>,
+        n: usize,
+        router: Router<B>,
+    ) -> Vec<ScatterPartition<B>> {
+        let n = n.max(1);
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::sync_channel::<ScatterMsg<B>>(4);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let shared = Arc::new(ScatterShared {
+            seed: Mutex::new(Some(ScatterSeed { child, router, txs })),
+            handle: Mutex::new(None),
+        });
+        rxs.into_iter()
+            .map(|rx| ScatterPartition {
+                shared: shared.clone(),
+                rx,
+            })
+            .collect()
+    }
+}
 
 /// Streams pre-built batches — the tail of a build-then-stream operator
 /// (aggregate and sort results, the outer-join padding batch).
@@ -236,6 +720,24 @@ impl<S: AsRef<[Column]> + Send> SlicedColumns<S> {
             batch_size: batch_size.max(1),
         }
     }
+
+    /// A slicer over the row window `[start, start + len)` — the shape a
+    /// morsel-driven scan serves: each worker streams its claimed range
+    /// of the shared (typically `Arc`-snapshot) columns.
+    pub fn new_range(source: S, batch_size: usize, start: usize, len: usize) -> SlicedColumns<S> {
+        let cols = source.as_ref();
+        let arity = cols.len();
+        let total = cols.first().map_or(0, Column::len);
+        let start = start.min(total);
+        let end = start.saturating_add(len).min(total);
+        SlicedColumns {
+            source,
+            arity,
+            len: end,
+            pos: start,
+            batch_size: batch_size.max(1),
+        }
+    }
 }
 
 impl<S: AsRef<[Column]> + Send> BatchIter for SlicedColumns<S> {
@@ -279,11 +781,14 @@ pub trait ConventionExecutor: Send + Sync {
 }
 
 /// Registry of executors, one per convention, plus the dynamic-parameter
-/// bindings of the current execution (empty outside prepared statements).
+/// bindings of the current execution (empty outside prepared statements)
+/// and the parallel-execution settings engines consult when shaping
+/// their operator trees.
 #[derive(Default, Clone)]
 pub struct ExecContext {
     executors: HashMap<Convention, Arc<dyn ConventionExecutor>>,
     params: Arc<Vec<Datum>>,
+    parallelism: Parallelism,
 }
 
 impl ExecContext {
@@ -295,6 +800,17 @@ impl ExecContext {
         self.executors.insert(executor.convention(), executor);
     }
 
+    /// Sets the worker count and morsel size parallel-capable engines
+    /// use when executing through this context.
+    pub fn set_parallelism(&mut self, p: Parallelism) {
+        self.parallelism = p;
+    }
+
+    /// The current parallel-execution settings.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// A context sharing this one's executors with dynamic-parameter
     /// bindings attached. The prepared-statement layer calls this once
     /// per execution; engines read the values back through [`Self::bind`].
@@ -302,6 +818,7 @@ impl ExecContext {
         ExecContext {
             executors: self.executors.clone(),
             params: Arc::new(params),
+            parallelism: self.parallelism,
         }
     }
 
@@ -464,6 +981,165 @@ mod tests {
         let sizes: Vec<usize> =
             std::iter::from_fn(|| it.next_batch().unwrap().map(|cols| cols[0].len())).collect();
         assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    /// A worker that claims morsels from a shared counter and emits
+    /// tagged squares — the miniature of a morsel-driven scan chain.
+    struct SquareWorker {
+        counter: Arc<std::sync::atomic::AtomicUsize>,
+        total: usize,
+        pending: Option<ExchangeItem<i64>>,
+    }
+
+    impl Operator<ExchangeItem<i64>> for SquareWorker {
+        fn next(&mut self) -> Result<Option<ExchangeItem<i64>>> {
+            if let Some(item) = self.pending.take() {
+                return Ok(Some(item));
+            }
+            let m = self
+                .counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if m >= self.total {
+                return Ok(None);
+            }
+            self.pending = Some(ExchangeItem::MorselEnd(m));
+            Ok(Some(ExchangeItem::Batch((m, 0), (m * m) as i64)))
+        }
+    }
+
+    #[test]
+    fn ordered_gather_reassembles_serial_order() {
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let workers: Vec<BoxOperator<ExchangeItem<i64>>> = (0..4)
+            .map(|_| {
+                Box::new(SquareWorker {
+                    counter: counter.clone(),
+                    total: 50,
+                    pending: None,
+                }) as BoxOperator<ExchangeItem<i64>>
+            })
+            .collect();
+        let mut gather = OrderedGatherOp::new(workers);
+        gather.open().unwrap();
+        let mut out = vec![];
+        while let Some(v) = gather.next().unwrap() {
+            out.push(v);
+        }
+        let expect: Vec<i64> = (0..50).map(|m: i64| m * m).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn ordered_gather_surfaces_errors_in_serial_position() {
+        // Worker items arrive out of order; the error tagged at morsel 1
+        // must surface after morsel 0's batch and before morsel 2's.
+        struct Scripted(Vec<ExchangeItem<i64>>);
+        impl Operator<ExchangeItem<i64>> for Scripted {
+            fn next(&mut self) -> Result<Option<ExchangeItem<i64>>> {
+                Ok(if self.0.is_empty() {
+                    None
+                } else {
+                    Some(self.0.remove(0))
+                })
+            }
+        }
+        let w1 = Scripted(vec![
+            ExchangeItem::Batch((2, 0), 20),
+            ExchangeItem::MorselEnd(2),
+            ExchangeItem::Error((1, 0), CalciteError::execution("boom")),
+            ExchangeItem::MorselEnd(1),
+        ]);
+        let w2 = Scripted(vec![
+            ExchangeItem::Batch((0, 0), 0),
+            ExchangeItem::MorselEnd(0),
+        ]);
+        let mut gather = OrderedGatherOp::new(vec![
+            Box::new(w1) as BoxOperator<ExchangeItem<i64>>,
+            Box::new(w2) as BoxOperator<ExchangeItem<i64>>,
+        ]);
+        gather.open().unwrap();
+        assert_eq!(gather.next().unwrap(), Some(0));
+        assert!(gather.next().is_err());
+        // After the error the stream is closed.
+        assert_eq!(gather.next().unwrap(), None);
+    }
+
+    #[test]
+    fn unordered_gather_collects_every_worker() {
+        let mut gather = GatherOp::new(
+            (0..3)
+                .map(|i| Box::new(BatchesOp::new(vec![i, i + 10])) as BoxOperator<i32>)
+                .collect(),
+        );
+        gather.open().unwrap();
+        let mut out = vec![];
+        while let Some(v) = gather.next().unwrap() {
+            out.push(v);
+        }
+        out.sort();
+        assert_eq!(out, vec![0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn scatter_round_robins_batches_with_sequence_tags() {
+        let child: BoxOperator<i32> = Box::new(BatchesOp::new(vec![100, 101, 102, 103, 104]));
+        let parts = ScatterOp::split(child, 2, round_robin_router(2));
+        let mut outs: Vec<Vec<(usize, i32)>> = vec![];
+        let mut parts = parts;
+        for p in &mut parts {
+            p.open().unwrap();
+        }
+        for p in &mut parts {
+            let mut got = vec![];
+            while let Some((seq, v)) = p.next().unwrap() {
+                got.push((seq, v.unwrap()));
+            }
+            outs.push(got);
+        }
+        assert_eq!(outs[0], vec![(0, 100), (2, 102), (4, 104)]);
+        assert_eq!(outs[1], vec![(1, 101), (3, 103)]);
+    }
+
+    #[test]
+    fn scatter_shuts_down_when_partitions_drop_early() {
+        // A large stream with small queues: dropping the partitions must
+        // unblock and terminate the feeder (the Drop impl joins it).
+        let child: BoxOperator<i32> = Box::new(BatchesOp::new((0..10_000).collect::<Vec<_>>()));
+        let mut parts = ScatterOp::split(child, 2, round_robin_router(2));
+        parts[0].open().unwrap();
+        assert!(parts[0].next().unwrap().is_some());
+        drop(parts); // must not hang
+    }
+
+    #[test]
+    fn sliced_columns_range_serves_a_window() {
+        let col = Column::from_datums(&TypeKind::Integer, (0..10).map(Datum::Int));
+        let mut it = SlicedColumns::new_range(vec![col], 3, 4, 5);
+        let mut rows = vec![];
+        while let Some(cols) = it.next_batch().unwrap() {
+            rows.extend(columns_to_rows(&cols));
+        }
+        let expect: Vec<Row> = (4..9).map(|i| vec![Datum::Int(i)]).collect();
+        assert_eq!(rows, expect);
+        // Out-of-bounds windows clamp.
+        let col = Column::from_datums(&TypeKind::Integer, (0..4).map(Datum::Int));
+        let mut it = SlicedColumns::new_range(vec![col], 8, 2, 100);
+        assert_eq!(it.next_batch().unwrap().unwrap()[0].len(), 2);
+        assert!(it.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn parallelism_defaults_and_clamps() {
+        let p = Parallelism::default();
+        assert_eq!(p.workers, 1);
+        assert_eq!(p.morsel_size, DEFAULT_MORSEL_SIZE);
+        assert!(!p.is_parallel());
+        let p = Parallelism::new(0, 0);
+        assert_eq!((p.workers, p.morsel_size), (1, 1));
+        let mut ctx = ExecContext::new();
+        ctx.set_parallelism(Parallelism::new(4, 64));
+        let ctx2 = ctx.with_params(vec![Datum::Int(1)]);
+        assert_eq!(ctx2.parallelism(), Parallelism::new(4, 64));
     }
 
     #[test]

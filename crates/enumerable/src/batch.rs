@@ -29,8 +29,15 @@
 //! conventions) fall back to [`execute_node`] row iteration and are
 //! re-pivoted through the [`RowBatcher`] bridge, so a batched plan
 //! always runs end to end. All kernels are pure per-batch functions
-//! invoked by the streaming drivers — the shape morsel-driven
-//! parallelism will farm out.
+//! invoked by the streaming drivers — the shape **morsel-driven
+//! parallelism** farms out: when the execution context asks for more
+//! than one worker, the plan builder places exchange operators around
+//! Scan→Filter→Project chains, HashJoin probes, Aggregates and Sorts
+//! (see the "Morsel-driven parallel execution" section below). Workers
+//! claim fixed-size morsels of the scan (or round-robin partitions of a
+//! streamed child), run the same pure kernels, and an order-preserving
+//! gather/merge recombines their output so every parallel plan produces
+//! byte-identical results to serial execution.
 //!
 //! Semantics are pinned to the row engine: the generic expression path
 //! routes through [`rcalcite_core::rex::eval_op_strict`] (the same code
@@ -39,12 +46,14 @@
 //! executor's accumulators. The differential suite in
 //! `tests/executor_differential.rs` holds the two engines equal.
 
-use crate::executor::{self, compare_datums, compare_rows, execute_node, extract_equi_keys, Acc};
-use rcalcite_core::catalog::TableRef;
+use crate::executor::{compare_datums, compare_rows, execute_node, extract_equi_keys, Acc};
+use rcalcite_core::catalog::{RangeScan, TableRef};
 use rcalcite_core::datum::{Column, Datum, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{
-    BatchIter, BoxOperator, ChainOp, ExecContext, FilterMapOp, Operator, RowBatcher, RowIter,
+    round_robin_router, BatchIter, BoxOperator, ChainOp, ExchangeItem, ExecContext, FilterMapOp,
+    GatherOp, Operator, OrderedGatherOp, Parallelism, Router, RowBatcher, RowIter, ScatterOp,
+    ScatterPartition,
 };
 use rcalcite_core::rel::{AggCall, AggFunc, JoinKind, Rel, RelOp};
 use rcalcite_core::rex::{eval_op_strict, BuiltinFn, Op, RexNode};
@@ -52,6 +61,8 @@ use rcalcite_core::traits::Collation;
 use rcalcite_core::types::{RowType, TypeKind};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Target number of rows per batch.
 pub const BATCH_SIZE: usize = 1024;
@@ -201,7 +212,7 @@ pub fn execute_node_batched_with_fusion(
     ctx: &ExecContext,
     fuse: bool,
 ) -> Result<RowIter> {
-    let mut op = build_op(rel, ctx, fuse)?;
+    let mut op = build_op_auto(rel, ctx, fuse)?;
     op.open()?;
     let mut rows: Vec<Row> = vec![];
     while let Some(b) = op.next()? {
@@ -231,7 +242,7 @@ pub fn execute_batches_with_fusion(
     fuse: bool,
 ) -> Result<Box<dyn BatchIter>> {
     let arity = rel.row_type().arity();
-    let mut op = build_op(rel, ctx, fuse)?;
+    let mut op = build_op_auto(rel, ctx, fuse)?;
     op.open()?;
     Ok(Box::new(OpBatchIter { op, arity }))
 }
@@ -311,15 +322,6 @@ fn split_to_batches(b: ColumnBatch) -> Vec<ColumnBatch> {
         start += take;
     }
     out
-}
-
-/// Fully drains an operator into rows (build sides, fallbacks).
-fn drain_rows(op: &mut BatchOp) -> Result<Vec<Row>> {
-    let mut rows = vec![];
-    while let Some(b) = op.next()? {
-        rows.extend(b.to_rows());
-    }
-    Ok(rows)
 }
 
 // ---------------------------------------------------------------------
@@ -457,12 +459,25 @@ fn build_op(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
     }
 }
 
+/// Builds a plan node, placing parallel exchange operators when the
+/// context asks for more than one worker and the node's shape supports
+/// them; everything else compiles to the serial streaming operators.
+pub(crate) fn build_op_auto(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
+    let p = ctx.parallelism();
+    if p.is_parallel() {
+        if let Some(op) = build_parallel(rel, ctx, fuse, p)? {
+            return Ok(op);
+        }
+    }
+    build_op(rel, ctx, fuse)
+}
+
 /// Builds input `i` of `rel`, bridging through the row engine when the
 /// child belongs to a foreign convention.
 fn build_input(rel: &Rel, i: usize, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
     let c = rel.input(i);
     if c.convention == rel.convention || matches!(c.op, RelOp::Convert { .. }) {
-        build_op(c, ctx, fuse)
+        build_op_auto(c, ctx, fuse)
     } else {
         Ok(Box::new(RowBridgeOp::foreign(c.clone(), ctx.clone())))
     }
@@ -1062,26 +1077,62 @@ struct HashJoinOp {
     pending: Option<PendingJoinOutput>,
 }
 
+/// (left row, right row) output pairs of a probe; `None` marks the
+/// NULL-padded side of an outer join.
+type JoinPairs = Vec<(Option<usize>, Option<usize>)>;
+
 struct PendingJoinOutput {
     left: ColumnBatch,
-    pairs: Vec<(Option<usize>, Option<usize>)>,
+    pairs: JoinPairs,
     pos: usize,
 }
 
-enum JoinState {
-    /// Equi join: the right side is built into a hash table; left
-    /// batches stream through the probe.
+/// Build-side state shared by the equi and theta probes: the
+/// materialized right input plus the probe strategy over it.
+struct JoinState {
+    right: ColumnBatch,
+    right_matched: Vec<bool>,
+    emitted_right_pad: bool,
+    probe: ProbeKind,
+}
+
+enum ProbeKind {
+    /// Equi join: the right side is hashed on its key columns; left
+    /// batches stream through the table lookup plus residual check.
     Hash {
         lk: Vec<usize>,
         residual: RexNode,
-        right: ColumnBatch,
         table: HashMap<Vec<Datum>, Vec<usize>>,
-        right_matched: Vec<bool>,
-        emitted_right_pad: bool,
     },
-    /// No equi keys: defer to the row engine's nested-loop join over
-    /// materialized sides, then stream the result.
-    Fallback(VecDeque<ColumnBatch>),
+    /// No equi keys: the vectorized theta probe. For each probe row the
+    /// join predicate is evaluated *as a batch kernel* over the build
+    /// side (left fields substituted as literals, right fields shifted),
+    /// replacing the old row-engine nested-loop fallback.
+    Theta { condition: RexNode },
+}
+
+/// Builds the probe state over a materialized right side.
+fn build_probe(condition: &RexNode, left_arity: usize, right: &ColumnBatch) -> ProbeKind {
+    let (lk, rk, residual) = extract_equi_keys(condition, left_arity);
+    if lk.is_empty() {
+        return ProbeKind::Theta {
+            condition: condition.clone(),
+        };
+    }
+    // NULL keys never join.
+    let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
+    for i in 0..right.len {
+        let key: Vec<Datum> = rk.iter().map(|&k| right.columns[k].get(i)).collect();
+        if key.iter().any(Datum::is_null) {
+            continue;
+        }
+        table.entry(key).or_default().push(i);
+    }
+    ProbeKind::Hash {
+        lk,
+        residual: RexNode::and_all(residual),
+        table,
+    }
 }
 
 impl HashJoinOp {
@@ -1112,165 +1163,118 @@ impl Operator<ColumnBatch> for HashJoinOp {
     fn open(&mut self) -> Result<()> {
         self.left.open()?;
         self.right.open()?;
-        let (lk, rk, residual) = extract_equi_keys(&self.condition, self.left_arity);
-        if lk.is_empty() {
-            let left_rows = drain_rows(&mut self.left)?;
-            let right_rows = drain_rows(&mut self.right)?;
-            let rows: Vec<Row> = executor::execute_join(
-                left_rows,
-                right_rows,
-                self.left_arity,
-                self.right_arity,
-                self.kind,
-                &self.condition,
-            )?
-            .collect();
-            self.state = Some(JoinState::Fallback(
-                rebatch_rows(rows, &self.out_kinds).into(),
-            ));
-            return Ok(());
-        }
-
-        // Build side: materialize the right input and hash its keys
-        // (NULL keys never join).
+        // Build side: materialize the right input.
         let mut right_batches = vec![];
         while let Some(b) = self.right.next()? {
             right_batches.push(b);
         }
         let right = concat_batches(right_batches, self.right_arity);
-        let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
-        for i in 0..right.len {
-            let key: Vec<Datum> = rk.iter().map(|&k| right.columns[k].get(i)).collect();
-            if key.iter().any(Datum::is_null) {
-                continue;
-            }
-            table.entry(key).or_default().push(i);
-        }
-        let right_matched = vec![false; right.len];
-        self.state = Some(JoinState::Hash {
-            lk,
-            residual: RexNode::and_all(residual),
+        let probe = build_probe(&self.condition, self.left_arity, &right);
+        self.state = Some(JoinState {
+            right_matched: vec![false; right.len],
             right,
-            table,
-            right_matched,
             emitted_right_pad: false,
+            probe,
         });
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<ColumnBatch>> {
-        match self.state.as_mut().expect("HashJoinOp not opened") {
-            JoinState::Fallback(q) => Ok(q.pop_front()),
-            JoinState::Hash {
-                lk,
-                residual,
-                right,
-                table,
-                right_matched,
-                emitted_right_pad,
-            } => loop {
-                // Serve any probed-but-unassembled pairs first, one
-                // batch-sized chunk per pull.
-                if let Some(p) = &mut self.pending {
-                    if p.pos < p.pairs.len() {
-                        let take = BATCH_SIZE.min(p.pairs.len() - p.pos);
-                        let chunk = &p.pairs[p.pos..p.pos + take];
-                        p.pos += take;
-                        return Ok(Some(assemble_join_output(
-                            chunk,
-                            &p.left,
-                            right,
-                            self.left_arity,
-                            self.kind.projects_right(),
-                            &self.out_kinds,
-                        )));
-                    }
-                    self.pending = None;
+        let st = self.state.as_mut().expect("HashJoinOp not opened");
+        loop {
+            // Serve any probed-but-unassembled pairs first, one
+            // batch-sized chunk per pull.
+            if let Some(p) = &mut self.pending {
+                if p.pos < p.pairs.len() {
+                    let take = BATCH_SIZE.min(p.pairs.len() - p.pos);
+                    let chunk = &p.pairs[p.pos..p.pos + take];
+                    p.pos += take;
+                    return Ok(Some(assemble_join_output(
+                        chunk,
+                        &p.left,
+                        &st.right,
+                        self.left_arity,
+                        self.kind.projects_right(),
+                        &self.out_kinds,
+                    )));
                 }
-                let Some(b) = self.left.next()? else {
-                    // Left exhausted: Right/Full joins stage the
-                    // NULL-padded unmatched right rows (served above,
-                    // chunk by chunk).
-                    if !*emitted_right_pad {
-                        *emitted_right_pad = true;
-                        if matches!(self.kind, JoinKind::Right | JoinKind::Full) {
-                            let pairs: Vec<(Option<usize>, Option<usize>)> = right_matched
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, m)| !**m)
-                                .map(|(ri, _)| (None, Some(ri)))
-                                .collect();
-                            if !pairs.is_empty() {
-                                self.pending = Some(PendingJoinOutput {
-                                    left: ColumnBatch::zero_arity(0),
-                                    pairs,
-                                    pos: 0,
-                                });
-                                continue;
-                            }
+                self.pending = None;
+            }
+            let Some(b) = self.left.next()? else {
+                // Left exhausted: Right/Full joins stage the
+                // NULL-padded unmatched right rows (served above,
+                // chunk by chunk).
+                if !st.emitted_right_pad {
+                    st.emitted_right_pad = true;
+                    if matches!(self.kind, JoinKind::Right | JoinKind::Full) {
+                        let pairs: JoinPairs = st
+                            .right_matched
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, m)| !**m)
+                            .map(|(ri, _)| (None, Some(ri)))
+                            .collect();
+                        if !pairs.is_empty() {
+                            self.pending = Some(PendingJoinOutput {
+                                left: ColumnBatch::zero_arity(0),
+                                pairs,
+                                pos: 0,
+                            });
+                            continue;
                         }
                     }
-                    return Ok(None);
-                };
-                let b = b.compact();
-                let pairs = probe_batch(&b, right, table, lk, residual, self.kind, right_matched)?;
-                if pairs.is_empty() {
-                    continue;
                 }
-                self.pending = Some(PendingJoinOutput {
-                    left: b,
-                    pairs,
-                    pos: 0,
-                });
-            },
+                return Ok(None);
+            };
+            let b = b.compact();
+            let matched = &mut st.right_matched;
+            let pairs = probe_batch(&b, &st.right, &st.probe, self.kind, &mut |ri| {
+                matched[ri] = true
+            })?;
+            if pairs.is_empty() {
+                continue;
+            }
+            self.pending = Some(PendingJoinOutput {
+                left: b,
+                pairs,
+                pos: 0,
+            });
         }
     }
 }
 
-/// Probes one left batch against the build table, producing the
-/// (left, right) index pairs this batch contributes.
+/// Probes one left batch against the build side, producing the
+/// (left, right) index pairs this batch contributes. `mark` is invoked
+/// for every matched right row (a plain `Vec<bool>` store when serial,
+/// an atomic store when probe workers share the build side).
 fn probe_batch(
     left: &ColumnBatch,
     right: &ColumnBatch,
-    table: &HashMap<Vec<Datum>, Vec<usize>>,
-    lk: &[usize],
-    residual: &RexNode,
+    probe: &ProbeKind,
     kind: JoinKind,
-    right_matched: &mut [bool],
-) -> Result<Vec<(Option<usize>, Option<usize>)>> {
-    let check_residual = |li: usize, ri: usize| -> Result<bool> {
-        if residual.is_always_true() {
-            return Ok(true);
-        }
-        let mut combined = left.row(li);
-        combined.extend(right.row(ri));
-        Ok(matches!(residual.eval(&combined)?, Datum::Bool(true)))
-    };
-
-    let mut pairs: Vec<(Option<usize>, Option<usize>)> = vec![];
+    mark: &mut dyn FnMut(usize),
+) -> Result<JoinPairs> {
+    let mut pairs: JoinPairs = vec![];
+    let mut matches = vec![];
     for li in 0..left.len {
-        let key: Vec<Datum> = lk.iter().map(|&k| left.columns[k].get(li)).collect();
-        let candidates = if key.iter().any(Datum::is_null) {
-            None
-        } else {
-            table.get(&key)
-        };
-        let mut matched = false;
-        if let Some(cands) = candidates {
-            // Every candidate's residual is evaluated — even for Semi/
-            // Anti, where the first hit already decides — because the row
-            // engine does the same and a residual error on a later
-            // candidate must surface identically in both engines.
-            for &ri in cands {
-                if check_residual(li, ri)? {
-                    matched = true;
-                    right_matched[ri] = true;
-                    if !matches!(kind, JoinKind::Semi | JoinKind::Anti) {
-                        pairs.push((Some(li), Some(ri)));
-                    }
-                }
+        matches.clear();
+        match probe {
+            ProbeKind::Hash {
+                lk,
+                residual,
+                table,
+            } => hash_matches(left, li, right, lk, residual, table, &mut matches)?,
+            ProbeKind::Theta { condition } => {
+                theta_matches(left, li, right, condition, &mut matches)?
             }
         }
+        for &ri in &matches {
+            mark(ri);
+            if !matches!(kind, JoinKind::Semi | JoinKind::Anti) {
+                pairs.push((Some(li), Some(ri)));
+            }
+        }
+        let matched = !matches.is_empty();
         match kind {
             JoinKind::Semi if matched => pairs.push((Some(li), None)),
             JoinKind::Anti if !matched => pairs.push((Some(li), None)),
@@ -1279,6 +1283,89 @@ fn probe_batch(
         }
     }
     Ok(pairs)
+}
+
+/// Equi probe for one left row: hash-table candidates filtered by the
+/// residual. Every candidate's residual is evaluated — even for Semi/
+/// Anti, where the first hit already decides — because the row engine
+/// does the same and a residual error on a later candidate must surface
+/// identically in both engines.
+fn hash_matches(
+    left: &ColumnBatch,
+    li: usize,
+    right: &ColumnBatch,
+    lk: &[usize],
+    residual: &RexNode,
+    table: &HashMap<Vec<Datum>, Vec<usize>>,
+    out: &mut Vec<usize>,
+) -> Result<()> {
+    let key: Vec<Datum> = lk.iter().map(|&k| left.columns[k].get(li)).collect();
+    if key.iter().any(Datum::is_null) {
+        return Ok(());
+    }
+    let Some(cands) = table.get(&key) else {
+        return Ok(());
+    };
+    for &ri in cands {
+        let ok = if residual.is_always_true() {
+            true
+        } else {
+            let mut combined = left.row(li);
+            combined.extend(right.row(ri));
+            matches!(residual.eval(&combined)?, Datum::Bool(true))
+        };
+        if ok {
+            out.push(ri);
+        }
+    }
+    Ok(())
+}
+
+/// Theta probe for one left row: the join predicate with this row's
+/// values substituted as literals (and right references shifted to
+/// input 0) is evaluated as one vectorized kernel pass over the whole
+/// build side, instead of per combined row through the row engine.
+/// Evaluation walks the build rows in order, so which row surfaces an
+/// evaluation error matches the nested-loop row engine exactly.
+fn theta_matches(
+    left: &ColumnBatch,
+    li: usize,
+    right: &ColumnBatch,
+    condition: &RexNode,
+    out: &mut Vec<usize>,
+) -> Result<()> {
+    let bound = bind_left_row(condition, left, li);
+    let col = eval_batch(&bound, right)?;
+    match col {
+        Column::Bool { values, valid } => {
+            out.extend((0..right.len).filter(|&i| valid[i] && values[i]));
+        }
+        col => out.extend((0..right.len).filter(|&i| col.get(i) == Datum::Bool(true))),
+    }
+    Ok(())
+}
+
+/// Substitutes left row `li`'s values for the left-side input refs of a
+/// join condition and renumbers right-side refs to start at 0, yielding
+/// an expression over the right batch alone.
+fn bind_left_row(e: &RexNode, left: &ColumnBatch, li: usize) -> RexNode {
+    let la = left.arity();
+    match e {
+        RexNode::InputRef { index, ty } if *index < la => RexNode::Literal {
+            value: left.columns[*index].get(li),
+            ty: ty.clone(),
+        },
+        RexNode::InputRef { index, ty } => RexNode::InputRef {
+            index: index - la,
+            ty: ty.clone(),
+        },
+        RexNode::Literal { .. } | RexNode::DynamicParam { .. } => e.clone(),
+        RexNode::Call { op, args, ty } => RexNode::Call {
+            op: op.clone(),
+            args: args.iter().map(|a| bind_left_row(a, left, li)).collect(),
+            ty: ty.clone(),
+        },
+    }
 }
 
 /// Assembles output columns from index pairs by gathering; NULL padding
@@ -1418,12 +1505,57 @@ impl FastAcc {
             FastAcc::Avg { sum, count } => Acc::Avg { sum, count },
         }
     }
+
+    /// Folds another worker's typed state into this one (the merge step
+    /// of partial aggregation), with the same checked-SUM semantics as
+    /// [`FastAcc::add`].
+    fn merge(&mut self, other: FastAcc) -> Result<()> {
+        match (self, other) {
+            (FastAcc::CountStar(a), FastAcc::CountStar(b))
+            | (FastAcc::Count(a), FastAcc::Count(b)) => *a += b,
+            (FastAcc::Sum { sum, seen }, FastAcc::Sum { sum: s2, seen: sn2 }) => {
+                if sn2 {
+                    if *seen {
+                        *sum = sum
+                            .checked_add(s2)
+                            .ok_or_else(|| CalciteError::execution("integer overflow in SUM"))?;
+                    } else {
+                        *sum = s2;
+                        *seen = true;
+                    }
+                }
+            }
+            (FastAcc::Min(a), FastAcc::Min(b)) => {
+                if let Some(v) = b {
+                    *a = Some(a.map_or(v, |p| p.min(v)));
+                }
+            }
+            (FastAcc::Max(a), FastAcc::Max(b)) => {
+                if let Some(v) = b {
+                    *a = Some(a.map_or(v, |p| p.max(v)));
+                }
+            }
+            (FastAcc::Avg { sum, count }, FastAcc::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            _ => {
+                return Err(CalciteError::internal(
+                    "mismatched typed accumulators in partial-aggregate merge",
+                ))
+            }
+        }
+        Ok(())
+    }
 }
 
 type GroupState = (Vec<Datum>, Vec<Acc>, Vec<HashSet<Vec<Datum>>>);
 
 /// Incremental aggregation state, fed one batch at a time. The input
-/// never materializes; only per-group accumulators are held.
+/// never materializes; only per-group accumulators are held. Each group
+/// records the sequence number of the row that created it (`first_seen`)
+/// so parallel partial states, merged in arbitrary worker order, can
+/// emit groups in exactly the first-seen order serial execution uses.
 enum AggState {
     /// No batch seen yet: the representation is chosen from the first.
     Pending,
@@ -1433,12 +1565,14 @@ enum AggState {
         index: HashMap<(bool, i64), usize>,
         keys: Vec<Datum>,
         states: Vec<Vec<FastAcc>>,
+        first_seen: Vec<u64>,
     },
     /// Generic path: the row executor's accumulators over column
     /// getters (identical semantics by construction).
     Generic {
         index: HashMap<Vec<Datum>, usize>,
         groups: Vec<GroupState>,
+        first_seen: Vec<u64>,
     },
 }
 
@@ -1446,21 +1580,38 @@ impl AggState {
     fn generic_empty(group: &[usize], aggs: &[AggCall]) -> AggState {
         let mut index = HashMap::new();
         let mut groups: Vec<GroupState> = vec![];
+        let mut first_seen = vec![];
         if group.is_empty() {
             let (accs, seen) = make_accs(aggs);
             groups.push((vec![], accs, seen));
             index.insert(vec![], 0);
+            first_seen.push(0);
         }
-        AggState::Generic { index, groups }
+        AggState::Generic {
+            index,
+            groups,
+            first_seen,
+        }
     }
 
-    fn update(&mut self, b: &ColumnBatch, group: &[usize], aggs: &[AggCall]) -> Result<()> {
+    /// Accumulates one dense batch. `seq0` is the sequence number of the
+    /// batch's first row in the serial input order (row `i` is
+    /// `seq0 + i`); it only matters when states from several workers are
+    /// merged later — serial callers pass a running row counter.
+    fn update(
+        &mut self,
+        b: &ColumnBatch,
+        group: &[usize],
+        aggs: &[AggCall],
+        seq0: u64,
+    ) -> Result<()> {
         if matches!(self, AggState::Pending) {
             *self = if fast_eligible(b, group, aggs) {
                 AggState::Fast {
                     index: HashMap::new(),
                     keys: vec![],
                     states: vec![],
+                    first_seen: vec![],
                 }
             } else {
                 AggState::generic_empty(group, aggs)
@@ -1480,6 +1631,7 @@ impl AggState {
                 index,
                 keys,
                 states,
+                first_seen,
             } => {
                 let Column::Int { values, valid } = &b.columns[group[0]] else {
                     unreachable!("fast_eligible checked")
@@ -1509,6 +1661,7 @@ impl AggState {
                                 .map(|a| FastAcc::new(a.func, !a.args.is_empty()))
                                 .collect(),
                         );
+                        first_seen.push(seq0 + i as u64);
                         states.len() - 1
                     });
                     for (ai, acc) in states[gi].iter_mut().enumerate() {
@@ -1519,7 +1672,11 @@ impl AggState {
                     }
                 }
             }
-            AggState::Generic { index, groups } => {
+            AggState::Generic {
+                index,
+                groups,
+                first_seen,
+            } => {
                 for i in 0..b.len {
                     let key: Vec<Datum> = group.iter().map(|&g| b.columns[g].get(i)).collect();
                     let gi = match index.get(&key) {
@@ -1528,6 +1685,7 @@ impl AggState {
                             let (accs, seen) = make_accs(aggs);
                             groups.push((key.clone(), accs, seen));
                             index.insert(key, groups.len() - 1);
+                            first_seen.push(seq0 + i as u64);
                             groups.len() - 1
                         }
                     };
@@ -1549,26 +1707,37 @@ impl AggState {
         Ok(())
     }
 
-    /// Migrates typed fast-path state into the generic representation.
+    /// Migrates typed fast-path state into the generic representation
+    /// (no-op for the other variants).
     fn downgrade(&mut self, aggs: &[AggCall]) {
+        if !matches!(self, AggState::Fast { .. }) {
+            return;
+        }
         let AggState::Fast {
             index: _,
             keys,
             states,
+            first_seen: seen_at,
         } = std::mem::replace(
             self,
             AggState::Generic {
                 index: HashMap::new(),
                 groups: vec![],
+                first_seen: vec![],
             },
         )
         else {
             return;
         };
-        let AggState::Generic { index, groups } = self else {
+        let AggState::Generic {
+            index,
+            groups,
+            first_seen,
+        } = self
+        else {
             unreachable!()
         };
-        for (key, accs) in keys.into_iter().zip(states) {
+        for ((key, accs), at) in keys.into_iter().zip(states).zip(seen_at) {
             let key = vec![key];
             let seen = aggs.iter().map(|_| HashSet::new()).collect();
             groups.push((
@@ -1577,41 +1746,182 @@ impl AggState {
                 seen,
             ));
             index.insert(key, groups.len() - 1);
+            first_seen.push(at);
         }
     }
 
-    fn finish(self, group: &[usize], aggs: &[AggCall]) -> Vec<Row> {
+    /// Folds another worker's partial state into this one. Non-distinct
+    /// accumulators merge directly; distinct aggregates replay only the
+    /// argument tuples this side has not seen (the per-group seen-sets
+    /// make the merge exact). `first_seen` keeps the minimum, so a later
+    /// ordered finish reproduces serial group order.
+    fn merge(self, other: AggState, aggs: &[AggCall]) -> Result<AggState> {
+        match (self, other) {
+            (AggState::Pending, x) => Ok(x),
+            (x, AggState::Pending) => Ok(x),
+            (
+                AggState::Fast {
+                    mut index,
+                    mut keys,
+                    mut states,
+                    mut first_seen,
+                },
+                AggState::Fast {
+                    keys: keys2,
+                    states: states2,
+                    first_seen: seen2,
+                    ..
+                },
+            ) => {
+                for ((key, accs), at) in keys2.into_iter().zip(states2).zip(seen2) {
+                    let hkey = match key {
+                        Datum::Int(v) => (true, v),
+                        _ => (false, 0),
+                    };
+                    match index.get(&hkey) {
+                        Some(&gi) => {
+                            for (acc, o) in states[gi].iter_mut().zip(accs) {
+                                acc.merge(o)?;
+                            }
+                            first_seen[gi] = first_seen[gi].min(at);
+                        }
+                        None => {
+                            keys.push(key);
+                            states.push(accs);
+                            first_seen.push(at);
+                            index.insert(hkey, states.len() - 1);
+                        }
+                    }
+                }
+                Ok(AggState::Fast {
+                    index,
+                    keys,
+                    states,
+                    first_seen,
+                })
+            }
+            (mut a, mut b) => {
+                a.downgrade(aggs);
+                b.downgrade(aggs);
+                let (
+                    AggState::Generic {
+                        mut index,
+                        mut groups,
+                        mut first_seen,
+                    },
+                    AggState::Generic {
+                        groups: groups2,
+                        first_seen: seen2,
+                        ..
+                    },
+                ) = (a, b)
+                else {
+                    unreachable!("downgrade produces the generic state")
+                };
+                for ((key, accs, seen), at) in groups2.into_iter().zip(seen2) {
+                    match index.get(&key) {
+                        Some(&gi) => {
+                            let (_, my_accs, my_seen) = &mut groups[gi];
+                            for (ai, a) in aggs.iter().enumerate() {
+                                if a.distinct {
+                                    // Replay only unseen argument tuples,
+                                    // in sorted order — a HashSet walk
+                                    // would make float folds (and which
+                                    // value trips a checked overflow)
+                                    // nondeterministic.
+                                    let mut fresh: Vec<&Vec<Datum>> = seen[ai]
+                                        .iter()
+                                        .filter(|d| !my_seen[ai].contains(*d))
+                                        .collect();
+                                    fresh.sort();
+                                    for dkey in fresh {
+                                        my_seen[ai].insert(dkey.clone());
+                                        my_accs[ai].add(dkey.first())?;
+                                    }
+                                } else {
+                                    // `accs` is consumed group-by-group;
+                                    // clone is per-acc small state.
+                                    my_accs[ai].merge(accs[ai].clone())?;
+                                }
+                            }
+                            first_seen[gi] = first_seen[gi].min(at);
+                        }
+                        None => {
+                            groups.push((key.clone(), accs, seen));
+                            index.insert(key, groups.len() - 1);
+                            first_seen.push(at);
+                        }
+                    }
+                }
+                Ok(AggState::Generic {
+                    index,
+                    groups,
+                    first_seen,
+                })
+            }
+        }
+    }
+
+    /// The result rows paired with each group's first-seen sequence, in
+    /// internal (insertion) order.
+    fn finish_entries(self, group: &[usize], aggs: &[AggCall]) -> Vec<(u64, Row)> {
         match self {
             AggState::Pending => {
                 // No input at all: a global aggregate still yields one
                 // row (the empty-input accumulator results).
                 if group.is_empty() {
                     let (accs, _) = make_accs(aggs);
-                    vec![accs.into_iter().map(Acc::finish).collect()]
+                    vec![(0, accs.into_iter().map(Acc::finish).collect())]
                 } else {
                     vec![]
                 }
             }
-            AggState::Fast { keys, states, .. } => keys
+            AggState::Fast {
+                keys,
+                states,
+                first_seen,
+                ..
+            } => keys
                 .into_iter()
                 .zip(states)
-                .map(|(k, accs)| {
+                .zip(first_seen)
+                .map(|((k, accs), at)| {
                     let mut row = vec![k];
                     row.extend(accs.into_iter().map(FastAcc::finish));
-                    row
+                    (at, row)
                 })
                 .collect(),
-            AggState::Generic { groups, .. } => groups
+            AggState::Generic {
+                groups, first_seen, ..
+            } => groups
                 .into_iter()
-                .map(|(key, accs, _)| {
+                .zip(first_seen)
+                .map(|((key, accs, _), at)| {
                     let mut row = key;
                     for acc in accs {
                         row.push(acc.finish());
                     }
-                    row
+                    (at, row)
                 })
                 .collect(),
         }
+    }
+
+    /// Result rows in insertion order — for serial states this *is* the
+    /// first-seen order, matching the row engine.
+    fn finish(self, group: &[usize], aggs: &[AggCall]) -> Vec<Row> {
+        self.finish_entries(group, aggs)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// Result rows sorted by first-seen sequence — what merged parallel
+    /// partial states use to reproduce the serial output order exactly.
+    fn finish_ordered(self, group: &[usize], aggs: &[AggCall]) -> Vec<Row> {
+        let mut entries = self.finish_entries(group, aggs);
+        entries.sort_by_key(|(at, _)| *at);
+        entries.into_iter().map(|(_, r)| r).collect()
     }
 }
 
@@ -1661,8 +1971,11 @@ impl Operator<ColumnBatch> for AggregateOp {
     fn open(&mut self) -> Result<()> {
         self.child.open()?;
         let mut state = AggState::Pending;
+        let mut seq = 0u64;
         while let Some(b) = self.child.next()? {
-            state.update(&b.compact(), &self.group, &self.aggs)?;
+            let b = b.compact();
+            state.update(&b, &self.group, &self.aggs, seq)?;
+            seq += b.len as u64;
         }
         let rows = state.finish(&self.group, &self.aggs);
         self.out = rebatch_rows(rows, &self.out_kinds).into();
@@ -1742,10 +2055,10 @@ struct TopK {
     k: usize,
     collation: Collation,
     /// Binary max-heap: the worst kept entry sits at index 0.
-    heap: Vec<(usize, Row)>,
+    heap: Vec<(u64, Row)>,
 }
 
-fn cmp_entries(collation: &Collation, a: &(usize, Row), b: &(usize, Row)) -> Ordering {
+fn cmp_entries(collation: &Collation, a: &(u64, Row), b: &(u64, Row)) -> Ordering {
     compare_rows(&a.1, &b.1, collation).then(a.0.cmp(&b.0))
 }
 
@@ -1761,7 +2074,7 @@ impl TopK {
     /// Offers row `i` of a dense batch. The candidate is compared to the
     /// current worst straight from the columns, so rejected rows (the
     /// common case once the heap fills) are never materialized.
-    fn offer(&mut self, b: &ColumnBatch, i: usize, seq: usize) {
+    fn offer(&mut self, b: &ColumnBatch, i: usize, seq: u64) {
         if self.k == 0 {
             return;
         }
@@ -1818,15 +2131,25 @@ impl TopK {
         }
     }
 
-    /// The kept rows in collation order (ties in input order).
-    fn into_sorted_rows(self) -> Vec<Row> {
+    /// The kept entries in collation order (ties in input order), with
+    /// their input sequence numbers — what the parallel k-way merge
+    /// consumes.
+    fn into_sorted_entries(self) -> Vec<(u64, Row)> {
         let TopK {
             collation,
             mut heap,
             ..
         } = self;
         heap.sort_by(|a, b| cmp_entries(&collation, a, b));
-        heap.into_iter().map(|(_, r)| r).collect()
+        heap
+    }
+
+    /// The kept rows in collation order (ties in input order).
+    fn into_sorted_rows(self) -> Vec<Row> {
+        self.into_sorted_entries()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
     }
 }
 
@@ -1866,7 +2189,7 @@ impl Operator<ColumnBatch> for TopKOp {
         self.child.open()?;
         let k = self.offset.saturating_add(self.fetch);
         let mut topk = TopK::new(k, self.collation.clone());
-        let mut seq = 0usize;
+        let mut seq = 0u64;
         while let Some(b) = self.child.next()? {
             let b = b.compact();
             for i in 0..b.len {
@@ -2135,6 +2458,1105 @@ impl Operator<ColumnBatch> for MinusOp {
     }
 }
 
+// ---------------------------------------------------------------------
+// Morsel-driven parallel execution
+// ---------------------------------------------------------------------
+//
+// When the context's [`Parallelism`] asks for more than one worker, the
+// plan builder places exchange operators around four shapes:
+//
+// - **Scan→Filter→Project chains** over a range-scannable table: N
+//   workers claim fixed-size morsels (row ranges of one shared
+//   snapshot) from an atomic dispenser, run the fused stage kernels,
+//   and an [`OrderedGatherOp`] reassembles the output in morsel order —
+//   byte-identical to serial execution.
+// - **HashJoin**: the build side materializes once and is shared behind
+//   an `Arc` (matched-flags are atomics); probe workers run the left
+//   chain + probe kernel per morsel, gathered in order, with the
+//   outer-join right pad emitted after every worker finishes.
+// - **Aggregate**: each worker folds its morsels into a partial
+//   [`AggState`]; the partials merge exactly (distinct aggregates
+//   replay unseen argument tuples) and groups are emitted in first-seen
+//   sequence order, reproducing the serial output order.
+// - **Sort / Top-K**: each worker sorts (or Top-K-filters) its morsels
+//   into a run ordered by (collation, input sequence); a k-way merge
+//   under the same comparator recombines the runs, so ORDER BY results
+//   are byte-identical across worker counts.
+//
+// Chains whose bottom is not range-scannable but looks big stream
+// through a [`ScatterOp`] with a round-robin router instead; a
+// hash-partitioning router ([`hash_partition_router`]) is provided for
+// partitioned join builds once spill-to-disk lands.
+
+/// One compiled chain stage: an optional filter fused with an optional
+/// projection, executed as a single kernel pass per batch.
+struct CompiledStage {
+    predicate: Option<RexNode>,
+    exprs: Option<Vec<RexNode>>,
+}
+
+/// Applies the stage kernels bottom-up; `None` means the batch was
+/// entirely filtered out.
+fn apply_stages(stages: &[CompiledStage], mut b: ColumnBatch) -> Result<Option<ColumnBatch>> {
+    for s in stages {
+        match fused_filter_project(s.predicate.as_ref(), s.exprs.as_deref(), b)? {
+            Some(out) => b = out,
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(b))
+}
+
+/// The matched shape of a parallelizable pipeline segment: zero or more
+/// Filter/Project stages (top-down) over a bottom the workers can be
+/// fed from.
+struct ChainShape<'a> {
+    /// Filter/Project nodes, outermost first.
+    stages: Vec<&'a Rel>,
+    bottom: ChainBottom<'a>,
+}
+
+enum ChainBottom<'a> {
+    /// A scan whose table supports consistent range scans: workers
+    /// claim morsel ranges of one shared snapshot.
+    Range { table: &'a TableRef, rows: usize },
+    /// Any other same-convention subtree estimated big enough to be
+    /// worth threading: built once and round-robin scattered across
+    /// the workers.
+    Stream(&'a Rel),
+    /// A foreign-convention subtree: executed through the registered
+    /// foreign executor behind a row bridge (exactly as serial
+    /// execution would), then scattered.
+    Foreign(&'a Rel),
+}
+
+/// Matches the Filter/Project* chain hanging below `rel` (inclusive).
+/// Returns `None` when the pipeline is too small to be worth spawning
+/// threads for (fewer than two morsels of input).
+fn match_chain<'a>(rel: &'a Rel, p: Parallelism) -> Option<ChainShape<'a>> {
+    let threshold = p.morsel_size.saturating_mul(2);
+    let mut stages = vec![];
+    let mut cur = rel;
+    loop {
+        match &cur.op {
+            RelOp::Filter { .. } | RelOp::Project { .. } => {
+                let c = cur.input(0);
+                if c.convention == cur.convention || matches!(c.op, RelOp::Convert { .. }) {
+                    stages.push(cur);
+                    cur = c;
+                    continue;
+                }
+                // Chain crosses into a foreign convention: the bridge
+                // becomes the streamed bottom if it looks big.
+                return subtree_big(cur.input(0), p).then_some(ChainShape {
+                    stages: {
+                        stages.push(cur);
+                        stages
+                    },
+                    bottom: ChainBottom::Foreign(cur.input(0)),
+                });
+            }
+            RelOp::Scan { table } => {
+                if let Some(rows) = table.table.range_scan_rows() {
+                    return (rows >= threshold).then_some(ChainShape {
+                        stages,
+                        bottom: ChainBottom::Range { table, rows },
+                    });
+                }
+                return (table.table.statistic().row_count >= threshold as f64).then_some(
+                    ChainShape {
+                        stages,
+                        bottom: ChainBottom::Stream(cur),
+                    },
+                );
+            }
+            _ => {
+                return subtree_big(cur, p).then_some(ChainShape {
+                    stages,
+                    bottom: ChainBottom::Stream(cur),
+                })
+            }
+        }
+    }
+}
+
+/// Whether a subtree's *output* looks big enough (≥ two morsels) to be
+/// worth running behind an exchange. Estimates only — based on table
+/// statistics and literal row counts, never on scanning. Aggregates and
+/// fetch-bounded sorts collapse cardinality, so a big scan *below* them
+/// does not make the stream above them big (those operators parallelize
+/// internally instead).
+fn subtree_big(rel: &Rel, p: Parallelism) -> bool {
+    let threshold = p.morsel_size.saturating_mul(2);
+    match &rel.op {
+        RelOp::Scan { table } => match table.table.range_scan_rows() {
+            Some(rows) => rows >= threshold,
+            None => table.table.statistic().row_count >= threshold as f64,
+        },
+        RelOp::Values { tuples, .. } => tuples.len() >= threshold,
+        RelOp::Aggregate { .. } => false,
+        RelOp::Sort {
+            offset,
+            fetch: Some(f),
+            ..
+        } => offset.unwrap_or(0).saturating_add(*f) >= threshold,
+        _ => rel.inputs.iter().any(|i| subtree_big(i, p)),
+    }
+}
+
+/// The parallelizable input of an exchange consumer: the matched chain
+/// of `rel.input(0)`, or — when the child is foreign — a stage-less
+/// shape whose bottom streams through its row bridge.
+fn child_shape<'a>(rel: &'a Rel, p: Parallelism) -> Option<ChainShape<'a>> {
+    let c = rel.input(0);
+    if c.convention == rel.convention || matches!(c.op, RelOp::Convert { .. }) {
+        match_chain(c, p)
+    } else {
+        subtree_big(c, p).then_some(ChainShape {
+            stages: vec![],
+            bottom: ChainBottom::Foreign(c),
+        })
+    }
+}
+
+/// Compiles matched stage nodes (top-down) into bottom-up kernel
+/// stages, collapsing Project-over-Filter into one fused kernel when
+/// the fusion pass is on — the same physical optimization the serial
+/// tree applies.
+fn compile_stages(stages: &[&Rel], ctx: &ExecContext, fuse: bool) -> Result<Vec<CompiledStage>> {
+    let mut out = vec![];
+    let mut it = stages.iter().rev().peekable();
+    while let Some(node) = it.next() {
+        match &node.op {
+            RelOp::Filter { condition } => {
+                let predicate = Some(ctx.bind(condition)?);
+                let fused_project = if fuse {
+                    match it.peek().map(|n| &n.op) {
+                        Some(RelOp::Project { exprs, .. }) => {
+                            it.next();
+                            Some(exprs.iter().map(|e| ctx.bind(e)).collect::<Result<_>>()?)
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                out.push(CompiledStage {
+                    predicate,
+                    exprs: fused_project,
+                });
+            }
+            RelOp::Project { exprs, .. } => out.push(CompiledStage {
+                predicate: None,
+                exprs: Some(exprs.iter().map(|e| ctx.bind(e)).collect::<Result<_>>()?),
+            }),
+            other => {
+                return Err(CalciteError::internal(format!(
+                    "non-stage node {other:?} in a parallel chain"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Everything needed to spawn the workers of one exchange: compiled
+/// stages plus the bottom they pull from.
+struct SourceSeed {
+    stages: Arc<Vec<CompiledStage>>,
+    bottom: BottomSeed,
+}
+
+enum BottomSeed {
+    /// Workers claim morsel ranges of one snapshot of this table.
+    Range(TableRef),
+    /// Workers drain round-robin partitions of this (already built, not
+    /// yet opened) operator.
+    Stream(BatchOp),
+}
+
+fn seed_from(shape: ChainShape<'_>, ctx: &ExecContext, fuse: bool) -> Result<SourceSeed> {
+    let stages = Arc::new(compile_stages(&shape.stages, ctx, fuse)?);
+    let bottom = match shape.bottom {
+        ChainBottom::Range { table, .. } => BottomSeed::Range(table.clone()),
+        ChainBottom::Stream(child) => BottomSeed::Stream(build_op_auto(child, ctx, fuse)?),
+        // Foreign subtrees execute through the registered foreign
+        // executor, exactly as serial execution routes them.
+        ChainBottom::Foreign(c) => {
+            BottomSeed::Stream(Box::new(RowBridgeOp::foreign(c.clone(), ctx.clone())))
+        }
+    };
+    Ok(SourceSeed { stages, bottom })
+}
+
+impl SourceSeed {
+    /// Builds the per-partition worker operators. For range bottoms the
+    /// snapshot is taken here — once per execution — and shared; for
+    /// stream bottoms the child is split through a round-robin scatter.
+    fn into_workers(
+        self,
+        kernel: WorkerKernel,
+        p: Parallelism,
+    ) -> Result<Vec<BoxOperator<ExchangeItem<ColumnBatch>>>> {
+        let stages = self.stages;
+        Ok(match self.bottom {
+            BottomSeed::Range(table) => {
+                let snapshot = table.table.scan_snapshot()?.ok_or_else(|| {
+                    CalciteError::execution(format!(
+                        "table '{}' reported range-scannable rows but no snapshot",
+                        table.qualified_name()
+                    ))
+                })?;
+                let next = Arc::new(AtomicUsize::new(0));
+                (0..p.workers)
+                    .map(|_| {
+                        Box::new(ChainWorker {
+                            feed: WorkerFeed::Morsels {
+                                snapshot: snapshot.clone(),
+                                next: next.clone(),
+                                morsel_size: p.morsel_size,
+                            },
+                            stages: stages.clone(),
+                            kernel: kernel.clone(),
+                            pending: VecDeque::new(),
+                        }) as BoxOperator<ExchangeItem<ColumnBatch>>
+                    })
+                    .collect()
+            }
+            BottomSeed::Stream(child) => {
+                ScatterOp::split(child, p.workers, round_robin_router(p.workers))
+                    .into_iter()
+                    .map(|part| {
+                        Box::new(ChainWorker {
+                            feed: WorkerFeed::Partition(part),
+                            stages: stages.clone(),
+                            kernel: kernel.clone(),
+                            pending: VecDeque::new(),
+                        }) as BoxOperator<ExchangeItem<ColumnBatch>>
+                    })
+                    .collect()
+            }
+        })
+    }
+}
+
+/// What a chain worker does with each post-stage batch.
+#[derive(Clone)]
+enum WorkerKernel {
+    /// Pass it through (plain chain under an ordered gather).
+    Emit,
+    /// Probe it against the shared join build side.
+    Probe(Arc<JoinShared>),
+}
+
+enum WorkerFeed {
+    /// Claim morsels (row ranges of the shared snapshot) from the
+    /// shared dispenser until it runs dry.
+    Morsels {
+        snapshot: Arc<dyn RangeScan>,
+        next: Arc<AtomicUsize>,
+        morsel_size: usize,
+    },
+    /// Drain this partition of a scattered child stream; each source
+    /// batch is one "morsel".
+    Partition(ScatterPartition<ColumnBatch>),
+}
+
+/// One worker of a parallel exchange: pulls work units from its feed,
+/// runs the pure stage kernels (and probe, if any), and emits tagged
+/// batches plus end-of-morsel markers for the ordered gather. Kernel
+/// errors are embedded as tagged items so they surface exactly where
+/// serial execution would surface them.
+struct ChainWorker {
+    feed: WorkerFeed,
+    stages: Arc<Vec<CompiledStage>>,
+    kernel: WorkerKernel,
+    pending: VecDeque<ExchangeItem<ColumnBatch>>,
+}
+
+fn run_worker_kernel(
+    stages: &[CompiledStage],
+    kernel: &WorkerKernel,
+    b: ColumnBatch,
+) -> Result<Vec<ColumnBatch>> {
+    let Some(b) = apply_stages(stages, b)? else {
+        return Ok(vec![]);
+    };
+    match kernel {
+        WorkerKernel::Emit => Ok(vec![b]),
+        WorkerKernel::Probe(shared) => shared.probe_chunks(&b.compact()),
+    }
+}
+
+impl ChainWorker {
+    /// Runs one work unit (morsel `m` with the given batches) into the
+    /// pending queue: tagged output chunks, an in-position error if a
+    /// kernel fails, and always the end-of-morsel marker.
+    fn process_morsel(
+        &mut self,
+        m: usize,
+        mut batches: impl FnMut() -> Result<Option<ColumnBatch>>,
+    ) {
+        let mut chunk = 0usize;
+        loop {
+            match batches() {
+                Ok(Some(b)) => match run_worker_kernel(&self.stages, &self.kernel, b) {
+                    Ok(outs) => {
+                        for out in outs {
+                            self.pending.push_back(ExchangeItem::Batch((m, chunk), out));
+                            chunk += 1;
+                        }
+                    }
+                    Err(e) => {
+                        self.pending.push_back(ExchangeItem::Error((m, chunk), e));
+                        break;
+                    }
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    self.pending.push_back(ExchangeItem::Error((m, chunk), e));
+                    break;
+                }
+            }
+        }
+        self.pending.push_back(ExchangeItem::MorselEnd(m));
+    }
+}
+
+impl Operator<ExchangeItem<ColumnBatch>> for ChainWorker {
+    fn open(&mut self) -> Result<()> {
+        if let WorkerFeed::Partition(part) = &mut self.feed {
+            part.open()?;
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ExchangeItem<ColumnBatch>>> {
+        loop {
+            if let Some(item) = self.pending.pop_front() {
+                return Ok(Some(item));
+            }
+            match &mut self.feed {
+                WorkerFeed::Morsels {
+                    snapshot,
+                    next,
+                    morsel_size,
+                } => {
+                    let total = snapshot.row_count();
+                    let m = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    let Some(start) = m.checked_mul(*morsel_size).filter(|s| *s < total) else {
+                        return Ok(None);
+                    };
+                    let len = (*morsel_size).min(total - start);
+                    match snapshot.clone().scan_range(BATCH_SIZE, start, len) {
+                        Ok(mut it) => {
+                            self.process_morsel(m, move || {
+                                Ok(it.next_batch()?.map(ColumnBatch::new))
+                            });
+                        }
+                        Err(e) => {
+                            self.pending.push_back(ExchangeItem::Error((m, 0), e));
+                            self.pending.push_back(ExchangeItem::MorselEnd(m));
+                        }
+                    }
+                }
+                WorkerFeed::Partition(part) => match part.next()? {
+                    None => return Ok(None),
+                    Some((seq, Err(e))) => {
+                        self.pending.push_back(ExchangeItem::Error((seq, 0), e));
+                        self.pending.push_back(ExchangeItem::MorselEnd(seq));
+                    }
+                    Some((seq, Ok(b))) => {
+                        let mut fed = Some(b);
+                        self.process_morsel(seq, move || Ok(fed.take()));
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// A hash router over key columns: splits each batch into per-partition
+/// pieces so rows with equal keys co-locate on one worker. The engine's
+/// default plans keep aggregates on round-robin + first-seen merge
+/// (which preserves serial output order exactly); this router is the
+/// building block for partitioned hash-join builds once spill-to-disk
+/// lands.
+///
+/// Contract: because one source batch fans out into several pieces
+/// *sharing its sequence number*, partitions fed by this router must
+/// flow into an order-insensitive consumer (e.g. a partitioned build or
+/// an unordered gather) — [`OrderedGatherOp`]'s `(morsel, chunk)`
+/// protocol assumes whole-batch routing and would collapse same-tag
+/// pieces. The engine's exchange pipelines only pair [`ScatterOp`] with
+/// `round_robin_router` for exactly this reason.
+pub fn hash_partition_router(keys: Vec<usize>, n: usize) -> Router<ColumnBatch> {
+    use std::hash::{Hash, Hasher};
+    let n = n.max(1);
+    Box::new(move |_seq, b: ColumnBatch| {
+        let b = b.compact();
+        let mut sel: Vec<Vec<usize>> = vec![vec![]; n];
+        for i in 0..b.num_rows() {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for &k in &keys {
+                b.column(k).get(i).hash(&mut h);
+            }
+            sel[(h.finish() as usize) % n].push(i);
+        }
+        sel.into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(p, s)| {
+                let mut piece = b.clone();
+                piece.set_selection(s);
+                (p, piece.compact())
+            })
+            .collect()
+    })
+}
+
+// -------------------------- parallel join ----------------------------
+
+/// The build-side state probe workers share: the materialized right
+/// input, the probe strategy, and atomic matched-flags for outer joins.
+struct JoinShared {
+    right: ColumnBatch,
+    probe: ProbeKind,
+    kind: JoinKind,
+    left_arity: usize,
+    out_kinds: Vec<TypeKind>,
+    right_matched: Vec<AtomicBool>,
+}
+
+impl JoinShared {
+    /// Probes one dense left batch, assembling output in `BATCH_SIZE`
+    /// chunks (bounded even under high-multiplicity matches).
+    fn probe_chunks(&self, left: &ColumnBatch) -> Result<Vec<ColumnBatch>> {
+        let pairs = probe_batch(left, &self.right, &self.probe, self.kind, &mut |ri| {
+            self.right_matched[ri].store(true, AtomicOrdering::Relaxed)
+        })?;
+        Ok(pairs
+            .chunks(BATCH_SIZE)
+            .map(|chunk| {
+                assemble_join_output(
+                    chunk,
+                    left,
+                    &self.right,
+                    self.left_arity,
+                    self.kind.projects_right(),
+                    &self.out_kinds,
+                )
+            })
+            .collect())
+    }
+}
+
+/// Parallel hash join: the right side builds once (shared behind `Arc`),
+/// probe workers run the left chain + probe per morsel, and the ordered
+/// gather keeps the output in serial probe order. Right/Full padding is
+/// emitted after every worker finishes, in build-side order — exactly
+/// the serial operator's sequence.
+struct ParallelHashJoinOp {
+    seed: Option<(SourceSeed, BatchOp)>,
+    kind: JoinKind,
+    condition: RexNode,
+    left_arity: usize,
+    right_arity: usize,
+    out_kinds: Vec<TypeKind>,
+    p: Parallelism,
+    state: Option<(OrderedGatherOp<ColumnBatch>, Arc<JoinShared>)>,
+    pad: Option<(JoinPairs, usize)>,
+    pad_done: bool,
+    /// Latched when the probe gather surfaced an error: the matched
+    /// flags are incomplete, so the outer-join pad must never run.
+    failed: bool,
+}
+
+impl Operator<ColumnBatch> for ParallelHashJoinOp {
+    fn open(&mut self) -> Result<()> {
+        let (source, mut right) = self.seed.take().expect("ParallelHashJoinOp opened twice");
+        right.open()?;
+        let mut right_batches = vec![];
+        while let Some(b) = right.next()? {
+            right_batches.push(b);
+        }
+        let right = concat_batches(right_batches, self.right_arity);
+        let probe = build_probe(&self.condition, self.left_arity, &right);
+        let shared = Arc::new(JoinShared {
+            right_matched: (0..right.len).map(|_| AtomicBool::new(false)).collect(),
+            right,
+            probe,
+            kind: self.kind,
+            left_arity: self.left_arity,
+            out_kinds: self.out_kinds.clone(),
+        });
+        let workers = source.into_workers(WorkerKernel::Probe(shared.clone()), self.p)?;
+        let mut gather = OrderedGatherOp::new(workers);
+        gather.open()?;
+        self.state = Some((gather, shared));
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        if self.failed {
+            return Ok(None);
+        }
+        let (gather, shared) = self.state.as_mut().expect("ParallelHashJoinOp not opened");
+        loop {
+            if let Some((pairs, pos)) = &mut self.pad {
+                if *pos < pairs.len() {
+                    let take = BATCH_SIZE.min(pairs.len() - *pos);
+                    let chunk = &pairs[*pos..*pos + take];
+                    *pos += take;
+                    let empty_left = ColumnBatch::zero_arity(0);
+                    return Ok(Some(assemble_join_output(
+                        chunk,
+                        &empty_left,
+                        &shared.right,
+                        self.left_arity,
+                        self.kind.projects_right(),
+                        &self.out_kinds,
+                    )));
+                }
+                self.pad = None;
+                return Ok(None);
+            }
+            match gather.next() {
+                Err(e) => {
+                    self.failed = true;
+                    return Err(e);
+                }
+                Ok(Some(b)) => return Ok(Some(b)),
+                Ok(None) => {
+                    // Every probe worker finished: the matched flags are
+                    // final, pad the unmatched right rows once.
+                    if self.pad_done {
+                        return Ok(None);
+                    }
+                    self.pad_done = true;
+                    if !matches!(self.kind, JoinKind::Right | JoinKind::Full) {
+                        return Ok(None);
+                    }
+                    let pairs: JoinPairs = shared
+                        .right_matched
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| !m.load(AtomicOrdering::Relaxed))
+                        .map(|(ri, _)| (None, Some(ri)))
+                        .collect();
+                    if pairs.is_empty() {
+                        return Ok(None);
+                    }
+                    self.pad = Some((pairs, 0));
+                }
+            }
+        }
+    }
+}
+
+// ------------------------ parallel aggregate -------------------------
+
+/// One worker of a parallel aggregate: folds its exchange feed into a
+/// partial [`AggState`] (tracking each group's first-seen sequence) and
+/// yields the state once the feed is exhausted.
+struct AggWorker {
+    /// Stable worker index: partials merge in this order on the
+    /// consumer side, so the fold is deterministic for a fixed worker
+    /// count (gather arrival order is not).
+    index: usize,
+    inner: BoxOperator<ExchangeItem<ColumnBatch>>,
+    group: Vec<usize>,
+    aggs: Vec<AggCall>,
+    state: Option<AggState>,
+    cur_morsel: usize,
+    offset: u64,
+}
+
+impl Operator<(usize, AggState)> for AggWorker {
+    fn open(&mut self) -> Result<()> {
+        self.inner.open()
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, AggState)>> {
+        let Some(mut state) = self.state.take() else {
+            return Ok(None);
+        };
+        loop {
+            match self.inner.next()? {
+                Some(ExchangeItem::Batch((m, _), b)) => {
+                    if m != self.cur_morsel {
+                        self.cur_morsel = m;
+                        self.offset = 0;
+                    }
+                    let b = b.compact();
+                    let seq0 = ((m as u64) << 32) | self.offset;
+                    state.update(&b, &self.group, &self.aggs, seq0)?;
+                    self.offset += b.len as u64;
+                }
+                Some(ExchangeItem::Error(_, e)) => return Err(e),
+                Some(ExchangeItem::MorselEnd(_)) => {}
+                None => return Ok(Some((self.index, state))),
+            }
+        }
+    }
+}
+
+/// Parallel aggregate: partial aggregation per worker, then an exact
+/// merge on the consumer side, folding partials in worker-index order
+/// (first-seen group order preserved). For integer aggregates the
+/// result is bit-identical to serial; float SUM/AVG may differ in the
+/// last ulp because addition is re-associated across workers, and a
+/// checked integer SUM whose *intermediate* values graze i64's range
+/// may overflow in one mode and not the other — the standard contract
+/// of parallel aggregation.
+struct ParallelAggregateOp {
+    gather: GatherOp<(usize, AggState)>,
+    group: Vec<usize>,
+    aggs: Vec<AggCall>,
+    out_kinds: Vec<TypeKind>,
+    out: VecDeque<ColumnBatch>,
+}
+
+impl ParallelAggregateOp {
+    fn new(
+        seed: SourceSeed,
+        group: Vec<usize>,
+        aggs: Vec<AggCall>,
+        out_kinds: Vec<TypeKind>,
+        p: Parallelism,
+    ) -> Result<ParallelAggregateOp> {
+        let workers = seed
+            .into_workers(WorkerKernel::Emit, p)?
+            .into_iter()
+            .enumerate()
+            .map(|(index, w)| {
+                Box::new(AggWorker {
+                    index,
+                    inner: w,
+                    group: group.clone(),
+                    aggs: aggs.clone(),
+                    state: Some(AggState::Pending),
+                    cur_morsel: 0,
+                    offset: 0,
+                }) as BoxOperator<(usize, AggState)>
+            })
+            .collect();
+        Ok(ParallelAggregateOp {
+            gather: GatherOp::new(workers),
+            group,
+            aggs,
+            out_kinds,
+            out: VecDeque::new(),
+        })
+    }
+}
+
+impl Operator<ColumnBatch> for ParallelAggregateOp {
+    fn open(&mut self) -> Result<()> {
+        self.gather.open()?;
+        let mut partials = vec![];
+        while let Some(partial) = self.gather.next()? {
+            partials.push(partial);
+        }
+        // Fold in worker-index order, not arrival order, so the merged
+        // result is deterministic for a fixed worker count.
+        partials.sort_by_key(|(i, _)| *i);
+        let mut merged = AggState::Pending;
+        for (_, partial) in partials {
+            merged = merged.merge(partial, &self.aggs)?;
+        }
+        let rows = merged.finish_ordered(&self.group, &self.aggs);
+        self.out = rebatch_rows(rows, &self.out_kinds).into();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        Ok(self.out.pop_front())
+    }
+}
+
+// -------------------------- parallel sort ----------------------------
+
+/// Accumulated sort state of one worker.
+enum SortAcc {
+    /// Bounded Top-K of `offset + fetch` entries.
+    TopK(TopK),
+    /// Full sort: every (sequence, row) the worker saw.
+    All(Vec<(u64, Row)>),
+}
+
+/// One worker of a parallel sort: folds its feed into a sorted run
+/// under `(collation, input sequence)` and yields it once.
+struct SortWorker {
+    inner: BoxOperator<ExchangeItem<ColumnBatch>>,
+    collation: Collation,
+    acc: Option<SortAcc>,
+    cur_morsel: usize,
+    offset: u64,
+}
+
+impl Operator<Vec<(u64, Row)>> for SortWorker {
+    fn open(&mut self) -> Result<()> {
+        self.inner.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Vec<(u64, Row)>>> {
+        let Some(mut acc) = self.acc.take() else {
+            return Ok(None);
+        };
+        loop {
+            match self.inner.next()? {
+                Some(ExchangeItem::Batch((m, _), b)) => {
+                    if m != self.cur_morsel {
+                        self.cur_morsel = m;
+                        self.offset = 0;
+                    }
+                    let b = b.compact();
+                    for i in 0..b.num_rows() {
+                        let seq = ((m as u64) << 32) | (self.offset + i as u64);
+                        match &mut acc {
+                            SortAcc::TopK(t) => t.offer(&b, i, seq),
+                            SortAcc::All(v) => v.push((seq, b.row(i))),
+                        }
+                    }
+                    self.offset += b.num_rows() as u64;
+                }
+                Some(ExchangeItem::Error(_, e)) => return Err(e),
+                Some(ExchangeItem::MorselEnd(_)) => {}
+                None => {
+                    let run = match acc {
+                        SortAcc::TopK(t) => t.into_sorted_entries(),
+                        SortAcc::All(mut v) => {
+                            v.sort_by(|a, b| cmp_entries(&self.collation, a, b));
+                            v
+                        }
+                    };
+                    return Ok(Some(run));
+                }
+            }
+        }
+    }
+}
+
+/// K-way merge of per-worker sorted runs under `(collation, sequence)`
+/// — the exact comparator of the serial stable sort, so the merged
+/// order is byte-identical to serial execution.
+fn merge_sorted_runs(runs: Vec<Vec<(u64, Row)>>, collation: &Collation) -> Vec<Row> {
+    let mut runs: Vec<VecDeque<(u64, Row)>> = runs.into_iter().map(Into::into).collect();
+    let total: usize = runs.iter().map(VecDeque::len).sum();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, r) in runs.iter().enumerate() {
+            if let Some(h) = r.front() {
+                best = Some(match best {
+                    None => i,
+                    Some(b)
+                        if cmp_entries(collation, h, runs[b].front().expect("non-empty"))
+                            == Ordering::Less =>
+                    {
+                        i
+                    }
+                    Some(b) => b,
+                });
+            }
+        }
+        let Some(b) = best else { break };
+        out.push(runs[b].pop_front().expect("checked front").1);
+    }
+    out
+}
+
+/// Parallel ORDER BY: per-worker sorted runs (bounded Top-K heaps when
+/// a fetch is present) recombined by an order-preserving k-way merge
+/// under the collation.
+struct ParallelSortOp {
+    gather: GatherOp<Vec<(u64, Row)>>,
+    collation: Collation,
+    offset: usize,
+    fetch: Option<usize>,
+    out_kinds: Vec<TypeKind>,
+    out: VecDeque<ColumnBatch>,
+}
+
+impl ParallelSortOp {
+    fn new(
+        seed: SourceSeed,
+        collation: Collation,
+        offset: usize,
+        fetch: Option<usize>,
+        out_kinds: Vec<TypeKind>,
+        p: Parallelism,
+    ) -> Result<ParallelSortOp> {
+        let k = fetch.map(|f| offset.saturating_add(f));
+        let workers = seed
+            .into_workers(WorkerKernel::Emit, p)?
+            .into_iter()
+            .map(|w| {
+                Box::new(SortWorker {
+                    inner: w,
+                    collation: collation.clone(),
+                    acc: Some(match k {
+                        Some(k) => SortAcc::TopK(TopK::new(k, collation.clone())),
+                        None => SortAcc::All(vec![]),
+                    }),
+                    cur_morsel: 0,
+                    offset: 0,
+                }) as BoxOperator<Vec<(u64, Row)>>
+            })
+            .collect();
+        Ok(ParallelSortOp {
+            gather: GatherOp::new(workers),
+            collation,
+            offset,
+            fetch,
+            out_kinds,
+            out: VecDeque::new(),
+        })
+    }
+}
+
+impl Operator<ColumnBatch> for ParallelSortOp {
+    fn open(&mut self) -> Result<()> {
+        self.gather.open()?;
+        let mut runs = vec![];
+        while let Some(run) = self.gather.next()? {
+            runs.push(run);
+        }
+        let mut rows = merge_sorted_runs(runs, &self.collation);
+        let start = self.offset.min(rows.len());
+        let end = match self.fetch {
+            Some(f) => start.saturating_add(f).min(rows.len()),
+            None => rows.len(),
+        };
+        let rows: Vec<Row> = rows.drain(start..end).collect();
+        self.out = rebatch_rows(rows, &self.out_kinds).into();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        Ok(self.out.pop_front())
+    }
+}
+
+// ----------------------- exchange placement --------------------------
+
+/// One placement decision of the parallel planner. Computed by
+/// [`place`] and consumed by *both* the operator builder and the
+/// EXPLAIN renderer, so the rendered exchange plan is the executed one
+/// by construction.
+enum Placement<'a> {
+    /// A chain root: workers run the fused stage kernels per morsel,
+    /// the ordered gather reassembles serial batch order.
+    Chain(ChainShape<'a>),
+    /// Partial aggregation per worker + exact merge.
+    Aggregate(ChainShape<'a>),
+    /// Shared-build hash/theta join with parallel probe over the left.
+    Join(ChainShape<'a>),
+    /// Per-worker sorted runs + k-way merge under the collation.
+    Sort(ChainShape<'a>),
+}
+
+/// The single source of truth for where exchanges go; `None` means the
+/// node executes serially (its children may still parallelize through
+/// the recursive serial builder).
+fn place(rel: &Rel, p: Parallelism) -> Option<Placement<'_>> {
+    match &rel.op {
+        RelOp::Filter { .. } | RelOp::Project { .. } => match_chain(rel, p).map(Placement::Chain),
+        RelOp::Aggregate { .. } => child_shape(rel, p).map(Placement::Aggregate),
+        RelOp::Join { .. } => child_shape(rel, p).map(Placement::Join),
+        RelOp::Sort { collation, .. } if !collation.is_empty() => {
+            child_shape(rel, p).map(Placement::Sort)
+        }
+        _ => None,
+    }
+}
+
+/// Builds the exchange operator tree for a placed node.
+fn build_parallel(
+    rel: &Rel,
+    ctx: &ExecContext,
+    fuse: bool,
+    p: Parallelism,
+) -> Result<Option<BatchOp>> {
+    let Some(placement) = place(rel, p) else {
+        return Ok(None);
+    };
+    Ok(Some(match placement {
+        Placement::Chain(shape) => {
+            let seed = seed_from(shape, ctx, fuse)?;
+            let workers = seed.into_workers(WorkerKernel::Emit, p)?;
+            Box::new(OrderedGatherOp::new(workers))
+        }
+        Placement::Aggregate(shape) => {
+            let RelOp::Aggregate { group, aggs } = &rel.op else {
+                unreachable!("place() pairs Placement::Aggregate with Aggregate nodes")
+            };
+            let seed = seed_from(shape, ctx, fuse)?;
+            Box::new(ParallelAggregateOp::new(
+                seed,
+                group.clone(),
+                aggs.clone(),
+                kinds_of(rel.row_type()),
+                p,
+            )?)
+        }
+        Placement::Join(shape) => {
+            let RelOp::Join { kind, condition } = &rel.op else {
+                unreachable!("place() pairs Placement::Join with Join nodes")
+            };
+            let seed = seed_from(shape, ctx, fuse)?;
+            let right = build_input(rel, 1, ctx, fuse)?;
+            Box::new(ParallelHashJoinOp {
+                seed: Some((seed, right)),
+                kind: *kind,
+                condition: ctx.bind(condition)?,
+                left_arity: rel.input(0).row_type().arity(),
+                right_arity: rel.input(1).row_type().arity(),
+                out_kinds: kinds_of(rel.row_type()),
+                p,
+                state: None,
+                pad: None,
+                pad_done: false,
+                failed: false,
+            })
+        }
+        Placement::Sort(shape) => {
+            let RelOp::Sort {
+                collation,
+                offset,
+                fetch,
+            } = &rel.op
+            else {
+                unreachable!("place() pairs Placement::Sort with Sort nodes")
+            };
+            let seed = seed_from(shape, ctx, fuse)?;
+            Box::new(ParallelSortOp::new(
+                seed,
+                collation.clone(),
+                offset.unwrap_or(0),
+                *fetch,
+                kinds_of(rel.row_type()),
+                p,
+            )?)
+        }
+    }))
+}
+
+// ------------------------- EXPLAIN rendering -------------------------
+
+/// Renders the exchange placement the parallel batch engine uses for
+/// `rel` under `p` — Gather/Exchange/Merge nodes annotated with their
+/// partitioning — or `None` when no exchange applies anywhere in the
+/// plan. The SQL layer appends this to EXPLAIN output in batch modes.
+pub fn explain_parallel(rel: &Rel, p: Parallelism) -> Option<String> {
+    if !p.is_parallel() {
+        return None;
+    }
+    let mut out = String::new();
+    let placed = fmt_parallel(rel, p, 0, &mut out);
+    placed.then_some(out)
+}
+
+fn pindent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn pnode(out: &mut String, depth: usize, rel: &Rel) {
+    use std::fmt::Write;
+    pindent(out, depth);
+    let _ = writeln!(out, "{} [{}]", rel.op.payload_digest(), rel.convention);
+}
+
+fn fmt_chain(shape: &ChainShape<'_>, p: Parallelism, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    for (i, stage) in shape.stages.iter().enumerate() {
+        pnode(out, depth + i, stage);
+    }
+    let d = depth + shape.stages.len();
+    match &shape.bottom {
+        ChainBottom::Range { table, rows } => {
+            pindent(out, d);
+            let morsels = rows.div_ceil(p.morsel_size.max(1));
+            let _ = writeln!(
+                out,
+                "Exchange[range: {}, {} rows = {} morsels x {}]",
+                table.qualified_name(),
+                rows,
+                morsels,
+                p.morsel_size
+            );
+        }
+        ChainBottom::Stream(child) => {
+            pindent(out, d);
+            let _ = writeln!(out, "Exchange[scatter: round-robin, {} queues]", p.workers);
+            fmt_parallel(child, p, d + 1, out);
+        }
+        ChainBottom::Foreign(c) => {
+            pindent(out, d);
+            let _ = writeln!(
+                out,
+                "Exchange[scatter: round-robin over row bridge, {} queues]",
+                p.workers
+            );
+            pnode(out, d + 1, c);
+        }
+    }
+}
+
+/// Recursive renderer over the same [`place`] decisions the builder
+/// consumes, so EXPLAIN cannot drift from execution. Returns whether
+/// any exchange was placed in the subtree.
+fn fmt_parallel(rel: &Rel, p: Parallelism, depth: usize, out: &mut String) -> bool {
+    use std::fmt::Write;
+    match place(rel, p) {
+        Some(Placement::Chain(shape)) => {
+            pindent(out, depth);
+            let _ = writeln!(out, "Gather[ordered, workers={}]", p.workers);
+            fmt_chain(&shape, p, depth + 1, out);
+            true
+        }
+        Some(Placement::Aggregate(shape)) => {
+            pindent(out, depth);
+            let _ = writeln!(
+                out,
+                "Merge[partial-aggregate, workers={}, first-seen order]",
+                p.workers
+            );
+            pnode(out, depth + 1, rel);
+            fmt_chain(&shape, p, depth + 2, out);
+            true
+        }
+        Some(Placement::Join(shape)) => {
+            pindent(out, depth);
+            let _ = writeln!(out, "Gather[ordered, workers={}, probe]", p.workers);
+            pnode(out, depth + 1, rel);
+            fmt_chain(&shape, p, depth + 2, out);
+            pindent(out, depth + 2);
+            let _ = writeln!(out, "Broadcast[build side, shared across workers]");
+            fmt_parallel(rel.input(1), p, depth + 3, out);
+            true
+        }
+        Some(Placement::Sort(shape)) => {
+            pindent(out, depth);
+            let _ = writeln!(out, "Merge[k-way under collation, workers={}]", p.workers);
+            pnode(out, depth + 1, rel);
+            fmt_chain(&shape, p, depth + 2, out);
+            true
+        }
+        None => {
+            pnode(out, depth, rel);
+            let mut any = false;
+            for i in &rel.inputs {
+                any |= fmt_parallel(i, p, depth + 1, out);
+            }
+            any
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2364,13 +3786,13 @@ mod tests {
                 vec![Datum::Int(2), Datum::Int(20)],
             ],
         );
-        state.update(&int_batch, &group, &aggs).unwrap();
+        state.update(&int_batch, &group, &aggs, 0).unwrap();
         assert!(matches!(state, AggState::Fast { .. }));
         let generic_batch = ColumnBatch::new(vec![
             Column::Generic(vec![Datum::Int(1)]),
             Column::Generic(vec![Datum::Int(5)]),
         ]);
-        state.update(&generic_batch, &group, &aggs).unwrap();
+        state.update(&generic_batch, &group, &aggs, 2).unwrap();
         assert!(matches!(state, AggState::Generic { .. }));
         let mut rows = state.finish(&group, &aggs);
         rows.sort();
@@ -2449,7 +3871,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         for i in 0..b.num_rows() {
-            topk.offer(&b, i, i);
+            topk.offer(&b, i, i as u64);
             assert!(topk.heap.len() <= 5, "heap exceeded k");
         }
         let rows = topk.into_sorted_rows();
@@ -2677,6 +4099,353 @@ mod tests {
             dense.to_rows(),
             vec![vec![Datum::Int(1)], vec![Datum::Int(3)]]
         );
+    }
+
+    fn ctx_parallel(workers: usize, morsel: usize) -> ExecContext {
+        let mut c = ExecContext::new();
+        c.register(Arc::new(EnumerableExecutor::batched_interpreter()));
+        c.set_parallelism(Parallelism::new(workers, morsel));
+        c
+    }
+
+    /// A wide table (multiple morsels at morsel_size 16) with NULLs.
+    fn big_table() -> Rel {
+        let rows: Vec<Row> = (0..500)
+            .map(|i| {
+                vec![
+                    Datum::Int(i % 13),
+                    if i % 11 == 0 {
+                        Datum::Null
+                    } else {
+                        Datum::Int(i)
+                    },
+                ]
+            })
+            .collect();
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .add("v", TypeKind::Integer)
+                .build(),
+            rows,
+        );
+        rel::scan(TableRef::new("s", "big", t))
+    }
+
+    fn filter_project_plan(src: Rel) -> Rel {
+        rel::project(
+            rel::filter(
+                src,
+                RexNode::input(1, RelType::nullable(TypeKind::Integer)).gt(RexNode::lit_int(100)),
+            ),
+            vec![
+                RexNode::input(0, RelType::not_null(TypeKind::Integer)),
+                RexNode::call(
+                    Op::Plus,
+                    vec![
+                        RexNode::input(1, RelType::nullable(TypeKind::Integer)),
+                        RexNode::lit_int(1),
+                    ],
+                ),
+            ],
+            vec!["k".into(), "v1".into()],
+        )
+    }
+
+    #[test]
+    fn parallel_chain_is_byte_identical_to_serial() {
+        let plan = filter_project_plan(big_table());
+        let serial = ctx_batch().execute_collect(&plan).unwrap();
+        for workers in [2, 3, 4, 7] {
+            let par = ctx_parallel(workers, 16).execute_collect(&plan).unwrap();
+            assert_eq!(par, serial, "workers={workers}");
+        }
+        // Serial fallback when the table is smaller than two morsels.
+        let par = ctx_parallel(4, 100_000).execute_collect(&plan).unwrap();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_aggregate_preserves_serial_group_order() {
+        let rt = big_table().row_type().clone();
+        let plan = rel::aggregate(
+            filter_project_plan(big_table()),
+            vec![0],
+            vec![
+                AggCall::count_star("c"),
+                AggCall::new(AggFunc::Sum, vec![1], false, "s", &rt),
+                AggCall::new(AggFunc::Avg, vec![1], false, "a", &rt),
+                AggCall::new(AggFunc::Min, vec![1], false, "mn", &rt),
+                AggCall::new(AggFunc::Max, vec![1], false, "mx", &rt),
+            ],
+        );
+        let serial = ctx_batch().execute_collect(&plan).unwrap();
+        for workers in [2, 4, 7] {
+            let par = ctx_parallel(workers, 16).execute_collect(&plan).unwrap();
+            assert_eq!(par, serial, "workers={workers}");
+        }
+        // Distinct aggregates merge exactly (seen-set replay).
+        let plan = rel::aggregate(
+            big_table(),
+            vec![0],
+            vec![AggCall::new(AggFunc::Count, vec![1], true, "dc", &rt)],
+        );
+        let serial = ctx_batch().execute_collect(&plan).unwrap();
+        let par = ctx_parallel(4, 16).execute_collect(&plan).unwrap();
+        assert_eq!(par, serial);
+        // Global aggregate over an empty parallel-eligible filter result.
+        let plan = rel::aggregate(
+            rel::filter(
+                big_table(),
+                RexNode::input(1, RelType::nullable(TypeKind::Integer))
+                    .gt(RexNode::lit_int(1_000_000)),
+            ),
+            vec![],
+            vec![AggCall::count_star("c")],
+        );
+        let (a, b) = (
+            ctx_batch().execute_collect(&plan).unwrap(),
+            ctx_parallel(4, 16).execute_collect(&plan).unwrap(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, vec![vec![Datum::Int(0)]]);
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_for_all_kinds() {
+        let dept = {
+            let t = MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("k", TypeKind::Integer)
+                    .add("name", TypeKind::Varchar)
+                    .build(),
+                (0..7)
+                    .map(|i| vec![Datum::Int(i), Datum::str(format!("d{i}"))])
+                    .collect(),
+            );
+            rel::scan(TableRef::new("s", "dept", t))
+        };
+        let int_ty = RelType::not_null(TypeKind::Integer);
+        let equi = RexNode::input(0, int_ty.clone()).eq(RexNode::input(2, int_ty.clone()));
+        let theta = RexNode::input(0, int_ty.clone()).lt(RexNode::input(2, int_ty));
+        for cond in [equi, theta] {
+            for kind in [
+                JoinKind::Inner,
+                JoinKind::Left,
+                JoinKind::Right,
+                JoinKind::Full,
+                JoinKind::Semi,
+                JoinKind::Anti,
+            ] {
+                let plan = rel::join(big_table(), dept.clone(), kind, cond.clone());
+                let serial = ctx_batch().execute_collect(&plan).unwrap();
+                for workers in [2, 4] {
+                    let par = ctx_parallel(workers, 16).execute_collect(&plan).unwrap();
+                    assert_eq!(par, serial, "kind={kind:?} workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sort_and_topk_are_deterministic() {
+        // Many collation ties (k = i % 13): the (collation, sequence)
+        // merge must reproduce the serial stable sort exactly.
+        for (offset, fetch) in [
+            (None, None),
+            (None, Some(9)),
+            (Some(3), Some(9)),
+            (Some(2), None),
+        ] {
+            let plan = rel::sort_limit(big_table(), vec![FieldCollation::asc(0)], offset, fetch);
+            let serial = ctx_batch().execute_collect(&plan).unwrap();
+            for workers in [2, 4, 7] {
+                let par = ctx_parallel(workers, 16).execute_collect(&plan).unwrap();
+                assert_eq!(par, serial, "offset={offset:?} fetch={fetch:?} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_errors_surface_in_serial_position() {
+        // Overflow occurs deep in the table; both serial and parallel
+        // error. A LIMIT satisfied before the poison row must succeed in
+        // both (workers may scan past it, but the ordered gather never
+        // surfaces an error positioned after the cutoff).
+        let rows: Vec<Row> = (0..300)
+            .map(|i| vec![Datum::Int(if i == 250 { i64::MAX } else { i })])
+            .collect();
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            rows,
+        );
+        let scan = rel::scan(TableRef::new("s", "poison", t));
+        let plus = rel::project(
+            scan,
+            vec![RexNode::call(
+                Op::Plus,
+                vec![
+                    RexNode::input(0, RelType::not_null(TypeKind::Integer)),
+                    RexNode::lit_int(1),
+                ],
+            )],
+            vec!["v1".into()],
+        );
+        assert!(ctx_batch().execute_collect(&plus).is_err());
+        assert!(ctx_parallel(4, 16).execute_collect(&plus).is_err());
+        // Under a LIMIT satisfied before the poison row, workers may
+        // prefetch morsels containing the error, but the ordered gather
+        // never surfaces an error positioned after the cutoff — the
+        // query succeeds with the rows before it. (Error laziness under
+        // LIMIT is batch-granularity-dependent: the serial engine's
+        // 1024-row scan batch reaches the poison row here, a 16-row
+        // morsel does not.)
+        let limited = rel::sort_limit(plus, vec![], None, Some(5));
+        let rows = ctx_parallel(4, 16).execute_collect(&limited).unwrap();
+        let expect: Vec<Row> = (1..=5).map(|i| vec![Datum::Int(i)]).collect();
+        assert_eq!(rows, expect);
+    }
+
+    #[test]
+    fn parallel_outer_join_emits_no_pad_after_error() {
+        // FULL join whose probe chain errors (overflow in the fused
+        // projection): after the cursor surfaces the error, further
+        // pulls must end the stream — never emit NULL-padded right rows
+        // computed from incomplete matched flags.
+        let rows: Vec<Row> = (0..200)
+            .map(|i| vec![Datum::Int(if i % 3 == 0 { i64::MAX } else { i })])
+            .collect();
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            rows,
+        );
+        let left = rel::project(
+            rel::scan(TableRef::new("s", "poisoned", t)),
+            vec![RexNode::call(
+                Op::Plus,
+                vec![
+                    RexNode::input(0, RelType::not_null(TypeKind::Integer)),
+                    RexNode::lit_int(1),
+                ],
+            )],
+            vec!["v1".into()],
+        );
+        let right = rel::values(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .build(),
+            (0..5).map(|i| vec![Datum::Int(i)]).collect(),
+        );
+        let cond = RexNode::input(0, RelType::not_null(TypeKind::Integer))
+            .eq(RexNode::input(1, RelType::not_null(TypeKind::Integer)));
+        let plan = rel::join(left, right, JoinKind::Full, cond);
+        let ctx = ctx_parallel(4, 16);
+        let mut it = execute_batches(&plan, &ctx).unwrap();
+        let mut saw_err = false;
+        loop {
+            match it.next_batch() {
+                Ok(Some(_)) => assert!(!saw_err, "batch emitted after error"),
+                Ok(None) => break,
+                Err(_) => saw_err = true,
+            }
+        }
+        assert!(saw_err, "the poison row must surface an error");
+    }
+
+    #[test]
+    fn agg_state_merge_is_exact() {
+        let rt = RowTypeBuilder::new()
+            .add("k", TypeKind::Integer)
+            .add("v", TypeKind::Integer)
+            .build();
+        let aggs = vec![
+            AggCall::count_star("c"),
+            AggCall::new(AggFunc::Sum, vec![1], false, "s", &rt),
+            AggCall::new(AggFunc::Count, vec![1], true, "dc", &rt),
+        ];
+        let group = vec![0usize];
+        let batch = |rows: &[(i64, i64)], seq0: u64, state: &mut AggState| {
+            let b = ColumnBatch::from_rows(
+                &[TypeKind::Integer, TypeKind::Integer],
+                &rows
+                    .iter()
+                    .map(|&(k, v)| vec![Datum::Int(k), Datum::Int(v)])
+                    .collect::<Vec<_>>(),
+            );
+            state.update(&b, &group, &aggs, seq0).unwrap();
+        };
+        // Serial reference over the concatenated input.
+        let mut serial = AggState::Pending;
+        batch(&[(1, 10), (2, 20), (1, 10)], 0, &mut serial);
+        batch(&[(3, 30), (2, 25), (1, 11)], 3, &mut serial);
+        let expect = serial.finish_ordered(&group, &aggs);
+        // The same rows split across two workers, merged out of order.
+        let mut w1 = AggState::Pending;
+        batch(&[(1, 10), (2, 20), (1, 10)], 0, &mut w1);
+        let mut w2 = AggState::Pending;
+        batch(&[(3, 30), (2, 25), (1, 11)], 3, &mut w2);
+        let merged = w2.merge(w1, &aggs).unwrap();
+        assert_eq!(merged.finish_ordered(&group, &aggs), expect);
+        // Groups come out in global first-seen order: 1, 2, 3.
+        assert_eq!(
+            expect.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Datum::Int(1), Datum::Int(2), Datum::Int(3)]
+        );
+    }
+
+    #[test]
+    fn hash_partition_router_co_locates_keys() {
+        let n = 3;
+        let mut router = hash_partition_router(vec![0], n);
+        let b = ColumnBatch::from_rows(
+            &[TypeKind::Integer, TypeKind::Integer],
+            &(0..100)
+                .map(|i| vec![Datum::Int(i % 10), Datum::Int(i)])
+                .collect::<Vec<_>>(),
+        );
+        let mut key_home: HashMap<Datum, usize> = HashMap::new();
+        let mut total = 0;
+        for (p, piece) in router(0, b.clone()).into_iter().chain(router(1, b)) {
+            assert!(p < n);
+            total += piece.num_rows();
+            for i in 0..piece.num_rows() {
+                let k = piece.column(0).get(i);
+                // Every occurrence of a key lands on one partition.
+                assert_eq!(*key_home.entry(k).or_insert(p), p);
+            }
+        }
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn explain_parallel_renders_exchange_nodes() {
+        let plan = filter_project_plan(big_table());
+        let text = explain_parallel(&plan, Parallelism::new(4, 16)).unwrap();
+        assert!(text.contains("Gather[ordered, workers=4]"), "{text}");
+        assert!(text.contains("Exchange[range: s.big, 500 rows"), "{text}");
+        // Serial settings render nothing.
+        assert!(explain_parallel(&plan, Parallelism::new(1, 16)).is_none());
+        // Small tables place no exchange.
+        assert!(explain_parallel(&plan, Parallelism::new(4, 100_000)).is_none());
+        // Aggregate + sort shapes.
+        let rt = big_table().row_type().clone();
+        let agg = rel::aggregate(
+            plan.clone(),
+            vec![0],
+            vec![AggCall::new(AggFunc::Sum, vec![1], false, "s", &rt)],
+        );
+        let text = explain_parallel(&agg, Parallelism::new(4, 16)).unwrap();
+        assert!(
+            text.contains("Merge[partial-aggregate, workers=4"),
+            "{text}"
+        );
+        let sort = rel::sort(big_table(), vec![FieldCollation::asc(0)]);
+        let text = explain_parallel(&sort, Parallelism::new(4, 16)).unwrap();
+        assert!(text.contains("Merge[k-way under collation"), "{text}");
     }
 
     #[test]

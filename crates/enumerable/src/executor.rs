@@ -544,6 +544,61 @@ impl Acc {
             }
         }
     }
+
+    /// Folds another accumulator's state into this one — the merge step
+    /// of partial (per-worker) aggregation. Only same-function pairs are
+    /// merged; the batch planner guarantees that by construction.
+    pub(crate) fn merge(&mut self, other: Acc) -> Result<()> {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::Sum(a), Acc::Sum(b)) => {
+                if let Some(d) = b {
+                    *a = Some(match a.take() {
+                        None => d,
+                        Some(prev) => add_datums(&prev, &d)?,
+                    });
+                }
+            }
+            (Acc::Min(a), Acc::Min(b)) => {
+                if let Some(d) = b {
+                    *a = Some(match a.take() {
+                        None => d,
+                        Some(prev) => {
+                            if d < prev {
+                                d
+                            } else {
+                                prev
+                            }
+                        }
+                    });
+                }
+            }
+            (Acc::Max(a), Acc::Max(b)) => {
+                if let Some(d) = b {
+                    *a = Some(match a.take() {
+                        None => d,
+                        Some(prev) => {
+                            if d > prev {
+                                d
+                            } else {
+                                prev
+                            }
+                        }
+                    });
+                }
+            }
+            (Acc::Avg { sum, count }, Acc::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            _ => {
+                return Err(CalciteError::internal(
+                    "mismatched accumulators in partial-aggregate merge",
+                ))
+            }
+        }
+        Ok(())
+    }
 }
 
 pub(crate) fn add_datums(a: &Datum, b: &Datum) -> Result<Datum> {

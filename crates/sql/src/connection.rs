@@ -259,6 +259,20 @@ impl Connection {
         self.exec_mode
     }
 
+    /// Sets the worker count and morsel size the batch engine's
+    /// exchange operators use. Purely an execution-time setting —
+    /// compiled plans stay valid. Set through
+    /// [`ConnectionBuilder::workers`]/[`ConnectionBuilder::morsel_size`]
+    /// normally.
+    pub fn set_parallelism(&mut self, p: rcalcite_core::exec::Parallelism) {
+        self.exec.set_parallelism(p);
+    }
+
+    /// The parallel-execution settings queries run with.
+    pub fn parallelism(&self) -> rcalcite_core::exec::Parallelism {
+        self.exec.parallelism()
+    }
+
     /// Registers a planner rule (adapter pushdown, implementation, ...).
     pub fn add_rule(&mut self, rule: Arc<dyn Rule>) {
         self.rules.push(rule);
@@ -495,10 +509,7 @@ impl Connection {
         match parse(sql)? {
             Stmt::Explain(q) => {
                 let (text, cached) = self.explain_query(plan_cache_key(sql), &q)?;
-                let mut rows: Vec<Row> = vec![vec![Datum::str(format!(
-                    "-- plan cache: {}",
-                    hit_str(cached)
-                ))]];
+                let mut rows: Vec<Row> = vec![vec![Datum::str(self.explain_header(cached))]];
                 rows.extend(text.lines().map(|l| vec![Datum::str(l)]));
                 Ok(ResultSet::materialized(vec!["PLAN".into()], rows))
             }
@@ -649,16 +660,41 @@ impl Connection {
             other => return Err(CalciteError::validate(format!("cannot EXPLAIN {other:?}"))),
         };
         let (text, cached) = self.explain_query(plan_cache_key(sql), &q)?;
-        Ok(format!("-- plan cache: {}\n{text}", hit_str(cached)))
+        Ok(format!("{}\n{text}", self.explain_header(cached)))
+    }
+
+    /// The EXPLAIN header line: plan-cache outcome plus the execution
+    /// mode and worker count, so plans pasted from differently
+    /// configured connections are distinguishable in bug reports.
+    fn explain_header(&self, cached: bool) -> String {
+        format!(
+            "-- plan cache: {} | mode: {} | workers: {}",
+            hit_str(cached),
+            self.exec_mode.as_str(),
+            self.parallelism().workers
+        )
     }
 
     /// The shared EXPLAIN implementation: plans through the cache (so
     /// EXPLAIN observes — and warms — the same entries queries use) and
-    /// renders the physical plan with cost annotations.
+    /// renders the physical plan with cost annotations. In the batch
+    /// modes with more than one worker, the exchange placement the
+    /// parallel engine uses is appended as a second section.
     fn explain_query(&self, key: String, q: &Query) -> Result<(String, bool)> {
         let (plan, cached) = self.plan_query(&key, q)?;
         let mq = self.metadata_query();
-        Ok((explain_with_costs(&plan.physical, &mq), cached))
+        let mut text = explain_with_costs(&plan.physical, &mq);
+        if self.exec_mode.batch_fusion().is_some() {
+            let p = self.parallelism();
+            if let Some(parallel) = rcalcite_enumerable::explain_parallel(&plan.physical, p) {
+                text.push_str(&format!(
+                    "-- parallel plan (workers={}, morsel_size={}):\n",
+                    p.workers, p.morsel_size
+                ));
+                text.push_str(&parallel);
+            }
+        }
+        Ok((text, cached))
     }
 }
 
@@ -859,7 +895,11 @@ mod tests {
         for kw in ["EXPLAIN", "explain", "eXpLaIn"] {
             let r = conn.query(&format!("{kw} {sql}")).unwrap();
             assert_eq!(r.columns, vec!["PLAN"]);
-            assert_eq!(r.rows[0], vec![Datum::str("-- plan cache: hit")], "{kw}");
+            let header = r.rows[0][0].to_string();
+            assert!(header.starts_with("-- plan cache: hit"), "{kw}: {header}");
+            // The header names the execution mode and worker count.
+            assert!(header.contains("mode: row"), "{kw}: {header}");
+            assert!(header.contains("workers: 1"), "{kw}: {header}");
         }
     }
 
@@ -957,6 +997,49 @@ mod tests {
                 "{mode:?}"
             );
         }
+    }
+
+    #[test]
+    fn builder_parallelism_end_to_end() {
+        use rcalcite_core::exec::Parallelism;
+        let catalog = Catalog::new();
+        let s = Schema::new();
+        s.add_table(
+            "t",
+            MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("k", TypeKind::Integer)
+                    .add_not_null("v", TypeKind::Integer)
+                    .build(),
+                (0..200)
+                    .map(|i| vec![Datum::Int(i % 7), Datum::Int(i)])
+                    .collect(),
+            ),
+        );
+        catalog.add_schema("hr", s);
+        let sql = "SELECT k, SUM(v) AS s FROM t WHERE v > 20 GROUP BY k ORDER BY k";
+        let reference = Connection::builder(catalog.clone())
+            .execution_mode(ExecutionMode::Row)
+            .build()
+            .query(sql)
+            .unwrap();
+        let conn = Connection::builder(catalog)
+            .workers(3)
+            .morsel_size(8)
+            .build();
+        assert_eq!(conn.parallelism(), Parallelism::new(3, 8));
+        assert_eq!(conn.query(sql).unwrap(), reference);
+        // EXPLAIN names the mode/workers on its header and renders the
+        // exchange placement.
+        let text = conn.explain(sql).unwrap();
+        assert!(text.contains("mode: fused | workers: 3"), "{text}");
+        assert!(text.contains("-- parallel plan"), "{text}");
+        assert!(text.contains("Exchange["), "{text}");
+        // Prepared statements ride the same parallel execution path.
+        let stmt = conn
+            .prepare("SELECT k, SUM(v) AS s FROM t WHERE v > ? GROUP BY k ORDER BY k")
+            .unwrap();
+        assert_eq!(stmt.query(&[Datum::Int(20)]).unwrap(), reference);
     }
 
     #[test]

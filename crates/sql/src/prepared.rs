@@ -15,7 +15,7 @@ use parking_lot::RwLock;
 use rcalcite_core::catalog::Catalog;
 use rcalcite_core::datum::{columns_to_rows, Datum, Row};
 use rcalcite_core::error::Result;
-use rcalcite_core::exec::{BatchIter, RowIter};
+use rcalcite_core::exec::{BatchIter, Parallelism, RowIter, DEFAULT_MORSEL_SIZE};
 use rcalcite_core::planner::volcano::FixpointMode;
 use rcalcite_core::types::RelType;
 use rcalcite_enumerable::EnumerableExecutor;
@@ -46,6 +46,15 @@ impl ExecutionMode {
             ExecutionMode::Fused => Some(true),
         }
     }
+
+    /// Lowercase name, as rendered on the EXPLAIN header line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecutionMode::Row => "row",
+            ExecutionMode::Batch => "batch",
+            ExecutionMode::Fused => "fused",
+        }
+    }
 }
 
 /// Builds a [`Connection`] with the execution engine wired in, replacing
@@ -66,7 +75,13 @@ pub struct ConnectionBuilder {
     metadata_cache: bool,
     plan_cache_capacity: Option<usize>,
     interpreter: bool,
+    workers: Option<usize>,
+    morsel_size: Option<usize>,
 }
+
+/// Morsel size forced by the `RCALCITE_TEST_WORKERS` test hook (small,
+/// so the threaded exchange paths engage even on small test tables).
+const FORCED_TEST_MORSEL_SIZE: usize = 64;
 
 impl ConnectionBuilder {
     pub fn new(catalog: Arc<Catalog>) -> ConnectionBuilder {
@@ -77,12 +92,32 @@ impl ConnectionBuilder {
             metadata_cache: true,
             plan_cache_capacity: None,
             interpreter: false,
+            workers: None,
+            morsel_size: None,
         }
     }
 
     /// Picks row, batch, or fused-batch execution (default: fused).
     pub fn execution_mode(mut self, mode: ExecutionMode) -> ConnectionBuilder {
         self.mode = mode;
+        self
+    }
+
+    /// Number of worker threads the batch engine's exchange operators
+    /// may spawn per pipeline (default: the machine's available
+    /// parallelism). `1` keeps execution fully serial. Ignored by
+    /// [`ExecutionMode::Row`].
+    pub fn workers(mut self, n: usize) -> ConnectionBuilder {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Rows per morsel — the unit of work a parallel worker claims at a
+    /// time (default: 4096). Exchanges only engage on inputs of at
+    /// least two morsels, so this also acts as the parallelism
+    /// threshold.
+    pub fn morsel_size(mut self, rows: usize) -> ConnectionBuilder {
+        self.morsel_size = Some(rows);
         self
     }
 
@@ -113,6 +148,14 @@ impl ConnectionBuilder {
 
     /// Builds the connection: enumerable implementation rule plus the
     /// executor for the chosen mode, planner configuration applied.
+    ///
+    /// Test hook: when the `RCALCITE_TEST_WORKERS` environment variable
+    /// is set and neither [`ConnectionBuilder::workers`] nor
+    /// [`ConnectionBuilder::morsel_size`] was called, the worker count
+    /// comes from the variable and the morsel size drops to a small
+    /// value, forcing the threaded exchange paths even on the small
+    /// tables test suites use. CI runs the whole test matrix once under
+    /// `RCALCITE_TEST_WORKERS=4`.
     pub fn build(self) -> Connection {
         let mut conn = Connection::new(self.catalog);
         conn.set_fixpoint_mode(self.fixpoint);
@@ -120,6 +163,20 @@ impl ConnectionBuilder {
         if let Some(cap) = self.plan_cache_capacity {
             conn.set_plan_cache_capacity(cap);
         }
+        let env_workers = std::env::var("RCALCITE_TEST_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok());
+        let workers = self.workers.or(env_workers).unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        });
+        let morsel_size =
+            self.morsel_size
+                .unwrap_or(if self.workers.is_none() && env_workers.is_some() {
+                    FORCED_TEST_MORSEL_SIZE
+                } else {
+                    DEFAULT_MORSEL_SIZE
+                });
+        conn.set_parallelism(Parallelism::new(workers, morsel_size));
         conn.add_rule(rcalcite_enumerable::implement_rule());
         conn.register_executor(Arc::new(match self.mode.batch_fusion() {
             None => EnumerableExecutor::new(),
