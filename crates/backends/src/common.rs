@@ -1,11 +1,16 @@
 //! Shared pieces of the simulated backends: simple comparison predicates
-//! over column values. Each backend intentionally supports only the query
-//! capabilities its real-world counterpart has; anything richer must be
-//! done by the calling engine — which is exactly what the adapter layer's
-//! cost-based pushdown decides.
+//! over column values, and the rooted scratch-file provider the engine's
+//! spill layer can be pointed at. Each backend intentionally supports
+//! only the query capabilities its real-world counterpart has; anything
+//! richer must be done by the calling engine — which is exactly what the
+//! adapter layer's cost-based pushdown decides.
 
 use rcalcite_core::datum::Datum;
+use rcalcite_core::error::{CalciteError, Result};
+use rcalcite_core::TempFileProvider;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Comparison operators the backends understand natively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,9 +97,105 @@ impl fmt::Display for ColPredicate {
     }
 }
 
+/// A [`TempFileProvider`] rooted in a caller-chosen directory, the way a
+/// real storage engine owns its scratch space. Unlike the engine's
+/// default provider, files keep their directory entries while the
+/// provider lives — tests and operators can inspect spill traffic on
+/// disk — and everything created is removed when the provider drops.
+pub struct DirTempProvider {
+    dir: PathBuf,
+    counter: AtomicU64,
+    created: std::sync::Mutex<Vec<PathBuf>>,
+}
+
+impl DirTempProvider {
+    /// Creates the directory (and parents) if missing.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<DirTempProvider> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            CalciteError::execution(format!(
+                "cannot create spill directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        Ok(DirTempProvider {
+            dir,
+            counter: AtomicU64::new(0),
+            created: std::sync::Mutex::new(vec![]),
+        })
+    }
+
+    /// The directory scratch files are created in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Paths of every scratch file handed out so far.
+    pub fn files(&self) -> Vec<PathBuf> {
+        self.created.lock().unwrap().clone()
+    }
+}
+
+impl TempFileProvider for DirTempProvider {
+    fn create_file(&self, label: &str) -> Result<std::fs::File> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .dir
+            .join(format!("{}-{n}-{label}.run", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| {
+                CalciteError::execution(format!("cannot create spill file {}: {e}", path.display()))
+            })?;
+        self.created.lock().unwrap().push(path);
+        Ok(file)
+    }
+
+    fn describe(&self) -> String {
+        self.dir.display().to_string()
+    }
+}
+
+impl Drop for DirTempProvider {
+    fn drop(&mut self) {
+        for p in self.created.lock().unwrap().drain(..) {
+            let _ = std::fs::remove_file(p);
+        }
+        // Only removed if nothing else put files there.
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dir_temp_provider_creates_inspects_cleans() {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let root = std::env::temp_dir().join(format!(
+            "rcalcite-backend-spill-test-{}",
+            std::process::id()
+        ));
+        let provider = DirTempProvider::new(&root).unwrap();
+        assert_eq!(provider.describe(), root.display().to_string());
+        let mut f = provider.create_file("sort").unwrap();
+        f.write_all(b"run bytes").unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        let mut back = String::new();
+        f.read_to_string(&mut back).unwrap();
+        assert_eq!(back, "run bytes");
+        // The directory entry is visible while the provider lives.
+        let files = provider.files();
+        assert_eq!(files.len(), 1);
+        assert!(files[0].exists());
+        assert!(files[0].to_string_lossy().contains("sort"));
+        drop(provider);
+        assert!(!root.exists());
+    }
 
     #[test]
     fn comparisons_with_nulls() {

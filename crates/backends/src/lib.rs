@@ -22,7 +22,7 @@ pub mod kvwide;
 pub mod logstore;
 pub mod memdb;
 
-pub use common::{CmpOp, ColPredicate};
+pub use common::{CmpOp, ColPredicate, DirTempProvider};
 pub use json::Json;
 
 #[cfg(test)]

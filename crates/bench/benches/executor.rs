@@ -288,5 +288,100 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_executors, bench_parallel_scaling);
+/// The in-memory→spill cliff: hash join, grouped aggregation and full
+/// sort on the 100k-row pipeline at budget ∞, 1/2 and 1/8 of each
+/// workload's measured working set. The working set comes from the
+/// budget accounting itself (peak reservation under a bound nothing
+/// spills at), the 1/8 point is clamped up to one spill page (smaller
+/// budgets are a query error by contract), and every budgeted run is
+/// cross-checked byte-for-byte against the unbounded result before
+/// timing.
+fn bench_out_of_core(c: &mut Criterion) {
+    use rcalcite_core::buffer::{MemoryBudget, PAGE_SIZE};
+    let (sales, custs) = setup();
+    let workloads = vec![
+        (
+            // Self-join on id: the build side is the full 100k-row table.
+            "join",
+            rel::join(
+                sales.clone(),
+                sales.clone(),
+                JoinKind::Inner,
+                int_in(0).eq(int_in(5)),
+            ),
+        ),
+        (
+            "aggregate",
+            rel::aggregate(
+                sales.clone(),
+                vec![1],
+                vec![
+                    AggCall::count_star("c"),
+                    AggCall::new(AggFunc::Sum, vec![3], false, "s", sales.row_type()),
+                    AggCall::new(AggFunc::Avg, vec![3], false, "a", sales.row_type()),
+                ],
+            ),
+        ),
+        (
+            "sort",
+            rel::sort_limit(
+                sales.clone(),
+                vec![FieldCollation::asc(2), FieldCollation::desc(3)],
+                None,
+                None,
+            ),
+        ),
+        (
+            "join_custs",
+            rel::join(
+                sales.clone(),
+                custs.clone(),
+                JoinKind::Inner,
+                int_in(1).eq(int_in(5)),
+            ),
+        ),
+    ];
+    let mut g = c.benchmark_group("out_of_core");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for (name, plan) in workloads {
+        // Probe run under a bound nothing spills at: the reference
+        // result plus the peak reservation = the working set.
+        let probe = batch_ctx();
+        let mut probe = probe;
+        probe.set_memory_budget(MemoryBudget::bytes(1 << 30));
+        let reference = probe.execute_collect(&plan).unwrap();
+        assert!(
+            probe.spill_tracker().stayed_in_memory(),
+            "probe spilled in workload '{name}'"
+        );
+        let working_set = probe.memory_budget().peak();
+        assert!(working_set > 0, "no reservations in workload '{name}'");
+        let budgets = [
+            ("unbounded", None),
+            ("half", Some((working_set / 2).max(PAGE_SIZE))),
+            ("eighth", Some((working_set / 8).max(PAGE_SIZE))),
+        ];
+        for (label, budget) in budgets {
+            let mut ctx = batch_ctx();
+            ctx.set_memory_budget(budget.map_or_else(MemoryBudget::unbounded, MemoryBudget::bytes));
+            assert_eq!(
+                ctx.execute_collect(&plan).unwrap(),
+                reference,
+                "budgeted divergence in workload '{name}' at {label}"
+            );
+            g.throughput(Throughput::Elements(ROWS as u64));
+            g.bench_with_input(BenchmarkId::new(name, label), &plan, |bench, plan| {
+                bench.iter(|| black_box(ctx.execute_collect(plan).unwrap().len()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executors,
+    bench_parallel_scaling,
+    bench_out_of_core
+);
 criterion_main!(benches);

@@ -1,0 +1,1316 @@
+//! Out-of-core execution support: the buffer-pool/spill layer.
+//!
+//! Three pieces cooperate here:
+//!
+//! * [`MemoryBudget`] — a shared accounting handle threaded through
+//!   [`crate::exec::ExecContext`]. Operators that materialize build state
+//!   (hash-join build side, aggregate state, sort runs) reserve bytes
+//!   against it and degrade to their spilling variants when a reservation
+//!   fails. The default budget is unbounded, so in-memory execution pays
+//!   nothing.
+//! * [`BufferPool`] — a fixed-size-page cache over spill files with a
+//!   pluggable eviction policy ([`LruPolicy`] or [`ClockPolicy`]). All
+//!   spill-file reads go through the pool page by page; repeated chunk
+//!   scans (the hybrid-hash join re-reads build partitions) hit cached
+//!   pages instead of the disk.
+//! * [`RunWriter`]/[`Run`] — sorted-run storage: sequences of
+//!   `(u64 key, Row)` entries framed into serialized column chunks (the
+//!   on-disk form of a [`Column`] batch), appended to a [`SpillFile`]
+//!   obtained from a [`TempFileProvider`].
+//!
+//! A [`SpillTracker`] records every spill decision and byte moved, so the
+//! EXPLAIN surface and the differential tests can observe exactly when
+//! execution left memory.
+
+use crate::datum::{columns_to_rows, Column, Datum, Row};
+use crate::error::{CalciteError, Result};
+use crate::types::TypeKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Fixed page size of the buffer pool and the spill-file address space.
+pub const PAGE_SIZE: usize = 32 * 1024;
+
+/// Default buffer-pool capacity in pages (1 MiB): a bounded constant
+/// overhead on top of the operator budget, not part of it.
+pub const DEFAULT_POOL_PAGES: usize = 32;
+
+/// Rows per serialized run chunk. One chunk is the unit of spill IO and
+/// of deserialization on read-back.
+pub const RUN_CHUNK_ROWS: usize = 1024;
+
+// ---------------------------------------------------------------------
+// Memory budget
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct BudgetInner {
+    /// `usize::MAX` means unbounded.
+    limit: usize,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// Byte-accounting handle shared by every operator of one execution.
+/// Cloning shares the counters, so a plan's build operators compete for
+/// one pool of memory the way they would in a real server.
+#[derive(Clone, Debug)]
+pub struct MemoryBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> MemoryBudget {
+        MemoryBudget::unbounded()
+    }
+}
+
+impl MemoryBudget {
+    pub fn unbounded() -> MemoryBudget {
+        MemoryBudget::with_limit(usize::MAX)
+    }
+
+    /// A budget of `n` bytes for all build-then-stream state of an
+    /// execution.
+    pub fn bytes(n: usize) -> MemoryBudget {
+        MemoryBudget::with_limit(n)
+    }
+
+    fn with_limit(limit: usize) -> MemoryBudget {
+        MemoryBudget {
+            inner: Arc::new(BudgetInner {
+                limit,
+                used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Test hook: a budget forced by the `RCALCITE_TEST_MEM_BUDGET`
+    /// environment variable (bytes). The CI spill matrix sets it low so
+    /// the whole suite runs its build operators through the spill paths.
+    pub fn from_env() -> Option<MemoryBudget> {
+        std::env::var("RCALCITE_TEST_MEM_BUDGET")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(MemoryBudget::bytes)
+    }
+
+    pub fn is_bounded(&self) -> bool {
+        self.inner.limit != usize::MAX
+    }
+
+    /// The byte limit, `None` when unbounded.
+    pub fn limit(&self) -> Option<usize> {
+        self.is_bounded().then_some(self.inner.limit)
+    }
+
+    /// Tries to reserve `n` bytes; `false` means the caller must spill
+    /// (or fail) instead of growing. Unbounded budgets always succeed.
+    pub fn try_reserve(&self, n: usize) -> bool {
+        let mut cur = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let next = match cur.checked_add(n) {
+                Some(v) if v <= self.inner.limit => v,
+                _ => return false,
+            };
+            match self.inner.used.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns `n` bytes to the budget.
+    pub fn release(&self, n: usize) {
+        let prev = self.inner.used.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(prev >= n, "memory budget released more than reserved");
+    }
+
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Spilling needs at least one page of working memory. Operators call
+    /// this when they engage a spill path, surfacing a clear error for a
+    /// budget that cannot hold a single page.
+    pub fn require_spillable(&self) -> Result<()> {
+        match self.limit() {
+            Some(limit) if limit < PAGE_SIZE => Err(CalciteError::execution(format!(
+                "memory budget of {limit} bytes is too small to hold one {PAGE_SIZE}-byte spill page"
+            ))),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// RAII accounting handle over a [`MemoryBudget`]: grows/shrinks a
+/// single reservation and releases whatever is still held on drop, so an
+/// operator abandoned mid-stream (e.g. under a satisfied LIMIT) never
+/// leaks budget from the shared pool.
+pub struct MemoryReservation {
+    budget: MemoryBudget,
+    bytes: usize,
+}
+
+impl MemoryReservation {
+    pub fn new(budget: MemoryBudget) -> MemoryReservation {
+        MemoryReservation { budget, bytes: 0 }
+    }
+
+    /// Currently reserved bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Tries to reserve `n` more bytes; `false` means spill.
+    pub fn try_grow(&mut self, n: usize) -> bool {
+        if self.budget.try_reserve(n) {
+            self.bytes += n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `n` bytes (saturating at the reservation size).
+    pub fn shrink(&mut self, n: usize) {
+        let n = n.min(self.bytes);
+        self.budget.release(n);
+        self.bytes -= n;
+    }
+
+    /// Returns everything held.
+    pub fn release_all(&mut self) {
+        self.budget.release(self.bytes);
+        self.bytes = 0;
+    }
+}
+
+impl Drop for MemoryReservation {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spill statistics
+// ---------------------------------------------------------------------
+
+/// One spill decision: `spilled` of `total` partitions (or runs) of an
+/// operator left memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpillEvent {
+    pub op: &'static str,
+    pub spilled: usize,
+    pub total: usize,
+}
+
+#[derive(Default)]
+struct TrackerInner {
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    runs: AtomicU64,
+    chunks: AtomicU64,
+    events: Mutex<Vec<SpillEvent>>,
+}
+
+/// Shared recorder of spill activity for one connection/context. The
+/// differential suite asserts `bytes_written() == 0` under generous
+/// budgets; EXPLAIN and logs render the per-operator events.
+#[derive(Clone, Default)]
+pub struct SpillTracker {
+    inner: Arc<TrackerInner>,
+}
+
+impl SpillTracker {
+    pub fn new() -> SpillTracker {
+        SpillTracker::default()
+    }
+
+    /// Records a spill decision of `op` ("hash_join", "aggregate",
+    /// "sort"): `spilled` of `total` partitions/runs went to disk.
+    pub fn record(&self, op: &'static str, spilled: usize, total: usize) {
+        self.inner
+            .events
+            .lock()
+            .push(SpillEvent { op, spilled, total });
+    }
+
+    pub fn add_written(&self, n: u64) {
+        self.inner.bytes_written.fetch_add(n, Ordering::Relaxed);
+        self.inner.chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_read(&self, n: u64) {
+        self.inner.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_run(&self) {
+        self.inner.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read.load(Ordering::Relaxed)
+    }
+
+    pub fn runs(&self) -> u64 {
+        self.inner.runs.load(Ordering::Relaxed)
+    }
+
+    pub fn events(&self) -> Vec<SpillEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// True iff no spill file was ever written through this tracker.
+    pub fn stayed_in_memory(&self) -> bool {
+        self.bytes_written() == 0
+    }
+
+    pub fn reset(&self) {
+        self.inner.bytes_written.store(0, Ordering::Relaxed);
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.runs.store(0, Ordering::Relaxed);
+        self.inner.chunks.store(0, Ordering::Relaxed);
+        self.inner.events.lock().clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Temp files and spill files
+// ---------------------------------------------------------------------
+
+/// Source of scratch files for spill runs. The standard provider hands
+/// out unlinked files in the OS temp dir; backends may provide rooted
+/// directories (useful to inspect spill traffic in tests).
+pub trait TempFileProvider: Send + Sync {
+    /// Creates a fresh read/write scratch file. `label` names the
+    /// consumer ("hash_join", "sort", ...) for observability.
+    fn create_file(&self, label: &str) -> Result<File>;
+
+    /// Human-readable location description for EXPLAIN/docs.
+    fn describe(&self) -> String;
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Default provider: files in [`std::env::temp_dir`], unlinked as soon
+/// as they are created, so spill space is reclaimed by the OS even if
+/// the process dies mid-query.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct StdTempProvider;
+
+impl TempFileProvider for StdTempProvider {
+    fn create_file(&self, label: &str) -> Result<File> {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "rcalcite-spill-{}-{n}-{label}.run",
+            std::process::id()
+        ));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| CalciteError::execution(format!("cannot create spill file: {e}")))?;
+        // Unlink immediately: the handle keeps the data alive, the
+        // directory entry never outlives the query.
+        let _ = std::fs::remove_file(&path);
+        Ok(file)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (unlinked)", std::env::temp_dir().display())
+    }
+}
+
+static FILE_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// One spill file: append-only writes, page-addressed reads (served
+/// through the [`BufferPool`]).
+pub struct SpillFile {
+    id: u64,
+    file: Mutex<File>,
+    len: AtomicU64,
+    tracker: SpillTracker,
+}
+
+impl SpillFile {
+    pub fn create(
+        temp: &dyn TempFileProvider,
+        label: &str,
+        tracker: SpillTracker,
+    ) -> Result<Arc<SpillFile>> {
+        Ok(Arc::new(SpillFile {
+            id: FILE_IDS.fetch_add(1, Ordering::Relaxed),
+            file: Mutex::new(temp.create_file(label)?),
+            len: AtomicU64::new(0),
+            tracker,
+        }))
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a serialized blob, returning its offset.
+    pub fn append(&self, bytes: &[u8]) -> Result<u64> {
+        let mut f = self.file.lock();
+        let off = self.len.load(Ordering::Relaxed);
+        f.seek(SeekFrom::Start(off))
+            .and_then(|_| f.write_all(bytes))
+            .map_err(|e| CalciteError::execution(format!("spill write failed: {e}")))?;
+        self.len.store(off + bytes.len() as u64, Ordering::Relaxed);
+        self.tracker.add_written(bytes.len() as u64);
+        Ok(off)
+    }
+
+    /// Reads the page at `page_no` straight from disk (the pool's miss
+    /// path). Short pages at the tail are returned at their actual size.
+    fn read_page(&self, page_no: u64) -> Result<Vec<u8>> {
+        let off = page_no * PAGE_SIZE as u64;
+        let len = self.len();
+        if off >= len {
+            return Ok(vec![]);
+        }
+        let n = PAGE_SIZE.min((len - off) as usize);
+        let mut buf = vec![0u8; n];
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(off))
+            .and_then(|_| f.read_exact(&mut buf))
+            .map_err(|e| CalciteError::execution(format!("spill read failed: {e}")))?;
+        self.tracker.add_read(n as u64);
+        Ok(buf)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eviction policies and the buffer pool
+// ---------------------------------------------------------------------
+
+/// Cache key of one page: (spill-file id, page number).
+pub type PageKey = (u64, u64);
+
+/// Chooses which cached page to drop when the pool is full. Policies see
+/// inserts and touches and surrender victims one at a time.
+pub trait EvictionPolicy: Send {
+    fn record_insert(&mut self, key: PageKey);
+    fn record_touch(&mut self, key: PageKey);
+    fn evict(&mut self) -> Option<PageKey>;
+    fn name(&self) -> &'static str;
+}
+
+/// Exact LRU: a monotonic stamp per touch, victim is the smallest stamp.
+#[derive(Default)]
+pub struct LruPolicy {
+    clock: u64,
+    stamps: HashMap<PageKey, u64>,
+}
+
+impl EvictionPolicy for LruPolicy {
+    fn record_insert(&mut self, key: PageKey) {
+        self.record_touch(key);
+    }
+
+    fn record_touch(&mut self, key: PageKey) {
+        self.clock += 1;
+        self.stamps.insert(key, self.clock);
+    }
+
+    fn evict(&mut self) -> Option<PageKey> {
+        let victim = *self.stamps.iter().min_by_key(|(_, &s)| s)?.0;
+        self.stamps.remove(&victim);
+        Some(victim)
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// Second-chance clock: one reference bit per page, a hand that sweeps
+/// the ring clearing bits until it finds an unreferenced victim.
+#[derive(Default)]
+pub struct ClockPolicy {
+    ring: Vec<PageKey>,
+    referenced: HashMap<PageKey, bool>,
+    hand: usize,
+}
+
+impl EvictionPolicy for ClockPolicy {
+    fn record_insert(&mut self, key: PageKey) {
+        self.ring.push(key);
+        self.referenced.insert(key, true);
+    }
+
+    fn record_touch(&mut self, key: PageKey) {
+        if let Some(r) = self.referenced.get_mut(&key) {
+            *r = true;
+        }
+    }
+
+    fn evict(&mut self) -> Option<PageKey> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        loop {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            let bit = self.referenced.get_mut(&key)?;
+            if *bit {
+                *bit = false;
+                self.hand += 1;
+            } else {
+                self.ring.remove(self.hand);
+                self.referenced.remove(&key);
+                return Some(key);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+}
+
+struct PoolInner {
+    frames: HashMap<PageKey, Arc<Vec<u8>>>,
+    policy: Box<dyn EvictionPolicy>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Fixed-capacity cache of spill-file pages. All run reads flow through
+/// here; the pool is a bounded constant overhead outside the operator
+/// byte budget (its size is pages, not data).
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::new(DEFAULT_POOL_PAGES, Box::<LruPolicy>::default())
+    }
+}
+
+impl BufferPool {
+    pub fn new(capacity: usize, policy: Box<dyn EvictionPolicy>) -> BufferPool {
+        BufferPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                policy,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn policy_name(&self) -> &'static str {
+        self.inner.lock().policy.name()
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.hits, g.misses)
+    }
+
+    /// The page at `page_no` of `file`, from cache or disk.
+    pub fn page(&self, file: &SpillFile, page_no: u64) -> Result<Arc<Vec<u8>>> {
+        let key = (file.id, page_no);
+        {
+            let mut g = self.inner.lock();
+            if let Some(p) = g.frames.get(&key).cloned() {
+                g.hits += 1;
+                g.policy.record_touch(key);
+                return Ok(p);
+            }
+            g.misses += 1;
+        }
+        let data = Arc::new(file.read_page(page_no)?);
+        let mut g = self.inner.lock();
+        while g.frames.len() >= self.capacity {
+            match g.policy.evict() {
+                Some(victim) => {
+                    g.frames.remove(&victim);
+                }
+                None => break,
+            }
+        }
+        g.frames.insert(key, data.clone());
+        g.policy.record_insert(key);
+        Ok(data)
+    }
+
+    /// Reads an arbitrary byte range by assembling the overlapping pages.
+    pub fn read_range(&self, file: &SpillFile, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let page_no = pos / PAGE_SIZE as u64;
+            let page = self.page(file, page_no)?;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            if in_page >= page.len() {
+                return Err(CalciteError::execution(
+                    "spill read past end of file (corrupt run index)",
+                ));
+            }
+            let take = page.len().min(in_page + (end - pos) as usize) - in_page;
+            out.extend_from_slice(&page[in_page..in_page + take]);
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization of datums, columns and run chunks
+// ---------------------------------------------------------------------
+
+/// Growable little-endian byte sink for spill serialization.
+#[derive(Default)]
+pub struct ByteWriter {
+    pub buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn bools(&mut self, bs: &[bool]) {
+        self.buf.extend(bs.iter().map(|&b| b as u8));
+    }
+
+    /// Serializes one datum (tag byte + payload). Extension values have
+    /// no stable byte form and refuse to spill.
+    pub fn datum(&mut self, d: &Datum) -> Result<()> {
+        match d {
+            Datum::Null => self.u8(0),
+            Datum::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Datum::Int(v) => {
+                self.u8(2);
+                self.i64(*v);
+            }
+            Datum::Double(v) => {
+                self.u8(3);
+                self.f64(*v);
+            }
+            Datum::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+            Datum::Date(v) => {
+                self.u8(5);
+                self.i64(*v as i64);
+            }
+            Datum::Timestamp(v) => {
+                self.u8(6);
+                self.i64(*v);
+            }
+            Datum::Interval(v) => {
+                self.u8(7);
+                self.i64(*v);
+            }
+            Datum::Array(items) => {
+                self.u8(8);
+                self.u32(items.len() as u32);
+                for it in items.iter() {
+                    self.datum(it)?;
+                }
+            }
+            Datum::Map(entries) => {
+                self.u8(9);
+                self.u32(entries.len() as u32);
+                for (k, v) in entries.iter() {
+                    self.str(k);
+                    self.datum(v)?;
+                }
+            }
+            Datum::Ext(_) => {
+                return Err(CalciteError::execution(
+                    "cannot spill extension-typed values to disk",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes a column in its typed representation.
+    pub fn column(&mut self, c: &Column) -> Result<()> {
+        match c {
+            Column::Int { values, valid } => {
+                self.u8(0);
+                self.u32(values.len() as u32);
+                for v in values {
+                    self.i64(*v);
+                }
+                self.bools(valid);
+            }
+            Column::Double { values, valid } => {
+                self.u8(1);
+                self.u32(values.len() as u32);
+                for v in values {
+                    self.f64(*v);
+                }
+                self.bools(valid);
+            }
+            Column::Bool { values, valid } => {
+                self.u8(2);
+                self.u32(values.len() as u32);
+                self.bools(values);
+                self.bools(valid);
+            }
+            Column::Str { values, valid } => {
+                self.u8(3);
+                self.u32(values.len() as u32);
+                for v in values {
+                    self.str(v);
+                }
+                self.bools(valid);
+            }
+            Column::Generic(datums) => {
+                self.u8(4);
+                self.u32(datums.len() as u32);
+                for d in datums {
+                    self.datum(d)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cursor over serialized spill bytes; every read is bounds-checked so a
+/// corrupt run surfaces as an execution error, never a panic.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt() -> CalciteError {
+    CalciteError::execution("corrupt spill chunk (truncated read)")
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> Result<&'a str> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n)?).map_err(|_| corrupt())
+    }
+
+    pub fn bools(&mut self, n: usize) -> Result<Vec<bool>> {
+        Ok(self.take(n)?.iter().map(|&b| b != 0).collect())
+    }
+
+    pub fn datum(&mut self) -> Result<Datum> {
+        Ok(match self.u8()? {
+            0 => Datum::Null,
+            1 => Datum::Bool(self.u8()? != 0),
+            2 => Datum::Int(self.i64()?),
+            3 => Datum::Double(self.f64()?),
+            4 => Datum::str(self.str()?),
+            5 => Datum::Date(self.i64()? as i32),
+            6 => Datum::Timestamp(self.i64()?),
+            7 => Datum::Interval(self.i64()?),
+            8 => {
+                let n = self.u32()? as usize;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.datum()?);
+                }
+                Datum::array(items)
+            }
+            9 => {
+                let n = self.u32()? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.str()?.to_string();
+                    entries.push((k, self.datum()?));
+                }
+                Datum::map(entries)
+            }
+            _ => return Err(corrupt()),
+        })
+    }
+
+    pub fn column(&mut self) -> Result<Column> {
+        Ok(match self.u8()? {
+            0 => {
+                let n = self.u32()? as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(self.i64()?);
+                }
+                Column::Int {
+                    values,
+                    valid: self.bools(n)?,
+                }
+            }
+            1 => {
+                let n = self.u32()? as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(self.f64()?);
+                }
+                Column::Double {
+                    values,
+                    valid: self.bools(n)?,
+                }
+            }
+            2 => {
+                let n = self.u32()? as usize;
+                Column::Bool {
+                    values: self.bools(n)?,
+                    valid: self.bools(n)?,
+                }
+            }
+            3 => {
+                let n = self.u32()? as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(Arc::from(self.str()?));
+                }
+                Column::Str {
+                    values,
+                    valid: self.bools(n)?,
+                }
+            }
+            4 => {
+                let n = self.u32()? as usize;
+                let mut datums = Vec::with_capacity(n);
+                for _ in 0..n {
+                    datums.push(self.datum()?);
+                }
+                Column::Generic(datums)
+            }
+            _ => return Err(corrupt()),
+        })
+    }
+}
+
+/// Rough heap footprint of a datum, for budget accounting. Estimates err
+/// a little high on purpose: reserving too much spills early, reserving
+/// too little defeats the budget.
+pub fn datum_bytes(d: &Datum) -> usize {
+    16 + match d {
+        Datum::Str(s) => s.len(),
+        Datum::Array(items) => items.iter().map(datum_bytes).sum(),
+        Datum::Map(entries) => entries.iter().map(|(k, v)| k.len() + datum_bytes(v)).sum(),
+        _ => 0,
+    }
+}
+
+/// Rough heap footprint of a row.
+pub fn row_bytes(r: &Row) -> usize {
+    24 + r.iter().map(datum_bytes).sum::<usize>()
+}
+
+/// Rough heap footprint of a column's contents.
+pub fn column_bytes(c: &Column) -> usize {
+    match c {
+        Column::Int { values, .. } => values.len() * 9,
+        Column::Double { values, .. } => values.len() * 9,
+        Column::Bool { values, .. } => values.len() * 2,
+        Column::Str { values, .. } => values.iter().map(|s| 24 + s.len()).sum(),
+        Column::Generic(ds) => ds.iter().map(datum_bytes).sum(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runs: (key, row) sequences framed into serialized column chunks
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct ChunkMeta {
+    offset: u64,
+    len: usize,
+    rows: usize,
+}
+
+/// Writes a run of `(u64 key, Row)` entries to a spill file. Entries are
+/// buffered to [`RUN_CHUNK_ROWS`] and flushed as one serialized column
+/// chunk (keys vector + one [`Column`] per field), so the on-disk form
+/// mirrors the in-memory batch representation.
+pub struct RunWriter {
+    file: Arc<SpillFile>,
+    kinds: Arc<Vec<TypeKind>>,
+    keys: Vec<u64>,
+    rows: Vec<Row>,
+    chunks: Vec<ChunkMeta>,
+    total_rows: usize,
+    total_bytes: usize,
+}
+
+impl RunWriter {
+    pub fn new(file: Arc<SpillFile>, kinds: Arc<Vec<TypeKind>>) -> RunWriter {
+        RunWriter {
+            file,
+            kinds,
+            keys: vec![],
+            rows: vec![],
+            chunks: vec![],
+            total_rows: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Rows written (including the buffered tail).
+    pub fn rows(&self) -> usize {
+        self.total_rows
+    }
+
+    pub fn push(&mut self, key: u64, row: Row) -> Result<()> {
+        self.keys.push(key);
+        self.rows.push(row);
+        self.total_rows += 1;
+        if self.rows.len() >= RUN_CHUNK_ROWS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<()> {
+        if self.rows.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.rows);
+        let keys = std::mem::take(&mut self.keys);
+        let mut w = ByteWriter::new();
+        w.u32(rows.len() as u32);
+        w.u32(self.kinds.len() as u32);
+        for k in &keys {
+            w.u64(*k);
+        }
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let col = Column::from_datums(kind, rows.iter().map(|r| r[i].clone()));
+            w.column(&col)?;
+        }
+        let offset = self.file.append(&w.buf)?;
+        self.total_bytes += w.buf.len();
+        self.chunks.push(ChunkMeta {
+            offset,
+            len: w.buf.len(),
+            rows: rows.len(),
+        });
+        Ok(())
+    }
+
+    /// Flushes the tail and seals the run.
+    pub fn finish(mut self) -> Result<Run> {
+        self.flush_chunk()?;
+        self.file.tracker.add_run();
+        Ok(Run {
+            file: self.file,
+            kinds: self.kinds,
+            chunks: self.chunks,
+            total_rows: self.total_rows,
+            total_bytes: self.total_bytes,
+        })
+    }
+}
+
+/// A sealed run: an ordered sequence of `(key, Row)` entries on disk.
+/// Cursors stream it chunk by chunk through the buffer pool; a run can
+/// be re-scanned by opening a new cursor.
+#[derive(Clone)]
+pub struct Run {
+    file: Arc<SpillFile>,
+    kinds: Arc<Vec<TypeKind>>,
+    chunks: Vec<ChunkMeta>,
+    total_rows: usize,
+    total_bytes: usize,
+}
+
+impl Run {
+    pub fn rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Serialized size on disk — the load-back estimate hybrid joins use
+    /// to decide whether a partition now fits in memory.
+    pub fn bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total_rows == 0
+    }
+
+    pub fn cursor(&self) -> RunCursor {
+        RunCursor {
+            run: self.clone(),
+            chunk: 0,
+            buffered: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+/// Streaming reader over a [`Run`]: holds one deserialized chunk at a
+/// time.
+pub struct RunCursor {
+    run: Run,
+    chunk: usize,
+    buffered: std::collections::VecDeque<(u64, Row)>,
+}
+
+impl RunCursor {
+    pub fn next(&mut self, pool: &BufferPool) -> Result<Option<(u64, Row)>> {
+        loop {
+            if let Some(e) = self.buffered.pop_front() {
+                return Ok(Some(e));
+            }
+            let Some(meta) = self.run.chunks.get(self.chunk) else {
+                return Ok(None);
+            };
+            self.chunk += 1;
+            let bytes = pool.read_range(&self.run.file, meta.offset, meta.len)?;
+            let mut r = ByteReader::new(&bytes);
+            let n = r.u32()? as usize;
+            let arity = r.u32()? as usize;
+            if n != meta.rows || arity != self.run.kinds.len() {
+                return Err(corrupt());
+            }
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(r.u64()?);
+            }
+            let mut cols = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                cols.push(r.column()?);
+            }
+            let rows = if arity == 0 {
+                vec![vec![]; n]
+            } else {
+                columns_to_rows(&cols)
+            };
+            if rows.len() != n {
+                return Err(corrupt());
+            }
+            self.buffered.extend(keys.into_iter().zip(rows));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SpillEnv: the bundle execution engines thread to their operators
+// ---------------------------------------------------------------------
+
+/// Everything a spilling operator needs, cloned off the `ExecContext`:
+/// the budget, the stats recorder, the temp-file source and the shared
+/// page pool.
+#[derive(Clone)]
+pub struct SpillEnv {
+    pub budget: MemoryBudget,
+    pub tracker: SpillTracker,
+    pub temp: Arc<dyn TempFileProvider>,
+    pub pool: Arc<BufferPool>,
+}
+
+impl Default for SpillEnv {
+    fn default() -> SpillEnv {
+        SpillEnv {
+            budget: MemoryBudget::unbounded(),
+            tracker: SpillTracker::new(),
+            temp: Arc::new(StdTempProvider),
+            pool: Arc::new(BufferPool::default()),
+        }
+    }
+}
+
+impl SpillEnv {
+    /// Creates a run writer over a fresh spill file.
+    pub fn run_writer(&self, label: &str, kinds: Arc<Vec<TypeKind>>) -> Result<RunWriter> {
+        let file = SpillFile::create(self.temp.as_ref(), label, self.tracker.clone())?;
+        Ok(RunWriter::new(file, kinds))
+    }
+
+    /// Creates a bare spill file for custom (non-run) chunk formats.
+    pub fn spill_file(&self, label: &str) -> Result<Arc<SpillFile>> {
+        SpillFile::create(self.temp.as_ref(), label, self.tracker.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_reserve_release_peak() {
+        let b = MemoryBudget::bytes(100);
+        assert!(b.is_bounded());
+        assert!(b.try_reserve(60));
+        assert!(!b.try_reserve(50));
+        assert!(b.try_reserve(40));
+        assert_eq!(b.used(), 100);
+        b.release(70);
+        assert_eq!(b.used(), 30);
+        assert_eq!(b.peak(), 100);
+        assert!(MemoryBudget::unbounded().try_reserve(usize::MAX / 2));
+    }
+
+    #[test]
+    fn budget_too_small_for_a_page_errors() {
+        assert!(MemoryBudget::bytes(PAGE_SIZE - 1)
+            .require_spillable()
+            .is_err());
+        assert!(MemoryBudget::bytes(PAGE_SIZE).require_spillable().is_ok());
+        assert!(MemoryBudget::unbounded().require_spillable().is_ok());
+    }
+
+    fn sample_rows(n: usize) -> Vec<(u64, Row)> {
+        (0..n)
+            .map(|i| {
+                (
+                    i as u64,
+                    vec![
+                        Datum::Int(i as i64),
+                        if i % 7 == 0 {
+                            Datum::Null
+                        } else {
+                            Datum::str(format!("value-{i}"))
+                        },
+                        Datum::Double(i as f64 * 0.5),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_round_trips_across_chunks() {
+        let env = SpillEnv::default();
+        let kinds = Arc::new(vec![TypeKind::Integer, TypeKind::Varchar, TypeKind::Double]);
+        let mut w = env.run_writer("test", kinds).unwrap();
+        let entries = sample_rows(RUN_CHUNK_ROWS * 2 + 37);
+        for (k, r) in &entries {
+            w.push(*k, r.clone()).unwrap();
+        }
+        let run = w.finish().unwrap();
+        assert_eq!(run.rows(), entries.len());
+        assert!(env.tracker.bytes_written() > 0);
+        let mut cur = run.cursor();
+        let mut got = vec![];
+        while let Some(e) = cur.next(&env.pool).unwrap() {
+            got.push(e);
+        }
+        assert_eq!(got, entries);
+        // Rewind: a fresh cursor reads the same entries, served from the
+        // pool cache this time.
+        let (_, misses_before) = env.pool.hit_stats();
+        let mut cur = run.cursor();
+        let mut again = vec![];
+        while let Some(e) = cur.next(&env.pool).unwrap() {
+            again.push(e);
+        }
+        assert_eq!(again, entries);
+        let (hits, misses) = env.pool.hit_stats();
+        assert!(hits > 0, "rescan should hit the page cache");
+        assert!(misses >= misses_before);
+    }
+
+    #[test]
+    fn datum_serialization_round_trips() {
+        let samples = vec![
+            Datum::Null,
+            Datum::Bool(true),
+            Datum::Int(-42),
+            Datum::Double(2.75),
+            Datum::str("héllo"),
+            Datum::Date(17000),
+            Datum::Timestamp(1_528_632_000_000),
+            Datum::Interval(3_600_000),
+            Datum::array(vec![Datum::Int(1), Datum::Null, Datum::str("x")]),
+            Datum::map(vec![("k".to_string(), Datum::Int(9))]),
+        ];
+        let mut w = ByteWriter::new();
+        for d in &samples {
+            w.datum(d).unwrap();
+        }
+        let mut r = ByteReader::new(&w.buf);
+        for d in &samples {
+            assert_eq!(&r.datum().unwrap(), d);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_arity_run_round_trips() {
+        let env = SpillEnv::default();
+        let mut w = env.run_writer("zero", Arc::new(vec![])).unwrap();
+        for i in 0..10u64 {
+            w.push(i, vec![]).unwrap();
+        }
+        let run = w.finish().unwrap();
+        let mut cur = run.cursor();
+        let mut n = 0;
+        while let Some((k, row)) = cur.next(&env.pool).unwrap() {
+            assert_eq!(k, n);
+            assert!(row.is_empty());
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    fn exercise_policy(policy: Box<dyn EvictionPolicy>) {
+        let pool = BufferPool::new(2, policy);
+        let env = SpillEnv::default();
+        let file = env.spill_file("evict").unwrap();
+        // Three pages of data; capacity two forces evictions.
+        file.append(&vec![7u8; PAGE_SIZE * 3]).unwrap();
+        for page in [0u64, 1, 2, 0, 1, 2] {
+            let p = pool.page(&file, page).unwrap();
+            assert_eq!(p.len(), PAGE_SIZE);
+            assert!(p.iter().all(|&b| b == 7));
+        }
+        let (_, misses) = pool.hit_stats();
+        assert!(misses >= 4, "capacity 2 over 3 pages must evict");
+    }
+
+    #[test]
+    fn lru_and_clock_policies_evict_correctly() {
+        exercise_policy(Box::<LruPolicy>::default());
+        exercise_policy(Box::<ClockPolicy>::default());
+    }
+
+    #[test]
+    fn ext_values_refuse_to_spill() {
+        #[derive(Debug)]
+        struct Fake;
+        impl std::fmt::Display for Fake {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "fake")
+            }
+        }
+        impl crate::datum::ExtValue for Fake {
+            fn type_name(&self) -> &'static str {
+                "fake"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn ext_eq(&self, _other: &dyn crate::datum::ExtValue) -> bool {
+                false
+            }
+        }
+        let mut w = ByteWriter::new();
+        assert!(w.datum(&Datum::Ext(Arc::new(Fake))).is_err());
+    }
+
+    #[test]
+    fn tracker_records_events() {
+        let t = SpillTracker::new();
+        assert!(t.stayed_in_memory());
+        t.record("hash_join", 3, 8);
+        t.add_written(100);
+        assert!(!t.stayed_in_memory());
+        assert_eq!(
+            t.events(),
+            vec![SpillEvent {
+                op: "hash_join",
+                spilled: 3,
+                total: 8
+            }]
+        );
+        t.reset();
+        assert!(t.stayed_in_memory());
+        assert!(t.events().is_empty());
+    }
+}

@@ -781,14 +781,35 @@ pub trait ConventionExecutor: Send + Sync {
 }
 
 /// Registry of executors, one per convention, plus the dynamic-parameter
-/// bindings of the current execution (empty outside prepared statements)
-/// and the parallel-execution settings engines consult when shaping
-/// their operator trees.
-#[derive(Default, Clone)]
+/// bindings of the current execution (empty outside prepared statements),
+/// the parallel-execution settings engines consult when shaping their
+/// operator trees, and the spill environment (memory budget, tracker,
+/// temp-file provider, buffer pool) build-then-stream operators use to
+/// degrade to out-of-core execution.
+#[derive(Clone)]
 pub struct ExecContext {
     executors: HashMap<Convention, Arc<dyn ConventionExecutor>>,
     params: Arc<Vec<Datum>>,
     parallelism: Parallelism,
+    spill: crate::buffer::SpillEnv,
+}
+
+impl Default for ExecContext {
+    /// The default context honors the `RCALCITE_TEST_MEM_BUDGET`
+    /// environment hook (bytes), so the CI spill matrix drives every
+    /// suite's build operators through the out-of-core paths.
+    fn default() -> ExecContext {
+        let mut spill = crate::buffer::SpillEnv::default();
+        if let Some(budget) = crate::buffer::MemoryBudget::from_env() {
+            spill.budget = budget;
+        }
+        ExecContext {
+            executors: HashMap::new(),
+            params: Arc::new(vec![]),
+            parallelism: Parallelism::default(),
+            spill,
+        }
+    }
 }
 
 impl ExecContext {
@@ -811,6 +832,32 @@ impl ExecContext {
         self.parallelism
     }
 
+    /// Caps the bytes build-then-stream operators may hold in memory;
+    /// beyond it they spill to disk. Unbounded by default.
+    pub fn set_memory_budget(&mut self, budget: crate::buffer::MemoryBudget) {
+        self.spill.budget = budget;
+    }
+
+    /// The memory budget of this context.
+    pub fn memory_budget(&self) -> &crate::buffer::MemoryBudget {
+        &self.spill.budget
+    }
+
+    /// Replaces the scratch-file source spill runs are written through.
+    pub fn set_temp_provider(&mut self, temp: Arc<dyn crate::buffer::TempFileProvider>) {
+        self.spill.temp = temp;
+    }
+
+    /// The recorder of spill decisions and bytes moved.
+    pub fn spill_tracker(&self) -> &crate::buffer::SpillTracker {
+        &self.spill.tracker
+    }
+
+    /// The full spill environment, cloned into operators at build time.
+    pub fn spill_env(&self) -> &crate::buffer::SpillEnv {
+        &self.spill
+    }
+
     /// A context sharing this one's executors with dynamic-parameter
     /// bindings attached. The prepared-statement layer calls this once
     /// per execution; engines read the values back through [`Self::bind`].
@@ -819,6 +866,7 @@ impl ExecContext {
             executors: self.executors.clone(),
             params: Arc::new(params),
             parallelism: self.parallelism,
+            spill: self.spill.clone(),
         }
     }
 

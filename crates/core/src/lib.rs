@@ -23,6 +23,7 @@
 //! | §6 planner engines     | [`planner`] |
 //! | §6 materialized views  | [`mv`], [`lattice`] |
 
+pub mod buffer;
 pub mod builder;
 pub mod catalog;
 pub mod cost;
@@ -41,6 +42,7 @@ pub mod simplify;
 pub mod traits;
 pub mod types;
 
+pub use buffer::{MemoryBudget, SpillEnv, SpillEvent, SpillTracker, TempFileProvider};
 pub use catalog::{Catalog, MemTable, Schema, Statistic, Table, TableRef};
 pub use datum::{Datum, Row};
 pub use error::{CalciteError, Result};

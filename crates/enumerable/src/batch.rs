@@ -47,6 +47,10 @@
 //! `tests/executor_differential.rs` holds the two engines equal.
 
 use crate::executor::{compare_datums, compare_rows, execute_node, extract_equi_keys, Acc};
+use rcalcite_core::buffer::{
+    column_bytes, row_bytes, BufferPool, ByteReader, ByteWriter, MemoryReservation, Run, RunCursor,
+    RunWriter, SpillEnv,
+};
 use rcalcite_core::catalog::{RangeScan, TableRef};
 use rcalcite_core::datum::{Column, Datum, Row};
 use rcalcite_core::error::{CalciteError, Result};
@@ -363,13 +367,17 @@ fn build_op(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
             rel.input(1).row_type().arity(),
             *kind,
             ctx.bind(condition)?,
+            kinds_of(rel.input(0).row_type()),
+            kinds_of(rel.input(1).row_type()),
             kinds_of(rel.row_type()),
+            ctx.spill_env().clone(),
         ))),
         RelOp::Aggregate { group, aggs } => Ok(Box::new(AggregateOp::new(
             child(0)?,
             group.clone(),
             aggs.clone(),
             kinds_of(rel.row_type()),
+            ctx.spill_env().clone(),
         ))),
         RelOp::Sort {
             collation,
@@ -399,7 +407,8 @@ fn build_op(rel: &Rel, ctx: &ExecContext, fuse: bool) -> Result<BatchOp> {
                     input,
                     collation.clone(),
                     offset.unwrap_or(0),
-                    rel.row_type().arity(),
+                    kinds_of(rel.row_type()),
+                    ctx.spill_env().clone(),
                 ))),
             }
         }
@@ -1058,8 +1067,141 @@ fn eval_strict_vector(e: &RexNode, cols: &[Column], n: usize) -> Result<Column> 
 }
 
 // ---------------------------------------------------------------------
-// Hash join (build right, stream left)
+// Out-of-core spill machinery
 // ---------------------------------------------------------------------
+//
+// The build-then-stream operators (hash join, aggregate, full sort)
+// account their build state against the context's `MemoryBudget` and
+// degrade to spilling variants when a reservation fails:
+//
+// - hash join → hybrid hash: the build side hash-partitions on its equi
+//   keys; partitions that fit stay resident, the rest spill to runs and
+//   are probed partition-at-a-time after the streamed probe, recursing
+//   with a re-salted hash when a partition still doesn't fit.
+// - aggregate → partial-state spill: the accumulator table serializes as
+//   a chunk and resets; chunks merge on read through the same exact
+//   `AggState::merge` the parallel engine uses.
+// - sort → external merge sort: sorted runs spill, a k-way merge streams
+//   them back in collation order.
+//
+// Every spilled entry carries a `u64` sequence key reproducing the exact
+// serial output order, so spilling stays byte-identical to in-memory
+// execution (the invariant `tests/spill_differential.rs` pins).
+
+/// Estimated heap footprint of a dense batch, for budget accounting.
+fn batch_bytes(b: &ColumnBatch) -> usize {
+    64 + b.columns.iter().map(column_bytes).sum::<usize>()
+}
+
+/// How a [`RunMerger`] orders its sources' heads.
+enum MergeCmp {
+    /// By the `u64` entry key alone (ties resolved to the first source —
+    /// join output runs never share a key across runs).
+    Key,
+    /// By collation over the rows, then entry key (the external-sort
+    /// order; keys are unique input sequences, so the order is total).
+    Rows(Collation),
+}
+
+/// One source of a k-way merge: a spill run or an in-memory tail.
+enum MergeFeed {
+    Run(RunCursor),
+    Mem(std::vec::IntoIter<(u64, Row)>),
+}
+
+impl MergeFeed {
+    fn next(&mut self, pool: &BufferPool) -> Result<Option<(u64, Row)>> {
+        match self {
+            MergeFeed::Run(c) => c.next(pool),
+            MergeFeed::Mem(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// Streaming k-way merge over sorted `(key, row)` sources. One head
+/// entry per source is resident; a linear min-scan picks the next entry
+/// (source count is small — spill partitions or sort runs).
+struct RunMerger {
+    feeds: Vec<MergeFeed>,
+    heads: Vec<Option<(u64, Row)>>,
+    cmp: MergeCmp,
+    pool: Arc<BufferPool>,
+    primed: bool,
+}
+
+impl RunMerger {
+    fn new(feeds: Vec<MergeFeed>, cmp: MergeCmp, pool: Arc<BufferPool>) -> RunMerger {
+        let heads = feeds.iter().map(|_| None).collect();
+        RunMerger {
+            feeds,
+            heads,
+            cmp,
+            pool,
+            primed: false,
+        }
+    }
+
+    fn less(&self, a: &(u64, Row), b: &(u64, Row)) -> bool {
+        match &self.cmp {
+            MergeCmp::Key => a.0 < b.0,
+            MergeCmp::Rows(collation) => cmp_entries(collation, a, b) == Ordering::Less,
+        }
+    }
+
+    fn next_entry(&mut self) -> Result<Option<(u64, Row)>> {
+        if !self.primed {
+            for i in 0..self.feeds.len() {
+                self.heads[i] = self.feeds[i].next(&self.pool)?;
+            }
+            self.primed = true;
+        }
+        let mut best: Option<usize> = None;
+        for i in 0..self.heads.len() {
+            if let Some(h) = &self.heads[i] {
+                // Strict `less` keeps equal keys in source order, which
+                // preserves FIFO within each run.
+                if best.is_none_or(|b| self.less(h, self.heads[b].as_ref().unwrap())) {
+                    best = Some(i);
+                }
+            }
+        }
+        let Some(b) = best else {
+            return Ok(None);
+        };
+        let entry = self.heads[b].take().unwrap();
+        self.heads[b] = self.feeds[b].next(&self.pool)?;
+        Ok(Some(entry))
+    }
+
+    /// Drains up to `BATCH_SIZE` rows into a batch (`None` when done).
+    fn next_batch(&mut self, kinds: &[TypeKind]) -> Result<Option<ColumnBatch>> {
+        let mut rows: Vec<Row> = Vec::new();
+        while rows.len() < BATCH_SIZE {
+            match self.next_entry()? {
+                Some((_, r)) => rows.push(r),
+                None => break,
+            }
+        }
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(ColumnBatch::from_rows(kinds, &rows)))
+    }
+}
+
+/// Partition of a row's key datums under a salted hash — the routing
+/// function of the hybrid-hash join. `salt` varies per recursion level
+/// so a skewed partition re-splits on a fresh hash; the datum hashing
+/// matches [`hash_partition_router`], the exchange-layer sibling.
+fn salted_partition(datums: impl Iterator<Item = Datum>, salt: u32, n: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write_u32(salt);
+    for d in datums {
+        d.hash(&mut h);
+    }
+    (h.finish() as usize) % n
+}
 
 struct HashJoinOp {
     left: BatchOp,
@@ -1068,13 +1210,30 @@ struct HashJoinOp {
     right_arity: usize,
     kind: JoinKind,
     condition: RexNode,
+    left_kinds: Arc<Vec<TypeKind>>,
+    right_kinds: Arc<Vec<TypeKind>>,
     out_kinds: Vec<TypeKind>,
+    spill: SpillEnv,
     state: Option<JoinState>,
     /// Probed pairs not yet assembled: output is served in
     /// `BATCH_SIZE` chunks so a high-multiplicity probe (or the
     /// unmatched-right pad of an outer join) never gathers one
     /// unbounded batch.
     pending: Option<PendingJoinOutput>,
+    /// Engaged when the build side breached the memory budget: merged
+    /// spill-run output replaces the in-memory probe entirely.
+    spilled: Option<SpilledJoinOutput>,
+    /// Budget hold over the materialized build side, released when the
+    /// operator drops.
+    reservation: Option<MemoryReservation>,
+}
+
+/// The streamed output of a spilled (hybrid-hash) join: probe results
+/// merged by left-row sequence, then outer-join pads merged by
+/// build-row sequence — exactly the serial emission order.
+struct SpilledJoinOutput {
+    main: RunMerger,
+    pads: Option<RunMerger>,
 }
 
 /// (left row, right row) output pairs of a probe; `None` marks the
@@ -1136,6 +1295,7 @@ fn build_probe(condition: &RexNode, left_arity: usize, right: &ColumnBatch) -> P
 }
 
 impl HashJoinOp {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         left: BatchOp,
         right: BatchOp,
@@ -1143,7 +1303,10 @@ impl HashJoinOp {
         right_arity: usize,
         kind: JoinKind,
         condition: RexNode,
+        left_kinds: Vec<TypeKind>,
+        right_kinds: Vec<TypeKind>,
         out_kinds: Vec<TypeKind>,
+        spill: SpillEnv,
     ) -> HashJoinOp {
         HashJoinOp {
             left,
@@ -1152,9 +1315,14 @@ impl HashJoinOp {
             right_arity,
             kind,
             condition,
+            left_kinds: Arc::new(left_kinds),
+            right_kinds: Arc::new(right_kinds),
             out_kinds,
+            spill,
             state: None,
             pending: None,
+            spilled: None,
+            reservation: None,
         }
     }
 }
@@ -1163,23 +1331,110 @@ impl Operator<ColumnBatch> for HashJoinOp {
     fn open(&mut self) -> Result<()> {
         self.left.open()?;
         self.right.open()?;
-        // Build side: materialize the right input.
+        // Build side: materialize the right input, accounting each batch
+        // against the memory budget.
+        let bounded = self.spill.budget.is_bounded();
+        let mut res = MemoryReservation::new(self.spill.budget.clone());
         let mut right_batches = vec![];
+        let mut overflow = None;
         while let Some(b) = self.right.next()? {
+            let b = b.compact();
+            if bounded && !res.try_grow(batch_bytes(&b)) {
+                self.spill.budget.require_spillable()?;
+                overflow = Some(b);
+                break;
+            }
             right_batches.push(b);
         }
-        let right = concat_batches(right_batches, self.right_arity);
-        let probe = build_probe(&self.condition, self.left_arity, &right);
-        self.state = Some(JoinState {
-            right_matched: vec![false; right.len],
-            right,
-            emitted_right_pad: false,
-            probe,
-        });
+        let Some(overflow) = overflow else {
+            // Everything fits: the in-memory path, byte for byte.
+            let right = concat_batches(right_batches, self.right_arity);
+            let probe = build_probe(&self.condition, self.left_arity, &right);
+            self.state = Some(JoinState {
+                right_matched: vec![false; right.len],
+                right,
+                emitted_right_pad: false,
+                probe,
+            });
+            self.reservation = Some(res);
+            return Ok(());
+        };
+        // Budget breached mid-build: degrade to the hybrid-hash path.
+        let (lk, rk, residual) = extract_equi_keys(&self.condition, self.left_arity);
+        if lk.is_empty() {
+            // Theta join: no partitioning key exists, so the build side
+            // round-trips through one spill run and the vectorized theta
+            // probe runs over the read-back batch (served through the
+            // buffer pool; a block-nested-loop theta is future work).
+            let mut w = self
+                .spill
+                .run_writer("hash_join", self.right_kinds.clone())?;
+            let mut ri = 0u64;
+            for b in right_batches.into_iter().chain(Some(overflow)) {
+                for i in 0..b.len {
+                    w.push(ri + i as u64, b.row(i))?;
+                }
+                ri += b.len as u64;
+            }
+            res.release_all();
+            while let Some(b) = self.right.next()? {
+                let b = b.compact();
+                for i in 0..b.len {
+                    w.push(ri + i as u64, b.row(i))?;
+                }
+                ri += b.len as u64;
+            }
+            let run = w.finish()?;
+            self.spill.tracker.record("hash_join", 1, 1);
+            let mut rows = Vec::with_capacity(run.rows());
+            let mut cur = run.cursor();
+            while let Some((_, r)) = cur.next(&self.spill.pool)? {
+                rows.push(r);
+            }
+            let right = ColumnBatch::from_rows(&self.right_kinds, &rows);
+            let probe = build_probe(&self.condition, self.left_arity, &right);
+            self.state = Some(JoinState {
+                right_matched: vec![false; right.len],
+                right,
+                emitted_right_pad: false,
+                probe,
+            });
+            return Ok(());
+        }
+        let _ = residual; // per-partition probes re-derive it from the condition
+        let spec = GraceSpec {
+            lk,
+            rk,
+            kind: self.kind,
+            left_arity: self.left_arity,
+            right_arity: self.right_arity,
+            condition: self.condition.clone(),
+            left_kinds: self.left_kinds.clone(),
+            right_kinds: self.right_kinds.clone(),
+            out_kinds: Arc::new(self.out_kinds.clone()),
+            env: self.spill.clone(),
+        };
+        self.spilled = Some(grace_join(
+            &spec,
+            right_batches,
+            overflow,
+            &mut self.right,
+            &mut self.left,
+            res,
+        )?);
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        if let Some(s) = &mut self.spilled {
+            if let Some(b) = s.main.next_batch(&self.out_kinds)? {
+                return Ok(Some(b));
+            }
+            if let Some(p) = &mut s.pads {
+                return p.next_batch(&self.out_kinds);
+            }
+            return Ok(None);
+        }
         let st = self.state.as_mut().expect("HashJoinOp not opened");
         loop {
             // Serve any probed-but-unassembled pairs first, one
@@ -1241,6 +1496,451 @@ impl Operator<ColumnBatch> for HashJoinOp {
             });
         }
     }
+}
+
+// ------------------- hybrid-hash (grace) join spill -------------------
+
+/// Build-side partition fan-out of a spilled join.
+const JOIN_PARTITIONS: usize = 8;
+
+/// Recursion floor: a partition that still exceeds the budget after this
+/// many re-splits loads anyway (the recursion bottom must make
+/// progress against pathological skew — e.g. one key holding most rows).
+const JOIN_MAX_DEPTH: u32 = 3;
+
+/// Everything the recursive partition processing of a spilled join
+/// needs: key columns for routing, the condition for per-partition probe
+/// construction, shapes for (de)serialization, and the spill environment.
+struct GraceSpec {
+    lk: Vec<usize>,
+    rk: Vec<usize>,
+    condition: RexNode,
+    kind: JoinKind,
+    left_arity: usize,
+    right_arity: usize,
+    left_kinds: Arc<Vec<TypeKind>>,
+    right_kinds: Arc<Vec<TypeKind>>,
+    out_kinds: Arc<Vec<TypeKind>>,
+    env: SpillEnv,
+}
+
+/// One build-side partition while the right input streams in. Rows
+/// buffer in memory; under budget pressure the largest buffer flushes to
+/// its run and the partition is thereafter "spilled" (later rows go
+/// straight to disk). Partitions never flushed stay resident — the
+/// "hybrid" in hybrid hash.
+#[derive(Default)]
+struct BuildPartition {
+    buffer: Vec<(u64, Row)>,
+    bytes: usize,
+    writer: Option<RunWriter>,
+}
+
+/// A sealed partition entering the probe phase.
+enum ProbePartition {
+    /// Fully in memory: probed inline while the left input streams.
+    Resident {
+        batch: ColumnBatch,
+        ri_map: Vec<u64>,
+        probe: ProbeKind,
+    },
+    /// On disk: matching left rows spool to `left_writer` and the pair
+    /// is joined partition-at-a-time after the stream ends.
+    Spilled {
+        right_run: Run,
+        left_writer: RunWriter,
+    },
+}
+
+/// Runs the spilled build+probe. `prefix`/`overflow` are the build
+/// batches pulled before the budget breached; the rest of both inputs
+/// stream from the operators. Returns the merged, serially-ordered
+/// output.
+fn grace_join(
+    spec: &GraceSpec,
+    prefix: Vec<ColumnBatch>,
+    overflow: ColumnBatch,
+    right: &mut BatchOp,
+    left: &mut BatchOp,
+    mut res: MemoryReservation,
+) -> Result<SpilledJoinOutput> {
+    let n = JOIN_PARTITIONS;
+    let mut parts: Vec<BuildPartition> = (0..n).map(|_| BuildPartition::default()).collect();
+    // The prefix re-routes row by row; its batch reservation converts to
+    // per-partition buffer accounting as it goes.
+    res.release_all();
+    let mut ri = 0u64;
+    for b in prefix.into_iter().chain(Some(overflow)) {
+        route_build_batch(spec, &b, &mut parts, &mut ri, &mut res)?;
+    }
+    while let Some(b) = right.next()? {
+        let b = b.compact();
+        route_build_batch(spec, &b, &mut parts, &mut ri, &mut res)?;
+    }
+    let right_total = ri as usize;
+    // Seal: spilled partitions flush their buffered tails, resident ones
+    // build their hash tables.
+    let mut probe_parts: Vec<ProbePartition> = Vec::with_capacity(n);
+    let mut spilled_count = 0;
+    for mut part in parts {
+        if let Some(mut w) = part.writer.take() {
+            spilled_count += 1;
+            for (k, r) in part.buffer.drain(..) {
+                w.push(k, r)?;
+            }
+            res.shrink(part.bytes);
+            let left_writer = spec
+                .env
+                .run_writer("hash_join_probe", spec.left_kinds.clone())?;
+            probe_parts.push(ProbePartition::Spilled {
+                right_run: w.finish()?,
+                left_writer,
+            });
+        } else {
+            let (ri_map, rows): (Vec<u64>, Vec<Row>) = part.buffer.drain(..).unzip();
+            let batch = ColumnBatch::from_rows(&spec.right_kinds, &rows);
+            let probe = build_probe(&spec.condition, spec.left_arity, &batch);
+            probe_parts.push(ProbePartition::Resident {
+                batch,
+                ri_map,
+                probe,
+            });
+        }
+    }
+    spec.env.tracker.record("hash_join", spilled_count, n);
+    let mut matched =
+        matches!(spec.kind, JoinKind::Right | JoinKind::Full).then(|| vec![false; right_total]);
+    // Probe: the left input streams in serial order. Rows landing on a
+    // resident partition probe immediately; the rest spool to disk.
+    let mut out_w = spec
+        .env
+        .run_writer("hash_join_out", spec.out_kinds.clone())?;
+    let mut lseq = 0u64;
+    while let Some(b) = left.next()? {
+        let b = b.compact();
+        for li in 0..b.len {
+            let p = salted_partition(spec.lk.iter().map(|&k| b.columns[k].get(li)), 0, n);
+            match &mut probe_parts[p] {
+                ProbePartition::Resident {
+                    batch,
+                    ri_map,
+                    probe,
+                } => probe_spilled_left_row(
+                    spec,
+                    &b,
+                    li,
+                    lseq,
+                    probe,
+                    batch,
+                    ri_map,
+                    matched.as_deref_mut(),
+                    &mut out_w,
+                )?,
+                ProbePartition::Spilled { left_writer, .. } => left_writer.push(lseq, b.row(li))?,
+            }
+            lseq += 1;
+        }
+    }
+    let mut out_runs = vec![out_w.finish()?];
+    let mut pad_runs: Vec<Run> = vec![];
+    for part in probe_parts {
+        match part {
+            ProbePartition::Resident { batch, ri_map, .. } => {
+                // The left stream is exhausted, so resident matched
+                // flags are final — emit this partition's outer pads.
+                if let Some(m) = &matched {
+                    emit_unmatched_pads(spec, &batch, &ri_map, m, &mut pad_runs)?;
+                }
+            }
+            ProbePartition::Spilled {
+                right_run,
+                left_writer,
+            } => {
+                let left_run = left_writer.finish()?;
+                process_spilled_partition(
+                    spec,
+                    right_run,
+                    left_run,
+                    1,
+                    &mut res,
+                    &mut matched,
+                    &mut out_runs,
+                    &mut pad_runs,
+                )?;
+            }
+        }
+    }
+    let feeds = |runs: Vec<Run>| {
+        runs.into_iter()
+            .map(|r| MergeFeed::Run(r.cursor()))
+            .collect()
+    };
+    let pool = spec.env.pool.clone();
+    Ok(SpilledJoinOutput {
+        main: RunMerger::new(feeds(out_runs), MergeCmp::Key, pool.clone()),
+        pads: (!pad_runs.is_empty()).then(|| RunMerger::new(feeds(pad_runs), MergeCmp::Key, pool)),
+    })
+}
+
+/// Routes one build batch into the partitions, flushing the largest
+/// buffer whenever the budget runs out.
+fn route_build_batch(
+    spec: &GraceSpec,
+    b: &ColumnBatch,
+    parts: &mut [BuildPartition],
+    ri: &mut u64,
+    res: &mut MemoryReservation,
+) -> Result<()> {
+    let n = parts.len();
+    for i in 0..b.len {
+        let p = salted_partition(spec.rk.iter().map(|&k| b.columns[k].get(i)), 0, n);
+        let row = b.row(i);
+        let seq = *ri;
+        *ri += 1;
+        if let Some(w) = parts[p].writer.as_mut() {
+            // Already spilled: straight to disk, no budget held.
+            w.push(seq, row)?;
+            continue;
+        }
+        let sz = 32 + row_bytes(&row);
+        parts[p].buffer.push((seq, row));
+        parts[p].bytes += sz;
+        if !res.try_grow(sz) {
+            flush_largest_partition(spec, parts, res)?;
+            let _ = res.try_grow(sz);
+        }
+    }
+    Ok(())
+}
+
+/// Flushes the largest still-buffered partition to its run, releasing
+/// its budget hold.
+fn flush_largest_partition(
+    spec: &GraceSpec,
+    parts: &mut [BuildPartition],
+    res: &mut MemoryReservation,
+) -> Result<()> {
+    let Some(p) = (0..parts.len())
+        .filter(|&i| !parts[i].buffer.is_empty())
+        .max_by_key(|&i| parts[i].bytes)
+    else {
+        return Ok(());
+    };
+    let part = &mut parts[p];
+    if part.writer.is_none() {
+        part.writer = Some(
+            spec.env
+                .run_writer("hash_join_build", spec.right_kinds.clone())?,
+        );
+    }
+    let w = part.writer.as_mut().unwrap();
+    for (k, r) in part.buffer.drain(..) {
+        w.push(k, r)?;
+    }
+    res.shrink(part.bytes);
+    part.bytes = 0;
+    Ok(())
+}
+
+/// Joins one spilled partition pair. If the build partition fits the
+/// budget it loads and probes; otherwise both runs re-split under a
+/// fresh hash salt and recurse (bounded by [`JOIN_MAX_DEPTH`]).
+#[allow(clippy::too_many_arguments)]
+fn process_spilled_partition(
+    spec: &GraceSpec,
+    right_run: Run,
+    left_run: Run,
+    depth: u32,
+    res: &mut MemoryReservation,
+    matched: &mut Option<Vec<bool>>,
+    out_runs: &mut Vec<Run>,
+    pad_runs: &mut Vec<Run>,
+) -> Result<()> {
+    if right_run.rows() == 0 && left_run.rows() == 0 {
+        return Ok(());
+    }
+    // Deserialized footprint estimate: rows + hash table ≈ 2× the
+    // serialized size.
+    let load_bytes = right_run.bytes().saturating_mul(2);
+    let fits = res.try_grow(load_bytes);
+    if !fits && depth < JOIN_MAX_DEPTH && right_run.rows() > 1 {
+        let n = JOIN_PARTITIONS;
+        let mut rw: Vec<RunWriter> = (0..n)
+            .map(|_| {
+                spec.env
+                    .run_writer("hash_join_build", spec.right_kinds.clone())
+            })
+            .collect::<Result<_>>()?;
+        let mut lw: Vec<RunWriter> = (0..n)
+            .map(|_| {
+                spec.env
+                    .run_writer("hash_join_probe", spec.left_kinds.clone())
+            })
+            .collect::<Result<_>>()?;
+        let mut cur = right_run.cursor();
+        while let Some((k, r)) = cur.next(&spec.env.pool)? {
+            let p = salted_partition(spec.rk.iter().map(|&c| r[c].clone()), depth, n);
+            rw[p].push(k, r)?;
+        }
+        let mut cur = left_run.cursor();
+        while let Some((k, r)) = cur.next(&spec.env.pool)? {
+            let p = salted_partition(spec.lk.iter().map(|&c| r[c].clone()), depth, n);
+            lw[p].push(k, r)?;
+        }
+        for (r, l) in rw.into_iter().zip(lw) {
+            process_spilled_partition(
+                spec,
+                r.finish()?,
+                l.finish()?,
+                depth + 1,
+                res,
+                matched,
+                out_runs,
+                pad_runs,
+            )?;
+        }
+        return Ok(());
+    }
+    let mut ri_map = Vec::with_capacity(right_run.rows());
+    let mut rows = Vec::with_capacity(right_run.rows());
+    let mut cur = right_run.cursor();
+    while let Some((k, r)) = cur.next(&spec.env.pool)? {
+        ri_map.push(k);
+        rows.push(r);
+    }
+    let batch = ColumnBatch::from_rows(&spec.right_kinds, &rows);
+    drop(rows);
+    let probe = build_probe(&spec.condition, spec.left_arity, &batch);
+    let mut out_w = spec
+        .env
+        .run_writer("hash_join_out", spec.out_kinds.clone())?;
+    let mut cur = left_run.cursor();
+    let mut lseqs: Vec<u64> = Vec::with_capacity(BATCH_SIZE);
+    let mut lrows: Vec<Row> = Vec::with_capacity(BATCH_SIZE);
+    loop {
+        let done = match cur.next(&spec.env.pool)? {
+            Some((k, r)) => {
+                lseqs.push(k);
+                lrows.push(r);
+                false
+            }
+            None => true,
+        };
+        if lrows.len() == BATCH_SIZE || (done && !lrows.is_empty()) {
+            let lb = ColumnBatch::from_rows(&spec.left_kinds, &lrows);
+            for (li, &lseq) in lseqs.iter().enumerate().take(lb.len) {
+                probe_spilled_left_row(
+                    spec,
+                    &lb,
+                    li,
+                    lseq,
+                    &probe,
+                    &batch,
+                    &ri_map,
+                    matched.as_deref_mut(),
+                    &mut out_w,
+                )?;
+            }
+            lseqs.clear();
+            lrows.clear();
+        }
+        if done {
+            break;
+        }
+    }
+    out_runs.push(out_w.finish()?);
+    if let Some(m) = matched.as_ref() {
+        emit_unmatched_pads(spec, &batch, &ri_map, m, pad_runs)?;
+    }
+    if fits {
+        res.shrink(load_bytes);
+    }
+    Ok(())
+}
+
+/// Probes one left row against a partition's build side, writing the
+/// serially-keyed output rows this row contributes — the spilled twin of
+/// the per-row body of [`probe_batch`].
+#[allow(clippy::too_many_arguments)]
+fn probe_spilled_left_row(
+    spec: &GraceSpec,
+    left: &ColumnBatch,
+    li: usize,
+    lseq: u64,
+    probe: &ProbeKind,
+    right: &ColumnBatch,
+    ri_map: &[u64],
+    mut matched: Option<&mut [bool]>,
+    out: &mut RunWriter,
+) -> Result<()> {
+    let mut matches = vec![];
+    match probe {
+        ProbeKind::Hash {
+            lk,
+            residual,
+            table,
+        } => hash_matches(left, li, right, lk, residual, table, &mut matches)?,
+        ProbeKind::Theta { condition } => theta_matches(left, li, right, condition, &mut matches)?,
+    }
+    for &mi in &matches {
+        if let Some(m) = matched.as_deref_mut() {
+            m[ri_map[mi] as usize] = true;
+        }
+        if !matches!(spec.kind, JoinKind::Semi | JoinKind::Anti) {
+            let mut row = left.row(li);
+            if spec.kind.projects_right() {
+                row.extend(right.row(mi));
+            }
+            out.push(lseq, row)?;
+        }
+    }
+    let any = !matches.is_empty();
+    match spec.kind {
+        JoinKind::Semi if any => out.push(lseq, left.row(li))?,
+        JoinKind::Anti if !any => out.push(lseq, left.row(li))?,
+        JoinKind::Left | JoinKind::Full if !any => {
+            let mut row = left.row(li);
+            row.extend((0..spec.right_arity).map(|_| Datum::Null));
+            out.push(lseq, row)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Writes the NULL-padded rows of a partition's unmatched build rows
+/// (Right/Full joins), keyed by global build sequence so the pad merge
+/// reproduces the serial build-side order.
+fn emit_unmatched_pads(
+    spec: &GraceSpec,
+    batch: &ColumnBatch,
+    ri_map: &[u64],
+    matched: &[bool],
+    pad_runs: &mut Vec<Run>,
+) -> Result<()> {
+    let mut w: Option<RunWriter> = None;
+    for (local, &ri) in ri_map.iter().enumerate() {
+        if matched[ri as usize] {
+            continue;
+        }
+        let writer = match &mut w {
+            Some(w) => w,
+            None => {
+                w = Some(
+                    spec.env
+                        .run_writer("hash_join_pad", spec.out_kinds.clone())?,
+                );
+                w.as_mut().unwrap()
+            }
+        };
+        let mut row: Row = (0..spec.left_arity).map(|_| Datum::Null).collect();
+        row.extend(batch.row(local));
+        writer.push(ri, row)?;
+    }
+    if let Some(w) = w {
+        pad_runs.push(w.finish()?);
+    }
+    Ok(())
 }
 
 /// Probes one left batch against the build side, producing the
@@ -1942,11 +2642,175 @@ fn fast_eligible(b: &ColumnBatch, group: &[usize], aggs: &[AggCall]) -> bool {
         })
 }
 
+/// Estimated heap footprint of accumulated aggregation state, for
+/// budget accounting. Constants err high: spilling a little early is
+/// safe, under-counting defeats the budget.
+fn agg_state_bytes(state: &AggState) -> usize {
+    match state {
+        AggState::Pending => 0,
+        AggState::Fast { keys, states, .. } => {
+            keys.len() * 64 + states.iter().map(|s| 48 + s.len() * 40).sum::<usize>()
+        }
+        AggState::Generic { groups, .. } => groups
+            .iter()
+            .map(|(key, accs, seen)| {
+                row_bytes(key)
+                    + 48
+                    + accs.len() * 48
+                    + seen
+                        .iter()
+                        .map(|s| 48 + s.len() * 16 + s.iter().map(row_bytes).sum::<usize>())
+                        .sum::<usize>()
+            })
+            .sum(),
+    }
+}
+
+fn write_opt_datum(w: &mut ByteWriter, d: &Option<Datum>) -> Result<()> {
+    match d {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            w.datum(d)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_opt_datum(r: &mut ByteReader) -> Result<Option<Datum>> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(r.datum()?),
+    })
+}
+
+fn write_acc(w: &mut ByteWriter, acc: &Acc) -> Result<()> {
+    match acc {
+        Acc::Count(n) => {
+            w.u8(0);
+            w.i64(*n);
+        }
+        Acc::Sum(d) => {
+            w.u8(1);
+            write_opt_datum(w, d)?;
+        }
+        Acc::Min(d) => {
+            w.u8(2);
+            write_opt_datum(w, d)?;
+        }
+        Acc::Max(d) => {
+            w.u8(3);
+            write_opt_datum(w, d)?;
+        }
+        Acc::Avg { sum, count } => {
+            w.u8(4);
+            w.f64(*sum);
+            w.i64(*count);
+        }
+    }
+    Ok(())
+}
+
+fn read_acc(r: &mut ByteReader) -> Result<Acc> {
+    Ok(match r.u8()? {
+        0 => Acc::Count(r.i64()?),
+        1 => Acc::Sum(read_opt_datum(r)?),
+        2 => Acc::Min(read_opt_datum(r)?),
+        3 => Acc::Max(read_opt_datum(r)?),
+        4 => Acc::Avg {
+            sum: r.f64()?,
+            count: r.i64()?,
+        },
+        _ => {
+            return Err(CalciteError::execution(
+                "corrupt spill chunk (unknown accumulator tag)",
+            ))
+        }
+    })
+}
+
+/// Serializes a partial aggregation state (generic representation) as
+/// one spill chunk: per group, the first-seen sequence, key, typed
+/// accumulators, and the distinct seen-sets the exact merge replays.
+fn write_agg_chunk(w: &mut ByteWriter, state: &AggState) -> Result<()> {
+    let AggState::Generic {
+        groups, first_seen, ..
+    } = state
+    else {
+        return Err(CalciteError::internal(
+            "aggregate spill expects the generic state (downgrade first)",
+        ));
+    };
+    w.u32(groups.len() as u32);
+    for ((key, accs, seen), at) in groups.iter().zip(first_seen) {
+        w.u64(*at);
+        w.u32(key.len() as u32);
+        for d in key {
+            w.datum(d)?;
+        }
+        for acc in accs {
+            write_acc(w, acc)?;
+        }
+        for set in seen {
+            w.u32(set.len() as u32);
+            for dkey in set {
+                w.u32(dkey.len() as u32);
+                for d in dkey {
+                    w.datum(d)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_agg_chunk(r: &mut ByteReader, naggs: usize) -> Result<AggState> {
+    let ngroups = r.u32()? as usize;
+    let mut index = HashMap::with_capacity(ngroups);
+    let mut groups: Vec<GroupState> = Vec::with_capacity(ngroups);
+    let mut first_seen = Vec::with_capacity(ngroups);
+    for _ in 0..ngroups {
+        let at = r.u64()?;
+        let klen = r.u32()? as usize;
+        let mut key = Vec::with_capacity(klen);
+        for _ in 0..klen {
+            key.push(r.datum()?);
+        }
+        let mut accs = Vec::with_capacity(naggs);
+        for _ in 0..naggs {
+            accs.push(read_acc(r)?);
+        }
+        let mut seen = Vec::with_capacity(naggs);
+        for _ in 0..naggs {
+            let n = r.u32()? as usize;
+            let mut set = HashSet::with_capacity(n);
+            for _ in 0..n {
+                let dlen = r.u32()? as usize;
+                let mut dkey = Vec::with_capacity(dlen);
+                for _ in 0..dlen {
+                    dkey.push(r.datum()?);
+                }
+                set.insert(dkey);
+            }
+            seen.push(set);
+        }
+        index.insert(key.clone(), groups.len());
+        groups.push((key, accs, seen));
+        first_seen.push(at);
+    }
+    Ok(AggState::Generic {
+        index,
+        groups,
+        first_seen,
+    })
+}
+
 struct AggregateOp {
     child: BatchOp,
     group: Vec<usize>,
     aggs: Vec<AggCall>,
     out_kinds: Vec<TypeKind>,
+    spill: SpillEnv,
     out: VecDeque<ColumnBatch>,
 }
 
@@ -1956,12 +2820,14 @@ impl AggregateOp {
         group: Vec<usize>,
         aggs: Vec<AggCall>,
         out_kinds: Vec<TypeKind>,
+        spill: SpillEnv,
     ) -> Self {
         AggregateOp {
             child,
             group,
             aggs,
             out_kinds,
+            spill,
             out: VecDeque::new(),
         }
     }
@@ -1970,14 +2836,63 @@ impl AggregateOp {
 impl Operator<ColumnBatch> for AggregateOp {
     fn open(&mut self) -> Result<()> {
         self.child.open()?;
+        let bounded = self.spill.budget.is_bounded();
+        let mut res = MemoryReservation::new(self.spill.budget.clone());
         let mut state = AggState::Pending;
         let mut seq = 0u64;
+        // Spilled partial states, as (offset, len) chunks of one file in
+        // input-time order.
+        let mut chunks: Vec<(u64, usize)> = vec![];
+        let mut file = None;
         while let Some(b) = self.child.next()? {
             let b = b.compact();
             state.update(&b, &self.group, &self.aggs, seq)?;
             seq += b.len as u64;
+            if bounded {
+                let est = agg_state_bytes(&state);
+                if est > res.bytes() && !res.try_grow(est - res.bytes()) {
+                    self.spill.budget.require_spillable()?;
+                    // Spill the partial state as one chunk and restart
+                    // accumulation from scratch.
+                    state.downgrade(&self.aggs);
+                    let mut w = ByteWriter::new();
+                    write_agg_chunk(&mut w, &state)?;
+                    let f = match &file {
+                        Some(f) => Arc::clone(f),
+                        None => {
+                            let f = self.spill.spill_file("aggregate")?;
+                            file = Some(Arc::clone(&f));
+                            f
+                        }
+                    };
+                    let off = f.append(&w.buf)?;
+                    chunks.push((off, w.buf.len()));
+                    state = AggState::Pending;
+                    res.release_all();
+                } else if est < res.bytes() {
+                    res.shrink(res.bytes() - est);
+                }
+            }
         }
-        let rows = state.finish(&self.group, &self.aggs);
+        let rows = if chunks.is_empty() {
+            state.finish(&self.group, &self.aggs)
+        } else {
+            self.spill
+                .tracker
+                .record("aggregate", chunks.len(), chunks.len() + 1);
+            let f = file.expect("chunks imply a spill file");
+            // Merge partials in input-time order (the same fold order
+            // the parallel engine's worker merge uses), the in-memory
+            // tail last; the first-seen sort restores serial order.
+            let mut merged = AggState::Pending;
+            for (off, len) in chunks {
+                let bytes = self.spill.pool.read_range(&f, off, len)?;
+                let chunk = read_agg_chunk(&mut ByteReader::new(&bytes), self.aggs.len())?;
+                merged = merged.merge(chunk, &self.aggs)?;
+            }
+            merged = merged.merge(state, &self.aggs)?;
+            merged.finish_ordered(&self.group, &self.aggs)
+        };
         self.out = rebatch_rows(rows, &self.out_kinds).into();
         Ok(())
     }
@@ -2208,25 +3123,62 @@ impl Operator<ColumnBatch> for TopKOp {
     }
 }
 
+/// Sorts a group of batches in memory and returns `(seq, row)` entries,
+/// where `seq` is the row's arrival index (`seq0` + position in the
+/// group). The stable index sort means entries come out ordered by
+/// `(collation, seq)` — exactly the total order the external merge
+/// reproduces across runs.
+fn sort_group_entries(
+    batches: Vec<ColumnBatch>,
+    arity: usize,
+    collation: &Collation,
+    seq0: u64,
+) -> Vec<(u64, Row)> {
+    let b = concat_batches(batches, arity);
+    let mut idx: Vec<usize> = (0..b.len).collect();
+    sort_indexes(&mut idx, &b, collation);
+    idx.into_iter()
+        .map(|i| (seq0 + i as u64, b.row(i)))
+        .collect()
+}
+
 /// Full sort (no fetch): materializes the input (the sort itself needs
 /// every row), sorts an index vector — typed loop for a single Int key,
 /// shared `compare_datums` otherwise — and streams the result in
-/// batch-sized chunks.
+/// batch-sized chunks. Under a bounded [`MemoryBudget`] this becomes an
+/// external merge sort: when the accumulated input outgrows the budget
+/// it is sorted and flushed as a run, and the runs (plus the in-memory
+/// tail) k-way merge on read. Every entry carries its arrival sequence,
+/// so the merge order `(collation, seq)` is the same total order the
+/// in-memory stable sort produces — spilled output is byte-identical.
 struct FullSortOp {
     child: BatchOp,
     collation: Collation,
     offset: usize,
-    arity: usize,
+    out_kinds: Vec<TypeKind>,
+    spill: SpillEnv,
+    merge: Option<(RunMerger, usize)>,
+    #[allow(dead_code)] // holds the in-memory tail's budget reservation
+    reservation: Option<MemoryReservation>,
     out: VecDeque<ColumnBatch>,
 }
 
 impl FullSortOp {
-    fn new(child: BatchOp, collation: Collation, offset: usize, arity: usize) -> FullSortOp {
+    fn new(
+        child: BatchOp,
+        collation: Collation,
+        offset: usize,
+        out_kinds: Vec<TypeKind>,
+        spill: SpillEnv,
+    ) -> FullSortOp {
         FullSortOp {
             child,
             collation,
             offset,
-            arity,
+            out_kinds,
+            spill,
+            merge: None,
+            reservation: None,
             out: VecDeque::new(),
         }
     }
@@ -2235,28 +3187,87 @@ impl FullSortOp {
 impl Operator<ColumnBatch> for FullSortOp {
     fn open(&mut self) -> Result<()> {
         self.child.open()?;
-        let mut batches = vec![];
+        let arity = self.out_kinds.len();
+        let bounded = self.spill.budget.is_bounded();
+        let mut res = MemoryReservation::new(self.spill.budget.clone());
+        let kinds = Arc::new(self.out_kinds.clone());
+        let mut pending: Vec<ColumnBatch> = vec![];
+        let mut runs: Vec<Run> = vec![];
+        let mut seq_base = 0u64;
         while let Some(b) = self.child.next()? {
-            batches.push(b);
+            let b = b.compact();
+            let grew = !bounded || res.try_grow(batch_bytes(&b));
+            pending.push(b);
+            if !grew {
+                self.spill.budget.require_spillable()?;
+                // Sort what we hold (including the batch that failed to
+                // reserve) and flush it as one run.
+                let group = std::mem::take(&mut pending);
+                let entries = sort_group_entries(group, arity, &self.collation, seq_base);
+                seq_base += entries.len() as u64;
+                let mut w = self.spill.run_writer("sort", Arc::clone(&kinds))?;
+                for (k, row) in entries {
+                    w.push(k, row)?;
+                }
+                runs.push(w.finish()?);
+                res.release_all();
+            }
         }
-        let b = concat_batches(batches, self.arity);
-        let mut idx: Vec<usize> = (0..b.len).collect();
-        sort_indexes(&mut idx, &b, &self.collation);
-        let start = self.offset.min(idx.len());
-        let idx = &idx[start..];
-        if idx.is_empty() {
+        if runs.is_empty() {
+            // Exact in-memory path (the pre-spill code), reservation held
+            // for the operator's lifetime.
+            let b = concat_batches(pending, arity);
+            let mut idx: Vec<usize> = (0..b.len).collect();
+            sort_indexes(&mut idx, &b, &self.collation);
+            let start = self.offset.min(idx.len());
+            let idx = &idx[start..];
+            if idx.is_empty() {
+                return Ok(());
+            }
+            let sorted = if arity == 0 {
+                ColumnBatch::zero_arity(idx.len())
+            } else {
+                ColumnBatch::new(b.columns.iter().map(|c| c.gather(idx)).collect())
+            };
+            self.out = split_to_batches(sorted).into();
+            self.reservation = Some(res);
             return Ok(());
         }
-        let sorted = if self.arity == 0 {
-            ColumnBatch::zero_arity(idx.len())
-        } else {
-            ColumnBatch::new(b.columns.iter().map(|c| c.gather(idx)).collect())
-        };
-        self.out = split_to_batches(sorted).into();
+        let tail = sort_group_entries(pending, arity, &self.collation, seq_base);
+        self.spill.tracker.record(
+            "sort",
+            runs.len(),
+            runs.len() + usize::from(!tail.is_empty()),
+        );
+        let mut feeds: Vec<MergeFeed> = runs
+            .into_iter()
+            .map(|r| MergeFeed::Run(r.cursor()))
+            .collect();
+        if !tail.is_empty() {
+            feeds.push(MergeFeed::Mem(tail.into_iter()));
+        }
+        self.merge = Some((
+            RunMerger::new(
+                feeds,
+                MergeCmp::Rows(self.collation.clone()),
+                Arc::clone(&self.spill.pool),
+            ),
+            self.offset,
+        ));
+        self.reservation = Some(res);
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<ColumnBatch>> {
+        if let Some((merger, skip)) = &mut self.merge {
+            while *skip > 0 {
+                if merger.next_entry()?.is_none() {
+                    return Ok(None);
+                }
+                *skip -= 1;
+            }
+            return merger.next_batch(&self.out_kinds);
+        }
         Ok(self.out.pop_front())
     }
 }
@@ -3554,6 +4565,93 @@ fn fmt_parallel(rel: &Rel, p: Parallelism, depth: usize, out: &mut String) -> bo
             }
             any
         }
+    }
+}
+
+/// Renders the spill decisions EXPLAIN reports under a bounded memory
+/// budget: for each build-then-stream operator whose estimated build
+/// state (planner metadata: row count × average row size) exceeds the
+/// budget, one line describing how the operator degrades — hash join
+/// partitions spilled, aggregate partial chunks, sort runs. Returns
+/// `None` when the budget is unbounded or everything is estimated to
+/// fit.
+pub fn explain_spill(
+    rel: &Rel,
+    mq: &rcalcite_core::metadata::MetadataQuery,
+    budget: &rcalcite_core::buffer::MemoryBudget,
+) -> Option<String> {
+    let limit = budget.limit()?;
+    let mut out = String::new();
+    fmt_spill(rel, mq, limit, &mut out);
+    (!out.is_empty()).then_some(out)
+}
+
+fn kib(bytes: f64) -> u64 {
+    (bytes / 1024.0).ceil() as u64
+}
+
+fn fmt_spill(
+    rel: &Rel,
+    mq: &rcalcite_core::metadata::MetadataQuery,
+    budget: usize,
+    out: &mut String,
+) {
+    use std::fmt::Write;
+    let b = budget as f64;
+    match &rel.op {
+        RelOp::Join { .. } => {
+            let build = rel.input(1);
+            let est = mq.row_count(build) * mq.average_row_size(build);
+            if est > b {
+                // Partitions that keep their budget share resident; the
+                // rest spill — the same fraction the hybrid-hash build
+                // settles into.
+                let resident = ((b / est) * JOIN_PARTITIONS as f64).floor() as usize;
+                let spilled = JOIN_PARTITIONS - resident.min(JOIN_PARTITIONS - 1);
+                let _ = writeln!(
+                    out,
+                    "-- spill: hash_join {spilled}/{JOIN_PARTITIONS} partitions (est {} KiB build > budget {} KiB)",
+                    kib(est),
+                    kib(b)
+                );
+            }
+        }
+        RelOp::Aggregate { .. } => {
+            // Aggregate state is one entry per output group.
+            let est = mq.row_count(rel) * (mq.average_row_size(rel) + 48.0);
+            if est > b {
+                let chunks = (est / b).ceil() as u64;
+                let _ = writeln!(
+                    out,
+                    "-- spill: aggregate {chunks} partial chunks (est {} KiB state > budget {} KiB)",
+                    kib(est),
+                    kib(b)
+                );
+            }
+        }
+        RelOp::Sort {
+            collation,
+            fetch: None,
+            ..
+        } if !collation.is_empty() => {
+            // Top-K (with fetch) keeps a bounded heap and never spills;
+            // only the full sort materializes its input.
+            let input = rel.input(0);
+            let est = mq.row_count(input) * mq.average_row_size(input);
+            if est > b {
+                let runs = (est / b).ceil() as u64;
+                let _ = writeln!(
+                    out,
+                    "-- spill: sort {runs} runs (est {} KiB > budget {} KiB)",
+                    kib(est),
+                    kib(b)
+                );
+            }
+        }
+        _ => {}
+    }
+    for i in &rel.inputs {
+        fmt_spill(i, mq, budget, out);
     }
 }
 

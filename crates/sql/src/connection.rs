@@ -273,6 +273,26 @@ impl Connection {
         self.exec.parallelism()
     }
 
+    /// Caps the bytes build-then-stream operators hold in memory before
+    /// degrading to their out-of-core forms. Execution-time only —
+    /// compiled plans stay valid. Set through
+    /// [`ConnectionBuilder::memory_budget`] normally.
+    pub fn set_memory_budget(&mut self, budget: rcalcite_core::buffer::MemoryBudget) {
+        self.exec.set_memory_budget(budget);
+    }
+
+    /// The memory budget queries run under.
+    pub fn memory_budget(&self) -> &rcalcite_core::buffer::MemoryBudget {
+        self.exec.memory_budget()
+    }
+
+    /// The recorder of spill activity (operators spilled, bytes moved)
+    /// accumulated across this connection's queries. Tests assert
+    /// through it that generous budgets never touch disk.
+    pub fn spill_stats(&self) -> &rcalcite_core::buffer::SpillTracker {
+        self.exec.spill_tracker()
+    }
+
     /// Registers a planner rule (adapter pushdown, implementation, ...).
     pub fn add_rule(&mut self, rule: Arc<dyn Rule>) {
         self.rules.push(rule);
@@ -693,6 +713,11 @@ impl Connection {
                 ));
                 text.push_str(&parallel);
             }
+            if let Some(spill) =
+                rcalcite_enumerable::explain_spill(&plan.physical, &mq, self.memory_budget())
+            {
+                text.push_str(&spill);
+            }
         }
         Ok((text, cached))
     }
@@ -1040,6 +1065,46 @@ mod tests {
             .prepare("SELECT k, SUM(v) AS s FROM t WHERE v > ? GROUP BY k ORDER BY k")
             .unwrap();
         assert_eq!(stmt.query(&[Datum::Int(20)]).unwrap(), reference);
+    }
+
+    #[test]
+    fn builder_memory_budget_end_to_end() {
+        let catalog = Catalog::new();
+        let s = Schema::new();
+        s.add_table(
+            "t",
+            MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("k", TypeKind::Integer)
+                    .add_not_null("v", TypeKind::Integer)
+                    .build(),
+                (0..5000)
+                    .map(|i| vec![Datum::Int(i % 97), Datum::Int((i * 37) % 5000)])
+                    .collect(),
+            ),
+        );
+        catalog.add_schema("hr", s);
+        let sql = "SELECT a.k, a.v FROM t AS a JOIN t AS b ON a.v = b.v ORDER BY a.v, a.k";
+        let reference = Connection::builder(catalog.clone())
+            .workers(1)
+            .build()
+            .query(sql)
+            .unwrap();
+        // One spill page of budget: the join build and the sort input
+        // (5000 two-Int rows each, ~90 KiB as columns) must go to disk.
+        let conn = Connection::builder(catalog)
+            .workers(1)
+            .memory_budget(32 * 1024)
+            .build();
+        assert_eq!(conn.query(sql).unwrap(), reference);
+        assert!(!conn.spill_stats().stayed_in_memory());
+        let ops: Vec<&str> = conn.spill_stats().events().iter().map(|e| e.op).collect();
+        assert!(ops.contains(&"hash_join"), "{ops:?}");
+        assert!(ops.contains(&"sort"), "{ops:?}");
+        // EXPLAIN predicts the degradation from planner metadata.
+        let text = conn.explain(sql).unwrap();
+        assert!(text.contains("-- spill: hash_join"), "{text}");
+        assert!(text.contains("partitions"), "{text}");
     }
 
     #[test]

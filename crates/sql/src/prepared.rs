@@ -77,6 +77,7 @@ pub struct ConnectionBuilder {
     interpreter: bool,
     workers: Option<usize>,
     morsel_size: Option<usize>,
+    memory_budget: Option<usize>,
 }
 
 /// Morsel size forced by the `RCALCITE_TEST_WORKERS` test hook (small,
@@ -94,6 +95,7 @@ impl ConnectionBuilder {
             interpreter: false,
             workers: None,
             morsel_size: None,
+            memory_budget: None,
         }
     }
 
@@ -118,6 +120,19 @@ impl ConnectionBuilder {
     /// threshold.
     pub fn morsel_size(mut self, rows: usize) -> ConnectionBuilder {
         self.morsel_size = Some(rows);
+        self
+    }
+
+    /// Caps the bytes the batch engine's build-then-stream operators
+    /// (hash-join build, aggregation state, sort input) may hold in
+    /// memory per query (default: unbounded). When an operator's state
+    /// outgrows the budget it degrades to its out-of-core form —
+    /// hybrid-hash join, spilled aggregation partials, external merge
+    /// sort — producing byte-identical results. The budget must fit at
+    /// least one 32 KiB spill page; smaller values fail the query with
+    /// an execution error. Ignored by [`ExecutionMode::Row`].
+    pub fn memory_budget(mut self, bytes: usize) -> ConnectionBuilder {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -156,6 +171,12 @@ impl ConnectionBuilder {
     /// value, forcing the threaded exchange paths even on the small
     /// tables test suites use. CI runs the whole test matrix once under
     /// `RCALCITE_TEST_WORKERS=4`.
+    ///
+    /// A second hook, `RCALCITE_TEST_MEM_BUDGET` (bytes), bounds the
+    /// memory budget the same way when
+    /// [`ConnectionBuilder::memory_budget`] was not called, driving the
+    /// build operators through their spill paths; CI runs the matrix
+    /// under a tiny budget and under budget + workers combined.
     pub fn build(self) -> Connection {
         let mut conn = Connection::new(self.catalog);
         conn.set_fixpoint_mode(self.fixpoint);
@@ -177,6 +198,11 @@ impl ConnectionBuilder {
                     DEFAULT_MORSEL_SIZE
                 });
         conn.set_parallelism(Parallelism::new(workers, morsel_size));
+        // `RCALCITE_TEST_MEM_BUDGET` was already applied by the fresh
+        // context's `Default`; an explicit builder knob wins over it.
+        if let Some(bytes) = self.memory_budget {
+            conn.set_memory_budget(rcalcite_core::buffer::MemoryBudget::bytes(bytes));
+        }
         conn.add_rule(rcalcite_enumerable::implement_rule());
         conn.register_executor(Arc::new(match self.mode.batch_fusion() {
             None => EnumerableExecutor::new(),

@@ -173,6 +173,7 @@ impl BenchmarkGroup<'_> {
         }
         let total: Duration = b.samples.iter().sum();
         let mean = total / b.samples.len() as u32;
+        write_estimates(&label, mean, &b.samples);
         match self.throughput {
             Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
                 let rate = n as f64 / mean.as_secs_f64();
@@ -191,6 +192,39 @@ impl BenchmarkGroup<'_> {
             _ => println!("{label}: mean {mean:?} over {} samples", b.samples.len()),
         }
     }
+}
+
+/// Persists a benchmark's estimates the way real criterion does:
+/// `<target>/criterion/<label>/new/estimates.json` with `mean`/`median`
+/// point estimates in nanoseconds, so downstream tooling (CI's
+/// `BENCH_*.json` collector) parses the same layout either harness
+/// writes. Best-effort: measurement output never fails a bench run.
+fn write_estimates(label: &str, mean: Duration, samples: &[Duration]) {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    let mut dir = std::path::PathBuf::from(target).join("criterion");
+    for seg in label.split('/') {
+        dir.push(seg);
+    }
+    dir.push("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+    let json = format!(
+        concat!(
+            "{{\"mean\":{{\"point_estimate\":{},\"confidence_interval\":",
+            "{{\"lower_bound\":{},\"upper_bound\":{}}}}},",
+            "\"median\":{{\"point_estimate\":{}}}}}"
+        ),
+        mean.as_nanos(),
+        lo.as_nanos(),
+        hi.as_nanos(),
+        median.as_nanos(),
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
 }
 
 /// Per-benchmark measurement driver handed to the bench closure.
