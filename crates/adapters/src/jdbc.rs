@@ -4,7 +4,7 @@
 //! text in the configured dialect (paper §8.2: "The JDBC adapter supports
 //! the generation of multiple SQL dialects").
 
-use crate::helpers::{rex_to_predicates, QueryLog};
+use crate::helpers::{rex_is_pushable, rex_to_predicates, QueryLog};
 use rcalcite_backends::memdb::{MemDb, SqlQuerySpec};
 use rcalcite_core::catalog::{Schema, Statistic, Table};
 use rcalcite_core::datum::{Column, Row};
@@ -70,6 +70,12 @@ impl Table for JdbcTable {
 
     fn convention(&self) -> Convention {
         self.convention.clone()
+    }
+
+    fn analyze(&self) -> Option<Result<rcalcite_core::stats::TableStats>> {
+        // ANALYZE reads memdb's columnar mirror zero-copy instead of going
+        // through the generic scan surface.
+        Some(self.db.analyze(&self.name))
     }
 }
 
@@ -167,7 +173,10 @@ impl Rule for JdbcFilterRule {
             return;
         }
         if let RelOp::Filter { condition } = &f.op {
-            if rex_to_predicates(condition).is_some() {
+            // Shape check only: a `?` in a literal position is pushable —
+            // the executor binds it to its value before building the
+            // backend query spec.
+            if rex_is_pushable(condition) {
                 call.transform_to(f.with_convention(self.conv.clone()));
             }
         }
@@ -247,16 +256,20 @@ struct JdbcExecutor {
 }
 
 impl JdbcExecutor {
-    /// Folds a jdbc-convention subtree into one query spec.
-    fn build_spec(&self, rel: &Rel, spec: &mut SqlQuerySpec) -> Result<()> {
+    /// Folds a jdbc-convention subtree into one query spec. Dynamic
+    /// parameters in pushed filters are bound from `ctx` here — the
+    /// rendered SQL keeps the JDBC `?` form, but the backend receives the
+    /// concrete values of this execution.
+    fn build_spec(&self, rel: &Rel, ctx: &ExecContext, spec: &mut SqlQuerySpec) -> Result<()> {
         match &rel.op {
             RelOp::Scan { table } => {
                 spec.table = table.name.clone();
                 Ok(())
             }
             RelOp::Filter { condition } => {
-                self.build_spec(rel.input(0), spec)?;
-                let preds = rex_to_predicates(condition).ok_or_else(|| {
+                self.build_spec(rel.input(0), ctx, spec)?;
+                let bound = ctx.bind(condition)?;
+                let preds = rex_to_predicates(&bound).ok_or_else(|| {
                     CalciteError::internal("jdbc executor: unpushable filter reached backend")
                 })?;
                 spec.predicates.extend(preds);
@@ -267,7 +280,7 @@ impl JdbcExecutor {
                 offset,
                 fetch,
             } => {
-                self.build_spec(rel.input(0), spec)?;
+                self.build_spec(rel.input(0), ctx, spec)?;
                 spec.order = collation
                     .iter()
                     .map(|fc| (fc.field, fc.descending))
@@ -277,7 +290,7 @@ impl JdbcExecutor {
                 Ok(())
             }
             RelOp::Project { exprs, .. } => {
-                self.build_spec(rel.input(0), spec)?;
+                self.build_spec(rel.input(0), ctx, spec)?;
                 let cols: Option<Vec<usize>> = exprs.iter().map(|e| e.as_input_ref()).collect();
                 spec.projection = cols;
                 Ok(())
@@ -294,14 +307,15 @@ impl ConventionExecutor for JdbcExecutor {
         self.adapter.convention.clone()
     }
 
-    fn execute(&self, rel: &Rel, _ctx: &ExecContext) -> Result<RowIter> {
+    fn execute(&self, rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
         // Record the SQL text shipped to the database (the generated
-        // target language of Table 2).
+        // target language of Table 2) — parameterized form, `?` and all,
+        // as a JDBC driver would send it.
         if let Ok(sql) = to_sql(rel, self.adapter.dialect.as_ref()) {
             self.adapter.log.record(sql);
         }
         let mut spec = SqlQuerySpec::default();
-        self.build_spec(rel, &mut spec)?;
+        self.build_spec(rel, ctx, &mut spec)?;
         let rows = self.adapter.db.execute(&spec)?;
         Ok(Box::new(rows.into_iter()))
     }
@@ -414,6 +428,42 @@ mod tests {
             r.rows,
             vec![vec![Datum::str("anvil")], vec![Datum::str("rocket")]]
         );
+    }
+
+    #[test]
+    fn dynamic_params_bind_inside_pushed_subtree() {
+        // Regression: the unparser emits JDBC `?` for pushed filters, but
+        // the backend used to receive the unbound placeholder. The filter
+        // must still push down AND receive each execution's binding.
+        let (conn, adapter) = connection();
+        let stmt = conn
+            .prepare("SELECT name FROM products WHERE price > ? ORDER BY price")
+            .unwrap();
+        let r = stmt.query(&[Datum::Double(6.0)]).unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![Datum::str("anvil")], vec![Datum::str("rocket")]]
+        );
+        // Same compiled plan, different binding.
+        let r = stmt.query(&[Datum::Double(50.0)]).unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::str("rocket")]]);
+        // The filter went to the backend as parameterized SQL, not to the
+        // enumerable engine.
+        let sql = adapter.log.entries().join("\n");
+        assert!(sql.contains("WHERE (c2 > ?)"), "{sql}");
+    }
+
+    #[test]
+    fn analyze_reads_columnar_mirror() {
+        let db = sample_db();
+        let adapter = JdbcAdapter::new(db, "pg", Arc::new(PostgresDialect));
+        let t = adapter.schema().table("products").unwrap();
+        let stats = t.analyze().expect("native analyze").unwrap();
+        assert_eq!(stats.row_count, 3.0);
+        assert_eq!(stats.columns.len(), 3);
+        assert_eq!(stats.columns[0].ndv, 3.0);
+        assert_eq!(stats.columns[2].min, Some(5.0));
+        assert_eq!(stats.columns[2].max, Some(100.0));
     }
 
     #[test]

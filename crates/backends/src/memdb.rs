@@ -11,6 +11,7 @@ use rcalcite_core::catalog::RangeScan;
 use rcalcite_core::datum::{Column, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{BatchIter, SlicedColumns};
+use rcalcite_core::stats::{analyze_columns, TableStats};
 use rcalcite_core::types::TypeKind;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -195,6 +196,17 @@ impl MemDb {
 
     pub fn table(&self, name: &str) -> Option<Arc<MemRelation>> {
         self.tables.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Computes planner statistics (row count, per-column NDV/min/max/null
+    /// fraction, equi-depth histograms) straight from the columnar mirror
+    /// of an `Arc` snapshot — no row pivoting, no copy of the store. This
+    /// is the native `ANALYZE` path the JDBC adapter's tables expose.
+    pub fn analyze(&self, name: &str) -> Result<TableStats> {
+        let rel = self
+            .table(name)
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{name}'")))?;
+        Ok(analyze_columns(rel.column_data(), rel.rows.len()))
     }
 
     pub fn table_names(&self) -> Vec<String> {

@@ -158,6 +158,15 @@ pub trait Table: Send + Sync {
     fn as_mem_table(&self) -> Option<&MemTable> {
         None
     }
+
+    /// Native statistics collection for `ANALYZE`. `None` (the default)
+    /// means the backend has no cheaper path and the caller falls back to
+    /// [`crate::stats::analyze_table`], which scans through the generic
+    /// columnar surface. Backends with a columnar mirror override this to
+    /// compute statistics zero-copy (see the memdb backend).
+    fn analyze(&self) -> Option<Result<crate::stats::TableStats>> {
+        None
+    }
 }
 
 /// A consistent, positionally-addressable view of a table taken at scan
@@ -381,16 +390,26 @@ impl Schema {
     }
 }
 
-/// The root catalog: a set of named schemas plus a default search schema.
+/// The root catalog: a set of named schemas plus a default search schema,
+/// and the `ANALYZE`d statistics store the planner's stats-backed
+/// metadata provider reads from.
 #[derive(Default)]
 pub struct Catalog {
     schemas: RwLock<HashMap<String, Arc<Schema>>>,
     default_schema: RwLock<Option<String>>,
+    stats: crate::stats::StatsRegistry,
 }
 
 impl Catalog {
     pub fn new() -> Arc<Catalog> {
         Arc::new(Catalog::default())
+    }
+
+    /// The catalog's statistics store (qualified table name → stats),
+    /// populated by `ANALYZE` and generation-stamped against the plan
+    /// cache's DDL counter.
+    pub fn stats(&self) -> &crate::stats::StatsRegistry {
+        &self.stats
     }
 
     pub fn add_schema(&self, name: impl Into<String>, schema: Schema) {

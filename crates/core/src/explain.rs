@@ -37,6 +37,30 @@ fn fmt_node(rel: &Rel, depth: usize, mq: Option<&MetadataQuery>, out: &mut Strin
     }
 }
 
+/// Renders the planner's estimated output rows per operator as a single
+/// `-- est:` comment line (preorder, scans labelled with their table), so
+/// estimate accuracy is visible — and testable — next to a plan:
+///
+/// ```text
+/// -- est: Join=10 Filter=10 Scan(hr.big)=20000 Scan(hr.small)=100
+/// ```
+pub fn explain_estimates(rel: &Rel, mq: &MetadataQuery) -> String {
+    let mut parts = vec![];
+    collect_estimates(rel, mq, &mut parts);
+    format!("-- est: {}\n", parts.join(" "))
+}
+
+fn collect_estimates(rel: &Rel, mq: &MetadataQuery, out: &mut Vec<String>) {
+    let label = match &rel.op {
+        crate::rel::RelOp::Scan { table } => format!("Scan({})", table.qualified_name()),
+        op => format!("{:?}", op.kind()),
+    };
+    out.push(format!("{label}={:.0}", mq.row_count(rel)));
+    for i in &rel.inputs {
+        collect_estimates(i, mq, out);
+    }
+}
+
 /// Renders a plan as a Graphviz digraph (for inspecting Figure 2/4-style
 /// transformations visually).
 pub fn to_dot(rel: &Rel) -> String {

@@ -39,6 +39,7 @@ pub mod rel;
 pub mod rex;
 pub mod rules;
 pub mod simplify;
+pub mod stats;
 pub mod traits;
 pub mod types;
 
@@ -50,5 +51,6 @@ pub use exec::{ConventionExecutor, ExecContext, RowIter};
 pub use metadata::{MetadataProvider, MetadataQuery};
 pub use rel::{Rel, RelKind, RelNode, RelOp};
 pub use rex::RexNode;
+pub use stats::{ColumnStats, StatsRegistry, TableStats};
 pub use traits::Convention;
 pub use types::{RelType, RowType, TypeKind};

@@ -362,7 +362,7 @@ pub struct DefaultMdProvider;
 
 impl DefaultMdProvider {
     fn predicate_selectivity(rel: &Rel, pred: &RexNode, mq: &MetadataQuery) -> f64 {
-        match pred {
+        let sel = match pred {
             RexNode::Literal { .. } => {
                 if pred.is_always_true() {
                     1.0
@@ -402,7 +402,10 @@ impl DefaultMdProvider {
             // A parameter's value is unknown at planning time; treat it
             // like a boolean column reference.
             RexNode::InputRef { .. } | RexNode::DynamicParam { .. } => 0.5,
-        }
+        };
+        // Composed estimates (nested NOT/AND chains, float round-off) can
+        // land outside [0, 1]; a selectivity never can.
+        sel.clamp(0.0, 1.0)
     }
 
     /// Join-condition selectivity relative to the Cartesian product.
@@ -433,7 +436,9 @@ impl DefaultMdProvider {
             }
             sel *= Self::predicate_selectivity(rel, &c, mq);
         }
-        sel
+        // Kept in [0, 1] so the Semi/Anti cardinality math below never
+        // raises a negative base to a fractional power (NaN).
+        sel.clamp(0.0, 1.0)
     }
 }
 
@@ -497,7 +502,13 @@ impl MetadataProvider for DefaultMdProvider {
             }
             RelOp::Minus { .. } => mq.row_count(&rel.inputs[0]) * 0.5,
         };
-        Some(rc.max(1e-6))
+        // Degenerate inputs (empty tables, runaway products) must not leak
+        // NaN/∞ into cost comparisons — those poison every plan they touch.
+        if rc.is_finite() {
+            Some(rc.max(1e-6))
+        } else {
+            Some(f64::MAX / 1e6)
+        }
     }
 
     fn selectivity(&self, rel: &Rel, predicate: &RexNode, mq: &MetadataQuery) -> Option<f64> {
@@ -563,10 +574,12 @@ impl MetadataProvider for DefaultMdProvider {
             RelOp::Join { .. } => {
                 let l = mq.row_count(&rel.inputs[0]);
                 let r = mq.row_count(&rel.inputs[1]);
-                // Hash-join shaped: build on the smaller side; hashing and
-                // probing cost ~2 units per input row.
-                let build = l.min(r);
-                Cost::new(out_rows, 2.0 * (l + r) + out_rows, 0.0, build)
+                // Hash-join shaped, matching the executors: the RIGHT input
+                // is the build side (hash table memory + ~3 units/row to
+                // build), the left streams through as probe (~1 unit/row).
+                // The asymmetry is what lets JoinCommuteRule win when the
+                // smaller input isn't already on the right.
+                Cost::new(out_rows, l + 3.0 * r + out_rows, 0.0, r)
             }
             RelOp::Aggregate { .. } => {
                 let n = mq.row_count(&rel.inputs[0]);
@@ -845,6 +858,78 @@ mod tests {
         assert_eq!(mq.row_count(&s), 42.0);
         // Other metadata still answered by the default provider.
         assert!(mq.cumulative_cost(&s).cpu > 0.0);
+    }
+
+    #[test]
+    fn composed_selectivities_stay_in_unit_interval() {
+        let mq = MetadataQuery::standard();
+        let s = rel::scan(table(1000.0, vec![]));
+        let p = RexNode::input(1, RelType::nullable(TypeKind::Double)).gt(RexNode::lit_double(0.0));
+        // NOT over an AND of many clauses: the unclamped product can round
+        // below 0 / above 1; the estimate must stay a probability.
+        let and = RexNode::call(Op::And, vec![p.clone(); 8]);
+        let not = RexNode::call(Op::Not, vec![and.clone()]);
+        let double_not = RexNode::call(Op::Not, vec![not.clone()]);
+        for pred in [&and, &not, &double_not] {
+            let sel = mq.selectivity(&s, pred);
+            assert!((0.0..=1.0).contains(&sel), "sel = {sel}");
+        }
+        // Deep NOT chains over OR folds likewise.
+        let or = RexNode::call(Op::Or, vec![p; 16]);
+        let sel = mq.selectivity(&s, &RexNode::call(Op::Not, vec![or]));
+        assert!((0.0..=1.0).contains(&sel), "sel = {sel}");
+    }
+
+    #[test]
+    fn empty_table_estimates_stay_finite() {
+        let mq = MetadataQuery::standard();
+        let empty = rel::scan(table(0.0, vec![]));
+        let other = rel::scan(table(0.0, vec![]));
+        // row_count floors at a positive epsilon, never 0/NaN.
+        let rc = mq.row_count(&empty);
+        assert!(rc.is_finite() && rc > 0.0, "rc = {rc}");
+        // Semi/Anti cardinality math on empty inputs must not produce NaN
+        // (negative base to fractional power) or divide-by-zero artifacts.
+        let cond = RexNode::input(0, RelType::not_null(TypeKind::Integer))
+            .eq(RexNode::input(2, RelType::not_null(TypeKind::Integer)));
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::Left,
+            JoinKind::Full,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let j = rel::join(empty.clone(), other.clone(), kind, cond.clone());
+            let rc = mq.row_count(&j);
+            assert!(rc.is_finite() && rc > 0.0, "join rc = {rc}");
+            let cost = mq.cumulative_cost(&j);
+            assert!(mq.cost_model().weigh(&cost).is_finite());
+        }
+    }
+
+    #[test]
+    fn join_cost_charges_build_on_right_input() {
+        // The executors build the hash table on input(1): putting the big
+        // input there must cost strictly more, so commute can flip it.
+        let mq = MetadataQuery::standard();
+        let big = rel::scan(table(10_000.0, vec![]));
+        let small = rel::scan(table(100.0, vec![]));
+        let cond = RexNode::input(0, RelType::not_null(TypeKind::Integer))
+            .eq(RexNode::input(2, RelType::not_null(TypeKind::Integer)));
+        let build_small = rel::join(big.clone(), small.clone(), JoinKind::Inner, cond.clone());
+        let build_big = rel::join(small, big, JoinKind::Inner, cond);
+        let cs = mq.non_cumulative_cost(&build_small);
+        let cb = mq.non_cumulative_cost(&build_big);
+        assert!(
+            cs.memory < cb.memory,
+            "memory {} !< {}",
+            cs.memory,
+            cb.memory
+        );
+        assert!(
+            mq.cost_model().weigh(&cs) < mq.cost_model().weigh(&cb),
+            "build-small must be cheaper"
+        );
     }
 
     #[test]

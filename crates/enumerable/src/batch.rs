@@ -4600,6 +4600,10 @@ fn fmt_spill(
     let b = budget as f64;
     match &rel.op {
         RelOp::Join { .. } => {
+            // The executors always build on input(1); the planner's join
+            // cost charges build memory to that side, so with ANALYZEd
+            // statistics commute has already oriented the smaller input
+            // here and this estimate reflects the real build state.
             let build = rel.input(1);
             let est = mq.row_count(build) * mq.average_row_size(build);
             if est > b {

@@ -31,6 +31,12 @@ pub enum Stmt {
         name: Vec<String>,
         if_exists: bool,
     },
+    /// `ANALYZE [TABLE] [name]` — collects planner statistics (row count,
+    /// per-column NDV/min/max/null fraction, equi-depth histograms) for
+    /// one table, or for every table in the catalog when no name is given.
+    Analyze {
+        name: Option<Vec<String>>,
+    },
 }
 
 /// A column definition in CREATE TABLE.

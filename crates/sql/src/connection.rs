@@ -31,6 +31,7 @@ use rcalcite_core::planner::PlannerEngine;
 use rcalcite_core::rel::Rel;
 use rcalcite_core::rex::FunctionRegistry;
 use rcalcite_core::rules::{default_logical_rules, Rule};
+use rcalcite_core::stats::{analyze_table, StatsMdProvider};
 use rcalcite_core::traits::Convention;
 use rcalcite_core::types::RelType;
 use std::collections::HashMap;
@@ -391,8 +392,16 @@ impl Connection {
     }
 
     pub fn metadata_query(&self) -> MetadataQuery {
+        let mut providers = self.providers.clone();
+        // ANALYZEd statistics answer after any user-registered providers
+        // but before the default heuristics. The provider is pinned to the
+        // current generation, so stats retired by DDL/INSERT go silent.
+        providers.push(Arc::new(StatsMdProvider::new(
+            self.catalog.clone(),
+            self.generation(),
+        )));
         MetadataQuery::new(
-            self.providers.clone(),
+            providers,
             self.cost_model
                 .clone()
                 .unwrap_or_else(|| Arc::new(rcalcite_core::cost::DefaultCostModel::new())),
@@ -643,6 +652,41 @@ impl Connection {
                     if existed { "dropped" } else { "did not exist" }
                 )))
             }
+            Stmt::Analyze { name } => {
+                let targets: Vec<TableRef> = match &name {
+                    Some(parts) => {
+                        let (s, t) = self.split_name(parts)?;
+                        vec![self.catalog.resolve(&[&s, &t])?]
+                    }
+                    None => {
+                        let mut all = vec![];
+                        for s in self.catalog.schema_names() {
+                            let schema = self.catalog.schema(&s).expect("listed schema");
+                            for t in schema.table_names() {
+                                all.push(self.catalog.resolve(&[&s, &t])?);
+                            }
+                        }
+                        all
+                    }
+                };
+                // Fresh statistics change cost comparisons, so cached plans
+                // are retired first; the new snapshot is stamped with the
+                // post-bump generation and stays live until the next
+                // DDL/INSERT retires it the same way.
+                self.invalidate_plans();
+                let generation = self.generation();
+                let n = targets.len();
+                for tref in targets {
+                    let stats = match tref.table.analyze() {
+                        Some(native) => native?,
+                        None => analyze_table(tref.table.as_ref())?,
+                    };
+                    self.catalog
+                        .stats()
+                        .put(tref.qualified_name(), generation, Arc::new(stats));
+                }
+                Ok(message(format!("analyzed {n} table(s)")))
+            }
         }
     }
 
@@ -704,6 +748,10 @@ impl Connection {
         let (plan, cached) = self.plan_query(&key, q)?;
         let mq = self.metadata_query();
         let mut text = explain_with_costs(&plan.physical, &mq);
+        text.push_str(&rcalcite_core::explain::explain_estimates(
+            &plan.physical,
+            &mq,
+        ));
         if self.exec_mode.batch_fusion().is_some() {
             let p = self.parallelism();
             if let Some(parallel) = rcalcite_enumerable::explain_parallel(&plan.physical, p) {

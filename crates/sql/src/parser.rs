@@ -28,6 +28,8 @@ pub fn parse(sql: &str) -> Result<Stmt> {
         p.parse_insert()?
     } else if p.peek().is_kw("DROP") {
         p.parse_drop()?
+    } else if p.peek().is_kw("ANALYZE") {
+        p.parse_analyze()?
     } else {
         Stmt::Query(p.parse_query()?)
     };
@@ -194,6 +196,20 @@ impl Parser {
         };
         let name = self.qualified_name()?;
         Ok(Stmt::DropTable { name, if_exists })
+    }
+
+    fn parse_analyze(&mut self) -> Result<Stmt> {
+        self.expect_kw("ANALYZE")?;
+        self.eat_kw("TABLE");
+        // A bare `ANALYZE` analyzes every table in the catalog.
+        let name = if matches!(self.peek(), Token::Eof)
+            || matches!(self.peek(), Token::Sym(s) if *s == ";")
+        {
+            None
+        } else {
+            Some(self.qualified_name()?)
+        };
+        Ok(Stmt::Analyze { name })
     }
 
     // -------------------------------------------------------------

@@ -203,6 +203,13 @@ impl ConnectionBuilder {
         if let Some(bytes) = self.memory_budget {
             conn.set_memory_budget(rcalcite_core::buffer::MemoryBudget::bytes(bytes));
         }
+        // Cost-based join exploration (commute/associate) runs in the
+        // Volcano phase, where the memo deduplicates the alternatives;
+        // with ANALYZEd statistics this is what picks join order and puts
+        // the smaller input on the hash join's build side.
+        for r in rcalcite_core::rules::join_exploration_rules() {
+            conn.add_rule(r);
+        }
         conn.add_rule(rcalcite_enumerable::implement_rule());
         conn.register_executor(Arc::new(match self.mode.batch_fusion() {
             None => EnumerableExecutor::new(),

@@ -1,0 +1,209 @@
+//! Statistics-driven planning, end to end: `ANALYZE` collects table
+//! statistics into the catalog, the `StatsMdProvider` feeds them to the
+//! cost model, and the Volcano phase's join-exploration rules change the
+//! physical plan — join order and hash-join build side — in response.
+//! Every plan change is checked to be result-identical, the paper's
+//! ground rule for cost-based transformation.
+
+use rcalcite_core::catalog::{Catalog, MemTable, Schema};
+use rcalcite_core::datum::{Datum, Row};
+use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+use rcalcite_sql::Connection;
+use std::sync::Arc;
+
+const BIG_ROWS: i64 = 20_000;
+const SMALL_ROWS: i64 = 100;
+
+/// `big` (20 000 rows: k = i % 100, v = i) joined with `small` (100 rows:
+/// k = i) under the highly selective `big.v < 10`. Before ANALYZE the
+/// planner guesses 50% filter selectivity, so the filtered `big` looks
+/// huge and `small` stays on the build side; real statistics shrink the
+/// filtered `big` to ~10 rows and flip the orientation.
+fn catalog() -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    let s = Schema::new();
+    let big: Vec<Row> = (0..BIG_ROWS)
+        .map(|i| vec![Datum::Int(i % 100), Datum::Int(i)])
+        .collect();
+    s.add_table(
+        "big",
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .add_not_null("v", TypeKind::Integer)
+                .build(),
+            big,
+        ),
+    );
+    let small: Vec<Row> = (0..SMALL_ROWS)
+        .map(|i| vec![Datum::Int(i), Datum::str(format!("t{i}"))])
+        .collect();
+    s.add_table(
+        "small",
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("k", TypeKind::Integer)
+                .add_not_null("tag", TypeKind::Varchar)
+                .build(),
+            small,
+        ),
+    );
+    catalog.add_schema("db", s);
+    catalog
+}
+
+fn conn_over(catalog: Arc<Catalog>) -> Connection {
+    Connection::builder(catalog).build()
+}
+
+const QUERY: &str = "SELECT s.tag FROM big b JOIN small s ON b.k = s.k WHERE b.v < 10";
+
+/// Offsets of the two scans in the EXPLAIN tree. Preorder rendering puts
+/// the join's left (probe) input first, so `big before small` means
+/// `small` is the right-hand build side and vice versa.
+fn scan_positions(plan: &str) -> (usize, usize) {
+    let big = plan
+        .find("Scan(db.big)")
+        .unwrap_or_else(|| panic!("{plan}"));
+    let small = plan
+        .find("Scan(db.small)")
+        .unwrap_or_else(|| panic!("{plan}"));
+    (big, small)
+}
+
+/// Parses one `label=N` entry off the `-- est:` line.
+fn estimate(plan: &str, label: &str) -> f64 {
+    let est_line = plan
+        .lines()
+        .find(|l| l.starts_with("-- est:"))
+        .unwrap_or_else(|| panic!("no est line in {plan}"));
+    let needle = format!("{label}=");
+    let at = est_line
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {label} in {est_line}"));
+    let rest = &est_line[at + needle.len()..];
+    let end = rest.find(' ').unwrap_or(rest.len());
+    rest[..end].parse().unwrap()
+}
+
+#[test]
+fn analyze_populates_catalog_stats() {
+    let catalog = catalog();
+    let conn = conn_over(catalog.clone());
+    assert!(catalog.stats().is_empty());
+
+    let r = conn.query("ANALYZE").unwrap();
+    assert!(r.rows[0][0].to_string().contains("2 table(s)"), "{r:?}");
+
+    let (_, big) = catalog.stats().get_any("db.big").unwrap();
+    assert_eq!(big.row_count, BIG_ROWS as f64);
+    // k cycles 0..100; v is the row index.
+    assert_eq!(big.columns[0].ndv, 100.0);
+    assert_eq!(big.columns[1].ndv, BIG_ROWS as f64);
+    assert_eq!(big.columns[1].min, Some(0.0));
+    assert_eq!(big.columns[1].max, Some((BIG_ROWS - 1) as f64));
+    assert_eq!(big.columns[1].null_frac, 0.0);
+    assert!(!big.columns[1].histogram.is_empty());
+
+    let (_, small) = catalog.stats().get_any("db.small").unwrap();
+    assert_eq!(small.row_count, SMALL_ROWS as f64);
+    // `tag` is non-numeric: NDV applies, histogram does not.
+    assert_eq!(small.columns[1].ndv, SMALL_ROWS as f64);
+    assert!(small.columns[1].histogram.is_empty());
+
+    // ANALYZE <table> refreshes a single table.
+    catalog.stats().clear();
+    conn.query("ANALYZE big").unwrap();
+    assert_eq!(catalog.stats().names(), vec!["db.big".to_string()]);
+}
+
+#[test]
+fn join_orientation_flips_after_analyze() {
+    let conn = conn_over(catalog());
+
+    // Unanalyzed: 50% filter guess leaves `big` looking like 10 000 rows,
+    // so the 100-row `small` is kept as the right-hand build input.
+    let before = conn.explain(QUERY).unwrap();
+    let (b, s) = scan_positions(&before);
+    assert!(b < s, "expected small on the build side:\n{before}");
+
+    conn.query("ANALYZE").unwrap();
+
+    // Histogram selectivity for v < 10 is ~10/20000: the filtered `big`
+    // is now the smaller input and commutes onto the build side.
+    let after = conn.explain(QUERY).unwrap();
+    let (b, s) = scan_positions(&after);
+    assert!(s < b, "expected filtered big on the build side:\n{after}");
+}
+
+#[test]
+fn estimates_are_within_twice_actuals() {
+    let conn = conn_over(catalog());
+    conn.query("ANALYZE").unwrap();
+
+    let plan = conn.explain(QUERY).unwrap();
+    // Leaf estimates are exact under fresh statistics.
+    assert_eq!(estimate(&plan, "Scan(db.big)"), BIG_ROWS as f64);
+    assert_eq!(estimate(&plan, "Scan(db.small)"), SMALL_ROWS as f64);
+    // v < 10 actually passes 10 rows; each joins exactly one `small` row.
+    let filter = estimate(&plan, "Filter");
+    assert!(
+        (5.0..=20.0).contains(&filter),
+        "filter est {filter}:\n{plan}"
+    );
+    let join = estimate(&plan, "Join");
+    assert!((5.0..=20.0).contains(&join), "join est {join}:\n{plan}");
+
+    let rows = conn.query(QUERY).unwrap().rows;
+    assert_eq!(rows.len(), 10);
+}
+
+#[test]
+fn dml_invalidates_stats_until_reanalyzed() {
+    let catalog = catalog();
+    let conn = conn_over(catalog.clone());
+    conn.query("ANALYZE").unwrap();
+    let (b, s) = scan_positions(&conn.explain(QUERY).unwrap());
+    assert!(s < b);
+
+    // Any generation bump — here a DML write — retires the stamped
+    // statistics: the registry still holds them, but the provider no
+    // longer answers from them and the plan reverts to the default guess.
+    conn.query("INSERT INTO big VALUES (0, -1)").unwrap();
+    assert!(catalog.stats().get_any("db.big").is_some());
+    let reverted = conn.explain(QUERY).unwrap();
+    let (b, s) = scan_positions(&reverted);
+    assert!(b < s, "stale stats still steering the plan:\n{reverted}");
+
+    // Re-ANALYZE restores statistics-driven planning.
+    conn.query("ANALYZE").unwrap();
+    let (b, s) = scan_positions(&conn.explain(QUERY).unwrap());
+    assert!(s < b);
+}
+
+#[test]
+fn plan_changes_are_result_identical() {
+    let sorted = |mut rows: Vec<Row>| {
+        rows.sort_by_key(|r| format!("{r:?}"));
+        rows
+    };
+    // Separate catalogs: statistics live in the catalog, so sharing one
+    // would analyze both connections at once.
+    let plain = conn_over(catalog());
+    let analyzed = conn_over(catalog());
+    analyzed.query("ANALYZE").unwrap();
+
+    for q in [
+        QUERY,
+        "SELECT b.k, COUNT(*) AS c FROM big b JOIN small s ON b.k = s.k \
+         WHERE b.v < 5000 GROUP BY b.k",
+        "SELECT s.tag FROM small s JOIN big b ON s.k = b.v WHERE s.k < 3",
+    ] {
+        let before = scan_positions(&plain.explain(q).unwrap());
+        let after = scan_positions(&analyzed.explain(q).unwrap());
+        let a = sorted(plain.query(q).unwrap().rows);
+        let b = sorted(analyzed.query(q).unwrap().rows);
+        assert_eq!(a, b, "{q} (orientations {before:?} vs {after:?})");
+        assert!(!a.is_empty(), "{q}");
+    }
+}
