@@ -77,6 +77,26 @@ impl Table for JdbcTable {
         // through the generic scan surface.
         Some(self.db.analyze(&self.name))
     }
+
+    fn indexes(&self) -> Vec<rcalcite_core::index::IndexDef> {
+        self.db.indexes(&self.name)
+    }
+
+    fn index_probe_snapshot(
+        &self,
+        index: &str,
+    ) -> Result<Option<Arc<dyn rcalcite_core::index::IndexProbe>>> {
+        self.db.index_probe(&self.name, index)
+    }
+
+    fn create_index(&self, def: &rcalcite_core::index::IndexDef) -> Result<bool> {
+        self.db.create_index(&self.name, def)?;
+        Ok(true)
+    }
+
+    fn drop_index(&self, name: &str) -> Result<bool> {
+        self.db.drop_index(&self.name, name)
+    }
 }
 
 /// One JDBC data source: a database handle, a convention named after it

@@ -8,9 +8,10 @@
 use crate::common::ColPredicate;
 use parking_lot::RwLock;
 use rcalcite_core::catalog::RangeScan;
-use rcalcite_core::datum::{Column, Row};
+use rcalcite_core::datum::{Column, Datum, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{BatchIter, SlicedColumns};
+use rcalcite_core::index::{IndexData, IndexDef, IndexProbe, KeyAccess, SnapshotProbe};
 use rcalcite_core::stats::{analyze_columns, TableStats};
 use rcalcite_core::types::TypeKind;
 use std::collections::HashMap;
@@ -25,6 +26,12 @@ pub struct MemRelation {
     /// insert, so batch scans read typed vectors directly instead of
     /// pivoting rows per scan.
     col_store: Vec<Column>,
+    /// Secondary indexes over the columnar mirror, maintained
+    /// incrementally on insert. Stored *inside* the relation so the
+    /// copy-on-write `Arc` snapshot discipline covers them too: an
+    /// in-flight probe snapshot pairs index state with exactly the rows
+    /// it was built over.
+    indexes: Vec<Arc<IndexData>>,
 }
 
 impl MemRelation {
@@ -38,6 +45,7 @@ impl MemRelation {
             columns,
             rows,
             col_store,
+            indexes: vec![],
         }
     }
 
@@ -50,6 +58,46 @@ impl MemRelation {
     /// The native columnar form of this relation.
     pub fn column_data(&self) -> &[Column] {
         &self.col_store
+    }
+
+    /// Definitions of the secondary indexes on this relation.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|i| i.def.clone()).collect()
+    }
+}
+
+/// [`KeyAccess`] over a relation snapshot's columnar mirror: index
+/// build/probe reads typed vectors positionally, no row pivoting.
+pub struct RelAccess(pub Arc<MemRelation>);
+
+impl KeyAccess for RelAccess {
+    fn len(&self) -> usize {
+        self.0.rows.len()
+    }
+
+    fn arity(&self) -> usize {
+        self.0.columns.len()
+    }
+
+    fn datum(&self, row: usize, col: usize) -> Datum {
+        self.0.col_store[col].get(row)
+    }
+}
+
+/// Borrowed columnar [`KeyAccess`] for in-place index maintenance.
+struct ColAccess<'a>(&'a [Column]);
+
+impl KeyAccess for ColAccess<'_> {
+    fn len(&self) -> usize {
+        self.0.first().map_or(0, Column::len)
+    }
+
+    fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    fn datum(&self, row: usize, col: usize) -> Datum {
+        self.0[col].get(row)
     }
 }
 
@@ -150,7 +198,72 @@ impl MemDb {
             col.push(d.clone());
         }
         rel.rows.push(row);
+        // Incremental index maintenance (no rebuild): the new row is the
+        // last position of the already-updated columnar mirror. Disjoint
+        // field borrows let the indexes read the mirror while mutating.
+        let MemRelation {
+            col_store, indexes, ..
+        } = rel;
+        let access = ColAccess(col_store);
+        let pos = access.len() - 1;
+        for idx in indexes.iter_mut() {
+            Arc::make_mut(idx).insert(&access, pos);
+        }
         Ok(())
+    }
+
+    /// Creates a secondary index on `table`, built over the current
+    /// columnar mirror. Copy-on-write like `insert`: open snapshots keep
+    /// the index-less relation.
+    pub fn create_index(&self, table: &str, def: &IndexDef) -> Result<()> {
+        let mut tables = self.tables.write();
+        let rel = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{table}'")))?;
+        let rel = Arc::make_mut(rel);
+        if rel.indexes.iter().any(|i| i.def.name == def.name) {
+            return Err(CalciteError::validate(format!(
+                "index '{}' already exists on '{table}'",
+                def.name
+            )));
+        }
+        let built = IndexData::build(def.clone(), &ColAccess(&rel.col_store))?;
+        rel.indexes.push(Arc::new(built));
+        Ok(())
+    }
+
+    /// Drops an index from `table`; `Ok(true)` if it existed.
+    pub fn drop_index(&self, table: &str, name: &str) -> Result<bool> {
+        let mut tables = self.tables.write();
+        let rel = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{table}'")))?;
+        let rel = Arc::make_mut(rel);
+        let before = rel.indexes.len();
+        rel.indexes.retain(|i| i.def.name != name);
+        Ok(rel.indexes.len() < before)
+    }
+
+    /// The index definitions on `table` (empty for unknown tables).
+    pub fn indexes(&self, table: &str) -> Vec<IndexDef> {
+        self.table(table).map_or(vec![], |rel| rel.index_defs())
+    }
+
+    /// A consistent probe snapshot of `index` on `table`: one `Arc`
+    /// snapshot carries rows, columnar mirror and index state together,
+    /// so probes are undisturbed by concurrent inserts. `Ok(None)` when
+    /// the index does not exist.
+    pub fn index_probe(&self, table: &str, index: &str) -> Result<Option<Arc<dyn IndexProbe>>> {
+        let rel = self
+            .table(table)
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{table}'")))?;
+        let Some(idx) = rel.indexes.iter().find(|i| i.def.name == index).cloned() else {
+            return Ok(None);
+        };
+        Ok(Some(Arc::new(SnapshotProbe {
+            data: RelAccess(rel),
+            index: idx,
+        })))
     }
 
     /// Native columnar scan: clones the typed column vectors of a table —

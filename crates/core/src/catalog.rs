@@ -5,6 +5,9 @@
 use crate::datum::{Column, Row};
 use crate::error::{CalciteError, Result};
 use crate::exec::{BatchIter, RowBatcher, SlicedColumns};
+use crate::index::{
+    seek_rows, BoundProbe, IndexData, IndexDef, IndexProbe, RowsAccess, RowsRef, SnapshotProbe,
+};
 use crate::traits::{Collation, Convention};
 use crate::types::RowType;
 use parking_lot::RwLock;
@@ -167,6 +170,56 @@ pub trait Table: Send + Sync {
     fn analyze(&self) -> Option<Result<crate::stats::TableStats>> {
         None
     }
+
+    // ----- secondary-index SPI (§5: adapters expose access paths; the
+    // ----- optimizer picks among them by cost) -----
+
+    /// The secondary indexes currently defined on this table. Planner
+    /// rules enumerate these to propose seek access paths; the default
+    /// (no indexes) keeps plain tables on full scans.
+    fn indexes(&self) -> Vec<IndexDef> {
+        vec![]
+    }
+
+    /// Takes a consistent point-in-time snapshot for probing `index`:
+    /// positions, rows and index state all refer to the same data, so
+    /// concurrent INSERTs cannot tear a multi-probe seek or an in-flight
+    /// index-nested-loop join. `Ok(None)` means the index does not exist
+    /// (e.g. it was dropped after the plan was cached) — callers fall
+    /// back to a scan.
+    fn index_probe_snapshot(&self, index: &str) -> Result<Option<Arc<dyn IndexProbe>>> {
+        let _ = index;
+        Ok(None)
+    }
+
+    /// Seeks `index` with `probes`, returning matching rows in table
+    /// order (deduped across probes) — the same rows, in the same order,
+    /// a filtered full scan would produce. `Ok(None)` means the index
+    /// does not exist.
+    fn index_seek(
+        &self,
+        index: &str,
+        probes: &[BoundProbe],
+    ) -> Result<Option<Box<dyn Iterator<Item = Row> + Send>>> {
+        match self.index_probe_snapshot(index)? {
+            None => Ok(None),
+            Some(snap) => Ok(Some(Box::new(seek_rows(snap.as_ref(), probes).into_iter()))),
+        }
+    }
+
+    /// Creates a secondary index. `Ok(false)` means this table kind does
+    /// not support indexes; duplicate names are an error.
+    fn create_index(&self, def: &IndexDef) -> Result<bool> {
+        let _ = def;
+        Ok(false)
+    }
+
+    /// Drops an index by name; `Ok(true)` if it existed. Tables without
+    /// index support report `Ok(false)`.
+    fn drop_index(&self, name: &str) -> Result<bool> {
+        let _ = name;
+        Ok(false)
+    }
 }
 
 /// A consistent, positionally-addressable view of a table taken at scan
@@ -274,16 +327,24 @@ impl PartialEq for TableRef {
 /// examples and as the backing store for materialized views.
 pub struct MemTable {
     row_type: RowType,
-    rows: RwLock<Vec<Row>>,
+    /// Copy-on-write row store: scans and index-probe snapshots take an
+    /// `Arc` clone (O(1)), and a later write that finds the `Arc` shared
+    /// copies before mutating, so open snapshots keep their version.
+    rows: RwLock<Arc<Vec<Row>>>,
     statistic: RwLock<Option<Statistic>>,
+    /// Secondary indexes, maintained incrementally on insert. Guarded by
+    /// the same lock discipline as `rows` (rows lock taken first), so an
+    /// index never refers to positions that are not yet in `rows`.
+    indexes: RwLock<Vec<Arc<IndexData>>>,
 }
 
 impl MemTable {
     pub fn new(row_type: RowType, rows: Vec<Row>) -> Arc<MemTable> {
         Arc::new(MemTable {
             row_type,
-            rows: RwLock::new(rows),
+            rows: RwLock::new(Arc::new(rows)),
             statistic: RwLock::new(None),
+            indexes: RwLock::new(vec![]),
         })
     }
 
@@ -293,15 +354,33 @@ impl MemTable {
     }
 
     pub fn rows(&self) -> Vec<Row> {
-        self.rows.read().clone()
+        self.rows.read().as_ref().clone()
     }
 
     pub fn insert(&self, row: Row) {
-        self.rows.write().push(row);
+        let mut guard = self.rows.write();
+        Arc::make_mut(&mut guard).push(row);
+        let access = RowsRef {
+            rows: guard.as_slice(),
+            arity: self.row_type.arity(),
+        };
+        for idx in self.indexes.write().iter_mut() {
+            Arc::make_mut(idx).insert(&access, access.rows.len() - 1);
+        }
     }
 
     pub fn replace_all(&self, rows: Vec<Row>) {
-        *self.rows.write() = rows;
+        let mut guard = self.rows.write();
+        *guard = Arc::new(rows);
+        let access = RowsRef {
+            rows: guard.as_slice(),
+            arity: self.row_type.arity(),
+        };
+        for idx in self.indexes.write().iter_mut() {
+            let rebuilt = IndexData::build(idx.def.clone(), &access)
+                .expect("existing index definition must stay valid");
+            *Arc::make_mut(idx) = rebuilt;
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -326,7 +405,10 @@ impl Table for MemTable {
     }
 
     fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
-        Ok(Box::new(self.rows.read().clone().into_iter()))
+        // O(1) snapshot: rows are cloned lazily as the iterator advances,
+        // off a shared `Arc` that later writes copy away from.
+        let rows = Arc::clone(&self.rows.read());
+        Ok(Box::new((0..rows.len()).map(move |i| rows[i].clone())))
     }
 
     fn scan_columns(&self) -> Option<Result<Vec<Column>>> {
@@ -349,6 +431,56 @@ impl Table for MemTable {
 
     fn as_mem_table(&self) -> Option<&MemTable> {
         Some(self)
+    }
+
+    fn indexes(&self) -> Vec<IndexDef> {
+        self.indexes.read().iter().map(|i| i.def.clone()).collect()
+    }
+
+    fn index_probe_snapshot(&self, index: &str) -> Result<Option<Arc<dyn IndexProbe>>> {
+        // Rows lock first, then indexes: same order as `insert`, so the
+        // snapshot pairs the index state with exactly the rows it covers.
+        let rows = self.rows.read();
+        let Some(idx) = self
+            .indexes
+            .read()
+            .iter()
+            .find(|i| i.def.name == index)
+            .cloned()
+        else {
+            return Ok(None);
+        };
+        Ok(Some(Arc::new(SnapshotProbe {
+            data: RowsAccess {
+                rows: Arc::clone(&rows),
+                arity: self.row_type.arity(),
+            },
+            index: idx,
+        })))
+    }
+
+    fn create_index(&self, def: &IndexDef) -> Result<bool> {
+        let rows = self.rows.read();
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|i| i.def.name == def.name) {
+            return Err(CalciteError::validate(format!(
+                "index '{}' already exists",
+                def.name
+            )));
+        }
+        let access = RowsRef {
+            rows: rows.as_slice(),
+            arity: self.row_type.arity(),
+        };
+        indexes.push(Arc::new(IndexData::build(def.clone(), &access)?));
+        Ok(true)
+    }
+
+    fn drop_index(&self, name: &str) -> Result<bool> {
+        let mut indexes = self.indexes.write();
+        let before = indexes.len();
+        indexes.retain(|i| i.def.name != name);
+        Ok(indexes.len() < before)
     }
 }
 

@@ -53,6 +53,12 @@ pub fn explain_estimates(rel: &Rel, mq: &MetadataQuery) -> String {
 fn collect_estimates(rel: &Rel, mq: &MetadataQuery, out: &mut Vec<String>) {
     let label = match &rel.op {
         crate::rel::RelOp::Scan { table } => format!("Scan({})", table.qualified_name()),
+        crate::rel::RelOp::IndexSeek { table, index, .. } => {
+            format!("IndexSeek({}.{})", table.qualified_name(), index.name)
+        }
+        crate::rel::RelOp::IndexJoin { table, index, .. } => {
+            format!("IndexJoin({}.{})", table.qualified_name(), index.name)
+        }
         op => format!("{:?}", op.kind()),
     };
     out.push(format!("{label}={:.0}", mq.row_count(rel)));

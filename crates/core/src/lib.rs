@@ -31,6 +31,7 @@ pub mod datum;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod index;
 pub mod lattice;
 pub mod metadata;
 pub mod mv;
@@ -48,6 +49,7 @@ pub use catalog::{Catalog, MemTable, Schema, Statistic, Table, TableRef};
 pub use datum::{Datum, Row};
 pub use error::{CalciteError, Result};
 pub use exec::{ConventionExecutor, ExecContext, RowIter};
+pub use index::{BoundProbe, IndexDef, IndexKind, IndexProbe, SeekProbe, SeekSpec};
 pub use metadata::{MetadataProvider, MetadataQuery};
 pub use rel::{Rel, RelKind, RelNode, RelOp};
 pub use rex::RexNode;

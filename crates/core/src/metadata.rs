@@ -446,6 +446,80 @@ impl MetadataProvider for DefaultMdProvider {
     fn row_count(&self, rel: &Rel, mq: &MetadataQuery) -> Option<f64> {
         let rc = match &rel.op {
             RelOp::Scan { table } => table.table.statistic().row_count,
+            RelOp::IndexSeek {
+                table, index, seek, ..
+            } => {
+                // Without histograms (see StatsMdProvider for the analyzed
+                // path): each equality column divides by the same NDV
+                // heuristic as distinct_count, a range bound halves.
+                let stat = table.table.statistic();
+                let n = stat.row_count.max(1.0);
+                let mut total = 0.0;
+                for p in &seek.probes {
+                    let mut rows = n;
+                    if !p.eq.is_empty() {
+                        let eq_cols = &index.columns[..p.eq.len()];
+                        let unique = stat
+                            .keys
+                            .iter()
+                            .any(|k| k.iter().all(|c| eq_cols.contains(c)));
+                        if unique {
+                            rows = 1.0;
+                        } else {
+                            for _ in &p.eq {
+                                rows /= (n / 10.0).max(1.0).min(n);
+                            }
+                        }
+                    }
+                    if p.lower.is_some() {
+                        rows *= 0.5;
+                    }
+                    if p.upper.is_some() {
+                        rows *= 0.5;
+                    }
+                    total += rows;
+                }
+                total.min(n)
+            }
+            RelOp::IndexJoin {
+                kind,
+                condition,
+                table,
+                index,
+                left_keys,
+            } => {
+                // Same shape as the Join estimate: equi-selectivity is
+                // 1/max(NDV) per key pair, with the right-side NDV read
+                // from the indexed table's statistic.
+                let left = &rel.inputs[0];
+                let l = mq.row_count(left);
+                let stat = table.table.statistic();
+                let r = stat.row_count.max(1.0);
+                let mut sel = 1.0;
+                for (i, lk) in left_keys.iter().enumerate() {
+                    let ndv_l = mq.distinct_count(left, &[*lk]);
+                    let unique = stat
+                        .keys
+                        .iter()
+                        .any(|k| k.len() == 1 && k[0] == index.columns[i]);
+                    let ndv_r = if unique { r } else { (r / 10.0).max(1.0) };
+                    sel *= 1.0 / ndv_l.max(ndv_r).max(1.0);
+                }
+                // Conjuncts beyond the probed keys act as a residual filter.
+                let extra = condition.conjuncts().len().saturating_sub(left_keys.len());
+                sel *= 0.25f64.powi(extra as i32);
+                let sel = sel.clamp(0.0, 1.0);
+                match kind {
+                    crate::rel::JoinKind::Inner => l * r * sel,
+                    crate::rel::JoinKind::Left => (l * r * sel).max(l),
+                    crate::rel::JoinKind::Right => (l * r * sel).max(r),
+                    crate::rel::JoinKind::Full => (l * r * sel).max(l + r),
+                    crate::rel::JoinKind::Semi => l * (1.0 - (1.0 - sel).powf(r.max(0.0))).min(1.0),
+                    crate::rel::JoinKind::Anti => {
+                        l * (1.0 - sel * r.min(1.0 / sel.max(1e-9))).max(0.1)
+                    }
+                }
+            }
             RelOp::Values { tuples, .. } => tuples.len() as f64,
             RelOp::Filter { condition } => {
                 mq.row_count(&rel.inputs[0]) * mq.selectivity(&rel.inputs[0], condition)
@@ -558,6 +632,29 @@ impl MetadataProvider for DefaultMdProvider {
         let factor = mq.cost_model().convention_factor(&rel.convention);
         let cost = match &rel.op {
             RelOp::Scan { .. } => Cost::new(out_rows, out_rows, out_rows, 0.0),
+            RelOp::IndexSeek { table, seek, .. } => {
+                // One binary search per probe plus per-row gather. The
+                // gather touches rows at random positions, so each output
+                // row is priced above a sequential-scan row (4 cpu + 2 io
+                // vs the scan's 1 + 1): the seek only wins when the
+                // estimated selectivity is genuinely narrow.
+                let n = table.table.statistic().row_count.max(2.0);
+                let probes = seek.probes.len().max(1) as f64;
+                Cost::new(
+                    out_rows,
+                    probes * n.log2() + 4.0 * out_rows,
+                    2.0 * out_rows,
+                    0.0,
+                )
+            }
+            RelOp::IndexJoin { table, .. } => {
+                // One index probe per left row, no build side: beats hash
+                // join when the left input is small relative to the
+                // indexed table (which a hash join must scan and build).
+                let l = mq.row_count(&rel.inputs[0]);
+                let r = table.table.statistic().row_count.max(2.0);
+                Cost::new(out_rows, l * r.log2() + 2.0 * out_rows, out_rows, 0.0)
+            }
             RelOp::Values { tuples, .. } => {
                 Cost::new(tuples.len() as f64, tuples.len() as f64, 0.0, 0.0)
             }

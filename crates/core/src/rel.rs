@@ -6,6 +6,7 @@
 
 use crate::catalog::TableRef;
 use crate::datum::{Datum, Row};
+use crate::index::{IndexDef, SeekSpec};
 use crate::rex::RexNode;
 use crate::traits::{collation_to_string, Collation, Convention};
 use crate::types::{Field, RelType, RowType, TypeKind};
@@ -276,6 +277,30 @@ pub enum RelOp {
     Scan {
         table: TableRef,
     },
+    /// Index access path: point/range/multi-probe seek against one of the
+    /// table's secondary indexes instead of a full scan. `projection`, when
+    /// present, restricts the output to the listed base-table columns
+    /// (index-only style access). Residual predicates stay in a Filter
+    /// above; the cost model decides seek vs scan (§5: adapters expose
+    /// access paths, the optimizer chooses by cost).
+    IndexSeek {
+        table: TableRef,
+        index: IndexDef,
+        seek: SeekSpec,
+        projection: Option<Vec<usize>>,
+    },
+    /// Index-nested-loop join: for each left row, probes the right table's
+    /// index with the left-side key columns, then evaluates the full join
+    /// condition on each candidate. The right side is folded into the
+    /// operator (one input: the left). Registered by rule as a cost-model
+    /// alternative alongside hash join.
+    IndexJoin {
+        kind: JoinKind,
+        condition: RexNode,
+        table: TableRef,
+        index: IndexDef,
+        left_keys: Vec<usize>,
+    },
     /// Literal rows.
     Values {
         row_type: RowType,
@@ -330,6 +355,8 @@ pub enum RelOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RelKind {
     Scan,
+    IndexSeek,
+    IndexJoin,
     Values,
     Filter,
     Project,
@@ -348,6 +375,8 @@ impl RelOp {
     pub fn kind(&self) -> RelKind {
         match self {
             RelOp::Scan { .. } => RelKind::Scan,
+            RelOp::IndexSeek { .. } => RelKind::IndexSeek,
+            RelOp::IndexJoin { .. } => RelKind::IndexJoin,
             RelOp::Values { .. } => RelKind::Values,
             RelOp::Filter { .. } => RelKind::Filter,
             RelOp::Project { .. } => RelKind::Project,
@@ -367,6 +396,42 @@ impl RelOp {
     pub fn payload_digest(&self) -> String {
         match self {
             RelOp::Scan { table } => format!("Scan({})", table.qualified_name()),
+            RelOp::IndexSeek {
+                table,
+                index,
+                seek,
+                projection,
+            } => {
+                let mut s = format!(
+                    "IndexSeek({}, {}, {}",
+                    table.qualified_name(),
+                    index.digest(),
+                    seek.digest()
+                );
+                if let Some(cols) = projection {
+                    let cs: Vec<String> = cols.iter().map(|c| format!("${c}")).collect();
+                    s.push_str(&format!(", proj=[{}]", cs.join(",")));
+                }
+                s.push(')');
+                s
+            }
+            RelOp::IndexJoin {
+                kind,
+                condition,
+                table,
+                index,
+                left_keys,
+            } => {
+                let ks: Vec<String> = left_keys.iter().map(|k| format!("${k}")).collect();
+                format!(
+                    "IndexJoin({}, {}, {}, keys=[{}], {})",
+                    kind.name(),
+                    table.qualified_name(),
+                    index.digest(),
+                    ks.join(","),
+                    condition.digest()
+                )
+            }
             RelOp::Values { tuples, row_type } => {
                 let mut s = format!("Values(arity={}", row_type.arity());
                 for t in tuples {
@@ -514,9 +579,16 @@ impl RelNode {
     /// prepared-statement layer to discover dynamic parameters.
     pub fn visit_exprs(&self, f: &mut impl FnMut(&crate::rex::RexNode)) {
         match &self.op {
-            RelOp::Filter { condition } | RelOp::Join { condition, .. } => f(condition),
+            RelOp::Filter { condition }
+            | RelOp::Join { condition, .. }
+            | RelOp::IndexJoin { condition, .. } => f(condition),
             RelOp::Project { exprs, .. } => {
                 for e in exprs {
+                    f(e);
+                }
+            }
+            RelOp::IndexSeek { seek, .. } => {
+                for e in seek.exprs() {
                     f(e);
                 }
             }
@@ -543,6 +615,28 @@ impl PartialEq for RelNode {
 fn derive_row_type(op: &RelOp, inputs: &[Rel]) -> RowType {
     match op {
         RelOp::Scan { table } => table.table.row_type(),
+        RelOp::IndexSeek {
+            table, projection, ..
+        } => {
+            let base = table.table.row_type();
+            match projection {
+                None => base,
+                Some(cols) => RowType::new(cols.iter().map(|c| base.field(*c).clone()).collect()),
+            }
+        }
+        RelOp::IndexJoin { kind, table, .. } => {
+            let left = inputs[0].row_type();
+            if !kind.projects_right() {
+                return left.clone();
+            }
+            let right = table.table.row_type();
+            let r = if kind.generates_nulls_on_right() {
+                right.nullified()
+            } else {
+                right
+            };
+            left.join(&r)
+        }
         RelOp::Values { row_type, .. } => row_type.clone(),
         RelOp::Filter { .. } | RelOp::Delta | RelOp::Convert { .. } => inputs[0].row_type().clone(),
         RelOp::Project { exprs, names } => RowType::new(
@@ -619,6 +713,43 @@ pub fn project(input: Rel, exprs: Vec<RexNode>, names: Vec<String>) -> Rel {
 
 pub fn join(left: Rel, right: Rel, kind: JoinKind, condition: RexNode) -> Rel {
     RelNode::logical(RelOp::Join { kind, condition }, vec![left, right])
+}
+
+pub fn index_seek(
+    table: TableRef,
+    index: IndexDef,
+    seek: SeekSpec,
+    projection: Option<Vec<usize>>,
+) -> Rel {
+    RelNode::logical(
+        RelOp::IndexSeek {
+            table,
+            index,
+            seek,
+            projection,
+        },
+        vec![],
+    )
+}
+
+pub fn index_join(
+    left: Rel,
+    table: TableRef,
+    index: IndexDef,
+    kind: JoinKind,
+    condition: RexNode,
+    left_keys: Vec<usize>,
+) -> Rel {
+    RelNode::logical(
+        RelOp::IndexJoin {
+            kind,
+            condition,
+            table,
+            index,
+            left_keys,
+        },
+        vec![left],
+    )
 }
 
 pub fn aggregate(input: Rel, group: Vec<usize>, aggs: Vec<AggCall>) -> Rel {

@@ -1,0 +1,567 @@
+//! Index access-path rules: rewrite filters, projections and joins over
+//! indexed tables into seek-shaped alternatives. Every rule only *adds*
+//! an equivalent expression — the Volcano cost model decides whether the
+//! seek actually beats the scan (paper §5: the adapter exposes access
+//! paths, the optimizer chooses among them by cost). These rules are
+//! cost-sensitive choices, so they belong in the Volcano battery only,
+//! never in the heuristic phase.
+
+use crate::index::{IndexDef, IndexKind, SeekProbe, SeekSpec};
+use crate::rel::{self, JoinKind, RelKind, RelOp};
+use crate::rex::{Op, RexNode};
+use crate::rules::{Pattern, Rule, RuleCall};
+
+/// A comparison between one input column and a constant, normalized so
+/// the column is on the left (`5 < $0` reports as `$0 > 5`). Constants
+/// are literals or dynamic parameters — anything the executor can bind
+/// without a row.
+fn col_vs_const(e: &RexNode) -> Option<(usize, Op, RexNode)> {
+    let RexNode::Call { op, args, .. } = e else {
+        return None;
+    };
+    if args.len() != 2 {
+        return None;
+    }
+    let is_const =
+        |e: &RexNode| matches!(e, RexNode::Literal { .. } | RexNode::DynamicParam { .. });
+    if let (Some(col), true) = (args[0].as_input_ref(), is_const(&args[1])) {
+        let op = match op {
+            Op::Eq => Op::Eq,
+            Op::Lt => Op::Lt,
+            Op::Le => Op::Le,
+            Op::Gt => Op::Gt,
+            Op::Ge => Op::Ge,
+            _ => return None,
+        };
+        return Some((col, op, args[1].clone()));
+    }
+    if let (true, Some(col)) = (is_const(&args[0]), args[1].as_input_ref()) {
+        // Mirror the comparison to put the column on the left.
+        let op = match op {
+            Op::Eq => Op::Eq,
+            Op::Lt => Op::Gt,
+            Op::Le => Op::Ge,
+            Op::Gt => Op::Lt,
+            Op::Ge => Op::Le,
+            _ => return None,
+        };
+        return Some((col, op, args[0].clone()));
+    }
+    None
+}
+
+/// An OR of equality comparisons all against `col` (the converter lowers
+/// `x IN (...)` to this shape): the constant of each disjunct, or `None`
+/// if any disjunct has another form.
+fn as_in_list(e: &RexNode, col: usize) -> Option<Vec<RexNode>> {
+    fn disjuncts(e: &RexNode, out: &mut Vec<RexNode>) {
+        match e {
+            RexNode::Call {
+                op: Op::Or, args, ..
+            } => {
+                for a in args {
+                    disjuncts(a, out);
+                }
+            }
+            _ => out.push(e.clone()),
+        }
+    }
+    if !matches!(e, RexNode::Call { op: Op::Or, .. }) {
+        return None;
+    }
+    let mut ds = vec![];
+    disjuncts(e, &mut ds);
+    let mut vals = vec![];
+    for d in ds {
+        match col_vs_const(&d) {
+            Some((c, Op::Eq, v)) if c == col => vals.push(v),
+            _ => return None,
+        }
+    }
+    Some(vals)
+}
+
+/// Splits `conjuncts` into a seek over `def` plus residual predicates:
+/// equalities walk the index-column prefix, the column right after the
+/// prefix may take range bounds (ordered indexes), and an IN-list on the
+/// first column becomes a multi-probe. Hash indexes require the full key
+/// as equalities. `None` when the index contributes nothing.
+fn match_index(def: &IndexDef, conjuncts: &[RexNode]) -> Option<(SeekSpec, Vec<RexNode>)> {
+    let mut used = vec![false; conjuncts.len()];
+    let mut eq = vec![];
+    let mut lower = None;
+    let mut upper = None;
+    for (k, &col) in def.columns.iter().enumerate() {
+        let mut found_eq = false;
+        for (i, cj) in conjuncts.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            if let Some((c, Op::Eq, v)) = col_vs_const(cj) {
+                if c == col {
+                    used[i] = true;
+                    eq.push(v);
+                    found_eq = true;
+                    break;
+                }
+            }
+        }
+        if found_eq {
+            continue;
+        }
+        // No equality on the first key column: an IN-list there becomes
+        // one point probe per value (single-column prefix).
+        if k == 0 && (def.kind == IndexKind::Ordered || def.columns.len() == 1) {
+            for (i, cj) in conjuncts.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let Some(vals) = as_in_list(cj, col) else {
+                    continue;
+                };
+                used[i] = true;
+                let residual = residual_of(conjuncts, &used);
+                let probes = vals
+                    .into_iter()
+                    .map(|v| SeekProbe::point(vec![v]))
+                    .collect();
+                return Some((SeekSpec { probes }, residual));
+            }
+        }
+        // The prefix ends here; an ordered index can still take range
+        // bounds on this column.
+        if def.kind == IndexKind::Ordered {
+            for (i, cj) in conjuncts.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                match col_vs_const(cj) {
+                    Some((c, Op::Gt, v)) if c == col && lower.is_none() => {
+                        lower = Some((v, false));
+                        used[i] = true;
+                    }
+                    Some((c, Op::Ge, v)) if c == col && lower.is_none() => {
+                        lower = Some((v, true));
+                        used[i] = true;
+                    }
+                    Some((c, Op::Lt, v)) if c == col && upper.is_none() => {
+                        upper = Some((v, false));
+                        used[i] = true;
+                    }
+                    Some((c, Op::Le, v)) if c == col && upper.is_none() => {
+                        upper = Some((v, true));
+                        used[i] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        break;
+    }
+    if def.kind == IndexKind::Hash && eq.len() != def.columns.len() {
+        return None;
+    }
+    if eq.is_empty() && lower.is_none() && upper.is_none() {
+        return None;
+    }
+    let residual = residual_of(conjuncts, &used);
+    let spec = SeekSpec {
+        probes: vec![SeekProbe { eq, lower, upper }],
+    };
+    Some((spec, residual))
+}
+
+fn residual_of(conjuncts: &[RexNode], used: &[bool]) -> Vec<RexNode> {
+    conjuncts
+        .iter()
+        .zip(used.iter())
+        .filter(|(_, u)| !**u)
+        .map(|(c, _)| c.clone())
+        .collect()
+}
+
+/// `Filter(Scan)` over an indexed table → `Filter(IndexSeek)` per usable
+/// index, the unconsumed conjuncts staying as the residual filter (which
+/// collapses away when everything was consumed).
+pub struct FilterToIndexSeekRule;
+
+impl Rule for FilterToIndexSeekRule {
+    fn name(&self) -> &str {
+        "FilterToIndexSeekRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Filter, vec![Pattern::of(RelKind::Scan)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let f = call.rel(0).clone();
+        let scan = call.rel(1).clone();
+        if !f.convention.is_none() || !scan.convention.is_none() {
+            return;
+        }
+        let RelOp::Scan { table } = &scan.op else {
+            return;
+        };
+        let RelOp::Filter { condition } = &f.op else {
+            return;
+        };
+        let indexes = table.table.indexes();
+        if indexes.is_empty() {
+            return;
+        }
+        let conjuncts = condition.conjuncts();
+        for def in &indexes {
+            if let Some((seek, residual)) = match_index(def, &conjuncts) {
+                let seek_node = rel::index_seek(table.clone(), def.clone(), seek, None);
+                call.transform_to(rel::filter(seek_node, RexNode::and_all(residual)));
+            }
+        }
+    }
+}
+
+/// `Project(IndexSeek)` where every expression is a bare column keeping
+/// its base name → fold the column list into the seek (index-only style
+/// access: the seek itself emits the narrow row).
+pub struct ProjectToIndexOnlyRule;
+
+impl Rule for ProjectToIndexOnlyRule {
+    fn name(&self) -> &str {
+        "ProjectToIndexOnlyRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(RelKind::Project, vec![Pattern::of(RelKind::IndexSeek)])
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let p = call.rel(0).clone();
+        let child = call.rel(1);
+        if !p.convention.is_none() || !child.convention.is_none() {
+            return;
+        }
+        let RelOp::Project { exprs, names } = &p.op else {
+            return;
+        };
+        let RelOp::IndexSeek {
+            table,
+            index,
+            seek,
+            projection: None,
+        } = &child.op
+        else {
+            return;
+        };
+        let Some(cols) = exprs
+            .iter()
+            .map(|e| e.as_input_ref())
+            .collect::<Option<Vec<usize>>>()
+        else {
+            return;
+        };
+        // Folding replaces the Project's output names with the base
+        // table's; only sound when they agree.
+        let base = child.row_type();
+        if cols
+            .iter()
+            .zip(names.iter())
+            .any(|(c, n)| base.field(*c).name != *n)
+        {
+            return;
+        }
+        call.transform_to(rel::index_seek(
+            table.clone(),
+            index.clone(),
+            seek.clone(),
+            Some(cols),
+        ));
+    }
+}
+
+/// `Join(left, Scan)` whose equi-keys cover an index prefix on the right
+/// table → index-nested-loop join: the right side folds into the operator
+/// and each left row probes the index. Registered as an alternative; the
+/// cost model weighs it against the hash join (cheap when the left side
+/// is small and the index is deep).
+pub struct JoinToIndexLoopRule;
+
+impl Rule for JoinToIndexLoopRule {
+    fn name(&self) -> &str {
+        "JoinToIndexLoopRule"
+    }
+
+    fn pattern(&self) -> Pattern {
+        Pattern::with_children(
+            RelKind::Join,
+            vec![Pattern::any(), Pattern::of(RelKind::Scan)],
+        )
+    }
+
+    fn on_match(&self, call: &mut RuleCall) {
+        let j = call.rel(0).clone();
+        let left = call.rel(1).clone();
+        let scan = call.rel(2).clone();
+        if !j.convention.is_none() || !scan.convention.is_none() {
+            return;
+        }
+        let RelOp::Join { kind, condition } = &j.op else {
+            return;
+        };
+        if !matches!(
+            kind,
+            JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti
+        ) {
+            return;
+        }
+        let RelOp::Scan { table } = &scan.op else {
+            return;
+        };
+        let indexes = table.table.indexes();
+        if indexes.is_empty() {
+            return;
+        }
+        // Equi-pairs (left column, right column in table coordinates).
+        let l_arity = left.row_type().arity();
+        let mut pairs = vec![];
+        for cj in condition.conjuncts() {
+            let RexNode::Call {
+                op: Op::Eq, args, ..
+            } = &cj
+            else {
+                continue;
+            };
+            let (Some(a), Some(b)) = (args[0].as_input_ref(), args[1].as_input_ref()) else {
+                continue;
+            };
+            if a < l_arity && b >= l_arity {
+                pairs.push((a, b - l_arity));
+            } else if b < l_arity && a >= l_arity {
+                pairs.push((b, a - l_arity));
+            }
+        }
+        if pairs.is_empty() {
+            return;
+        }
+        for def in &indexes {
+            // Walk the index columns collecting the matching left keys;
+            // hash indexes need the whole key covered.
+            let mut left_keys = vec![];
+            for col in &def.columns {
+                match pairs.iter().find(|(_, r)| r == col) {
+                    Some((l, _)) => left_keys.push(*l),
+                    None => break,
+                }
+            }
+            if left_keys.is_empty()
+                || (def.kind == IndexKind::Hash && left_keys.len() != def.columns.len())
+            {
+                continue;
+            }
+            call.transform_to(rel::index_join(
+                left.clone(),
+                table.clone(),
+                def.clone(),
+                *kind,
+                condition.clone(),
+                left_keys,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemTable, Table, TableRef};
+    use crate::datum::Datum;
+    use crate::metadata::MetadataQuery;
+    use crate::rel::Rel;
+    use crate::types::{RelType, RowTypeBuilder, TypeKind};
+
+    fn int_ty() -> RelType {
+        RelType::not_null(TypeKind::Integer)
+    }
+
+    fn indexed_table() -> Rel {
+        let t = MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("a", TypeKind::Integer)
+                .add_not_null("b", TypeKind::Integer)
+                .add_not_null("c", TypeKind::Integer)
+                .build(),
+            (0..20)
+                .map(|i| vec![Datum::Int(i), Datum::Int(i % 3), Datum::Int(i * 2)])
+                .collect(),
+        );
+        t.create_index(&IndexDef::ordered("i_ab", vec![0, 1]))
+            .unwrap();
+        rel::scan(TableRef::new("s", "t", t))
+    }
+
+    fn fire(rule: &dyn Rule, root: &Rel) -> Vec<Rel> {
+        let mq = MetadataQuery::standard();
+        match rule.pattern().match_tree(root) {
+            Some(binds) => {
+                let mut call = RuleCall::new(binds, &mq);
+                rule.on_match(&mut call);
+                call.into_results()
+            }
+            None => vec![],
+        }
+    }
+
+    #[test]
+    fn point_predicate_becomes_seek() {
+        let f = rel::filter(
+            indexed_table(),
+            RexNode::input(0, int_ty()).eq(RexNode::lit_int(7)),
+        );
+        let alts = fire(&FilterToIndexSeekRule, &f);
+        assert_eq!(alts.len(), 1);
+        let seek = &alts[0];
+        assert_eq!(seek.kind(), RelKind::IndexSeek, "{}", seek.digest());
+        assert_eq!(seek.row_type(), f.row_type());
+    }
+
+    #[test]
+    fn prefix_eq_plus_range_with_residual() {
+        // a = 7 AND b > 1 AND c < 100: eq on $0, range on $1, residual $2.
+        let cond = RexNode::and_all(vec![
+            RexNode::input(0, int_ty()).eq(RexNode::lit_int(7)),
+            RexNode::input(1, int_ty()).gt(RexNode::lit_int(1)),
+            RexNode::input(2, int_ty()).lt(RexNode::lit_int(100)),
+        ]);
+        let f = rel::filter(indexed_table(), cond);
+        let alts = fire(&FilterToIndexSeekRule, &f);
+        assert_eq!(alts.len(), 1);
+        let top = &alts[0];
+        assert_eq!(top.kind(), RelKind::Filter);
+        let RelOp::Filter { condition } = &top.op else {
+            unreachable!()
+        };
+        assert_eq!(condition.digest(), "($2 < 100)");
+        let RelOp::IndexSeek { seek, .. } = &top.input(0).op else {
+            panic!("expected seek below residual: {}", top.digest());
+        };
+        assert_eq!(seek.probes.len(), 1);
+        assert_eq!(seek.probes[0].eq.len(), 1);
+        assert!(seek.probes[0].lower.is_some());
+    }
+
+    #[test]
+    fn in_list_becomes_multi_probe() {
+        let cond = RexNode::or_all(vec![
+            RexNode::input(0, int_ty()).eq(RexNode::lit_int(3)),
+            RexNode::input(0, int_ty()).eq(RexNode::lit_int(9)),
+        ]);
+        let f = rel::filter(indexed_table(), cond);
+        let alts = fire(&FilterToIndexSeekRule, &f);
+        assert_eq!(alts.len(), 1);
+        let RelOp::IndexSeek { seek, .. } = &alts[0].op else {
+            panic!("{}", alts[0].digest());
+        };
+        assert_eq!(seek.probes.len(), 2);
+    }
+
+    #[test]
+    fn unrelated_predicate_does_not_fire() {
+        let f = rel::filter(
+            indexed_table(),
+            RexNode::input(2, int_ty()).eq(RexNode::lit_int(4)),
+        );
+        assert!(fire(&FilterToIndexSeekRule, &f).is_empty());
+    }
+
+    #[test]
+    fn reversed_comparison_normalizes() {
+        // 7 = a is the same seek as a = 7; 5 < a is a lower bound.
+        let (c, op, _) =
+            col_vs_const(&RexNode::lit_int(7).eq(RexNode::input(0, int_ty()))).unwrap();
+        assert_eq!((c, op), (0, Op::Eq));
+        let (c, op, _) =
+            col_vs_const(&RexNode::lit_int(5).lt(RexNode::input(1, int_ty()))).unwrap();
+        assert_eq!((c, op), (1, Op::Gt));
+    }
+
+    #[test]
+    fn project_folds_into_index_only_seek() {
+        let f = rel::filter(
+            indexed_table(),
+            RexNode::input(0, int_ty()).eq(RexNode::lit_int(7)),
+        );
+        let seek = fire(&FilterToIndexSeekRule, &f).pop().unwrap();
+        let p = rel::project(
+            seek,
+            vec![RexNode::input(1, int_ty()), RexNode::input(0, int_ty())],
+            vec!["b".into(), "a".into()],
+        );
+        let alts = fire(&ProjectToIndexOnlyRule, &p);
+        assert_eq!(alts.len(), 1);
+        let RelOp::IndexSeek { projection, .. } = &alts[0].op else {
+            panic!("{}", alts[0].digest());
+        };
+        assert_eq!(projection.as_deref(), Some(&[1usize, 0][..]));
+        assert_eq!(alts[0].row_type(), p.row_type());
+    }
+
+    #[test]
+    fn renaming_project_does_not_fold() {
+        let f = rel::filter(
+            indexed_table(),
+            RexNode::input(0, int_ty()).eq(RexNode::lit_int(7)),
+        );
+        let seek = fire(&FilterToIndexSeekRule, &f).pop().unwrap();
+        let p = rel::project(
+            seek,
+            vec![RexNode::input(1, int_ty())],
+            vec!["renamed".into()],
+        );
+        assert!(fire(&ProjectToIndexOnlyRule, &p).is_empty());
+    }
+
+    #[test]
+    fn equi_join_offers_index_loop() {
+        let left = {
+            let t = MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("k", TypeKind::Integer)
+                    .build(),
+                vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
+            );
+            rel::scan(TableRef::new("s", "l", t))
+        };
+        let j = rel::join(
+            left,
+            indexed_table(),
+            JoinKind::Inner,
+            RexNode::input(0, int_ty()).eq(RexNode::input(1, int_ty())),
+        );
+        let alts = fire(&JoinToIndexLoopRule, &j);
+        assert_eq!(alts.len(), 1);
+        let RelOp::IndexJoin { left_keys, .. } = &alts[0].op else {
+            panic!("{}", alts[0].digest());
+        };
+        assert_eq!(left_keys, &[0]);
+        assert_eq!(alts[0].row_type(), j.row_type());
+    }
+
+    #[test]
+    fn non_equi_join_does_not_fire() {
+        let left = {
+            let t = MemTable::new(
+                RowTypeBuilder::new()
+                    .add_not_null("k", TypeKind::Integer)
+                    .build(),
+                vec![],
+            );
+            rel::scan(TableRef::new("s", "l", t))
+        };
+        let j = rel::join(
+            left,
+            indexed_table(),
+            JoinKind::Inner,
+            RexNode::input(0, int_ty()).gt(RexNode::input(1, int_ty())),
+        );
+        assert!(fire(&JoinToIndexLoopRule, &j).is_empty());
+    }
+}

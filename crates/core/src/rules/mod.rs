@@ -5,6 +5,7 @@
 
 mod agg_rules;
 mod filter_rules;
+mod index_rules;
 mod join_rules;
 mod project_rules;
 mod prune_rules;
@@ -15,6 +16,7 @@ pub use filter_rules::{
     FilterAggregateTransposeRule, FilterIntoJoinRule, FilterMergeRule, FilterProjectTransposeRule,
     FilterSortTransposeRule, FilterUnionTransposeRule,
 };
+pub use index_rules::{FilterToIndexSeekRule, JoinToIndexLoopRule, ProjectToIndexOnlyRule};
 pub use join_rules::{JoinAssociateRule, JoinCommuteRule};
 pub use project_rules::{ProjectMergeRule, ProjectRemoveRule};
 pub use prune_rules::{
@@ -217,6 +219,17 @@ pub fn default_logical_rules() -> Vec<Arc<dyn Rule>> {
 /// search space.
 pub fn join_exploration_rules() -> Vec<Arc<dyn Rule>> {
     vec![Arc::new(JoinCommuteRule), Arc::new(JoinAssociateRule)]
+}
+
+/// Index access-path rules. Cost-based alternatives only — they register
+/// a seek *next to* the scan and let the Volcano extractor pick, so they
+/// must never run in the heuristic (forced-rewrite) phase.
+pub fn index_access_rules() -> Vec<Arc<dyn Rule>> {
+    vec![
+        Arc::new(FilterToIndexSeekRule),
+        Arc::new(ProjectToIndexOnlyRule),
+        Arc::new(JoinToIndexLoopRule),
+    ]
 }
 
 #[cfg(test)]

@@ -11,10 +11,12 @@
 //! the data actually in the tables.
 //!
 //! Statistics are versioned by the same DDL/DML generation counter the
-//! plan cache uses: a stats snapshot collected at generation `g` is only
-//! consulted while the connection is still at generation `g`, so an
-//! INSERT or DDL both drops compiled plans *and* retires the statistics
-//! they were costed with.
+//! plan cache uses: a snapshot collected at generation `g` stays valid
+//! for every later generation until the *touched table's* entry is
+//! explicitly retired. Writes and DROP retire only the table they
+//! modify, so an `ANALYZE` survives unrelated DDL/DML (a CREATE INDEX
+//! elsewhere, an INSERT into another table) instead of being thrown
+//! away on every generation bump.
 
 use crate::catalog::{Catalog, Table};
 use crate::datum::{Column, Datum};
@@ -298,9 +300,9 @@ pub fn analyze_table(table: &dyn Table) -> Result<TableStats> {
 }
 
 /// The catalog's statistics store: qualified table name → (generation,
-/// stats). Entries are generation-stamped; lookups at a different
-/// generation miss, which is how DDL/DML retires stale statistics without
-/// scanning for affected tables.
+/// stats). Entries are generation-stamped and served to any lookup at
+/// that generation *or later*; writes that invalidate a table's
+/// statistics call [`StatsRegistry::retire`] for that table alone.
 #[derive(Default)]
 pub struct StatsRegistry {
     entries: RwLock<HashMap<String, (u64, Arc<TableStats>)>>,
@@ -314,13 +316,27 @@ impl StatsRegistry {
             .insert(name.into().to_ascii_lowercase(), (generation, stats));
     }
 
-    /// The stats for `name`, only while still current at `generation`.
+    /// The stats for `name` as seen at `generation`: entries stamped at a
+    /// later generation are invisible (they describe data this generation
+    /// has not seen), entries from earlier generations remain valid until
+    /// retired.
     pub fn get(&self, name: &str, generation: u64) -> Option<Arc<TableStats>> {
         self.entries
             .read()
             .get(&name.to_ascii_lowercase())
-            .filter(|(g, _)| *g == generation)
+            .filter(|(g, _)| *g <= generation)
             .map(|(_, s)| s.clone())
+    }
+
+    /// Retires one table's statistics after a write to that table;
+    /// returns whether an entry existed. Statistics for other tables are
+    /// untouched — this is what scopes invalidation per table instead of
+    /// per generation.
+    pub fn retire(&self, name: &str) -> bool {
+        self.entries
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .is_some()
     }
 
     /// The stats for `name` regardless of generation (inspection/tests).
@@ -378,13 +394,66 @@ impl StatsMdProvider {
     }
 
     fn scan_stats(&self, rel: &Rel) -> Option<Arc<TableStats>> {
-        if let RelOp::Scan { table } = &rel.op {
-            self.catalog
-                .stats()
-                .get(&table.qualified_name(), self.generation)
-        } else {
-            None
+        let table = match &rel.op {
+            RelOp::Scan { table } => table,
+            // An index seek reads the same analyzed table; its *output*
+            // cardinality is priced separately in `row_count`.
+            RelOp::IndexSeek { table, .. } => table,
+            _ => return None,
+        };
+        self.catalog
+            .stats()
+            .get(&table.qualified_name(), self.generation)
+    }
+
+    /// Histogram estimate of one bound probe's output rows: the equality
+    /// prefix multiplies per-column fractions (independence), the range
+    /// bounds interpolate on the next key column's buckets. Probes whose
+    /// values are dynamic parameters fall back to per-column NDV.
+    fn probe_rows(stats: &TableStats, columns: &[usize], probe: &crate::index::SeekProbe) -> f64 {
+        let rc = stats.row_count.max(1.0);
+        let mut rows = rc;
+        for (i, e) in probe.eq.iter().enumerate() {
+            let Some(cs) = stats.columns.get(columns[i]) else {
+                rows *= 0.15;
+                continue;
+            };
+            let est = match e.as_literal().and_then(numeric_value) {
+                Some(v) => cs.est_eq_rows(v, rc),
+                None => rc * (1.0 - cs.null_frac) / cs.ndv.max(1.0),
+            };
+            rows *= (est / rc).clamp(0.0, 1.0);
         }
+        if probe.lower.is_none() && probe.upper.is_none() {
+            return rows;
+        }
+        let range_frac = match columns
+            .get(probe.eq.len())
+            .and_then(|c| stats.columns.get(*c))
+        {
+            None => 0.25,
+            Some(cs) => {
+                let bound_frac = |b: &(RexNode, bool), op_incl: Op, op_excl: Op| match b
+                    .0
+                    .as_literal()
+                    .and_then(numeric_value)
+                {
+                    Some(v) => cs.est_cmp_rows(if b.1 { &op_incl } else { &op_excl }, v, rc) / rc,
+                    None => 0.5,
+                };
+                let below = probe
+                    .upper
+                    .as_ref()
+                    .map_or(1.0, |b| bound_frac(b, Op::Le, Op::Lt));
+                let above = probe
+                    .lower
+                    .as_ref()
+                    .map_or(1.0, |b| bound_frac(b, Op::Ge, Op::Gt));
+                // P(lower ∧ upper) on one column: the fractions overlap.
+                (below + above - 1.0).clamp(0.0, 1.0)
+            }
+        };
+        rows * range_frac
     }
 
     /// Histogram-backed selectivity of `pred` over an analyzed scan.
@@ -473,21 +542,53 @@ fn strip_cast(e: &RexNode) -> &RexNode {
 
 impl MetadataProvider for StatsMdProvider {
     fn row_count(&self, rel: &Rel, _mq: &MetadataQuery) -> Option<f64> {
-        Some(self.scan_stats(rel)?.row_count)
+        let stats = self.scan_stats(rel)?;
+        match &rel.op {
+            RelOp::IndexSeek { index, seek, .. } => {
+                // This estimate is what arbitrates seek vs scan: summed
+                // per-probe histogram cardinality, capped by the table.
+                let total: f64 = seek
+                    .probes
+                    .iter()
+                    .map(|p| Self::probe_rows(&stats, &index.columns, p))
+                    .sum();
+                Some(total.min(stats.row_count).max(1e-6))
+            }
+            _ => Some(stats.row_count),
+        }
     }
 
     fn selectivity(&self, rel: &Rel, predicate: &RexNode, _mq: &MetadataQuery) -> Option<f64> {
         let stats = self.scan_stats(rel)?;
+        // Residual predicates above a projected seek reference projected
+        // column positions the table stats can't be indexed by directly.
+        if let RelOp::IndexSeek {
+            projection: Some(_),
+            ..
+        } = &rel.op
+        {
+            return None;
+        }
         Some(Self::predicate_selectivity(&stats, predicate))
     }
 
     fn distinct_count(&self, rel: &Rel, cols: &[usize], _mq: &MetadataQuery) -> Option<f64> {
         let stats = self.scan_stats(rel)?;
+        // Map output positions back to base-table columns through an
+        // index-only projection, if any.
+        let projection = match &rel.op {
+            RelOp::IndexSeek { projection, .. } => projection.as_ref(),
+            _ => None,
+        };
         // Multi-column NDV: independence-assumption product, capped by
         // the row count.
         let mut ndv = 1.0;
         for c in cols {
-            ndv *= stats.columns.get(*c)?.ndv.max(1.0);
+            let base = match projection {
+                Some(proj) => *proj.get(*c)?,
+                None => *c,
+            };
+            ndv *= stats.columns.get(base)?.ndv.max(1.0);
         }
         Some(ndv.clamp(1.0, stats.row_count.max(1.0)))
     }
@@ -586,11 +687,16 @@ mod tests {
         reg.put("hr.emp", 3, stats);
         assert!(reg.get("hr.emp", 3).is_some());
         assert!(reg.get("HR.EMP", 3).is_some());
-        // A generation bump retires the entry without removing it.
-        assert!(reg.get("hr.emp", 4).is_none());
+        // Later generations still see the entry: unrelated DDL/DML does
+        // not throw analyzed statistics away.
+        assert!(reg.get("hr.emp", 4).is_some());
+        // Earlier generations must not see stats from their future.
+        assert!(reg.get("hr.emp", 2).is_none());
         assert_eq!(reg.get_any("hr.emp").unwrap().0, 3);
         assert_eq!(reg.names(), vec!["hr.emp"]);
-        assert!(reg.remove("hr.emp"));
+        // A write to the table retires its entry alone.
+        assert!(reg.retire("hr.emp"));
+        assert!(!reg.retire("hr.emp"));
         assert!(reg.is_empty());
     }
 
@@ -618,8 +724,13 @@ mod tests {
         let pred = RexNode::input(0, RelType::not_null(TypeKind::Integer)).lt(RexNode::lit_int(50));
         let sel = mq.selectivity(&scan, &pred);
         assert!((0.2..=0.3).contains(&sel), "sel = {sel}");
-        // At a stale generation the provider goes silent and the default
-        // chain answers with its heuristics.
+        // Stats survive unrelated generation bumps ...
+        let later = Arc::new(StatsMdProvider::new(catalog.clone(), 1));
+        let mq2 = MetadataQuery::with_providers(vec![later]);
+        assert_eq!(mq2.row_count(&scan), 200.0);
+        // ... until the table itself is retired; then the provider goes
+        // silent and the default chain answers with its heuristics.
+        catalog.stats().retire("hr.t");
         let stale = Arc::new(StatsMdProvider::new(catalog, 1));
         let mq = MetadataQuery::with_providers(vec![stale]);
         assert_eq!(mq.distinct_count(&scan, &[0]), 20.0); // rc/10 fallback

@@ -8,6 +8,7 @@
 use rcalcite_core::datum::{Datum, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{ConventionExecutor, ExecContext, RowIter};
+use rcalcite_core::index::{BoundProbe, IndexProbe, RowsRef, SeekSpec};
 use rcalcite_core::rel::{
     AggCall, AggFunc, FrameBound, FrameMode, JoinKind, Rel, RelOp, WinFunc, WindowFn,
 };
@@ -118,6 +119,63 @@ pub fn execute_node(rel: &Rel, ctx: &ExecContext) -> Result<RowIter> {
     };
     match &rel.op {
         RelOp::Scan { table } => table.table.scan(),
+        RelOp::IndexSeek {
+            table,
+            index,
+            seek,
+            projection,
+        } => {
+            let probes = bind_probes(seek, ctx)?;
+            let rows: RowIter = match table.table.index_seek(&index.name, &probes)? {
+                Some(iter) => iter,
+                None => {
+                    // The index was dropped after this plan was cached:
+                    // degrade to a full scan filtered by the probe
+                    // predicate (same rows, same order).
+                    let def = index.clone();
+                    let arity = table.table.row_type().arity();
+                    Box::new(table.table.scan()?.filter(move |row| {
+                        let acc = RowsRef {
+                            rows: std::slice::from_ref(row),
+                            arity,
+                        };
+                        probes.iter().any(|p| p.matches(&acc, 0, &def))
+                    }))
+                }
+            };
+            match projection {
+                None => Ok(rows),
+                Some(cols) => {
+                    let cols = cols.clone();
+                    Ok(Box::new(rows.map(move |row| {
+                        cols.iter().map(|c| row[*c].clone()).collect()
+                    })))
+                }
+            }
+        }
+        RelOp::IndexJoin {
+            kind,
+            condition,
+            table,
+            index,
+            left_keys,
+        } => {
+            let condition = ctx.bind(condition)?;
+            let left: Vec<Row> = child(0)?.collect();
+            let left_arity = rel.input(0).row_type().arity();
+            let right_arity = table.table.row_type().arity();
+            match table.table.index_probe_snapshot(&index.name)? {
+                Some(snap) => {
+                    execute_index_join(left, &*snap, right_arity, *kind, &condition, left_keys)
+                }
+                None => {
+                    // Dropped index: fall back to the hash join this
+                    // operator was the alternative to.
+                    let right: Vec<Row> = table.table.scan()?.collect();
+                    execute_join(left, right, left_arity, right_arity, *kind, &condition)
+                }
+            }
+        }
         RelOp::Values { tuples, .. } => Ok(Box::new(tuples.clone().into_iter())),
         RelOp::Filter { condition } => {
             // Dynamic parameters resolve against the context's bindings,
@@ -322,6 +380,85 @@ pub(crate) fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
 
 /// Extracts equi-join key pairs from a condition; returns (left keys,
 /// right keys, residual conjuncts).
+/// Binds a seek spec's constant expressions (literals and prepared-
+/// statement parameters) into concrete probe values.
+pub(crate) fn bind_probes(seek: &SeekSpec, ctx: &ExecContext) -> Result<Vec<BoundProbe>> {
+    let value = |e: &RexNode| -> Result<Datum> { ctx.bind(e)?.eval(&[]) };
+    let bound = |b: &Option<(RexNode, bool)>| -> Result<Option<(Datum, bool)>> {
+        b.as_ref().map(|(e, inc)| Ok((value(e)?, *inc))).transpose()
+    };
+    seek.probes
+        .iter()
+        .map(|p| {
+            Ok(BoundProbe {
+                eq: p.eq.iter().map(value).collect::<Result<_>>()?,
+                lower: bound(&p.lower)?,
+                upper: bound(&p.upper)?,
+            })
+        })
+        .collect()
+}
+
+/// Index-nested-loop join: probes the right table's index with each left
+/// row's key values, then evaluates the full join condition on every
+/// candidate. Byte-identical to [`execute_join`] for the supported kinds:
+/// candidates come back in right-table position order (same as the hash
+/// table built in position order), NULL keys never probe, and the
+/// condition itself decides the final match set.
+pub(crate) fn execute_index_join(
+    left: Vec<Row>,
+    snap: &dyn IndexProbe,
+    right_arity: usize,
+    kind: JoinKind,
+    condition: &RexNode,
+    left_keys: &[usize],
+) -> Result<RowIter> {
+    let mut out: Vec<Row> = vec![];
+    for l in &left {
+        let key: Vec<Datum> = left_keys.iter().map(|k| l[*k].clone()).collect();
+        let candidates = if key.iter().any(Datum::is_null) {
+            vec![] // NULL keys never join
+        } else {
+            snap.positions(&BoundProbe::point(key))
+        };
+        let mut matched: Vec<Row> = vec![];
+        for pos in candidates {
+            let mut combined = l.clone();
+            combined.extend(snap.row(pos));
+            if matches!(condition.eval(&combined)?, Datum::Bool(true)) {
+                matched.push(combined);
+            }
+        }
+        match kind {
+            JoinKind::Inner | JoinKind::Left => {
+                let unmatched = matched.is_empty();
+                out.extend(matched);
+                if unmatched && kind == JoinKind::Left {
+                    let mut row = l.clone();
+                    row.extend(std::iter::repeat_n(Datum::Null, right_arity));
+                    out.push(row);
+                }
+            }
+            JoinKind::Semi => {
+                if !matched.is_empty() {
+                    out.push(l.clone());
+                }
+            }
+            JoinKind::Anti => {
+                if matched.is_empty() {
+                    out.push(l.clone());
+                }
+            }
+            JoinKind::Right | JoinKind::Full => {
+                return Err(CalciteError::internal(
+                    "index join does not support right/full outer joins",
+                ));
+            }
+        }
+    }
+    Ok(Box::new(out.into_iter()))
+}
+
 pub(crate) fn extract_equi_keys(
     condition: &RexNode,
     left_arity: usize,

@@ -31,6 +31,22 @@ pub enum Stmt {
         name: Vec<String>,
         if_exists: bool,
     },
+    /// `CREATE INDEX name ON table (col, ...) [USING HASH]` — a secondary
+    /// index on a base table; ordered (the default) supports point, prefix
+    /// and range seeks, hash supports full-key point seeks only.
+    CreateIndex {
+        name: String,
+        table: Vec<String>,
+        columns: Vec<String>,
+        hash: bool,
+    },
+    /// `DROP INDEX [IF EXISTS] name [ON table]` — without `ON` the whole
+    /// catalog is searched for the index name.
+    DropIndex {
+        name: String,
+        table: Option<Vec<String>>,
+        if_exists: bool,
+    },
     /// `ANALYZE [TABLE] [name]` — collects planner statistics (row count,
     /// per-column NDV/min/max/null fraction, equi-depth histograms) for
     /// one table, or for every table in the catalog when no name is given.

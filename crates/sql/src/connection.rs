@@ -30,7 +30,7 @@ use rcalcite_core::planner::volcano::{FixpointMode, VolcanoPlanner};
 use rcalcite_core::planner::PlannerEngine;
 use rcalcite_core::rel::Rel;
 use rcalcite_core::rex::FunctionRegistry;
-use rcalcite_core::rules::{default_logical_rules, Rule};
+use rcalcite_core::rules::{default_logical_rules, index_access_rules, Rule};
 use rcalcite_core::stats::{analyze_table, StatsMdProvider};
 use rcalcite_core::traits::Convention;
 use rcalcite_core::types::RelType;
@@ -216,7 +216,14 @@ impl Connection {
             catalog,
             functions: FunctionRegistry::new(),
             exec: ExecContext::new(),
-            rules: default_logical_rules(),
+            // The cost-based battery also weighs index access paths; the
+            // heuristic phase below runs the logical battery only (index
+            // choice is a cost decision, never a forced rewrite).
+            rules: {
+                let mut rules = default_logical_rules();
+                rules.extend(index_access_rules());
+                rules
+            },
             converters: vec![],
             providers: vec![],
             cost_model: None,
@@ -631,7 +638,10 @@ impl Connection {
                 }
                 // New rows shift statistics; cached plans may no longer
                 // be the cheapest (and snapshots taken by prepared plans
-                // should refresh).
+                // should refresh). Only THIS table's statistics go stale —
+                // other tables keep their analyzed stats across the
+                // generation bump.
+                self.catalog.stats().retire(&tref.qualified_name());
                 self.invalidate_plans();
                 Ok(message(format!("{n} rows inserted")))
             }
@@ -646,10 +656,91 @@ impl Connection {
                         "table '{schema_name}.{table_name}' not found"
                     )));
                 }
+                self.catalog
+                    .stats()
+                    .retire(&format!("{schema_name}.{table_name}"));
                 self.invalidate_plans();
                 Ok(message(format!(
                     "table {schema_name}.{table_name} {}",
                     if existed { "dropped" } else { "did not exist" }
+                )))
+            }
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                hash,
+            } => {
+                let (schema_name, table_name) = self.split_name(&table)?;
+                let tref = self.catalog.resolve(&[&schema_name, &table_name])?;
+                let rt = tref.table.row_type();
+                let mut cols = vec![];
+                for c in &columns {
+                    let i = rt.field_index(c).ok_or_else(|| {
+                        CalciteError::validate(format!(
+                            "no column '{c}' on table '{}'",
+                            tref.qualified_name()
+                        ))
+                    })?;
+                    cols.push(i);
+                }
+                let def = if hash {
+                    rcalcite_core::IndexDef::hash(name.clone(), cols)
+                } else {
+                    rcalcite_core::IndexDef::ordered(name.clone(), cols)
+                };
+                if !tref.table.create_index(&def)? {
+                    return Err(CalciteError::unsupported(format!(
+                        "table '{}' does not support indexes",
+                        tref.qualified_name()
+                    )));
+                }
+                // A new access path exists: compiled plans must re-plan
+                // to see it (the data — and its statistics — are
+                // unchanged).
+                self.invalidate_plans();
+                Ok(message(format!(
+                    "index {name} created on {schema_name}.{table_name}"
+                )))
+            }
+            Stmt::DropIndex {
+                name,
+                table,
+                if_exists,
+            } => {
+                let targets: Vec<TableRef> = match &table {
+                    Some(parts) => {
+                        let (s, t) = self.split_name(parts)?;
+                        vec![self.catalog.resolve(&[&s, &t])?]
+                    }
+                    None => {
+                        // No ON clause: search every table for the index.
+                        let mut all = vec![];
+                        for s in self.catalog.schema_names() {
+                            let schema = self.catalog.schema(&s).expect("listed schema");
+                            for t in schema.table_names() {
+                                let tref = self.catalog.resolve(&[&s, &t])?;
+                                if tref.table.indexes().iter().any(|d| d.name == name) {
+                                    all.push(tref);
+                                }
+                            }
+                        }
+                        all
+                    }
+                };
+                let mut dropped = false;
+                for tref in &targets {
+                    dropped |= tref.table.drop_index(&name)?;
+                }
+                if !dropped && !if_exists {
+                    return Err(CalciteError::validate(format!("index '{name}' not found")));
+                }
+                // The access path is gone; plans that seek it must
+                // re-plan back to scans.
+                self.invalidate_plans();
+                Ok(message(format!(
+                    "index {name} {}",
+                    if dropped { "dropped" } else { "did not exist" }
                 )))
             }
             Stmt::Analyze { name } => {

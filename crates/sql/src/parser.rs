@@ -161,6 +161,37 @@ impl Parser {
             self.expect_sym(")")?;
             return Ok(Stmt::CreateTable { name, columns });
         }
+        if self.eat_kw("INDEX") {
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.qualified_name()?;
+            self.expect_sym("(")?;
+            let mut columns = vec![self.ident()?];
+            while self.eat_sym(",") {
+                columns.push(self.ident()?);
+            }
+            self.expect_sym(")")?;
+            let hash = if self.eat_kw("USING") {
+                let method = self.ident()?;
+                match method.to_ascii_lowercase().as_str() {
+                    "hash" => true,
+                    "btree" | "ordered" => false,
+                    other => {
+                        return Err(CalciteError::parse(format!(
+                            "unknown index method '{other}' (expected HASH or BTREE)"
+                        )))
+                    }
+                }
+            } else {
+                false
+            };
+            return Ok(Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                hash,
+            });
+        }
         let materialized = self.eat_kw("MATERIALIZED");
         if self.eat_kw("VIEW") {
             let name = self.qualified_name()?;
@@ -173,7 +204,7 @@ impl Parser {
             });
         }
         Err(CalciteError::parse(
-            "expected TABLE or [MATERIALIZED] VIEW after CREATE",
+            "expected TABLE, INDEX or [MATERIALIZED] VIEW after CREATE",
         ))
     }
 
@@ -187,6 +218,25 @@ impl Parser {
 
     fn parse_drop(&mut self) -> Result<Stmt> {
         self.expect_kw("DROP")?;
+        if self.eat_kw("INDEX") {
+            let if_exists = if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            let table = if self.eat_kw("ON") {
+                Some(self.qualified_name()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::DropIndex {
+                name,
+                table,
+                if_exists,
+            });
+        }
         self.expect_kw("TABLE")?;
         let if_exists = if self.eat_kw("IF") {
             self.expect_kw("EXISTS")?;

@@ -122,6 +122,11 @@ fn unparse(rel: &Rel, d: &dyn Dialect, alias_seq: &mut usize) -> Result<String> 
         a
     };
     match &rel.op {
+        // Index access paths are local physical operators; they never
+        // appear in plans pushed down to a remote SQL backend.
+        RelOp::IndexSeek { .. } | RelOp::IndexJoin { .. } => Err(CalciteError::unsupported(
+            "cannot unparse index access paths to SQL",
+        )),
         RelOp::Scan { table } => {
             let cols: Vec<String> = rel
                 .row_type()

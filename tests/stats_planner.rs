@@ -166,11 +166,13 @@ fn dml_invalidates_stats_until_reanalyzed() {
     let (b, s) = scan_positions(&conn.explain(QUERY).unwrap());
     assert!(s < b);
 
-    // Any generation bump — here a DML write — retires the stamped
-    // statistics: the registry still holds them, but the provider no
-    // longer answers from them and the plan reverts to the default guess.
+    // A DML write retires the statistics of the touched table only: the
+    // registry drops `db.big`, the plan reverts to the default guess for
+    // it, and `db.small` keeps its analyzed stats across the generation
+    // bump.
     conn.query("INSERT INTO big VALUES (0, -1)").unwrap();
-    assert!(catalog.stats().get_any("db.big").is_some());
+    assert!(catalog.stats().get_any("db.big").is_none());
+    assert!(catalog.stats().get_any("db.small").is_some());
     let reverted = conn.explain(QUERY).unwrap();
     let (b, s) = scan_positions(&reverted);
     assert!(b < s, "stale stats still steering the plan:\n{reverted}");
