@@ -97,6 +97,18 @@ impl Table for JdbcTable {
     fn drop_index(&self, name: &str) -> Result<bool> {
         self.db.drop_index(&self.name, name)
     }
+
+    fn txn_snapshot(&self) -> Option<Arc<dyn rcalcite_core::txn::TxnVersion>> {
+        self.db.txn_snapshot(&self.name).ok()
+    }
+
+    fn apply_delta(&self, ops: &[rcalcite_core::txn::DeltaOp]) -> Result<usize> {
+        self.db.apply_delta(&self.name, ops)
+    }
+
+    fn reserve_row_ids(&self, n: usize) -> Result<u64> {
+        self.db.reserve_row_ids(&self.name, n)
+    }
 }
 
 /// One JDBC data source: a database handle, a convention named after it

@@ -6,13 +6,14 @@
 //! spec is the executable form.
 
 use crate::common::ColPredicate;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rcalcite_core::catalog::RangeScan;
 use rcalcite_core::datum::{Column, Datum, Row};
 use rcalcite_core::error::{CalciteError, Result};
 use rcalcite_core::exec::{BatchIter, SlicedColumns};
 use rcalcite_core::index::{IndexData, IndexDef, IndexProbe, KeyAccess, SnapshotProbe};
 use rcalcite_core::stats::{analyze_columns, TableStats};
+use rcalcite_core::txn::{apply_ops_to_rows, DeltaOp, TxnVersion};
 use rcalcite_core::types::TypeKind;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,6 +23,11 @@ use std::sync::Arc;
 pub struct MemRelation {
     pub columns: Vec<(String, TypeKind)>,
     pub rows: Vec<Row>,
+    /// Stable row ids, parallel to `rows` — inside the copy-on-write
+    /// struct, so a relation snapshot pins rows and ids together. The
+    /// id counter lives on [`MemDb`] (outside the snapshot), so
+    /// reservations never clone the relation.
+    row_ids: Vec<u64>,
     /// Columnar mirror of `rows`, built at load time and maintained on
     /// insert, so batch scans read typed vectors directly instead of
     /// pivoting rows per scan.
@@ -41,12 +47,19 @@ impl MemRelation {
             .enumerate()
             .map(|(i, (_, kind))| Column::from_rows(kind, &rows, i))
             .collect();
+        let row_ids = (0..rows.len() as u64).collect();
         MemRelation {
             columns,
             rows,
+            row_ids,
             col_store,
             indexes: vec![],
         }
+    }
+
+    /// Stable ids of the current rows, parallel to `rows`.
+    pub fn row_ids(&self) -> &[u64] {
+        &self.row_ids
     }
 
     pub fn column_index(&self, name: &str) -> Option<usize> {
@@ -130,6 +143,9 @@ impl SqlQuerySpec {
 #[derive(Default)]
 pub struct MemDb {
     tables: RwLock<HashMap<String, Arc<MemRelation>>>,
+    /// Per-table next row id. Kept outside the relations so reserving
+    /// ids (a counter bump) never copies a snapshot.
+    next_ids: Mutex<HashMap<String, u64>>,
 }
 
 /// An `Arc` snapshot of a relation's columnar mirror, viewable as a
@@ -164,6 +180,36 @@ impl RangeScan for ColStoreSnapshot {
     }
 }
 
+/// A [`TxnVersion`] of a relation: the `Arc` snapshot pins rows, ids,
+/// columnar mirror and indexes at one instant.
+struct RelVersion(Arc<MemRelation>);
+
+impl TxnVersion for RelVersion {
+    fn row_count(&self) -> usize {
+        self.0.rows.len()
+    }
+
+    fn row(&self, pos: usize) -> Row {
+        self.0.rows[pos].clone()
+    }
+
+    fn row_id(&self, pos: usize) -> u64 {
+        self.0.row_ids[pos]
+    }
+
+    fn index_defs(&self) -> Vec<IndexDef> {
+        self.0.index_defs()
+    }
+
+    fn index_probe(&self, index: &str) -> Option<Arc<dyn IndexProbe>> {
+        let idx = self.0.indexes.iter().find(|i| i.def.name == index)?.clone();
+        Some(Arc::new(SnapshotProbe {
+            data: RelAccess(Arc::clone(&self.0)),
+            index: idx,
+        }))
+    }
+}
+
 impl MemDb {
     pub fn new() -> Arc<MemDb> {
         Arc::new(MemDb::default())
@@ -175,10 +221,12 @@ impl MemDb {
         columns: Vec<(String, TypeKind)>,
         rows: Vec<Row>,
     ) {
-        self.tables.write().insert(
-            name.into().to_ascii_lowercase(),
-            Arc::new(MemRelation::new(columns, rows)),
-        );
+        let name = name.into().to_ascii_lowercase();
+        let rel = MemRelation::new(columns, rows);
+        self.next_ids
+            .lock()
+            .insert(name.clone(), rel.rows.len() as u64);
+        self.tables.write().insert(name, Arc::new(rel));
     }
 
     pub fn insert(&self, table: &str, row: Row) -> Result<()> {
@@ -198,6 +246,12 @@ impl MemDb {
             col.push(d.clone());
         }
         rel.rows.push(row);
+        {
+            let mut ids = self.next_ids.lock();
+            let next = ids.entry(table.to_ascii_lowercase()).or_default();
+            rel.row_ids.push(*next);
+            *next += 1;
+        }
         // Incremental index maintenance (no rebuild): the new row is the
         // last position of the already-updated columnar mirror. Disjoint
         // field borrows let the indexes read the mirror while mutating.
@@ -210,6 +264,63 @@ impl MemDb {
             Arc::make_mut(idx).insert(&access, pos);
         }
         Ok(())
+    }
+
+    /// Captures an immutable MVCC version of `table`: one `Arc` snapshot
+    /// carrying rows, ids, columnar mirror and index state together.
+    pub fn txn_snapshot(&self, table: &str) -> Result<Arc<dyn TxnVersion>> {
+        let rel = self
+            .table(table)
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{table}'")))?;
+        Ok(Arc::new(RelVersion(rel)))
+    }
+
+    /// Applies a committed MVCC delta under the copy-on-write swap:
+    /// open snapshots keep the pre-delta relation, indexes are
+    /// maintained incrementally, and the columnar mirror is rebuilt
+    /// from the surviving rows.
+    pub fn apply_delta(&self, table: &str, ops: &[DeltaOp]) -> Result<usize> {
+        let mut tables = self.tables.write();
+        let rel = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| CalciteError::execution(format!("memdb: no table '{table}'")))?;
+        let rel = Arc::make_mut(rel);
+        let arity = rel.columns.len();
+        let outcome = apply_ops_to_rows(&mut rel.rows, &mut rel.row_ids, ops, arity)?;
+        if let Some(max_id) = outcome.max_inserted_id {
+            let mut ids = self.next_ids.lock();
+            let next = ids.entry(table.to_ascii_lowercase()).or_default();
+            *next = (*next).max(max_id + 1);
+        }
+        rel.col_store = rel
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, (_, kind))| Column::from_rows(kind, &rel.rows, i))
+            .collect();
+        let MemRelation {
+            col_store, indexes, ..
+        } = rel;
+        let access = ColAccess(col_store);
+        for idx in indexes.iter_mut() {
+            Arc::make_mut(idx).apply_delta(&access, &outcome.remap, &outcome.reinserted);
+        }
+        Ok(outcome.applied)
+    }
+
+    /// Reserves `n` consecutive row ids for `table`, returning the first.
+    pub fn reserve_row_ids(&self, table: &str, n: usize) -> Result<u64> {
+        let key = table.to_ascii_lowercase();
+        if !self.tables.read().contains_key(&key) {
+            return Err(CalciteError::execution(format!(
+                "memdb: no table '{table}'"
+            )));
+        }
+        let mut ids = self.next_ids.lock();
+        let next = ids.entry(key).or_default();
+        let start = *next;
+        *next += n as u64;
+        Ok(start)
     }
 
     /// Creates a secondary index on `table`, built over the current
@@ -571,6 +682,52 @@ mod tests {
         let rows = db.execute(&q).unwrap();
         assert_eq!(rows[0][0], Datum::Int(2));
         assert!(rows[2][0].is_null());
+    }
+
+    #[test]
+    fn apply_delta_cow_keeps_open_snapshots() {
+        let db = db();
+        let before = db.txn_snapshot("products").unwrap();
+        db.create_index("products", &IndexDef::ordered("p_id", vec![0]))
+            .unwrap();
+        // Update product 2's price, delete product 1, insert product 4.
+        let start = db.reserve_row_ids("products", 1).unwrap();
+        db.apply_delta(
+            "products",
+            &[
+                DeltaOp::Update {
+                    row_id: 1,
+                    row: vec![Datum::Int(2), Datum::str("rocket"), Datum::Double(99.0)],
+                },
+                DeltaOp::Delete { row_id: 0 },
+                DeltaOp::Insert {
+                    row_id: start,
+                    row: vec![Datum::Int(4), Datum::str("tnt"), Datum::Double(50.0)],
+                },
+            ],
+        )
+        .unwrap();
+        // The pre-delta snapshot is untouched.
+        assert_eq!(before.row_count(), 3);
+        assert_eq!(before.row(0)[1], Datum::str("anvil"));
+        assert_eq!(before.row(1)[2], Datum::Double(100.0));
+        // The live relation reflects the delta; ids stay stable.
+        let rel = db.table("products").unwrap();
+        assert_eq!(rel.rows.len(), 3);
+        assert_eq!(rel.row_ids(), &[1, 2, start]);
+        assert_eq!(rel.rows[0][2], Datum::Double(99.0));
+        // Columnar mirror tracks it.
+        assert_eq!(rel.column_data()[2].get(0), Datum::Double(99.0));
+        // The index was maintained incrementally and stays exact.
+        let probe = db.index_probe("products", "p_id").unwrap().unwrap();
+        use rcalcite_core::index::BoundProbe;
+        assert_eq!(
+            probe.positions(&BoundProbe::point(vec![Datum::Int(4)])),
+            vec![2]
+        );
+        assert!(probe
+            .positions(&BoundProbe::point(vec![Datum::Int(1)]))
+            .is_empty());
     }
 
     #[test]

@@ -220,6 +220,36 @@ pub trait Table: Send + Sync {
         let _ = name;
         Ok(false)
     }
+
+    // ----- transactional write SPI (MVCC + WAL; `core::txn`) -----
+
+    /// Captures an immutable version of this table (rows, stable row ids
+    /// and index state at one instant) for snapshot-isolated reads.
+    /// `None` (the default) means the table is not MVCC-capable and
+    /// transactions leave it alone.
+    fn txn_snapshot(&self) -> Option<Arc<dyn crate::txn::TxnVersion>> {
+        None
+    }
+
+    /// Applies a committed delta (keyed by stable row ids) to the live
+    /// table state, maintaining secondary indexes incrementally inside
+    /// the copy-on-write swap so open snapshots keep serving pre-delta
+    /// data. Returns the number of operations applied.
+    fn apply_delta(&self, ops: &[crate::txn::DeltaOp]) -> Result<usize> {
+        let _ = ops;
+        Err(CalciteError::unsupported(
+            "table does not support transactional writes",
+        ))
+    }
+
+    /// Reserves `n` consecutive row ids for upcoming inserts, returning
+    /// the first. Ids are never reused.
+    fn reserve_row_ids(&self, n: usize) -> Result<u64> {
+        let _ = n;
+        Err(CalciteError::unsupported(
+            "table does not support transactional writes",
+        ))
+    }
 }
 
 /// A consistent, positionally-addressable view of a table taken at scan
@@ -331,6 +361,11 @@ pub struct MemTable {
     /// `Arc` clone (O(1)), and a later write that finds the `Arc` shared
     /// copies before mutating, so open snapshots keep their version.
     rows: RwLock<Arc<Vec<Row>>>,
+    /// Stable row ids, parallel to `rows` (same copy-on-write swap, same
+    /// lock order: rows, then ids, then indexes). Assigned at insert,
+    /// never reused — the addressing MVCC deltas and the WAL use.
+    row_ids: RwLock<Arc<Vec<u64>>>,
+    next_row_id: std::sync::atomic::AtomicU64,
     statistic: RwLock<Option<Statistic>>,
     /// Secondary indexes, maintained incrementally on insert. Guarded by
     /// the same lock discipline as `rows` (rows lock taken first), so an
@@ -340,9 +375,12 @@ pub struct MemTable {
 
 impl MemTable {
     pub fn new(row_type: RowType, rows: Vec<Row>) -> Arc<MemTable> {
+        let n = rows.len() as u64;
         Arc::new(MemTable {
             row_type,
             rows: RwLock::new(Arc::new(rows)),
+            row_ids: RwLock::new(Arc::new((0..n).collect())),
+            next_row_id: std::sync::atomic::AtomicU64::new(n),
             statistic: RwLock::new(None),
             indexes: RwLock::new(vec![]),
         })
@@ -360,6 +398,10 @@ impl MemTable {
     pub fn insert(&self, row: Row) {
         let mut guard = self.rows.write();
         Arc::make_mut(&mut guard).push(row);
+        let id = self
+            .next_row_id
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Arc::make_mut(&mut self.row_ids.write()).push(id);
         let access = RowsRef {
             rows: guard.as_slice(),
             arity: self.row_type.arity(),
@@ -371,7 +413,12 @@ impl MemTable {
 
     pub fn replace_all(&self, rows: Vec<Row>) {
         let mut guard = self.rows.write();
+        let n = rows.len() as u64;
+        let start = self
+            .next_row_id
+            .fetch_add(n, std::sync::atomic::Ordering::SeqCst);
         *guard = Arc::new(rows);
+        *self.row_ids.write() = Arc::new((start..start + n).collect());
         let access = RowsRef {
             rows: guard.as_slice(),
             arity: self.row_type.arity(),
@@ -381,6 +428,11 @@ impl MemTable {
                 .expect("existing index definition must stay valid");
             *Arc::make_mut(idx) = rebuilt;
         }
+    }
+
+    /// Stable ids of the current rows, parallel to [`MemTable::rows`].
+    pub fn row_ids(&self) -> Vec<u64> {
+        self.row_ids.read().as_ref().clone()
     }
 
     pub fn len(&self) -> usize {
@@ -482,6 +534,85 @@ impl Table for MemTable {
         indexes.retain(|i| i.def.name != name);
         Ok(indexes.len() < before)
     }
+
+    fn txn_snapshot(&self) -> Option<Arc<dyn crate::txn::TxnVersion>> {
+        // Same lock order as every reader/writer: rows, ids, indexes —
+        // the three Arcs form one consistent version.
+        let rows = Arc::clone(&self.rows.read());
+        let ids = Arc::clone(&self.row_ids.read());
+        let indexes = self.indexes.read().clone();
+        Some(Arc::new(MemTableVersion {
+            arity: self.row_type.arity(),
+            rows,
+            ids,
+            indexes,
+        }))
+    }
+
+    fn apply_delta(&self, ops: &[crate::txn::DeltaOp]) -> Result<usize> {
+        let mut rows_guard = self.rows.write();
+        let mut ids_guard = self.row_ids.write();
+        let mut idx_guard = self.indexes.write();
+        let rows = Arc::make_mut(&mut rows_guard);
+        let ids = Arc::make_mut(&mut ids_guard);
+        let outcome = crate::txn::apply_ops_to_rows(rows, ids, ops, self.row_type.arity())?;
+        if let Some(max_id) = outcome.max_inserted_id {
+            self.next_row_id
+                .fetch_max(max_id + 1, std::sync::atomic::Ordering::SeqCst);
+        }
+        let access = RowsRef {
+            rows: rows.as_slice(),
+            arity: self.row_type.arity(),
+        };
+        for idx in idx_guard.iter_mut() {
+            Arc::make_mut(idx).apply_delta(&access, &outcome.remap, &outcome.reinserted);
+        }
+        Ok(outcome.applied)
+    }
+
+    fn reserve_row_ids(&self, n: usize) -> Result<u64> {
+        Ok(self
+            .next_row_id
+            .fetch_add(n as u64, std::sync::atomic::Ordering::SeqCst))
+    }
+}
+
+/// A [`crate::txn::TxnVersion`] of a [`MemTable`]: three `Arc` clones
+/// taken under one lock pass, pinned for the life of the transaction.
+struct MemTableVersion {
+    arity: usize,
+    rows: Arc<Vec<Row>>,
+    ids: Arc<Vec<u64>>,
+    indexes: Vec<Arc<IndexData>>,
+}
+
+impl crate::txn::TxnVersion for MemTableVersion {
+    fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn row(&self, pos: usize) -> Row {
+        self.rows[pos].clone()
+    }
+
+    fn row_id(&self, pos: usize) -> u64 {
+        self.ids[pos]
+    }
+
+    fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|i| i.def.clone()).collect()
+    }
+
+    fn index_probe(&self, index: &str) -> Option<Arc<dyn IndexProbe>> {
+        let idx = self.indexes.iter().find(|i| i.def.name == index)?.clone();
+        Some(Arc::new(SnapshotProbe {
+            data: RowsAccess {
+                rows: Arc::clone(&self.rows),
+                arity: self.arity,
+            },
+            index: idx,
+        }))
+    }
 }
 
 /// A named collection of tables, typically produced by an adapter's schema
@@ -530,6 +661,7 @@ pub struct Catalog {
     schemas: RwLock<HashMap<String, Arc<Schema>>>,
     default_schema: RwLock<Option<String>>,
     stats: crate::stats::StatsRegistry,
+    txns: Arc<crate::txn::TxnManager>,
 }
 
 impl Catalog {
@@ -542,6 +674,29 @@ impl Catalog {
     /// cache's DDL counter.
     pub fn stats(&self) -> &crate::stats::StatsRegistry {
         &self.stats
+    }
+
+    /// The transaction manager every connection over this catalog
+    /// shares: one timestamp clock, one commit lock, one conflict
+    /// history, one (optional) write-ahead log.
+    pub fn txns(&self) -> &Arc<crate::txn::TxnManager> {
+        &self.txns
+    }
+
+    /// Every table in the catalog, resolved. Transactions capture their
+    /// BEGIN snapshots from this set.
+    pub fn all_tables(&self) -> Vec<TableRef> {
+        let mut out = vec![];
+        for schema_name in self.schema_names() {
+            if let Some(schema) = self.schema(&schema_name) {
+                for table_name in schema.table_names() {
+                    if let Some(table) = schema.table(&table_name) {
+                        out.push(TableRef::new(schema_name.clone(), table_name, table));
+                    }
+                }
+            }
+        }
+        out
     }
 
     pub fn add_schema(&self, name: impl Into<String>, schema: Schema) {

@@ -19,6 +19,10 @@ pub enum CalciteError {
     Unsupported(String),
     /// Invariant violation; indicates a bug in rcalcite itself.
     Internal(String),
+    /// First-committer-wins serialization failure: another transaction
+    /// committed a conflicting write first. Retryable — re-running the
+    /// losing transaction against the new state is expected to succeed.
+    TxnConflict(String),
 }
 
 impl CalciteError {
@@ -40,6 +44,16 @@ impl CalciteError {
     pub fn internal(msg: impl Into<String>) -> Self {
         CalciteError::Internal(msg.into())
     }
+    pub fn txn_conflict(msg: impl Into<String>) -> Self {
+        CalciteError::TxnConflict(msg.into())
+    }
+
+    /// Whether retrying the failed operation can succeed. Only
+    /// serialization failures qualify: the conflicting committer has
+    /// already finished, so a fresh attempt sees its writes.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CalciteError::TxnConflict(_))
+    }
 }
 
 impl fmt::Display for CalciteError {
@@ -51,6 +65,9 @@ impl fmt::Display for CalciteError {
             CalciteError::Execution(m) => write!(f, "execution error: {m}"),
             CalciteError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CalciteError::Internal(m) => write!(f, "internal error: {m}"),
+            CalciteError::TxnConflict(m) => {
+                write!(f, "serialization failure (retry the transaction): {m}")
+            }
         }
     }
 }
@@ -78,6 +95,15 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(CalciteError::parse("a"), CalciteError::Parse("a".into()));
         assert_ne!(CalciteError::parse("a"), CalciteError::validate("a"));
+    }
+
+    #[test]
+    fn conflict_is_the_only_retryable_error() {
+        let e = CalciteError::txn_conflict("write-write conflict on hr.emp");
+        assert!(e.is_retryable());
+        assert!(e.to_string().starts_with("serialization failure"));
+        assert!(!CalciteError::execution("boom").is_retryable());
+        assert!(!CalciteError::validate("nope").is_retryable());
     }
 
     #[test]

@@ -247,8 +247,9 @@ impl IndexData {
     }
 
     /// Incrementally indexes the row at position `pos` (already present in
-    /// `data`). Called once per inserted row, newest position last, so
-    /// hash postings stay ascending without re-sorting.
+    /// `data`). Positions need not arrive in order: both shapes insert at
+    /// the sorted point, so ordered permutations keep their (key, position)
+    /// order and hash postings stay ascending.
     pub fn insert(&mut self, data: &dyn KeyAccess, pos: usize) {
         let key = key_of(data, &self.def.columns, pos);
         match &mut self.state {
@@ -261,9 +262,55 @@ impl IndexData {
             }
             IndexState::Hash(map) => {
                 if !key.iter().any(Datum::is_null) {
-                    map.entry(key).or_default().push(pos);
+                    let postings = map.entry(key).or_default();
+                    let at = postings.partition_point(|&p| p < pos);
+                    postings.insert(at, pos);
                 }
             }
+        }
+    }
+
+    /// Applies an UPDATE/DELETE delta incrementally: `remap` gives each
+    /// old position's new position (`None` = deleted) and `reinserted`
+    /// lists the new positions whose rows changed or appeared (see
+    /// [`crate::txn::DeltaOutcome`]). `data` is the *post-delta* table.
+    ///
+    /// Survivor entries are remapped in place — `remap` is monotonic over
+    /// survivors, so both the ordered permutation's (key, position) order
+    /// and the hash postings' ascending order are preserved — and changed
+    /// rows are re-keyed through [`IndexData::insert`]. Cost is
+    /// O(n + changes · log n), never a rebuild, and because the index is
+    /// copy-on-write-snapshotted with its table, open probe snapshots
+    /// keep serving the pre-delta state.
+    pub fn apply_delta(
+        &mut self,
+        data: &dyn KeyAccess,
+        remap: &[Option<usize>],
+        reinserted: &[usize],
+    ) {
+        let changed: std::collections::HashSet<usize> = reinserted.iter().copied().collect();
+        let survives = |p: &mut usize| -> bool {
+            match remap.get(*p).copied().flatten() {
+                Some(np) if !changed.contains(&np) => {
+                    *p = np;
+                    true
+                }
+                _ => false,
+            }
+        };
+        match &mut self.state {
+            IndexState::Ordered(perm) => {
+                perm.retain_mut(survives);
+            }
+            IndexState::Hash(map) => {
+                map.retain(|_, postings| {
+                    postings.retain_mut(survives);
+                    !postings.is_empty()
+                });
+            }
+        }
+        for &pos in reinserted {
+            self.insert(data, pos);
         }
     }
 
@@ -497,6 +544,48 @@ mod tests {
                     .collect(),
             ),
             arity,
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_build() {
+        // Old data: 6 rows keyed by column 0 with duplicates and a NULL.
+        let old = data(vec![
+            vec![Some(3), Some(0)],
+            vec![Some(1), Some(1)],
+            vec![Some(3), Some(2)],
+            vec![None, Some(3)],
+            vec![Some(2), Some(4)],
+            vec![Some(1), Some(5)],
+        ]);
+        // Delta: delete pos 1, update pos 4 (key 2 -> 9), append one row
+        // (key 3). New positions: 0->0, 2->1, 3->2, 4->3(updated), 5->4,
+        // appended at 5.
+        let new = data(vec![
+            vec![Some(3), Some(0)],
+            vec![Some(3), Some(2)],
+            vec![None, Some(3)],
+            vec![Some(9), Some(4)],
+            vec![Some(1), Some(5)],
+            vec![Some(3), Some(6)],
+        ]);
+        let remap = [Some(0), None, Some(1), Some(2), Some(3), Some(4)];
+        let reinserted = [3, 5];
+        for def in [
+            IndexDef::ordered("i", vec![0]),
+            IndexDef::hash("i", vec![0]),
+        ] {
+            let mut idx = IndexData::build(def.clone(), &old).unwrap();
+            idx.apply_delta(&new, &remap, &reinserted);
+            let fresh = IndexData::build(def, &new).unwrap();
+            for key in [1i64, 2, 3, 9] {
+                let probe = BoundProbe::point(vec![Datum::Int(key)]);
+                assert_eq!(
+                    idx.probe(&new, &probe),
+                    fresh.probe(&new, &probe),
+                    "incremental and rebuilt indexes disagree on key {key}"
+                );
+            }
         }
     }
 

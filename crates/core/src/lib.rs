@@ -42,7 +42,9 @@ pub mod rules;
 pub mod simplify;
 pub mod stats;
 pub mod traits;
+pub mod txn;
 pub mod types;
+pub mod wal;
 
 pub use buffer::{MemoryBudget, SpillEnv, SpillEvent, SpillTracker, TempFileProvider};
 pub use catalog::{Catalog, MemTable, Schema, Statistic, Table, TableRef};
@@ -55,4 +57,6 @@ pub use rel::{Rel, RelKind, RelNode, RelOp};
 pub use rex::RexNode;
 pub use stats::{ColumnStats, StatsRegistry, TableStats};
 pub use traits::Convention;
+pub use txn::{DeltaOp, SnapshotTable, Transaction, TxnManager, TxnVersion};
 pub use types::{RelType, RowType, TypeKind};
+pub use wal::{FileWal, MemWal, WalRecord, WalStorage, WalWriter};

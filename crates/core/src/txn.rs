@@ -1,0 +1,833 @@
+//! MVCC transactions: snapshot isolation over the catalog's
+//! copy-on-write tables, first-committer-wins conflict detection, and the
+//! write path that routes row deltas through [`Table::apply_delta`].
+//!
+//! The design leans on the Arc-snapshot discipline the storage layer
+//! already has: every MVCC-capable table hands out an immutable
+//! [`TxnVersion`] (rows + stable row ids + index state, all referring to
+//! the same instant), and writers replace the shared state under
+//! `Arc::make_mut`, so a transaction that captured a version at BEGIN
+//! keeps reading it unchanged — that *is* the version chain, with the Arc
+//! holders pinning exactly the versions still needed and dropped versions
+//! reclaimed by refcount.
+//!
+//! Writes are private until COMMIT: a [`Transaction`] stages [`DeltaOp`]s
+//! in a per-table workspace (with a materialized overlay so the
+//! transaction reads its own writes). COMMIT, under the manager's global
+//! commit lock, (1) appends the whole transaction to the WAL, (2) runs the
+//! first-committer-wins check — any transaction that committed after this
+//! one began and wrote an overlapping row id aborts this one with a
+//! retryable [`CalciteError::TxnConflict`] — then (3) logs `Commit`,
+//! syncs, and applies the deltas onto the *current* table state, so
+//! non-overlapping concurrent committers merge instead of clobbering.
+
+use crate::catalog::{Statistic, Table, TableRef};
+use crate::datum::{Column, Row};
+use crate::error::{CalciteError, Result};
+use crate::index::{IndexDef, IndexProbe};
+use crate::types::RowType;
+use crate::wal::{WalRecord, WalWriter};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Deltas
+// ---------------------------------------------------------------------
+
+/// One row-level change, addressed by the table's stable row id (assigned
+/// at insert, never reused), so deltas survive physical reordering and
+/// replay deterministically from the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    Insert { row_id: u64, row: Row },
+    Update { row_id: u64, row: Row },
+    Delete { row_id: u64 },
+}
+
+impl DeltaOp {
+    pub fn row_id(&self) -> u64 {
+        match self {
+            DeltaOp::Insert { row_id, .. }
+            | DeltaOp::Update { row_id, .. }
+            | DeltaOp::Delete { row_id } => *row_id,
+        }
+    }
+
+    /// Whether this op participates in write-write conflict detection.
+    /// Inserts touch rows no concurrent transaction can see, so they
+    /// never conflict.
+    pub fn conflicts(&self) -> bool {
+        !matches!(self, DeltaOp::Insert { .. })
+    }
+}
+
+/// Applies `ops` in order to a row store (`rows` + parallel `ids`),
+/// validating arity, and reports how positions moved so secondary indexes
+/// can be maintained incrementally instead of rebuilt.
+pub fn apply_ops_to_rows(
+    rows: &mut Vec<Row>,
+    ids: &mut Vec<u64>,
+    ops: &[DeltaOp],
+    arity: usize,
+) -> Result<DeltaOutcome> {
+    let old_len = rows.len();
+    // Tombstone slots keep positions stable while ops are applied in
+    // sequence (an op stream may update then delete the same row).
+    struct Slot {
+        id: u64,
+        row: Row,
+        origin: Option<usize>,
+        touched: bool,
+    }
+    let mut slots: Vec<Option<Slot>> = std::mem::take(rows)
+        .into_iter()
+        .zip(ids.iter().copied())
+        .enumerate()
+        .map(|(pos, (row, id))| {
+            Some(Slot {
+                id,
+                row,
+                origin: Some(pos),
+                touched: false,
+            })
+        })
+        .collect();
+    let mut by_id: HashMap<u64, usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_ref().unwrap().id, i))
+        .collect();
+    let mut max_inserted = None;
+    for op in ops {
+        match op {
+            DeltaOp::Insert { row_id, row } => {
+                if row.len() != arity {
+                    return Err(CalciteError::execution(format!(
+                        "insert arity mismatch: row has {} values, table has {arity} columns",
+                        row.len()
+                    )));
+                }
+                if by_id.contains_key(row_id) {
+                    return Err(CalciteError::internal(format!(
+                        "duplicate row id {row_id} in insert"
+                    )));
+                }
+                by_id.insert(*row_id, slots.len());
+                slots.push(Some(Slot {
+                    id: *row_id,
+                    row: row.clone(),
+                    origin: None,
+                    touched: true,
+                }));
+                max_inserted = Some(max_inserted.map_or(*row_id, |m: u64| m.max(*row_id)));
+            }
+            DeltaOp::Update { row_id, row } => {
+                if row.len() != arity {
+                    return Err(CalciteError::execution(format!(
+                        "update arity mismatch: row has {} values, table has {arity} columns",
+                        row.len()
+                    )));
+                }
+                let slot = by_id
+                    .get(row_id)
+                    .and_then(|i| slots[*i].as_mut())
+                    .ok_or_else(|| {
+                        CalciteError::internal(format!("update of unknown row id {row_id}"))
+                    })?;
+                slot.row = row.clone();
+                slot.touched = true;
+            }
+            DeltaOp::Delete { row_id } => {
+                let i = by_id.remove(row_id).ok_or_else(|| {
+                    CalciteError::internal(format!("delete of unknown row id {row_id}"))
+                })?;
+                slots[i] = None;
+            }
+        }
+    }
+    let mut remap = vec![None; old_len];
+    let mut reinserted = Vec::new();
+    for slot in slots.into_iter().flatten() {
+        let new_pos = rows.len();
+        if let Some(old_pos) = slot.origin {
+            remap[old_pos] = Some(new_pos);
+        }
+        if slot.touched {
+            reinserted.push(new_pos);
+        }
+        rows.push(slot.row);
+        ids.push(slot.id);
+    }
+    ids.drain(..old_len);
+    Ok(DeltaOutcome {
+        remap,
+        reinserted,
+        applied: ops.len(),
+        max_inserted_id: max_inserted,
+    })
+}
+
+/// How [`apply_ops_to_rows`] moved things: the position remap for
+/// surviving rows plus the new positions whose keys changed, i.e. exactly
+/// what [`crate::index::IndexData::apply_delta`] needs.
+#[derive(Debug)]
+pub struct DeltaOutcome {
+    /// Old position → new position; `None` means deleted. Monotonic over
+    /// the surviving rows (relative order is preserved).
+    pub remap: Vec<Option<usize>>,
+    /// New positions holding updated or inserted rows, ascending.
+    pub reinserted: Vec<usize>,
+    /// Ops applied.
+    pub applied: usize,
+    /// Largest row id assigned by an insert, if any — callers bump their
+    /// id counter past it (WAL replay inserts carry explicit ids).
+    pub max_inserted_id: Option<u64>,
+}
+
+// ---------------------------------------------------------------------
+// Versions
+// ---------------------------------------------------------------------
+
+/// An immutable point-in-time version of one table: rows, their stable
+/// ids, and the index state covering exactly those rows. Cheap to capture
+/// (Arc clones) and held for the life of a transaction.
+pub trait TxnVersion: Send + Sync {
+    fn row_count(&self) -> usize;
+    fn row(&self, pos: usize) -> Row;
+    fn row_id(&self, pos: usize) -> u64;
+    /// Indexes present in this version.
+    fn index_defs(&self) -> Vec<IndexDef>;
+    /// Probe handle for `index` over this version's rows, if it exists.
+    fn index_probe(&self, index: &str) -> Option<Arc<dyn IndexProbe>>;
+}
+
+/// The read view a statement evaluates against: either a clean captured
+/// version (index probes available) or the transaction's own overlay
+/// after it wrote (plain rows; locates fall back to predicate scans).
+#[derive(Clone)]
+pub enum ReadView {
+    Version(Arc<dyn TxnVersion>),
+    Rows {
+        rows: Arc<Vec<Row>>,
+        ids: Arc<Vec<u64>>,
+    },
+}
+
+impl ReadView {
+    pub fn row_count(&self) -> usize {
+        match self {
+            ReadView::Version(v) => v.row_count(),
+            ReadView::Rows { rows, .. } => rows.len(),
+        }
+    }
+
+    pub fn row(&self, pos: usize) -> Row {
+        match self {
+            ReadView::Version(v) => v.row(pos),
+            ReadView::Rows { rows, .. } => rows[pos].clone(),
+        }
+    }
+
+    pub fn row_id(&self, pos: usize) -> u64 {
+        match self {
+            ReadView::Version(v) => v.row_id(pos),
+            ReadView::Rows { ids, .. } => ids[pos],
+        }
+    }
+
+    pub fn index_probe(&self, index: &str) -> Option<Arc<dyn IndexProbe>> {
+        match self {
+            ReadView::Version(v) => v.index_probe(index),
+            ReadView::Rows { .. } => None,
+        }
+    }
+}
+
+/// A [`Table`] over a captured version (plus any transaction-local
+/// overlay), substituted for base-table scans while a transaction is
+/// open so every statement reads the BEGIN-time snapshot.
+pub struct SnapshotTable {
+    row_type: RowType,
+    view: ReadView,
+}
+
+impl SnapshotTable {
+    pub fn new(row_type: RowType, view: ReadView) -> Arc<SnapshotTable> {
+        Arc::new(SnapshotTable { row_type, view })
+    }
+
+    fn all_rows(&self) -> Vec<Row> {
+        (0..self.view.row_count())
+            .map(|p| self.view.row(p))
+            .collect()
+    }
+}
+
+impl Table for SnapshotTable {
+    fn row_type(&self) -> RowType {
+        self.row_type.clone()
+    }
+
+    fn statistic(&self) -> Statistic {
+        Statistic::of_rows(self.view.row_count() as f64)
+    }
+
+    fn scan(&self) -> Result<Box<dyn Iterator<Item = Row> + Send>> {
+        let view = self.view.clone();
+        Ok(Box::new((0..view.row_count()).map(move |p| view.row(p))))
+    }
+
+    fn scan_columns(&self) -> Option<Result<Vec<Column>>> {
+        let rows = self.all_rows();
+        Some(Ok(self
+            .row_type
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Column::from_rows(&f.ty.kind, &rows, i))
+            .collect()))
+    }
+
+    fn range_scan_rows(&self) -> Option<usize> {
+        if self.row_type.arity() == 0 {
+            return None;
+        }
+        Some(self.view.row_count())
+    }
+
+    fn indexes(&self) -> Vec<IndexDef> {
+        match &self.view {
+            ReadView::Version(v) => v.index_defs(),
+            ReadView::Rows { .. } => vec![],
+        }
+    }
+
+    fn index_probe_snapshot(&self, index: &str) -> Result<Option<Arc<dyn IndexProbe>>> {
+        Ok(self.view.index_probe(index))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------
+
+/// Materialized rows + row ids of a written table after applying the
+/// transaction's staged ops to its BEGIN-time version.
+type Overlay = (Arc<Vec<Row>>, Arc<Vec<u64>>);
+
+struct TxnTable {
+    tref: TableRef,
+    version: Arc<dyn TxnVersion>,
+    ops: Vec<DeltaOp>,
+    /// Row ids this transaction updated or deleted (inserts excluded):
+    /// the first-committer-wins footprint.
+    write_set: HashSet<u64>,
+    /// Present once the transaction has written the table
+    /// (read-own-writes).
+    overlay: Option<Overlay>,
+}
+
+/// A transaction handle: BEGIN-time versions of every MVCC-capable table,
+/// a staged write set, and the commit/rollback protocol. Dropping an
+/// uncommitted transaction is a rollback.
+pub struct Transaction {
+    id: u64,
+    begin_ts: u64,
+    mgr: Arc<TxnManager>,
+    tables: HashMap<String, TxnTable>,
+    finished: bool,
+}
+
+impl Transaction {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn begin_ts(&self) -> u64 {
+        self.begin_ts
+    }
+
+    /// Qualified names of tables with staged writes.
+    pub fn written_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .iter()
+            .filter(|(_, t)| !t.ops.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Whether `qualified` was captured at BEGIN (i.e. is MVCC-capable).
+    pub fn covers(&self, qualified: &str) -> bool {
+        self.tables.contains_key(qualified)
+    }
+
+    /// The view statements should read for `qualified`: the BEGIN
+    /// version, or the overlay once this transaction wrote the table.
+    pub fn read_view(&self, qualified: &str) -> Option<ReadView> {
+        let t = self.tables.get(qualified)?;
+        Some(match &t.overlay {
+            Some((rows, ids)) => ReadView::Rows {
+                rows: Arc::clone(rows),
+                ids: Arc::clone(ids),
+            },
+            None => ReadView::Version(Arc::clone(&t.version)),
+        })
+    }
+
+    /// A [`Table`] serving [`Transaction::read_view`], for substituting
+    /// into scans of `qualified` while this transaction is open.
+    pub fn snapshot_table(&self, qualified: &str) -> Option<Arc<SnapshotTable>> {
+        let t = self.tables.get(qualified)?;
+        let view = self.read_view(qualified)?;
+        Some(SnapshotTable::new(t.tref.table.row_type(), view))
+    }
+
+    /// Stages `ops` against `qualified`: applies them to the private
+    /// overlay (so later statements in this transaction see them) and
+    /// records updated/deleted row ids in the conflict footprint.
+    pub fn stage(&mut self, qualified: &str, ops: Vec<DeltaOp>) -> Result<usize> {
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        let t = self.tables.get_mut(qualified).ok_or_else(|| {
+            CalciteError::unsupported(format!(
+                "table '{qualified}' does not support transactional writes"
+            ))
+        })?;
+        let (mut rows, mut ids) = match t.overlay.take() {
+            Some((rows, ids)) => (rows.as_ref().clone(), ids.as_ref().clone()),
+            None => {
+                let n = t.version.row_count();
+                (
+                    (0..n).map(|p| t.version.row(p)).collect(),
+                    (0..n).map(|p| t.version.row_id(p)).collect(),
+                )
+            }
+        };
+        let arity = t.tref.table.row_type().arity();
+        let outcome = apply_ops_to_rows(&mut rows, &mut ids, &ops, arity)?;
+        t.overlay = Some((Arc::new(rows), Arc::new(ids)));
+        for op in &ops {
+            if op.conflicts() {
+                t.write_set.insert(op.row_id());
+            }
+        }
+        t.ops.extend(ops);
+        Ok(outcome.applied)
+    }
+
+    /// Commits: WAL-logs the transaction, runs first-committer-wins, and
+    /// applies the staged deltas to the shared tables. Returns the commit
+    /// timestamp. A conflict aborts with a retryable error; either way
+    /// the transaction is finished.
+    pub fn commit(mut self) -> Result<u64> {
+        self.finished = true;
+        let staged: Vec<(TableRef, Vec<DeltaOp>, HashSet<u64>)> = self
+            .tables
+            .drain()
+            .filter(|(_, t)| !t.ops.is_empty())
+            .map(|(_, t)| (t.tref, t.ops, t.write_set))
+            .collect();
+        let mgr = Arc::clone(&self.mgr);
+        mgr.commit(self.id, self.begin_ts, staged)
+    }
+
+    /// Abandons every staged write. Nothing was shared or logged, so this
+    /// only releases the snapshot.
+    pub fn rollback(mut self) {
+        self.finished = true;
+        self.mgr.end(self.id);
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.mgr.end(self.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manager
+// ---------------------------------------------------------------------
+
+struct CommitFootprint {
+    commit_ts: u64,
+    /// Qualified table name → row ids updated/deleted.
+    writes: Vec<(String, HashSet<u64>)>,
+}
+
+/// Issues begin/commit timestamps from one monotonic clock, tracks active
+/// transactions, runs the first-committer-wins check, and owns the
+/// optional WAL. One manager lives on each [`crate::catalog::Catalog`]
+/// and is shared by every connection over it.
+#[derive(Default)]
+pub struct TxnManager {
+    clock: AtomicU64,
+    ids: AtomicU64,
+    /// Serializes the validate→log→apply window of COMMIT.
+    commit_lock: Mutex<()>,
+    /// Active transaction id → begin timestamp.
+    active: Mutex<BTreeMap<u64, u64>>,
+    /// Footprints of committed writers, kept only while some active
+    /// transaction could still conflict with them.
+    history: Mutex<Vec<CommitFootprint>>,
+    wal: Mutex<Option<WalWriter>>,
+}
+
+impl TxnManager {
+    pub fn new() -> TxnManager {
+        TxnManager::default()
+    }
+
+    /// Attaches (or replaces) the write-ahead log. Commits from this
+    /// point on are logged; recovery is [`crate::wal::replay`].
+    pub fn attach_wal(&self, writer: WalWriter) {
+        *self.wal.lock() = Some(writer);
+    }
+
+    /// Detaches and returns the WAL writer, if any.
+    pub fn detach_wal(&self) -> Option<WalWriter> {
+        self.wal.lock().take()
+    }
+
+    /// Active transaction count (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Begins a transaction, eagerly capturing a version of every
+    /// MVCC-capable table in `tables` — the snapshot a statement at any
+    /// later point in the transaction will read.
+    pub fn begin(self: &Arc<Self>, tables: &[TableRef]) -> Transaction {
+        let begin_ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let id = self.ids.fetch_add(1, Ordering::SeqCst) + 1;
+        self.active.lock().insert(id, begin_ts);
+        let mut captured = HashMap::new();
+        for tref in tables {
+            if let Some(version) = tref.table.txn_snapshot() {
+                captured.insert(
+                    tref.qualified_name(),
+                    TxnTable {
+                        tref: tref.clone(),
+                        version,
+                        ops: vec![],
+                        write_set: HashSet::new(),
+                        overlay: None,
+                    },
+                );
+            }
+        }
+        Transaction {
+            id,
+            begin_ts,
+            mgr: Arc::clone(self),
+            tables: captured,
+            finished: false,
+        }
+    }
+
+    fn commit(
+        &self,
+        id: u64,
+        begin_ts: u64,
+        staged: Vec<(TableRef, Vec<DeltaOp>, HashSet<u64>)>,
+    ) -> Result<u64> {
+        let _commit_guard = self.commit_lock.lock();
+        if staged.is_empty() {
+            // Read-only: nothing to validate, log or apply.
+            let commit_ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+            self.end(id);
+            return Ok(commit_ts);
+        }
+
+        // 1. Log the transaction body. A WAL failure (including injected
+        // crashes) aborts the commit before anything is shared.
+        let mut wal = self.wal.lock();
+        if let Some(w) = wal.as_mut() {
+            let logged = (|| -> Result<()> {
+                w.append(&WalRecord::Begin { txn: id })?;
+                for (tref, ops, _) in &staged {
+                    let table = tref.qualified_name();
+                    for op in ops {
+                        w.append(&WalRecord::from_op(id, &table, op))?;
+                    }
+                }
+                Ok(())
+            })();
+            if let Err(e) = logged {
+                drop(wal);
+                self.end(id);
+                return Err(e);
+            }
+        }
+
+        // 2. First-committer-wins: anyone who committed after we began
+        // and touched a row we updated/deleted wins; we abort.
+        let conflict = {
+            let history = self.history.lock();
+            history
+                .iter()
+                .filter(|rec| rec.commit_ts > begin_ts)
+                .find_map(|rec| {
+                    rec.writes.iter().find_map(|(table, rows)| {
+                        staged
+                            .iter()
+                            .find(|(tref, _, ws)| {
+                                tref.qualified_name() == *table && !ws.is_disjoint(rows)
+                            })
+                            .map(|_| table.clone())
+                    })
+                })
+        };
+        if let Some(table) = conflict {
+            if let Some(w) = wal.as_mut() {
+                let _ = w.append(&WalRecord::Abort { txn: id });
+                let _ = w.sync();
+            }
+            drop(wal);
+            self.end(id);
+            return Err(CalciteError::txn_conflict(format!(
+                "concurrent transaction already updated rows of '{table}'"
+            )));
+        }
+
+        // 3. Commit point: the Commit record is durable before any table
+        // state changes.
+        let commit_ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(w) = wal.as_mut() {
+            let durable = w
+                .append(&WalRecord::Commit { txn: id, commit_ts })
+                .and_then(|()| w.sync());
+            if let Err(e) = durable {
+                drop(wal);
+                self.end(id);
+                return Err(e);
+            }
+        }
+        drop(wal);
+
+        // 4. Apply onto the *current* shared versions (not the snapshot):
+        // non-conflicting concurrent commits compose.
+        for (tref, ops, _) in &staged {
+            tref.table.apply_delta(ops)?;
+        }
+
+        // 5. Publish the footprint for later committers' FCW checks.
+        self.history.lock().push(CommitFootprint {
+            commit_ts,
+            writes: staged
+                .into_iter()
+                .map(|(tref, _, ws)| (tref.qualified_name(), ws))
+                .collect(),
+        });
+        self.end(id);
+        Ok(commit_ts)
+    }
+
+    /// Removes `id` from the active set and prunes history no remaining
+    /// transaction can conflict with.
+    fn end(&self, id: u64) {
+        let mut active = self.active.lock();
+        active.remove(&id);
+        let min_begin = active.values().min().copied();
+        drop(active);
+        let mut history = self.history.lock();
+        match min_begin {
+            // A footprint only matters to transactions that began before
+            // it committed; the oldest active begin bounds that.
+            Some(m) => history.retain(|rec| rec.commit_ts > m),
+            None => history.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MemTable;
+    use crate::datum::Datum;
+    use crate::types::{RowTypeBuilder, TypeKind};
+
+    fn table() -> Arc<MemTable> {
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("id", TypeKind::Integer)
+                .add("v", TypeKind::Integer)
+                .build(),
+            (0..4)
+                .map(|i| vec![Datum::Int(i), Datum::Int(10 * i)])
+                .collect(),
+        )
+    }
+
+    fn tref(t: &Arc<MemTable>) -> TableRef {
+        TableRef::new("s", "t", t.clone() as Arc<dyn Table>)
+    }
+
+    #[test]
+    fn apply_ops_remap_and_reinserted() {
+        let mut rows: Vec<Row> = (0..4).map(|i| vec![Datum::Int(i)]).collect();
+        let mut ids: Vec<u64> = (0..4).collect();
+        let out = apply_ops_to_rows(
+            &mut rows,
+            &mut ids,
+            &[
+                DeltaOp::Delete { row_id: 1 },
+                DeltaOp::Update {
+                    row_id: 2,
+                    row: vec![Datum::Int(99)],
+                },
+                DeltaOp::Insert {
+                    row_id: 7,
+                    row: vec![Datum::Int(70)],
+                },
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(ids, vec![0, 2, 3, 7]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Datum::Int(0)],
+                vec![Datum::Int(99)],
+                vec![Datum::Int(3)],
+                vec![Datum::Int(70)],
+            ]
+        );
+        assert_eq!(out.remap, vec![Some(0), None, Some(1), Some(2)]);
+        assert_eq!(out.reinserted, vec![1, 3]);
+        assert_eq!(out.max_inserted_id, Some(7));
+    }
+
+    #[test]
+    fn apply_ops_update_then_delete_same_row() {
+        let mut rows: Vec<Row> = vec![vec![Datum::Int(1)]];
+        let mut ids: Vec<u64> = vec![0];
+        apply_ops_to_rows(
+            &mut rows,
+            &mut ids,
+            &[
+                DeltaOp::Update {
+                    row_id: 0,
+                    row: vec![Datum::Int(2)],
+                },
+                DeltaOp::Delete { row_id: 0 },
+            ],
+            1,
+        )
+        .unwrap();
+        assert!(rows.is_empty());
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn snapshot_pins_begin_state_and_overlay_reads_own_writes() {
+        let t = table();
+        let mgr = Arc::new(TxnManager::new());
+        let mut txn = mgr.begin(&[tref(&t)]);
+        // Another writer commits directly.
+        t.apply_delta(&[DeltaOp::Update {
+            row_id: 0,
+            row: vec![Datum::Int(0), Datum::Int(-1)],
+        }])
+        .unwrap();
+        let view = txn.read_view("s.t").unwrap();
+        assert_eq!(view.row(0)[1], Datum::Int(0)); // pre-commit value
+
+        // Own write becomes visible through the overlay.
+        txn.stage(
+            "s.t",
+            vec![DeltaOp::Update {
+                row_id: 3,
+                row: vec![Datum::Int(3), Datum::Int(999)],
+            }],
+        )
+        .unwrap();
+        let view = txn.read_view("s.t").unwrap();
+        assert_eq!(view.row(3)[1], Datum::Int(999));
+        assert_eq!(view.row(0)[1], Datum::Int(0)); // still the snapshot
+        txn.rollback();
+        // Rollback left the live table with only the direct write.
+        assert_eq!(t.rows()[0][1], Datum::Int(-1));
+        assert_eq!(t.rows()[3][1], Datum::Int(30));
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let t = table();
+        let mgr = Arc::new(TxnManager::new());
+        let mut a = mgr.begin(&[tref(&t)]);
+        let mut b = mgr.begin(&[tref(&t)]);
+        let upd = |v: i64| DeltaOp::Update {
+            row_id: 2,
+            row: vec![Datum::Int(2), Datum::Int(v)],
+        };
+        a.stage("s.t", vec![upd(100)]).unwrap();
+        b.stage("s.t", vec![upd(200)]).unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(err.is_retryable(), "FCW loser must be retryable: {err}");
+        assert_eq!(t.rows()[2][1], Datum::Int(100));
+        assert_eq!(mgr.active_count(), 0);
+    }
+
+    #[test]
+    fn disjoint_writers_both_commit() {
+        let t = table();
+        let mgr = Arc::new(TxnManager::new());
+        let mut a = mgr.begin(&[tref(&t)]);
+        let mut b = mgr.begin(&[tref(&t)]);
+        a.stage(
+            "s.t",
+            vec![DeltaOp::Update {
+                row_id: 0,
+                row: vec![Datum::Int(0), Datum::Int(111)],
+            }],
+        )
+        .unwrap();
+        b.stage("s.t", vec![DeltaOp::Delete { row_id: 3 }]).unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap();
+        let rows = t.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][1], Datum::Int(111));
+        assert!(rows.iter().all(|r| r[0] != Datum::Int(3)));
+    }
+
+    #[test]
+    fn inserts_never_conflict() {
+        let t = table();
+        let mgr = Arc::new(TxnManager::new());
+        let mut a = mgr.begin(&[tref(&t)]);
+        let mut b = mgr.begin(&[tref(&t)]);
+        let id_a = t.reserve_row_ids(1).unwrap();
+        let id_b = t.reserve_row_ids(1).unwrap();
+        a.stage(
+            "s.t",
+            vec![DeltaOp::Insert {
+                row_id: id_a,
+                row: vec![Datum::Int(100), Datum::Int(0)],
+            }],
+        )
+        .unwrap();
+        b.stage(
+            "s.t",
+            vec![DeltaOp::Insert {
+                row_id: id_b,
+                row: vec![Datum::Int(101), Datum::Int(0)],
+            }],
+        )
+        .unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap();
+        assert_eq!(t.len(), 6);
+    }
+}

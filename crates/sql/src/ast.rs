@@ -53,6 +53,29 @@ pub enum Stmt {
     Analyze {
         name: Option<Vec<String>>,
     },
+    /// `UPDATE t SET c = expr [, ...] [WHERE ...]`.
+    Update {
+        table: Vec<String>,
+        /// (column name, new-value expression), in statement order.
+        assignments: Vec<(String, Expr)>,
+        selection: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE ...]`.
+    Delete {
+        table: Vec<String>,
+        selection: Option<Expr>,
+    },
+    /// `EXPLAIN <update-or-delete>` — prints the located-rows subplan
+    /// (scan or index seek) the write would execute.
+    ExplainDml(Box<Stmt>),
+    /// `BEGIN [TRANSACTION | WORK]` — opens an explicit transaction on
+    /// the connection; statements until COMMIT/ROLLBACK share one
+    /// snapshot.
+    Begin,
+    /// `COMMIT [WORK]`.
+    Commit,
+    /// `ROLLBACK [WORK]`.
+    Rollback,
 }
 
 /// A column definition in CREATE TABLE.

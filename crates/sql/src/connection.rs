@@ -10,7 +10,7 @@
 //! [`Connection::query`] and [`Connection::execute`] ride the same plan
 //! cache.
 
-use crate::ast::{Query, Stmt};
+use crate::ast::{Expr, Query, Select, SelectItem, SetExpr, Stmt, TableExpr};
 use crate::converter::{ast_type_to_kind, query_to_rel_with_views};
 use crate::parser::parse;
 use crate::prepared::{ConnectionBuilder, ExecutionMode, PreparedStatement, ResultSet};
@@ -22,17 +22,19 @@ use rcalcite_core::datum::{Datum, Row};
 use rcalcite_core::error::Result;
 use rcalcite_core::exec::{ConventionExecutor, ExecContext};
 use rcalcite_core::explain::explain_with_costs;
+use rcalcite_core::index::{seek_positions, BoundProbe, IndexDef, SeekSpec};
 use rcalcite_core::lattice::{Lattice, LatticeRule};
 use rcalcite_core::metadata::{MetadataProvider, MetadataQuery};
 use rcalcite_core::mv::{Materialization, MaterializedViewRule};
 use rcalcite_core::planner::hep::HepPlanner;
 use rcalcite_core::planner::volcano::{FixpointMode, VolcanoPlanner};
 use rcalcite_core::planner::PlannerEngine;
-use rcalcite_core::rel::Rel;
-use rcalcite_core::rex::FunctionRegistry;
+use rcalcite_core::rel::{Rel, RelNode, RelOp};
+use rcalcite_core::rex::{FunctionRegistry, RexNode};
 use rcalcite_core::rules::{default_logical_rules, index_access_rules, Rule};
 use rcalcite_core::stats::{analyze_table, StatsMdProvider};
 use rcalcite_core::traits::Convention;
+use rcalcite_core::txn::{DeltaOp, ReadView, Transaction};
 use rcalcite_core::types::RelType;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -208,6 +210,10 @@ pub struct Connection {
     /// Bumped by DDL/INSERT and planner reconfiguration; cached plans
     /// compiled under an older generation are discarded.
     generation: AtomicU64,
+    /// The explicit transaction opened by BEGIN, if any. While set,
+    /// queries read through its snapshot (scans are substituted at plan
+    /// time) and DML stages into it instead of autocommitting.
+    txn: RwLock<Option<Transaction>>,
 }
 
 impl Connection {
@@ -237,6 +243,7 @@ impl Connection {
             planner: RwLock::new(None),
             hep: HepPlanner::new(default_logical_rules()),
             generation: AtomicU64::new(0),
+            txn: RwLock::new(None),
         }
     }
 
@@ -534,6 +541,59 @@ impl Connection {
         Ok(self.plan_query(key, q)?.0)
     }
 
+    /// Whether an explicit transaction (BEGIN without COMMIT/ROLLBACK) is
+    /// open on this connection.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.read().is_some()
+    }
+
+    /// Plans `q` for immediate execution. Outside a transaction this is
+    /// the cached [`Connection::plan_query`]; inside one, scans of tables
+    /// the transaction covers are replaced with its snapshot (BEGIN-time
+    /// version plus this transaction's staged writes) and the plan is
+    /// compiled fresh and never cached — it must not outlive the snapshot.
+    pub(crate) fn plan_for_execution(
+        &self,
+        key: &str,
+        q: &Query,
+    ) -> Result<(Arc<CachedPlan>, bool)> {
+        if !self.in_transaction() {
+            return self.plan_query(key, q);
+        }
+        Ok((self.plan_for_txn(q)?, false))
+    }
+
+    /// Compiles `q` against the open transaction's snapshot (uncached).
+    pub(crate) fn plan_for_txn(&self, q: &Query) -> Result<Arc<CachedPlan>> {
+        let logical = self.convert(q)?;
+        let columns = logical
+            .row_type()
+            .fields
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let params = collect_plan_params(&logical);
+        let substituted = self.substitute_txn_scans(&logical);
+        let physical = self.optimize(&substituted)?;
+        Ok(Arc::new(CachedPlan {
+            columns,
+            physical,
+            params,
+            generation: self.generation(),
+        }))
+    }
+
+    /// Replaces every scan of a table the open transaction covers with a
+    /// table serving the transaction's read view. No-op outside a
+    /// transaction; tables without MVCC support keep their live scan.
+    fn substitute_txn_scans(&self, plan: &Rel) -> Rel {
+        let guard = self.txn.read();
+        match guard.as_ref() {
+            Some(txn) => substitute_scans(plan, txn),
+            None => plan.clone(),
+        }
+    }
+
     /// Parses, optimizes and executes a statement (query, EXPLAIN, or the
     /// DDL/DML surface of §9's standalone-engine future work), returning a
     /// streaming [`ResultSet`]. Queries ride the plan cache; DDL and
@@ -550,7 +610,7 @@ impl Connection {
                 Ok(ResultSet::materialized(vec!["PLAN".into()], rows))
             }
             Stmt::Query(q) => {
-                let (plan, _) = self.plan_query(&plan_cache_key(sql), &q)?;
+                let (plan, _) = self.plan_for_execution(&plan_cache_key(sql), &q)?;
                 if !plan.params.is_empty() {
                     return Err(CalciteError::validate(format!(
                         "statement has {} dynamic parameter(s); use prepare() and bind()",
@@ -615,12 +675,6 @@ impl Connection {
             Stmt::Insert { table, source } => {
                 let (schema_name, table_name) = self.split_name(&table)?;
                 let tref = self.catalog.resolve(&[&schema_name, &table_name])?;
-                let mem = tref.table.as_mem_table().ok_or_else(|| {
-                    CalciteError::unsupported(format!(
-                        "INSERT is only supported on built-in tables, not '{}'",
-                        tref.qualified_name()
-                    ))
-                })?;
                 let plan = self.convert(&source)?;
                 reject_params(&plan, "INSERT")?;
                 let arity = tref.table.row_type().arity();
@@ -630,9 +684,35 @@ impl Connection {
                         plan.row_type().arity()
                     )));
                 }
-                let physical = self.optimize(&plan)?;
+                // The source query reads through the open transaction's
+                // snapshot, so INSERT INTO t SELECT ... FROM t sees this
+                // transaction's staged rows, not other writers'.
+                let substituted = self.substitute_txn_scans(&plan);
+                let physical = self.optimize(&substituted)?;
                 let rows = self.exec.execute_collect(&physical)?;
                 let n = rows.len();
+                if tref.table.txn_snapshot().is_some() {
+                    // MVCC-capable table: route through the transaction
+                    // machinery so the write is WAL-logged and joins the
+                    // open transaction when one is active.
+                    let start = tref.table.reserve_row_ids(n)?;
+                    let ops = rows
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, row)| DeltaOp::Insert {
+                            row_id: start + i as u64,
+                            row,
+                        })
+                        .collect();
+                    self.stage_or_autocommit(&tref, ops)?;
+                    return Ok(message(format!("{n} rows inserted")));
+                }
+                let mem = tref.table.as_mem_table().ok_or_else(|| {
+                    CalciteError::unsupported(format!(
+                        "INSERT is only supported on built-in tables, not '{}'",
+                        tref.qualified_name()
+                    ))
+                })?;
                 for row in rows {
                     mem.insert(row);
                 }
@@ -778,6 +858,91 @@ impl Connection {
                 }
                 Ok(message(format!("analyzed {n} table(s)")))
             }
+            Stmt::Update {
+                table,
+                assignments,
+                selection,
+            } => {
+                let n = self.execute_dml(&table, Some(&assignments), selection.as_ref())?;
+                Ok(message(format!("{n} rows updated")))
+            }
+            Stmt::Delete { table, selection } => {
+                let n = self.execute_dml(&table, None, selection.as_ref())?;
+                Ok(message(format!("{n} rows deleted")))
+            }
+            Stmt::ExplainDml(inner) => {
+                let (table, selection) = match inner.as_ref() {
+                    Stmt::Update {
+                        table, selection, ..
+                    }
+                    | Stmt::Delete { table, selection } => (table, selection),
+                    other => {
+                        return Err(CalciteError::validate(format!("cannot EXPLAIN {other:?}")))
+                    }
+                };
+                let (schema_name, table_name) = self.split_name(table)?;
+                let qualified = format!("{schema_name}.{table_name}");
+                let (header, what) = match inner.as_ref() {
+                    Stmt::Update { assignments, .. } => {
+                        let cols: Vec<String> =
+                            assignments.iter().map(|(c, _)| c.clone()).collect();
+                        (
+                            format!("Update({qualified}, set: [{}])", cols.join(", ")),
+                            "UPDATE",
+                        )
+                    }
+                    _ => (format!("Delete({qualified})"), "DELETE"),
+                };
+                let (_, physical) = self.dml_locate_plan(table, selection.as_ref(), what)?;
+                let mq = self.metadata_query();
+                let mut rows: Vec<Row> = vec![vec![Datum::str(header)]];
+                rows.push(vec![Datum::str("-- located rows:")]);
+                for line in explain_with_costs(&physical, &mq).lines() {
+                    rows.push(vec![Datum::str(line)]);
+                }
+                Ok(ResultSet::materialized(vec!["PLAN".into()], rows))
+            }
+            Stmt::Begin => {
+                let mut guard = self.txn.write();
+                if guard.is_some() {
+                    return Err(CalciteError::validate(
+                        "a transaction is already in progress",
+                    ));
+                }
+                let txn = self.catalog.txns().begin(&self.catalog.all_tables());
+                let msg = format!("transaction {} started", txn.id());
+                *guard = Some(txn);
+                Ok(message(msg))
+            }
+            Stmt::Commit => {
+                let txn = self
+                    .txn
+                    .write()
+                    .take()
+                    .ok_or_else(|| CalciteError::validate("no transaction in progress"))?;
+                let written = txn.written_tables();
+                // commit() consumes the handle: win or lose the
+                // first-committer-wins check, the transaction is finished
+                // and the connection leaves transaction mode. A conflict
+                // surfaces as a retryable error; the caller re-BEGINs.
+                let commit_ts = txn.commit()?;
+                if !written.is_empty() {
+                    for t in &written {
+                        self.catalog.stats().retire(t);
+                    }
+                    self.invalidate_plans();
+                }
+                Ok(message(format!("transaction committed at ts {commit_ts}")))
+            }
+            Stmt::Rollback => {
+                let txn = self
+                    .txn
+                    .write()
+                    .take()
+                    .ok_or_else(|| CalciteError::validate("no transaction in progress"))?;
+                txn.rollback();
+                Ok(message("transaction rolled back".to_string()))
+            }
         }
     }
 
@@ -785,6 +950,195 @@ impl Connection {
     /// result — [`Connection::execute`] collected into a [`QueryResult`].
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         self.execute(sql)?.collect()
+    }
+
+    // -------------------------------------------------------------
+    // DML: UPDATE / DELETE / transactional INSERT
+    // -------------------------------------------------------------
+
+    /// The located-rows subplan of a DML statement: `SELECT * FROM t
+    /// [WHERE ...]` planned through the normal pipeline, so the
+    /// cost-based choice between a full scan and an index seek applies
+    /// to writes too. Returns (logical, physical).
+    fn dml_locate_plan(
+        &self,
+        table: &[String],
+        selection: Option<&Expr>,
+        what: &str,
+    ) -> Result<(Rel, Rel)> {
+        let q = Query {
+            body: SetExpr::Select(Box::new(Select {
+                stream: false,
+                distinct: false,
+                items: vec![SelectItem::Wildcard],
+                from: Some(TableExpr::Table {
+                    name: table.to_vec(),
+                    alias: None,
+                }),
+                selection: selection.cloned(),
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: vec![],
+            offset: None,
+            limit: None,
+        };
+        let logical = self.convert(&q)?;
+        reject_params(&logical, what)?;
+        let physical = self.optimize(&logical)?;
+        Ok((logical, physical))
+    }
+
+    /// Compiles UPDATE's SET expressions by converting `SELECT <exprs>
+    /// FROM t` — assignments get the same name resolution, typing and
+    /// function registry as queries. Returns (column index, compiled
+    /// expression) pairs in statement order.
+    fn compile_assignments(
+        &self,
+        table: &[String],
+        tref: &TableRef,
+        assignments: &[(String, Expr)],
+    ) -> Result<Vec<(usize, RexNode)>> {
+        use rcalcite_core::error::CalciteError;
+        let q = Query {
+            body: SetExpr::Select(Box::new(Select {
+                stream: false,
+                distinct: false,
+                items: assignments
+                    .iter()
+                    .map(|(_, e)| SelectItem::Expr {
+                        expr: e.clone(),
+                        alias: None,
+                    })
+                    .collect(),
+                from: Some(TableExpr::Table {
+                    name: table.to_vec(),
+                    alias: None,
+                }),
+                selection: None,
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: vec![],
+            offset: None,
+            limit: None,
+        };
+        let logical = self.convert(&q)?;
+        reject_params(&logical, "UPDATE")?;
+        let RelOp::Project { exprs, .. } = &logical.op else {
+            return Err(CalciteError::unsupported(
+                "UPDATE SET expressions must be scalar (no aggregates or window functions)",
+            ));
+        };
+        let rt = tref.table.row_type();
+        let mut out: Vec<(usize, RexNode)> = vec![];
+        for ((name, _), expr) in assignments.iter().zip(exprs) {
+            let i = rt.field_index(name).ok_or_else(|| {
+                CalciteError::validate(format!(
+                    "no column '{name}' on table '{}'",
+                    tref.qualified_name()
+                ))
+            })?;
+            if out.iter().any(|(j, _)| *j == i) {
+                return Err(CalciteError::validate(format!(
+                    "column '{name}' assigned more than once"
+                )));
+            }
+            out.push((i, expr.clone()));
+        }
+        Ok(out)
+    }
+
+    /// Shared UPDATE/DELETE implementation: plans the located-rows
+    /// subquery, finds target positions in the transaction's read view,
+    /// stages one delta op per row, and commits immediately unless an
+    /// explicit transaction is open (then the writes stay staged until
+    /// COMMIT). Returns the number of rows written.
+    fn execute_dml(
+        &self,
+        table: &[String],
+        assignments: Option<&[(String, Expr)]>,
+        selection: Option<&Expr>,
+    ) -> Result<usize> {
+        use rcalcite_core::error::CalciteError;
+        let (schema_name, table_name) = self.split_name(table)?;
+        let tref = self.catalog.resolve(&[&schema_name, &table_name])?;
+        let qualified = tref.qualified_name();
+        let what = if assignments.is_some() {
+            "UPDATE"
+        } else {
+            "DELETE"
+        };
+        let (logical, physical) = self.dml_locate_plan(table, selection, what)?;
+        let sets = match assignments {
+            Some(a) => Some(self.compile_assignments(table, &tref, a)?),
+            None => None,
+        };
+        let not_capable = || {
+            CalciteError::unsupported(format!(
+                "table '{qualified}' does not support transactional writes"
+            ))
+        };
+        let build_ops = |view: &ReadView| -> Result<Vec<DeltaOp>> {
+            let positions = locate_rows(&physical, &logical, view)?;
+            positions
+                .into_iter()
+                .map(|pos| {
+                    let row_id = view.row_id(pos);
+                    Ok(match &sets {
+                        Some(sets) => {
+                            let old = view.row(pos);
+                            let mut row = old.clone();
+                            for (i, expr) in sets {
+                                row[*i] = expr.eval(&old)?;
+                            }
+                            DeltaOp::Update { row_id, row }
+                        }
+                        None => DeltaOp::Delete { row_id },
+                    })
+                })
+                .collect()
+        };
+        let mut guard = self.txn.write();
+        if let Some(txn) = guard.as_mut() {
+            let view = txn.read_view(&qualified).ok_or_else(not_capable)?;
+            let ops = build_ops(&view)?;
+            return txn.stage(&qualified, ops);
+        }
+        drop(guard);
+        // Autocommit: a single-statement transaction over this table only.
+        let mut txn = self.catalog.txns().begin(std::slice::from_ref(&tref));
+        let view = txn.read_view(&qualified).ok_or_else(not_capable)?;
+        let ops = build_ops(&view)?;
+        let n = txn.stage(&qualified, ops)?;
+        txn.commit()?;
+        if n > 0 {
+            self.catalog.stats().retire(&qualified);
+            self.invalidate_plans();
+        }
+        Ok(n)
+    }
+
+    /// Stages `ops` into the open transaction, or wraps them in an
+    /// autocommit transaction (begin → stage → commit) when none is
+    /// open. On autocommit the table's statistics are retired and cached
+    /// plans invalidated immediately; in an explicit transaction that
+    /// happens at COMMIT.
+    fn stage_or_autocommit(&self, tref: &TableRef, ops: Vec<DeltaOp>) -> Result<usize> {
+        let qualified = tref.qualified_name();
+        let mut guard = self.txn.write();
+        if let Some(txn) = guard.as_mut() {
+            return txn.stage(&qualified, ops);
+        }
+        drop(guard);
+        let mut txn = self.catalog.txns().begin(std::slice::from_ref(tref));
+        let n = txn.stage(&qualified, ops)?;
+        txn.commit()?;
+        if n > 0 {
+            self.catalog.stats().retire(&qualified);
+            self.invalidate_plans();
+        }
+        Ok(n)
     }
 
     /// Resolves `[schema.]name` to (schema, name) using the default schema.
@@ -864,6 +1218,145 @@ impl Connection {
 
 /// Default bound on the number of compiled plans a connection keeps.
 pub(crate) const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Rebuilds `plan` with every scan of a transaction-covered table
+/// replaced by a [`rcalcite_core::SnapshotTable`] serving the
+/// transaction's read view. The snapshot table keeps the original
+/// schema/name so plans still render recognizably in EXPLAIN.
+fn substitute_scans(plan: &Rel, txn: &Transaction) -> Rel {
+    let inputs: Vec<Rel> = plan
+        .inputs
+        .iter()
+        .map(|i| substitute_scans(i, txn))
+        .collect();
+    let op = match &plan.op {
+        RelOp::Scan { table } => match txn.snapshot_table(&table.qualified_name()) {
+            Some(snap) => RelOp::Scan {
+                table: TableRef::new(table.schema.clone(), table.name.clone(), snap),
+            },
+            None => plan.op.clone(),
+        },
+        other => other.clone(),
+    };
+    RelNode::new(op, plan.convention.clone(), inputs)
+}
+
+/// What the optimized locate subplan does: an optional index seek plus
+/// residual filter conditions over the base row, or `None` when the
+/// shape is not a pure seek/filter pipeline over the target table (the
+/// caller then falls back to a full-scan evaluation).
+#[allow(clippy::type_complexity)]
+fn analyze_locate(plan: &Rel) -> Option<(Option<(IndexDef, SeekSpec)>, Vec<RexNode>)> {
+    let mut node = plan;
+    let mut residuals: Vec<RexNode> = vec![];
+    loop {
+        match &node.op {
+            RelOp::Convert { .. } => node = &node.inputs[0],
+            RelOp::Project { .. } => {
+                // Filters collected so far sit above this projection and
+                // reference its output columns, not the base row — the
+                // positions they'd select can't be trusted.
+                if !residuals.is_empty() {
+                    return None;
+                }
+                node = &node.inputs[0];
+            }
+            RelOp::Filter { condition } => {
+                residuals.push(condition.clone());
+                node = &node.inputs[0];
+            }
+            RelOp::Scan { .. } => return Some((None, residuals)),
+            RelOp::IndexSeek {
+                index,
+                seek,
+                projection,
+                ..
+            } => {
+                if projection.is_some() {
+                    return None;
+                }
+                return Some((Some((index.clone(), seek.clone())), residuals));
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Collects every Filter condition in a (single-chain) logical locate
+/// plan; for `SELECT * FROM t WHERE p` these are all over the base row.
+fn collect_conditions(plan: &Rel, out: &mut Vec<RexNode>) {
+    if let RelOp::Filter { condition } = &plan.op {
+        out.push(condition.clone());
+    }
+    for i in &plan.inputs {
+        collect_conditions(i, out);
+    }
+}
+
+/// Binds a seek's constant expressions into concrete probes; `None` if
+/// any expression isn't evaluable without a row (shouldn't happen once
+/// parameters are rejected, but the fallback path is always correct).
+fn bind_probes(seek: &SeekSpec) -> Option<Vec<BoundProbe>> {
+    let mut out = vec![];
+    for p in &seek.probes {
+        let mut b = BoundProbe::default();
+        for e in &p.eq {
+            b.eq.push(e.eval(&[]).ok()?);
+        }
+        if let Some((e, inclusive)) = &p.lower {
+            b.lower = Some((e.eval(&[]).ok()?, *inclusive));
+        }
+        if let Some((e, inclusive)) = &p.upper {
+            b.upper = Some((e.eval(&[]).ok()?, *inclusive));
+        }
+        out.push(b);
+    }
+    Some(out)
+}
+
+/// Whether every condition evaluates to TRUE on `row` (SQL three-valued
+/// logic: NULL and FALSE both reject).
+fn eval_all(conditions: &[RexNode], row: &Row) -> Result<bool> {
+    for c in conditions {
+        if c.eval(row)? != Datum::Bool(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Evaluates the locate subplan against a transaction read view,
+/// returning matching positions in ascending order. An IndexSeek-shaped
+/// plan probes the snapshot's index when the view still carries one (a
+/// clean BEGIN-time version); a dirty overlay or any other plan shape
+/// scans the view evaluating the full logical predicate.
+fn locate_rows(physical: &Rel, logical: &Rel, view: &ReadView) -> Result<Vec<usize>> {
+    if let Some((Some((index, seek)), residuals)) = analyze_locate(physical) {
+        if let Some(probe) = view.index_probe(&index.name) {
+            if let Some(bound) = bind_probes(&seek) {
+                let mut positions = seek_positions(probe.as_ref(), &bound);
+                positions.sort_unstable();
+                positions.dedup();
+                let mut out = vec![];
+                for pos in positions {
+                    if eval_all(&residuals, &view.row(pos))? {
+                        out.push(pos);
+                    }
+                }
+                return Ok(out);
+            }
+        }
+    }
+    let mut conditions = vec![];
+    collect_conditions(logical, &mut conditions);
+    let mut out = vec![];
+    for pos in 0..view.row_count() {
+        if eval_all(&conditions, &view.row(pos))? {
+            out.push(pos);
+        }
+    }
+    Ok(out)
+}
 
 /// Normalizes a statement's text into its plan-cache key. `EXPLAIN <q>`
 /// maps to `<q>`'s key, so EXPLAIN reports on the entry the query itself

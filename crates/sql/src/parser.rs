@@ -12,8 +12,9 @@ pub struct Parser {
     params: usize,
 }
 
-/// Parses one statement: a query, `EXPLAIN`, or DDL/DML (`CREATE TABLE`,
-/// `CREATE [MATERIALIZED] VIEW`, `INSERT INTO`, `DROP TABLE`).
+/// Parses one statement: a query, `EXPLAIN`, DDL/DML (`CREATE TABLE`,
+/// `CREATE [MATERIALIZED] VIEW`, `INSERT INTO`, `UPDATE`, `DELETE FROM`,
+/// `DROP TABLE`), or transaction control (`BEGIN`/`COMMIT`/`ROLLBACK`).
 pub fn parse(sql: &str) -> Result<Stmt> {
     let mut p = Parser {
         tokens: tokenize(sql)?,
@@ -21,15 +22,37 @@ pub fn parse(sql: &str) -> Result<Stmt> {
         params: 0,
     };
     let stmt = if p.eat_kw("EXPLAIN") {
-        Stmt::Explain(p.parse_query()?)
+        if p.peek().is_kw("UPDATE") {
+            Stmt::ExplainDml(Box::new(p.parse_update()?))
+        } else if p.peek().is_kw("DELETE") {
+            Stmt::ExplainDml(Box::new(p.parse_delete()?))
+        } else {
+            Stmt::Explain(p.parse_query()?)
+        }
     } else if p.peek().is_kw("CREATE") {
         p.parse_create()?
     } else if p.peek().is_kw("INSERT") {
         p.parse_insert()?
+    } else if p.peek().is_kw("UPDATE") {
+        p.parse_update()?
+    } else if p.peek().is_kw("DELETE") {
+        p.parse_delete()?
     } else if p.peek().is_kw("DROP") {
         p.parse_drop()?
     } else if p.peek().is_kw("ANALYZE") {
         p.parse_analyze()?
+    } else if p.eat_kw("BEGIN") || p.eat_kw("START") {
+        // BEGIN [TRANSACTION | WORK] / START TRANSACTION
+        if !p.eat_kw("TRANSACTION") {
+            p.eat_kw("WORK");
+        }
+        Stmt::Begin
+    } else if p.eat_kw("COMMIT") {
+        p.eat_kw("WORK");
+        Stmt::Commit
+    } else if p.eat_kw("ROLLBACK") {
+        p.eat_kw("WORK");
+        Stmt::Rollback
     } else {
         Stmt::Query(p.parse_query()?)
     };
@@ -214,6 +237,44 @@ impl Parser {
         let table = self.qualified_name()?;
         let source = self.parse_query()?;
         Ok(Stmt::Insert { table, source })
+    }
+
+    fn parse_update(&mut self) -> Result<Stmt> {
+        self.expect_kw("UPDATE")?;
+        let table = self.qualified_name()?;
+        self.expect_kw("SET")?;
+        let mut assignments = vec![];
+        loop {
+            let column = self.ident()?;
+            self.expect_sym("=")?;
+            let value = self.parse_expr()?;
+            assignments.push((column, value));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            assignments,
+            selection,
+        })
+    }
+
+    fn parse_delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.qualified_name()?;
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete { table, selection })
     }
 
     fn parse_drop(&mut self) -> Result<Stmt> {

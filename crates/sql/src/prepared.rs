@@ -276,7 +276,13 @@ impl<'c> PreparedStatement<'c> {
 
     /// The current plan, re-compiled if the connection moved on since
     /// this statement was prepared (the fast path is one atomic load).
+    /// While the connection has an open transaction the statement plans
+    /// fresh against the transaction's snapshot on every execution and
+    /// the stored plan is left untouched for use after COMMIT/ROLLBACK.
     fn current_plan(&self) -> Result<Arc<CachedPlan>> {
+        if self.conn.in_transaction() {
+            return self.conn.plan_for_txn(&self.query);
+        }
         let plan = self.plan.read().clone();
         if plan.generation == self.conn.generation() {
             return Ok(plan);

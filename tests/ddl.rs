@@ -128,16 +128,19 @@ fn materialized_view_is_used_by_the_optimizer() {
 }
 
 #[test]
-fn insert_into_adapter_table_is_rejected() {
+fn insert_into_adapter_table_writes_through() {
+    // The jdbc adapter delegates transactional writes to its backing
+    // database, so INSERT lands in the remote table (and is immediately
+    // visible through the federation).
     let fed = rcalcite_adapters::demo::build_federation(10, 5);
-    let err = fed
-        .conn
+    fed.conn
         .query("INSERT INTO mysql.products VALUES (99, 'x', 1.0)")
-        .unwrap_err();
-    assert!(
-        err.to_string().contains("only supported on built-in"),
-        "{err}"
-    );
+        .unwrap();
+    let r = fed
+        .conn
+        .query("SELECT name FROM mysql.products WHERE productid = 99")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Datum::str("x")]]);
 }
 
 #[test]

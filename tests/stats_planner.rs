@@ -181,6 +181,33 @@ fn dml_invalidates_stats_until_reanalyzed() {
     conn.query("ANALYZE").unwrap();
     let (b, s) = scan_positions(&conn.explain(QUERY).unwrap());
     assert!(s < b);
+
+    // UPDATE and DELETE retire statistics the same way INSERT does —
+    // and again only for the table they touched.
+    conn.query("UPDATE big SET v = v + 1 WHERE k = 0").unwrap();
+    assert!(catalog.stats().get_any("db.big").is_none());
+    assert!(catalog.stats().get_any("db.small").is_some());
+    conn.query("ANALYZE").unwrap();
+    assert!(catalog.stats().get_any("db.big").is_some());
+
+    conn.query("DELETE FROM big WHERE k = 0").unwrap();
+    assert!(catalog.stats().get_any("db.big").is_none());
+    assert!(catalog.stats().get_any("db.small").is_some());
+
+    // Writes staged in an explicit transaction retire stats at COMMIT,
+    // not at statement time, and a ROLLBACK retires nothing.
+    conn.query("ANALYZE").unwrap();
+    conn.query("BEGIN").unwrap();
+    conn.query("DELETE FROM small WHERE k = 1").unwrap();
+    assert!(catalog.stats().get_any("db.small").is_some());
+    conn.query("ROLLBACK").unwrap();
+    assert!(catalog.stats().get_any("db.small").is_some());
+
+    conn.query("BEGIN").unwrap();
+    conn.query("DELETE FROM small WHERE k = 1").unwrap();
+    conn.query("COMMIT").unwrap();
+    assert!(catalog.stats().get_any("db.small").is_none());
+    assert!(catalog.stats().get_any("db.big").is_some());
 }
 
 #[test]

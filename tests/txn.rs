@@ -1,0 +1,468 @@
+//! Transactions end to end: snapshot isolation over the SQL surface,
+//! UPDATE/DELETE (autocommit and explicit BEGIN/COMMIT/ROLLBACK),
+//! first-committer-wins conflicts, WAL recovery after simulated crashes,
+//! and a workers × memory-budget differential for the write path.
+
+use rcalcite_core::catalog::{Catalog, MemTable, Schema};
+use rcalcite_core::datum::Datum;
+use rcalcite_core::types::{RowTypeBuilder, TypeKind};
+use rcalcite_core::wal::{replay, MemWal, WalWriter};
+use rcalcite_sql::Connection;
+use std::sync::Arc;
+
+/// `bank.accounts`: `n` rows of (id, owner, balance) with balance = 100·id.
+fn seeded_catalog(n: i64) -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    let s = Schema::new();
+    s.add_table(
+        "accounts",
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("id", TypeKind::Integer)
+                .add("owner", TypeKind::Varchar)
+                .add("balance", TypeKind::Integer)
+                .build(),
+            (0..n)
+                .map(|i| {
+                    vec![
+                        Datum::Int(i),
+                        Datum::str(format!("owner{i}")),
+                        Datum::Int(100 * i),
+                    ]
+                })
+                .collect(),
+        ),
+    );
+    catalog.add_schema("bank", s);
+    catalog
+}
+
+fn conn(catalog: Arc<Catalog>) -> Connection {
+    Connection::builder(catalog).build()
+}
+
+fn balance(c: &Connection, id: i64) -> Datum {
+    let r = c
+        .query(&format!("SELECT balance FROM accounts WHERE id = {id}"))
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "expected exactly one row for id {id}");
+    r.rows[0][0].clone()
+}
+
+fn all_rows(c: &Connection) -> Vec<Vec<Datum>> {
+    c.query("SELECT id, owner, balance FROM accounts ORDER BY id")
+        .unwrap()
+        .rows
+}
+
+#[test]
+fn update_and_delete_autocommit() {
+    let c = conn(seeded_catalog(8));
+    let r = c
+        .query("UPDATE accounts SET balance = balance + 5 WHERE id < 3")
+        .unwrap();
+    assert!(r.rows[0][0].to_string().contains("3 rows updated"), "{r:?}");
+    assert_eq!(balance(&c, 0), Datum::Int(5));
+    assert_eq!(balance(&c, 2), Datum::Int(205));
+    assert_eq!(balance(&c, 3), Datum::Int(300));
+
+    let r = c.query("DELETE FROM accounts WHERE id >= 6").unwrap();
+    assert!(r.rows[0][0].to_string().contains("2 rows deleted"), "{r:?}");
+    let count = c.query("SELECT COUNT(*) AS c FROM accounts").unwrap();
+    assert_eq!(count.rows[0][0], Datum::Int(6));
+
+    // No WHERE clause touches every row.
+    c.query("UPDATE accounts SET owner = 'everyone'").unwrap();
+    let owners = c.query("SELECT DISTINCT owner FROM accounts").unwrap().rows;
+    assert_eq!(owners, vec![vec![Datum::str("everyone")]]);
+    c.query("DELETE FROM accounts").unwrap();
+    let count = c.query("SELECT COUNT(*) AS c FROM accounts").unwrap();
+    assert_eq!(count.rows[0][0], Datum::Int(0));
+}
+
+#[test]
+fn update_assignments_are_validated() {
+    let c = conn(seeded_catalog(4));
+    // Multiple assignments evaluate against the OLD row.
+    c.query("UPDATE accounts SET owner = 'x', balance = balance * 10 WHERE id = 1")
+        .unwrap();
+    let r = c
+        .query("SELECT owner, balance FROM accounts WHERE id = 1")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Datum::str("x"), Datum::Int(1000)]]);
+
+    let err = c.query("UPDATE accounts SET nope = 1").unwrap_err();
+    assert!(err.to_string().contains("no column"), "{err}");
+    let err = c
+        .query("UPDATE accounts SET balance = 1, balance = 2")
+        .unwrap_err();
+    assert!(err.to_string().contains("more than once"), "{err}");
+}
+
+#[test]
+fn snapshot_isolation_and_read_own_writes() {
+    let catalog = seeded_catalog(8);
+    let c1 = conn(catalog.clone());
+    let c2 = conn(catalog.clone());
+
+    c1.query("BEGIN").unwrap();
+    // A write committed after c1's BEGIN is invisible to c1.
+    c2.query("UPDATE accounts SET balance = 999 WHERE id = 0")
+        .unwrap();
+    assert_eq!(balance(&c1, 0), Datum::Int(0));
+    assert_eq!(balance(&c2, 0), Datum::Int(999));
+
+    // c1's staged write is visible to itself only (read-own-writes).
+    c1.query("UPDATE accounts SET balance = 111 WHERE id = 1")
+        .unwrap();
+    assert_eq!(balance(&c1, 1), Datum::Int(111));
+    assert_eq!(balance(&c2, 1), Datum::Int(100));
+
+    // Disjoint rows: both commits stand.
+    c1.query("COMMIT").unwrap();
+    assert_eq!(balance(&c1, 0), Datum::Int(999));
+    assert_eq!(balance(&c2, 1), Datum::Int(111));
+}
+
+#[test]
+fn rollback_discards_staged_writes() {
+    let c = conn(seeded_catalog(8));
+    c.query("BEGIN").unwrap();
+    c.query("DELETE FROM accounts").unwrap();
+    let inside = c.query("SELECT COUNT(*) AS c FROM accounts").unwrap();
+    assert_eq!(inside.rows[0][0], Datum::Int(0));
+    c.query("ROLLBACK").unwrap();
+    let after = c.query("SELECT COUNT(*) AS c FROM accounts").unwrap();
+    assert_eq!(after.rows[0][0], Datum::Int(8));
+}
+
+#[test]
+fn transaction_statement_errors() {
+    let c = conn(seeded_catalog(2));
+    assert!(c.query("COMMIT").is_err());
+    assert!(c.query("ROLLBACK").is_err());
+    c.query("BEGIN").unwrap();
+    let err = c.query("BEGIN").unwrap_err();
+    assert!(err.to_string().contains("already in progress"), "{err}");
+    c.query("COMMIT").unwrap();
+    // START TRANSACTION is the standard spelling of BEGIN.
+    c.query("START TRANSACTION").unwrap();
+    c.query("ROLLBACK").unwrap();
+}
+
+/// The acceptance scenario: two connections interleave UPDATEs to the
+/// same row; the second committer aborts with a retryable error, a
+/// pre-commit reader sees neither staged write, the loser retries and
+/// wins, and the final state survives a simulated crash via WAL replay
+/// over the checkpoint image.
+#[test]
+fn first_committer_wins_retry_and_crash_recovery() {
+    let catalog = seeded_catalog(8);
+    let checkpoint = seeded_catalog(8);
+    let mem = MemWal::default();
+    catalog
+        .txns()
+        .attach_wal(WalWriter::new(Box::new(mem.clone())));
+
+    let c1 = conn(catalog.clone());
+    let c2 = conn(catalog.clone());
+    let reader = conn(catalog.clone());
+
+    c1.query("BEGIN").unwrap();
+    c2.query("BEGIN").unwrap();
+    c1.query("UPDATE accounts SET balance = 1000 WHERE id = 2")
+        .unwrap();
+    c2.query("UPDATE accounts SET balance = 2000 WHERE id = 2")
+        .unwrap();
+    // Nothing is shared before COMMIT.
+    assert_eq!(balance(&reader, 2), Datum::Int(200));
+
+    c1.query("COMMIT").unwrap();
+    let err = c2.query("COMMIT").unwrap_err();
+    assert!(err.is_retryable(), "{err}");
+    assert!(err.to_string().contains("serialization failure"), "{err}");
+    assert_eq!(balance(&reader, 2), Datum::Int(1000));
+
+    // The loser retries on a fresh snapshot and now wins.
+    c2.query("BEGIN").unwrap();
+    c2.query("UPDATE accounts SET balance = 2000 WHERE id = 2")
+        .unwrap();
+    c2.query("COMMIT").unwrap();
+    assert_eq!(balance(&reader, 2), Datum::Int(2000));
+
+    // Crash: the process is gone; all that survives is the log. Replay
+    // over the checkpoint reproduces exactly the committed state (the
+    // aborted transaction's records are skipped).
+    let bytes = mem.handle().lock().clone();
+    let report = replay(&bytes, &checkpoint).unwrap();
+    assert_eq!(report.txns, 2);
+    assert_eq!(report.discarded_bytes, 0);
+    let recovered = conn(checkpoint);
+    assert_eq!(all_rows(&recovered), all_rows(&reader));
+}
+
+#[test]
+fn crash_mid_commit_leaves_recoverable_log() {
+    let catalog = seeded_catalog(8);
+    let checkpoint = seeded_catalog(8);
+    let mem = MemWal::default();
+    // Transaction 1 writes records 1–3 (Begin, Update, Commit); the
+    // injected crash tears transaction 2's Update (record 5) mid-frame.
+    catalog
+        .txns()
+        .attach_wal(WalWriter::new(Box::new(mem.clone())).with_crash_at(5));
+
+    let c = conn(catalog.clone());
+    c.query("UPDATE accounts SET balance = 1 WHERE id = 0")
+        .unwrap();
+    let err = c
+        .query("UPDATE accounts SET balance = 2 WHERE id = 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("crash"), "{err}");
+    // The failed commit changed nothing in memory, and the writer stays
+    // dead: later commits fail too.
+    assert_eq!(balance(&c, 1), Datum::Int(100));
+    assert!(c.query("DELETE FROM accounts WHERE id = 7").is_err());
+
+    let bytes = mem.handle().lock().clone();
+    let report = replay(&bytes, &checkpoint).unwrap();
+    assert_eq!(report.txns, 1);
+    assert!(report.discarded_bytes > 0, "torn tail must be discarded");
+    let recovered = conn(checkpoint);
+    assert_eq!(all_rows(&recovered), all_rows(&c));
+}
+
+#[test]
+fn corrupt_record_truncates_recovery() {
+    let catalog = seeded_catalog(8);
+    let checkpoint = seeded_catalog(8);
+    let mem = MemWal::default();
+    catalog
+        .txns()
+        .attach_wal(WalWriter::new(Box::new(mem.clone())));
+
+    let c = conn(catalog.clone());
+    c.query("UPDATE accounts SET balance = 1 WHERE id = 0")
+        .unwrap();
+    c.query("UPDATE accounts SET balance = 2 WHERE id = 1")
+        .unwrap();
+
+    // Flip a payload byte in the log's tail: the checksum rejects the
+    // frame and everything from it on, leaving only transaction 1.
+    let mut bytes = mem.handle().lock().clone();
+    let n = bytes.len();
+    bytes[n - 3] ^= 0xff;
+    let report = replay(&bytes, &checkpoint).unwrap();
+    assert_eq!(report.txns, 1);
+    assert!(report.discarded_bytes > 0);
+    let recovered = conn(checkpoint);
+    assert_eq!(balance(&recovered, 0), Datum::Int(1));
+    assert_eq!(balance(&recovered, 1), Datum::Int(100));
+}
+
+/// CI's crash-injection hook: with `RCALCITE_TEST_CRASH_AT=<n>` set,
+/// every `WalWriter::new` arms itself to tear record `n`. Commit until
+/// the crash fires, then prove recovery replays exactly the commits that
+/// succeeded. Self-skips when the variable is unset.
+#[test]
+fn env_crash_injection_recovers_committed_prefix() {
+    let Some(n) = std::env::var(rcalcite_core::wal::CRASH_AT_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    else {
+        return;
+    };
+    let catalog = seeded_catalog(8);
+    let checkpoint = seeded_catalog(8);
+    let mem = MemWal::default();
+    // Armed from the environment — no with_crash_at here.
+    catalog
+        .txns()
+        .attach_wal(WalWriter::new(Box::new(mem.clone())));
+
+    let c = conn(catalog.clone());
+    let mut committed = 0usize;
+    // Each autocommit UPDATE logs 3 records (Begin, Update, Commit), so
+    // the crash fires within ceil(n / 3) + 1 statements.
+    for i in 0..(n as usize / 3 + 2) {
+        let id = i % 8;
+        match c.query(&format!(
+            "UPDATE accounts SET balance = {i} WHERE id = {id}"
+        )) {
+            Ok(_) => committed += 1,
+            Err(e) => {
+                assert!(e.to_string().contains("crash"), "{e}");
+                break;
+            }
+        }
+    }
+    let bytes = mem.handle().lock().clone();
+    let report = replay(&bytes, &checkpoint).unwrap();
+    assert_eq!(report.txns, committed, "crash at record {n}");
+    let recovered = conn(checkpoint);
+    assert_eq!(all_rows(&recovered), all_rows(&c));
+}
+
+#[test]
+fn index_maintained_through_update_and_delete() {
+    let catalog = seeded_catalog(200);
+    let c = conn(catalog.clone());
+    c.query("CREATE INDEX acc_bal ON accounts (balance)")
+        .unwrap();
+    c.query("ANALYZE").unwrap();
+
+    c.query("UPDATE accounts SET balance = 7777 WHERE id = 10")
+        .unwrap();
+    // Point lookups on the indexed column ride the maintained index.
+    let plan = c
+        .explain("SELECT id FROM accounts WHERE balance = 7777")
+        .unwrap();
+    assert!(plan.contains("IndexSeek"), "{plan}");
+    let hit = c
+        .query("SELECT id FROM accounts WHERE balance = 7777")
+        .unwrap();
+    assert_eq!(hit.rows, vec![vec![Datum::Int(10)]]);
+    let old = c
+        .query("SELECT id FROM accounts WHERE balance = 1000")
+        .unwrap();
+    assert!(old.rows.is_empty(), "old key must leave the index");
+
+    let r = c
+        .query("DELETE FROM accounts WHERE balance = 7777")
+        .unwrap();
+    assert!(r.rows[0][0].to_string().contains("1 rows deleted"), "{r:?}");
+    let gone = c
+        .query("SELECT id FROM accounts WHERE balance = 7777")
+        .unwrap();
+    assert!(gone.rows.is_empty());
+}
+
+/// Snapshot consistency under concurrent index maintenance: a reader's
+/// BEGIN-time version (including its index) is immutable while another
+/// connection updates the indexed column underneath it.
+#[test]
+fn open_snapshot_survives_concurrent_index_maintenance() {
+    let catalog = seeded_catalog(200);
+    let c1 = conn(catalog.clone());
+    let c2 = conn(catalog.clone());
+    c1.query("CREATE INDEX acc_bal ON accounts (balance)")
+        .unwrap();
+    c1.query("ANALYZE").unwrap();
+
+    c1.query("BEGIN").unwrap();
+    c2.query("UPDATE accounts SET balance = 7777 WHERE id = 10")
+        .unwrap();
+    // c1's snapshot index still maps the old key to row 10.
+    let old = c1
+        .query("SELECT id FROM accounts WHERE balance = 1000")
+        .unwrap();
+    assert_eq!(old.rows, vec![vec![Datum::Int(10)]]);
+    let new = c1
+        .query("SELECT id FROM accounts WHERE balance = 7777")
+        .unwrap();
+    assert!(new.rows.is_empty());
+    c1.query("COMMIT").unwrap();
+    // Post-commit, c1 sees the live index.
+    let new = c1
+        .query("SELECT id FROM accounts WHERE balance = 7777")
+        .unwrap();
+    assert_eq!(new.rows, vec![vec![Datum::Int(10)]]);
+}
+
+#[test]
+fn explain_dml_renders_locate_subplan() {
+    let c = conn(seeded_catalog(200));
+    c.query("CREATE INDEX acc_id ON accounts (id)").unwrap();
+    c.query("ANALYZE").unwrap();
+
+    let r = c
+        .query("EXPLAIN UPDATE accounts SET balance = 0 WHERE id = 3")
+        .unwrap();
+    let text = r
+        .rows
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("Update(bank.accounts"), "{text}");
+    assert!(text.contains("set: [balance]"), "{text}");
+    assert!(text.contains("-- located rows:"), "{text}");
+    assert!(text.contains("IndexSeek"), "{text}");
+
+    let r = c
+        .query("EXPLAIN DELETE FROM accounts WHERE id = 3")
+        .unwrap();
+    let text = r
+        .rows
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("Delete(bank.accounts)"), "{text}");
+    assert!(text.contains("IndexSeek"), "{text}");
+
+    // And the seek-located write is correct.
+    c.query("UPDATE accounts SET balance = 0 WHERE id = 3")
+        .unwrap();
+    assert_eq!(balance(&c, 3), Datum::Int(0));
+}
+
+#[test]
+fn insert_inside_transaction_is_isolated() {
+    let catalog = seeded_catalog(4);
+    let c1 = conn(catalog.clone());
+    let c2 = conn(catalog.clone());
+
+    c1.query("BEGIN").unwrap();
+    c1.query("INSERT INTO accounts VALUES (100, 'new', 1)")
+        .unwrap();
+    // INSERT ... SELECT reads through the same snapshot: the staged row
+    // is its own source.
+    c1.query("INSERT INTO accounts SELECT id + 1000, owner, balance FROM accounts WHERE id = 100")
+        .unwrap();
+    let mine = c1.query("SELECT COUNT(*) AS c FROM accounts").unwrap();
+    assert_eq!(mine.rows[0][0], Datum::Int(6));
+    let theirs = c2.query("SELECT COUNT(*) AS c FROM accounts").unwrap();
+    assert_eq!(theirs.rows[0][0], Datum::Int(4));
+
+    c1.query("COMMIT").unwrap();
+    let theirs = c2.query("SELECT COUNT(*) AS c FROM accounts").unwrap();
+    assert_eq!(theirs.rows[0][0], Datum::Int(6));
+}
+
+/// The write path must be deterministic across the execution matrix:
+/// the same DML script produces byte-identical tables for workers ∈
+/// {1, 4} × budget ∈ {32 KiB, unbounded}, compared against a serial
+/// unbounded reference.
+#[test]
+fn dml_differential_across_workers_and_budget() {
+    let script = [
+        "CREATE INDEX acc_bal ON accounts (balance)",
+        "ANALYZE",
+        "INSERT INTO accounts SELECT id + 1000, owner, balance + 7 FROM accounts WHERE id < 50",
+        "UPDATE accounts SET balance = balance * 2 WHERE balance < 300",
+        "UPDATE accounts SET owner = 'rich' WHERE balance = 7007",
+        "DELETE FROM accounts WHERE balance > 30000",
+        "UPDATE accounts SET balance = balance + 1",
+    ];
+    let run = |conn: &Connection| {
+        for stmt in script {
+            conn.query(stmt).unwrap();
+        }
+        all_rows(conn)
+    };
+    let reference = {
+        let c = Connection::builder(seeded_catalog(400)).workers(1).build();
+        run(&c)
+    };
+    for workers in [1usize, 4] {
+        for budget in [Some(32 * 1024), None] {
+            let mut b = Connection::builder(seeded_catalog(400)).workers(workers);
+            if let Some(bytes) = budget {
+                b = b.memory_budget(bytes);
+            }
+            let c = b.build();
+            assert_eq!(run(&c), reference, "workers={workers} budget={budget:?}");
+        }
+    }
+}
