@@ -536,11 +536,15 @@ impl Table for MemTable {
     }
 
     fn txn_snapshot(&self) -> Option<Arc<dyn crate::txn::TxnVersion>> {
-        // Same lock order as every reader/writer: rows, ids, indexes —
-        // the three Arcs form one consistent version.
-        let rows = Arc::clone(&self.rows.read());
+        // Hold the rows guard while cloning ids and indexes (same lock
+        // order as `apply_delta`, which takes all three writes together):
+        // a commit must not land between the clones, or the version would
+        // pair pre-delta rows with post-delta ids/indexes.
+        let rows_guard = self.rows.read();
+        let rows = Arc::clone(&rows_guard);
         let ids = Arc::clone(&self.row_ids.read());
         let indexes = self.indexes.read().clone();
+        drop(rows_guard);
         Some(Arc::new(MemTableVersion {
             arity: self.row_type.arity(),
             rows,

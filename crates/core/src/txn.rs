@@ -497,6 +497,16 @@ impl TxnManager {
         self.wal.lock().take()
     }
 
+    /// Advances the transaction-id and timestamp clocks past values an
+    /// earlier incarnation already used. Call after WAL recovery with the
+    /// [`crate::wal::ReplayReport`] maxima before attaching a writer to
+    /// the same log, so continued commits never reuse an id or commit
+    /// timestamp already present in the file.
+    pub fn seed_counters(&self, max_txn_id: u64, max_commit_ts: u64) {
+        self.ids.fetch_max(max_txn_id, Ordering::SeqCst);
+        self.clock.fetch_max(max_commit_ts, Ordering::SeqCst);
+    }
+
     /// Active transaction count (diagnostics).
     pub fn active_count(&self) -> usize {
         self.active.lock().len()
@@ -506,8 +516,17 @@ impl TxnManager {
     /// MVCC-capable table in `tables` — the snapshot a statement at any
     /// later point in the transaction will read.
     pub fn begin(self: &Arc<Self>, tables: &[TableRef]) -> Transaction {
-        let begin_ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let id = self.ids.fetch_add(1, Ordering::SeqCst) + 1;
+        // Timestamp assignment and version capture happen under the
+        // commit lock: COMMIT applies its deltas table-by-table while
+        // holding it, so capturing outside could snapshot table A
+        // post-commit but table B pre-commit — a half-applied committed
+        // transaction, which snapshot isolation forbids. Under the lock,
+        // a commit is either entirely before this begin (all its deltas
+        // visible) or entirely after (none visible), and begin_ts orders
+        // consistently with commit_ts either way.
+        let _commit_guard = self.commit_lock.lock();
+        let begin_ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
         self.active.lock().insert(id, begin_ts);
         let mut captured = HashMap::new();
         for tref in tables {
@@ -800,6 +819,68 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0][1], Datum::Int(111));
         assert!(rows.iter().all(|r| r[0] != Datum::Int(3)));
+    }
+
+    #[test]
+    fn seed_counters_skips_replayed_ids_and_timestamps() {
+        let mgr = Arc::new(TxnManager::new());
+        mgr.seed_counters(41, 99);
+        let txn = mgr.begin(&[]);
+        assert_eq!(txn.id(), 42);
+        assert!(txn.begin_ts() > 99);
+        // Seeding never moves the clocks backwards.
+        mgr.seed_counters(1, 1);
+        let txn2 = mgr.begin(&[]);
+        assert_eq!(txn2.id(), 43);
+    }
+
+    /// BEGIN must observe a multi-table commit all-or-nothing: a snapshot
+    /// captured while another thread commits to two tables may never pair
+    /// table A's post-commit version with table B's pre-commit one.
+    #[test]
+    fn begin_never_sees_half_applied_multi_table_commit() {
+        let a = table();
+        let b = table();
+        let mgr = Arc::new(TxnManager::new());
+        let refs = [
+            TableRef::new("s", "a", a.clone() as Arc<dyn Table>),
+            TableRef::new("s", "b", b.clone() as Arc<dyn Table>),
+        ];
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let mgr = Arc::clone(&mgr);
+            let refs = refs.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Each commit sets row 0 of BOTH tables to the same value.
+                for i in 1..500i64 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let mut txn = mgr.begin(&refs);
+                    for t in ["s.a", "s.b"] {
+                        txn.stage(
+                            t,
+                            vec![DeltaOp::Update {
+                                row_id: 0,
+                                row: vec![Datum::Int(0), Datum::Int(i)],
+                            }],
+                        )
+                        .unwrap();
+                    }
+                    txn.commit().unwrap();
+                }
+            })
+        };
+        for _ in 0..500 {
+            let txn = mgr.begin(&refs);
+            let va = txn.read_view("s.a").unwrap().row(0)[1].clone();
+            let vb = txn.read_view("s.b").unwrap().row(0)[1].clone();
+            assert_eq!(va, vb, "snapshot saw a half-applied commit");
+            txn.rollback();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 
     #[test]

@@ -636,39 +636,47 @@ pub struct RecoveredTxn {
     pub ops: Vec<(String, DeltaOp)>,
 }
 
-/// Groups records by transaction and keeps only those whose `Commit`
-/// record survived, ordered by commit timestamp. Aborted and unfinished
-/// (torn) transactions are dropped.
+/// Keeps only transactions whose `Commit` record survived, in log order.
+/// Aborted and unfinished (torn) transactions are dropped.
+///
+/// Transaction ids are only unique within one writer incarnation — a
+/// restarted manager appending to the same file restarts at 1 — so this
+/// must not group by id across the whole log. Instead it runs the log
+/// forward: `Begin` starts a fresh transaction (discarding any ops a
+/// prior same-id incarnation left without a `Commit`, e.g. a
+/// cleanly-framed prefix of a crashed commit), and each `Commit` emits
+/// exactly the ops accumulated since its own `Begin`. Log order *is*
+/// commit order: commits are appended contiguously under the commit lock,
+/// whereas commit timestamps also restart per incarnation and so cannot
+/// order transactions across incarnations.
 pub fn committed_txns(records: &[WalRecord]) -> Vec<RecoveredTxn> {
-    let mut ops: BTreeMap<u64, Vec<(String, DeltaOp)>> = BTreeMap::new();
-    let mut committed: Vec<(u64, u64)> = Vec::new();
+    let mut pending: BTreeMap<u64, Vec<(String, DeltaOp)>> = BTreeMap::new();
+    let mut committed: Vec<RecoveredTxn> = Vec::new();
     for rec in records {
         match rec {
             WalRecord::Begin { txn } => {
-                ops.entry(*txn).or_default();
+                pending.insert(*txn, Vec::new());
             }
-            WalRecord::Commit { txn, commit_ts } => committed.push((*commit_ts, *txn)),
+            WalRecord::Commit { txn, commit_ts } => {
+                if let Some(ops) = pending.remove(txn) {
+                    committed.push(RecoveredTxn {
+                        txn: *txn,
+                        commit_ts: *commit_ts,
+                        ops,
+                    });
+                }
+            }
             WalRecord::Abort { txn } => {
-                ops.remove(txn);
+                pending.remove(txn);
             }
             _ => {
                 if let Some((table, op)) = rec.to_op() {
-                    ops.entry(rec.txn()).or_default().push((table, op));
+                    pending.entry(rec.txn()).or_default().push((table, op));
                 }
             }
         }
     }
-    committed.sort_unstable();
     committed
-        .into_iter()
-        .filter_map(|(commit_ts, txn)| {
-            ops.remove(&txn).map(|ops| RecoveredTxn {
-                txn,
-                commit_ts,
-                ops,
-            })
-        })
-        .collect()
 }
 
 /// Summary of a [`replay`] pass.
@@ -680,12 +688,25 @@ pub struct ReplayReport {
     pub ops: usize,
     /// Bytes discarded as a torn or corrupt tail.
     pub discarded_bytes: usize,
+    /// Largest transaction id seen in any cleanly-read record (0 if the
+    /// log was empty), committed or not — an uncommitted `Begin` still
+    /// means the id appears in the file.
+    pub max_txn_id: u64,
+    /// Largest commit timestamp seen (0 if none committed).
+    pub max_commit_ts: u64,
 }
 
 /// Recovery: replays every committed transaction in `bytes` onto
 /// `catalog`, in commit order, discarding the torn tail. The catalog must
 /// hold the checkpoint state the log was written against (same DDL, same
 /// initial loads), so replayed row ids line up.
+///
+/// If the recovered [`crate::txn::TxnManager`] will keep appending to the
+/// same log, seed its counters with the report's maxima
+/// ([`crate::txn::TxnManager::seed_counters`]) so continued commits never
+/// reuse a transaction id or commit timestamp already in the file —
+/// [`committed_txns`] tolerates reuse, but distinct ids keep each
+/// incarnation's records self-describing.
 pub fn replay(bytes: &[u8], catalog: &Catalog) -> Result<ReplayReport> {
     let (records, consumed) = read_records(bytes);
     let txns = committed_txns(&records);
@@ -693,6 +714,15 @@ pub fn replay(bytes: &[u8], catalog: &Catalog) -> Result<ReplayReport> {
         txns: 0,
         ops: 0,
         discarded_bytes: bytes.len() - consumed,
+        max_txn_id: records.iter().map(WalRecord::txn).max().unwrap_or(0),
+        max_commit_ts: records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { commit_ts, .. } => Some(*commit_ts),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0),
     };
     for txn in txns {
         // Group per table, preserving op order within each table.
@@ -834,6 +864,91 @@ mod tests {
         assert_eq!(txns[0].txn, 2);
         assert_eq!(txns[0].commit_ts, 9);
         assert_eq!(txns[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn id_reuse_across_incarnations_replays_both_in_log_order() {
+        // Two writer incarnations appended to one log, both using txn id 1
+        // — and the second one's clock restarted, so its commit_ts is
+        // *smaller*. Each commit must get exactly its own ops, in log
+        // order (not commit_ts order, which would swap them).
+        let records = vec![
+            WalRecord::Begin { txn: 1 },
+            WalRecord::Update {
+                txn: 1,
+                table: "s.t".into(),
+                row_id: 0,
+                row: vec![Datum::Int(10)],
+            },
+            WalRecord::Commit {
+                txn: 1,
+                commit_ts: 9,
+            },
+            // restart: same id, fresh clock
+            WalRecord::Begin { txn: 1 },
+            WalRecord::Update {
+                txn: 1,
+                table: "s.t".into(),
+                row_id: 0,
+                row: vec![Datum::Int(20)],
+            },
+            WalRecord::Commit {
+                txn: 1,
+                commit_ts: 2,
+            },
+        ];
+        let txns = committed_txns(&records);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].commit_ts, 9);
+        assert_eq!(txns[1].commit_ts, 2);
+        assert_eq!(txns[0].ops.len(), 1);
+        assert_eq!(txns[1].ops.len(), 1);
+        assert_eq!(
+            txns[1].ops[0].1,
+            DeltaOp::Update {
+                row_id: 0,
+                row: vec![Datum::Int(20)]
+            }
+        );
+    }
+
+    #[test]
+    fn begin_discards_uncommitted_prefix_of_reused_id() {
+        // A prior run died between frames: Begin + op, cleanly framed, no
+        // Commit. A later incarnation reuses the id and commits — only
+        // the new incarnation's ops may replay.
+        let records = vec![
+            WalRecord::Begin { txn: 1 },
+            WalRecord::Delete {
+                txn: 1,
+                table: "s.t".into(),
+                row_id: 0,
+            },
+            // crash; restart reuses id 1
+            WalRecord::Begin { txn: 1 },
+            WalRecord::Update {
+                txn: 1,
+                table: "s.t".into(),
+                row_id: 1,
+                row: vec![Datum::Int(5)],
+            },
+            WalRecord::Commit {
+                txn: 1,
+                commit_ts: 3,
+            },
+        ];
+        let txns = committed_txns(&records);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(
+            txns[0].ops,
+            vec![(
+                "s.t".to_string(),
+                DeltaOp::Update {
+                    row_id: 1,
+                    row: vec![Datum::Int(5)]
+                }
+            )]
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use rcalcite_core::rules::{default_logical_rules, index_access_rules, Rule};
 use rcalcite_core::stats::{analyze_table, StatsMdProvider};
 use rcalcite_core::traits::Convention;
 use rcalcite_core::txn::{DeltaOp, ReadView, Transaction};
-use rcalcite_core::types::RelType;
+use rcalcite_core::types::{RelType, TypeKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -1044,7 +1044,42 @@ impl Connection {
                     "column '{name}' assigned more than once"
                 )));
             }
-            out.push((i, expr.clone()));
+            let col = &rt.field(i).ty;
+            let ety = expr.ty();
+            if ety.kind == TypeKind::Null && !col.nullable {
+                return Err(CalciteError::validate(format!(
+                    "cannot assign NULL to NOT NULL column '{name}' of table '{}'",
+                    tref.qualified_name()
+                )));
+            }
+            // Same implicit-cast rule as comparisons and set operations:
+            // the assigned expression must widen into the column type
+            // (INTEGER → DOUBLE is fine, the reverse or a cross-kind
+            // assignment needs an explicit CAST).
+            let compatible = col.kind == TypeKind::Any
+                || col
+                    .least_restrictive(ety)
+                    .is_some_and(|lr| lr.kind == col.kind);
+            if !compatible {
+                return Err(CalciteError::validate(format!(
+                    "cannot assign {} to column '{name}' ({}) of table '{}'",
+                    ety.kind,
+                    col.kind,
+                    tref.qualified_name()
+                )));
+            }
+            // Coerce widened values so the stored datum matches the
+            // column kind exactly (e.g. INTEGER literal into a DOUBLE
+            // column), keeping the columnar mirror and indexes typed.
+            let expr = if ety.kind != col.kind
+                && ety.kind != TypeKind::Null
+                && col.kind != TypeKind::Any
+            {
+                expr.clone().cast(col.with_nullable(ety.nullable))
+            } else {
+                expr.clone()
+            };
+            out.push((i, expr));
         }
         Ok(out)
     }

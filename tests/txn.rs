@@ -97,6 +97,19 @@ fn update_assignments_are_validated() {
         .query("UPDATE accounts SET balance = 1, balance = 2")
         .unwrap_err();
     assert!(err.to_string().contains("more than once"), "{err}");
+
+    // Assigned expressions are typed against the target column.
+    let err = c.query("UPDATE accounts SET balance = 'abc'").unwrap_err();
+    assert!(err.to_string().contains("cannot assign VARCHAR"), "{err}");
+    let err = c.query("UPDATE accounts SET id = NULL").unwrap_err();
+    assert!(err.to_string().contains("NOT NULL"), "{err}");
+    // A nullable column accepts NULL; an explicit CAST satisfies the
+    // kind check.
+    c.query("UPDATE accounts SET owner = NULL WHERE id = 2")
+        .unwrap();
+    c.query("UPDATE accounts SET balance = CAST('7' AS INTEGER) WHERE id = 2")
+        .unwrap();
+    assert_eq!(balance(&c, 2), Datum::Int(7));
 }
 
 #[test]
@@ -230,6 +243,67 @@ fn crash_mid_commit_leaves_recoverable_log() {
     assert!(report.discarded_bytes > 0, "torn tail must be discarded");
     let recovered = conn(checkpoint);
     assert_eq!(all_rows(&recovered), all_rows(&c));
+}
+
+/// A restarted manager appends to the same log its predecessor wrote.
+/// Recovery reports the maxima already in the file; seeding the new
+/// manager's counters keeps continued commits from reusing transaction
+/// ids, and the full two-incarnation log replays to the live state.
+#[test]
+fn restart_appends_to_same_log_without_id_collisions() {
+    let catalog = seeded_catalog(8);
+    let mem = MemWal::default();
+    catalog
+        .txns()
+        .attach_wal(WalWriter::new(Box::new(mem.clone())));
+    let c = conn(catalog.clone());
+    c.query("UPDATE accounts SET balance = 1 WHERE id = 0")
+        .unwrap();
+    c.query("UPDATE accounts SET balance = 2 WHERE id = 1")
+        .unwrap();
+
+    // "Restart": a fresh catalog and manager recover from the log, seed
+    // their clocks past what the file already contains, and attach a
+    // writer that keeps appending to it.
+    let catalog2 = seeded_catalog(8);
+    let bytes = mem.handle().lock().clone();
+    let report = replay(&bytes, &catalog2).unwrap();
+    assert_eq!(report.txns, 2);
+    assert!(report.max_txn_id >= 2, "{report:?}");
+    assert!(report.max_commit_ts > 0, "{report:?}");
+    catalog2
+        .txns()
+        .seed_counters(report.max_txn_id, report.max_commit_ts);
+    catalog2
+        .txns()
+        .attach_wal(WalWriter::new(Box::new(mem.clone())));
+
+    let c2 = conn(catalog2.clone());
+    c2.query("UPDATE accounts SET balance = 3 WHERE id = 2")
+        .unwrap();
+    c2.query("DELETE FROM accounts WHERE id = 7").unwrap();
+
+    // The log now spans both incarnations; every transaction id is
+    // distinct, and replay over the checkpoint reproduces the live state.
+    let bytes = mem.handle().lock().clone();
+    let (records, _) = rcalcite_core::wal::read_records(&bytes);
+    let mut begin_ids: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            rcalcite_core::wal::WalRecord::Begin { txn } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    begin_ids.sort_unstable();
+    let n = begin_ids.len();
+    begin_ids.dedup();
+    assert_eq!(begin_ids.len(), n, "seeded ids must not repeat");
+
+    let checkpoint = seeded_catalog(8);
+    let report = replay(&bytes, &checkpoint).unwrap();
+    assert_eq!(report.txns, 4);
+    let recovered = conn(checkpoint);
+    assert_eq!(all_rows(&recovered), all_rows(&c2));
 }
 
 #[test]
