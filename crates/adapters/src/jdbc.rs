@@ -109,6 +109,10 @@ impl Table for JdbcTable {
     fn reserve_row_ids(&self, n: usize) -> Result<u64> {
         self.db.reserve_row_ids(&self.name, n)
     }
+
+    fn data_version(&self) -> Option<u64> {
+        self.db.data_version(&self.name)
+    }
 }
 
 /// One JDBC data source: a database handle, a convention named after it

@@ -146,6 +146,10 @@ pub struct MemDb {
     /// Per-table next row id. Kept outside the relations so reserving
     /// ids (a counter bump) never copies a snapshot.
     next_ids: Mutex<HashMap<String, u64>>,
+    /// Per-table data versions, bumped on every mutation (insert or
+    /// delta apply). Serves the adapter's `Table::data_version`, which
+    /// incremental view maintenance uses for freshness tracking.
+    versions: Mutex<HashMap<String, u64>>,
 }
 
 /// An `Arc` snapshot of a relation's columnar mirror, viewable as a
@@ -263,7 +267,26 @@ impl MemDb {
         for idx in indexes.iter_mut() {
             Arc::make_mut(idx).insert(&access, pos);
         }
+        self.bump_version(table);
         Ok(())
+    }
+
+    /// The current data version of `table`: advances on every mutation.
+    /// `None` for unknown tables.
+    pub fn data_version(&self, table: &str) -> Option<u64> {
+        let key = table.to_ascii_lowercase();
+        if !self.tables.read().contains_key(&key) {
+            return None;
+        }
+        Some(self.versions.lock().get(&key).copied().unwrap_or(0))
+    }
+
+    fn bump_version(&self, table: &str) {
+        *self
+            .versions
+            .lock()
+            .entry(table.to_ascii_lowercase())
+            .or_default() += 1;
     }
 
     /// Captures an immutable MVCC version of `table`: one `Arc` snapshot
@@ -305,6 +328,7 @@ impl MemDb {
         for idx in indexes.iter_mut() {
             Arc::make_mut(idx).apply_delta(&access, &outcome.remap, &outcome.reinserted);
         }
+        self.bump_version(table);
         Ok(outcome.applied)
     }
 

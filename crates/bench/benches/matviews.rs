@@ -2,6 +2,14 @@
 //! query answered from (a) the base fact table, (b) a substituted
 //! materialized view with rollup, (c) a lattice tile — "one of the most
 //! powerful techniques to accelerate query processing in data warehouses".
+//!
+//! The `ivm` group measures the maintenance story under churn: an
+//! incrementally maintained view absorbs each committed delta in
+//! O(|delta|) and keeps serving reads from its tiny backing table, while
+//! the refresh-per-read strategy rescans the full fact table on every
+//! read. All three strategies are cross-checked for identical results
+//! before anything is timed, and maintenance must beat recompute by ≥10×
+//! at 1% churn.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rcalcite_core::catalog::{Catalog, MemTable, Schema, TableRef};
@@ -12,7 +20,7 @@ use rcalcite_core::types::{RowTypeBuilder, TypeKind};
 use rcalcite_sql::Connection;
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn star_connection(n: usize) -> (Connection, Arc<MemTable>) {
     let fact = MemTable::new(
@@ -108,5 +116,142 @@ fn bench_matviews(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matviews);
+// ---------------------------------------------------------------------
+// Incremental view maintenance under churn.
+// ---------------------------------------------------------------------
+
+/// One churn step touches `product = 7` — with `product = i % 100` that
+/// is 1% of the fact table, located through the secondary index so the
+/// DML cost itself is O(|delta|) for every strategy.
+const IVM_CHURN: &str = "UPDATE sales SET units = units + 1 WHERE product = 7";
+const IVM_READ: &str = "SELECT region, COUNT(*) AS c, SUM(units) AS u \
+                        FROM sales GROUP BY region";
+
+fn ivm_connection(n: usize) -> Connection {
+    let catalog = Catalog::new();
+    let s = Schema::new();
+    s.add_table(
+        "sales",
+        MemTable::new(
+            RowTypeBuilder::new()
+                .add_not_null("product", TypeKind::Integer)
+                .add_not_null("region", TypeKind::Integer)
+                .add_not_null("units", TypeKind::Integer)
+                .build(),
+            (0..n as i64)
+                .map(|i| {
+                    vec![
+                        Datum::Int(i % 100),
+                        Datum::Int(i % 8),
+                        Datum::Int(i % 20 + 1),
+                    ]
+                })
+                .collect(),
+        ),
+    );
+    catalog.add_schema("mart", s);
+    let conn = Connection::builder(catalog).build();
+    conn.query("CREATE INDEX idx_product ON sales (product)")
+        .unwrap();
+    conn.query("ANALYZE").unwrap();
+    conn
+}
+
+fn sorted_rows(mut rows: Vec<Vec<Datum>>) -> Vec<Vec<Datum>> {
+    rows.sort();
+    rows
+}
+
+fn bench_ivm(c: &mut Criterion) {
+    let n = 100_000usize;
+
+    // (a) Incrementally maintained: the committed delta propagates
+    // through the view's delta plan at COMMIT; reads are view scans.
+    let maintained = ivm_connection(n);
+    let msg = maintained
+        .query(&format!("CREATE MATERIALIZED VIEW hot AS {IVM_READ}"))
+        .unwrap();
+    assert!(
+        msg.rows[0][0]
+            .to_string()
+            .contains("incrementally maintained"),
+        "{msg:?}"
+    );
+
+    // (b) Refresh-per-read: same view, but a full recompute of the
+    // definition before every read instead of trusting maintenance.
+    let refreshed = ivm_connection(n);
+    refreshed
+        .query(&format!("CREATE MATERIALIZED VIEW hot AS {IVM_READ}"))
+        .unwrap();
+
+    // (c) No view at all: every read aggregates the base table.
+    let base = ivm_connection(n);
+
+    let step_maintained = || {
+        maintained.query(IVM_CHURN).unwrap();
+        maintained.query(IVM_READ).unwrap().rows
+    };
+    let step_refreshed = || {
+        refreshed.query(IVM_CHURN).unwrap();
+        refreshed.query("REFRESH MATERIALIZED VIEW hot").unwrap();
+        refreshed.query("SELECT * FROM hot").unwrap().rows
+    };
+    let step_base = || {
+        base.query(IVM_CHURN).unwrap();
+        base.query(IVM_READ).unwrap().rows
+    };
+
+    // Cross-check: after identical churn, all three strategies answer
+    // the read identically (the maintained connection must actually be
+    // substituting — its plan proves it).
+    let plan = maintained.explain(IVM_READ).unwrap();
+    assert!(plan.contains("-- mv: substituted mv.hot (fresh)"), "{plan}");
+    // The churn DML must locate through the index — a full-scan locate
+    // would make every strategy O(n) and the comparison meaningless.
+    let dml_plan = maintained.query(&format!("EXPLAIN {IVM_CHURN}")).unwrap();
+    let dml_text = format!("{:?}", dml_plan.rows);
+    assert!(dml_text.contains("IndexSeek"), "{dml_text}");
+    for round in 0..3 {
+        let (a, b, c) = (step_maintained(), step_refreshed(), step_base());
+        let a = sorted_rows(a);
+        assert_eq!(a, sorted_rows(b), "round {round}: maintained vs refresh");
+        assert_eq!(a, sorted_rows(c), "round {round}: maintained vs base scan");
+    }
+
+    // The point of the subsystem: at 1% churn per read, O(|delta|)
+    // maintenance plus a view scan beats the O(n) recompute by ≥10×.
+    let timed = |step: &dyn Fn() -> Vec<Vec<Datum>>| {
+        let start = Instant::now();
+        for _ in 0..10 {
+            black_box(step());
+        }
+        start.elapsed()
+    };
+    let t_maintained = timed(&step_maintained);
+    let t_refreshed = timed(&step_refreshed);
+    let speedup = t_refreshed.as_secs_f64() / t_maintained.as_secs_f64();
+    eprintln!("ivm: maintained {t_maintained:?}, refresh-per-read {t_refreshed:?} ({speedup:.1}x)");
+    assert!(
+        speedup >= 10.0,
+        "incremental maintenance must be ≥10× faster than refresh-per-read \
+         at 1% churn: maintained {t_maintained:?}, refreshed {t_refreshed:?} \
+         ({speedup:.1}×)"
+    );
+
+    let mut g = c.benchmark_group("ivm");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_with_input(BenchmarkId::new("maintain_under_churn", n), &(), |b, _| {
+        b.iter(|| black_box(step_maintained()))
+    });
+    g.bench_with_input(BenchmarkId::new("recompute_per_read", n), &(), |b, _| {
+        b.iter(|| black_box(step_refreshed()))
+    });
+    g.bench_with_input(BenchmarkId::new("scan_base", n), &(), |b, _| {
+        b.iter(|| black_box(step_base()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matviews, bench_ivm);
 criterion_main!(benches);

@@ -250,6 +250,19 @@ pub trait Table: Send + Sync {
             "table does not support transactional writes",
         ))
     }
+
+    /// A counter that advances on every mutation of this table's data
+    /// (insert, delta apply, bulk replace), whatever path the write took
+    /// — including ones that bypass the transaction manager, like WAL
+    /// replay or direct [`MemTable::insert`] calls. Incremental view
+    /// maintenance records the versions of a view's base tables after
+    /// each successful maintenance pass; a mismatch on a later read
+    /// means the view can no longer be trusted and substitution must
+    /// skip it. `None` (the default) means the table cannot report
+    /// change versions, so views over it cannot be freshness-tracked.
+    fn data_version(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A consistent, positionally-addressable view of a table taken at scan
@@ -371,6 +384,10 @@ pub struct MemTable {
     /// the same lock discipline as `rows` (rows lock taken first), so an
     /// index never refers to positions that are not yet in `rows`.
     indexes: RwLock<Vec<Arc<IndexData>>>,
+    /// Monotonic data version, bumped on every mutation (while the rows
+    /// write lock is held, so version order matches write order). Serves
+    /// [`Table::data_version`] for view-freshness tracking.
+    version: std::sync::atomic::AtomicU64,
 }
 
 impl MemTable {
@@ -383,6 +400,7 @@ impl MemTable {
             next_row_id: std::sync::atomic::AtomicU64::new(n),
             statistic: RwLock::new(None),
             indexes: RwLock::new(vec![]),
+            version: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -397,6 +415,8 @@ impl MemTable {
 
     pub fn insert(&self, row: Row) {
         let mut guard = self.rows.write();
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         Arc::make_mut(&mut guard).push(row);
         let id = self
             .next_row_id
@@ -413,6 +433,8 @@ impl MemTable {
 
     pub fn replace_all(&self, rows: Vec<Row>) {
         let mut guard = self.rows.write();
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let n = rows.len() as u64;
         let start = self
             .next_row_id
@@ -555,6 +577,8 @@ impl Table for MemTable {
 
     fn apply_delta(&self, ops: &[crate::txn::DeltaOp]) -> Result<usize> {
         let mut rows_guard = self.rows.write();
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let mut ids_guard = self.row_ids.write();
         let mut idx_guard = self.indexes.write();
         let rows = Arc::make_mut(&mut rows_guard);
@@ -578,6 +602,10 @@ impl Table for MemTable {
         Ok(self
             .next_row_id
             .fetch_add(n as u64, std::sync::atomic::Ordering::SeqCst))
+    }
+
+    fn data_version(&self) -> Option<u64> {
+        Some(self.version.load(std::sync::atomic::Ordering::SeqCst))
     }
 }
 
@@ -660,12 +688,42 @@ impl Schema {
 /// The root catalog: a set of named schemas plus a default search schema,
 /// and the `ANALYZE`d statistics store the planner's stats-backed
 /// metadata provider reads from.
-#[derive(Default)]
 pub struct Catalog {
     schemas: RwLock<HashMap<String, Arc<Schema>>>,
     default_schema: RwLock<Option<String>>,
-    stats: crate::stats::StatsRegistry,
+    stats: Arc<crate::stats::StatsRegistry>,
     txns: Arc<crate::txn::TxnManager>,
+    /// Incremental-view-maintenance registry, subscribed to the commit
+    /// change feed so committed base-table deltas keep materialized
+    /// views up to date.
+    ivm: Arc<crate::ivm::IvmRegistry>,
+    /// DDL generation counter, shared by every connection over this
+    /// catalog: plans cached at generation `g` are discarded once the
+    /// counter moves past `g`. Lives here (not per-connection) so
+    /// core-level events — a maintained view going stale, a view
+    /// dropped on another connection — invalidate every cache.
+    generation: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        let stats = Arc::new(crate::stats::StatsRegistry::default());
+        let txns = Arc::new(crate::txn::TxnManager::default());
+        let generation = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let ivm = Arc::new(crate::ivm::IvmRegistry::new(
+            Arc::clone(&stats),
+            Arc::clone(&generation),
+        ));
+        txns.register_observer(Arc::clone(&ivm) as Arc<dyn crate::txn::CommitObserver>);
+        Catalog {
+            schemas: RwLock::new(HashMap::new()),
+            default_schema: RwLock::new(None),
+            stats,
+            txns,
+            ivm,
+            generation,
+        }
+    }
 }
 
 impl Catalog {
@@ -678,6 +736,25 @@ impl Catalog {
     /// cache's DDL counter.
     pub fn stats(&self) -> &crate::stats::StatsRegistry {
         &self.stats
+    }
+
+    /// The maintained-view registry fed by this catalog's commit feed.
+    pub fn ivm(&self) -> &Arc<crate::ivm::IvmRegistry> {
+        &self.ivm
+    }
+
+    /// Current DDL/staleness generation. Cached plans carry the value
+    /// current when they were built and are re-planned once it moves.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Invalidates every plan cached against this catalog (DDL, ANALYZE,
+    /// view freshness transitions).
+    pub fn bump_generation(&self) -> u64 {
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            + 1
     }
 
     /// The transaction manager every connection over this catalog

@@ -288,10 +288,17 @@ impl IndexData {
         remap: &[Option<usize>],
         reinserted: &[usize],
     ) {
-        let changed: std::collections::HashSet<usize> = reinserted.iter().copied().collect();
+        // Bitmap over new positions: O(1) membership without hashing on
+        // the O(n) retain pass below.
+        let mut changed = vec![false; data.len()];
+        for &pos in reinserted {
+            if let Some(flag) = changed.get_mut(pos) {
+                *flag = true;
+            }
+        }
         let survives = |p: &mut usize| -> bool {
             match remap.get(*p).copied().flatten() {
-                Some(np) if !changed.contains(&np) => {
+                Some(np) if !changed[np] => {
                     *p = np;
                     true
                 }
@@ -301,16 +308,59 @@ impl IndexData {
         match &mut self.state {
             IndexState::Ordered(perm) => {
                 perm.retain_mut(survives);
+                Self::merge_ordered(perm, data, &self.def.columns, reinserted);
             }
             IndexState::Hash(map) => {
                 map.retain(|_, postings| {
                     postings.retain_mut(survives);
                     !postings.is_empty()
                 });
+                for &pos in reinserted {
+                    self.insert(data, pos);
+                }
             }
         }
-        for &pos in reinserted {
-            self.insert(data, pos);
+    }
+
+    /// Batch-inserts `reinserted` into an ordered permutation: each entry's
+    /// slot is found by binary search, then one back-to-front pass shifts
+    /// every surviving segment exactly once — O(n + k log n) instead of
+    /// the k · O(n) memmoves of repeated point inserts.
+    fn merge_ordered(
+        perm: &mut Vec<usize>,
+        data: &dyn KeyAccess,
+        cols: &[usize],
+        reinserted: &[usize],
+    ) {
+        if reinserted.is_empty() {
+            return;
+        }
+        let mut incoming: Vec<(Vec<Datum>, usize)> = reinserted
+            .iter()
+            .map(|&pos| (key_of(data, cols, pos), pos))
+            .collect();
+        incoming.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Ascending because `incoming` is sorted by the same comparator.
+        let slots: Vec<usize> = incoming
+            .iter()
+            .map(|(key, pos)| {
+                perm.partition_point(|&p| {
+                    key_of(data, cols, p).cmp(key).then(p.cmp(pos)) == std::cmp::Ordering::Less
+                })
+            })
+            .collect();
+        let old_len = perm.len();
+        perm.resize(old_len + incoming.len(), 0);
+        let mut read = old_len;
+        let mut write = perm.len();
+        for (i, (_, pos)) in incoming.iter().enumerate().rev() {
+            while read > slots[i] {
+                read -= 1;
+                write -= 1;
+                perm[write] = perm[read];
+            }
+            write -= 1;
+            perm[write] = *pos;
         }
     }
 

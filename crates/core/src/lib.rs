@@ -21,7 +21,7 @@
 //! | §6 rules               | [`rules`], [`simplify`] |
 //! | §6 metadata providers  | [`metadata`], [`cost`] |
 //! | §6 planner engines     | [`planner`] |
-//! | §6 materialized views  | [`mv`], [`lattice`] |
+//! | §6 materialized views  | [`mv`], [`lattice`], [`ivm`] |
 
 pub mod buffer;
 pub mod builder;
@@ -32,6 +32,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod index;
+pub mod ivm;
 pub mod lattice;
 pub mod metadata;
 pub mod mv;
@@ -52,11 +53,12 @@ pub use datum::{Datum, Row};
 pub use error::{CalciteError, Result};
 pub use exec::{ConventionExecutor, ExecContext, RowIter};
 pub use index::{BoundProbe, IndexDef, IndexKind, IndexProbe, SeekProbe, SeekSpec};
+pub use ivm::{DeltaPlan, IvmRegistry, MaintainedView};
 pub use metadata::{MetadataProvider, MetadataQuery};
 pub use rel::{Rel, RelKind, RelNode, RelOp};
 pub use rex::RexNode;
 pub use stats::{ColumnStats, StatsRegistry, TableStats};
 pub use traits::Convention;
-pub use txn::{DeltaOp, SnapshotTable, Transaction, TxnManager, TxnVersion};
+pub use txn::{CommitObserver, DeltaOp, SnapshotTable, Transaction, TxnManager, TxnVersion};
 pub use types::{RelType, RowType, TypeKind};
 pub use wal::{FileWal, MemWal, WalRecord, WalStorage, WalWriter};

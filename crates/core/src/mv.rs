@@ -20,6 +20,11 @@ pub struct Materialization {
     pub table: TableRef,
     /// The view definition as a logical plan over base tables.
     pub plan: Rel,
+    /// The incremental-maintenance handle, when this materialization is a
+    /// `CREATE MATERIALIZED VIEW` registered with the commit feed. `None`
+    /// (manually registered materializations, lattice tiles) keeps the
+    /// legacy always-usable behavior.
+    pub maintained: Option<Arc<crate::ivm::MaintainedView>>,
 }
 
 impl Materialization {
@@ -31,7 +36,20 @@ impl Materialization {
             // order) does not change stored positions; stripping it lets
             // the unifier see through SELECT-list aliases.
             plan: strip_rename(&plan),
+            maintained: None,
         }
+    }
+
+    /// Attaches the freshness/maintenance handle.
+    pub fn with_maintained(mut self, view: Arc<crate::ivm::MaintainedView>) -> Materialization {
+        self.maintained = Some(view);
+        self
+    }
+
+    /// Whether substitution may serve reads from this materialization
+    /// right now: tracked views must be fresh; untracked ones always are.
+    pub fn is_usable(&self) -> bool {
+        self.maintained.as_ref().is_none_or(|m| m.is_fresh())
     }
 }
 
@@ -244,6 +262,11 @@ impl Rule for MaterializedViewRule {
             return;
         }
         for m in &self.mats {
+            // A stale maintained view must not serve reads; skipping it
+            // here makes substitution fall back to the base-table plan.
+            if !m.is_usable() {
+                continue;
+            }
             if let Some(rw) = unify(&node, m) {
                 call.transform_to(rw);
             }

@@ -12,8 +12,10 @@
 //! reclaimed by refcount.
 //!
 //! Writes are private until COMMIT: a [`Transaction`] stages [`DeltaOp`]s
-//! in a per-table workspace (with a materialized overlay so the
-//! transaction reads its own writes). COMMIT, under the manager's global
+//! in a per-table workspace; an overlay materialized lazily on the first
+//! read-after-write lets the transaction read its own writes, while
+//! write-only transactions (every autocommit DML statement) never pay
+//! the O(table) copy. COMMIT, under the manager's global
 //! commit lock, (1) appends the whole transaction to the WAL, (2) runs the
 //! first-committer-wins check — any transaction that committed after this
 //! one began and wrote an overlapping row id aborts this one with a
@@ -72,6 +74,9 @@ pub fn apply_ops_to_rows(
     ops: &[DeltaOp],
     arity: usize,
 ) -> Result<DeltaOutcome> {
+    if !ops.iter().any(|op| matches!(op, DeltaOp::Delete { .. })) {
+        return apply_ops_without_deletes(rows, ids, ops, arity);
+    }
     let old_len = rows.len();
     // Tombstone slots keep positions stable while ops are applied in
     // sequence (an op stream may update then delete the same row).
@@ -164,6 +169,98 @@ pub fn apply_ops_to_rows(
     Ok(DeltaOutcome {
         remap,
         reinserted,
+        applied: ops.len(),
+        max_inserted_id: max_inserted,
+    })
+}
+
+/// Delete-free fast path for [`apply_ops_to_rows`]: without deletes,
+/// positions are stable, so updates land in place and inserts append —
+/// no tombstone-slot rebuild of the whole store. Update targets resolve
+/// through an in-order merge over `ids` (the ops of one DML statement
+/// address ascending positions), falling back to a full id → position
+/// map for out-of-order streams; insert-bearing streams build the map up
+/// front for the duplicate-id check. O(|ops|) row moves either way.
+fn apply_ops_without_deletes(
+    rows: &mut Vec<Row>,
+    ids: &mut Vec<u64>,
+    ops: &[DeltaOp],
+    arity: usize,
+) -> Result<DeltaOutcome> {
+    let old_len = rows.len();
+    fn build_map(ids: &[u64]) -> HashMap<u64, usize> {
+        ids.iter()
+            .copied()
+            .enumerate()
+            .map(|(p, id)| (id, p))
+            .collect()
+    }
+    let mut by_id: Option<HashMap<u64, usize>> = ops
+        .iter()
+        .any(|op| matches!(op, DeltaOp::Insert { .. }))
+        .then(|| build_map(ids));
+    let mut cursor = 0usize;
+    let mut touched = Vec::with_capacity(ops.len());
+    let mut max_inserted = None;
+    for op in ops {
+        match op {
+            DeltaOp::Insert { row_id, row } => {
+                if row.len() != arity {
+                    return Err(CalciteError::execution(format!(
+                        "insert arity mismatch: row has {} values, table has {arity} columns",
+                        row.len()
+                    )));
+                }
+                let map = by_id.as_mut().expect("map built for insert-bearing stream");
+                if map.insert(*row_id, rows.len()).is_some() {
+                    return Err(CalciteError::internal(format!(
+                        "duplicate row id {row_id} in insert"
+                    )));
+                }
+                touched.push(rows.len());
+                rows.push(row.clone());
+                ids.push(*row_id);
+                max_inserted = Some(max_inserted.map_or(*row_id, |m: u64| m.max(*row_id)));
+            }
+            DeltaOp::Update { row_id, row } => {
+                if row.len() != arity {
+                    return Err(CalciteError::execution(format!(
+                        "update arity mismatch: row has {} values, table has {arity} columns",
+                        row.len()
+                    )));
+                }
+                let pos = match &mut by_id {
+                    Some(map) => map.get(row_id).copied(),
+                    None => match ids[cursor..].iter().position(|id| id == row_id) {
+                        Some(off) => {
+                            cursor += off + 1;
+                            Some(cursor - 1)
+                        }
+                        None => {
+                            // Out-of-order stream (e.g. a multi-statement
+                            // transaction revisiting a row): resolve the
+                            // rest through the map. No inserts have
+                            // happened (the map would already exist), so
+                            // `ids` still holds exactly the original rows.
+                            by_id.insert(build_map(ids)).get(row_id).copied()
+                        }
+                    },
+                };
+                let pos = pos.ok_or_else(|| {
+                    CalciteError::internal(format!("update of unknown row id {row_id}"))
+                })?;
+                rows[pos] = row.clone();
+                touched.push(pos);
+            }
+            DeltaOp::Delete { .. } => unreachable!("caller routed deletes to the slot path"),
+        }
+    }
+    // A row updated twice must re-key its index entry once.
+    touched.sort_unstable();
+    touched.dedup();
+    Ok(DeltaOutcome {
+        remap: (0..old_len).map(Some).collect(),
+        reinserted: touched,
         applied: ops.len(),
         max_inserted_id: max_inserted,
     })
@@ -324,9 +421,29 @@ struct TxnTable {
     /// Row ids this transaction updated or deleted (inserts excluded):
     /// the first-committer-wins footprint.
     write_set: HashSet<u64>,
-    /// Present once the transaction has written the table
-    /// (read-own-writes).
-    overlay: Option<Overlay>,
+    /// Read-own-writes cache: the BEGIN-time version with `ops` applied.
+    /// Materialized lazily by the first read after a write (staging only
+    /// records ops), so write-only transactions — every autocommit DML
+    /// statement — never copy the table. Staging rolls an existing
+    /// overlay forward incrementally and drops it on a failed roll (the
+    /// next read rebuilds from `version` + `ops`).
+    overlay: Mutex<Option<Overlay>>,
+}
+
+impl TxnTable {
+    /// The BEGIN-time version with every staged op applied.
+    fn materialize_overlay(&self) -> Result<Overlay> {
+        let n = self.version.row_count();
+        let mut rows: Vec<Row> = (0..n).map(|p| self.version.row(p)).collect();
+        let mut ids: Vec<u64> = (0..n).map(|p| self.version.row_id(p)).collect();
+        apply_ops_to_rows(
+            &mut rows,
+            &mut ids,
+            &self.ops,
+            self.tref.table.row_type().arity(),
+        )?;
+        Ok((Arc::new(rows), Arc::new(ids)))
+    }
 }
 
 /// A transaction handle: BEGIN-time versions of every MVCC-capable table,
@@ -368,9 +485,19 @@ impl Transaction {
 
     /// The view statements should read for `qualified`: the BEGIN
     /// version, or the overlay once this transaction wrote the table.
+    /// The first read after a write materializes the overlay (version +
+    /// staged ops) and caches it for the rest of the transaction.
     pub fn read_view(&self, qualified: &str) -> Option<ReadView> {
         let t = self.tables.get(qualified)?;
-        Some(match &t.overlay {
+        let mut overlay = t.overlay.lock();
+        if overlay.is_none() && !t.ops.is_empty() {
+            // Staged ops were built against this very version chain, so
+            // materialization cannot fail short of an internal bug — in
+            // which case serving the (write-free) BEGIN version is the
+            // safe degradation.
+            *overlay = t.materialize_overlay().ok();
+        }
+        Some(match &*overlay {
             Some((rows, ids)) => ReadView::Rows {
                 rows: Arc::clone(rows),
                 ids: Arc::clone(ids),
@@ -387,9 +514,11 @@ impl Transaction {
         Some(SnapshotTable::new(t.tref.table.row_type(), view))
     }
 
-    /// Stages `ops` against `qualified`: applies them to the private
-    /// overlay (so later statements in this transaction see them) and
-    /// records updated/deleted row ids in the conflict footprint.
+    /// Stages `ops` against `qualified`, recording updated/deleted row
+    /// ids in the conflict footprint. O(|ops|): the read-own-writes
+    /// overlay is only rolled forward if a read already materialized it;
+    /// otherwise it stays unmaterialized and the first later read builds
+    /// it — a write-only (autocommit) transaction never copies the table.
     pub fn stage(&mut self, qualified: &str, ops: Vec<DeltaOp>) -> Result<usize> {
         if ops.is_empty() {
             return Ok(0);
@@ -399,26 +528,35 @@ impl Transaction {
                 "table '{qualified}' does not support transactional writes"
             ))
         })?;
-        let (mut rows, mut ids) = match t.overlay.take() {
-            Some((rows, ids)) => (rows.as_ref().clone(), ids.as_ref().clone()),
-            None => {
-                let n = t.version.row_count();
-                (
-                    (0..n).map(|p| t.version.row(p)).collect(),
-                    (0..n).map(|p| t.version.row_id(p)).collect(),
-                )
-            }
-        };
         let arity = t.tref.table.row_type().arity();
-        let outcome = apply_ops_to_rows(&mut rows, &mut ids, &ops, arity)?;
-        t.overlay = Some((Arc::new(rows), Arc::new(ids)));
+        for op in &ops {
+            if let DeltaOp::Insert { row, .. } | DeltaOp::Update { row, .. } = op {
+                if row.len() != arity {
+                    return Err(CalciteError::execution(format!(
+                        "write arity mismatch: row has {} values, table has {arity} columns",
+                        row.len()
+                    )));
+                }
+            }
+        }
+        let overlay = t.overlay.get_mut();
+        if let Some((rows, ids)) = overlay {
+            let rolled = apply_ops_to_rows(Arc::make_mut(rows), Arc::make_mut(ids), &ops, arity);
+            if let Err(e) = rolled {
+                // A half-applied roll is unusable; drop it so the next
+                // read rebuilds from the version + the ops that did land.
+                *overlay = None;
+                return Err(e);
+            }
+        }
         for op in &ops {
             if op.conflicts() {
                 t.write_set.insert(op.row_id());
             }
         }
+        let applied = ops.len();
         t.ops.extend(ops);
-        Ok(outcome.applied)
+        Ok(applied)
     }
 
     /// Commits: WAL-logs the transaction, runs first-committer-wins, and
@@ -457,6 +595,24 @@ impl Drop for Transaction {
 // Manager
 // ---------------------------------------------------------------------
 
+/// A hook invoked inside COMMIT, after the staged deltas have been
+/// applied to the shared tables but while the commit lock is still held
+/// — the single choke point every committed change (autocommit and
+/// explicit COMMIT alike) flows through. Incremental view maintenance
+/// registers here so view and base tables advance atomically with
+/// respect to snapshot capture: a BEGIN (which also takes the commit
+/// lock) sees either no effect of a commit or all of it, views included.
+///
+/// Observers must not call back into the manager (the commit lock is
+/// held) and must not fail the commit — it is already durable; an
+/// observer that cannot keep up records that fact on its own state (e.g.
+/// marking a view stale) instead of erroring.
+pub trait CommitObserver: Send + Sync {
+    /// `changes`: qualified table name plus the committed ops, one entry
+    /// per written table, in apply order.
+    fn on_commit(&self, changes: &[(String, &[DeltaOp])]);
+}
+
 struct CommitFootprint {
     commit_ts: u64,
     /// Qualified table name → row ids updated/deleted.
@@ -479,6 +635,9 @@ pub struct TxnManager {
     /// transaction could still conflict with them.
     history: Mutex<Vec<CommitFootprint>>,
     wal: Mutex<Option<WalWriter>>,
+    /// Post-apply commit hooks (incremental view maintenance). Invoked
+    /// under the commit lock; registered once at catalog construction.
+    observers: Mutex<Vec<Arc<dyn CommitObserver>>>,
 }
 
 impl TxnManager {
@@ -495,6 +654,22 @@ impl TxnManager {
     /// Detaches and returns the WAL writer, if any.
     pub fn detach_wal(&self) -> Option<WalWriter> {
         self.wal.lock().take()
+    }
+
+    /// Registers a [`CommitObserver`] invoked after every commit's
+    /// deltas are applied, still under the commit lock.
+    pub fn register_observer(&self, obs: Arc<dyn CommitObserver>) {
+        self.observers.lock().push(obs);
+    }
+
+    /// Runs `f` while holding the commit lock, so no transaction can
+    /// commit (and no BEGIN can capture a snapshot) during it. Used by
+    /// operations that must observe or replace multi-table state
+    /// atomically with respect to commits — materialized-view creation
+    /// and REFRESH. `f` must not commit or begin transactions itself.
+    pub fn with_commit_lock<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.commit_lock.lock();
+        f()
     }
 
     /// Advances the transaction-id and timestamp clocks past values an
@@ -538,7 +713,7 @@ impl TxnManager {
                         version,
                         ops: vec![],
                         write_set: HashSet::new(),
-                        overlay: None,
+                        overlay: Mutex::new(None),
                     },
                 );
             }
@@ -636,6 +811,23 @@ impl TxnManager {
         // non-conflicting concurrent commits compose.
         for (tref, ops, _) in &staged {
             tref.table.apply_delta(ops)?;
+        }
+
+        // 4b. Change feed: propagate the committed deltas to observers
+        // (incremental view maintenance) while the commit lock is still
+        // held, so base tables and maintained views advance atomically
+        // with respect to snapshot capture.
+        {
+            let observers = self.observers.lock();
+            if !observers.is_empty() {
+                let changes: Vec<(String, &[DeltaOp])> = staged
+                    .iter()
+                    .map(|(tref, ops, _)| (tref.qualified_name(), ops.as_slice()))
+                    .collect();
+                for obs in observers.iter() {
+                    obs.on_commit(&changes);
+                }
+            }
         }
 
         // 5. Publish the footprint for later committers' FCW checks.

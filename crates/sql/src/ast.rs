@@ -23,6 +23,17 @@ pub enum Stmt {
         name: Vec<String>,
         query: Query,
     },
+    /// `DROP MATERIALIZED VIEW [IF EXISTS] name` — unregisters the view,
+    /// detaches its maintenance plan and drops the backing table.
+    DropMaterializedView {
+        name: Vec<String>,
+        if_exists: bool,
+    },
+    /// `REFRESH MATERIALIZED VIEW name` — full recompute of the view's
+    /// contents from its definition; clears any staleness flag.
+    RefreshMaterializedView {
+        name: Vec<String>,
+    },
     Insert {
         table: Vec<String>,
         source: Query,

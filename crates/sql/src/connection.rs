@@ -205,6 +205,10 @@ pub struct Connection {
     /// materializations), built once and reused until configuration
     /// changes.
     planner: RwLock<Option<Arc<VolcanoPlanner>>>,
+    /// The same planner without the materialized-view substitution rule.
+    /// Transaction-scoped plans, DML locate plans and REFRESH recomputes
+    /// compile through it (see [`Connection::optimize_no_mv`]).
+    planner_no_mv: RwLock<Option<Arc<VolcanoPlanner>>>,
     /// The heuristic normalization phase, fixed for the connection.
     hep: HepPlanner,
     /// Bumped by DDL/INSERT and planner reconfiguration; cached plans
@@ -241,6 +245,7 @@ impl Connection {
             exec_mode: ExecutionMode::Row,
             plan_cache: RwLock::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
             planner: RwLock::new(None),
+            planner_no_mv: RwLock::new(None),
             hep: HepPlanner::new(default_logical_rules()),
             generation: AtomicU64::new(0),
             txn: RwLock::new(None),
@@ -335,9 +340,13 @@ impl Connection {
     pub fn add_materialization(&self, m: Materialization) {
         let mq = self.metadata_query();
         let (normalized, _) = self.hep.optimize_counted(&m.plan, &mq);
-        self.materializations
-            .write()
-            .push(Materialization::new(m.name, m.table, normalized));
+        let mut normalized_m = Materialization::new(m.name, m.table, normalized);
+        if let Some(view) = m.maintained {
+            // Keep the freshness handle: substitution consults it before
+            // serving reads from the view.
+            normalized_m = normalized_m.with_maintained(view);
+        }
+        self.materializations.write().push(normalized_m);
         self.invalidate_planner_shared();
     }
 
@@ -382,9 +391,13 @@ impl Connection {
     }
 
     /// Current catalog/config generation (prepared statements compare
-    /// this against their plan's to detect staleness).
+    /// this against their plan's to detect staleness). The connection's
+    /// own bumps (local DDL, reconfiguration) add to the catalog's
+    /// (maintained views transitioning fresh → stale, MV DDL from any
+    /// connection sharing the catalog); both counters are monotonic, so
+    /// the sum is a valid staleness stamp.
     pub(crate) fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.generation.load(Ordering::Acquire) + self.catalog.generation()
     }
 
     /// Drops every cached plan (DDL, INSERT, semantic configuration
@@ -403,6 +416,7 @@ impl Connection {
     fn invalidate_planner_shared(&self) {
         self.invalidate_plans();
         *self.planner.write() = None;
+        *self.planner_no_mv.write() = None;
     }
 
     pub fn metadata_query(&self) -> MetadataQuery {
@@ -472,6 +486,30 @@ impl Connection {
         planner
     }
 
+    /// The cost-based planner minus the materialized-view substitution
+    /// rule. Substitution matches scans by table name and a maintained
+    /// view's contents track the *latest* commit, so plans that must
+    /// read an older version — transaction snapshots — and plans that
+    /// must read the base table itself — DML locate plans, REFRESH
+    /// recomputes (a view must never read itself) — compile through
+    /// this planner instead.
+    fn planner_no_mv(&self) -> Arc<VolcanoPlanner> {
+        if let Some(p) = self.planner_no_mv.read().as_ref() {
+            return p.clone();
+        }
+        let mut rules = self.rules.clone();
+        if !self.lattices.is_empty() {
+            rules.push(Arc::new(LatticeRule::new(self.lattices.clone())));
+        }
+        let mut planner = VolcanoPlanner::new(rules).with_mode(self.mode);
+        for (from, to) in &self.converters {
+            planner.add_converter(from.clone(), to.clone());
+        }
+        let planner = Arc::new(planner);
+        *self.planner_no_mv.write() = Some(planner.clone());
+        planner
+    }
+
     /// Optimizes a logical plan into an executable plan in the enumerable
     /// convention, using the paper's multi-stage scheme: a heuristic
     /// normalization phase followed by cost-based planning.
@@ -479,6 +517,14 @@ impl Connection {
         let mq = self.metadata_query();
         let normalized = self.hep.optimize(logical, &Convention::enumerable(), &mq)?;
         self.planner()
+            .optimize(&normalized, &Convention::enumerable(), &mq)
+    }
+
+    /// [`Connection::optimize`] without materialized-view substitution.
+    fn optimize_no_mv(&self, logical: &Rel) -> Result<Rel> {
+        let mq = self.metadata_query();
+        let normalized = self.hep.optimize(logical, &Convention::enumerable(), &mq)?;
+        self.planner_no_mv()
             .optimize(&normalized, &Convention::enumerable(), &mq)
     }
 
@@ -574,7 +620,9 @@ impl Connection {
             .collect();
         let params = collect_plan_params(&logical);
         let substituted = self.substitute_txn_scans(&logical);
-        let physical = self.optimize(&substituted)?;
+        // No MV substitution inside a transaction: views track the latest
+        // commit, which may postdate this transaction's snapshot.
+        let physical = self.optimize_no_mv(&substituted)?;
         Ok(Arc::new(CachedPlan {
             columns,
             physical,
@@ -646,31 +694,170 @@ impl Connection {
                 Ok(message(format!("view {key} created")))
             }
             Stmt::CreateMaterializedView { name, query } => {
-                // Execute the definition now, store the rows, and register
-                // both a materialization (for the optimizer's rewriting)
-                // and a view (for direct reference).
+                // Compile the definition once into a delta plan; shapes
+                // with per-operator maintenance rules stay incrementally
+                // up to date from the commit feed, the rest fall back to
+                // staleness tracking + REFRESH MATERIALIZED VIEW.
                 let plan = self.convert(&query)?;
                 reject_params(&plan, "CREATE MATERIALIZED VIEW")?;
-                let physical = self.optimize(&plan)?;
-                let rows = self.exec.execute_collect(&physical)?;
-                let n = rows.len();
-                let table = MemTable::new(plan.row_type().clone(), rows);
-                let key = name.join(".").to_ascii_lowercase();
-                let tref = TableRef::new("mv", key.clone(), table);
+                if self.in_transaction() {
+                    return Err(CalciteError::unsupported(
+                        "CREATE MATERIALIZED VIEW cannot run inside a transaction",
+                    ));
+                }
+                let alias = name.join(".").to_ascii_lowercase();
+                let vname = name.last().expect("parsed name").to_ascii_lowercase();
+                let qualified = format!("mv.{vname}");
+                let schema = self.mv_schema();
+                if schema.table(&vname).is_some() {
+                    return Err(CalciteError::validate(format!(
+                        "materialized view '{vname}' already exists"
+                    )));
+                }
+                let row_type = plan.row_type().clone();
+                let txns = self.catalog.txns();
+                let (view, n) = match rcalcite_core::DeltaPlan::compile(&plan) {
+                    Ok(mut delta) => {
+                        // Populate the storage and subscribe to the commit
+                        // feed atomically: under the commit lock no
+                        // transaction can apply between init's snapshots
+                        // and the registration.
+                        txns.with_commit_lock(
+                            || -> Result<(Arc<rcalcite_core::MaintainedView>, usize)> {
+                                let rows = delta.init()?;
+                                let n = rows.len();
+                                schema.add_table(
+                                    vname.clone(),
+                                    MemTable::new(row_type.clone(), rows),
+                                );
+                                let tref = self.catalog.resolve(&["mv", &vname])?;
+                                Ok((
+                                    rcalcite_core::MaintainedView::new_maintained(
+                                        qualified.clone(),
+                                        tref,
+                                        plan.clone(),
+                                        delta,
+                                    ),
+                                    n,
+                                ))
+                            },
+                        )?
+                    }
+                    Err(unsupported) => {
+                        // No maintenance rule for this shape: run the
+                        // definition once and track staleness through base
+                        // versions. Versions are captured before execution
+                        // so a racing commit makes the view stale, never
+                        // silently wrong.
+                        let versions =
+                            txns.with_commit_lock(|| rcalcite_core::ivm::base_versions(&plan));
+                        let physical = self.optimize_no_mv(&plan)?;
+                        let rows = self.exec.execute_collect(&physical)?;
+                        let n = rows.len();
+                        schema.add_table(vname.clone(), MemTable::new(row_type.clone(), rows));
+                        let tref = self.catalog.resolve(&["mv", &vname])?;
+                        (
+                            rcalcite_core::MaintainedView::new_refresh_only(
+                                qualified.clone(),
+                                tref,
+                                plan.clone(),
+                                unsupported.to_string(),
+                                versions,
+                            ),
+                            n,
+                        )
+                    }
+                };
+                self.catalog.ivm().register(view.clone());
                 self.views
                     .write()
-                    .insert(key.clone(), rcalcite_core::rel::scan(tref.clone()));
+                    .insert(alias, rcalcite_core::rel::scan(view.table.clone()));
                 // Registered through add_materialization so the defining
                 // plan is normalized; the rebuilt planner picks it up on
                 // the next optimize call.
-                self.add_materialization(rcalcite_core::mv::Materialization::new(
-                    key.clone(),
-                    tref,
-                    plan,
-                ));
+                self.add_materialization(
+                    rcalcite_core::mv::Materialization::new(
+                        qualified.clone(),
+                        view.table.clone(),
+                        plan,
+                    )
+                    .with_maintained(view.clone()),
+                );
+                self.catalog.bump_generation();
+                let how = match view.unsupported_reason() {
+                    None => "incrementally maintained".to_string(),
+                    Some(r) => format!("refresh-only: {r}"),
+                };
                 Ok(message(format!(
-                    "materialized view {key} created ({n} rows)"
+                    "materialized view {qualified} created ({n} rows, {how})"
                 )))
+            }
+            Stmt::DropMaterializedView { name, if_exists } => {
+                let alias = name.join(".").to_ascii_lowercase();
+                let vname = name.last().expect("parsed name").to_ascii_lowercase();
+                let qualified = format!("mv.{vname}");
+                let existed = self.catalog.ivm().unregister(&qualified);
+                if !existed && !if_exists {
+                    return Err(CalciteError::validate(format!(
+                        "materialized view '{vname}' not found"
+                    )));
+                }
+                if existed {
+                    let mut views = self.views.write();
+                    views.remove(&alias);
+                    views.remove(&vname);
+                    drop(views);
+                    self.materializations
+                        .write()
+                        .retain(|m| m.name != qualified);
+                    if let Some(s) = self.catalog.schema("mv") {
+                        s.remove_table(&vname);
+                    }
+                    self.catalog.stats().retire(&qualified);
+                    self.catalog.bump_generation();
+                    self.invalidate_planner_shared();
+                }
+                Ok(message(format!(
+                    "materialized view {qualified} {}",
+                    if existed { "dropped" } else { "did not exist" }
+                )))
+            }
+            Stmt::RefreshMaterializedView { name } => {
+                let vname = name.last().expect("parsed name").to_ascii_lowercase();
+                let qualified = format!("mv.{vname}");
+                let view = self.catalog.ivm().get(&qualified).ok_or_else(|| {
+                    CalciteError::validate(format!("materialized view '{vname}' not found"))
+                })?;
+                if self.in_transaction() {
+                    return Err(CalciteError::unsupported(
+                        "REFRESH MATERIALIZED VIEW cannot run inside a transaction",
+                    ));
+                }
+                let txns = self.catalog.txns();
+                if view.is_maintained() {
+                    txns.with_commit_lock(|| view.refresh_maintained())?;
+                } else {
+                    // Full recompute. Versions are captured before the
+                    // defining query runs, so a commit racing the
+                    // recompute leaves the view stale, never wrong; the
+                    // swap runs under the commit lock so maintenance
+                    // passes never observe a half-replaced table.
+                    let versions = txns.with_commit_lock(|| view.capture_versions());
+                    let physical = self.optimize_no_mv(&view.plan)?;
+                    let rows = self.exec.execute_collect(&physical)?;
+                    let mem =
+                        view.table.table.as_mem_table().ok_or_else(|| {
+                            CalciteError::internal("view storage must be a MemTable")
+                        })?;
+                    txns.with_commit_lock(|| {
+                        mem.replace_all(rows);
+                        view.complete_refresh(versions);
+                    });
+                }
+                self.catalog.stats().retire(&qualified);
+                self.catalog.bump_generation();
+                self.invalidate_plans();
+                Ok(message(format!("materialized view {qualified} refreshed")))
             }
             Stmt::Insert { table, source } => {
                 let (schema_name, table_name) = self.split_name(&table)?;
@@ -686,9 +873,15 @@ impl Connection {
                 }
                 // The source query reads through the open transaction's
                 // snapshot, so INSERT INTO t SELECT ... FROM t sees this
-                // transaction's staged rows, not other writers'.
+                // transaction's staged rows, not other writers'. Inside a
+                // transaction MV substitution is disabled for the same
+                // reason as queries: the view postdates the snapshot.
                 let substituted = self.substitute_txn_scans(&plan);
-                let physical = self.optimize(&substituted)?;
+                let physical = if self.in_transaction() {
+                    self.optimize_no_mv(&substituted)?
+                } else {
+                    self.optimize(&substituted)?
+                };
                 let rows = self.exec.execute_collect(&physical)?;
                 let n = rows.len();
                 if tref.table.txn_snapshot().is_some() {
@@ -985,7 +1178,10 @@ impl Connection {
         };
         let logical = self.convert(&q)?;
         reject_params(&logical, what)?;
-        let physical = self.optimize(&logical)?;
+        // The locate plan must address the base table's own rows (its
+        // positions become row ids to write), so a materialized view can
+        // never stand in for the scan.
+        let physical = self.optimize_no_mv(&logical)?;
         Ok((logical, physical))
     }
 
@@ -1145,6 +1341,10 @@ impl Connection {
         let mut txn = self.catalog.txns().begin(std::slice::from_ref(&tref));
         let view = txn.read_view(&qualified).ok_or_else(not_capable)?;
         let ops = build_ops(&view)?;
+        // Release the read view before COMMIT: it pins the BEGIN-time
+        // version, and apply-time `Arc::make_mut` would deep-copy the
+        // whole table to preserve a snapshot nobody reads again.
+        drop(view);
         let n = txn.stage(&qualified, ops)?;
         txn.commit()?;
         if n > 0 {
@@ -1174,6 +1374,19 @@ impl Connection {
             self.invalidate_plans();
         }
         Ok(n)
+    }
+
+    /// The catalog schema holding materialized-view storage (`mv`),
+    /// created on first use. A real schema — not a side table — so
+    /// ANALYZE, transactions and direct scans treat view storage like
+    /// any other table.
+    fn mv_schema(&self) -> Arc<rcalcite_core::catalog::Schema> {
+        if let Some(s) = self.catalog.schema("mv") {
+            return s;
+        }
+        self.catalog
+            .add_schema("mv", rcalcite_core::catalog::Schema::new());
+        self.catalog.schema("mv").expect("just added")
     }
 
     /// Resolves `[schema.]name` to (schema, name) using the default schema.
@@ -1247,12 +1460,71 @@ impl Connection {
                 text.push_str(&spill);
             }
         }
+        self.append_mv_markers(&mut text, &plan.physical, q)?;
         Ok((text, cached))
+    }
+
+    /// Appends `-- mv:` verdict lines to an EXPLAIN: which materialized
+    /// views serve reads in this plan, and which would have been
+    /// substituted but were bypassed as stale.
+    fn append_mv_markers(&self, text: &mut String, physical: &Rel, q: &Query) -> Result<()> {
+        let mats = self.materializations.read();
+        if mats.is_empty() {
+            return Ok(());
+        }
+        let mut scanned = vec![];
+        collect_scan_names(physical, &mut scanned);
+        // The stale-bypass check re-runs substitution on the normalized
+        // logical plan — exactly what the planner's rule would have seen.
+        let mq = self.metadata_query();
+        let logical = self.convert(q)?;
+        let normalized = self
+            .hep
+            .optimize(&logical, &Convention::enumerable(), &mq)?;
+        for m in mats.iter() {
+            let target = m.table.qualified_name();
+            let read = scanned.iter().any(|s| s.eq_ignore_ascii_case(&target));
+            if read {
+                if m.is_usable() {
+                    text.push_str(&format!("-- mv: substituted {} (fresh)\n", m.name));
+                } else {
+                    // Only a direct scan of the view's storage reaches a
+                    // stale view; substitution skips it.
+                    text.push_str(&format!("-- mv: {} (stale, read directly)\n", m.name));
+                }
+            } else if !m.is_usable() && would_substitute(&normalized, m) {
+                text.push_str(&format!("-- mv: {} (stale, bypassed)\n", m.name));
+            }
+        }
+        Ok(())
     }
 }
 
 /// Default bound on the number of compiled plans a connection keeps.
 pub(crate) const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Collects the qualified name of every stored table `plan` reads.
+fn collect_scan_names(plan: &Rel, out: &mut Vec<String>) {
+    match &plan.op {
+        RelOp::Scan { table } | RelOp::IndexSeek { table, .. } | RelOp::IndexJoin { table, .. } => {
+            out.push(table.qualified_name())
+        }
+        _ => {}
+    }
+    for i in &plan.inputs {
+        collect_scan_names(i, out);
+    }
+}
+
+/// Whether the substitution matcher would rewrite any subtree of `plan`
+/// to read from `m` (ignoring freshness — callers use this to report a
+/// stale view as bypassed).
+fn would_substitute(plan: &Rel, m: &Materialization) -> bool {
+    if !rcalcite_core::mv::substitute(plan, std::slice::from_ref(m)).is_empty() {
+        return true;
+    }
+    plan.inputs.iter().any(|i| would_substitute(i, m))
+}
 
 /// Rebuilds `plan` with every scan of a transaction-covered table
 /// replaced by a [`rcalcite_core::SnapshotTable`] serving the

@@ -41,6 +41,11 @@ pub fn parse(sql: &str) -> Result<Stmt> {
         p.parse_drop()?
     } else if p.peek().is_kw("ANALYZE") {
         p.parse_analyze()?
+    } else if p.eat_kw("REFRESH") {
+        p.expect_kw("MATERIALIZED")?;
+        p.expect_kw("VIEW")?;
+        let name = p.qualified_name()?;
+        Stmt::RefreshMaterializedView { name }
     } else if p.eat_kw("BEGIN") || p.eat_kw("START") {
         // BEGIN [TRANSACTION | WORK] / START TRANSACTION
         if !p.eat_kw("TRANSACTION") {
@@ -297,6 +302,17 @@ impl Parser {
                 table,
                 if_exists,
             });
+        }
+        if self.eat_kw("MATERIALIZED") {
+            self.expect_kw("VIEW")?;
+            let if_exists = if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let name = self.qualified_name()?;
+            return Ok(Stmt::DropMaterializedView { name, if_exists });
         }
         self.expect_kw("TABLE")?;
         let if_exists = if self.eat_kw("IF") {
